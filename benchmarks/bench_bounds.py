@@ -1,0 +1,51 @@
+"""Upper bounds and certified optimality gaps (S22).
+
+Times the two fast bounds on the default real-like workload and reports
+the certified gap of each panel algorithm (utility / combined bound) --
+the number the paper's "fast estimate the upper bound" remark is about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.bounds import capacity_bound, combined_bound, vendor_lp_bound
+from repro.experiments.runner import run_panel
+
+
+def test_vendor_lp_bound(benchmark, default_real_problem):
+    value = benchmark.pedantic(
+        vendor_lp_bound, args=(default_real_problem,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["bound"] = value
+    assert value > 0
+
+
+def test_capacity_bound(benchmark, default_real_problem):
+    value = benchmark.pedantic(
+        capacity_bound, args=(default_real_problem,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["bound"] = value
+    assert value > 0
+
+
+def test_certified_gaps(benchmark, default_real_problem):
+    problem = default_real_problem
+
+    def measure():
+        bound = combined_bound(problem)
+        results = run_panel(
+            problem, algorithms=("GREEDY", "RECON", "ONLINE"), seed=42
+        )
+        return bound, {
+            name: result.total_utility / bound
+            for name, result in results.items()
+        }
+
+    bound, gaps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"[bounds] combined upper bound = {bound:.3f}")
+    for name, gap in gaps.items():
+        print(f"[bounds] {name:8s} certified >= {gap:.1%} of optimal")
+        assert 0 < gap <= 1.0 + 1e-9
+    # RECON should certify a substantial fraction of the bound.
+    assert gaps["RECON"] >= 0.3

@@ -1,0 +1,42 @@
+"""Figure 3: effect of the vendor budget range [B-, B+] (real-like data).
+
+Regenerates both panels: ``test_fig3_full_sweep`` reproduces the utility
+and running-time series across the paper's six budget ranges (written to
+``benchmarks/results/fig3.txt``); the per-algorithm benchmarks time each
+panel member at the default setting, giving the (b)-panel comparison.
+
+Expected shape (paper): utilities rise with budget and saturate around
+[20,30]; RECON >= GREEDY; GREEDY/RECON times grow with budget while
+ONLINE and RANDOM stay flat and fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import REAL_SCALE, benchmark_panel_member, publish
+from repro.experiments.figures import fig3_budget
+from repro.experiments.measures import (
+    dominance_fraction,
+    monotone_nondecreasing,
+)
+from repro.experiments.runner import PANEL
+
+
+def test_fig3_full_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: publish(fig3_budget(scale=REAL_SCALE)),
+        rounds=1,
+        iterations=1,
+    )
+    # Shape checks on the regenerated series.
+    assert dominance_fraction(result.rows, "RECON", "RANDOM") >= 0.8
+    assert dominance_fraction(result.rows, "GREEDY", "RANDOM") >= 0.8
+    # More budget never hurts the utility-aware approaches (Fig. 3a).
+    for name in ("GREEDY", "RECON", "ONLINE"):
+        assert monotone_nondecreasing(result.rows, name, tolerance=0.02)
+
+
+@pytest.mark.parametrize("name", PANEL)
+def test_fig3_default_point(benchmark, default_real_problem, name):
+    benchmark_panel_member(benchmark, default_real_problem, name)

@@ -1,0 +1,31 @@
+"""Figure 6: effect of the view-probability range [p-, p+] (real-like).
+
+Expected shape (paper): all utilities increase with the probability of
+viewing ads (Eq. 4 is linear in p); running times are insensitive to p.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import REAL_SCALE, benchmark_panel_member, publish
+from repro.experiments.figures import fig6_probability
+from repro.experiments.measures import utilities_by_parameter
+from repro.experiments.runner import PANEL
+
+
+def test_fig6_full_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: publish(fig6_probability(scale=REAL_SCALE)),
+        rounds=1,
+        iterations=1,
+    )
+    for name in ("GREEDY", "RECON"):
+        series = utilities_by_parameter(result.rows, name)
+        labels = result.parameters()
+        assert series[labels[-1]] >= series[labels[0]]
+
+
+@pytest.mark.parametrize("name", PANEL)
+def test_fig6_default_point(benchmark, default_real_problem, name):
+    benchmark_panel_member(benchmark, default_real_problem, name)

@@ -1,0 +1,32 @@
+"""Figure 7: scalability in the number m of customers (synthetic data).
+
+Expected shape (paper): utilities of the utility-aware approaches grow
+with m (more high-utility candidates for the same budgets) while RANDOM
+stays flat; ONLINE/RANDOM times grow linearly, RECON fastest-growing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SYNTH_SCALE, benchmark_panel_member, publish
+from repro.experiments.figures import fig7_customers
+from repro.experiments.measures import utilities_by_parameter
+from repro.experiments.runner import PANEL
+
+
+def test_fig7_full_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: publish(fig7_customers(scale=SYNTH_SCALE)),
+        rounds=1,
+        iterations=1,
+    )
+    labels = result.parameters()
+    for name in ("GREEDY", "RECON"):
+        series = utilities_by_parameter(result.rows, name)
+        assert series[labels[-1]] >= series[labels[0]]
+
+
+@pytest.mark.parametrize("name", PANEL)
+def test_fig7_default_point(benchmark, default_synth_problem, name):
+    benchmark_panel_member(benchmark, default_synth_problem, name)

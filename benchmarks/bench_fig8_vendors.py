@@ -1,0 +1,32 @@
+"""Figure 8: scalability in the number n of vendors (synthetic data).
+
+Expected shape (paper): all approaches gain utility with n (more total
+budget in the system); RECON's time grows fastest (one MCKP per vendor),
+ONLINE stays fast (only in-range vendors matter per customer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SYNTH_SCALE, benchmark_panel_member, publish
+from repro.experiments.figures import fig8_vendors
+from repro.experiments.measures import utilities_by_parameter
+from repro.experiments.runner import PANEL
+
+
+def test_fig8_full_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: publish(fig8_vendors(scale=SYNTH_SCALE)),
+        rounds=1,
+        iterations=1,
+    )
+    labels = result.parameters()
+    for name in ("GREEDY", "RECON", "ONLINE"):
+        series = utilities_by_parameter(result.rows, name)
+        assert series[labels[-1]] >= series[labels[0]]
+
+
+@pytest.mark.parametrize("name", PANEL)
+def test_fig8_default_point(benchmark, default_synth_problem, name):
+    benchmark_panel_member(benchmark, default_synth_problem, name)

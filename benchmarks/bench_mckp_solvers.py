@@ -1,0 +1,60 @@
+"""Ablation E12: MCKP backend choice inside RECON (Section III-A).
+
+The paper solves the single-vendor problems with an external LP solver;
+this library offers five in-tree backends.  Two tiers:
+
+* the production-size real-like workload, where only the fast backends
+  (greedy LP-relaxation, exact cost-axis DP) are practical -- the
+  greedy should match DP's utility closely at a fraction of the time;
+* a small workload where *all* backends run, so the exact ones (bb, dp)
+  anchor the comparison.  The FPTAS and branch-and-bound are
+  polynomial/exponential in ways that make them research baselines, not
+  production paths -- exactly why the paper (and this library) default
+  to the LP-relaxation route.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.recon import Reconciliation
+from repro.core.validation import validate_assignment
+from tests.conftest import random_tabular_problem
+
+#: Backends that scale to the default workload.
+FAST_BACKENDS = ("greedy-lp", "dp")
+
+#: All backends, exercised on the small tier.
+ALL_BACKENDS = ("greedy-lp", "dp", "fptas", "bb")
+
+
+@pytest.mark.parametrize("method", FAST_BACKENDS)
+def test_recon_backend_default_scale(benchmark, default_real_problem, method):
+    problem = default_real_problem
+    algorithm = Reconciliation(mckp_method=method, seed=42)
+    assignment = benchmark.pedantic(
+        algorithm.solve, args=(problem,), rounds=1, iterations=1
+    )
+    assert validate_assignment(problem, assignment).ok
+    benchmark.extra_info["total_utility"] = assignment.total_utility
+    print(
+        f"[mckp-ablation/default] {method:10s} utility="
+        f"{assignment.total_utility:.3f} ads={len(assignment)}"
+    )
+
+
+@pytest.mark.parametrize("method", ALL_BACKENDS)
+def test_recon_backend_small_scale(benchmark, method):
+    problem = random_tabular_problem(
+        seed=12, n_customers=40, n_vendors=8, budget=(4.0, 9.0)
+    )
+    algorithm = Reconciliation(mckp_method=method, seed=42)
+    assignment = benchmark.pedantic(
+        algorithm.solve, args=(problem,), rounds=1, iterations=1
+    )
+    assert validate_assignment(problem, assignment).ok
+    benchmark.extra_info["total_utility"] = assignment.total_utility
+    print(
+        f"[mckp-ablation/small] {method:10s} utility="
+        f"{assignment.total_utility:.3f} ads={len(assignment)}"
+    )

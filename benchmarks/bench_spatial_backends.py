@@ -1,0 +1,84 @@
+"""Spatial backend trade-off: uniform grid vs KD-tree vs linear scan.
+
+The MUAA range queries (valid customers of each vendor) hit the index
+once per vendor; this benchmark measures that exact workload over the
+default real-like geometry for all three backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spatial.geometry import euclidean
+from repro.spatial.grid_index import GridIndex
+from repro.spatial.kdtree import KDTree
+
+N_POINTS = 20_000
+N_QUERIES = 500
+RADIUS = 0.025
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    rng = np.random.default_rng(0)
+    centres = rng.uniform(0.1, 0.9, size=(8, 2))
+    assignments = rng.integers(0, 8, size=N_POINTS)
+    points = np.clip(
+        centres[assignments] + rng.normal(0, 0.06, size=(N_POINTS, 2)),
+        0.0,
+        1.0,
+    )
+    items = [(i, (float(x), float(y))) for i, (x, y) in enumerate(points)]
+    queries = [
+        (float(x), float(y))
+        for x, y in rng.uniform(size=(N_QUERIES, 2))
+    ]
+    return items, queries
+
+
+def test_grid_backend(benchmark, geometry):
+    items, queries = geometry
+    index = GridIndex.build(items, cell_size=RADIUS)
+
+    def run():
+        return sum(len(index.query_radius(q, RADIUS)) for q in queries)
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["total_hits"] = total
+
+
+def test_kdtree_backend(benchmark, geometry):
+    items, queries = geometry
+    tree = KDTree(items)
+
+    def run():
+        return sum(len(tree.query_radius(q, RADIUS)) for q in queries)
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["total_hits"] = total
+
+
+def test_linear_scan_baseline(benchmark, geometry):
+    items, queries = geometry
+
+    def run():
+        total = 0
+        for q in queries:
+            total += sum(
+                1 for _i, p in items if euclidean(p, q) <= RADIUS
+            )
+        return total
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["total_hits"] = total
+
+
+def test_backends_agree(geometry):
+    items, queries = geometry
+    index = GridIndex.build(items, cell_size=RADIUS)
+    tree = KDTree(items)
+    for q in queries[:50]:
+        assert sorted(index.query_radius(q, RADIUS)) == sorted(
+            tree.query_radius(q, RADIUS)
+        )

@@ -1,0 +1,96 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every figure benchmark does two things:
+
+1. runs the figure's full parameter sweep once (cached per session) and
+   writes the regenerated utility/time tables -- the paper's (a) and (b)
+   panels -- to ``benchmarks/results/<experiment>.txt``; and
+2. feeds pytest-benchmark with per-algorithm solve timings at the
+   figure's default setting, which is what the benchmark comparison
+   table shows.
+
+Scales are chosen so the whole benchmark suite finishes in minutes on a
+laptop while preserving the paper's curve shapes; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import full_report
+from repro.experiments.sweep import SweepResult
+
+#: Where regenerated figure tables are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale factors for the benchmark-size experiments (fractions of the
+#: paper's workload sizes).
+REAL_SCALE = 0.02
+SYNTH_SCALE = 0.1
+
+
+def publish(result: SweepResult) -> SweepResult:
+    """Write a sweep's report tables next to the benchmarks and echo a
+    short marker so the run log shows which artifacts were produced."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.experiment}.txt"
+    path.write_text(full_report(result) + "\n", encoding="utf-8")
+    print(f"[{result.experiment}] wrote {path}")
+    return result
+
+
+@pytest.fixture(scope="session")
+def real_scale() -> float:
+    return REAL_SCALE
+
+
+@pytest.fixture(scope="session")
+def synth_scale() -> float:
+    return SYNTH_SCALE
+
+
+@pytest.fixture(scope="session")
+def default_real_problem():
+    """The real-like workload at its default Table-IV settings."""
+    from repro.datagen.checkins import problem_from_checkins
+    from repro.experiments.figures import _shared_feed, _sizes
+
+    users, venues, checkins, max_customers, max_vendors = _sizes(REAL_SCALE)
+    feed = _shared_feed(REAL_SCALE, 42)
+    problem = problem_from_checkins(
+        feed, max_customers=max_customers, max_vendors=max_vendors, seed=42
+    )
+    problem.warm_utilities()
+    return problem
+
+
+@pytest.fixture(scope="session")
+def default_synth_problem():
+    """The synthetic workload at its default Table-IV settings."""
+    from repro.datagen.config import WorkloadConfig
+    from repro.datagen.synthetic import synthetic_problem
+
+    config = WorkloadConfig().with_overrides(
+        n_customers=int(10_000 * SYNTH_SCALE * 2),
+        n_vendors=int(500 * SYNTH_SCALE * 2),
+    )
+    problem = synthetic_problem(config)
+    problem.warm_utilities()
+    return problem
+
+
+def benchmark_panel_member(benchmark, problem, name: str):
+    """Time one panel algorithm's full solve on a problem (one round)."""
+    from repro.experiments.runner import build_panel
+
+    algorithm = build_panel(problem, algorithms=(name,))[0]
+    result = benchmark.pedantic(
+        algorithm.run, args=(problem,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["total_utility"] = result.total_utility
+    benchmark.extra_info["n_ads"] = len(result.assignment)
+    benchmark.extra_info["per_customer_ms"] = (
+        result.per_customer_seconds * 1e3
+    )

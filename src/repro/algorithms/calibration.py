@@ -1,0 +1,181 @@
+"""Estimation of :math:`\\gamma_{min}` and :math:`g` (Section IV-C).
+
+A deployed broker cannot know the efficiency lower bound
+:math:`\\gamma_{min}` in advance; the paper estimates it from historical
+records.  Here, a *historical sample* is any collection of observed
+budget efficiencies -- e.g. from yesterday's instance, or from the first
+portion of today's stream -- and :math:`\\gamma_{min}` is taken as a low
+quantile of the positive efficiencies (a strict minimum would be
+dominated by a single outlier pair standing far from a vendor).
+
+Given bounds, :math:`g` is chosen so that the threshold at full budget
+consumption reaches the top of the efficiency range,
+:math:`\\phi(1) = \\gamma_{max}`, i.e.
+:math:`g = \\gamma_{max} \\cdot e / \\gamma_{min}` (the paper's upper
+bound on useful g), clamped above :math:`e`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.problem import MUAAProblem
+
+#: Minimum admissible g (strictly above e for Corollary IV.1).
+MIN_G = math.e * 1.001
+
+#: Default quantiles for the robust efficiency bounds.
+DEFAULT_LOW_QUANTILE = 0.05
+DEFAULT_HIGH_QUANTILE = 0.95
+
+
+@dataclass(frozen=True)
+class GammaBounds:
+    """Estimated efficiency bounds and the derived growth constant.
+
+    Attributes:
+        gamma_min: Estimated lower bound on budget efficiencies.
+        gamma_max: Estimated upper bound on budget efficiencies.
+        g: Recommended growth constant for O-AFA's threshold.
+    """
+
+    gamma_min: float
+    gamma_max: float
+    g: float
+
+
+def observed_efficiencies(
+    problem: MUAAProblem, sample_customers: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> List[float]:
+    """Positive budget efficiencies of (a sample of) valid instances.
+
+    Args:
+        problem: The historical problem instance to observe.
+        sample_customers: When given, restrict to this many randomly
+            chosen customers (keeps calibration cheap on big instances).
+        seed: RNG seed for the sampling.
+    """
+    customers = problem.customers
+    if sample_customers is not None and sample_customers < len(customers):
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(len(customers), size=sample_customers, replace=False)
+        customers = [customers[i] for i in picks]
+    efficiencies: List[float] = []
+    for customer in customers:
+        for vendor_id in problem.valid_vendor_ids(customer):
+            for inst in problem.pair_instances(customer.customer_id, vendor_id):
+                if inst.utility > 0:
+                    efficiencies.append(inst.efficiency)
+    return efficiencies
+
+
+def estimate_gamma_bounds(
+    efficiencies: Iterable[float],
+    low_quantile: float = DEFAULT_LOW_QUANTILE,
+    high_quantile: float = DEFAULT_HIGH_QUANTILE,
+) -> GammaBounds:
+    """Robust :math:`(\\gamma_{min}, \\gamma_{max}, g)` from a sample.
+
+    Args:
+        efficiencies: Observed positive budget efficiencies.
+        low_quantile: Quantile used for :math:`\\gamma_{min}`.
+        high_quantile: Quantile used for :math:`\\gamma_{max}`.
+
+    Returns:
+        The estimated bounds with the recommended ``g``.
+
+    Raises:
+        ValueError: If the sample contains no positive efficiency.
+    """
+    values = np.array([e for e in efficiencies if e > 0], dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot calibrate from an empty efficiency sample")
+    gamma_min = float(np.quantile(values, low_quantile))
+    gamma_max = float(np.quantile(values, high_quantile))
+    gamma_max = max(gamma_max, gamma_min)
+    return GammaBounds(
+        gamma_min=gamma_min,
+        gamma_max=gamma_max,
+        g=choose_g(gamma_min, gamma_max),
+    )
+
+
+def choose_g(gamma_min: float, gamma_max: float) -> float:
+    """The paper's recommended growth constant.
+
+    Picks :math:`g = \\gamma_{max} \\cdot e / \\gamma_{min}` so that
+    :math:`\\phi(1) = \\gamma_{max}` (high-efficiency instances remain
+    acceptable until the budget is fully used), clamped to stay strictly
+    above :math:`e`.
+
+    Raises:
+        ValueError: On non-positive bounds.
+    """
+    if gamma_min <= 0 or gamma_max <= 0:
+        raise ValueError("efficiency bounds must be positive")
+    return max(MIN_G, gamma_max * math.e / gamma_min)
+
+
+def calibrate_from_problem(
+    problem: MUAAProblem,
+    sample_customers: Optional[int] = 500,
+    seed: Optional[int] = None,
+    low_quantile: float = DEFAULT_LOW_QUANTILE,
+    high_quantile: float = DEFAULT_HIGH_QUANTILE,
+) -> GammaBounds:
+    """One-call calibration: observe a historical instance and estimate.
+
+    Raises:
+        ValueError: If the instance has no positive-utility candidate.
+    """
+    return estimate_gamma_bounds(
+        observed_efficiencies(problem, sample_customers, seed),
+        low_quantile=low_quantile,
+        high_quantile=high_quantile,
+    )
+
+
+def calibrate_per_vendor(
+    problem: MUAAProblem,
+    sample_customers: Optional[int] = 500,
+    seed: Optional[int] = None,
+    low_quantile: float = DEFAULT_LOW_QUANTILE,
+    high_quantile: float = DEFAULT_HIGH_QUANTILE,
+    min_sample: int = 8,
+) -> Dict[int, GammaBounds]:
+    """Per-vendor gamma bounds (Section IV-C refined per knapsack).
+
+    Theorem IV.1's analysis is per vendor, so each vendor may use its
+    own :math:`(\\gamma_{min}, g)` estimated from the efficiencies of
+    *its* candidate instances.  Vendors whose sample is smaller than
+    ``min_sample`` are omitted (callers fall back to the global
+    bounds) -- a three-observation quantile is noise, not calibration.
+
+    Returns:
+        vendor_id -> bounds, for vendors with enough observations.
+    """
+    customers = problem.customers
+    if sample_customers is not None and sample_customers < len(customers):
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(len(customers), size=sample_customers, replace=False)
+        customers = [customers[i] for i in picks]
+    per_vendor: Dict[int, List[float]] = {}
+    for customer in customers:
+        for vendor_id in problem.valid_vendor_ids(customer):
+            for inst in problem.pair_instances(customer.customer_id, vendor_id):
+                if inst.utility > 0:
+                    per_vendor.setdefault(vendor_id, []).append(
+                        inst.efficiency
+                    )
+    return {
+        vendor_id: estimate_gamma_bounds(
+            sample, low_quantile=low_quantile, high_quantile=high_quantile
+        )
+        for vendor_id, sample in per_vendor.items()
+        if len(sample) >= min_sample
+    }

@@ -1,0 +1,197 @@
+"""The Online Adaptive Factor-Aware approach, O-AFA (Section IV, Algorithm 2).
+
+When a customer arrives, O-AFA considers each vendor whose area contains
+the customer, picks the vendor's "best" ad type, and keeps the instance
+only if its budget efficiency clears an *adaptive threshold*
+:math:`\\phi(\\delta_j)` that grows with the vendor's used-budget ratio
+:math:`\\delta_j`: ads are pushed freely while budget is plentiful, and
+only high-efficiency ads are accepted as the budget depletes.  Among the
+surviving candidates the top-:math:`a_i` by efficiency are committed.
+
+With the exponential threshold :math:`\\phi(\\delta) = \\frac{\\gamma_{min}}{e}
+\\cdot g^{\\delta}` (g > e) the competitive ratio is
+:math:`(\\ln(g) + 1)/\\theta` (Corollary IV.1).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, List, Mapping, Optional
+
+from repro.algorithms.base import OnlineAlgorithm
+from repro.core.assignment import AdInstance, Assignment
+from repro.core.entities import Customer
+from repro.core.problem import MUAAProblem
+
+#: Base of the natural logarithm, the lower bound on g.
+E = math.e
+
+_EPS = 1e-9
+
+
+class ThresholdFunction(ABC):
+    """Budget-efficiency acceptance threshold :math:`\\phi(\\delta)`.
+
+    Must be monotone non-decreasing in the used-budget ratio
+    :math:`\\delta \\in [0, 1]` (assumption 3 of Section IV-B).
+    Implementations may differentiate per vendor through the optional
+    ``vendor_id`` (the paper's analysis is per-vendor anyway -- each
+    vendor's budget is its own knapsack).
+    """
+
+    @abstractmethod
+    def threshold(
+        self, used_budget_ratio: float, vendor_id: Optional[int] = None
+    ) -> float:
+        """The minimum acceptable efficiency at used ratio ``delta``."""
+
+
+class AdaptiveExponentialThreshold(ThresholdFunction):
+    """The paper's threshold :math:`\\phi(\\delta) = \\gamma_{min}/e \\cdot g^\\delta`.
+
+    Args:
+        gamma_min: Lower bound on any instance's budget efficiency.
+        g: Growth constant; must exceed :math:`e` (Corollary IV.1).
+
+    Raises:
+        ValueError: If ``g <= e`` or ``gamma_min <= 0``.
+    """
+
+    def __init__(self, gamma_min: float, g: float) -> None:
+        if gamma_min <= 0:
+            raise ValueError(f"gamma_min must be positive, got {gamma_min}")
+        if g <= E:
+            raise ValueError(f"g must exceed e ≈ {E:.5f}, got {g}")
+        self.gamma_min = gamma_min
+        self.g = g
+
+    def threshold(
+        self, used_budget_ratio: float, vendor_id: Optional[int] = None
+    ) -> float:
+        return (self.gamma_min / E) * self.g ** used_budget_ratio
+
+    @property
+    def competitive_ratio_bound(self) -> float:
+        """The Corollary IV.1 factor :math:`\\ln(g) + 1` (divide by
+        :math:`\\theta` of the instance to get the full ratio)."""
+        return math.log(self.g) + 1.0
+
+
+class PerVendorExponentialThreshold(ThresholdFunction):
+    """Per-vendor exponential thresholds (a Section IV-C refinement).
+
+    Theorem IV.1's analysis is per vendor, so nothing requires one
+    global :math:`(\\gamma_{min}, g)`: a vendor in a dense downtown sees
+    very different efficiency distributions than a suburban one.  This
+    threshold keeps an :class:`AdaptiveExponentialThreshold` per vendor
+    and falls back to a global default for vendors without their own
+    calibration.
+
+    Args:
+        per_vendor: vendor_id -> ``(gamma_min, g)`` pairs.
+        default: Fallback threshold for uncalibrated vendors.
+    """
+
+    def __init__(
+        self,
+        per_vendor: Mapping[int, "AdaptiveExponentialThreshold"],
+        default: "AdaptiveExponentialThreshold",
+    ) -> None:
+        self._per_vendor: Dict[int, AdaptiveExponentialThreshold] = dict(
+            per_vendor
+        )
+        self._default = default
+
+    def threshold(
+        self, used_budget_ratio: float, vendor_id: Optional[int] = None
+    ) -> float:
+        chosen = self._per_vendor.get(vendor_id, self._default)
+        return chosen.threshold(used_budget_ratio)
+
+
+class StaticThreshold(ThresholdFunction):
+    """A constant threshold; the non-adaptive baseline of Section IV-A.
+
+    Args:
+        value: Instances below this efficiency are always rejected.
+    """
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"threshold must be >= 0, got {value}")
+        self.value = value
+
+    def threshold(
+        self, used_budget_ratio: float, vendor_id: Optional[int] = None
+    ) -> float:
+        return self.value
+
+
+class OnlineAdaptiveFactorAware(OnlineAlgorithm):
+    """Algorithm 2 (O-AFA).
+
+    Args:
+        threshold: The acceptance threshold function; the paper's
+            adaptive exponential by default when ``gamma_min``/``g`` are
+            given instead.
+        gamma_min: Convenience constructor argument for the default
+            adaptive exponential threshold.
+        g: Growth constant for the default threshold.
+
+    Raises:
+        ValueError: If neither a threshold nor (gamma_min, g) is given.
+    """
+
+    name = "ONLINE"
+
+    def __init__(
+        self,
+        threshold: ThresholdFunction = None,
+        gamma_min: float = None,
+        g: float = None,
+    ) -> None:
+        if threshold is None:
+            if gamma_min is None or g is None:
+                raise ValueError(
+                    "provide either a ThresholdFunction or both "
+                    "gamma_min and g"
+                )
+            threshold = AdaptiveExponentialThreshold(gamma_min, g)
+        self.threshold_function = threshold
+
+    def process_customer(
+        self,
+        problem: MUAAProblem,
+        customer: Customer,
+        assignment: Assignment,
+    ) -> List[AdInstance]:
+        # Line 2: valid vendors by the spatial constraint.
+        vendor_ids = problem.valid_vendor_ids(customer)
+        potential: List[AdInstance] = []
+        for vendor_id in vendor_ids:
+            budget = problem.budgets[vendor_id]
+            if budget <= 0:
+                continue
+            spent = assignment.spend_for_vendor(vendor_id)
+            remaining = budget - spent
+            # Line 4: the vendor's "best" (highest-efficiency) affordable
+            # ad type for this customer.
+            best = problem.best_instance_for_pair(
+                customer.customer_id,
+                vendor_id,
+                by="efficiency",
+                max_cost=remaining,
+            )
+            if best is None or best.utility <= 0:
+                continue
+            # Line 5: adaptive acceptance test on the used-budget ratio.
+            delta = spent / budget
+            phi = self.threshold_function.threshold(delta, vendor_id)
+            if best.efficiency >= phi - _EPS:
+                potential.append(best)
+        # Lines 7-8: keep the top-a_i instances by budget efficiency.
+        if len(potential) > customer.capacity:
+            potential.sort(key=lambda inst: -inst.efficiency)
+            potential = potential[: customer.capacity]
+        return potential

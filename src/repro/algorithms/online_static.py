@@ -1,0 +1,26 @@
+"""Static-threshold online baseline (ablation for O-AFA's adaptivity).
+
+Section IV-A motivates the adaptive threshold by noting that "an
+adaptive threshold will perform better than a static threshold".  This
+baseline is O-AFA with :math:`\\phi(\\delta)` held constant, so the
+ablation benchmark can quantify that claim on our workloads.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware, StaticThreshold
+
+
+class OnlineStaticThreshold(OnlineAdaptiveFactorAware):
+    """O-AFA with a constant acceptance threshold.
+
+    Args:
+        threshold_value: Efficiency below which instances are rejected
+            regardless of remaining budget.  ``0.0`` degenerates to
+            "accept everything affordable", i.e. first-come-first-served.
+    """
+
+    name = "ONLINE-STATIC"
+
+    def __init__(self, threshold_value: float = 0.0) -> None:
+        super().__init__(threshold=StaticThreshold(threshold_value))

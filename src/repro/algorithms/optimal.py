@@ -1,0 +1,111 @@
+"""Exact optimal MUAA solver for small instances.
+
+MUAA is NP-hard (Theorem II.1), so this exhaustive branch-and-bound is
+only practical on small instances; it exists to measure the empirical
+approximation ratio of RECON (Theorem III.1) and the empirical
+competitive ratio of O-AFA (Theorem IV.1 / Corollary IV.1) in tests and
+ratio benchmarks, and to verify the worked example of the paper's
+introduction.
+
+Branching is per valid customer-vendor pair (choose one ad type or
+none), ordered by the pair's best utility; the bound adds, for each
+remaining pair, its best utility subject to remaining customer
+capacities (budgets relaxed), which is admissible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.algorithms.base import OfflineAlgorithm
+from repro.core.assignment import AdInstance, Assignment
+from repro.core.problem import MUAAProblem
+from repro.exceptions import SolverError
+
+_EPS = 1e-12
+
+#: Default cap on explored search nodes.
+DEFAULT_NODE_LIMIT = 5_000_000
+
+
+class ExactOptimal(OfflineAlgorithm):
+    """Exhaustive branch-and-bound over per-pair ad-type choices.
+
+    Args:
+        node_limit: Abort with :class:`SolverError` beyond this many
+            search nodes (the solver is for small instances only).
+    """
+
+    name = "OPTIMAL"
+
+    def __init__(self, node_limit: int = DEFAULT_NODE_LIMIT) -> None:
+        self._node_limit = node_limit
+
+    def solve(self, problem: MUAAProblem) -> Assignment:
+        # One branching group per valid pair: its positive-utility,
+        # plainly-undominated type choices sorted by utility.
+        pairs: List[Tuple[Tuple[int, int], List[AdInstance]]] = []
+        for customer_id, vendor_id in problem.valid_pairs():
+            choices = [
+                inst
+                for inst in problem.pair_instances(customer_id, vendor_id)
+                if inst.utility > 0
+                and inst.cost <= problem.budgets[vendor_id] + _EPS
+            ]
+            if choices:
+                choices.sort(key=lambda inst: -inst.utility)
+                pairs.append(((customer_id, vendor_id), choices))
+        pairs.sort(key=lambda entry: -entry[1][0].utility)
+
+        best_value = 0.0
+        best_set: List[AdInstance] = []
+        capacity: Dict[int, int] = dict(problem.capacities)
+        budget: Dict[int, float] = dict(problem.budgets)
+        chosen: List[AdInstance] = []
+        nodes = 0
+
+        # Admissible bound: best utility of each remaining pair, capped
+        # by per-customer remaining capacity (suffix-computed greedily).
+        def bound(index: int, cap: Dict[int, int]) -> float:
+            remaining_cap = dict(cap)
+            total = 0.0
+            for (customer_id, _vid), choices in pairs[index:]:
+                if remaining_cap.get(customer_id, 0) > 0:
+                    total += choices[0].utility
+                    remaining_cap[customer_id] -= 1
+            return total
+
+        def dfs(index: int, value: float) -> None:
+            nonlocal best_value, best_set, nodes
+            nodes += 1
+            if nodes > self._node_limit:
+                raise SolverError(
+                    f"exact solver exceeded {self._node_limit} nodes; "
+                    "the instance is too large for OPTIMAL"
+                )
+            if value > best_value + _EPS:
+                best_value = value
+                best_set = list(chosen)
+            if index >= len(pairs):
+                return
+            if value + bound(index, capacity) <= best_value + _EPS:
+                return
+            (customer_id, vendor_id), choices = pairs[index]
+            if capacity.get(customer_id, 0) > 0:
+                for inst in choices:
+                    if inst.cost <= budget[vendor_id] + _EPS:
+                        capacity[customer_id] -= 1
+                        budget[vendor_id] -= inst.cost
+                        chosen.append(inst)
+                        dfs(index + 1, value + inst.utility)
+                        chosen.pop()
+                        budget[vendor_id] += inst.cost
+                        capacity[customer_id] += 1
+            dfs(index + 1, value)  # skip the pair
+
+        dfs(0, 0.0)
+
+        assignment = problem.new_assignment()
+        for inst in best_set:
+            assignment.add(inst, strict=True)
+        return assignment

@@ -1,0 +1,67 @@
+"""The RANDOM baseline of Section V-A.
+
+Randomly assigns vendors' ads to valid customers under the budget (and
+capacity) constraints: candidate pairs are visited in random order and
+each is given a uniformly random ad type, kept only if still feasible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import OfflineAlgorithm
+from repro.core.assignment import Assignment
+from repro.core.problem import MUAAProblem
+
+
+class RandomAssignment(OfflineAlgorithm):
+    """Uniformly random feasible assignment.
+
+    Args:
+        seed: RNG seed; runs are reproducible for a fixed seed.
+        saturate: When true (default), keep sampling until no candidate
+            remains feasible, matching the paper's description of
+            spending budgets on random valid customers; when false, each
+            pair is considered exactly once.
+    """
+
+    name = "RANDOM"
+
+    def __init__(self, seed: Optional[int] = None, saturate: bool = True) -> None:
+        self._seed = seed
+        self._saturate = saturate
+
+    def solve(self, problem: MUAAProblem) -> Assignment:
+        rng = np.random.default_rng(self._seed)
+        assignment = problem.new_assignment()
+        pairs: List[tuple] = list(problem.valid_pairs())
+        if not pairs:
+            return assignment
+        order = rng.permutation(len(pairs))
+        type_ids = [t.type_id for t in problem.ad_types]
+        type_draws = rng.integers(len(type_ids), size=len(pairs))
+
+        for index in order:
+            customer_id, vendor_id = pairs[index]
+            type_id = type_ids[int(type_draws[index])]
+            instance = problem.make_instance(customer_id, vendor_id, type_id)
+            if not assignment.add(instance, strict=False) and self._saturate:
+                # The random type may simply be unaffordable; try the
+                # cheapest affordable type before giving up on the pair
+                # (cheap pre-checks avoid re-evaluating hopeless pairs).
+                if (
+                    assignment.ads_for_customer(customer_id)
+                    >= problem.capacities[customer_id]
+                ):
+                    continue
+                remaining = assignment.remaining_budget(vendor_id)
+                if remaining + 1e-9 < problem.min_cost:
+                    continue
+                fallback = problem.best_instance_for_pair(
+                    customer_id, vendor_id, by="utility", max_cost=remaining
+                )
+                if fallback is not None:
+                    assignment.add(fallback, strict=False)
+        return assignment

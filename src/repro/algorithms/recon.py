@@ -1,0 +1,204 @@
+"""The reconciliation approach, RECON (Section III, Algorithm 1).
+
+Per vendor, the single-vendor problem (Eq. 8) -- an optional-class
+multiple-choice knapsack over the vendor's valid customers -- is solved
+with a pluggable MCKP backend (greedy LP-relaxation by default, matching
+the paper's use of an LP solver with :math:`(1-\\varepsilon)`
+guarantees).  The per-vendor solutions are unioned, which may leave some
+customers over their ad limit; the reconciliation loop then visits the
+violated customers in random order, repeatedly deletes their
+lowest-utility instance, and lets the freed vendor greedily re-spend the
+refund on other valid customers with spare capacity.  Theorem III.1
+bounds the result at :math:`(1 - \\varepsilon)\\,\\theta` of optimal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import OfflineAlgorithm
+from repro.core.assignment import AdInstance, Assignment
+from repro.core.entities import Vendor
+from repro.core.problem import MUAAProblem
+from repro.mckp.items import MCKPInstance, MCKPItem
+from repro.mckp.solvers import solve as solve_mckp
+
+_EPS = 1e-9
+
+
+class Reconciliation(OfflineAlgorithm):
+    """Algorithm 1: per-vendor MCKP + capacity-violation reconciliation.
+
+    Args:
+        mckp_method: Backend for the single-vendor problems; one of
+            :data:`repro.mckp.solvers.SOLVER_NAMES`.
+        seed: RNG seed for the random order in which violated customers
+            are reconciled (line 7 of Algorithm 1 picks randomly).
+        violation_order: Order in which violated customers are
+            reconciled -- ``"random"`` (the paper's choice),
+            ``"most-violated"`` (largest capacity excess first), or
+            ``"least-excess"`` (smallest excess first).  Exposed for
+            the reconciliation-order ablation; the guarantee of
+            Theorem III.1 holds for any order.
+
+    Raises:
+        ValueError: On an unknown violation order.
+    """
+
+    name = "RECON"
+
+    #: Accepted reconciliation orders.
+    VIOLATION_ORDERS = ("random", "most-violated", "least-excess")
+
+    def __init__(
+        self,
+        mckp_method: str = "greedy-lp",
+        seed: Optional[int] = None,
+        violation_order: str = "random",
+    ) -> None:
+        if violation_order not in self.VIOLATION_ORDERS:
+            raise ValueError(
+                f"unknown violation order {violation_order!r}; choose "
+                f"from {self.VIOLATION_ORDERS}"
+            )
+        self._mckp_method = mckp_method
+        self._seed = seed
+        self._violation_order = violation_order
+        #: Diagnostics of the last run (violations found, ads replaced).
+        self.last_stats: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Single-vendor problems (lines 2-5)
+    # ------------------------------------------------------------------
+    def _solve_single_vendor(
+        self, problem: MUAAProblem, vendor: Vendor
+    ) -> List[AdInstance]:
+        """Solve :math:`\\mathbb{M}_j` and return its chosen instances."""
+        customer_ids = problem.valid_customer_ids(vendor)
+        items: List[MCKPItem] = []
+        for customer_id in customer_ids:
+            for inst in problem.pair_instances(customer_id, vendor.vendor_id):
+                if inst.utility > 0 and inst.cost <= vendor.budget + _EPS:
+                    items.append(
+                        MCKPItem(
+                            class_id=customer_id,
+                            item_id=inst.type_id,
+                            cost=inst.cost,
+                            profit=inst.utility,
+                        )
+                    )
+        if not items:
+            return []
+        mckp = MCKPInstance.from_items(items, budget=vendor.budget)
+        solution = solve_mckp(mckp, method=self._mckp_method)
+        return [
+            problem.make_instance(customer_id, vendor.vendor_id, item.item_id)
+            for customer_id, item in solution.chosen.items()
+        ]
+
+    # ------------------------------------------------------------------
+    # Reconciliation (lines 6-11)
+    # ------------------------------------------------------------------
+    def solve(self, problem: MUAAProblem) -> Assignment:
+        rng = np.random.default_rng(self._seed)
+
+        # Mutable global view: per-customer instance lists, per-vendor
+        # spend.  Capacity may be violated here by design.
+        by_customer: Dict[int, List[AdInstance]] = {}
+        spend: Dict[int, float] = {v.vendor_id: 0.0 for v in problem.vendors}
+        assigned_pairs: Set[Tuple[int, int]] = set()
+
+        for vendor in problem.vendors:
+            for inst in self._solve_single_vendor(problem, vendor):
+                by_customer.setdefault(inst.customer_id, []).append(inst)
+                spend[inst.vendor_id] += inst.cost
+                assigned_pairs.add(inst.pair)
+
+        violated = [
+            cid
+            for cid, instances in by_customer.items()
+            if len(instances) > problem.capacities[cid]
+        ]
+        if self._violation_order == "random":
+            rng.shuffle(violated)
+        else:
+            reverse = self._violation_order == "most-violated"
+            violated.sort(
+                key=lambda cid: len(by_customer[cid])
+                - problem.capacities[cid],
+                reverse=reverse,
+            )
+        n_violations = len(violated)
+        n_replacements = 0
+
+        # Per-vendor candidate queues for the greedy re-assignment,
+        # built lazily the first time a vendor frees budget.
+        vendor_candidates: Dict[int, List[AdInstance]] = {}
+        vendor_cursor: Dict[int, int] = {}
+
+        def candidates_for(vendor_id: int) -> List[AdInstance]:
+            queue = vendor_candidates.get(vendor_id)
+            if queue is None:
+                vendor = problem.vendors_by_id[vendor_id]
+                queue = [
+                    inst
+                    for cid in problem.valid_customer_ids(vendor)
+                    for inst in problem.pair_instances(cid, vendor_id)
+                    if inst.utility > 0
+                ]
+                queue.sort(key=lambda inst: -inst.efficiency)
+                vendor_candidates[vendor_id] = queue
+                vendor_cursor[vendor_id] = 0
+            return queue
+
+        def redistribute(vendor_id: int) -> None:
+            """Line 11: greedily re-spend the vendor's freed budget."""
+            nonlocal n_replacements
+            budget = problem.budgets[vendor_id]
+            queue = candidates_for(vendor_id)
+            cursor = vendor_cursor[vendor_id]
+            while cursor < len(queue):
+                inst = queue[cursor]
+                cid = inst.customer_id
+                if (
+                    inst.pair not in assigned_pairs
+                    and spend[vendor_id] + inst.cost <= budget + _EPS
+                    and len(by_customer.get(cid, ()))
+                    < problem.capacities[cid]
+                ):
+                    by_customer.setdefault(cid, []).append(inst)
+                    spend[vendor_id] += inst.cost
+                    assigned_pairs.add(inst.pair)
+                    n_replacements += 1
+                    cursor += 1
+                    continue
+                if spend[vendor_id] + problem.min_cost > budget + _EPS:
+                    break  # no ad type is affordable any more
+                cursor += 1
+            vendor_cursor[vendor_id] = cursor
+
+        for cid in violated:
+            instances = by_customer[cid]
+            capacity = problem.capacities[cid]
+            # Line 8: sort the customer's instances by utility.
+            instances.sort(key=lambda inst: -inst.utility)
+            while len(instances) > capacity:
+                # Line 10: drop the lowest-utility instance.
+                dropped = instances.pop()
+                spend[dropped.vendor_id] -= dropped.cost
+                assigned_pairs.discard(dropped.pair)
+                # Line 11: the vendor re-spends its refund elsewhere.
+                redistribute(dropped.vendor_id)
+
+        self.last_stats = {
+            "violated_customers": float(n_violations),
+            "replacement_ads": float(n_replacements),
+        }
+
+        assignment = problem.new_assignment()
+        for instances in by_customer.values():
+            for inst in instances:
+                assignment.add(inst, strict=True)
+        return assignment

@@ -1,0 +1,289 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      -- run the full algorithm panel on a synthetic instance
+* ``figure N``  -- regenerate paper figure N's tables (3-8)
+* ``ratio``     -- measure empirical approximation/competitive ratios
+* ``calibrate`` -- print O-AFA's gamma/g calibration for a workload
+
+All commands are deterministic for a fixed ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.experiments.report import full_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Maximizing the Utility in Location-Based "
+            "Mobile Advertising' (ICDE 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the algorithm panel once")
+    demo.add_argument("--customers", type=int, default=2_000)
+    demo.add_argument("--vendors", type=int, default=150)
+    demo.add_argument("--seed", type=int, default=7)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=range(3, 9),
+                        help="figure number (3-8)")
+    figure.add_argument("--scale", type=float, default=None,
+                        help="fraction of the paper's workload size")
+    figure.add_argument("--seed", type=int, default=42)
+    figure.add_argument("--csv", type=str, default=None,
+                        help="also write the rows as CSV")
+    figure.add_argument("--json", type=str, default=None,
+                        help="also write the rows as JSON")
+
+    ratio = sub.add_parser(
+        "ratio", help="empirical ratios vs the exact optimum"
+    )
+    ratio.add_argument("--instances", type=int, default=10)
+    ratio.add_argument("--g", type=float, default=10.0)
+    ratio.add_argument("--seed", type=int, default=0)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="estimate gamma_min/gamma_max/g for a workload"
+    )
+    calibrate.add_argument("--customers", type=int, default=2_000)
+    calibrate.add_argument("--vendors", type=int, default=150)
+    calibrate.add_argument("--seed", type=int, default=7)
+
+    bounds = sub.add_parser(
+        "bounds", help="upper bounds and certified optimality gaps"
+    )
+    bounds.add_argument("--customers", type=int, default=1_000)
+    bounds.add_argument("--vendors", type=int, default=80)
+    bounds.add_argument("--seed", type=int, default=7)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run the whole evaluation section (figs 3-8)"
+    )
+    reproduce.add_argument("--scale-multiplier", type=float, default=1.0)
+    reproduce.add_argument("--seed", type=int, default=42)
+    reproduce.add_argument("--out", type=str, default=None,
+                           help="directory for the regenerated tables")
+    reproduce.add_argument(
+        "--figures", type=int, nargs="+", default=None,
+        choices=range(3, 9), help="subset of figures to run",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="print the instance card of a workload"
+    )
+    stats.add_argument("--customers", type=int, default=2_000)
+    stats.add_argument("--vendors", type=int, default=150)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument(
+        "--checkins", action="store_true",
+        help="use the check-in workload instead of the synthetic one",
+    )
+    return parser
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.validation import validate_assignment
+    from repro.datagen.config import ParameterRange, WorkloadConfig
+    from repro.datagen.synthetic import synthetic_problem
+    from repro.experiments.runner import run_panel
+
+    problem = synthetic_problem(
+        WorkloadConfig(
+            n_customers=args.customers,
+            n_vendors=args.vendors,
+            radius_range=ParameterRange(0.03, 0.06),
+            seed=args.seed,
+        )
+    )
+    results = run_panel(problem, seed=args.seed)
+    print(f"{'algorithm':10s} {'utility':>12s} {'ads':>6s} {'time':>9s}")
+    for name, result in results.items():
+        flag = "" if validate_assignment(problem, result.assignment).ok \
+            else "  INVALID"
+        print(
+            f"{name:10s} {result.total_utility:12.3f} "
+            f"{len(result.assignment):6d} {result.wall_time:8.3f}s{flag}"
+        )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import figure_by_number
+
+    runner, default_scale = figure_by_number(args.number)
+    scale = args.scale if args.scale is not None else default_scale
+    result = runner(scale=scale, seed=args.seed)
+    from repro.experiments.report import utility_chart
+
+    print(full_report(result))
+    print()
+    print(utility_chart(result))
+    if args.csv:
+        from repro.experiments.io import write_csv
+
+        write_csv(result, args.csv)
+        print(f"\nwrote {args.csv}")
+    if args.json:
+        from repro.experiments.io import write_json
+
+        write_json(result, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_ratio(args: argparse.Namespace) -> int:
+    from repro.experiments.ratios import (
+        measure_online_ratio,
+        measure_recon_ratio,
+    )
+
+    print(measure_recon_ratio(n_instances=args.instances, seed=args.seed))
+    print(
+        measure_online_ratio(
+            n_instances=args.instances, seed=args.seed, g=args.g
+        )
+    )
+    print(f"(Corollary IV.1 factor ln(g)+1 = {math.log(args.g) + 1:.2f})")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.algorithms.calibration import calibrate_from_problem
+    from repro.datagen.config import ParameterRange, WorkloadConfig
+    from repro.datagen.synthetic import synthetic_problem
+
+    problem = synthetic_problem(
+        WorkloadConfig(
+            n_customers=args.customers,
+            n_vendors=args.vendors,
+            radius_range=ParameterRange(0.03, 0.06),
+            seed=args.seed,
+        )
+    )
+    bounds = calibrate_from_problem(problem, seed=args.seed)
+    print(f"gamma_min = {bounds.gamma_min:.6f}")
+    print(f"gamma_max = {bounds.gamma_max:.6f}")
+    print(f"g         = {bounds.g:.2f}")
+    print(f"ln(g)+1   = {math.log(bounds.g) + 1:.2f} "
+          "(competitive bound factor, divide theta by it)")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.algorithms.bounds import (
+        capacity_bound,
+        combined_bound,
+        vendor_lp_bound,
+    )
+    from repro.datagen.config import ParameterRange, WorkloadConfig
+    from repro.datagen.synthetic import synthetic_problem
+    from repro.experiments.runner import run_panel
+
+    problem = synthetic_problem(
+        WorkloadConfig(
+            n_customers=args.customers,
+            n_vendors=args.vendors,
+            radius_range=ParameterRange(0.03, 0.06),
+            seed=args.seed,
+        )
+    )
+    vendor_side = vendor_lp_bound(problem)
+    customer_side = capacity_bound(problem)
+    bound = combined_bound(problem)
+    print(f"vendor-LP bound   (budgets tight):    {vendor_side:12.3f}")
+    print(f"capacity bound    (capacities tight): {customer_side:12.3f}")
+    print(f"combined bound:                       {bound:12.3f}")
+    results = run_panel(
+        problem, algorithms=("GREEDY", "RECON", "ONLINE"), seed=args.seed
+    )
+    print("\ncertified fractions of the optimum:")
+    for name, result in results.items():
+        print(f"  {name:8s} >= {result.total_utility / bound:6.1%} "
+              f"(utility {result.total_utility:.3f})")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.datagen.config import ParameterRange, WorkloadConfig
+    from repro.datagen.stats import instance_card
+
+    if args.checkins:
+        from repro.datagen.checkins import (
+            problem_from_checkins,
+            simulate_checkins,
+        )
+
+        feed = simulate_checkins(
+            n_users=max(50, args.customers // 10),
+            n_venues=max(100, args.vendors * 3),
+            n_checkins=max(2_000, args.customers * 4),
+            seed=args.seed,
+        )
+        problem = problem_from_checkins(
+            feed,
+            max_customers=args.customers,
+            max_vendors=args.vendors,
+            seed=args.seed,
+        )
+    else:
+        from repro.datagen.synthetic import synthetic_problem
+
+        problem = synthetic_problem(
+            WorkloadConfig(
+                n_customers=args.customers,
+                n_vendors=args.vendors,
+                radius_range=ParameterRange(0.03, 0.06),
+                seed=args.seed,
+            )
+        )
+    print(instance_card(problem))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.paper import ALL_FIGURES, reproduce_all
+
+    report = reproduce_all(
+        scale_multiplier=args.scale_multiplier,
+        seed=args.seed,
+        figures=tuple(args.figures) if args.figures else ALL_FIGURES,
+        output_dir=args.out,
+        progress=print,
+    )
+    print()
+    print(report.summary())
+    if report.output_dir is not None:
+        print(f"\ntables written to {report.output_dir}/")
+    return 0 if report.all_passed else 1
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "figure": _cmd_figure,
+    "ratio": _cmd_ratio,
+    "calibrate": _cmd_calibrate,
+    "bounds": _cmd_bounds,
+    "stats": _cmd_stats,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

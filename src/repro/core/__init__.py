@@ -1,0 +1,27 @@
+"""Core MUAA model: entities, assignments, the problem, and validation."""
+
+from repro.core.assignment import AdInstance, Assignment, union_unchecked
+from repro.core.entities import AdType, Customer, Vendor, distance
+from repro.core.problem import MUAAProblem
+from repro.core.reduction import knapsack_brute_force, knapsack_to_muaa
+from repro.core.serialize import freeze, load_problem, save_problem
+from repro.core.validation import TOLERANCE, ValidationReport, validate_assignment
+
+__all__ = [
+    "knapsack_brute_force",
+    "knapsack_to_muaa",
+    "freeze",
+    "load_problem",
+    "save_problem",
+    "AdInstance",
+    "Assignment",
+    "union_unchecked",
+    "AdType",
+    "Customer",
+    "Vendor",
+    "distance",
+    "MUAAProblem",
+    "TOLERANCE",
+    "ValidationReport",
+    "validate_assignment",
+]

@@ -1,0 +1,136 @@
+"""Entity model for the MUAA problem: customers, vendors, and ad types.
+
+These mirror Definitions 1-3 of the paper.  Entities are immutable value
+objects; all mutable bookkeeping (budget spent so far, ads received so
+far) lives in :class:`~repro.core.assignment.Assignment` and
+:class:`~repro.stream.simulator.BudgetState` instead, so a single problem
+instance can be solved by many algorithms without copying.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidEntityError
+
+
+@dataclass(frozen=True)
+class AdType:
+    """An ad format the broker can use (Definition 3).
+
+    Attributes:
+        type_id: Index of the ad type within the catalogue.
+        name: Human-readable label, e.g. ``"text-link"``.
+        cost: Price :math:`c_k` charged against the vendor budget per ad.
+        effectiveness: Utility effectiveness :math:`\\beta_k \\in (0, 1]`,
+            the probability that a viewed ad leads to an action.
+    """
+
+    type_id: int
+    name: str
+    cost: float
+    effectiveness: float
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise InvalidEntityError(
+                f"ad type {self.name!r}: cost must be positive, got {self.cost}"
+            )
+        if not 0 < self.effectiveness <= 1:
+            raise InvalidEntityError(
+                f"ad type {self.name!r}: effectiveness must be in (0, 1], "
+                f"got {self.effectiveness}"
+            )
+
+
+@dataclass(frozen=True)
+class Customer:
+    """A spatial customer (Definition 1).
+
+    Attributes:
+        customer_id: Index of the customer within the problem instance.
+        location: ``(x, y)`` position at the customer's timestamp.
+        capacity: Maximum number :math:`a_i` of ads the customer accepts.
+        view_probability: Probability :math:`p_i` of clicking/checking a
+            received ad.
+        interests: Interest vector :math:`\\psi_i` over the tag universe
+            (entries in ``[0, 1]``); ``None`` when utilities are given
+            directly by a tabular model.
+        arrival_time: Timestamp :math:`\\varphi` in hours ``[0, 24)`` at
+            which the customer appears.  In the online setting customers
+            are processed in arrival-time order.
+    """
+
+    customer_id: int
+    location: Tuple[float, float]
+    capacity: int
+    view_probability: float
+    interests: Optional[np.ndarray] = field(default=None, repr=False)
+    arrival_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise InvalidEntityError(
+                f"customer {self.customer_id}: capacity must be >= 0, "
+                f"got {self.capacity}"
+            )
+        if not 0 <= self.view_probability <= 1:
+            raise InvalidEntityError(
+                f"customer {self.customer_id}: view probability must be in "
+                f"[0, 1], got {self.view_probability}"
+            )
+        if not all(math.isfinite(c) for c in self.location):
+            raise InvalidEntityError(
+                f"customer {self.customer_id}: non-finite location "
+                f"{self.location}"
+            )
+
+
+@dataclass(frozen=True)
+class Vendor:
+    """A spatial vendor (Definition 2).
+
+    Attributes:
+        vendor_id: Index of the vendor within the problem instance.
+        location: ``(x, y)`` position of the vendor (static).
+        radius: Radius :math:`r_j` of the circular area within which the
+            vendor wants its ads delivered.
+        budget: Total budget :math:`B_j` the vendor deposited with the
+            broker.
+        tags: Tag vector :math:`\\psi_j` over the tag universe; ``None``
+            when utilities are given directly by a tabular model.
+    """
+
+    vendor_id: int
+    location: Tuple[float, float]
+    radius: float
+    budget: float
+    tags: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise InvalidEntityError(
+                f"vendor {self.vendor_id}: radius must be >= 0, "
+                f"got {self.radius}"
+            )
+        if self.budget < 0:
+            raise InvalidEntityError(
+                f"vendor {self.vendor_id}: budget must be >= 0, "
+                f"got {self.budget}"
+            )
+        if not all(math.isfinite(c) for c in self.location):
+            raise InvalidEntityError(
+                f"vendor {self.vendor_id}: non-finite location "
+                f"{self.location}"
+            )
+
+
+def distance(customer: Customer, vendor: Vendor) -> float:
+    """Euclidean distance :math:`d(u_i, v_j)` between a customer and vendor."""
+    dx = customer.location[0] - vendor.location[0]
+    dy = customer.location[1] - vendor.location[1]
+    return math.hypot(dx, dy)

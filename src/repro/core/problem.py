@@ -1,0 +1,302 @@
+"""The MUAA problem instance (Definition 5).
+
+:class:`MUAAProblem` bundles customers, vendors, the ad-type catalogue
+and a utility model, and provides the derived quantities every
+algorithm needs: valid-pair range queries (via the spatial grid index),
+per-instance utilities and budget efficiencies, and fresh
+constraint-tracking assignment sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.assignment import AdInstance, Assignment
+from repro.core.entities import AdType, Customer, Vendor, distance
+from repro.exceptions import InvalidProblemError
+from repro.spatial.grid_index import GridIndex
+from repro.spatial.queries import (
+    build_customer_index,
+    build_vendor_index,
+    valid_customers,
+    valid_vendors,
+)
+from repro.utility.model import UtilityModel
+
+
+class MUAAProblem:
+    """A maximum-utility ad assignment instance.
+
+    Args:
+        customers: The spatial customers :math:`U_\\varphi`.
+        vendors: The spatial vendors :math:`V_\\varphi`.
+        ad_types: The ad-type catalogue :math:`T`.
+        utility_model: Evaluator for Eq. 4 utilities.
+        pair_validator: Optional override of the range constraint: a
+            predicate on ``(customer, vendor)`` replacing the geometric
+            :math:`d(u_i, v_j) \\le r_j` check.  Used when validity is
+            given by external data (e.g. the paper's worked example,
+            whose distances come from a table rather than coordinates).
+            When set, range queries fall back to exhaustive scans, so
+            this is intended for small instances.
+        spatial_backend: ``"grid"`` (default) or ``"kdtree"`` -- the
+            index used for customer-side range queries.  Both are
+            exact; the grid is tuned by the max vendor radius, the
+            KD-tree is parameter-free (see
+            ``benchmarks/bench_spatial_backends.py``).
+
+    Raises:
+        InvalidProblemError: On duplicate ids, an empty catalogue, or
+            an unknown spatial backend.
+    """
+
+    def __init__(
+        self,
+        customers: Sequence[Customer],
+        vendors: Sequence[Vendor],
+        ad_types: Sequence[AdType],
+        utility_model: UtilityModel,
+        pair_validator: Optional[
+            Callable[[Customer, Vendor], bool]
+        ] = None,
+        spatial_backend: str = "grid",
+    ) -> None:
+        if spatial_backend not in ("grid", "kdtree"):
+            raise InvalidProblemError(
+                f"unknown spatial backend {spatial_backend!r}"
+            )
+        if not ad_types:
+            raise InvalidProblemError("a MUAA problem needs at least one ad type")
+        self.customers: List[Customer] = list(customers)
+        self.vendors: List[Vendor] = list(vendors)
+        self.ad_types: List[AdType] = list(ad_types)
+        self.utility_model = utility_model
+
+        self.customers_by_id: Dict[int, Customer] = {
+            c.customer_id: c for c in self.customers
+        }
+        self.vendors_by_id: Dict[int, Vendor] = {
+            v.vendor_id: v for v in self.vendors
+        }
+        self.ad_types_by_id: Dict[int, AdType] = {
+            t.type_id: t for t in self.ad_types
+        }
+        if len(self.customers_by_id) != len(self.customers):
+            raise InvalidProblemError("duplicate customer ids")
+        if len(self.vendors_by_id) != len(self.vendors):
+            raise InvalidProblemError("duplicate vendor ids")
+        if len(self.ad_types_by_id) != len(self.ad_types):
+            raise InvalidProblemError("duplicate ad type ids")
+
+        self.capacities: Dict[int, int] = {
+            c.customer_id: c.capacity for c in self.customers
+        }
+        self.budgets: Dict[int, float] = {
+            v.vendor_id: v.budget for v in self.vendors
+        }
+        self.max_radius: float = max((v.radius for v in self.vendors), default=0.0)
+        #: Cheapest ad price; a vendor below this cannot afford any ad.
+        self.min_cost: float = min(t.cost for t in self.ad_types)
+
+        self._pair_validator = pair_validator
+        self._spatial_backend = spatial_backend
+        self._customer_index = None
+        self._vendor_index: Optional[GridIndex] = None
+
+    # ------------------------------------------------------------------
+    # Spatial queries (constraint 1 of Definition 5)
+    # ------------------------------------------------------------------
+    @property
+    def customer_index(self):
+        """Spatial index over customer locations (built lazily)."""
+        if self._customer_index is None:
+            if self._spatial_backend == "kdtree":
+                from repro.spatial.kdtree import KDTree
+
+                self._customer_index = KDTree(
+                    [(c.customer_id, c.location) for c in self.customers]
+                )
+            else:
+                cell = self.max_radius if self.max_radius > 0 else 1.0
+                self._customer_index = build_customer_index(
+                    self.customers, cell
+                )
+        return self._customer_index
+
+    @property
+    def vendor_index(self) -> GridIndex:
+        """Grid index over vendor locations (built lazily)."""
+        if self._vendor_index is None:
+            self._vendor_index = build_vendor_index(self.vendors)
+        return self._vendor_index
+
+    def valid_customer_ids(self, vendor: Vendor) -> List[int]:
+        """Customers inside ``vendor``'s advertising radius."""
+        if self._pair_validator is not None:
+            return [
+                c.customer_id for c in self.customers
+                if self._pair_validator(c, vendor)
+            ]
+        return valid_customers(vendor, self.customer_index)
+
+    def valid_vendor_ids(self, customer: Customer) -> List[int]:
+        """Vendors whose advertising area contains ``customer``."""
+        if self._pair_validator is not None:
+            return [
+                v.vendor_id for v in self.vendors
+                if self._pair_validator(customer, v)
+            ]
+        return valid_vendors(
+            customer, self.vendors_by_id, self.vendor_index, self.max_radius
+        )
+
+    def is_valid_pair(self, customer: Customer, vendor: Vendor) -> bool:
+        """Range check :math:`d(u_i, v_j) \\le r_j` (or the custom
+        validator when one was supplied)."""
+        if self._pair_validator is not None:
+            return self._pair_validator(customer, vendor)
+        return distance(customer, vendor) <= vendor.radius
+
+    # ------------------------------------------------------------------
+    # Utilities and candidate enumeration
+    # ------------------------------------------------------------------
+    def utility(self, customer_id: int, vendor_id: int, type_id: int) -> float:
+        """Utility :math:`\\lambda_{ijk}` by entity ids."""
+        return self.utility_model.utility(
+            self.customers_by_id[customer_id],
+            self.vendors_by_id[vendor_id],
+            self.ad_types_by_id[type_id],
+        )
+
+    def efficiency(self, customer_id: int, vendor_id: int, type_id: int) -> float:
+        """Budget efficiency :math:`\\gamma_{ijk}` by entity ids."""
+        ad_type = self.ad_types_by_id[type_id]
+        return self.utility(customer_id, vendor_id, type_id) / ad_type.cost
+
+    def make_instance(
+        self, customer_id: int, vendor_id: int, type_id: int
+    ) -> AdInstance:
+        """Build an :class:`AdInstance` with its evaluated utility/cost."""
+        ad_type = self.ad_types_by_id[type_id]
+        return AdInstance(
+            customer_id=customer_id,
+            vendor_id=vendor_id,
+            type_id=type_id,
+            utility=self.utility(customer_id, vendor_id, type_id),
+            cost=ad_type.cost,
+        )
+
+    def pair_instances(self, customer_id: int, vendor_id: int) -> List[AdInstance]:
+        """All ad-type choices for one valid pair, utility pre-evaluated."""
+        customer = self.customers_by_id[customer_id]
+        vendor = self.vendors_by_id[vendor_id]
+        if self.utility_model.type_sensitive:
+            return [
+                AdInstance(
+                    customer_id=customer_id,
+                    vendor_id=vendor_id,
+                    type_id=t.type_id,
+                    utility=self.utility_model.utility(customer, vendor, t),
+                    cost=t.cost,
+                )
+                for t in self.ad_types
+            ]
+        base = self.utility_model.pair_base(customer, vendor)
+        return [
+            AdInstance(
+                customer_id=customer_id,
+                vendor_id=vendor_id,
+                type_id=t.type_id,
+                utility=base * t.effectiveness,
+                cost=t.cost,
+            )
+            for t in self.ad_types
+        ]
+
+    def best_instance_for_pair(
+        self,
+        customer_id: int,
+        vendor_id: int,
+        by: str = "efficiency",
+        max_cost: Optional[float] = None,
+    ) -> Optional[AdInstance]:
+        """The "best" ad type for a pair (line 4 of Algorithm 2).
+
+        Args:
+            customer_id: The customer.
+            vendor_id: The vendor.
+            by: ``"efficiency"`` ranks by :math:`\\gamma_{ijk}` (the
+                O-AFA criterion); ``"utility"`` ranks by
+                :math:`\\lambda_{ijk}`.
+            max_cost: When given, only ad types affordable within this
+                remaining budget are considered.
+
+        Returns:
+            The best instance, or ``None`` when no type is affordable.
+        """
+        choices = self.pair_instances(customer_id, vendor_id)
+        if max_cost is not None:
+            choices = [c for c in choices if c.cost <= max_cost + 1e-9]
+        if not choices:
+            return None
+        if by == "efficiency":
+            return max(choices, key=lambda inst: inst.efficiency)
+        if by == "utility":
+            return max(choices, key=lambda inst: inst.utility)
+        raise ValueError(f"unknown ranking criterion {by!r}")
+
+    def candidate_instances(self) -> Iterator[AdInstance]:
+        """Every valid ad instance :math:`\\langle u_i, v_j, \\tau_k \\rangle`.
+
+        Enumerates range-valid pairs through the vendor-side index, so
+        the cost is proportional to the number of valid pairs rather
+        than :math:`m \\cdot n`.
+        """
+        for vendor in self.vendors:
+            for customer_id in self.valid_customer_ids(vendor):
+                yield from self.pair_instances(customer_id, vendor.vendor_id)
+
+    def valid_pairs(self) -> Iterator[Tuple[int, int]]:
+        """Every range-valid ``(customer_id, vendor_id)`` pair."""
+        for vendor in self.vendors:
+            for customer_id in self.valid_customer_ids(vendor):
+                yield (customer_id, vendor.vendor_id)
+
+    def warm_utilities(self) -> int:
+        """Evaluate (and cache) the pair base of every valid pair.
+
+        Utility evaluation (Eqs. 4-5) is shared preprocessing for all
+        algorithms; warming it up front makes algorithm timings compare
+        assignment work rather than who touched a pair first.
+
+        Returns:
+            The number of valid pairs evaluated.
+        """
+        count = 0
+        for customer_id, vendor_id in self.valid_pairs():
+            self.utility_model.pair_base(
+                self.customers_by_id[customer_id],
+                self.vendors_by_id[vendor_id],
+            )
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Assignments
+    # ------------------------------------------------------------------
+    def new_assignment(self) -> Assignment:
+        """A fresh assignment tracking this problem's capacities/budgets."""
+        return Assignment(capacities=self.capacities, budgets=self.budgets)
+
+    def theta(self) -> float:
+        """The bound factor :math:`\\theta = \\min_i a_i / n_i^c` of
+        Theorems III.1/IV.1, where :math:`n_i^c` is the larger of the
+        number of valid vendors of :math:`u_i` and the capacity
+        :math:`a_i`."""
+        theta = 1.0
+        for customer in self.customers:
+            n_valid = len(self.valid_vendor_ids(customer))
+            n_c = max(n_valid, customer.capacity)
+            if n_c > 0 and customer.capacity > 0:
+                theta = min(theta, customer.capacity / n_c)
+        return theta

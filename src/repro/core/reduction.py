@@ -1,0 +1,140 @@
+"""The Theorem II.1 reduction: 0-1 knapsack -> MUAA, as executable code.
+
+The paper proves MUAA NP-hard by mapping a knapsack instance to a MUAA
+instance with one customer, one vendor, and one ad type per item: ad
+costs are the item weights, utilities the item values, the vendor
+budget the knapsack capacity, and the customer's ad limit the number of
+items (so it never binds).  This module implements that mapping so the
+reduction is *checkable*: solving the reduced MUAA with any exact MUAA
+solver solves the original knapsack (see
+``tests/core/test_reduction.py``).
+
+One wrinkle makes the mapping executable rather than merely prose: the
+paper assigns arbitrary utilities :math:`\\lambda_{00i} = x_i` directly,
+but Definition 5's pair-uniqueness constraint allows only one ad per
+customer-vendor pair.  The standard fix (also implicit in the paper's
+"n valid ad assignment instances") is one *customer clone* per item;
+each clone accepts one ad and only item i's type has positive utility
+for clone i, realised here with a tabular utility model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Set, Tuple
+
+from repro.core.assignment import Assignment
+from repro.core.entities import AdType, Customer, Vendor
+from repro.core.problem import MUAAProblem
+from repro.exceptions import InvalidProblemError
+from repro.utility.model import TabularUtilityModel
+
+
+def knapsack_to_muaa(
+    values: Sequence[float],
+    weights: Sequence[float],
+    capacity: float,
+) -> Tuple[MUAAProblem, Callable[[Assignment], Set[int]]]:
+    """Map a 0-1 knapsack instance to an equivalent MUAA instance.
+
+    Args:
+        values: Item values :math:`x_i > 0`.
+        weights: Item weights :math:`w_i > 0`, aligned with ``values``.
+        capacity: Knapsack capacity :math:`W \\ge 0`.
+
+    Returns:
+        ``(problem, decode)`` where ``decode`` maps any MUAA assignment
+        back to the selected item indices.  By construction the optimal
+        MUAA utility equals the optimal knapsack value.
+
+    Raises:
+        InvalidProblemError: On misaligned inputs or non-positive
+            values/weights.
+    """
+    if len(values) != len(weights):
+        raise InvalidProblemError(
+            f"{len(values)} values but {len(weights)} weights"
+        )
+    if any(v <= 0 for v in values) or any(w <= 0 for w in weights):
+        raise InvalidProblemError("values and weights must be positive")
+    n = len(values)
+
+    # One ad type per item: cost = weight.  Effectiveness is a dummy
+    # (the tabular preferences carry the actual values); it must only
+    # be positive and <= 1.
+    ad_types = [
+        AdType(type_id=i, name=f"item-{i}", cost=float(weights[i]),
+               effectiveness=1.0)
+        for i in range(n)
+    ]
+    # One customer clone per item, all at the vendor's location.
+    customers = [
+        Customer(customer_id=i, location=(0.0, 0.0), capacity=1,
+                 view_probability=1.0)
+        for i in range(n)
+    ]
+    vendor = Vendor(vendor_id=0, location=(0.0, 0.0), radius=1.0,
+                    budget=float(capacity))
+
+    # Clone i values only its own item's type: utility(i, 0, k) equals
+    # values[i] when k == i and 0 otherwise (the item-locked model
+    # below), so selecting item i's ad for clone i is the only way to
+    # realise value x_i, at budget cost w_i -- the knapsack decision.
+    preferences = {(i, 0): float(values[i]) for i in range(n)}
+    distances = {(i, 0): 1.0 for i in range(n)}
+    model = _ItemLockedUtilityModel(preferences, distances)
+    problem = MUAAProblem(
+        customers=customers,
+        vendors=[vendor],
+        ad_types=ad_types,
+        utility_model=model,
+    )
+
+    def decode(assignment: Assignment) -> Set[int]:
+        """Selected knapsack items from a MUAA assignment."""
+        return {
+            inst.customer_id
+            for inst in assignment
+            if inst.type_id == inst.customer_id and inst.utility > 0
+        }
+
+    return problem, decode
+
+
+class _ItemLockedUtilityModel(TabularUtilityModel):
+    """Tabular model where clone i only values ad type i.
+
+    Overrides Eq. 4's type factor: utility is ``values[i]`` for the
+    matching type and 0 otherwise, which is exactly the paper's
+    ":math:`\\lambda_{00i} = x_i`" assignment expressed through the
+    model interface.
+    """
+
+    type_sensitive = True
+
+    def utility(self, customer, vendor, ad_type):
+        if ad_type.type_id != customer.customer_id:
+            return 0.0
+        return self.pair_base(customer, vendor)
+
+
+def knapsack_brute_force(
+    values: Sequence[float],
+    weights: Sequence[float],
+    capacity: float,
+) -> Tuple[float, Set[int]]:
+    """Reference exhaustive knapsack solver (for the equivalence test)."""
+    n = len(values)
+    best_value = 0.0
+    best_set: Set[int] = set()
+    for mask in range(1 << n):
+        weight = value = 0.0
+        chosen: List[int] = []
+        for i in range(n):
+            if mask >> i & 1:
+                weight += weights[i]
+                value += values[i]
+                chosen.append(i)
+        if weight <= capacity + 1e-9 and value > best_value:
+            best_value = value
+            best_set = set(chosen)
+    return best_value, best_set

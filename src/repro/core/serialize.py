@@ -1,0 +1,241 @@
+"""Serialisation of MUAA instances to portable JSON.
+
+Two use cases:
+
+* **Round-trip** a tabular-utility instance exactly (test fixtures,
+  regression corpora, sharing a failing case).
+* **Freeze** any instance -- including taxonomy-utility ones, whose
+  vectors and activity curves do not serialise -- into an equivalent
+  tabular instance: every valid pair's type-independent utility base is
+  evaluated once and stored, so all algorithms produce identical
+  results on the frozen copy.
+
+The JSON schema is versioned; interest/tag vectors are *not* stored
+(they are inputs to the utility model, which freezing replaces).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Set, Tuple, Union
+
+from repro.core.entities import AdType, Customer, Vendor
+from repro.core.problem import MUAAProblem
+from repro.exceptions import DataFormatError
+from repro.utility.model import TabularUtilityModel
+
+SCHEMA_VERSION = 1
+
+
+def freeze(problem: MUAAProblem) -> MUAAProblem:
+    """An equivalent instance with tabulated utilities.
+
+    The frozen instance stores, per valid pair, a preference value that
+    reproduces the original pair base exactly (distance is pinned to 1
+    and the preference absorbs ``base / p_i``); pair validity is pinned
+    to the original's valid-pair set, so custom validators survive.
+
+    Customers with zero view probability cannot have their base encoded
+    this way, but their base is necessarily irrelevant (Eq. 4 multiplies
+    by :math:`p_i`), so their preference is stored as 0.
+    """
+    preferences: Dict[Tuple[int, int], float] = {}
+    valid_pairs: Set[Tuple[int, int]] = set()
+    for customer_id, vendor_id in problem.valid_pairs():
+        valid_pairs.add((customer_id, vendor_id))
+        customer = problem.customers_by_id[customer_id]
+        vendor = problem.vendors_by_id[vendor_id]
+        base = problem.utility_model.pair_base(customer, vendor)
+        if customer.view_probability > 0:
+            preferences[(customer_id, vendor_id)] = (
+                base / customer.view_probability
+            )
+        else:
+            preferences[(customer_id, vendor_id)] = 0.0
+    distances = {pair: 1.0 for pair in preferences}
+    customers = [
+        Customer(
+            customer_id=c.customer_id,
+            location=c.location,
+            capacity=c.capacity,
+            view_probability=c.view_probability,
+            arrival_time=c.arrival_time,
+        )
+        for c in problem.customers
+    ]
+    vendors = [
+        Vendor(
+            vendor_id=v.vendor_id,
+            location=v.location,
+            radius=v.radius,
+            budget=v.budget,
+        )
+        for v in problem.vendors
+    ]
+    return MUAAProblem(
+        customers=customers,
+        vendors=vendors,
+        ad_types=problem.ad_types,
+        utility_model=TabularUtilityModel(
+            preferences=preferences, distances=distances
+        ),
+        pair_validator=lambda c, v: (c.customer_id, v.vendor_id)
+        in valid_pairs,
+    )
+
+
+def problem_to_dict(problem: MUAAProblem) -> dict:
+    """Serialise a tabular-utility instance to a JSON-ready dict.
+
+    Raises:
+        DataFormatError: If the utility model is not tabular (call
+            :func:`freeze` first).
+    """
+    model = problem.utility_model
+    if not isinstance(model, TabularUtilityModel):
+        raise DataFormatError(
+            "only tabular-utility problems serialise directly; "
+            "freeze(problem) first"
+        )
+    valid_pairs = sorted(problem.valid_pairs())
+    return {
+        "version": SCHEMA_VERSION,
+        "customers": [
+            {
+                "id": c.customer_id,
+                "location": list(c.location),
+                "capacity": c.capacity,
+                "view_probability": c.view_probability,
+                "arrival_time": c.arrival_time,
+            }
+            for c in problem.customers
+        ],
+        "vendors": [
+            {
+                "id": v.vendor_id,
+                "location": list(v.location),
+                "radius": v.radius,
+                "budget": v.budget,
+            }
+            for v in problem.vendors
+        ],
+        "ad_types": [
+            {
+                "id": t.type_id,
+                "name": t.name,
+                "cost": t.cost,
+                "effectiveness": t.effectiveness,
+            }
+            for t in problem.ad_types
+        ],
+        "utility": {
+            "kind": "tabular",
+            "preferences": [
+                [i, j, value]
+                for (i, j), value in sorted(model._preferences.items())
+            ],
+            "distances": (
+                [
+                    [i, j, value]
+                    for (i, j), value in sorted(model._distances.items())
+                ]
+                if model._distances is not None
+                else None
+            ),
+            "default_preference": model._default,
+        },
+        "valid_pairs": [[i, j] for i, j in valid_pairs],
+    }
+
+
+def problem_from_dict(document: dict) -> MUAAProblem:
+    """Reconstruct an instance from :func:`problem_to_dict` output.
+
+    Raises:
+        DataFormatError: On schema mismatches.
+    """
+    try:
+        if document["version"] != SCHEMA_VERSION:
+            raise DataFormatError(
+                f"unsupported schema version {document['version']}"
+            )
+        customers = [
+            Customer(
+                customer_id=entry["id"],
+                location=tuple(entry["location"]),
+                capacity=entry["capacity"],
+                view_probability=entry["view_probability"],
+                arrival_time=entry["arrival_time"],
+            )
+            for entry in document["customers"]
+        ]
+        vendors = [
+            Vendor(
+                vendor_id=entry["id"],
+                location=tuple(entry["location"]),
+                radius=entry["radius"],
+                budget=entry["budget"],
+            )
+            for entry in document["vendors"]
+        ]
+        ad_types = [
+            AdType(
+                type_id=entry["id"],
+                name=entry["name"],
+                cost=entry["cost"],
+                effectiveness=entry["effectiveness"],
+            )
+            for entry in document["ad_types"]
+        ]
+        utility = document["utility"]
+        if utility["kind"] != "tabular":
+            raise DataFormatError(
+                f"unsupported utility kind {utility['kind']!r}"
+            )
+        model = TabularUtilityModel(
+            preferences={
+                (i, j): value for i, j, value in utility["preferences"]
+            },
+            distances=(
+                {(i, j): value for i, j, value in utility["distances"]}
+                if utility["distances"] is not None
+                else None
+            ),
+            default_preference=utility["default_preference"],
+        )
+        validator = None
+        if document.get("valid_pairs") is not None:
+            valid_pairs = {(i, j) for i, j in document["valid_pairs"]}
+            validator = lambda c, v: (  # noqa: E731
+                (c.customer_id, v.vendor_id) in valid_pairs
+            )
+        return MUAAProblem(
+            customers=customers,
+            vendors=vendors,
+            ad_types=ad_types,
+            utility_model=model,
+            pair_validator=validator,
+        )
+    except (KeyError, TypeError) as exc:
+        raise DataFormatError(f"malformed problem document: {exc}") from exc
+
+
+def save_problem(problem: MUAAProblem, path: Union[str, Path]) -> None:
+    """Serialise to a JSON file (tabular instances only; freeze first)."""
+    Path(path).write_text(
+        json.dumps(problem_to_dict(problem)), encoding="utf-8"
+    )
+
+
+def load_problem(path: Union[str, Path]) -> MUAAProblem:
+    """Load an instance saved by :func:`save_problem`.
+
+    Raises:
+        DataFormatError: On unreadable or malformed documents.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataFormatError(f"{path}: {exc}") from exc
+    return problem_from_dict(document)

@@ -1,0 +1,105 @@
+"""Full feasibility validation of assignments against a MUAA problem.
+
+:class:`~repro.core.assignment.Assignment` enforces capacity, budget and
+pair-uniqueness incrementally, but not the spatial range constraint and
+not consistency of the recorded utilities/costs.  This module checks
+everything, and is used in tests and as a post-condition on every
+algorithm's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.assignment import Assignment
+from repro.core.problem import MUAAProblem
+
+#: Float tolerance for budget and utility comparisons.
+TOLERANCE = 1e-6
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating an assignment.
+
+    Attributes:
+        violations: Human-readable description of each violation found.
+    """
+
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was found."""
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def validate_assignment(
+    problem: MUAAProblem, assignment: Assignment
+) -> ValidationReport:
+    """Check all four constraints of Definition 5 plus value consistency.
+
+    Returns:
+        A report listing every violation (empty when feasible).
+    """
+    report = ValidationReport()
+    ads_per_customer = {}
+    spend_per_vendor = {}
+    seen_pairs = set()
+
+    for instance in assignment:
+        cid, vid, tid = instance.customer_id, instance.vendor_id, instance.type_id
+        if cid not in problem.customers_by_id:
+            report.violations.append(f"unknown customer {cid}")
+            continue
+        if vid not in problem.vendors_by_id:
+            report.violations.append(f"unknown vendor {vid}")
+            continue
+        if tid not in problem.ad_types_by_id:
+            report.violations.append(f"unknown ad type {tid}")
+            continue
+
+        if instance.pair in seen_pairs:
+            report.violations.append(f"duplicate pair {instance.pair}")
+        seen_pairs.add(instance.pair)
+
+        customer = problem.customers_by_id[cid]
+        vendor = problem.vendors_by_id[vid]
+        if not problem.is_valid_pair(customer, vendor):
+            report.violations.append(
+                f"pair {instance.pair}: customer outside vendor radius"
+            )
+
+        expected_utility = problem.utility(cid, vid, tid)
+        if abs(instance.utility - expected_utility) > TOLERANCE:
+            report.violations.append(
+                f"pair {instance.pair}: recorded utility {instance.utility} "
+                f"!= model utility {expected_utility}"
+            )
+        expected_cost = problem.ad_types_by_id[tid].cost
+        if abs(instance.cost - expected_cost) > TOLERANCE:
+            report.violations.append(
+                f"pair {instance.pair}: recorded cost {instance.cost} "
+                f"!= catalogue cost {expected_cost}"
+            )
+
+        ads_per_customer[cid] = ads_per_customer.get(cid, 0) + 1
+        spend_per_vendor[vid] = spend_per_vendor.get(vid, 0.0) + instance.cost
+
+    for cid, count in ads_per_customer.items():
+        capacity = problem.capacities.get(cid, 0)
+        if count > capacity:
+            report.violations.append(
+                f"customer {cid}: {count} ads exceed capacity {capacity}"
+            )
+    for vid, spend in spend_per_vendor.items():
+        budget = problem.budgets.get(vid, 0.0)
+        if spend > budget + TOLERANCE:
+            report.violations.append(
+                f"vendor {vid}: spend {spend} exceeds budget {budget}"
+            )
+    return report

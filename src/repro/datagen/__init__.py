@@ -1,0 +1,59 @@
+"""Workload generation: configs, synthetic data, check-ins, and loaders."""
+
+from repro.datagen.checkins import (
+    MIN_VENUE_CHECKINS,
+    CheckinDataset,
+    CheckinRecord,
+    problem_from_checkins,
+    simulate_checkins,
+)
+from repro.datagen.config import (
+    BUDGET_SWEEP,
+    CAPACITY_SWEEP,
+    CUSTOMER_COUNT_SWEEP,
+    DEFAULTS,
+    PROBABILITY_SWEEP,
+    RADIUS_SWEEP,
+    VENDOR_COUNT_SWEEP,
+    ParameterRange,
+    WorkloadConfig,
+    default_ad_types,
+)
+from repro.datagen.estimation import (
+    AdLogRecord,
+    mle_view_probabilities,
+    simulate_ad_log,
+    smoothed_view_probabilities,
+)
+from repro.datagen.loader import load_foursquare_tsv
+from repro.datagen.stats import InstanceStats, instance_card, instance_stats
+from repro.datagen.synthetic import synthetic_problem
+from repro.datagen.tabular import random_tabular_problem
+
+__all__ = [
+    "MIN_VENUE_CHECKINS",
+    "CheckinDataset",
+    "CheckinRecord",
+    "problem_from_checkins",
+    "simulate_checkins",
+    "BUDGET_SWEEP",
+    "CAPACITY_SWEEP",
+    "CUSTOMER_COUNT_SWEEP",
+    "DEFAULTS",
+    "PROBABILITY_SWEEP",
+    "RADIUS_SWEEP",
+    "VENDOR_COUNT_SWEEP",
+    "ParameterRange",
+    "WorkloadConfig",
+    "default_ad_types",
+    "load_foursquare_tsv",
+    "synthetic_problem",
+    "random_tabular_problem",
+    "AdLogRecord",
+    "mle_view_probabilities",
+    "simulate_ad_log",
+    "smoothed_view_probabilities",
+    "InstanceStats",
+    "instance_card",
+    "instance_stats",
+]

@@ -1,0 +1,121 @@
+"""Workload statistics: one-look "instance cards" for MUAA problems.
+
+Knowing whether budgets or capacities bind, how many vendors a typical
+customer sees, and how skewed the efficiency distribution is explains
+most algorithm behaviour differences; this module computes those
+numbers and renders them as a small text card (used by the examples and
+handy when debugging an experiment configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.problem import MUAAProblem
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """Summary statistics of one MUAA instance.
+
+    Attributes:
+        n_customers: Number of customers m.
+        n_vendors: Number of vendors n.
+        n_valid_pairs: Range-valid customer-vendor pairs.
+        mean_valid_vendors: Mean in-range vendors per customer.
+        mean_valid_customers: Mean in-range customers per vendor.
+        total_budget: Sum of vendor budgets.
+        total_capacity: Sum of customer capacities.
+        max_affordable_ads: Total budget divided by the cheapest ad
+            price (a hard ceiling on assignment size).
+        positive_pair_fraction: Fraction of valid pairs with positive
+            utility.
+        efficiency_quantiles: (5%, 50%, 95%) of positive efficiencies,
+            or ``None`` when there are none.
+        theta: The Theorem III.1 factor of the instance.
+    """
+
+    n_customers: int
+    n_vendors: int
+    n_valid_pairs: int
+    mean_valid_vendors: float
+    mean_valid_customers: float
+    total_budget: float
+    total_capacity: int
+    max_affordable_ads: float
+    positive_pair_fraction: float
+    efficiency_quantiles: Optional[tuple]
+    theta: float
+
+    @property
+    def budget_bound(self) -> bool:
+        """Whether the budget ceiling binds before capacities do."""
+        return self.max_affordable_ads < min(
+            self.total_capacity, self.n_valid_pairs
+        )
+
+
+def instance_stats(problem: MUAAProblem) -> InstanceStats:
+    """Compute the summary statistics of an instance."""
+    pairs = list(problem.valid_pairs())
+    efficiencies: List[float] = []
+    positive = 0
+    for customer_id, vendor_id in pairs:
+        best = problem.best_instance_for_pair(
+            customer_id, vendor_id, by="efficiency"
+        )
+        if best is not None and best.utility > 0:
+            positive += 1
+            efficiencies.append(best.efficiency)
+    total_budget = sum(v.budget for v in problem.vendors)
+    quantiles = None
+    if efficiencies:
+        values = np.array(efficiencies)
+        quantiles = tuple(
+            float(np.quantile(values, q)) for q in (0.05, 0.5, 0.95)
+        )
+    m = len(problem.customers)
+    n = len(problem.vendors)
+    return InstanceStats(
+        n_customers=m,
+        n_vendors=n,
+        n_valid_pairs=len(pairs),
+        mean_valid_vendors=len(pairs) / m if m else 0.0,
+        mean_valid_customers=len(pairs) / n if n else 0.0,
+        total_budget=total_budget,
+        total_capacity=sum(c.capacity for c in problem.customers),
+        max_affordable_ads=(
+            total_budget / problem.min_cost if problem.min_cost > 0 else 0.0
+        ),
+        positive_pair_fraction=positive / len(pairs) if pairs else 0.0,
+        efficiency_quantiles=quantiles,
+        theta=problem.theta(),
+    )
+
+
+def instance_card(problem: MUAAProblem) -> str:
+    """Render the statistics as a printable card."""
+    stats = instance_stats(problem)
+    lines = [
+        "MUAA instance",
+        f"  customers / vendors:     {stats.n_customers} / {stats.n_vendors}",
+        f"  valid pairs:             {stats.n_valid_pairs} "
+        f"({stats.mean_valid_vendors:.1f} vendors/customer, "
+        f"{stats.mean_valid_customers:.1f} customers/vendor)",
+        f"  positive-utility pairs:  {stats.positive_pair_fraction:.1%}",
+        f"  total budget:            {stats.total_budget:.1f} "
+        f"(<= {stats.max_affordable_ads:.0f} ads)",
+        f"  total capacity:          {stats.total_capacity}",
+        f"  binding side:            "
+        f"{'budget' if stats.budget_bound else 'capacity/pairs'}",
+        f"  theta (Thm III.1):       {stats.theta:.3f}",
+    ]
+    if stats.efficiency_quantiles is not None:
+        q05, q50, q95 = stats.efficiency_quantiles
+        lines.append(
+            f"  efficiency p5/p50/p95:   {q05:.4f} / {q50:.4f} / {q95:.4f}"
+        )
+    return "\n".join(lines)

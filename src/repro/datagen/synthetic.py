@@ -1,0 +1,174 @@
+"""Synthetic MUAA workload generator (Section V-A, synthetic data sets).
+
+Following the paper: customer locations are Gaussian
+:math:`\\mathcal{N}(0.5, \\sigma^2)` per axis truncated to the unit
+square; vendor locations are uniform; budgets, radii, capacities and
+view probabilities are truncated Gaussians over their configured ranges.
+Interest/tag vectors are produced through the *full* Section II pipeline
+-- each synthetic customer gets a sampled check-in history over the
+built-in taxonomy and each vendor a venue category -- so the synthetic
+benchmarks exercise the same utility stack as the check-in workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.entities import Customer, Vendor
+from repro.core.problem import MUAAProblem
+from repro.datagen.config import WorkloadConfig, default_ad_types
+from repro.taxonomy.interest import interest_vector, vendor_vector
+from repro.taxonomy.tree import Taxonomy
+from repro.taxonomy.foursquare import foursquare_taxonomy
+from repro.utility.activity import ActivityModel
+from repro.utility.model import TaxonomyUtilityModel
+
+#: Check-ins sampled per synthetic customer's history.
+_CHECKINS_PER_CUSTOMER = (10, 40)
+
+#: Distinct categories a synthetic customer is interested in.
+_CATEGORIES_PER_CUSTOMER = (4, 8)
+
+#: Zipf exponent of category popularity.  Both customers and vendors
+#: draw categories from the same skewed distribution, which is what
+#: creates realistic interest overlap (most traffic concentrates on a
+#: few popular categories, as in real check-in data).
+_CATEGORY_ZIPF = 1.0
+
+
+def _truncated_gaussian_positions(
+    rng: np.random.Generator, size: int, std: float
+) -> np.ndarray:
+    """Per-axis N(0.5, std^2) positions truncated to the unit square."""
+    positions = rng.normal(0.5, std, size=(size, 2))
+    bad = (positions < 0.0) | (positions > 1.0)
+    for _ in range(256):
+        n_bad = int(bad.sum())
+        if n_bad == 0:
+            break
+        positions[bad] = rng.normal(0.5, std, size=n_bad)
+        bad = (positions < 0.0) | (positions > 1.0)
+    return np.clip(positions, 0.0, 1.0)
+
+
+def _category_popularity(
+    rng: np.random.Generator, n_categories: int
+) -> np.ndarray:
+    """Zipf popularity over leaf categories (shared by both sides)."""
+    ranks = rng.permutation(n_categories) + 1
+    popularity = 1.0 / ranks.astype(float) ** _CATEGORY_ZIPF
+    return popularity / popularity.sum()
+
+
+def _sample_interest_vectors(
+    rng: np.random.Generator,
+    taxonomy: Taxonomy,
+    count: int,
+    popularity: np.ndarray,
+) -> List[np.ndarray]:
+    """Sample a check-in history per customer and derive Eq. 1-3 vectors."""
+    leaves = taxonomy.leaves()
+    vectors: List[np.ndarray] = []
+    lo_cat, hi_cat = _CATEGORIES_PER_CUSTOMER
+    lo_chk, hi_chk = _CHECKINS_PER_CUSTOMER
+    for _ in range(count):
+        n_categories = int(rng.integers(lo_cat, hi_cat + 1))
+        categories = rng.choice(
+            len(leaves), size=n_categories, replace=False, p=popularity
+        )
+        n_checkins = int(rng.integers(lo_chk, hi_chk + 1))
+        counts = rng.multinomial(n_checkins, np.ones(n_categories) / n_categories)
+        history = {
+            leaves[int(cat)]: int(count_)
+            for cat, count_ in zip(categories, counts)
+            if count_ > 0
+        }
+        vectors.append(interest_vector(taxonomy, history))
+    return vectors
+
+
+def synthetic_problem(
+    config: Optional[WorkloadConfig] = None,
+    taxonomy: Optional[Taxonomy] = None,
+    diurnal: bool = True,
+) -> MUAAProblem:
+    """Generate a complete synthetic MUAA instance.
+
+    Args:
+        config: Workload parameters; library defaults when omitted.
+        taxonomy: Tag taxonomy; the built-in Foursquare-style tree when
+            omitted.
+        diurnal: Use the diurnal activity model (uniform when false).
+
+    Returns:
+        A ready-to-solve problem with the taxonomy utility model.
+    """
+    config = config or WorkloadConfig()
+    taxonomy = taxonomy or foursquare_taxonomy()
+    rng = np.random.default_rng(config.seed)
+
+    popularity = _category_popularity(rng, len(taxonomy.leaves()))
+    customers = _generate_customers(rng, config, taxonomy, popularity)
+    vendors = _generate_vendors(rng, config, taxonomy, popularity)
+
+    activity = (
+        ActivityModel.diurnal(taxonomy) if diurnal
+        else ActivityModel.uniform(taxonomy)
+    )
+    return MUAAProblem(
+        customers=customers,
+        vendors=vendors,
+        ad_types=list(default_ad_types()),
+        utility_model=TaxonomyUtilityModel(activity),
+    )
+
+
+def _generate_customers(
+    rng: np.random.Generator,
+    config: WorkloadConfig,
+    taxonomy: Taxonomy,
+    popularity: np.ndarray,
+) -> List[Customer]:
+    m = config.n_customers
+    positions = _truncated_gaussian_positions(rng, m, config.customer_std)
+    capacities = config.capacity_range.sample_int(rng, m)
+    probabilities = config.probability_range.sample(rng, m)
+    arrival_hours = rng.uniform(0.0, 24.0, size=m)
+    interests = _sample_interest_vectors(rng, taxonomy, m, popularity)
+    return [
+        Customer(
+            customer_id=i,
+            location=(float(positions[i, 0]), float(positions[i, 1])),
+            capacity=int(max(1, capacities[i])),
+            view_probability=float(probabilities[i]),
+            interests=interests[i],
+            arrival_time=float(arrival_hours[i]),
+        )
+        for i in range(m)
+    ]
+
+
+def _generate_vendors(
+    rng: np.random.Generator,
+    config: WorkloadConfig,
+    taxonomy: Taxonomy,
+    popularity: np.ndarray,
+) -> List[Vendor]:
+    n = config.n_vendors
+    positions = rng.uniform(0.0, 1.0, size=(n, 2))
+    budgets = config.budget_range.sample(rng, n)
+    radii = config.radius_range.sample(rng, n)
+    leaves = taxonomy.leaves()
+    categories = rng.choice(len(leaves), size=n, p=popularity)
+    return [
+        Vendor(
+            vendor_id=j,
+            location=(float(positions[j, 0]), float(positions[j, 1])),
+            radius=float(radii[j]),
+            budget=float(budgets[j]),
+            tags=vendor_vector(taxonomy, leaves[int(categories[j])]),
+        )
+        for j in range(n)
+    ]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the MUAA reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class at the library boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidEntityError(ReproError):
+    """An entity (customer, vendor, ad type) has invalid attributes."""
+
+
+class InvalidProblemError(ReproError):
+    """A MUAA problem instance is internally inconsistent."""
+
+
+class ConstraintViolationError(ReproError):
+    """An assignment violates a MUAA constraint.
+
+    Raised when an :class:`~repro.core.assignment.Assignment` is asked to
+    add an ad instance that would break the range, capacity, budget, or
+    one-ad-per-pair constraints in strict mode.
+    """
+
+
+class InfeasibleError(ReproError):
+    """An optimisation problem has no feasible solution."""
+
+
+class UnboundedError(ReproError):
+    """A linear program is unbounded in the direction of optimisation."""
+
+
+class SolverError(ReproError):
+    """A solver failed to converge or hit an internal limit."""
+
+
+class TaxonomyError(ReproError):
+    """The tag taxonomy is malformed (cycles, unknown tags, ...)."""
+
+
+class DataFormatError(ReproError):
+    """An external data file does not match the expected schema."""

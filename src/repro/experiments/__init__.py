@@ -1,0 +1,87 @@
+"""Experiment harness: measures, runners, sweeps, figures, reporting."""
+
+from repro.experiments.figures import (
+    fig3_budget,
+    fig4_radius,
+    fig5_capacity,
+    fig6_probability,
+    fig7_customers,
+    fig8_vendors,
+)
+from repro.experiments.measures import (
+    Row,
+    dominance_fraction,
+    monotone_nondecreasing,
+    rise_then_fall,
+    rows_for_algorithm,
+    saturates,
+    utilities_by_parameter,
+)
+from repro.experiments.io import read_csv, read_json, write_csv, write_json
+from repro.experiments.paper import (
+    ALL_FIGURES,
+    ReproductionReport,
+    ShapeCheck,
+    reproduce_all,
+)
+from repro.experiments.ratios import (
+    RatioSummary,
+    measure_online_ratio,
+    measure_recon_ratio,
+)
+from repro.experiments.replication import (
+    CellStats,
+    ReplicatedResult,
+    replicate,
+    replication_table,
+)
+from repro.experiments.report import (
+    ascii_series,
+    full_report,
+    time_table,
+    utility_chart,
+    utility_table,
+)
+from repro.experiments.runner import PANEL, build_panel, run_panel
+from repro.experiments.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "fig3_budget",
+    "fig4_radius",
+    "fig5_capacity",
+    "fig6_probability",
+    "fig7_customers",
+    "fig8_vendors",
+    "Row",
+    "dominance_fraction",
+    "monotone_nondecreasing",
+    "rise_then_fall",
+    "rows_for_algorithm",
+    "saturates",
+    "utilities_by_parameter",
+    "read_csv",
+    "read_json",
+    "write_csv",
+    "write_json",
+    "ALL_FIGURES",
+    "ReproductionReport",
+    "ShapeCheck",
+    "reproduce_all",
+    "RatioSummary",
+    "measure_online_ratio",
+    "measure_recon_ratio",
+    "CellStats",
+    "ReplicatedResult",
+    "replicate",
+    "replication_table",
+    "ascii_series",
+    "full_report",
+    "time_table",
+    "utility_chart",
+    "utility_table",
+    "PANEL",
+    "build_panel",
+    "run_panel",
+    "SweepResult",
+    "run_sweep",
+]

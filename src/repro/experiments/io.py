@@ -1,0 +1,122 @@
+"""Persistence for experiment results: CSV and JSON round-trips.
+
+Sweep results are plain rows, so they serialise naturally; the CSV form
+is what you hand to a plotting tool to redraw the paper's figures, the
+JSON form round-trips losslessly (including the ``extras`` dict).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.exceptions import DataFormatError
+from repro.experiments.measures import Row
+from repro.experiments.sweep import SweepResult
+
+#: CSV column order (extras are JSON-encoded into the last column).
+CSV_COLUMNS = (
+    "experiment",
+    "parameter",
+    "algorithm",
+    "total_utility",
+    "wall_time",
+    "per_customer_seconds",
+    "n_instances",
+    "extras",
+)
+
+
+def write_csv(result: SweepResult, path: Union[str, Path]) -> None:
+    """Write a sweep's rows as CSV."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for row in result.rows:
+            writer.writerow(
+                [
+                    row.experiment,
+                    row.parameter,
+                    row.algorithm,
+                    repr(row.total_utility),
+                    repr(row.wall_time),
+                    repr(row.per_customer_seconds),
+                    row.n_instances,
+                    json.dumps(row.extras),
+                ]
+            )
+
+
+def read_csv(path: Union[str, Path]) -> SweepResult:
+    """Read a sweep back from :func:`write_csv` output.
+
+    Raises:
+        DataFormatError: On a missing or reordered header.
+    """
+    rows: List[Row] = []
+    experiment = ""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != list(CSV_COLUMNS):
+            raise DataFormatError(
+                f"{path}: expected header {CSV_COLUMNS}, got {header}"
+            )
+        for record in reader:
+            if len(record) != len(CSV_COLUMNS):
+                raise DataFormatError(
+                    f"{path}: row with {len(record)} fields"
+                )
+            experiment = record[0]
+            rows.append(
+                Row(
+                    experiment=record[0],
+                    parameter=record[1],
+                    algorithm=record[2],
+                    total_utility=float(record[3]),
+                    wall_time=float(record[4]),
+                    per_customer_seconds=float(record[5]),
+                    n_instances=int(record[6]),
+                    extras=json.loads(record[7]),
+                )
+            )
+    return SweepResult(experiment=experiment, rows=rows)
+
+
+def write_json(result: SweepResult, path: Union[str, Path]) -> None:
+    """Write a sweep as a JSON document."""
+    document = {
+        "experiment": result.experiment,
+        "rows": [
+            {
+                "experiment": row.experiment,
+                "parameter": row.parameter,
+                "algorithm": row.algorithm,
+                "total_utility": row.total_utility,
+                "wall_time": row.wall_time,
+                "per_customer_seconds": row.per_customer_seconds,
+                "n_instances": row.n_instances,
+                "extras": row.extras,
+            }
+            for row in result.rows
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2), encoding="utf-8"
+    )
+
+
+def read_json(path: Union[str, Path]) -> SweepResult:
+    """Read a sweep back from :func:`write_json` output.
+
+    Raises:
+        DataFormatError: On schema mismatches.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        rows = [Row(**entry) for entry in document["rows"]]
+        return SweepResult(experiment=document["experiment"], rows=rows)
+    except (KeyError, TypeError, json.JSONDecodeError) as exc:
+        raise DataFormatError(f"{path}: {exc}") from exc

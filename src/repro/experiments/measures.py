@@ -1,0 +1,145 @@
+"""Result rows and aggregate measures for the experiment harness.
+
+The paper evaluates every approach on two measures (Section V-A):
+*overall utility* of the produced assignment and *CPU time* (for online
+algorithms, the average decision time per arriving customer).  A
+:class:`Row` captures one (experiment, parameter value, algorithm)
+cell of a figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.algorithms.base import SolveResult
+
+
+@dataclass(frozen=True)
+class Row:
+    """One measured cell of an experiment table.
+
+    Attributes:
+        experiment: Experiment id (e.g. ``"fig3"``).
+        parameter: Human-readable swept-parameter value (e.g.
+            ``"[20,30]"``).
+        algorithm: Algorithm display name.
+        total_utility: Overall utility of the assignment.
+        wall_time: Total solve seconds.
+        per_customer_seconds: Mean per-customer decision seconds.
+        n_instances: Number of ads assigned.
+        extras: Algorithm-specific diagnostics.
+    """
+
+    experiment: str
+    parameter: str
+    algorithm: str
+    total_utility: float
+    wall_time: float
+    per_customer_seconds: float
+    n_instances: int
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(
+        cls, experiment: str, parameter: str, result: SolveResult
+    ) -> "Row":
+        """Build a row from a solver result."""
+        return cls(
+            experiment=experiment,
+            parameter=parameter,
+            algorithm=result.algorithm,
+            total_utility=result.total_utility,
+            wall_time=result.wall_time,
+            per_customer_seconds=result.per_customer_seconds,
+            n_instances=len(result.assignment),
+            extras=dict(result.extras),
+        )
+
+
+def rows_for_algorithm(rows: List[Row], algorithm: str) -> List[Row]:
+    """Filter rows of one algorithm, preserving order."""
+    return [row for row in rows if row.algorithm == algorithm]
+
+
+def utilities_by_parameter(
+    rows: List[Row], algorithm: str
+) -> Dict[str, float]:
+    """parameter -> utility series of one algorithm."""
+    return {
+        row.parameter: row.total_utility
+        for row in rows_for_algorithm(rows, algorithm)
+    }
+
+
+def monotone_nondecreasing(
+    rows: List[Row], algorithm: str, tolerance: float = 0.0
+) -> bool:
+    """Whether an algorithm's utility series never drops (within a
+    relative ``tolerance``) across the sweep's parameter order.
+
+    Codifies shape claims like "utilities rise with budget" (Fig. 3a).
+    """
+    series = [
+        row.total_utility for row in rows_for_algorithm(rows, algorithm)
+    ]
+    for earlier, later in zip(series, series[1:]):
+        if later < earlier * (1.0 - tolerance) - 1e-12:
+            return False
+    return True
+
+
+def rise_then_fall(rows: List[Row], algorithm: str) -> bool:
+    """Whether a utility series is unimodal: non-decreasing up to its
+    peak, non-increasing after (the paper's RANDOM-vs-radius shape,
+    Fig. 4a).  Monotone series qualify (peak at an end)."""
+    series = [
+        row.total_utility for row in rows_for_algorithm(rows, algorithm)
+    ]
+    if not series:
+        return False
+    peak = series.index(max(series))
+    ascending = all(
+        a <= b + 1e-12 for a, b in zip(series[:peak], series[1:peak + 1])
+    )
+    descending = all(
+        a >= b - 1e-12 for a, b in zip(series[peak:], series[peak + 1:])
+    )
+    return ascending and descending
+
+
+def saturates(
+    rows: List[Row], algorithm: str, plateau_fraction: float = 0.1
+) -> bool:
+    """Whether the series' final step gains less than
+    ``plateau_fraction`` relative to the previous point (the "remains
+    with high values" claim of Fig. 3a)."""
+    series = [
+        row.total_utility for row in rows_for_algorithm(rows, algorithm)
+    ]
+    if len(series) < 2 or series[-2] <= 0:
+        return False
+    return (series[-1] - series[-2]) / series[-2] <= plateau_fraction
+
+
+def dominance_fraction(
+    rows: List[Row], better: str, worse: str
+) -> Optional[float]:
+    """Fraction of parameter points where ``better`` beats ``worse``.
+
+    Used by the shape checks: the paper's qualitative claims are of the
+    form "RECON ≥ GREEDY ≥ ONLINE ≫ RANDOM at most settings".
+
+    Returns:
+        The fraction in ``[0, 1]``, or ``None`` when the two series
+        share no parameter points.
+    """
+    better_series = utilities_by_parameter(rows, better)
+    worse_series = utilities_by_parameter(rows, worse)
+    shared = sorted(set(better_series) & set(worse_series))
+    if not shared:
+        return None
+    wins = sum(
+        1 for key in shared if better_series[key] >= worse_series[key] - 1e-12
+    )
+    return wins / len(shared)

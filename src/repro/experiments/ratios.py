@@ -1,0 +1,141 @@
+"""Empirical approximation and competitive ratios against exact optima.
+
+Theorems III.1 and IV.1 give worst-case guarantees; these helpers
+measure where the algorithms actually land on batteries of small random
+instances (small enough for :class:`~repro.algorithms.optimal.ExactOptimal`).
+Used by the ratio benchmarks and the ``repro ratio`` CLI command.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.algorithms.optimal import ExactOptimal
+from repro.algorithms.recon import Reconciliation
+from repro.datagen.tabular import random_tabular_problem
+from repro.stream.arrivals import adversarial_order, random_order
+from repro.stream.simulator import OnlineSimulator
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """Distribution summary of measured algorithm/optimal ratios.
+
+    Attributes:
+        algorithm: The measured algorithm's name.
+        ratios: Individual per-instance ratios.
+        theoretical_floor: The loosest theoretical guarantee across the
+            battery (``None`` when not applicable).
+    """
+
+    algorithm: str
+    ratios: Tuple[float, ...]
+    theoretical_floor: Optional[float] = None
+
+    @property
+    def mean(self) -> float:
+        """Mean ratio."""
+        return statistics.mean(self.ratios)
+
+    @property
+    def minimum(self) -> float:
+        """Worst observed ratio."""
+        return min(self.ratios)
+
+    def __str__(self) -> str:
+        floor = (
+            f" (floor {self.theoretical_floor:.3f})"
+            if self.theoretical_floor is not None
+            else ""
+        )
+        return (
+            f"{self.algorithm}: mean={self.mean:.3f} "
+            f"min={self.minimum:.3f} over {len(self.ratios)} runs{floor}"
+        )
+
+
+def _battery(n_instances: int, seed: int, budget: Tuple[float, float]):
+    """Small random instances with tractable exact optima."""
+    for index in range(n_instances):
+        problem = random_tabular_problem(
+            seed=seed + index,
+            n_customers=6,
+            n_vendors=4,
+            n_types=2,
+            budget=budget,
+        )
+        optimum = ExactOptimal().solve(problem).total_utility
+        if optimum > 0:
+            yield problem, optimum
+
+
+def measure_recon_ratio(
+    n_instances: int = 20,
+    seed: int = 0,
+    budget: Tuple[float, float] = (3.0, 8.0),
+    mckp_method: str = "greedy-lp",
+) -> RatioSummary:
+    """Empirical RECON/OPT over a random battery (Theorem III.1).
+
+    The reported floor is the loosest ``0.5 * theta`` across instances
+    (the conservative version of the theorem's ``(1-eps)*theta``).
+    """
+    ratios: List[float] = []
+    floor = 1.0
+    for problem, optimum in _battery(n_instances, seed, budget):
+        recon = Reconciliation(
+            mckp_method=mckp_method, seed=seed
+        ).solve(problem)
+        ratios.append(recon.total_utility / optimum)
+        floor = min(floor, 0.5 * problem.theta())
+    if not ratios:
+        raise ValueError("battery produced no instance with positive optimum")
+    return RatioSummary(
+        algorithm="RECON", ratios=tuple(ratios), theoretical_floor=floor
+    )
+
+
+def measure_online_ratio(
+    n_instances: int = 20,
+    seed: int = 0,
+    g: float = 10.0,
+    budget: Tuple[float, float] = (15.0, 30.0),
+    adversarial: bool = True,
+) -> RatioSummary:
+    """Empirical O-AFA/OPT over a random battery (Corollary IV.1).
+
+    Budgets default to ~20x ad costs so the theorem's cost-much-smaller-
+    than-budget assumption holds; ``gamma_min`` is set below every
+    efficiency so assumption 1 holds too.
+
+    Args:
+        n_instances: Battery size.
+        seed: Base seed.
+        g: The threshold growth constant.
+        budget: Vendor budget range.
+        adversarial: Also stream each instance weakest-customers-first.
+    """
+    ratios: List[float] = []
+    floor = 1.0
+    for index, (problem, optimum) in enumerate(
+        _battery(n_instances, seed, budget)
+    ):
+        algorithm = OnlineAdaptiveFactorAware(gamma_min=1e-9, g=g)
+        orders = [random_order(problem.customers, seed=seed + index)]
+        if adversarial:
+            orders.append(adversarial_order(problem.customers))
+        for order in orders:
+            online = OnlineSimulator(problem).run(
+                algorithm, arrivals=order, measure_latency=False
+            )
+            ratios.append(online.total_utility / optimum)
+        floor = min(floor, problem.theta() / (math.log(g) + 1.0))
+    if not ratios:
+        raise ValueError("battery produced no instance with positive optimum")
+    return RatioSummary(
+        algorithm="ONLINE", ratios=tuple(ratios), theoretical_floor=floor
+    )

@@ -1,0 +1,159 @@
+"""Multi-seed replication: means and confidence intervals per cell.
+
+Single-seed sweeps (like the paper's figures) can mistake noise for
+signal; replication reruns a sweep across seeds and aggregates each
+(parameter, algorithm) cell into mean, standard deviation, and a normal
+95% confidence half-width.  Used by tests to make the ordering claims
+statistically meaningful, and available to users for error bars.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.experiments.sweep import SweepResult
+
+#: z-value of the normal 95% interval.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Aggregated utility statistics of one (parameter, algorithm) cell.
+
+    Attributes:
+        values: Per-seed total utilities.
+    """
+
+    values: Tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        """Number of replicates."""
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Mean utility."""
+        return statistics.mean(self.values)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single replicate)."""
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.stdev(self.values)
+
+    @property
+    def ci95(self) -> float:
+        """Normal-approximation 95% confidence half-width."""
+        if len(self.values) < 2:
+            return 0.0
+        return _Z95 * self.std / math.sqrt(len(self.values))
+
+
+@dataclass
+class ReplicatedResult:
+    """A replicated sweep: per-cell statistics over seeds.
+
+    Attributes:
+        experiment: Experiment id.
+        cells: ``(parameter, algorithm) -> CellStats``.
+        parameters: Parameter labels in presentation order.
+        algorithms: Algorithm names in presentation order.
+    """
+
+    experiment: str
+    cells: Dict[Tuple[str, str], CellStats]
+    parameters: List[str]
+    algorithms: List[str]
+
+    def mean_series(self, algorithm: str) -> List[float]:
+        """Mean utility per parameter for one algorithm."""
+        return [
+            self.cells[(parameter, algorithm)].mean
+            for parameter in self.parameters
+        ]
+
+    def significantly_better(
+        self, better: str, worse: str, parameter: str
+    ) -> bool:
+        """Whether ``better``'s CI lies wholly above ``worse``'s at one
+        parameter point (a conservative separation test)."""
+        a = self.cells[(parameter, better)]
+        b = self.cells[(parameter, worse)]
+        return a.mean - a.ci95 > b.mean + b.ci95
+
+
+def replicate(
+    sweep_factory: Callable[[int], SweepResult],
+    seeds: Sequence[int],
+) -> ReplicatedResult:
+    """Run a sweep once per seed and aggregate.
+
+    Args:
+        sweep_factory: ``seed -> SweepResult``; must produce the same
+            parameter/algorithm grid for every seed.
+        seeds: The replication seeds (at least one).
+
+    Raises:
+        ValueError: On an empty seed list or inconsistent grids.
+    """
+    if not seeds:
+        raise ValueError("replication needs at least one seed")
+    accumulator: Dict[Tuple[str, str], List[float]] = {}
+    parameters: List[str] = []
+    algorithms: List[str] = []
+    experiment = ""
+    for index, seed in enumerate(seeds):
+        result = sweep_factory(seed)
+        experiment = result.experiment
+        if index == 0:
+            parameters = result.parameters()
+            algorithms = result.algorithms()
+        elif (
+            result.parameters() != parameters
+            or result.algorithms() != algorithms
+        ):
+            raise ValueError("sweep grids differ across seeds")
+        for row in result.rows:
+            accumulator.setdefault(
+                (row.parameter, row.algorithm), []
+            ).append(row.total_utility)
+    return ReplicatedResult(
+        experiment=experiment,
+        cells={
+            key: CellStats(values=tuple(values))
+            for key, values in accumulator.items()
+        },
+        parameters=parameters,
+        algorithms=algorithms,
+    )
+
+
+def replication_table(result: ReplicatedResult) -> str:
+    """Render a mean ± CI table (algorithms x parameters)."""
+    header = ["algorithm", *result.parameters]
+    body = []
+    for algorithm in result.algorithms:
+        row = [algorithm]
+        for parameter in result.parameters:
+            cell = result.cells[(parameter, algorithm)]
+            row.append(f"{cell.mean:.2f}±{cell.ci95:.2f}")
+        body.append(row)
+    widths = [
+        max(len(str(line[i])) for line in [header, *body])
+        for i in range(len(header))
+    ]
+    lines = [
+        f"{result.experiment}: mean utility ± 95% CI over "
+        f"{next(iter(result.cells.values())).n} seeds"
+    ]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Plain-text reporting of experiment results.
+
+Formats a :class:`~repro.experiments.sweep.SweepResult` as the two
+tables behind each paper figure -- one for total utility (the (a)
+panels) and one for running time (the (b) panels) -- with algorithms as
+rows and the swept parameter as columns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.experiments.measures import Row
+from repro.experiments.sweep import SweepResult
+
+
+def _format_table(
+    title: str,
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    cell: Callable[[str, str], str],
+) -> str:
+    """Render an aligned text table."""
+    header = ["algorithm", *column_labels]
+    body = [
+        [label, *(cell(label, column) for column in column_labels)]
+        for label in row_labels
+    ]
+    widths = [
+        max(len(str(line[i])) for line in [header, *body])
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append(
+            "  ".join(str(v).ljust(w) for v, w in zip(line, widths))
+        )
+    return "\n".join(lines)
+
+
+def _cell_lookup(rows: List[Row]):
+    table = {(row.algorithm, row.parameter): row for row in rows}
+
+    def lookup(algorithm: str, parameter: str) -> Row:
+        return table[(algorithm, parameter)]
+
+    return lookup
+
+
+def utility_table(result: SweepResult) -> str:
+    """The figure's (a) panel: total utility per algorithm and setting."""
+    lookup = _cell_lookup(result.rows)
+    return _format_table(
+        f"{result.experiment} (a): total utility",
+        result.algorithms(),
+        result.parameters(),
+        lambda a, p: f"{lookup(a, p).total_utility:.4f}",
+    )
+
+
+def time_table(result: SweepResult, per_customer: bool = False) -> str:
+    """The figure's (b) panel: running time per algorithm and setting.
+
+    Args:
+        result: The sweep to render.
+        per_customer: Report mean per-customer seconds instead of total
+            wall-clock seconds.
+    """
+    lookup = _cell_lookup(result.rows)
+    if per_customer:
+        title = f"{result.experiment} (b): per-customer seconds"
+        fmt = lambda a, p: f"{lookup(a, p).per_customer_seconds * 1e3:.3f}ms"
+    else:
+        title = f"{result.experiment} (b): total seconds"
+        fmt = lambda a, p: f"{lookup(a, p).wall_time:.3f}"
+    return _format_table(
+        title, result.algorithms(), result.parameters(), fmt
+    )
+
+
+def full_report(result: SweepResult) -> str:
+    """Both panels of one figure, ready to print."""
+    return "\n\n".join(
+        [utility_table(result), time_table(result), time_table(result, True)]
+    )
+
+
+#: Glyphs for :func:`ascii_series`, coarsest to finest.
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def ascii_series(values: Sequence[float], width: int = 1) -> str:
+    """Render a numeric series as a one-line ASCII sparkline.
+
+    Values are scaled into the glyph ramp by the series' own min/max;
+    a constant series renders at mid-ramp.
+
+    Args:
+        values: The series (empty input renders as an empty string).
+        width: Glyph repetitions per point (wider bars).
+    """
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    glyphs = []
+    for value in values:
+        if span <= 0:
+            index = len(_SPARK_GLYPHS) // 2
+        else:
+            index = int(
+                (value - low) / span * (len(_SPARK_GLYPHS) - 1)
+            )
+        glyphs.append(_SPARK_GLYPHS[index] * width)
+    return "".join(glyphs)
+
+
+def utility_chart(result: SweepResult) -> str:
+    """Per-algorithm sparklines of the utility series (a quick visual
+    of each figure's (a) panel in a terminal)."""
+    lines = [f"{result.experiment} utility trends "
+             f"({' -> '.join(result.parameters())})"]
+    for algorithm in result.algorithms():
+        series = [
+            row.total_utility
+            for row in result.rows
+            if row.algorithm == algorithm
+        ]
+        lines.append(
+            f"  {algorithm:10s} |{ascii_series(series, width=3)}| "
+            f"{series[0]:.1f} -> {series[-1]:.1f}"
+        )
+    return "\n".join(lines)

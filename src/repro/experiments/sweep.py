@@ -1,0 +1,79 @@
+"""Parameter sweeps: vary one knob, run the panel at each point.
+
+Matches the paper's methodology: "each time we vary one parameter,
+while setting others to their default values" (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.problem import MUAAProblem
+from repro.experiments.measures import Row
+from repro.experiments.runner import PANEL, run_panel
+
+#: A sweep point: (parameter label, problem factory).
+SweepPoint = Tuple[str, Callable[[], MUAAProblem]]
+
+
+@dataclass
+class SweepResult:
+    """All rows of one sweep, with shape-check helpers.
+
+    Attributes:
+        experiment: Experiment id (e.g. ``"fig7"``).
+        rows: One row per (parameter point, algorithm).
+    """
+
+    experiment: str
+    rows: List[Row] = field(default_factory=list)
+
+    def algorithms(self) -> List[str]:
+        """Distinct algorithm names, in first-seen order."""
+        seen: List[str] = []
+        for row in self.rows:
+            if row.algorithm not in seen:
+                seen.append(row.algorithm)
+        return seen
+
+    def parameters(self) -> List[str]:
+        """Distinct parameter labels, in first-seen order."""
+        seen: List[str] = []
+        for row in self.rows:
+            if row.parameter not in seen:
+                seen.append(row.parameter)
+        return seen
+
+
+def run_sweep(
+    experiment: str,
+    points: Sequence[SweepPoint],
+    algorithms: Sequence[str] = PANEL,
+    seed: int = 42,
+    mckp_method: str = "greedy-lp",
+) -> SweepResult:
+    """Run the algorithm panel at every sweep point.
+
+    Each point's problem is constructed fresh by its factory (so memory
+    for large instances is released between points) and calibrated
+    independently.
+
+    Args:
+        experiment: Id recorded on every row.
+        points: ``(label, factory)`` pairs in presentation order.
+        algorithms: Panel member names.
+        seed: Seed shared across points for the stochastic members.
+        mckp_method: MCKP backend for RECON.
+    """
+    result = SweepResult(experiment=experiment)
+    for label, factory in points:
+        problem = factory()
+        panel_results = run_panel(
+            problem, algorithms=algorithms, seed=seed, mckp_method=mckp_method
+        )
+        for name in algorithms:
+            result.rows.append(
+                Row.from_result(experiment, label, panel_results[name])
+            )
+    return result

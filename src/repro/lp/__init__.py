@@ -1,0 +1,7 @@
+"""LP substrate: a from-scratch two-phase simplex and a model builder."""
+
+from repro.lp.model import LinearProgram
+from repro.lp.simplex import solve_lp_maximize
+from repro.lp.solution import LPSolution
+
+__all__ = ["LinearProgram", "solve_lp_maximize", "LPSolution"]

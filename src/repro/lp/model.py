@@ -1,0 +1,117 @@
+"""A small builder for linear programs over named variables.
+
+The single-vendor problem of Section III-A is naturally written with one
+variable :math:`x_{iok}` per (customer, ad type) choice; this builder
+lets callers construct that LP readably and hands a dense matrix to the
+simplex solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.lp.simplex import solve_lp_maximize
+from repro.lp.solution import LPSolution
+
+
+@dataclass(frozen=True)
+class _Constraint:
+    coefficients: Tuple[Tuple[int, float], ...]
+    bound: float
+    equality: bool
+
+
+class LinearProgram:
+    """Incrementally built LP: maximise over non-negative named variables.
+
+    Example:
+        >>> lp = LinearProgram()
+        >>> lp.add_variable("x", objective=3.0)
+        0
+        >>> lp.add_variable("y", objective=2.0)
+        1
+        >>> lp.add_constraint({"x": 1.0, "y": 1.0}, bound=4.0)
+        >>> solution = lp.solve()
+        >>> round(solution.objective, 6)
+        12.0
+    """
+
+    def __init__(self) -> None:
+        self._objective: List[float] = []
+        self._names: Dict[Hashable, int] = {}
+        self._constraints: List[_Constraint] = []
+
+    def add_variable(self, name: Hashable, objective: float = 0.0) -> int:
+        """Register a non-negative variable; returns its column index.
+
+        Raises:
+            InvalidProblemError: On duplicate names.
+        """
+        if name in self._names:
+            raise InvalidProblemError(f"duplicate variable {name!r}")
+        index = len(self._objective)
+        self._names[name] = index
+        self._objective.append(objective)
+        return index
+
+    def add_constraint(
+        self,
+        coefficients: Mapping[Hashable, float],
+        bound: float,
+        equality: bool = False,
+    ) -> None:
+        """Add ``sum(coef * var) <= bound`` (or ``==`` when requested).
+
+        Raises:
+            InvalidProblemError: On unknown variable names.
+        """
+        resolved = []
+        for name, coef in coefficients.items():
+            if name not in self._names:
+                raise InvalidProblemError(f"unknown variable {name!r}")
+            resolved.append((self._names[name], coef))
+        self._constraints.append(
+            _Constraint(tuple(resolved), bound, equality)
+        )
+
+    @property
+    def n_variables(self) -> int:
+        """Number of registered variables."""
+        return len(self._objective)
+
+    def variable_index(self, name: Hashable) -> int:
+        """Column index of a variable."""
+        return self._names[name]
+
+    def solve(self) -> LPSolution:
+        """Solve with the in-tree simplex.
+
+        Raises:
+            InvalidProblemError: If no variables were registered.
+        """
+        n = len(self._objective)
+        if n == 0:
+            raise InvalidProblemError("LP has no variables")
+        ub_rows, ub_bounds = [], []
+        eq_rows, eq_bounds = [], []
+        for constraint in self._constraints:
+            row = np.zeros(n)
+            for index, coef in constraint.coefficients:
+                row[index] += coef
+            if constraint.equality:
+                eq_rows.append(row)
+                eq_bounds.append(constraint.bound)
+            else:
+                ub_rows.append(row)
+                ub_bounds.append(constraint.bound)
+        a_ub = np.array(ub_rows).reshape(-1, n)
+        b_ub = np.array(ub_bounds)
+        a_eq = np.array(eq_rows).reshape(-1, n) if eq_rows else None
+        b_eq = np.array(eq_bounds) if eq_rows else None
+        return solve_lp_maximize(
+            np.array(self._objective), a_ub, b_ub, a_eq, b_eq
+        )

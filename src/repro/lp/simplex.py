@@ -1,0 +1,205 @@
+"""A dense two-phase primal simplex solver.
+
+This is the in-tree replacement for the external LP solver the paper
+uses (lpsolve [3]) to solve the LP relaxations of the single-vendor
+problems.  It solves
+
+.. math:: \\max c^T x \\quad \\text{s.t.} \\quad A x \\le b,\\; x \\ge 0
+
+with :math:`b \\ge 0` handled directly by slack variables and general
+:math:`b` via a phase-1 artificial-variable pass.  Bland's rule is used
+throughout, which guarantees termination (no cycling) at the cost of
+speed -- acceptable here because the MCKP relaxations it cross-checks
+are small and the production path uses the specialised greedy in
+:mod:`repro.mckp.lp_relaxation`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import InfeasibleError, SolverError, UnboundedError
+from repro.lp.solution import LPSolution
+
+#: Numerical tolerance for reduced costs and ratio tests.
+EPS = 1e-9
+
+#: Hard cap on pivots; generous for the problem sizes in this library.
+MAX_ITERATIONS = 100_000
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """Perform one pivot on the tableau in place."""
+    tableau[row] /= tableau[row, col]
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > EPS:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _simplex_core(
+    tableau: np.ndarray, basis: np.ndarray, n_vars: int
+) -> int:
+    """Run Bland's-rule simplex until optimality.
+
+    The tableau's last row holds the (negated) objective; the last
+    column holds the right-hand side.
+
+    Returns:
+        The number of pivots performed.
+
+    Raises:
+        UnboundedError: If an entering column has no positive entry.
+        SolverError: If the pivot budget is exhausted.
+    """
+    iterations = 0
+    n_rows = tableau.shape[0] - 1
+    while True:
+        objective_row = tableau[-1, :n_vars]
+        entering = -1
+        for j in range(n_vars):  # Bland: smallest eligible index
+            if objective_row[j] < -EPS:
+                entering = j
+                break
+        if entering < 0:
+            return iterations
+
+        leaving = -1
+        best_ratio = np.inf
+        for i in range(n_rows):
+            coef = tableau[i, entering]
+            if coef > EPS:
+                ratio = tableau[i, -1] / coef
+                # Bland tie-break: smallest basis index among minimal ratios.
+                if ratio < best_ratio - EPS or (
+                    ratio < best_ratio + EPS
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            raise UnboundedError("LP is unbounded")
+
+        _pivot(tableau, basis, leaving, entering)
+        iterations += 1
+        if iterations > MAX_ITERATIONS:
+            raise SolverError("simplex exceeded the pivot budget")
+
+
+def solve_lp_maximize(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[np.ndarray] = None,
+) -> LPSolution:
+    """Maximise ``c @ x`` subject to ``a_ub @ x <= b_ub``,
+    ``a_eq @ x == b_eq`` and ``x >= 0``.
+
+    Args:
+        c: Objective coefficients, shape ``(n,)``.
+        a_ub: Inequality matrix, shape ``(m_ub, n)`` (may have 0 rows).
+        b_ub: Inequality right-hand sides, shape ``(m_ub,)``.
+        a_eq: Optional equality matrix.
+        b_eq: Optional equality right-hand sides.
+
+    Returns:
+        The optimal solution.
+
+    Raises:
+        InfeasibleError: When no feasible point exists.
+        UnboundedError: When the maximum is unbounded.
+    """
+    c = np.asarray(c, dtype=float)
+    a_ub = np.asarray(a_ub, dtype=float).reshape(-1, c.shape[0])
+    b_ub = np.asarray(b_ub, dtype=float)
+    if a_eq is None:
+        a_eq = np.zeros((0, c.shape[0]))
+        b_eq = np.zeros(0)
+    else:
+        a_eq = np.asarray(a_eq, dtype=float).reshape(-1, c.shape[0])
+        b_eq = np.asarray(b_eq, dtype=float)
+
+    n = c.shape[0]
+    m_ub = a_ub.shape[0]
+    m_eq = a_eq.shape[0]
+    m = m_ub + m_eq
+
+    # Standard form rows: [A | slack | artificial | rhs], rhs >= 0.
+    rows = np.zeros((m, n + m_ub), dtype=float)
+    rhs = np.zeros(m, dtype=float)
+    rows[:m_ub, :n] = a_ub
+    rows[:m_ub, n : n + m_ub] = np.eye(m_ub)
+    rhs[:m_ub] = b_ub
+    rows[m_ub:, :n] = a_eq
+    rhs[m_ub:] = b_eq
+    for i in range(m):
+        if rhs[i] < 0:
+            rows[i] = -rows[i]
+            rhs[i] = -rhs[i]
+
+    # Rows whose slack entered with coefficient -1 (flipped <=) and all
+    # equality rows need an artificial variable.
+    needs_artificial = []
+    for i in range(m):
+        if i < m_ub and rows[i, n + i] == 1.0:
+            continue
+        needs_artificial.append(i)
+    n_art = len(needs_artificial)
+    total_vars = n + m_ub + n_art
+
+    tableau = np.zeros((m + 1, total_vars + 1), dtype=float)
+    tableau[:m, : n + m_ub] = rows
+    tableau[:m, -1] = rhs
+    basis = np.zeros(m, dtype=int)
+    for i in range(m):
+        if i < m_ub and rows[i, n + i] == 1.0:
+            basis[i] = n + i
+    for k, i in enumerate(needs_artificial):
+        col = n + m_ub + k
+        tableau[i, col] = 1.0
+        basis[i] = col
+
+    iterations = 0
+    if n_art:
+        # Phase 1: minimise the sum of artificials.
+        tableau[-1, :] = 0.0
+        for k in range(n_art):
+            tableau[-1, n + m_ub + k] = 1.0
+        for i in needs_artificial:
+            tableau[-1] -= tableau[i]
+        iterations += _simplex_core(tableau, basis, total_vars)
+        if tableau[-1, -1] < -1e-7:
+            raise InfeasibleError("LP has no feasible solution")
+        # Drive any artificial still in the basis out (degenerate rows).
+        for i in range(m):
+            if basis[i] >= n + m_ub:
+                pivot_col = -1
+                for j in range(n + m_ub):
+                    if abs(tableau[i, j]) > EPS:
+                        pivot_col = j
+                        break
+                if pivot_col >= 0:
+                    _pivot(tableau, basis, i, pivot_col)
+                    iterations += 1
+        # Remove artificial columns.
+        tableau = np.delete(
+            tableau, [n + m_ub + k for k in range(n_art)], axis=1
+        )
+        total_vars = n + m_ub
+
+    # Phase 2: maximise c^T x (tableau minimises, so negate).
+    tableau[-1, :] = 0.0
+    tableau[-1, :n] = -c
+    for i in range(m):
+        if basis[i] < total_vars and abs(tableau[-1, basis[i]]) > EPS:
+            tableau[-1] -= tableau[-1, basis[i]] * tableau[i]
+    iterations += _simplex_core(tableau, basis, total_vars)
+
+    x = np.zeros(n)
+    for i in range(m):
+        if basis[i] < n:
+            x[basis[i]] = tableau[i, -1]
+    return LPSolution(x=x, objective=float(c @ x), iterations=iterations)

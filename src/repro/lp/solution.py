@@ -1,0 +1,23 @@
+"""Solution value object for the LP substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """An optimal solution of a linear program.
+
+    Attributes:
+        x: Optimal variable values.
+        objective: Optimal objective value (in the caller's sense --
+            maximisation problems report the maximum).
+        iterations: Total simplex pivots across both phases.
+    """
+
+    x: np.ndarray
+    objective: float
+    iterations: int

@@ -1,0 +1,34 @@
+"""Multiple-choice knapsack substrate for the single-vendor problems."""
+
+from repro.mckp.branch_and_bound import solve_branch_and_bound
+from repro.mckp.dominance import (
+    incremental_efficiencies,
+    remove_dominated,
+    remove_lp_dominated,
+)
+from repro.mckp.dynamic_programming import solve_dp_by_cost, solve_fptas
+from repro.mckp.items import MCKPInstance, MCKPItem, MCKPSolution
+from repro.mckp.lp_relaxation import (
+    LPRelaxationResult,
+    solve_greedy,
+    solve_lp_relaxation,
+)
+from repro.mckp.solvers import SOLVER_NAMES, lp_value_via_simplex, solve
+
+__all__ = [
+    "solve_branch_and_bound",
+    "incremental_efficiencies",
+    "remove_dominated",
+    "remove_lp_dominated",
+    "solve_dp_by_cost",
+    "solve_fptas",
+    "MCKPInstance",
+    "MCKPItem",
+    "MCKPSolution",
+    "LPRelaxationResult",
+    "solve_greedy",
+    "solve_lp_relaxation",
+    "SOLVER_NAMES",
+    "lp_value_via_simplex",
+    "solve",
+]

@@ -1,0 +1,91 @@
+"""Dominance filtering for MCKP classes.
+
+Two classic reductions (Sinha & Zoltners [19]):
+
+* *Dominance*: item b is dominated by item a of the same class when
+  ``a.cost <= b.cost`` and ``a.profit >= b.profit`` -- b can never be
+  part of an optimal solution.
+* *LP-dominance*: among undominated items, only those on the upper
+  convex hull of the (cost, profit) point set (with the origin added,
+  because classes are optional) can appear in an optimal solution of the
+  LP relaxation.  The surviving chain has strictly decreasing
+  incremental efficiencies, which is exactly what the greedy
+  LP-relaxation solver consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.mckp.items import MCKPItem
+
+#: Tolerance for cost/profit comparisons during filtering.
+_EPS = 1e-12
+
+
+def remove_dominated(items: Sequence[MCKPItem]) -> List[MCKPItem]:
+    """Drop dominated items from one class.
+
+    Returns the survivors sorted by increasing cost, with strictly
+    increasing profit.  Zero-profit items are kept only if nothing
+    cheaper exists (they can never help, but preserving one keeps the
+    degenerate all-zero class representable).
+    """
+    by_cost = sorted(items, key=lambda item: (item.cost, -item.profit))
+    survivors: List[MCKPItem] = []
+    best_profit = -1.0
+    for item in by_cost:
+        if item.profit > best_profit + _EPS:
+            survivors.append(item)
+            best_profit = item.profit
+    return survivors
+
+
+def remove_lp_dominated(items: Sequence[MCKPItem]) -> List[MCKPItem]:
+    """Keep only the upper-convex-hull chain of one class.
+
+    The input need not be pre-filtered; plain dominance is applied
+    first.  The origin ``(0, 0)`` participates in the hull because
+    choosing nothing from the class is allowed, so the first survivor is
+    the item with the highest plain efficiency.
+
+    Returns:
+        Hull items sorted by increasing cost; consecutive incremental
+        efficiencies are strictly decreasing.
+    """
+    candidates = remove_dominated(items)
+    candidates = [item for item in candidates if item.profit > _EPS]
+    if not candidates:
+        return []
+    # Andrew-monotone-chain style scan over (cost, profit), seeded with
+    # the origin.  hull holds (cost, profit, item|None).
+    hull: List[tuple] = [(0.0, 0.0, None)]
+    for item in candidates:
+        while len(hull) >= 2:
+            (c1, p1, _), (c2, p2, _) = hull[-2], hull[-1]
+            # Slope from hull[-2] to hull[-1] must exceed the slope from
+            # hull[-2] to the new point, else hull[-1] is LP-dominated.
+            lhs = (p2 - p1) * (item.cost - c1)
+            rhs = (item.profit - p1) * (c2 - c1)
+            if lhs <= rhs + _EPS:
+                hull.pop()
+            else:
+                break
+        hull.append((item.cost, item.profit, item))
+    return [entry[2] for entry in hull[1:]]
+
+
+def incremental_efficiencies(chain: Sequence[MCKPItem]) -> List[float]:
+    """Incremental efficiencies along an LP-undominated chain.
+
+    Entry t is ``(p_t - p_{t-1}) / (c_t - c_{t-1})`` with the virtual
+    origin as predecessor of the first item.
+    """
+    efficiencies = []
+    prev_cost, prev_profit = 0.0, 0.0
+    for item in chain:
+        efficiencies.append(
+            (item.profit - prev_profit) / (item.cost - prev_cost)
+        )
+        prev_cost, prev_profit = item.cost, item.profit
+    return efficiencies

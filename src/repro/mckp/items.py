@@ -1,0 +1,138 @@
+"""Data model for the multiple-choice knapsack problem (MCKP).
+
+The single-vendor problem of Section III-A is an MCKP: each valid
+customer of the vendor forms a *class*; the class's *items* are the ad
+types, with cost :math:`c_k` and profit :math:`\\lambda_{ijk}`; at most
+one item per class may be chosen, subject to the vendor budget.
+Classes are *optional* -- choosing nothing from a class is allowed --
+matching the :math:`\\sum_k x_{iok} \\le 1` constraint of Eq. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
+
+from repro.exceptions import InvalidProblemError
+
+
+@dataclass(frozen=True)
+class MCKPItem:
+    """One selectable item of one class.
+
+    Attributes:
+        class_id: The class (customer) the item belongs to.
+        item_id: Identity within the class (ad type id).
+        cost: Knapsack weight :math:`c_k > 0`.
+        profit: Objective contribution :math:`\\lambda_{ijk} \\ge 0`.
+    """
+
+    class_id: Hashable
+    item_id: Hashable
+    cost: float
+    profit: float
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise InvalidProblemError(
+                f"MCKP item {(self.class_id, self.item_id)}: cost must be "
+                f"positive, got {self.cost}"
+            )
+        if self.profit < 0:
+            raise InvalidProblemError(
+                f"MCKP item {(self.class_id, self.item_id)}: profit must be "
+                f"non-negative, got {self.profit}"
+            )
+
+    @property
+    def efficiency(self) -> float:
+        """Profit per unit of cost."""
+        return self.profit / self.cost
+
+
+@dataclass(frozen=True)
+class MCKPInstance:
+    """An MCKP instance: optional classes of items plus a budget.
+
+    Attributes:
+        classes: class_id -> items of that class.
+        budget: Knapsack capacity :math:`B`.
+    """
+
+    classes: Mapping[Hashable, Tuple[MCKPItem, ...]]
+    budget: float
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise InvalidProblemError(
+                f"MCKP budget must be >= 0, got {self.budget}"
+            )
+        for class_id, items in self.classes.items():
+            for item in items:
+                if item.class_id != class_id:
+                    raise InvalidProblemError(
+                        f"item {item} filed under wrong class {class_id!r}"
+                    )
+
+    @classmethod
+    def from_items(
+        cls, items: Iterable[MCKPItem], budget: float
+    ) -> "MCKPInstance":
+        """Group a flat item list into classes."""
+        classes: Dict[Hashable, List[MCKPItem]] = {}
+        for item in items:
+            classes.setdefault(item.class_id, []).append(item)
+        return cls(
+            classes={k: tuple(v) for k, v in classes.items()}, budget=budget
+        )
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes."""
+        return len(self.classes)
+
+    @property
+    def n_items(self) -> int:
+        """Total number of items across classes."""
+        return sum(len(items) for items in self.classes.values())
+
+    def all_items(self) -> List[MCKPItem]:
+        """Every item, flattened."""
+        return [item for items in self.classes.values() for item in items]
+
+
+@dataclass
+class MCKPSolution:
+    """An (integral) MCKP solution.
+
+    Attributes:
+        chosen: class_id -> the selected item (absent classes chose
+            nothing).
+        total_profit: Sum of selected profits.
+        total_cost: Sum of selected costs.
+        upper_bound: An upper bound on the optimal profit when the
+            solver provides one (the LP relaxation value), else ``None``.
+    """
+
+    chosen: Dict[Hashable, MCKPItem] = field(default_factory=dict)
+    total_profit: float = 0.0
+    total_cost: float = 0.0
+    upper_bound: float = None  # type: ignore[assignment]
+
+    def add(self, item: MCKPItem) -> None:
+        """Select ``item`` for its class.
+
+        Raises:
+            InvalidProblemError: If the class already has a selection.
+        """
+        if item.class_id in self.chosen:
+            raise InvalidProblemError(
+                f"class {item.class_id!r} already has a selected item"
+            )
+        self.chosen[item.class_id] = item
+        self.total_profit += item.profit
+        self.total_cost += item.cost
+
+    def is_feasible(self, instance: MCKPInstance, tolerance: float = 1e-9) -> bool:
+        """Whether the solution respects the instance budget."""
+        return self.total_cost <= instance.budget + tolerance

@@ -1,0 +1,157 @@
+"""Greedy LP-relaxation solver for the MCKP (Ibaraki [14] / Sinha-Zoltners [19]).
+
+After LP-dominance filtering, each class is a chain of items with
+decreasing incremental efficiencies.  The LP relaxation of MCKP is then
+solved *exactly* by a single greedy sweep over all increments in
+decreasing efficiency order, stopping at the budget; at most one
+increment is taken fractionally.  Dropping the fractional increment
+yields an integral solution whose profit is at least
+``LP_opt - max_item_profit`` -- combined with the best-single-item
+fallback this is the classical 1/2-approximation, and on the paper's
+workloads (many small-cost items against a large budget) it is within
+:math:`(1 - \\varepsilon)` of optimal because the fractional loss is one
+item out of many.  An exact :math:`(1-\\varepsilon)` FPTAS is available
+in :mod:`repro.mckp.dynamic_programming` for callers that need the
+guarantee at any instance size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.mckp.dominance import remove_lp_dominated
+from repro.mckp.items import MCKPInstance, MCKPItem, MCKPSolution
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class _Increment:
+    """One step up a class's LP-undominated chain."""
+
+    class_id: Hashable
+    level: int  # position in the chain, 0-based
+    delta_cost: float
+    delta_profit: float
+    item: MCKPItem  # the item reached by taking this increment
+
+    @property
+    def efficiency(self) -> float:
+        return self.delta_profit / self.delta_cost
+
+
+def _build_increments(
+    instance: MCKPInstance,
+) -> Tuple[List[_Increment], Dict[Hashable, List[MCKPItem]]]:
+    """LP-dominance-filter every class and emit its increments."""
+    increments: List[_Increment] = []
+    chains: Dict[Hashable, List[MCKPItem]] = {}
+    for class_id, items in instance.classes.items():
+        chain = remove_lp_dominated(items)
+        if not chain:
+            continue
+        chains[class_id] = chain
+        prev_cost, prev_profit = 0.0, 0.0
+        for level, item in enumerate(chain):
+            increments.append(
+                _Increment(
+                    class_id=class_id,
+                    level=level,
+                    delta_cost=item.cost - prev_cost,
+                    delta_profit=item.profit - prev_profit,
+                    item=item,
+                )
+            )
+            prev_cost, prev_profit = item.cost, item.profit
+    # Within a class efficiencies strictly decrease, so a global sort by
+    # efficiency (ties: class then level) preserves per-class order.
+    increments.sort(
+        key=lambda inc: (-inc.efficiency, str(inc.class_id), inc.level)
+    )
+    return increments, chains
+
+
+@dataclass
+class LPRelaxationResult:
+    """Outcome of the greedy LP-relaxation sweep.
+
+    Attributes:
+        lp_value: Exact optimum of the LP relaxation (an upper bound on
+            the integral optimum).
+        integral: The greedy integral solution (fractional part dropped,
+            best-single-item fallback applied).
+        fractional_class: Class of the increment taken fractionally, or
+            ``None`` when the LP optimum is integral.
+        fraction: Fraction of the breaking increment taken (0 when
+            integral).
+    """
+
+    lp_value: float
+    integral: MCKPSolution
+    fractional_class: Optional[Hashable]
+    fraction: float
+
+
+def solve_lp_relaxation(instance: MCKPInstance) -> LPRelaxationResult:
+    """Solve the MCKP LP relaxation exactly and round greedily.
+
+    Returns:
+        The LP value, the integral (rounded) solution with its
+        ``upper_bound`` field set to the LP value, and the fractional
+        remainder information.
+    """
+    increments, _chains = _build_increments(instance)
+
+    remaining = instance.budget
+    lp_value = 0.0
+    fraction = 0.0
+    fractional_class: Optional[Hashable] = None
+    taken_level: Dict[Hashable, MCKPItem] = {}
+
+    for inc in increments:
+        if remaining <= _EPS:
+            break
+        if inc.delta_cost <= remaining + _EPS:
+            taken_level[inc.class_id] = inc.item
+            lp_value += inc.delta_profit
+            remaining -= inc.delta_cost
+        else:
+            fraction = remaining / inc.delta_cost
+            lp_value += fraction * inc.delta_profit
+            fractional_class = inc.class_id
+            remaining = 0.0
+            break
+
+    integral = MCKPSolution(upper_bound=lp_value)
+    for item in taken_level.values():
+        integral.add(item)
+
+    # Classical safeguard: the better of (greedy integral) and (best
+    # single affordable item) is a 1/2-approximation even adversarially.
+    best_single = _best_single_item(instance)
+    if best_single is not None and best_single.profit > integral.total_profit:
+        integral = MCKPSolution(upper_bound=lp_value)
+        integral.add(best_single)
+
+    return LPRelaxationResult(
+        lp_value=lp_value,
+        integral=integral,
+        fractional_class=fractional_class,
+        fraction=fraction,
+    )
+
+
+def _best_single_item(instance: MCKPInstance) -> Optional[MCKPItem]:
+    """The most profitable single item that fits the budget alone."""
+    best: Optional[MCKPItem] = None
+    for item in instance.all_items():
+        if item.cost <= instance.budget + _EPS:
+            if best is None or item.profit > best.profit:
+                best = item
+    return best
+
+
+def solve_greedy(instance: MCKPInstance) -> MCKPSolution:
+    """Convenience wrapper returning just the integral solution."""
+    return solve_lp_relaxation(instance).integral

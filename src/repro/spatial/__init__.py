@@ -1,0 +1,31 @@
+"""Spatial substrate: geometry and grid-based range queries."""
+
+from repro.spatial.geometry import (
+    Point,
+    bounding_box,
+    euclidean,
+    normalize_to_unit_square,
+    squared_distance,
+    within_radius,
+)
+from repro.spatial.grid_index import GridIndex
+from repro.spatial.queries import (
+    build_customer_index,
+    build_vendor_index,
+    valid_customers,
+    valid_vendors,
+)
+
+__all__ = [
+    "Point",
+    "bounding_box",
+    "euclidean",
+    "normalize_to_unit_square",
+    "squared_distance",
+    "within_radius",
+    "GridIndex",
+    "build_customer_index",
+    "build_vendor_index",
+    "valid_customers",
+    "valid_vendors",
+]

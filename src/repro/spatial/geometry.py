@@ -1,0 +1,77 @@
+"""Plain 2-D geometry helpers used across the library.
+
+Locations live in an arbitrary planar coordinate system; the paper maps
+Foursquare check-in coordinates linearly into the unit square
+:math:`[0, 1]^2` and we follow that convention in the data generators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def squared_distance(a: Point, b: Point) -> float:
+    """Squared Euclidean distance (avoids the sqrt in comparisons)."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def within_radius(a: Point, b: Point, radius: float) -> bool:
+    """Whether two points are within ``radius`` of each other."""
+    return squared_distance(a, b) <= radius * radius
+
+
+def bounding_box(points: Iterable[Point]) -> Tuple[Point, Point]:
+    """Axis-aligned bounding box ``(min_corner, max_corner)`` of points.
+
+    Raises:
+        ValueError: If ``points`` is empty.
+    """
+    xs = []
+    ys = []
+    for x, y in points:
+        xs.append(x)
+        ys.append(y)
+    if not xs:
+        raise ValueError("bounding_box of an empty point set")
+    return (min(xs), min(ys)), (max(xs), max(ys))
+
+
+def normalize_to_unit_square(
+    points: Sequence[Point], padding: float = 0.0
+) -> list:
+    """Linearly map points into :math:`[0, 1]^2`, preserving aspect per axis.
+
+    This is the "linearly map check-in locations from Foursquare into a
+    [0,1]^2 data space" step of the paper's experimental methodology.
+
+    Args:
+        points: The raw coordinates (e.g. longitude/latitude pairs).
+        padding: Optional margin so mapped points stay inside
+            ``[padding, 1 - padding]``.
+
+    Returns:
+        A list of mapped ``(x, y)`` tuples in the same order.
+    """
+    if not points:
+        return []
+    (min_x, min_y), (max_x, max_y) = bounding_box(points)
+    span_x = max_x - min_x or 1.0
+    span_y = max_y - min_y or 1.0
+    scale = 1.0 - 2.0 * padding
+    return [
+        (
+            padding + scale * (x - min_x) / span_x,
+            padding + scale * (y - min_y) / span_y,
+        )
+        for x, y in points
+    ]

@@ -1,0 +1,62 @@
+"""Range-query helpers tying the grid index to MUAA entities.
+
+A customer is *valid* for a vendor when it lies within the vendor's
+advertising radius (constraint 1 of Definition 5).  Vendors have
+heterogeneous radii, so the vendor-side index is built with a cell size
+of the *maximum* radius and each query filters per-vendor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.entities import Customer, Vendor
+from repro.spatial.geometry import within_radius
+from repro.spatial.grid_index import GridIndex
+
+#: Fallback cell size when every radius is zero (degenerate instances).
+_MIN_CELL = 1e-6
+
+
+def build_customer_index(customers: Sequence[Customer], cell_size: float) -> GridIndex:
+    """Index customer locations for vendor-side range queries."""
+    return GridIndex.build(
+        [(c.customer_id, c.location) for c in customers],
+        max(cell_size, _MIN_CELL),
+    )
+
+
+def build_vendor_index(vendors: Sequence[Vendor]) -> GridIndex:
+    """Index vendor locations, sized by the largest advertising radius."""
+    max_radius = max((v.radius for v in vendors), default=0.0)
+    return GridIndex.build(
+        [(v.vendor_id, v.location) for v in vendors],
+        max(max_radius, _MIN_CELL),
+    )
+
+
+def valid_customers(
+    vendor: Vendor,
+    customer_index: GridIndex,
+) -> List[int]:
+    """Customer ids inside the vendor's advertising radius."""
+    return customer_index.query_radius(vendor.location, vendor.radius)
+
+
+def valid_vendors(
+    customer: Customer,
+    vendors_by_id: Dict[int, Vendor],
+    vendor_index: GridIndex,
+    max_radius: float,
+) -> List[int]:
+    """Vendor ids whose circular area contains the customer.
+
+    The index query over-approximates with ``max_radius`` and the exact
+    per-vendor radius check filters the candidates.
+    """
+    candidates = vendor_index.query_radius(customer.location, max_radius)
+    return [
+        vid for vid in candidates
+        if within_radius(customer.location, vendors_by_id[vid].location,
+                         vendors_by_id[vid].radius)
+    ]

@@ -1,0 +1,42 @@
+"""Arrival processes for the online MUAA setting.
+
+The paper notes that only the *order* of customers matters to the online
+algorithm; these helpers produce arrival orders, either by the
+customers' timestamps (the real-data convention: check-in times modulo
+24 hours) or by an explicit random permutation (the synthetic-data
+convention: "we use the orders of the customers to indicate their
+timestamps").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.entities import Customer
+
+
+def by_arrival_time(customers: Sequence[Customer]) -> List[Customer]:
+    """Customers sorted by their timestamps (stable for ties)."""
+    return sorted(customers, key=lambda c: c.arrival_time)
+
+
+def random_order(
+    customers: Sequence[Customer], seed: Optional[int] = None
+) -> List[Customer]:
+    """A uniformly random arrival order."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(customers))
+    return [customers[i] for i in order]
+
+
+def adversarial_order(customers: Sequence[Customer]) -> List[Customer]:
+    """Low-value customers first (stress order for online algorithms).
+
+    Sorting by increasing view probability front-loads the weakest
+    customers, which is the regime where threshold-less online
+    strategies burn their budgets worst; used in the competitive-ratio
+    benchmarks.
+    """
+    return sorted(customers, key=lambda c: c.view_probability)

@@ -1,0 +1,98 @@
+"""Operational metrics over streaming results.
+
+The paper's evaluation reports mean CPU time per customer; a deployed
+broker also watches tail latencies (p95/p99 against the "customers go
+inactive in seconds" deadline) and how evenly vendor budgets burn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.problem import MUAAProblem
+from repro.stream.simulator import StreamResult
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Latency distribution of a stream's decisions (seconds).
+
+    Attributes:
+        mean: Mean decision time.
+        p50: Median.
+        p95: 95th percentile.
+        p99: 99th percentile.
+        worst: Maximum.
+    """
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    worst: float
+
+
+def latency_profile(result: StreamResult) -> LatencyProfile:
+    """Percentile summary of the recorded per-customer latencies.
+
+    Raises:
+        ValueError: If the stream recorded no latencies.
+    """
+    if not result.latencies:
+        raise ValueError("stream recorded no latencies")
+    values = np.array(result.latencies)
+    return LatencyProfile(
+        mean=float(values.mean()),
+        p50=float(np.quantile(values, 0.50)),
+        p95=float(np.quantile(values, 0.95)),
+        p99=float(np.quantile(values, 0.99)),
+        worst=float(values.max()),
+    )
+
+
+def budget_utilisation(
+    problem: MUAAProblem, result: StreamResult
+) -> Dict[int, float]:
+    """Per-vendor fraction of budget spent (0 for zero-budget vendors)."""
+    utilisation: Dict[int, float] = {}
+    for vendor in problem.vendors:
+        if vendor.budget <= 0:
+            utilisation[vendor.vendor_id] = 0.0
+            continue
+        spent = result.assignment.spend_for_vendor(vendor.vendor_id)
+        utilisation[vendor.vendor_id] = spent / vendor.budget
+    return utilisation
+
+
+def utilisation_summary(
+    problem: MUAAProblem, result: StreamResult
+) -> Dict[str, float]:
+    """Aggregate budget-burn statistics across vendors.
+
+    Returns:
+        ``{"mean", "min", "max", "fully_spent_fraction"}`` where a
+        vendor counts as fully spent when its remaining budget cannot
+        afford the cheapest ad.
+    """
+    per_vendor = budget_utilisation(problem, result)
+    if not per_vendor:
+        return {
+            "mean": 0.0, "min": 0.0, "max": 0.0, "fully_spent_fraction": 0.0
+        }
+    values = np.array(list(per_vendor.values()))
+    fully_spent = 0
+    for vendor in problem.vendors:
+        remaining = vendor.budget - result.assignment.spend_for_vendor(
+            vendor.vendor_id
+        )
+        if remaining < problem.min_cost:
+            fully_spent += 1
+    return {
+        "mean": float(values.mean()),
+        "min": float(values.min()),
+        "max": float(values.max()),
+        "fully_spent_fraction": fully_spent / len(problem.vendors),
+    }

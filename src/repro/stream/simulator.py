@@ -1,0 +1,164 @@
+"""Streaming simulator for the online MUAA setting (Section IV).
+
+Customers arrive one at a time; the online algorithm must decide that
+customer's ads immediately, seeing only the static vendor state and the
+budgets consumed so far.  The simulator owns the committed assignment
+(so budgets are authoritative), measures per-customer decision latency,
+and can wrap any online algorithm as an offline one for the shared
+experiment harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.algorithms.base import OfflineAlgorithm, OnlineAlgorithm, SolveResult
+from repro.core.assignment import Assignment
+from repro.core.entities import Customer
+from repro.core.problem import MUAAProblem
+from repro.stream.arrivals import by_arrival_time
+
+
+@dataclass
+class StreamResult:
+    """Outcome of simulating one customer stream.
+
+    Attributes:
+        assignment: All committed ad instances.
+        latencies: Per-customer decision wall-clock seconds, in arrival
+            order.
+        rejected_instances: Instances the algorithm returned but the
+            simulator refused (infeasible against committed state);
+            a correct algorithm keeps this at zero.
+        customers_lost: Customers whose decision exceeded the configured
+            deadline (they went inactive before the broker answered).
+    """
+
+    assignment: Assignment
+    latencies: List[float] = field(default_factory=list)
+    rejected_instances: int = 0
+    customers_lost: int = 0
+
+    @property
+    def total_utility(self) -> float:
+        """Overall utility of the committed assignment."""
+        return self.assignment.total_utility
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-customer decision time in seconds."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+
+class OnlineSimulator:
+    """Drives an online algorithm over an arrival sequence.
+
+    Args:
+        problem: The MUAA instance; its customer list is only used when
+            no explicit arrival sequence is supplied (then arrival-time
+            order is used).
+    """
+
+    def __init__(self, problem: MUAAProblem) -> None:
+        self._problem = problem
+
+    def run(
+        self,
+        algorithm: OnlineAlgorithm,
+        arrivals: Optional[Sequence[Customer]] = None,
+        measure_latency: bool = True,
+        decision_deadline: Optional[float] = None,
+    ) -> StreamResult:
+        """Simulate the stream and return the committed assignment.
+
+        Each instance returned by the algorithm is validated against the
+        committed state before being applied; infeasible ones are
+        counted and dropped rather than corrupting budgets.
+
+        Args:
+            algorithm: The online algorithm under test.
+            arrivals: Arrival order (arrival-time order by default).
+            measure_latency: Record per-customer decision seconds.
+            decision_deadline: When set, a customer whose decision took
+                longer than this many seconds is *lost* -- their ads are
+                dropped (counted in ``customers_lost``).  Models
+                Section II-E's observation that customers switch to the
+                inactive status within seconds, so slow brokers lose
+                the impression.  Implies latency measurement.
+        """
+        problem = self._problem
+        if arrivals is None:
+            arrivals = by_arrival_time(problem.customers)
+        assignment = problem.new_assignment()
+        result = StreamResult(assignment=assignment)
+        algorithm.reset(problem)
+
+        # Decisions may be deferred (micro-batching), so an instance is
+        # admissible for any customer that has *already arrived* -- but
+        # never for a future or unknown one, which would break the
+        # online model.
+        seen = set()
+        timed = measure_latency or decision_deadline is not None
+        for customer in arrivals:
+            seen.add(customer.customer_id)
+            if timed:
+                start = time.perf_counter()
+            picked = algorithm.process_customer(problem, customer, assignment)
+            if timed:
+                elapsed = time.perf_counter() - start
+                if measure_latency:
+                    result.latencies.append(elapsed)
+                if (
+                    decision_deadline is not None
+                    and elapsed > decision_deadline
+                ):
+                    result.customers_lost += 1
+                    continue  # customer went inactive; ads are dropped
+            for instance in picked:
+                if instance.customer_id not in seen:
+                    result.rejected_instances += 1
+                    continue
+                if not assignment.add(instance, strict=False):
+                    result.rejected_instances += 1
+        return result
+
+
+class OnlineAsOffline(OfflineAlgorithm):
+    """Adapter: run an online algorithm through the offline interface.
+
+    The shared experiment runner treats every algorithm as offline; this
+    adapter streams the customers in arrival-time order and reports the
+    simulator's mean per-customer latency (the paper's "CPU time" for
+    online algorithms).
+    """
+
+    def __init__(self, algorithm: OnlineAlgorithm) -> None:
+        self._algorithm = algorithm
+        self.name = algorithm.name
+        self.last_stream_result: Optional[StreamResult] = None
+
+    def solve(self, problem: MUAAProblem) -> Assignment:
+        result = OnlineSimulator(problem).run(self._algorithm)
+        self.last_stream_result = result
+        return result.assignment
+
+    def run(self, problem: MUAAProblem) -> SolveResult:
+        start = time.perf_counter()
+        assignment = self.solve(problem)
+        elapsed = time.perf_counter() - start
+        stream = self.last_stream_result
+        per_customer = stream.mean_latency if stream is not None else 0.0
+        extras = {}
+        if stream is not None:
+            extras["rejected_instances"] = float(stream.rejected_instances)
+        return SolveResult(
+            algorithm=self.name,
+            assignment=assignment,
+            wall_time=elapsed,
+            per_customer_seconds=per_customer,
+            extras=extras,
+        )

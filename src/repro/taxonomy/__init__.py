@@ -1,0 +1,25 @@
+"""Tag taxonomy substrate: the category tree and interest-vector maths."""
+
+from repro.taxonomy.foursquare import FOURSQUARE_CATEGORIES, foursquare_taxonomy
+from repro.taxonomy.interest import (
+    DEFAULT_KAPPA,
+    DEFAULT_OVERALL_SCORE,
+    interest_vector,
+    propagate_score,
+    topic_scores,
+    vendor_vector,
+)
+from repro.taxonomy.tree import ROOT, Taxonomy
+
+__all__ = [
+    "FOURSQUARE_CATEGORIES",
+    "foursquare_taxonomy",
+    "DEFAULT_KAPPA",
+    "DEFAULT_OVERALL_SCORE",
+    "interest_vector",
+    "propagate_score",
+    "topic_scores",
+    "vendor_vector",
+    "ROOT",
+    "Taxonomy",
+]

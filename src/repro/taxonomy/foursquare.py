@@ -1,0 +1,142 @@
+"""A built-in Foursquare-style venue category taxonomy.
+
+The paper (Section II, Fig. 2) uses the Foursquare category hierarchy as
+its tag taxonomy.  This module ships a two-level snapshot of that
+hierarchy -- the nine classic top-level categories and a representative
+set of subcategories -- large enough to exercise every code path
+(propagation up paths, sibling counts, diurnal activity per category)
+without requiring network access to the Foursquare API.
+
+The exact membership of the tree does not affect algorithm correctness;
+it only shapes the synthetic workloads.
+"""
+
+from __future__ import annotations
+
+from repro.taxonomy.tree import Taxonomy
+
+#: (top-level category, subcategories) in Foursquare's classic layout.
+FOURSQUARE_CATEGORIES = (
+    (
+        "Arts & Entertainment",
+        (
+            "Movie Theater",
+            "Museum",
+            "Music Venue",
+            "Stadium",
+            "Theme Park",
+            "Art Gallery",
+            "Aquarium",
+            "Casino",
+        ),
+    ),
+    (
+        "College & University",
+        (
+            "Academic Building",
+            "University Library",
+            "Student Center",
+            "College Cafeteria",
+            "Lab",
+        ),
+    ),
+    (
+        "Food",
+        (
+            "Ramen Restaurant",
+            "Sushi Restaurant",
+            "Pizza Place",
+            "Coffee Shop",
+            "Teahouse",
+            "Burger Joint",
+            "Bakery",
+            "Chinese Restaurant",
+            "Italian Restaurant",
+            "Fast Food Restaurant",
+            "Dessert Shop",
+            "BBQ Joint",
+        ),
+    ),
+    (
+        "Nightlife Spot",
+        (
+            "Bar",
+            "Nightclub",
+            "Pub",
+            "Karaoke Box",
+            "Cocktail Bar",
+            "Sake Bar",
+        ),
+    ),
+    (
+        "Outdoors & Recreation",
+        (
+            "Park",
+            "Gym",
+            "Trail",
+            "Beach",
+            "Playground",
+            "Ski Area",
+            "Garden",
+        ),
+    ),
+    (
+        "Professional & Other Places",
+        (
+            "Office",
+            "Coworking Space",
+            "Convention Center",
+            "Medical Center",
+            "Post Office",
+        ),
+    ),
+    (
+        "Residence",
+        (
+            "Home",
+            "Apartment Building",
+            "Housing Development",
+        ),
+    ),
+    (
+        "Shop & Service",
+        (
+            "Convenience Store",
+            "Electronics Store",
+            "Bookstore",
+            "Clothing Store",
+            "Shoe Store",
+            "Supermarket",
+            "Department Store",
+            "Salon / Barbershop",
+            "Drugstore",
+            "Sporting Goods Shop",
+        ),
+    ),
+    (
+        "Travel & Transport",
+        (
+            "Train Station",
+            "Bus Station",
+            "Airport",
+            "Hotel",
+            "Metro Station",
+            "Taxi Stand",
+        ),
+    ),
+)
+
+
+def foursquare_taxonomy() -> Taxonomy:
+    """Build the built-in two-level Foursquare-style taxonomy.
+
+    Returns:
+        A fresh :class:`~repro.taxonomy.tree.Taxonomy` with 9 top-level
+        categories and their subcategories, every call independent.
+    """
+    tax = Taxonomy()
+    for top, subs in FOURSQUARE_CATEGORIES:
+        tax.add(top)
+        for sub in subs:
+            tax.add(sub, parent=top)
+    return tax

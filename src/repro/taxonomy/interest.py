@@ -1,0 +1,169 @@
+"""Taxonomy-driven interest vectors from check-in histories (Eqs. 1-3).
+
+Following Ziegler et al. as adopted by the paper (Section II-A): a
+customer's check-ins yield per-tag topic scores (Eq. 1); each topic
+score is distributed along the tag's path to the root so that explicit
+interest in a subcategory implies diluted interest in its ancestors
+(Eqs. 2-3), with propagation factor :math:`\\kappa` and equal sharing
+among siblings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.exceptions import TaxonomyError
+from repro.taxonomy.tree import Taxonomy
+
+#: Default propagation factor kappa of Eq. 3.
+DEFAULT_KAPPA = 0.5
+
+#: Default fixed overall score s distributed over checked-in tags (Eq. 1).
+DEFAULT_OVERALL_SCORE = 1.0
+
+
+def topic_scores(
+    checkins: Mapping[str, int],
+    overall_score: float = DEFAULT_OVERALL_SCORE,
+) -> Dict[str, float]:
+    """Eq. 1: distribute a fixed overall score over checked-in tags.
+
+    Args:
+        checkins: Tag -> number of check-ins :math:`h(g_k)` for one user.
+        overall_score: The arbitrary fixed score :math:`s`.
+
+    Returns:
+        Tag -> topic score :math:`sc(g_k)`.  Tags with zero check-ins
+        are dropped; an empty history yields an empty mapping.
+    """
+    total = sum(count for count in checkins.values() if count > 0)
+    if total <= 0:
+        return {}
+    return {
+        tag: overall_score * count / total
+        for tag, count in checkins.items()
+        if count > 0
+    }
+
+
+def propagate_score(
+    taxonomy: Taxonomy,
+    tag: str,
+    score: float,
+    kappa: float = DEFAULT_KAPPA,
+) -> Dict[str, float]:
+    """Eqs. 2-3: split one topic score along the tag's path to the root.
+
+    The interest scores :math:`sco(e_m)` along the path satisfy both the
+    conservation constraint :math:`\\sum_m sco(e_m) = sc(g_k)` (Eq. 2)
+    and the sibling-sharing recurrence
+    :math:`sco(e_{m-1}) = \\kappa \\cdot sco(e_m) / (sib(e_m) + 1)`
+    (Eq. 3).  Solving the two gives a unique score for every tag on the
+    path, computed here in closed form.
+
+    Args:
+        taxonomy: The tag taxonomy.
+        tag: The checked-in tag :math:`g_k` (must exist in the taxonomy).
+        score: The topic score :math:`sc(g_k)` from Eq. 1.
+        kappa: Propagation factor.
+
+    Returns:
+        Tag -> interest score contribution for every tag on the path
+        (leaf included, implicit root excluded).
+    """
+    path = taxonomy.path_to_root(tag)  # leaf first, excludes root
+    # Weight of each path node relative to the leaf: w_leaf = 1 and going
+    # up one level multiplies by kappa / (siblings + 1).
+    weights = [1.0]
+    for node in path[:-1]:
+        step = kappa / (taxonomy.siblings(node) + 1)
+        weights.append(weights[-1] * step)
+    total_weight = sum(weights)
+    base = score / total_weight
+    return {node: base * weight for node, weight in zip(path, weights)}
+
+
+def interest_vector(
+    taxonomy: Taxonomy,
+    checkins: Mapping[str, int],
+    kappa: float = DEFAULT_KAPPA,
+    overall_score: float = DEFAULT_OVERALL_SCORE,
+    normalize: Optional[str] = "max",
+) -> np.ndarray:
+    """Customer interest vector :math:`\\psi_i` from a check-in history.
+
+    Combines Eq. 1 (topic scores) with Eqs. 2-3 (path propagation) and
+    sums the contributions per tag, as described in Section II-A.
+
+    Args:
+        taxonomy: The tag taxonomy.
+        checkins: Tag -> check-in count for the customer.
+        kappa: Propagation factor of Eq. 3.
+        overall_score: Overall score :math:`s` of Eq. 1.
+        normalize: ``"max"`` rescales the vector into ``[0, 1]`` by its
+            maximum entry (the paper requires entries in ``[0, 1]``);
+            ``"sum"`` makes entries sum to 1; ``None`` keeps raw scores.
+
+    Returns:
+        A dense vector indexed by :meth:`Taxonomy.index`.
+
+    Raises:
+        TaxonomyError: If a check-in references an unknown tag.
+        ValueError: On an unknown ``normalize`` mode.
+    """
+    if normalize not in (None, "max", "sum"):
+        raise ValueError(f"unknown normalize mode {normalize!r}")
+    vector = np.zeros(len(taxonomy))
+    for tag, score in topic_scores(checkins, overall_score).items():
+        if tag not in taxonomy:
+            raise TaxonomyError(f"check-in references unknown tag {tag!r}")
+        for node, contribution in propagate_score(taxonomy, tag, score, kappa).items():
+            vector[taxonomy.index(node)] += contribution
+    if normalize == "max":
+        peak = vector.max(initial=0.0)
+        if peak > 0:
+            vector /= peak
+    elif normalize == "sum":
+        total = vector.sum()
+        if total > 0:
+            vector /= total
+    return vector
+
+
+def vendor_vector(
+    taxonomy: Taxonomy,
+    category: str,
+    kappa: float = DEFAULT_KAPPA,
+    propagate: bool = True,
+) -> np.ndarray:
+    """Vendor tag vector :math:`\\psi_j` from its venue category.
+
+    The paper's simple rule sets :math:`\\psi_j^{(k)} = 1` for the
+    vendor's category.  With ``propagate=True`` (the default, matching
+    the "use the similar method in estimating :math:`\\psi_i`" remark)
+    the ancestors additionally receive the Eq. 3 propagated shares, so a
+    "Pizza Place" vendor is also weakly tagged "Food" -- which is what
+    makes customer-vendor Pearson similarity informative.
+
+    Args:
+        taxonomy: The tag taxonomy.
+        category: The vendor's venue category.
+        kappa: Propagation factor used when ``propagate`` is set.
+        propagate: Whether to spread weight to ancestor tags.
+
+    Returns:
+        A dense vector with the category entry equal to 1.
+    """
+    vector = np.zeros(len(taxonomy))
+    if not propagate:
+        vector[taxonomy.index(category)] = 1.0
+        return vector
+    contributions = propagate_score(taxonomy, category, 1.0, kappa)
+    for node, contribution in contributions.items():
+        vector[taxonomy.index(node)] = contribution
+    peak = vector.max(initial=0.0)
+    if peak > 0:
+        vector /= peak
+    return vector

@@ -1,0 +1,155 @@
+"""Tag taxonomy tree (the Foursquare-style category hierarchy of Fig. 2).
+
+The taxonomy is a rooted tree over tag names.  Interest-vector
+computation (Eqs. 1-3) needs, for every tag, the path to the root and
+the number of siblings at each step, both of which this class provides
+in O(depth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import TaxonomyError
+
+#: Name of the implicit root node of every taxonomy.
+ROOT = "__root__"
+
+
+class Taxonomy:
+    """A rooted tree of tags with stable integer indexing.
+
+    Tags are registered parent-first via :meth:`add`; the root exists
+    implicitly.  Every non-root tag gets a dense integer index (in
+    registration order) used to address interest-vector entries.
+
+    Example:
+        >>> tax = Taxonomy()
+        >>> tax.add("food")
+        >>> tax.add("pizza", parent="food")
+        >>> tax.path_to_root("pizza")
+        ['pizza', 'food']
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, Optional[str]] = {ROOT: None}
+        self._children: Dict[str, List[str]] = {ROOT: []}
+        self._index: Dict[str, int] = {}
+        self._names: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, tag: str, parent: Optional[str] = None) -> None:
+        """Register a tag under ``parent`` (root when omitted).
+
+        Raises:
+            TaxonomyError: On duplicate tags or unknown parents.
+        """
+        if tag == ROOT:
+            raise TaxonomyError("the root tag name is reserved")
+        if tag in self._parent:
+            raise TaxonomyError(f"duplicate tag {tag!r}")
+        parent_name = parent if parent is not None else ROOT
+        if parent_name not in self._parent:
+            raise TaxonomyError(
+                f"unknown parent {parent_name!r} for tag {tag!r} "
+                "(register parents before children)"
+            )
+        self._parent[tag] = parent_name
+        self._children[tag] = []
+        self._children[parent_name].append(tag)
+        self._index[tag] = len(self._names)
+        self._names.append(tag)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[Optional[str], str]]) -> "Taxonomy":
+        """Build from ``(parent, child)`` pairs; ``None`` parent means root."""
+        tax = cls()
+        for parent, child in edges:
+            tax.add(child, parent=parent)
+        return tax
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._index
+
+    @property
+    def tags(self) -> Sequence[str]:
+        """All non-root tags in index order."""
+        return tuple(self._names)
+
+    def index(self, tag: str) -> int:
+        """Dense integer index of a tag.
+
+        Raises:
+            TaxonomyError: If the tag is unknown.
+        """
+        try:
+            return self._index[tag]
+        except KeyError:
+            raise TaxonomyError(f"unknown tag {tag!r}") from None
+
+    def name(self, index: int) -> str:
+        """Inverse of :meth:`index`."""
+        return self._names[index]
+
+    def parent(self, tag: str) -> Optional[str]:
+        """Parent tag, or ``None`` for a top-level tag."""
+        self.index(tag)  # existence check
+        parent = self._parent[tag]
+        return None if parent == ROOT else parent
+
+    def children(self, tag: str) -> Sequence[str]:
+        """Direct children of a tag (or of the root for ``None``)."""
+        key = tag if tag is not None else ROOT
+        if key not in self._children:
+            raise TaxonomyError(f"unknown tag {tag!r}")
+        return tuple(self._children[key])
+
+    def top_level(self) -> Sequence[str]:
+        """The tags directly under the root."""
+        return tuple(self._children[ROOT])
+
+    def siblings(self, tag: str) -> int:
+        """Number of siblings of ``tag`` (excluding the tag itself)."""
+        self.index(tag)
+        parent = self._parent[tag]
+        return len(self._children[parent]) - 1
+
+    def path_to_root(self, tag: str) -> List[str]:
+        """Tags from ``tag`` up to (excluding) the root, leaf first."""
+        self.index(tag)
+        path = []
+        current: Optional[str] = tag
+        while current is not None and current != ROOT:
+            path.append(current)
+            current = self._parent[current]
+        return path
+
+    def depth(self, tag: str) -> int:
+        """Depth of a tag; top-level tags have depth 1."""
+        return len(self.path_to_root(tag))
+
+    def leaves(self) -> List[str]:
+        """All tags without children."""
+        return [t for t in self._names if not self._children[t]]
+
+    def is_leaf(self, tag: str) -> bool:
+        """Whether a tag has no children."""
+        self.index(tag)
+        return not self._children[tag]
+
+    def ancestor_at_depth(self, tag: str, depth: int = 1) -> str:
+        """The ancestor of ``tag`` at the given depth (1 = top level)."""
+        path = self.path_to_root(tag)
+        if depth < 1 or depth > len(path):
+            raise TaxonomyError(
+                f"tag {tag!r} has depth {len(path)}, no ancestor at {depth}"
+            )
+        return path[len(path) - depth]

@@ -1,0 +1,28 @@
+"""Temporal substrate: mobility, safe regions, and timestamp snapshots."""
+
+from repro.temporal.mobility import (
+    Trajectory,
+    random_waypoint_trajectory,
+    trajectories_for,
+)
+from repro.temporal.safe_region import (
+    SafeRegionStats,
+    SafeRegionTracker,
+    brute_force_valid_vendors,
+)
+from repro.temporal.snapshots import TemporalWorld, snapshot_customers
+from repro.temporal.windows import ALWAYS_OPEN, VendorSchedule, open_vendors
+
+__all__ = [
+    "ALWAYS_OPEN",
+    "VendorSchedule",
+    "open_vendors",
+    "Trajectory",
+    "random_waypoint_trajectory",
+    "trajectories_for",
+    "SafeRegionStats",
+    "SafeRegionTracker",
+    "brute_force_valid_vendors",
+    "TemporalWorld",
+    "snapshot_customers",
+]

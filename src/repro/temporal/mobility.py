@@ -1,0 +1,129 @@
+"""Customer mobility: random-waypoint trajectories.
+
+Section II models customers as *moving* -- their locations change over
+time, so the set of valid vendors of a customer changes too.  The
+random-waypoint model is the standard synthetic mobility model: each
+customer repeatedly picks a uniform random waypoint in the unit square
+and walks toward it at its own speed.
+
+:class:`Trajectory` gives O(1) position lookup at any time via
+precomputed waypoint arrival times.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.spatial.geometry import Point, euclidean
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A piecewise-linear path through waypoints.
+
+    Attributes:
+        waypoints: Visited points, in order (at least one).
+        times: Arrival time at each waypoint; strictly increasing,
+            same length as ``waypoints``.
+    """
+
+    waypoints: Tuple[Point, ...]
+    times: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) != len(self.times) or not self.waypoints:
+            raise ValueError("waypoints and times must align and be non-empty")
+        for earlier, later in zip(self.times, self.times[1:]):
+            if later <= earlier:
+                raise ValueError("waypoint times must strictly increase")
+
+    @property
+    def start_time(self) -> float:
+        """Time of the first waypoint."""
+        return self.times[0]
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last waypoint."""
+        return self.times[-1]
+
+    def position(self, time: float) -> Point:
+        """Position at ``time`` (clamped to the trajectory's span)."""
+        if time <= self.times[0]:
+            return self.waypoints[0]
+        if time >= self.times[-1]:
+            return self.waypoints[-1]
+        index = bisect.bisect_right(self.times, time) - 1
+        t0, t1 = self.times[index], self.times[index + 1]
+        (x0, y0), (x1, y1) = self.waypoints[index], self.waypoints[index + 1]
+        fraction = (time - t0) / (t1 - t0)
+        return (x0 + fraction * (x1 - x0), y0 + fraction * (y1 - y0))
+
+    def displacement_since(self, time: float, now: float) -> float:
+        """Straight-line distance between the positions at two times."""
+        return euclidean(self.position(time), self.position(now))
+
+
+def random_waypoint_trajectory(
+    rng: np.random.Generator,
+    start: Optional[Point] = None,
+    speed: float = 0.05,
+    duration: float = 24.0,
+    start_time: float = 0.0,
+) -> Trajectory:
+    """A random-waypoint trajectory in the unit square.
+
+    Args:
+        rng: Randomness source.
+        start: Initial position (uniform random when omitted).
+        speed: Distance per hour.
+        duration: Hours covered.
+        start_time: Time of the first waypoint.
+
+    Raises:
+        ValueError: On non-positive speed or duration.
+    """
+    if speed <= 0:
+        raise ValueError(f"speed must be positive, got {speed}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    position = start if start is not None else (
+        float(rng.uniform()), float(rng.uniform())
+    )
+    waypoints: List[Point] = [position]
+    times: List[float] = [start_time]
+    now = start_time
+    while now < start_time + duration:
+        target = (float(rng.uniform()), float(rng.uniform()))
+        leg = euclidean(waypoints[-1], target)
+        if leg <= 1e-12:
+            continue
+        now += leg / speed
+        waypoints.append(target)
+        times.append(now)
+    return Trajectory(waypoints=tuple(waypoints), times=tuple(times))
+
+
+def trajectories_for(
+    n_customers: int,
+    seed: int = 0,
+    speed_range: Tuple[float, float] = (0.02, 0.1),
+    duration: float = 24.0,
+    starts: Optional[Sequence[Point]] = None,
+) -> List[Trajectory]:
+    """Independent random-waypoint trajectories for a population."""
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for index in range(n_customers):
+        start = starts[index] if starts is not None else None
+        speed = float(rng.uniform(*speed_range))
+        trajectories.append(
+            random_waypoint_trajectory(
+                rng, start=start, speed=speed, duration=duration
+            )
+        )
+    return trajectories

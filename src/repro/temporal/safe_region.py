@@ -1,0 +1,124 @@
+"""Conservative safe regions for continuous valid-vendor queries.
+
+The paper builds on CALBA (Xu et al. [26]), which tracks a
+*conservative safe region* per moving customer: a disc around the
+position at which the valid-vendor set was last computed, sized so that
+no vendor can enter or leave the set while the customer stays inside.
+Queries inside the region are answered from cache; only crossing the
+boundary triggers a recomputation.  The paper uses this as the
+subroutine that keeps "which vendors can reach this customer" cheap
+under motion.
+
+The safe radius after a recomputation at position :math:`p` is
+
+.. math:: s(p) = \\min_j \\bigl| d(p, l_{v_j}) - r_j \\bigr|
+
+since an in-range vendor :math:`v_j` stays in range while the customer
+moves less than :math:`r_j - d`, and an out-of-range one stays out
+while it moves less than :math:`d - r_j`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.entities import Vendor
+from repro.spatial.geometry import Point, euclidean
+
+
+@dataclass
+class SafeRegionStats:
+    """Counters showing how much work safe regions saved.
+
+    Attributes:
+        queries: Total valid-vendor queries answered.
+        recomputations: Queries that crossed the safe boundary and paid
+            the full scan.
+    """
+
+    queries: int = 0
+    recomputations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the cached region."""
+        if self.queries == 0:
+            return 0.0
+        return 1.0 - self.recomputations / self.queries
+
+
+@dataclass
+class _RegionState:
+    anchor: Point
+    safe_radius: float
+    valid: Tuple[int, ...]
+
+
+class SafeRegionTracker:
+    """Tracks valid-vendor sets of moving customers with safe regions.
+
+    Args:
+        vendors: The static vendor population.
+
+    Example:
+        >>> tracker = SafeRegionTracker(vendors)
+        >>> valid = tracker.valid_vendors(customer_id=3, position=(x, y))
+    """
+
+    def __init__(self, vendors: Sequence[Vendor]) -> None:
+        self._vendors = list(vendors)
+        self._state: Dict[int, _RegionState] = {}
+        #: Work counters (shared across customers).
+        self.stats = SafeRegionStats()
+
+    def _recompute(self, position: Point) -> _RegionState:
+        valid: List[int] = []
+        safe = float("inf")
+        for vendor in self._vendors:
+            gap = euclidean(position, vendor.location) - vendor.radius
+            if gap <= 0:
+                valid.append(vendor.vendor_id)
+            safe = min(safe, abs(gap))
+        if not self._vendors:
+            safe = float("inf")
+        return _RegionState(
+            anchor=position, safe_radius=safe, valid=tuple(valid)
+        )
+
+    def valid_vendors(self, customer_id: int, position: Point) -> Tuple[int, ...]:
+        """Vendor ids whose area contains the customer at ``position``.
+
+        Exact: identical to a from-scratch scan at every call, but paid
+        only when the customer has left its cached safe region.
+        """
+        self.stats.queries += 1
+        state = self._state.get(customer_id)
+        if (
+            state is not None
+            and euclidean(state.anchor, position) < state.safe_radius
+        ):
+            return state.valid
+        self.stats.recomputations += 1
+        state = self._recompute(position)
+        self._state[customer_id] = state
+        return state.valid
+
+    def invalidate(self, customer_id: int) -> None:
+        """Drop the cached region of one customer (e.g. vendor churn)."""
+        self._state.pop(customer_id, None)
+
+    def invalidate_all(self) -> None:
+        """Drop every cached region (after any vendor change)."""
+        self._state.clear()
+
+
+def brute_force_valid_vendors(
+    vendors: Sequence[Vendor], position: Point
+) -> Tuple[int, ...]:
+    """Reference implementation: full scan (for tests and benchmarks)."""
+    return tuple(
+        v.vendor_id
+        for v in vendors
+        if euclidean(position, v.location) <= v.radius
+    )

@@ -1,0 +1,125 @@
+"""Temporal snapshots: a MUAA instance at any timestamp of a moving world.
+
+The paper's problem is defined over :math:`U_\\varphi` / :math:`V_\\varphi`
+-- the customer and vendor sets *at a timestamp*.  :class:`TemporalWorld`
+holds the static part (vendors, ad types, taxonomy activity) plus the
+customers' trajectories, and materialises a standard
+:class:`~repro.core.problem.MUAAProblem` for any time.  Each snapshot
+gets a fresh utility model, because cached pair bases depend on
+positions that change between snapshots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.entities import AdType, Customer, Vendor
+from repro.core.problem import MUAAProblem
+from repro.temporal.mobility import Trajectory
+from repro.temporal.windows import VendorSchedule, open_vendors
+from repro.utility.activity import ActivityModel
+from repro.utility.model import TaxonomyUtilityModel
+
+
+def snapshot_customers(
+    customers: Sequence[Customer],
+    trajectories: Sequence[Trajectory],
+    time: float,
+) -> List[Customer]:
+    """The customer set at ``time``: positions from the trajectories.
+
+    Args:
+        customers: Base customer attributes (capacity, probability,
+            interests).
+        trajectories: One trajectory per customer, aligned by index.
+        time: The snapshot timestamp (hours).
+
+    Raises:
+        ValueError: If the two sequences are misaligned.
+    """
+    if len(customers) != len(trajectories):
+        raise ValueError(
+            f"{len(customers)} customers but {len(trajectories)} trajectories"
+        )
+    return [
+        dataclasses.replace(
+            customer,
+            location=trajectory.position(time),
+            arrival_time=time % 24.0,
+        )
+        for customer, trajectory in zip(customers, trajectories)
+    ]
+
+
+class TemporalWorld:
+    """A moving-customer world that can be frozen at any timestamp.
+
+    Args:
+        customers: Base customers (their locations are ignored; the
+            trajectories govern positions).
+        trajectories: One per customer, aligned by index.
+        vendors: Static vendors.
+        ad_types: The ad catalogue.
+        activity_model: Tag activity driving Eq. 5 at each snapshot.
+        schedules: Optional vendor opening hours; vendors without a
+            schedule are treated as always open.
+    """
+
+    def __init__(
+        self,
+        customers: Sequence[Customer],
+        trajectories: Sequence[Trajectory],
+        vendors: Sequence[Vendor],
+        ad_types: Sequence[AdType],
+        activity_model: ActivityModel,
+        schedules: Optional[Dict[int, VendorSchedule]] = None,
+    ) -> None:
+        if len(customers) != len(trajectories):
+            raise ValueError(
+                f"{len(customers)} customers but "
+                f"{len(trajectories)} trajectories"
+            )
+        self.customers = list(customers)
+        self.trajectories = list(trajectories)
+        self.vendors = list(vendors)
+        self.ad_types = list(ad_types)
+        self.activity_model = activity_model
+        self.schedules = dict(schedules) if schedules else None
+
+    def problem_at(self, time: float) -> MUAAProblem:
+        """Materialise the MUAA instance :math:`\\mathbb{M}_\\varphi`
+        (only vendors open at ``time`` participate)."""
+        return MUAAProblem(
+            customers=snapshot_customers(
+                self.customers, self.trajectories, time
+            ),
+            vendors=open_vendors(self.vendors, self.schedules, time),
+            ad_types=self.ad_types,
+            utility_model=TaxonomyUtilityModel(self.activity_model),
+        )
+
+    def solve_over_day(
+        self,
+        algorithm_factory,
+        times: Optional[Sequence[float]] = None,
+    ):
+        """Solve a snapshot per timestamp and collect the results.
+
+        Args:
+            algorithm_factory: Zero-argument callable building a fresh
+                offline algorithm per snapshot (budgets reset between
+                snapshots -- each timestamp is its own MUAA instance,
+                as in Definition 5).
+            times: Snapshot timestamps; hourly by default.
+
+        Returns:
+            ``[(time, SolveResult), ...]`` in time order.
+        """
+        if times is None:
+            times = [float(h) for h in range(24)]
+        results = []
+        for time in times:
+            problem = self.problem_at(time)
+            results.append((time, algorithm_factory().run(problem)))
+        return results

@@ -1,0 +1,74 @@
+"""Vendor opening hours: the vendor set :math:`V_\\varphi` over time.
+
+Definition 2 parameterises the vendor set by the timestamp; a teahouse
+does not want lunch-hour ads while closed.  :class:`VendorSchedule`
+models daily opening windows (midnight wrap supported) and
+:func:`open_vendors` filters a vendor population at a timestamp --
+plugged into :class:`~repro.temporal.snapshots.TemporalWorld` so each
+snapshot only contains vendors that are actually open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.entities import Vendor
+
+_DAY = 24.0
+
+
+@dataclass(frozen=True)
+class VendorSchedule:
+    """A daily opening window ``[open_hour, close_hour)``.
+
+    A window wrapping midnight (``open_hour > close_hour``, e.g. a bar
+    open 18-02) is supported; ``open_hour == close_hour`` means open
+    around the clock.
+
+    Raises:
+        ValueError: On hours outside ``[0, 24)``.
+    """
+
+    open_hour: float
+    close_hour: float
+
+    def __post_init__(self) -> None:
+        for hour in (self.open_hour, self.close_hour):
+            if not 0 <= hour < _DAY:
+                raise ValueError(f"hours must be in [0, 24), got {hour}")
+
+    def is_open(self, hour: float) -> bool:
+        """Whether the vendor is open at ``hour`` (taken mod 24)."""
+        hour = hour % _DAY
+        if self.open_hour == self.close_hour:
+            return True
+        if self.open_hour < self.close_hour:
+            return self.open_hour <= hour < self.close_hour
+        return hour >= self.open_hour or hour < self.close_hour
+
+    @property
+    def hours_open(self) -> float:
+        """Length of the daily window in hours."""
+        if self.open_hour == self.close_hour:
+            return _DAY
+        return (self.close_hour - self.open_hour) % _DAY
+
+
+#: Always-open schedule.
+ALWAYS_OPEN = VendorSchedule(open_hour=0.0, close_hour=0.0)
+
+
+def open_vendors(
+    vendors: Sequence[Vendor],
+    schedules: Optional[Dict[int, VendorSchedule]],
+    hour: float,
+) -> List[Vendor]:
+    """Vendors open at ``hour``; unscheduled vendors count as open."""
+    if not schedules:
+        return list(vendors)
+    return [
+        vendor
+        for vendor in vendors
+        if schedules.get(vendor.vendor_id, ALWAYS_OPEN).is_open(hour)
+    ]

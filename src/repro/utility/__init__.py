@@ -1,0 +1,39 @@
+"""Utility modelling: temporal activity, Eq. 5 preference, Eq. 4 utility."""
+
+from repro.utility.activity import (
+    ACTIVITY_FLOOR,
+    DAY_HOURS,
+    DEFAULT_CATEGORY_PROFILES,
+    FLAT_PROFILE,
+    ActivityModel,
+    ActivityProfile,
+)
+from repro.utility.model import (
+    MIN_DISTANCE,
+    TabularUtilityModel,
+    TaxonomyUtilityModel,
+    UtilityModel,
+)
+from repro.utility.preference import (
+    positive_preference,
+    weighted_covariance,
+    weighted_mean,
+    weighted_pearson,
+)
+
+__all__ = [
+    "ACTIVITY_FLOOR",
+    "DAY_HOURS",
+    "DEFAULT_CATEGORY_PROFILES",
+    "FLAT_PROFILE",
+    "ActivityModel",
+    "ActivityProfile",
+    "MIN_DISTANCE",
+    "TabularUtilityModel",
+    "TaxonomyUtilityModel",
+    "UtilityModel",
+    "positive_preference",
+    "weighted_covariance",
+    "weighted_mean",
+    "weighted_pearson",
+]

@@ -1,0 +1,92 @@
+"""Weighted temporal Pearson preference :math:`s(u_i, v_j, \\varphi)` (Eq. 5).
+
+The preference of a customer for a vendor at time :math:`\\varphi` is
+the Pearson correlation of their tag vectors, weighted by the per-tag
+activity levels :math:`\\alpha_x(\\varphi)` -- i.e. tags that are active
+right now dominate the similarity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+#: Variance below this is treated as zero (constant vector under weights).
+_VARIANCE_EPS = 1e-15
+
+
+def weighted_mean(vector: np.ndarray, weights: np.ndarray) -> float:
+    """Weighted mean :math:`m(\\psi, \\varphi)` of Eq. 5."""
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("activity weights must have positive sum")
+    return float(np.dot(weights, vector)) / total
+
+
+def weighted_covariance(
+    a: np.ndarray, b: np.ndarray, weights: np.ndarray
+) -> float:
+    """Weighted covariance :math:`cov(\\psi_i, \\psi_j, \\varphi)` of Eq. 5."""
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("activity weights must have positive sum")
+    da = a - weighted_mean(a, weights)
+    db = b - weighted_mean(b, weights)
+    return float(np.dot(weights, da * db)) / total
+
+
+def weighted_pearson(
+    a: np.ndarray, b: np.ndarray, weights: Optional[np.ndarray] = None
+) -> float:
+    """Weighted Pearson correlation of two tag vectors (Eq. 5).
+
+    Args:
+        a: Customer interest vector :math:`\\psi_i`.
+        b: Vendor tag vector :math:`\\psi_j`.
+        weights: Activity weights :math:`\\alpha_x(\\varphi)`; uniform
+            when omitted.
+
+    Returns:
+        A correlation in ``[-1, 1]``; 0 when either vector is constant
+        under the weights (undefined correlation).
+
+    Raises:
+        ValueError: On mismatched shapes or non-positive weight sum.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if weights is None:
+        weights = np.ones_like(a, dtype=float)
+    if weights.shape != a.shape:
+        raise ValueError(
+            f"weights shape {weights.shape} does not match vectors {a.shape}"
+        )
+    # Single fused pass (the naive three-covariance formulation walks
+    # the vectors nine times; this is the hot path of Eq. 4).
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("activity weights must have positive sum")
+    da = a - float(np.dot(weights, a)) / total
+    db = b - float(np.dot(weights, b)) / total
+    var_a = float(np.dot(weights, da * da)) / total
+    var_b = float(np.dot(weights, db * db)) / total
+    if var_a <= _VARIANCE_EPS or var_b <= _VARIANCE_EPS:
+        return 0.0
+    cov = float(np.dot(weights, da * db)) / total
+    corr = cov / math.sqrt(var_a * var_b)
+    # Clamp tiny float excursions outside [-1, 1].
+    return max(-1.0, min(1.0, corr))
+
+
+def positive_preference(
+    a: np.ndarray, b: np.ndarray, weights: Optional[np.ndarray] = None
+) -> float:
+    """Pearson preference clipped to ``[0, 1]``.
+
+    Negative correlation means the vendor actively mismatches the
+    customer's current interests; such pairs carry zero (not negative)
+    advertising value, matching the paper's non-negative utilities.
+    """
+    return max(0.0, weighted_pearson(a, b, weights))

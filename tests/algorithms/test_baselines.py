@@ -1,0 +1,114 @@
+"""Tests for the RANDOM, NEAREST and GREEDY baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.algorithms.nearest import NearestVendor
+from repro.algorithms.random_baseline import RandomAssignment
+from repro.core.validation import validate_assignment
+from repro.stream.simulator import OnlineAsOffline
+from tests.conftest import random_tabular_problem
+
+
+@pytest.fixture(params=[0, 1, 2])
+def problem(request):
+    return random_tabular_problem(
+        seed=request.param, n_customers=8, n_vendors=5
+    )
+
+
+class TestRandom:
+    def test_produces_feasible_assignment(self, problem):
+        assignment = RandomAssignment(seed=3).solve(problem)
+        assert validate_assignment(problem, assignment).ok
+
+    def test_deterministic_for_fixed_seed(self, problem):
+        a = RandomAssignment(seed=5).solve(problem)
+        b = RandomAssignment(seed=5).solve(problem)
+        assert sorted(i.pair for i in a) == sorted(i.pair for i in b)
+        assert a.total_utility == pytest.approx(b.total_utility)
+
+    def test_different_seeds_usually_differ(self):
+        problem = random_tabular_problem(seed=9, n_customers=20, n_vendors=8)
+        a = RandomAssignment(seed=1).solve(problem)
+        b = RandomAssignment(seed=2).solve(problem)
+        assert (
+            sorted(i.pair + (i.type_id,) for i in a)
+            != sorted(i.pair + (i.type_id,) for i in b)
+        )
+
+    def test_no_valid_pairs(self):
+        problem = random_tabular_problem(seed=0, coverage=0.0)
+        assignment = RandomAssignment(seed=0).solve(problem)
+        assert len(assignment) == 0
+
+
+class TestNearest:
+    def test_produces_feasible_assignment(self, problem):
+        assignment = OnlineAsOffline(NearestVendor()).solve(problem)
+        assert validate_assignment(problem, assignment).ok
+
+    def test_prefers_near_vendor(self):
+        problem = random_tabular_problem(
+            seed=4, n_customers=1, n_vendors=4, capacity=(1, 1)
+        )
+        assignment = OnlineAsOffline(NearestVendor()).solve(problem)
+        assert len(assignment) == 1
+        chosen = next(iter(assignment))
+        from repro.core.entities import distance
+
+        customer = problem.customers[0]
+        chosen_distance = distance(
+            customer, problem.vendors_by_id[chosen.vendor_id]
+        )
+        for vendor in problem.vendors:
+            assert chosen_distance <= distance(customer, vendor) + 1e-12
+
+    def test_respects_capacity(self):
+        problem = random_tabular_problem(
+            seed=4, n_customers=3, n_vendors=6, capacity=(2, 2)
+        )
+        assignment = OnlineAsOffline(NearestVendor()).solve(problem)
+        for customer in problem.customers:
+            assert (
+                assignment.ads_for_customer(customer.customer_id)
+                <= customer.capacity
+            )
+
+    def test_uses_cheapest_type(self, problem):
+        assignment = OnlineAsOffline(NearestVendor()).solve(problem)
+        cheapest = min(t.cost for t in problem.ad_types)
+        for inst in assignment:
+            assert inst.cost == pytest.approx(cheapest)
+
+
+class TestGreedy:
+    def test_produces_feasible_assignment(self, problem):
+        assignment = GreedyEfficiency().solve(problem)
+        assert validate_assignment(problem, assignment).ok
+
+    def test_sweep_equals_rescan(self, problem):
+        sweep = GreedyEfficiency(rescan=False).solve(problem)
+        rescan = GreedyEfficiency(rescan=True).solve(problem)
+        assert sweep.total_utility == pytest.approx(rescan.total_utility)
+
+    def test_beats_random_on_average(self):
+        greedy_wins = 0
+        for seed in range(5):
+            problem = random_tabular_problem(
+                seed=seed, n_customers=12, n_vendors=6
+            )
+            greedy = GreedyEfficiency().solve(problem)
+            random_ = RandomAssignment(seed=seed).solve(problem)
+            if greedy.total_utility >= random_.total_utility:
+                greedy_wins += 1
+        assert greedy_wins >= 4
+
+    def test_single_candidate_taken(self):
+        problem = random_tabular_problem(
+            seed=0, n_customers=1, n_vendors=1, capacity=(1, 1)
+        )
+        assignment = GreedyEfficiency().solve(problem)
+        assert len(assignment) == 1

@@ -1,0 +1,81 @@
+"""Tests for the MUAA upper bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.bounds import (
+    capacity_bound,
+    combined_bound,
+    full_lp_bound,
+    vendor_lp_bound,
+)
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.algorithms.optimal import ExactOptimal
+from repro.datagen.tabular import random_tabular_problem
+from tests.conftest import paper_example_problem
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_all_bounds_dominate_the_optimum(seed):
+    problem = random_tabular_problem(seed=seed, n_customers=4, n_vendors=3)
+    optimum = ExactOptimal().solve(problem).total_utility
+    for bound in (
+        vendor_lp_bound(problem),
+        capacity_bound(problem),
+        combined_bound(problem),
+        full_lp_bound(problem),
+    ):
+        assert bound >= optimum - 1e-7
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_full_lp_is_tightest(seed):
+    problem = random_tabular_problem(seed=seed, n_customers=4, n_vendors=3)
+    assert full_lp_bound(problem) <= combined_bound(problem) + 1e-6
+
+
+def test_combined_is_min_of_the_two():
+    problem = random_tabular_problem(seed=3)
+    assert combined_bound(problem) == pytest.approx(
+        min(vendor_lp_bound(problem), capacity_bound(problem))
+    )
+
+
+def test_bounds_on_paper_example():
+    problem = paper_example_problem()
+    optimum = 0.05204347826086957
+    assert vendor_lp_bound(problem) >= optimum
+    assert capacity_bound(problem) >= optimum
+    assert full_lp_bound(problem) >= optimum - 1e-9
+
+
+def test_empty_problem_bounds_are_zero():
+    problem = random_tabular_problem(seed=0, coverage=0.0)
+    assert vendor_lp_bound(problem) == 0.0
+    assert capacity_bound(problem) == 0.0
+    assert full_lp_bound(problem) == 0.0
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_every_algorithm_stays_below_every_bound(seed):
+    """Bounds must dominate any feasible assignment, not just OPT."""
+    from repro.algorithms.recon import Reconciliation
+    from repro.algorithms.random_baseline import RandomAssignment
+
+    problem = random_tabular_problem(seed=seed, n_customers=8, n_vendors=4)
+    ceiling = combined_bound(problem)
+    for algorithm in (
+        GreedyEfficiency(),
+        Reconciliation(seed=0),
+        RandomAssignment(seed=0),
+    ):
+        assert algorithm.solve(problem).total_utility <= ceiling + 1e-9
+
+
+def test_gap_reporting_use_case():
+    """The intended workflow: utility / bound is a certified gap."""
+    problem = random_tabular_problem(seed=6, n_customers=10, n_vendors=5)
+    greedy = GreedyEfficiency().solve(problem).total_utility
+    bound = combined_bound(problem)
+    assert 0 < greedy / bound <= 1.0 + 1e-9

@@ -1,0 +1,89 @@
+"""Tests for gamma_min / g calibration (Section IV-C)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.calibration import (
+    GammaBounds,
+    MIN_G,
+    calibrate_from_problem,
+    choose_g,
+    estimate_gamma_bounds,
+    observed_efficiencies,
+)
+from tests.conftest import random_tabular_problem
+
+
+class TestEstimateGammaBounds:
+    def test_quantile_bounds(self):
+        sample = [float(x) for x in range(1, 101)]
+        bounds = estimate_gamma_bounds(
+            sample, low_quantile=0.05, high_quantile=0.95
+        )
+        assert bounds.gamma_min == pytest.approx(5.95, rel=0.05)
+        assert bounds.gamma_max == pytest.approx(95.05, rel=0.05)
+        assert bounds.g > math.e
+
+    def test_ignores_non_positive_values(self):
+        bounds = estimate_gamma_bounds([0.0, -1.0, 2.0, 4.0])
+        assert bounds.gamma_min >= 2.0
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            estimate_gamma_bounds([0.0, -1.0])
+
+    def test_single_value_sample(self):
+        bounds = estimate_gamma_bounds([3.0])
+        assert bounds.gamma_min == bounds.gamma_max == 3.0
+        assert bounds.g == pytest.approx(MIN_G)
+
+
+class TestChooseG:
+    def test_paper_upper_bound(self):
+        # g = gamma_max * e / gamma_min when that exceeds e.
+        assert choose_g(0.1, 1.0) == pytest.approx(10 * math.e)
+
+    def test_clamped_above_e(self):
+        assert choose_g(1.0, 1.0) == pytest.approx(MIN_G)
+        assert choose_g(2.0, 1.0) >= MIN_G
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            choose_g(0.0, 1.0)
+
+
+class TestObservedEfficiencies:
+    def test_observes_positive_efficiencies(self):
+        problem = random_tabular_problem(seed=2)
+        sample = observed_efficiencies(problem)
+        assert sample
+        assert all(e > 0 for e in sample)
+
+    def test_sampling_reduces_size(self):
+        problem = random_tabular_problem(
+            seed=2, n_customers=30, n_vendors=5
+        )
+        full = observed_efficiencies(problem)
+        sampled = observed_efficiencies(problem, sample_customers=5, seed=0)
+        assert len(sampled) < len(full)
+
+
+class TestCalibrateFromProblem:
+    def test_end_to_end(self):
+        problem = random_tabular_problem(seed=2)
+        bounds = calibrate_from_problem(problem)
+        assert isinstance(bounds, GammaBounds)
+        assert 0 < bounds.gamma_min <= bounds.gamma_max
+        assert bounds.g > math.e
+
+    def test_bounds_cover_most_efficiencies(self):
+        problem = random_tabular_problem(seed=4, n_customers=20)
+        bounds = calibrate_from_problem(problem, sample_customers=None)
+        sample = observed_efficiencies(problem)
+        inside = [
+            e for e in sample if bounds.gamma_min <= e <= bounds.gamma_max
+        ]
+        assert len(inside) / len(sample) >= 0.85

@@ -1,0 +1,61 @@
+"""Tests for the full-LP rounding algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.lp_rounding import LPRounding
+from repro.algorithms.optimal import ExactOptimal
+from repro.core.validation import validate_assignment
+from repro.datagen.tabular import random_tabular_problem
+from tests.conftest import paper_example_problem
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_output_is_feasible(seed):
+    problem = random_tabular_problem(seed=seed, n_customers=6, n_vendors=4)
+    algorithm = LPRounding()
+    assignment = algorithm.solve(problem)
+    assert validate_assignment(problem, assignment).ok
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_lp_value_is_an_upper_bound(seed):
+    problem = random_tabular_problem(seed=seed, n_customers=5, n_vendors=3)
+    algorithm = LPRounding()
+    assignment = algorithm.solve(problem)
+    optimum = ExactOptimal().solve(problem).total_utility
+    assert algorithm.last_lp_value >= optimum - 1e-7
+    assert assignment.total_utility <= algorithm.last_lp_value + 1e-7
+
+
+def test_reports_near_optimal_on_paper_example():
+    problem = paper_example_problem()
+    algorithm = LPRounding()
+    assignment = algorithm.solve(problem)
+    assert validate_assignment(problem, assignment).ok
+    # LP value bounds the 0.05204 optimum; rounding should land close.
+    assert algorithm.last_lp_value >= 0.05204 - 1e-6
+    assert assignment.total_utility >= 0.04
+
+
+def test_empty_problem():
+    problem = random_tabular_problem(seed=0, coverage=0.0)
+    algorithm = LPRounding()
+    assert len(algorithm.solve(problem)) == 0
+    assert algorithm.last_lp_value == 0.0
+
+
+def test_competitive_with_greedy():
+    from repro.algorithms.greedy import GreedyEfficiency
+
+    wins = 0
+    for seed in range(5):
+        problem = random_tabular_problem(
+            seed=seed, n_customers=8, n_vendors=4
+        )
+        lp = LPRounding().solve(problem).total_utility
+        greedy = GreedyEfficiency().solve(problem).total_utility
+        if lp >= greedy * 0.9:
+            wins += 1
+    assert wins >= 4

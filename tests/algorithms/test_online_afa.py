@@ -1,0 +1,143 @@
+"""Tests for the O-AFA online algorithm (Algorithm 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.online_afa import (
+    AdaptiveExponentialThreshold,
+    OnlineAdaptiveFactorAware,
+    StaticThreshold,
+)
+from repro.algorithms.optimal import ExactOptimal
+from repro.core.validation import validate_assignment
+from repro.stream.simulator import OnlineSimulator
+from tests.conftest import random_tabular_problem
+
+
+class TestThresholdFunctions:
+    def test_adaptive_shape(self):
+        phi = AdaptiveExponentialThreshold(gamma_min=0.1, g=10.0)
+        # phi(0) = gamma_min / e
+        assert phi.threshold(0.0) == pytest.approx(0.1 / math.e)
+        # phi(1) = gamma_min * g / e
+        assert phi.threshold(1.0) == pytest.approx(0.1 * 10 / math.e)
+
+    def test_adaptive_monotone_increasing(self):
+        phi = AdaptiveExponentialThreshold(gamma_min=0.05, g=5.0)
+        values = [phi.threshold(d / 10) for d in range(11)]
+        assert values == sorted(values)
+
+    def test_threshold_reaches_gamma_min_at_h(self):
+        # phi(h) = gamma_min at h = 1/ln(g) (Section IV-B).
+        g = 8.0
+        phi = AdaptiveExponentialThreshold(gamma_min=0.2, g=g)
+        h = 1.0 / math.log(g)
+        assert phi.threshold(h) == pytest.approx(0.2, rel=1e-9)
+
+    def test_g_must_exceed_e(self):
+        with pytest.raises(ValueError):
+            AdaptiveExponentialThreshold(gamma_min=0.1, g=math.e)
+
+    def test_gamma_min_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdaptiveExponentialThreshold(gamma_min=0.0, g=5.0)
+
+    def test_competitive_bound_formula(self):
+        phi = AdaptiveExponentialThreshold(gamma_min=0.1, g=math.e ** 2)
+        assert phi.competitive_ratio_bound == pytest.approx(3.0)
+
+    def test_static_threshold_constant(self):
+        phi = StaticThreshold(0.3)
+        assert phi.threshold(0.0) == phi.threshold(0.99) == 0.3
+
+    def test_static_threshold_validation(self):
+        with pytest.raises(ValueError):
+            StaticThreshold(-1.0)
+
+
+class TestConstruction:
+    def test_requires_threshold_or_params(self):
+        with pytest.raises(ValueError):
+            OnlineAdaptiveFactorAware()
+        with pytest.raises(ValueError):
+            OnlineAdaptiveFactorAware(gamma_min=0.1)
+
+    def test_convenience_constructor(self):
+        algorithm = OnlineAdaptiveFactorAware(gamma_min=0.1, g=5.0)
+        assert isinstance(
+            algorithm.threshold_function, AdaptiveExponentialThreshold
+        )
+
+
+class TestBehaviour:
+    @pytest.fixture
+    def problem(self):
+        return random_tabular_problem(seed=2, n_customers=10, n_vendors=5)
+
+    def test_output_feasible(self, problem):
+        algorithm = OnlineAdaptiveFactorAware(gamma_min=1e-6, g=5.0)
+        result = OnlineSimulator(problem).run(algorithm)
+        assert validate_assignment(problem, result.assignment).ok
+        assert result.rejected_instances == 0
+
+    def test_respects_customer_capacity(self, problem):
+        algorithm = OnlineAdaptiveFactorAware(gamma_min=1e-6, g=5.0)
+        result = OnlineSimulator(problem).run(algorithm)
+        for customer in problem.customers:
+            assert (
+                result.assignment.ads_for_customer(customer.customer_id)
+                <= customer.capacity
+            )
+
+    def test_huge_threshold_blocks_everything(self, problem):
+        algorithm = OnlineAdaptiveFactorAware(
+            threshold=StaticThreshold(1e9)
+        )
+        result = OnlineSimulator(problem).run(algorithm)
+        assert len(result.assignment) == 0
+
+    def test_zero_threshold_accepts_affordable_best(self, problem):
+        algorithm = OnlineAdaptiveFactorAware(threshold=StaticThreshold(0.0))
+        result = OnlineSimulator(problem).run(algorithm)
+        assert len(result.assignment) > 0
+
+    def test_larger_g_spends_less_budget(self):
+        problem = random_tabular_problem(
+            seed=5, n_customers=30, n_vendors=3, budget=(3.0, 5.0)
+        )
+        from repro.algorithms.calibration import calibrate_from_problem
+
+        bounds = calibrate_from_problem(problem)
+
+        def spend_with(g):
+            algorithm = OnlineAdaptiveFactorAware(
+                gamma_min=bounds.gamma_min, g=g
+            )
+            result = OnlineSimulator(problem).run(algorithm)
+            return sum(
+                result.assignment.spend_for_vendor(v.vendor_id)
+                for v in problem.vendors
+            )
+
+        # Section IV-B: "the larger g is, the lower ratio of used budget"
+        assert spend_with(1e6) <= spend_with(2.72) + 1e-9
+
+    def test_competitive_against_offline_optimum(self):
+        """Empirical Corollary IV.1: utility >= theta/(ln g + 1) * OPT
+        holds on small instances (the bound needs gamma_min below every
+        efficiency; use a tiny gamma_min so the assumption holds)."""
+        for seed in range(4):
+            problem = random_tabular_problem(
+                seed=seed, n_customers=6, n_vendors=3
+            )
+            g = 10.0
+            algorithm = OnlineAdaptiveFactorAware(gamma_min=1e-9, g=g)
+            online = OnlineSimulator(problem).run(algorithm)
+            optimal = ExactOptimal().solve(problem)
+            bound = (
+                problem.theta() / (math.log(g) + 1.0)
+            ) * optimal.total_utility
+            assert online.total_utility >= bound - 1e-9

@@ -1,0 +1,78 @@
+"""Tests for the exact optimal solver."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.optimal import ExactOptimal
+from repro.core.validation import validate_assignment
+from repro.exceptions import SolverError
+from tests.conftest import random_tabular_problem
+
+
+def brute_force_optimum(problem) -> float:
+    """Exhaustive search over per-pair ad-type choices (tiny instances)."""
+    pairs = list(problem.valid_pairs())
+    type_ids = [None] + [t.type_id for t in problem.ad_types]
+    best = 0.0
+    for combo in itertools.product(type_ids, repeat=len(pairs)):
+        capacity = dict(problem.capacities)
+        budget = dict(problem.budgets)
+        total = 0.0
+        feasible = True
+        for (cid, vid), tid in zip(pairs, combo):
+            if tid is None:
+                continue
+            cost = problem.ad_types_by_id[tid].cost
+            capacity[cid] -= 1
+            budget[vid] -= cost
+            if capacity[cid] < 0 or budget[vid] < -1e-9:
+                feasible = False
+                break
+            total += problem.utility(cid, vid, tid)
+        if feasible:
+            best = max(best, total)
+    return best
+
+
+class TestExactOptimal:
+    @given(st.integers(0, 15))
+    @settings(max_examples=16, deadline=None)
+    def test_matches_brute_force(self, seed):
+        problem = random_tabular_problem(
+            seed=seed, n_customers=3, n_vendors=2, n_types=2
+        )
+        solution = ExactOptimal().solve(problem)
+        assert solution.total_utility == pytest.approx(
+            brute_force_optimum(problem), abs=1e-9
+        )
+        assert validate_assignment(problem, solution).ok
+
+    def test_dominates_every_heuristic(self):
+        from repro.algorithms.greedy import GreedyEfficiency
+        from repro.algorithms.recon import Reconciliation
+
+        for seed in range(4):
+            problem = random_tabular_problem(
+                seed=seed, n_customers=5, n_vendors=3
+            )
+            optimal = ExactOptimal().solve(problem).total_utility
+            for algorithm in (GreedyEfficiency(), Reconciliation(seed=0)):
+                assert (
+                    algorithm.solve(problem).total_utility <= optimal + 1e-9
+                )
+
+    def test_node_limit(self):
+        problem = random_tabular_problem(
+            seed=1, n_customers=10, n_vendors=8
+        )
+        with pytest.raises(SolverError):
+            ExactOptimal(node_limit=3).solve(problem)
+
+    def test_empty_problem(self):
+        problem = random_tabular_problem(seed=0, coverage=0.0)
+        assert len(ExactOptimal().solve(problem)) == 0

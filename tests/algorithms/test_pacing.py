@@ -1,0 +1,120 @@
+"""Tests for the budget-pacing online baseline."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms.pacing import BudgetPacingOnline
+from repro.core.validation import validate_assignment
+from repro.datagen.tabular import random_tabular_problem
+from repro.stream.simulator import OnlineSimulator
+
+
+def spread_arrival_times(problem):
+    """Give the random instance evenly spread arrival hours."""
+    customers = [
+        dataclasses.replace(
+            c, arrival_time=24.0 * index / len(problem.customers)
+        )
+        for index, c in enumerate(problem.customers)
+    ]
+    from repro.core.problem import MUAAProblem
+
+    return MUAAProblem(
+        customers=customers,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=problem.utility_model,
+    )
+
+
+@pytest.fixture
+def problem():
+    return spread_arrival_times(
+        random_tabular_problem(
+            seed=8, n_customers=48, n_vendors=4, budget=(6.0, 10.0)
+        )
+    )
+
+
+def test_day_length_validation():
+    with pytest.raises(ValueError):
+        BudgetPacingOnline(day_length=0.0)
+
+
+def test_output_feasible(problem):
+    result = OnlineSimulator(problem).run(BudgetPacingOnline())
+    assert validate_assignment(problem, result.assignment).ok
+    assert result.rejected_instances == 0
+
+
+def test_spend_respects_the_pace(problem):
+    """At any commit point the vendor's spend stays within one ad of
+    the elapsed-time allowance."""
+    algorithm = BudgetPacingOnline()
+    committed = []
+
+    class Recorder(BudgetPacingOnline):
+        def process_customer(self, problem, customer, assignment):
+            picked = super().process_customer(problem, customer, assignment)
+            for inst in picked:
+                committed.append((customer.arrival_time, inst))
+            return picked
+
+    OnlineSimulator(problem).run(Recorder())
+    spend = {v.vendor_id: 0.0 for v in problem.vendors}
+    for hour, inst in committed:
+        spend[inst.vendor_id] += inst.cost
+        budget = problem.budgets[inst.vendor_id]
+        allowance = budget * (hour / 24.0) + 2 * problem.min_cost + inst.cost
+        assert spend[inst.vendor_id] <= allowance + 1e-9
+
+
+def test_early_customers_cannot_drain_budgets(problem):
+    """The first tenth of the day can spend at most ~a tenth of the
+    budget (plus the one-ad slack)."""
+    early = [c for c in problem.customers if c.arrival_time < 2.4]
+    result = OnlineSimulator(problem).run(
+        BudgetPacingOnline(), arrivals=early
+    )
+    for vendor in problem.vendors:
+        spent = result.assignment.spend_for_vendor(vendor.vendor_id)
+        assert spent <= vendor.budget * 0.1 + 2 * problem.min_cost + 1e-9
+
+
+def test_respects_capacity(problem):
+    result = OnlineSimulator(problem).run(BudgetPacingOnline())
+    for customer in problem.customers:
+        assert (
+            result.assignment.ads_for_customer(customer.customer_id)
+            <= customer.capacity
+        )
+
+
+def test_pacing_vs_fcfs_on_weak_morning(problem):
+    """When low-value customers arrive first, pacing preserves budget
+    for the stronger afternoon, unlike accept-everything FCFS."""
+    from repro.algorithms.online_static import OnlineStaticThreshold
+    from repro.stream.arrivals import adversarial_order
+    import dataclasses as dc
+
+    # Weakest-first order, re-timed so order matches the clock.
+    ordered = adversarial_order(problem.customers)
+    ordered = [
+        dc.replace(c, arrival_time=24.0 * i / len(ordered))
+        for i, c in enumerate(ordered)
+    ]
+    from repro.core.problem import MUAAProblem
+
+    retimed = MUAAProblem(
+        customers=ordered,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=problem.utility_model,
+    )
+    simulator = OnlineSimulator(retimed)
+    pacing = simulator.run(BudgetPacingOnline(), arrivals=ordered)
+    fcfs = simulator.run(OnlineStaticThreshold(0.0), arrivals=ordered)
+    assert pacing.total_utility >= fcfs.total_utility * 0.9

@@ -1,0 +1,126 @@
+"""Tests for per-vendor threshold calibration and the threshold class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.calibration import (
+    calibrate_from_problem,
+    calibrate_per_vendor,
+)
+from repro.algorithms.online_afa import (
+    AdaptiveExponentialThreshold,
+    OnlineAdaptiveFactorAware,
+    PerVendorExponentialThreshold,
+)
+from repro.core.validation import validate_assignment
+from repro.datagen.tabular import random_tabular_problem
+from repro.stream.simulator import OnlineSimulator
+
+
+@pytest.fixture
+def problem():
+    return random_tabular_problem(seed=9, n_customers=30, n_vendors=5)
+
+
+class TestCalibratePerVendor:
+    def test_returns_bounds_per_vendor(self, problem):
+        per_vendor = calibrate_per_vendor(problem, min_sample=1)
+        assert per_vendor  # every vendor covers everything (coverage=1)
+        for bounds in per_vendor.values():
+            assert 0 < bounds.gamma_min <= bounds.gamma_max
+            assert bounds.g > 2.7
+
+    def test_min_sample_filters_thin_vendors(self, problem):
+        everything = calibrate_per_vendor(problem, min_sample=1)
+        strict = calibrate_per_vendor(problem, min_sample=10_000)
+        assert len(strict) <= len(everything)
+        assert strict == {}
+
+    def test_vendor_bounds_within_global_span(self, problem):
+        global_bounds = calibrate_from_problem(
+            problem, sample_customers=None,
+            low_quantile=0.0, high_quantile=1.0,
+        )
+        for bounds in calibrate_per_vendor(
+            problem, sample_customers=None, min_sample=1,
+            low_quantile=0.0, high_quantile=1.0,
+        ).values():
+            assert bounds.gamma_min >= global_bounds.gamma_min - 1e-12
+            assert bounds.gamma_max <= global_bounds.gamma_max + 1e-12
+
+
+class TestPerVendorThreshold:
+    def test_routes_to_vendor_specific_threshold(self):
+        per_vendor = {
+            1: AdaptiveExponentialThreshold(gamma_min=1.0, g=10.0),
+        }
+        default = AdaptiveExponentialThreshold(gamma_min=0.1, g=10.0)
+        threshold = PerVendorExponentialThreshold(per_vendor, default)
+        assert threshold.threshold(0.0, vendor_id=1) == pytest.approx(
+            per_vendor[1].threshold(0.0)
+        )
+        assert threshold.threshold(0.0, vendor_id=2) == pytest.approx(
+            default.threshold(0.0)
+        )
+        assert threshold.threshold(0.0) == pytest.approx(
+            default.threshold(0.0)
+        )
+
+    def test_oafa_with_per_vendor_threshold_is_feasible(self, problem):
+        global_bounds = calibrate_from_problem(problem)
+        per_vendor = {
+            vendor_id: AdaptiveExponentialThreshold(
+                gamma_min=bounds.gamma_min, g=bounds.g
+            )
+            for vendor_id, bounds in calibrate_per_vendor(
+                problem, min_sample=1
+            ).items()
+        }
+        threshold = PerVendorExponentialThreshold(
+            per_vendor,
+            AdaptiveExponentialThreshold(
+                gamma_min=global_bounds.gamma_min, g=global_bounds.g
+            ),
+        )
+        algorithm = OnlineAdaptiveFactorAware(threshold=threshold)
+        result = OnlineSimulator(problem).run(algorithm)
+        assert validate_assignment(problem, result.assignment).ok
+        assert len(result.assignment) > 0
+
+    def test_per_vendor_competitive_with_global(self):
+        """Per-vendor calibration should be at least roughly as good as
+        global calibration on heterogeneous workloads."""
+        wins = 0
+        for seed in range(5):
+            problem = random_tabular_problem(
+                seed=seed, n_customers=40, n_vendors=6, budget=(4.0, 8.0)
+            )
+            global_bounds = calibrate_from_problem(problem)
+            global_alg = OnlineAdaptiveFactorAware(
+                gamma_min=global_bounds.gamma_min, g=global_bounds.g
+            )
+            per_vendor = {
+                vendor_id: AdaptiveExponentialThreshold(
+                    gamma_min=b.gamma_min, g=b.g
+                )
+                for vendor_id, b in calibrate_per_vendor(
+                    problem, min_sample=4
+                ).items()
+            }
+            pv_alg = OnlineAdaptiveFactorAware(
+                threshold=PerVendorExponentialThreshold(
+                    per_vendor,
+                    AdaptiveExponentialThreshold(
+                        gamma_min=global_bounds.gamma_min,
+                        g=global_bounds.g,
+                    ),
+                )
+            )
+            simulator = OnlineSimulator(problem)
+            if (
+                simulator.run(pv_alg).total_utility
+                >= simulator.run(global_alg).total_utility * 0.9
+            ):
+                wins += 1
+        assert wins >= 4

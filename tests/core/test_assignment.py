@@ -1,0 +1,177 @@
+"""Unit and property tests for Assignment constraint tracking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import AdInstance, Assignment, union_unchecked
+from repro.exceptions import ConstraintViolationError
+
+
+def make_instance(cid=0, vid=0, tid=0, utility=1.0, cost=1.0) -> AdInstance:
+    return AdInstance(
+        customer_id=cid, vendor_id=vid, type_id=tid, utility=utility,
+        cost=cost,
+    )
+
+
+class TestAdInstance:
+    def test_efficiency(self):
+        inst = make_instance(utility=3.0, cost=2.0)
+        assert inst.efficiency == pytest.approx(1.5)
+
+    def test_pair_key(self):
+        assert make_instance(cid=3, vid=7).pair == (3, 7)
+
+
+class TestAssignmentBasics:
+    def test_empty(self):
+        a = Assignment()
+        assert len(a) == 0
+        assert a.total_utility == 0.0
+        assert list(a) == []
+
+    def test_add_and_read(self):
+        a = Assignment(capacities={0: 2}, budgets={0: 5.0})
+        inst = make_instance(utility=2.0, cost=1.5)
+        assert a.add(inst)
+        assert len(a) == 1
+        assert a.total_utility == pytest.approx(2.0)
+        assert a.ads_for_customer(0) == 1
+        assert a.spend_for_vendor(0) == pytest.approx(1.5)
+        assert a.remaining_budget(0) == pytest.approx(3.5)
+        assert (0, 0) in a
+        assert a.instance_for_pair(0, 0) == inst
+
+    def test_pair_uniqueness(self):
+        a = Assignment(capacities={0: 5}, budgets={0: 100.0})
+        a.add(make_instance(tid=0))
+        assert not a.can_add(make_instance(tid=1))
+        with pytest.raises(ConstraintViolationError):
+            a.add(make_instance(tid=1))
+
+    def test_capacity_enforced(self):
+        a = Assignment(capacities={0: 1}, budgets={0: 100.0, 1: 100.0})
+        a.add(make_instance(vid=0))
+        assert not a.add(make_instance(vid=1), strict=False)
+
+    def test_budget_enforced(self):
+        a = Assignment(capacities={0: 10, 1: 10}, budgets={0: 2.0})
+        a.add(make_instance(cid=0, cost=1.5))
+        assert not a.add(make_instance(cid=1, cost=1.0), strict=False)
+        assert a.add(make_instance(cid=1, cost=0.5), strict=False)
+
+    def test_unknown_customer_has_zero_capacity(self):
+        a = Assignment(capacities={}, budgets=None)
+        assert not a.can_add(make_instance(cid=99))
+
+    def test_remove_restores_feasibility(self):
+        a = Assignment(capacities={0: 1}, budgets={0: 1.0})
+        a.add(make_instance(utility=2.0, cost=1.0))
+        removed = a.remove(0, 0)
+        assert removed.utility == 2.0
+        assert len(a) == 0
+        assert a.total_utility == pytest.approx(0.0)
+        assert a.add(make_instance(utility=1.0, cost=1.0))
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            Assignment().remove(0, 0)
+
+    def test_remaining_budget_requires_budgets(self):
+        with pytest.raises(ConstraintViolationError):
+            Assignment().remaining_budget(0)
+
+    def test_customer_and_vendor_views(self):
+        a = Assignment(capacities={0: 5, 1: 5}, budgets={0: 10.0, 1: 10.0})
+        a.add(make_instance(cid=0, vid=0))
+        a.add(make_instance(cid=0, vid=1))
+        a.add(make_instance(cid=1, vid=0))
+        assert len(a.customer_instances(0)) == 2
+        assert len(a.vendor_instances(0)) == 2
+        assert len(a.customer_instances(1)) == 1
+
+
+class TestViolatedCustomers:
+    def test_detects_over_capacity(self):
+        a = Assignment()  # no constraints tracked
+        a.add(make_instance(cid=0, vid=0))
+        a.add(make_instance(cid=0, vid=1))
+        a.add(make_instance(cid=1, vid=0))
+        assert a.violated_customers({0: 1, 1: 1}) == {0}
+        assert a.violated_customers({0: 2, 1: 1}) == set()
+
+
+class TestUnionUnchecked:
+    def test_union_preserves_instances(self):
+        part1 = Assignment()
+        part1.add(make_instance(cid=0, vid=0))
+        part2 = Assignment()
+        part2.add(make_instance(cid=0, vid=1))
+        merged = union_unchecked([part1, part2])
+        assert len(merged) == 2
+        assert merged.ads_for_customer(0) == 2
+
+    def test_merge_counts_added(self):
+        a = Assignment(capacities={0: 1}, budgets={0: 10.0, 1: 10.0})
+        other = Assignment()
+        other.add(make_instance(cid=0, vid=0))
+        other.add(make_instance(cid=0, vid=1))
+        assert a.merge(other) == 1  # capacity 1 blocks the second
+
+
+@st.composite
+def instance_lists(draw):
+    n = draw(st.integers(1, 25))
+    instances = []
+    for index in range(n):
+        instances.append(
+            AdInstance(
+                customer_id=draw(st.integers(0, 4)),
+                vendor_id=draw(st.integers(0, 4)),
+                type_id=index,  # unique per candidate
+                utility=draw(
+                    st.floats(0.0, 10.0, allow_nan=False)
+                ),
+                cost=draw(st.floats(0.1, 5.0, allow_nan=False)),
+            )
+        )
+    return instances
+
+
+class TestAssignmentProperties:
+    @given(instance_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_bookkeeping_matches_recount(self, instances):
+        """Incremental counters always equal a from-scratch recount."""
+        capacities = {i: 3 for i in range(5)}
+        budgets = {i: 6.0 for i in range(5)}
+        a = Assignment(capacities=capacities, budgets=budgets)
+        for inst in instances:
+            a.add(inst, strict=False)
+        total = sum(inst.utility for inst in a)
+        assert a.total_utility == pytest.approx(total)
+        for cid in capacities:
+            count = sum(1 for inst in a if inst.customer_id == cid)
+            assert a.ads_for_customer(cid) == count
+            assert count <= capacities[cid]
+        for vid in budgets:
+            spend = sum(inst.cost for inst in a if inst.vendor_id == vid)
+            assert a.spend_for_vendor(vid) == pytest.approx(spend)
+            assert spend <= budgets[vid] + 1e-6
+
+    @given(instance_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_add_remove_roundtrip(self, instances):
+        """Removing everything added returns to the empty state."""
+        a = Assignment(
+            capacities={i: 10 for i in range(5)},
+            budgets={i: 1000.0 for i in range(5)},
+        )
+        added = [inst for inst in instances if a.add(inst, strict=False)]
+        for inst in added:
+            a.remove(inst.customer_id, inst.vendor_id)
+        assert len(a) == 0
+        assert a.total_utility == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,50 @@
+"""Edge cases of Assignment.merge and union_unchecked."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import AdInstance, Assignment, union_unchecked
+from repro.exceptions import ConstraintViolationError
+
+
+def inst(cid, vid, utility=1.0, cost=1.0, tid=0):
+    return AdInstance(customer_id=cid, vendor_id=vid, type_id=tid,
+                      utility=utility, cost=cost)
+
+
+def test_merge_strict_raises_on_conflict():
+    a = Assignment(capacities={0: 1}, budgets={0: 10.0, 1: 10.0})
+    a.add(inst(0, 0))
+    other = Assignment()
+    other.add(inst(0, 1))  # would exceed capacity 1
+    with pytest.raises(ConstraintViolationError):
+        a.merge(other, strict=True)
+
+
+def test_merge_lenient_skips_conflicts():
+    a = Assignment(capacities={0: 1, 1: 1}, budgets={0: 10.0, 1: 10.0})
+    a.add(inst(0, 0))
+    other = Assignment()
+    other.add(inst(0, 1))  # blocked by capacity
+    other.add(inst(1, 1))  # fine
+    assert a.merge(other, strict=False) == 1
+    assert len(a) == 2
+
+
+def test_union_unchecked_rejects_duplicate_pairs():
+    part1 = Assignment()
+    part1.add(inst(0, 0, tid=0))
+    part2 = Assignment()
+    part2.add(inst(0, 0, tid=1))  # same pair from another "vendor solve"
+    with pytest.raises(ConstraintViolationError):
+        union_unchecked([part1, part2])
+
+
+def test_union_unchecked_total_utility():
+    part1 = Assignment()
+    part1.add(inst(0, 0, utility=2.0))
+    part2 = Assignment()
+    part2.add(inst(1, 0, utility=3.0))
+    merged = union_unchecked([part1, part2])
+    assert merged.total_utility == pytest.approx(5.0)

@@ -1,0 +1,111 @@
+"""Unit tests for the entity model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.entities import AdType, Customer, Vendor, distance
+from repro.exceptions import InvalidEntityError
+
+
+class TestAdType:
+    def test_valid_construction(self):
+        ad = AdType(type_id=0, name="text", cost=1.0, effectiveness=0.1)
+        assert ad.cost == 1.0
+        assert ad.effectiveness == 0.1
+
+    def test_rejects_non_positive_cost(self):
+        with pytest.raises(InvalidEntityError):
+            AdType(type_id=0, name="x", cost=0.0, effectiveness=0.5)
+        with pytest.raises(InvalidEntityError):
+            AdType(type_id=0, name="x", cost=-1.0, effectiveness=0.5)
+
+    def test_rejects_effectiveness_out_of_range(self):
+        with pytest.raises(InvalidEntityError):
+            AdType(type_id=0, name="x", cost=1.0, effectiveness=0.0)
+        with pytest.raises(InvalidEntityError):
+            AdType(type_id=0, name="x", cost=1.0, effectiveness=1.5)
+
+    def test_is_frozen(self):
+        ad = AdType(type_id=0, name="x", cost=1.0, effectiveness=0.5)
+        with pytest.raises(AttributeError):
+            ad.cost = 2.0
+
+
+class TestCustomer:
+    def test_valid_construction(self):
+        c = Customer(
+            customer_id=1,
+            location=(0.5, 0.5),
+            capacity=2,
+            view_probability=0.3,
+        )
+        assert c.capacity == 2
+        assert c.interests is None
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(InvalidEntityError):
+            Customer(
+                customer_id=1, location=(0, 0), capacity=-1,
+                view_probability=0.5,
+            )
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(InvalidEntityError):
+            Customer(
+                customer_id=1, location=(0, 0), capacity=1,
+                view_probability=1.5,
+            )
+
+    def test_rejects_non_finite_location(self):
+        with pytest.raises(InvalidEntityError):
+            Customer(
+                customer_id=1, location=(float("nan"), 0), capacity=1,
+                view_probability=0.5,
+            )
+
+    def test_zero_capacity_is_allowed(self):
+        c = Customer(
+            customer_id=1, location=(0, 0), capacity=0, view_probability=0.5
+        )
+        assert c.capacity == 0
+
+
+class TestVendor:
+    def test_valid_construction(self):
+        v = Vendor(vendor_id=1, location=(0.1, 0.2), radius=0.05, budget=10.0)
+        assert v.budget == 10.0
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(InvalidEntityError):
+            Vendor(vendor_id=1, location=(0, 0), radius=-0.1, budget=1.0)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(InvalidEntityError):
+            Vendor(vendor_id=1, location=(0, 0), radius=0.1, budget=-1.0)
+
+    def test_rejects_infinite_location(self):
+        with pytest.raises(InvalidEntityError):
+            Vendor(
+                vendor_id=1, location=(math.inf, 0), radius=0.1, budget=1.0
+            )
+
+
+class TestDistance:
+    def test_distance_is_euclidean(self):
+        c = Customer(
+            customer_id=0, location=(0.0, 0.0), capacity=1,
+            view_probability=0.5,
+        )
+        v = Vendor(vendor_id=0, location=(3.0, 4.0), radius=1.0, budget=1.0)
+        assert distance(c, v) == pytest.approx(5.0)
+
+    def test_distance_zero_for_same_point(self):
+        c = Customer(
+            customer_id=0, location=(1.0, 1.0), capacity=1,
+            view_probability=0.5,
+        )
+        v = Vendor(vendor_id=0, location=(1.0, 1.0), radius=1.0, budget=1.0)
+        assert distance(c, v) == 0.0

@@ -1,0 +1,53 @@
+"""Property test: freezing preserves every algorithm's behaviour."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware, StaticThreshold
+from repro.algorithms.recon import Reconciliation
+from repro.core.serialize import freeze, problem_from_dict, problem_to_dict
+from repro.datagen.tabular import random_tabular_problem
+from repro.stream.simulator import OnlineSimulator
+
+
+@given(st.integers(0, 40), st.floats(0.1, 1.0))
+@settings(max_examples=25, deadline=None)
+def test_freeze_preserves_all_algorithms(seed, coverage):
+    problem = random_tabular_problem(
+        seed=seed, n_customers=8, n_vendors=4, coverage=coverage
+    )
+    frozen = freeze(problem)
+    # Offline algorithms.
+    for algorithm_factory in (
+        GreedyEfficiency,
+        lambda: Reconciliation(seed=0),
+    ):
+        original = algorithm_factory().solve(problem).total_utility
+        again = algorithm_factory().solve(frozen).total_utility
+        assert again == pytest.approx(original, rel=1e-9, abs=1e-12)
+    # An online run too (accept-all threshold avoids calibration).
+    algorithm = OnlineAdaptiveFactorAware(threshold=StaticThreshold(0.0))
+    original = OnlineSimulator(problem).run(
+        algorithm, measure_latency=False
+    ).total_utility
+    again = OnlineSimulator(frozen).run(
+        algorithm, measure_latency=False
+    ).total_utility
+    assert again == pytest.approx(original, rel=1e-9, abs=1e-12)
+
+
+@given(st.integers(0, 30))
+@settings(max_examples=20, deadline=None)
+def test_serialisation_roundtrip_property(seed):
+    problem = random_tabular_problem(seed=seed, n_customers=6, n_vendors=3)
+    clone = problem_from_dict(problem_to_dict(problem))
+    assert sorted(clone.valid_pairs()) == sorted(problem.valid_pairs())
+    for i, j in problem.valid_pairs():
+        for t in problem.ad_types:
+            assert clone.utility(i, j, t.type_id) == pytest.approx(
+                problem.utility(i, j, t.type_id), rel=1e-12
+            )

@@ -1,0 +1,116 @@
+"""Tests for MUAA instance serialisation and freezing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.algorithms.recon import Reconciliation
+from repro.core.serialize import (
+    freeze,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+)
+from repro.datagen.config import WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.datagen.tabular import random_tabular_problem
+from repro.exceptions import DataFormatError
+from tests.conftest import paper_example_problem
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_solutions(self):
+        problem = random_tabular_problem(seed=4, n_customers=6, n_vendors=4)
+        clone = problem_from_dict(problem_to_dict(problem))
+        original = GreedyEfficiency().solve(problem)
+        restored = GreedyEfficiency().solve(clone)
+        assert restored.total_utility == pytest.approx(
+            original.total_utility
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        problem = random_tabular_problem(seed=5)
+        path = tmp_path / "instance.json"
+        save_problem(problem, path)
+        clone = load_problem(path)
+        assert len(clone.customers) == len(problem.customers)
+        assert len(clone.vendors) == len(problem.vendors)
+        for customer in problem.customers:
+            restored = clone.customers_by_id[customer.customer_id]
+            assert restored.capacity == customer.capacity
+            assert restored.view_probability == pytest.approx(
+                customer.view_probability
+            )
+
+    def test_valid_pairs_preserved(self):
+        problem = paper_example_problem()  # custom pair validator
+        clone = problem_from_dict(problem_to_dict(problem))
+        assert sorted(clone.valid_pairs()) == sorted(problem.valid_pairs())
+
+    def test_utilities_preserved_exactly(self):
+        problem = paper_example_problem()
+        clone = problem_from_dict(problem_to_dict(problem))
+        for i, j in problem.valid_pairs():
+            for t in problem.ad_types:
+                assert clone.utility(i, j, t.type_id) == pytest.approx(
+                    problem.utility(i, j, t.type_id), rel=1e-12
+                )
+
+
+class TestFreeze:
+    def test_freezing_taxonomy_problem_preserves_utilities(self):
+        problem = synthetic_problem(
+            WorkloadConfig(n_customers=60, n_vendors=10, seed=8)
+        )
+        frozen = freeze(problem)
+        for i, j in problem.valid_pairs():
+            for t in problem.ad_types:
+                assert frozen.utility(i, j, t.type_id) == pytest.approx(
+                    problem.utility(i, j, t.type_id), rel=1e-9
+                )
+
+    def test_frozen_problem_is_serialisable(self, tmp_path):
+        problem = synthetic_problem(
+            WorkloadConfig(n_customers=40, n_vendors=8, seed=9)
+        )
+        path = tmp_path / "frozen.json"
+        save_problem(freeze(problem), path)
+        clone = load_problem(path)
+        recon_original = Reconciliation(seed=0).solve(problem)
+        recon_clone = Reconciliation(seed=0).solve(clone)
+        assert recon_clone.total_utility == pytest.approx(
+            recon_original.total_utility, rel=1e-9
+        )
+
+    def test_taxonomy_problem_requires_freezing(self):
+        problem = synthetic_problem(
+            WorkloadConfig(n_customers=10, n_vendors=3, seed=1)
+        )
+        with pytest.raises(DataFormatError):
+            problem_to_dict(problem)
+
+
+class TestMalformedDocuments:
+    def test_wrong_version(self):
+        document = problem_to_dict(random_tabular_problem(seed=0))
+        document["version"] = 99
+        with pytest.raises(DataFormatError):
+            problem_from_dict(document)
+
+    def test_missing_keys(self):
+        with pytest.raises(DataFormatError):
+            problem_from_dict({"version": 1})
+
+    def test_unknown_utility_kind(self):
+        document = problem_to_dict(random_tabular_problem(seed=0))
+        document["utility"]["kind"] = "quantum"
+        with pytest.raises(DataFormatError):
+            problem_from_dict(document)
+
+    def test_unparseable_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{", encoding="utf-8")
+        with pytest.raises(DataFormatError):
+            load_problem(path)

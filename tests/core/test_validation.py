@@ -1,0 +1,120 @@
+"""Unit tests for full assignment validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import AdInstance, Assignment
+from repro.core.validation import validate_assignment
+from tests.conftest import random_tabular_problem
+
+
+@pytest.fixture
+def problem():
+    return random_tabular_problem(seed=2, n_customers=4, n_vendors=3)
+
+
+def test_empty_assignment_is_valid(problem):
+    assert validate_assignment(problem, Assignment()).ok
+
+
+def test_feasible_assignment_is_valid(problem):
+    assignment = problem.new_assignment()
+    customer_id, vendor_id = next(problem.valid_pairs())
+    assignment.add(problem.make_instance(customer_id, vendor_id, 0))
+    report = validate_assignment(problem, assignment)
+    assert report.ok
+    assert bool(report)
+
+
+def test_detects_wrong_utility(problem):
+    assignment = Assignment()
+    customer_id, vendor_id = next(problem.valid_pairs())
+    assignment.add(
+        AdInstance(
+            customer_id=customer_id, vendor_id=vendor_id, type_id=0,
+            utility=999.0, cost=1.0,
+        )
+    )
+    report = validate_assignment(problem, assignment)
+    assert not report.ok
+    assert any("utility" in v for v in report.violations)
+
+
+def test_detects_wrong_cost(problem):
+    assignment = Assignment()
+    customer_id, vendor_id = next(problem.valid_pairs())
+    correct = problem.make_instance(customer_id, vendor_id, 0)
+    assignment.add(
+        AdInstance(
+            customer_id=customer_id, vendor_id=vendor_id, type_id=0,
+            utility=correct.utility, cost=correct.cost + 5.0,
+        )
+    )
+    report = validate_assignment(problem, assignment)
+    assert any("cost" in v for v in report.violations)
+
+
+def test_detects_capacity_violation(problem):
+    # Bypass the tracking Assignment entirely.
+    assignment = Assignment()
+    customer = problem.customers[0]
+    count = 0
+    for vendor in problem.vendors:
+        if problem.is_valid_pair(customer, vendor):
+            assignment.add(
+                problem.make_instance(
+                    customer.customer_id, vendor.vendor_id, 0
+                )
+            )
+            count += 1
+    if count > customer.capacity:
+        report = validate_assignment(problem, assignment)
+        assert any("capacity" in v for v in report.violations)
+
+
+def test_detects_budget_violation(problem):
+    assignment = Assignment()
+    vendor = problem.vendors[0]
+    spend = 0.0
+    expensive = max(problem.ad_types, key=lambda t: t.cost)
+    for customer in problem.customers:
+        if problem.is_valid_pair(customer, vendor):
+            assignment.add(
+                problem.make_instance(
+                    customer.customer_id, vendor.vendor_id,
+                    expensive.type_id,
+                )
+            )
+            spend += expensive.cost
+    if spend > vendor.budget:
+        report = validate_assignment(problem, assignment)
+        assert any("budget" in v for v in report.violations)
+
+
+def test_detects_unknown_entities(problem):
+    assignment = Assignment()
+    assignment.add(
+        AdInstance(customer_id=999, vendor_id=0, type_id=0, utility=0,
+                   cost=1.0)
+    )
+    report = validate_assignment(problem, assignment)
+    assert any("unknown customer" in v for v in report.violations)
+
+
+def test_detects_out_of_range_pair():
+    problem = random_tabular_problem(seed=3, coverage=0.02)
+    # Find an invalid pair and force-assign it.
+    for customer in problem.customers:
+        for vendor in problem.vendors:
+            if not problem.is_valid_pair(customer, vendor):
+                assignment = Assignment()
+                assignment.add(
+                    problem.make_instance(
+                        customer.customer_id, vendor.vendor_id, 0
+                    )
+                )
+                report = validate_assignment(problem, assignment)
+                assert any("radius" in v for v in report.violations)
+                return
+    pytest.skip("no invalid pair in this configuration")

@@ -1,0 +1,43 @@
+"""Tests for the parametric ad-catalogue generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.config import make_ad_catalog
+from repro.exceptions import InvalidProblemError
+
+
+def test_rejects_zero_types():
+    with pytest.raises(InvalidProblemError):
+        make_ad_catalog(0)
+
+
+@pytest.mark.parametrize("q", [1, 2, 3, 5, 8])
+def test_monotone_cost_and_effectiveness(q):
+    catalogue = make_ad_catalog(q)
+    assert len(catalogue) == q
+    costs = [t.cost for t in catalogue]
+    effects = [t.effectiveness for t in catalogue]
+    assert costs == sorted(costs)
+    assert effects == sorted(effects)
+    for t in catalogue:
+        assert 0 < t.effectiveness <= 1.0
+
+
+def test_costs_double_per_tier():
+    catalogue = make_ad_catalog(4)
+    for earlier, later in zip(catalogue, catalogue[1:]):
+        assert later.cost == pytest.approx(2 * earlier.cost)
+
+
+def test_efficiency_decreases_with_tier():
+    # Richer formats cost more per unit effect (sublinear effectiveness).
+    catalogue = make_ad_catalog(5)
+    efficiencies = [t.effectiveness / t.cost for t in catalogue]
+    assert efficiencies == sorted(efficiencies, reverse=True)
+
+
+def test_type_ids_are_dense():
+    catalogue = make_ad_catalog(4)
+    assert [t.type_id for t in catalogue] == [0, 1, 2, 3]

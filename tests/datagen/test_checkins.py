@@ -1,0 +1,109 @@
+"""Tests for the check-in simulator and check-in -> MUAA conversion."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.validation import validate_assignment
+from repro.datagen.checkins import (
+    problem_from_checkins,
+    simulate_checkins,
+)
+from repro.datagen.config import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return simulate_checkins(
+        n_users=60, n_venues=120, n_checkins=3_000, seed=7
+    )
+
+
+class TestSimulateCheckins:
+    def test_record_counts(self, dataset):
+        assert len(dataset.records) == 3_000
+        assert dataset.n_users <= 60
+        assert dataset.n_venues <= 120
+
+    def test_locations_in_unit_square(self, dataset):
+        for record in dataset.records[:200]:
+            assert 0.0 <= record.location[0] <= 1.0
+            assert 0.0 <= record.location[1] <= 1.0
+
+    def test_hours_in_day_range(self, dataset):
+        for record in dataset.records:
+            assert 0.0 <= record.hour < 24.0
+
+    def test_categories_belong_to_taxonomy(self, dataset):
+        for record in dataset.records[:200]:
+            assert record.category in dataset.taxonomy
+
+    def test_venue_popularity_is_skewed(self, dataset):
+        counts = Counter(r.venue_id for r in dataset.records)
+        top = sum(c for _v, c in counts.most_common(len(counts) // 10 or 1))
+        # The top decile of venues should absorb well over its share.
+        assert top / len(dataset.records) > 0.2
+
+    def test_venue_category_consistent(self, dataset):
+        seen = {}
+        for record in dataset.records:
+            if record.venue_id in seen:
+                assert seen[record.venue_id] == record.category
+            seen[record.venue_id] = record.category
+
+    def test_deterministic_for_seed(self):
+        a = simulate_checkins(n_users=10, n_venues=20, n_checkins=100, seed=1)
+        b = simulate_checkins(n_users=10, n_venues=20, n_checkins=100, seed=1)
+        assert a.records == b.records
+
+
+class TestProblemFromCheckins:
+    def test_venue_filter(self, dataset):
+        problem = problem_from_checkins(dataset, min_venue_checkins=10)
+        counts = Counter(r.venue_id for r in dataset.records)
+        kept = sum(1 for _v, c in counts.items() if c >= 10)
+        assert len(problem.vendors) == kept
+
+    def test_customers_are_checkins_on_kept_venues(self, dataset):
+        problem = problem_from_checkins(dataset, min_venue_checkins=10)
+        counts = Counter(r.venue_id for r in dataset.records)
+        expected = sum(c for _v, c in counts.items() if c >= 10)
+        assert len(problem.customers) == expected
+
+    def test_caps_respected(self, dataset):
+        problem = problem_from_checkins(
+            dataset, max_customers=100, max_vendors=15
+        )
+        assert len(problem.customers) <= 100
+        assert len(problem.vendors) <= 15
+
+    def test_config_ranges_respected(self, dataset):
+        from repro.datagen.config import ParameterRange
+
+        config = WorkloadConfig(
+            budget_range=ParameterRange(2.0, 4.0),
+            radius_range=ParameterRange(0.1, 0.2),
+        )
+        problem = problem_from_checkins(dataset, config=config,
+                                        max_customers=50, max_vendors=10)
+        for v in problem.vendors:
+            assert 2.0 <= v.budget <= 4.0
+            assert 0.1 <= v.radius <= 0.2
+
+    def test_interest_vectors_from_history(self, dataset):
+        problem = problem_from_checkins(dataset, max_customers=50)
+        for c in problem.customers[:10]:
+            assert c.interests is not None
+            assert c.interests.max() > 0
+
+    def test_end_to_end_panel(self, dataset):
+        from repro.experiments.runner import run_panel
+
+        problem = problem_from_checkins(
+            dataset, max_customers=150, max_vendors=25,
+        )
+        results = run_panel(problem, algorithms=("GREEDY", "RECON"))
+        for result in results.values():
+            assert validate_assignment(problem, result.assignment).ok

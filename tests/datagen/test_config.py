@@ -1,0 +1,92 @@
+"""Tests for workload configuration and parameter sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.config import (
+    BUDGET_SWEEP,
+    DEFAULTS,
+    ParameterRange,
+    WorkloadConfig,
+    default_ad_types,
+)
+from repro.exceptions import InvalidProblemError
+
+
+class TestParameterRange:
+    def test_rejects_inverted_range(self):
+        with pytest.raises(InvalidProblemError):
+            ParameterRange(2.0, 1.0)
+
+    def test_samples_inside_range(self):
+        rng = np.random.default_rng(0)
+        r = ParameterRange(5.0, 10.0)
+        values = r.sample(rng, 5_000)
+        assert values.min() >= 5.0
+        assert values.max() <= 10.0
+
+    def test_mean_near_midpoint(self):
+        rng = np.random.default_rng(1)
+        r = ParameterRange(0.0, 10.0)
+        values = r.sample(rng, 20_000)
+        assert values.mean() == pytest.approx(5.0, abs=0.25)
+
+    def test_degenerate_range_is_constant(self):
+        rng = np.random.default_rng(0)
+        values = ParameterRange(3.0, 3.0).sample(rng, 10)
+        assert (values == 3.0).all()
+
+    def test_integer_sampling(self):
+        rng = np.random.default_rng(0)
+        values = ParameterRange(1, 4).sample_int(rng, 1_000)
+        assert values.dtype.kind == "i"
+        assert values.min() >= 1
+        assert values.max() <= 4
+
+    @given(
+        st.floats(0.01, 100.0, allow_nan=False),
+        st.floats(0.0, 50.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_samples_always_in_bounds(self, low, width):
+        rng = np.random.default_rng(0)
+        r = ParameterRange(low, low + width)
+        values = r.sample(rng, 200)
+        assert (values >= low - 1e-12).all()
+        assert (values <= low + width + 1e-12).all()
+
+
+class TestWorkloadConfig:
+    def test_defaults_match_paper_text(self):
+        assert DEFAULTS.n_customers == 10_000
+        assert DEFAULTS.n_vendors == 500
+
+    def test_with_overrides_replaces_field(self):
+        config = WorkloadConfig().with_overrides(n_customers=42)
+        assert config.n_customers == 42
+        assert config.n_vendors == WorkloadConfig().n_vendors
+
+    def test_sweeps_declared(self):
+        assert BUDGET_SWEEP[0].low == 1
+        assert BUDGET_SWEEP[-1].high == 50
+
+
+class TestDefaultAdTypes:
+    def test_three_types_cost_monotone_in_effectiveness(self):
+        types = default_ad_types()
+        assert len(types) == 3
+        costs = [t.cost for t in types]
+        effects = [t.effectiveness for t in types]
+        assert costs == sorted(costs)
+        assert effects == sorted(effects)
+
+    def test_matches_paper_table1(self):
+        types = {t.name: t for t in default_ad_types()}
+        assert types["text-link"].cost == 1.0
+        assert types["text-link"].effectiveness == 0.1
+        assert types["photo-link"].cost == 2.0
+        assert types["photo-link"].effectiveness == 0.4

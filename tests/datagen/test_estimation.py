@@ -1,0 +1,100 @@
+"""Tests for view-probability estimation from ad logs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.estimation import (
+    AdLogRecord,
+    mle_view_probabilities,
+    simulate_ad_log,
+    smoothed_view_probabilities,
+)
+from repro.exceptions import DataFormatError
+
+
+def log_for(customer_id, views, misses):
+    return [
+        AdLogRecord(customer_id=customer_id, viewed=True)
+        for _ in range(views)
+    ] + [
+        AdLogRecord(customer_id=customer_id, viewed=False)
+        for _ in range(misses)
+    ]
+
+
+class TestMle:
+    def test_pure_mle_is_fraction(self):
+        estimates = mle_view_probabilities(log_for(1, views=3, misses=7))
+        assert estimates[1] == pytest.approx(0.3)
+
+    def test_multiple_customers(self):
+        records = log_for(1, 1, 1) + log_for(2, 4, 0)
+        estimates = mle_view_probabilities(records)
+        assert estimates[1] == pytest.approx(0.5)
+        assert estimates[2] == pytest.approx(1.0)
+
+    def test_empty_log(self):
+        assert mle_view_probabilities([]) == {}
+
+    def test_negative_pseudocounts_rejected(self):
+        with pytest.raises(DataFormatError):
+            mle_view_probabilities([], alpha=-1.0)
+
+    @given(
+        st.integers(0, 40),
+        st.integers(0, 40),
+        st.floats(0.1, 5.0),
+        st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_estimates_always_in_unit_interval(self, v, m, alpha, beta):
+        records = log_for(0, v, m)
+        estimates = mle_view_probabilities(records, alpha=alpha, beta=beta)
+        if records:
+            assert 0.0 <= estimates[0] <= 1.0
+
+
+class TestSmoothing:
+    def test_shrinks_towards_prior(self):
+        # One impression, one view: MLE says 1.0; smoothing pulls back.
+        records = log_for(1, views=1, misses=0)
+        mle = mle_view_probabilities(records)[1]
+        smoothed = smoothed_view_probabilities(
+            records, prior_mean=0.2, prior_strength=4.0
+        )[1]
+        assert smoothed < mle
+        assert smoothed > 0.2  # but the observation still counts
+
+    def test_prior_validation(self):
+        with pytest.raises(DataFormatError):
+            smoothed_view_probabilities([], prior_mean=1.5)
+        with pytest.raises(DataFormatError):
+            smoothed_view_probabilities([], prior_strength=0.0)
+
+    def test_large_samples_dominate_the_prior(self):
+        records = log_for(1, views=400, misses=600)
+        smoothed = smoothed_view_probabilities(
+            records, prior_mean=0.9, prior_strength=2.0
+        )[1]
+        assert smoothed == pytest.approx(0.4, abs=0.01)
+
+
+class TestEndToEnd:
+    def test_recovers_ground_truth(self):
+        rng = np.random.default_rng(3)
+        truth = {i: float(rng.uniform(0.1, 0.9)) for i in range(50)}
+        records = simulate_ad_log(
+            truth, impressions_per_customer=(400, 600), seed=1
+        )
+        estimates = mle_view_probabilities(records)
+        errors = [abs(estimates[i] - truth[i]) for i in truth]
+        assert max(errors) < 0.1
+        assert sum(errors) / len(errors) < 0.03
+
+    def test_simulated_log_size(self):
+        records = simulate_ad_log({1: 0.5}, (10, 10), seed=0)
+        assert len(records) == 10

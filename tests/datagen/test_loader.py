@@ -1,0 +1,104 @@
+"""Tests for the Foursquare TSV loader (TSMC2014 schema)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.checkins import problem_from_checkins
+from repro.datagen.loader import IMPORTED_TOP_LEVEL, load_foursquare_tsv
+from repro.exceptions import DataFormatError
+
+#: Three valid rows in the published schema (tab-separated).
+SAMPLE_ROWS = [
+    "470	49bbd6c0f964a520f4531fe3	4bf58dd8d48988d127951735	Arts & Crafts Store	35.70	139.68	540	Tue Apr 03 18:00:09 +0000 2012",
+    "979	4a43c0aef964a520c6a61fe3	4bf58dd8d48988d1df941735	Bridge	35.68	139.72	540	Tue Apr 03 18:00:25 +0000 2012",
+    "470	4a43c0aef964a520c6a61fe3	4bf58dd8d48988d1df941735	Bridge	35.68	139.72	540	Wed Apr 04 02:10:00 +0000 2012",
+]
+
+
+@pytest.fixture
+def tsv_file(tmp_path):
+    path = tmp_path / "checkins.tsv"
+    path.write_text("\n".join(SAMPLE_ROWS) + "\n", encoding="latin-1")
+    return path
+
+
+class TestLoader:
+    def test_parses_all_rows(self, tsv_file):
+        dataset = load_foursquare_tsv(tsv_file)
+        assert len(dataset.records) == 3
+        assert dataset.n_users == 2
+        assert dataset.n_venues == 2
+
+    def test_unknown_categories_registered(self, tsv_file):
+        dataset = load_foursquare_tsv(tsv_file)
+        assert "Arts & Crafts Store" in dataset.taxonomy
+        assert (
+            dataset.taxonomy.parent("Arts & Crafts Store")
+            == IMPORTED_TOP_LEVEL
+        )
+
+    def test_locations_mapped_to_unit_square(self, tsv_file):
+        dataset = load_foursquare_tsv(tsv_file)
+        for record in dataset.records:
+            assert 0.0 <= record.location[0] <= 1.0
+            assert 0.0 <= record.location[1] <= 1.0
+
+    def test_timezone_applied_to_hours(self, tsv_file):
+        dataset = load_foursquare_tsv(tsv_file)
+        # 18:00:09 UTC + 540 minutes = 03:00:09 next day local.
+        assert dataset.records[0].hour == pytest.approx(3.0, abs=0.01)
+
+    def test_same_user_same_id(self, tsv_file):
+        dataset = load_foursquare_tsv(tsv_file)
+        assert dataset.records[0].user_id == dataset.records[2].user_id
+
+    def test_max_records(self, tsv_file):
+        dataset = load_foursquare_tsv(tsv_file, max_records=2)
+        assert len(dataset.records) == 2
+
+    def test_malformed_row_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only	three	fields\n", encoding="latin-1")
+        with pytest.raises(DataFormatError):
+            load_foursquare_tsv(path)
+
+    def test_bad_number_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        row = SAMPLE_ROWS[0].replace("35.70", "not-a-number")
+        path.write_text(row + "\n", encoding="latin-1")
+        with pytest.raises(DataFormatError):
+            load_foursquare_tsv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.tsv"
+        path.write_text(
+            SAMPLE_ROWS[0] + "\n\n" + SAMPLE_ROWS[1] + "\n",
+            encoding="latin-1",
+        )
+        dataset = load_foursquare_tsv(path)
+        assert len(dataset.records) == 2
+
+    def test_skip_malformed_drops_bad_rows(self, tmp_path):
+        path = tmp_path / "mixed.tsv"
+        path.write_text(
+            SAMPLE_ROWS[0] + "\n"
+            + "short	row\n"
+            + SAMPLE_ROWS[1].replace("35.68", "not-a-number") + "\n"
+            + SAMPLE_ROWS[2] + "\n",
+            encoding="latin-1",
+        )
+        dataset = load_foursquare_tsv(path, skip_malformed=True)
+        assert len(dataset.records) == 2
+
+    def test_skip_malformed_off_still_raises(self, tmp_path):
+        path = tmp_path / "mixed.tsv"
+        path.write_text("short	row\n", encoding="latin-1")
+        with pytest.raises(DataFormatError):
+            load_foursquare_tsv(path, skip_malformed=False)
+
+    def test_loaded_dataset_feeds_problem_builder(self, tsv_file):
+        dataset = load_foursquare_tsv(tsv_file)
+        problem = problem_from_checkins(dataset, min_venue_checkins=1)
+        assert len(problem.vendors) == 2
+        assert len(problem.customers) == 3

@@ -1,0 +1,68 @@
+"""Tests for instance statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.stats import instance_card, instance_stats
+from repro.datagen.tabular import random_tabular_problem
+
+
+@pytest.fixture
+def problem():
+    return random_tabular_problem(seed=3, n_customers=12, n_vendors=4)
+
+
+def test_counts(problem):
+    stats = instance_stats(problem)
+    assert stats.n_customers == 12
+    assert stats.n_vendors == 4
+    assert stats.n_valid_pairs == 48  # full coverage
+    assert stats.mean_valid_vendors == pytest.approx(4.0)
+    assert stats.mean_valid_customers == pytest.approx(12.0)
+
+
+def test_budget_and_capacity_totals(problem):
+    stats = instance_stats(problem)
+    assert stats.total_budget == pytest.approx(
+        sum(v.budget for v in problem.vendors)
+    )
+    assert stats.total_capacity == sum(
+        c.capacity for c in problem.customers
+    )
+    assert stats.max_affordable_ads == pytest.approx(
+        stats.total_budget / problem.min_cost
+    )
+
+
+def test_efficiency_quantiles_ordered(problem):
+    stats = instance_stats(problem)
+    q05, q50, q95 = stats.efficiency_quantiles
+    assert q05 <= q50 <= q95
+    assert stats.positive_pair_fraction == pytest.approx(1.0)
+
+
+def test_theta_matches_problem(problem):
+    assert instance_stats(problem).theta == pytest.approx(problem.theta())
+
+
+def test_empty_instance():
+    problem = random_tabular_problem(seed=0, coverage=0.0)
+    stats = instance_stats(problem)
+    assert stats.n_valid_pairs == 0
+    assert stats.positive_pair_fraction == 0.0
+    assert stats.efficiency_quantiles is None
+
+
+def test_budget_bound_detection():
+    tight = random_tabular_problem(
+        seed=1, n_customers=20, n_vendors=2, budget=(2.0, 3.0)
+    )
+    assert instance_stats(tight).budget_bound
+
+
+def test_card_renders(problem):
+    card = instance_card(problem)
+    assert "MUAA instance" in card
+    assert "theta" in card
+    assert "efficiency p5/p50/p95" in card

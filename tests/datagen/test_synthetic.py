@@ -1,0 +1,96 @@
+"""Tests for the synthetic workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.validation import validate_assignment
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return synthetic_problem(
+        WorkloadConfig(n_customers=300, n_vendors=40, seed=5)
+    )
+
+
+class TestGeneratedEntities:
+    def test_counts(self, problem):
+        assert len(problem.customers) == 300
+        assert len(problem.vendors) == 40
+
+    def test_locations_in_unit_square(self, problem):
+        for c in problem.customers:
+            assert 0.0 <= c.location[0] <= 1.0
+            assert 0.0 <= c.location[1] <= 1.0
+        for v in problem.vendors:
+            assert 0.0 <= v.location[0] <= 1.0
+            assert 0.0 <= v.location[1] <= 1.0
+
+    def test_parameters_in_configured_ranges(self):
+        config = WorkloadConfig(
+            n_customers=100,
+            n_vendors=20,
+            budget_range=ParameterRange(3.0, 7.0),
+            radius_range=ParameterRange(0.05, 0.1),
+            capacity_range=ParameterRange(2, 5),
+            probability_range=ParameterRange(0.4, 0.8),
+            seed=1,
+        )
+        problem = synthetic_problem(config)
+        for v in problem.vendors:
+            assert 3.0 <= v.budget <= 7.0
+            assert 0.05 <= v.radius <= 0.1
+        for c in problem.customers:
+            assert 2 <= c.capacity <= 5
+            assert 0.4 <= c.view_probability <= 0.8
+
+    def test_interest_vectors_populated(self, problem):
+        for c in problem.customers[:20]:
+            assert c.interests is not None
+            assert c.interests.max() > 0
+            assert c.interests.min() >= 0
+
+    def test_vendor_tags_populated(self, problem):
+        for v in problem.vendors[:10]:
+            assert v.tags is not None
+            assert v.tags.max() == pytest.approx(1.0)
+
+    def test_deterministic_for_seed(self):
+        a = synthetic_problem(WorkloadConfig(n_customers=50, n_vendors=10,
+                                             seed=3))
+        b = synthetic_problem(WorkloadConfig(n_customers=50, n_vendors=10,
+                                             seed=3))
+        for ca, cb in zip(a.customers, b.customers):
+            assert ca.location == cb.location
+            assert ca.capacity == cb.capacity
+            assert np.allclose(ca.interests, cb.interests)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_problem(WorkloadConfig(n_customers=50, n_vendors=10,
+                                             seed=3))
+        b = synthetic_problem(WorkloadConfig(n_customers=50, n_vendors=10,
+                                             seed=4))
+        assert any(
+            ca.location != cb.location
+            for ca, cb in zip(a.customers, b.customers)
+        )
+
+
+class TestWorkloadUsability:
+    def test_positive_utilities_exist(self, problem):
+        positive = 0
+        for cid, vid in problem.valid_pairs():
+            if problem.utility(cid, vid, 0) > 0:
+                positive += 1
+        assert positive > 0
+
+    def test_panel_runs_and_is_feasible(self, problem):
+        from repro.experiments.runner import run_panel
+
+        results = run_panel(problem, algorithms=("GREEDY", "ONLINE"))
+        for result in results.values():
+            assert validate_assignment(problem, result.assignment).ok

@@ -1,0 +1,83 @@
+"""Smoke tests for the per-figure experiment definitions.
+
+Each figure runs at a tiny scale with a reduced sweep so the whole
+module stays fast; the full-size versions live in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.config import ParameterRange
+from repro.experiments.figures import (
+    fig3_budget,
+    fig4_radius,
+    fig5_capacity,
+    fig6_probability,
+    fig7_customers,
+    fig8_vendors,
+)
+
+TINY = 0.003
+ALGOS = ("RANDOM", "GREEDY", "ONLINE")
+
+
+@pytest.mark.parametrize(
+    "figure,kwargs",
+    [
+        (
+            fig3_budget,
+            {"sweep": (ParameterRange(1, 5), ParameterRange(20, 30))},
+        ),
+        (
+            fig4_radius,
+            {"sweep": (ParameterRange(0.01, 0.02), ParameterRange(0.04, 0.05))},
+        ),
+        (
+            fig5_capacity,
+            {"sweep": (ParameterRange(1, 4), ParameterRange(1, 10))},
+        ),
+        (
+            fig6_probability,
+            {"sweep": (ParameterRange(0.1, 0.3), ParameterRange(0.5, 0.7))},
+        ),
+    ],
+)
+def test_real_like_figures_run(figure, kwargs):
+    result = figure(scale=TINY, algorithms=ALGOS, **kwargs)
+    assert len(result.rows) == 2 * len(ALGOS)
+    assert result.algorithms() == list(ALGOS)
+    for row in result.rows:
+        assert row.total_utility >= 0.0
+
+
+@pytest.mark.parametrize(
+    "figure,kwargs",
+    [
+        (fig7_customers, {"sweep": (4_000, 10_000)}),
+        (fig8_vendors, {"sweep": (300, 2_000)}),
+    ],
+)
+def test_synthetic_figures_run(figure, kwargs):
+    result = figure(scale=0.02, algorithms=ALGOS, **kwargs)
+    assert len(result.rows) == 2 * len(ALGOS)
+
+
+def test_budget_utility_is_monotone_ish():
+    """Figure 3(a) shape: more budget cannot reduce GREEDY's utility."""
+    result = fig3_budget(
+        scale=TINY,
+        algorithms=("GREEDY",),
+        sweep=(ParameterRange(1, 5), ParameterRange(40, 50)),
+    )
+    low, high = (row.total_utility for row in result.rows)
+    assert high >= low - 1e-9
+
+
+def test_customer_scale_increases_utility():
+    """Figure 7(a) shape: more customers -> more utility for GREEDY."""
+    result = fig7_customers(
+        scale=0.02, algorithms=("GREEDY",), sweep=(4_000, 100_000)
+    )
+    low, high = (row.total_utility for row in result.rows)
+    assert high >= low - 1e-9

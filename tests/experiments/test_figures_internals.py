@@ -1,0 +1,72 @@
+"""Tests for the figure-definition internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.config import ParameterRange
+from repro.experiments.figures import (
+    PAPER_REAL_CUSTOMERS,
+    PAPER_REAL_VENDORS,
+    _range_label,
+    _shared_feed,
+    _sizes,
+)
+
+
+class TestSizes:
+    def test_scale_one_matches_paper(self):
+        _u, _v, _c, max_customers, max_vendors = _sizes(1.0)
+        assert max_customers == PAPER_REAL_CUSTOMERS
+        assert max_vendors == PAPER_REAL_VENDORS
+
+    def test_floors_apply_at_tiny_scale(self):
+        users, venues, checkins, max_customers, max_vendors = _sizes(1e-6)
+        assert users >= 50
+        assert venues >= 100
+        assert checkins >= 2_000
+        assert max_customers >= 500
+        assert max_vendors >= 50
+
+    def test_monotone_in_scale(self):
+        small = _sizes(0.01)
+        large = _sizes(0.1)
+        assert all(a <= b for a, b in zip(small, large))
+
+
+class TestSharedFeed:
+    def test_cached_per_scale_and_seed(self):
+        a = _shared_feed(0.003, 42)
+        b = _shared_feed(0.003, 42)
+        assert a is b  # lru_cache identity
+
+    def test_different_seeds_differ(self):
+        a = _shared_feed(0.003, 42)
+        b = _shared_feed(0.003, 43)
+        assert a is not b
+        assert a.records != b.records
+
+
+class TestRangeLabel:
+    def test_integer_ranges(self):
+        assert _range_label(ParameterRange(1, 5)) == "[1,5]"
+
+    def test_float_ranges(self):
+        assert _range_label(ParameterRange(0.01, 0.02)) == "[0.01,0.02]"
+
+    def test_mixed(self):
+        assert _range_label(ParameterRange(1, 1.5)) == "[1,1.5]"
+
+
+class TestRunnerVariants:
+    def test_greedy_rescan_panel_member(self):
+        from repro.datagen.tabular import random_tabular_problem
+        from repro.experiments.runner import run_panel
+
+        problem = random_tabular_problem(seed=3, n_customers=10, n_vendors=4)
+        results = run_panel(
+            problem, algorithms=("GREEDY", "GREEDY-RESCAN")
+        )
+        assert results["GREEDY"].total_utility == pytest.approx(
+            results["GREEDY-RESCAN"].total_utility
+        )

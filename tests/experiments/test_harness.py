@@ -1,0 +1,110 @@
+"""Tests for the experiment harness: measures, runner, sweep, report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validation import validate_assignment
+from repro.experiments.measures import (
+    Row,
+    dominance_fraction,
+    rows_for_algorithm,
+    utilities_by_parameter,
+)
+from repro.experiments.report import full_report, time_table, utility_table
+from repro.experiments.runner import PANEL, build_panel, run_panel
+from repro.experiments.sweep import run_sweep
+from tests.conftest import random_tabular_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return random_tabular_problem(seed=8, n_customers=15, n_vendors=5)
+
+
+class TestRunner:
+    def test_build_panel_names(self, problem):
+        panel = build_panel(problem)
+        assert [a.name for a in panel] == list(PANEL)
+
+    def test_unknown_algorithm_rejected(self, problem):
+        with pytest.raises(ValueError):
+            build_panel(problem, algorithms=("MAGIC",))
+
+    def test_run_panel_results_feasible(self, problem):
+        results = run_panel(problem)
+        assert set(results) == set(PANEL)
+        for result in results.values():
+            assert validate_assignment(problem, result.assignment).ok
+            assert result.wall_time >= 0
+            assert result.per_customer_seconds >= 0
+
+    def test_calibration_fallback_on_degenerate_instance(self):
+        # No valid pairs at all: ONLINE must still run.
+        degenerate = random_tabular_problem(seed=0, coverage=0.0)
+        results = run_panel(degenerate, algorithms=("ONLINE",))
+        assert len(results["ONLINE"].assignment) == 0
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep_result(self):
+        points = [
+            (
+                f"m={m}",
+                lambda m=m: random_tabular_problem(
+                    seed=1, n_customers=m, n_vendors=4
+                ),
+            )
+            for m in (5, 10)
+        ]
+        return run_sweep(
+            "test-exp", points, algorithms=("RANDOM", "GREEDY")
+        )
+
+    def test_rows_cover_grid(self, sweep_result):
+        assert len(sweep_result.rows) == 4
+        assert sweep_result.parameters() == ["m=5", "m=10"]
+        assert sweep_result.algorithms() == ["RANDOM", "GREEDY"]
+
+    def test_row_fields(self, sweep_result):
+        row = sweep_result.rows[0]
+        assert row.experiment == "test-exp"
+        assert row.total_utility >= 0
+        assert row.n_instances >= 0
+
+    def test_measure_helpers(self, sweep_result):
+        greedy_rows = rows_for_algorithm(sweep_result.rows, "GREEDY")
+        assert len(greedy_rows) == 2
+        series = utilities_by_parameter(sweep_result.rows, "GREEDY")
+        assert set(series) == {"m=5", "m=10"}
+        fraction = dominance_fraction(
+            sweep_result.rows, "GREEDY", "RANDOM"
+        )
+        assert fraction is not None
+        assert 0.0 <= fraction <= 1.0
+
+    def test_dominance_fraction_disjoint_series(self, sweep_result):
+        assert dominance_fraction(sweep_result.rows, "GREEDY", "NOPE") is None
+
+    def test_report_rendering(self, sweep_result):
+        text = full_report(sweep_result)
+        assert "test-exp (a): total utility" in text
+        assert "GREEDY" in text
+        assert "m=10" in text
+        assert "per-customer" in text
+
+    def test_tables_align(self, sweep_result):
+        table = utility_table(sweep_result)
+        lines = table.splitlines()[1:]
+        assert len({len(line) for line in lines if line}) <= 2
+
+
+class TestRowFromResult:
+    def test_from_result(self, problem):
+        results = run_panel(problem, algorithms=("GREEDY",))
+        row = Row.from_result("x", "p", results["GREEDY"])
+        assert row.algorithm == "GREEDY"
+        assert row.total_utility == pytest.approx(
+            results["GREEDY"].total_utility
+        )

@@ -1,0 +1,81 @@
+"""Tests for experiment result persistence (CSV/JSON round-trips)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.experiments.io import read_csv, read_json, write_csv, write_json
+from repro.experiments.measures import Row
+from repro.experiments.sweep import SweepResult
+
+
+@pytest.fixture
+def sweep():
+    rows = [
+        Row(
+            experiment="figX",
+            parameter=f"p{i}",
+            algorithm=name,
+            total_utility=1.5 * i + (0.1 if name == "RECON" else 0.0),
+            wall_time=0.25 * i,
+            per_customer_seconds=1e-4 * i,
+            n_instances=10 * i,
+            extras={"violations": float(i)} if name == "RECON" else {},
+        )
+        for i in range(3)
+        for name in ("RECON", "ONLINE")
+    ]
+    return SweepResult(experiment="figX", rows=rows)
+
+
+class TestCsv:
+    def test_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        write_csv(sweep, path)
+        loaded = read_csv(path)
+        assert loaded.experiment == "figX"
+        assert loaded.rows == sweep.rows
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n", encoding="utf-8")
+        with pytest.raises(DataFormatError):
+            read_csv(path)
+
+    def test_utilities_roundtrip_exactly(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        write_csv(sweep, path)
+        loaded = read_csv(path)
+        for before, after in zip(sweep.rows, loaded.rows):
+            assert after.total_utility == before.total_utility  # repr()
+
+
+class TestJson:
+    def test_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        write_json(sweep, path)
+        loaded = read_json(path)
+        assert loaded.experiment == "figX"
+        assert loaded.rows == sweep.rows
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(DataFormatError):
+            read_json(path)
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"rows": []}', encoding="utf-8")
+        with pytest.raises(DataFormatError):
+            read_json(path)
+
+
+def test_empty_sweep_roundtrips(tmp_path):
+    sweep = SweepResult(experiment="empty", rows=[])
+    write_json(sweep, tmp_path / "e.json")
+    assert read_json(tmp_path / "e.json").rows == []
+    write_csv(sweep, tmp_path / "e.csv")
+    loaded = read_csv(tmp_path / "e.csv")
+    assert loaded.rows == []

@@ -1,0 +1,70 @@
+"""Tests for the one-call full-evaluation reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.paper import (
+    ALL_FIGURES,
+    ReproductionReport,
+    ShapeCheck,
+    reproduce_all,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("repro-out")
+    return reproduce_all(
+        scale_multiplier=0.2,  # tiny but above the size floors
+        figures=(3, 7),
+        output_dir=out,
+    ), out
+
+
+def test_runs_requested_figures(tiny_report):
+    report, _out = tiny_report
+    assert set(report.results) == {3, 7}
+
+
+def test_writes_tables(tiny_report):
+    report, out = tiny_report
+    assert (out / "fig3.txt").exists()
+    assert (out / "fig7.txt").exists()
+    assert "total utility" in (out / "fig3.txt").read_text()
+
+
+def test_checks_are_recorded(tiny_report):
+    report, _out = tiny_report
+    assert report.checks
+    assert all(isinstance(check, ShapeCheck) for check in report.checks)
+    figures_checked = {check.figure for check in report.checks}
+    assert figures_checked == {3, 7}
+
+
+def test_summary_renders(tiny_report):
+    report, _out = tiny_report
+    summary = report.summary()
+    assert "fig3" in summary
+    assert "claims hold" in summary
+
+
+def test_all_passed_consistency(tiny_report):
+    report, _out = tiny_report
+    assert report.all_passed == all(c.passed for c in report.checks)
+
+
+def test_progress_callback():
+    lines = []
+    reproduce_all(
+        scale_multiplier=0.2, figures=(7,), progress=lines.append
+    )
+    assert lines == ["running figure 7 ..."]
+
+
+def test_all_figures_constant():
+    assert ALL_FIGURES == (3, 4, 5, 6, 7, 8)
+
+
+def test_empty_report_passes_trivially():
+    assert ReproductionReport().all_passed

@@ -1,0 +1,64 @@
+"""Tests for the empirical ratio measurement helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.ratios import (
+    RatioSummary,
+    measure_online_ratio,
+    measure_recon_ratio,
+)
+
+
+class TestRatioSummary:
+    def test_statistics(self):
+        summary = RatioSummary(
+            algorithm="X", ratios=(0.5, 1.0), theoretical_floor=0.25
+        )
+        assert summary.mean == pytest.approx(0.75)
+        assert summary.minimum == pytest.approx(0.5)
+        assert "X" in str(summary)
+        assert "floor" in str(summary)
+
+    def test_str_without_floor(self):
+        summary = RatioSummary(algorithm="X", ratios=(1.0,))
+        assert "floor" not in str(summary)
+
+
+class TestMeasureReconRatio:
+    def test_ratios_bounded_and_above_floor(self):
+        summary = measure_recon_ratio(n_instances=8, seed=0)
+        assert summary.algorithm == "RECON"
+        assert len(summary.ratios) >= 1
+        for ratio in summary.ratios:
+            assert 0 < ratio <= 1.0 + 1e-9
+        assert summary.minimum >= summary.theoretical_floor - 1e-9
+
+    def test_exact_backend_reaches_higher_ratios(self):
+        greedy = measure_recon_ratio(n_instances=8, seed=0)
+        exact = measure_recon_ratio(
+            n_instances=8, seed=0, mckp_method="bb"
+        )
+        assert exact.mean >= greedy.mean - 0.05
+
+
+class TestMeasureOnlineRatio:
+    def test_ratios_respect_corollary(self):
+        g = 10.0
+        summary = measure_online_ratio(n_instances=8, seed=0, g=g)
+        assert summary.algorithm == "ONLINE"
+        for ratio in summary.ratios:
+            assert 0 < ratio <= 1.0 + 1e-9
+        assert summary.minimum >= summary.theoretical_floor - 1e-9
+        # The floor uses the corollary's ln(g)+1 factor.
+        assert summary.theoretical_floor <= 1.0 / (math.log(g) + 1.0)
+
+    def test_adversarial_doubles_the_sample(self):
+        with_adv = measure_online_ratio(n_instances=5, seed=1)
+        without = measure_online_ratio(
+            n_instances=5, seed=1, adversarial=False
+        )
+        assert len(with_adv.ratios) == 2 * len(without.ratios)

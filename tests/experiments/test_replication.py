@@ -1,0 +1,92 @@
+"""Tests for multi-seed replication and confidence intervals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.tabular import random_tabular_problem
+from repro.experiments.replication import (
+    CellStats,
+    replicate,
+    replication_table,
+)
+from repro.experiments.sweep import run_sweep
+
+
+def sweep_factory(seed: int):
+    points = [
+        (
+            f"m={m}",
+            lambda m=m, seed=seed: random_tabular_problem(
+                seed=seed * 100 + m, n_customers=m, n_vendors=5,
+                budget=(3.0, 6.0),
+            ),
+        )
+        for m in (10, 30)
+    ]
+    return run_sweep(
+        "rep-test", points, algorithms=("RANDOM", "GREEDY"), seed=seed
+    )
+
+
+class TestCellStats:
+    def test_single_value(self):
+        cell = CellStats(values=(3.0,))
+        assert cell.mean == 3.0
+        assert cell.std == 0.0
+        assert cell.ci95 == 0.0
+
+    def test_statistics(self):
+        cell = CellStats(values=(1.0, 2.0, 3.0))
+        assert cell.mean == pytest.approx(2.0)
+        assert cell.std == pytest.approx(1.0)
+        assert cell.ci95 == pytest.approx(1.96 / 3 ** 0.5, rel=0.01)
+
+
+class TestReplicate:
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(sweep_factory, [])
+
+    def test_aggregates_all_cells(self):
+        result = replicate(sweep_factory, seeds=[1, 2, 3])
+        assert result.experiment == "rep-test"
+        assert result.parameters == ["m=10", "m=30"]
+        assert result.algorithms == ["RANDOM", "GREEDY"]
+        assert len(result.cells) == 4
+        for cell in result.cells.values():
+            assert cell.n == 3
+
+    def test_mean_series(self):
+        result = replicate(sweep_factory, seeds=[1, 2])
+        series = result.mean_series("GREEDY")
+        assert len(series) == 2
+        assert all(value >= 0 for value in series)
+
+    def test_greedy_significantly_beats_random_with_replication(self):
+        result = replicate(sweep_factory, seeds=list(range(8)))
+        # GREEDY's CI should clear RANDOM's at the larger setting.
+        assert result.significantly_better("GREEDY", "RANDOM", "m=30")
+
+    def test_inconsistent_grids_rejected(self):
+        calls = []
+
+        def flaky(seed):
+            calls.append(seed)
+            algorithms = ("RANDOM",) if len(calls) > 1 else ("GREEDY",)
+            points = [(
+                "p",
+                lambda: random_tabular_problem(seed=seed),
+            )]
+            return run_sweep("flaky", points, algorithms=algorithms)
+
+        with pytest.raises(ValueError):
+            replicate(flaky, seeds=[1, 2])
+
+
+def test_replication_table_renders():
+    result = replicate(sweep_factory, seeds=[1, 2])
+    table = replication_table(result)
+    assert "rep-test" in table
+    assert "±" in table
+    assert "GREEDY" in table

@@ -1,0 +1,46 @@
+"""Tests for ASCII chart rendering."""
+
+from __future__ import annotations
+
+from repro.experiments.measures import Row
+from repro.experiments.report import ascii_series, utility_chart
+from repro.experiments.sweep import SweepResult
+
+
+class TestAsciiSeries:
+    def test_empty(self):
+        assert ascii_series([]) == ""
+
+    def test_monotone_series_uses_increasing_glyphs(self):
+        rendering = ascii_series([1.0, 2.0, 3.0, 4.0])
+        assert len(rendering) == 4
+        assert rendering[0] == " "   # minimum maps to the lowest glyph
+        assert rendering[-1] == "@"  # maximum maps to the highest
+
+    def test_constant_series_is_mid_ramp(self):
+        rendering = ascii_series([5.0, 5.0, 5.0])
+        assert len(set(rendering)) == 1
+
+    def test_width(self):
+        assert len(ascii_series([1.0, 2.0], width=3)) == 6
+
+
+def test_utility_chart_lists_all_algorithms():
+    rows = [
+        Row(
+            experiment="figY",
+            parameter=f"p{i}",
+            algorithm=name,
+            total_utility=float(i * (2 if name == "A" else 1)),
+            wall_time=0.0,
+            per_customer_seconds=0.0,
+            n_instances=0,
+        )
+        for i in range(4)
+        for name in ("A", "B")
+    ]
+    chart = utility_chart(SweepResult(experiment="figY", rows=rows))
+    assert "figY" in chart
+    assert "A" in chart and "B" in chart
+    assert "0.0 -> 6.0" in chart
+    assert "0.0 -> 3.0" in chart

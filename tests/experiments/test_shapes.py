@@ -1,0 +1,70 @@
+"""Tests for the curve-shape predicates."""
+
+from __future__ import annotations
+
+from repro.experiments.measures import (
+    Row,
+    monotone_nondecreasing,
+    rise_then_fall,
+    saturates,
+)
+
+
+def rows_from(series, algorithm="A", experiment="x"):
+    return [
+        Row(
+            experiment=experiment,
+            parameter=f"p{i}",
+            algorithm=algorithm,
+            total_utility=value,
+            wall_time=0.0,
+            per_customer_seconds=0.0,
+            n_instances=0,
+        )
+        for i, value in enumerate(series)
+    ]
+
+
+class TestMonotone:
+    def test_increasing(self):
+        assert monotone_nondecreasing(rows_from([1, 2, 3]), "A")
+
+    def test_flat(self):
+        assert monotone_nondecreasing(rows_from([2, 2, 2]), "A")
+
+    def test_decreasing(self):
+        assert not monotone_nondecreasing(rows_from([3, 2, 1]), "A")
+
+    def test_tolerance_allows_small_dips(self):
+        rows = rows_from([10.0, 9.8, 11.0])
+        assert not monotone_nondecreasing(rows, "A")
+        assert monotone_nondecreasing(rows, "A", tolerance=0.05)
+
+    def test_empty_series_is_trivially_monotone(self):
+        assert monotone_nondecreasing([], "A")
+
+
+class TestRiseThenFall:
+    def test_unimodal(self):
+        assert rise_then_fall(rows_from([1, 3, 5, 4, 2]), "A")
+
+    def test_monotone_counts(self):
+        assert rise_then_fall(rows_from([1, 2, 3]), "A")
+        assert rise_then_fall(rows_from([3, 2, 1]), "A")
+
+    def test_bimodal_rejected(self):
+        assert not rise_then_fall(rows_from([1, 5, 2, 6, 1]), "A")
+
+    def test_empty_rejected(self):
+        assert not rise_then_fall([], "A")
+
+
+class TestSaturates:
+    def test_plateau(self):
+        assert saturates(rows_from([1, 10, 10.2]), "A")
+
+    def test_still_climbing(self):
+        assert not saturates(rows_from([1, 10, 15]), "A")
+
+    def test_too_short(self):
+        assert not saturates(rows_from([5]), "A")

@@ -1,0 +1,127 @@
+"""Tests for the two-phase simplex solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleError, UnboundedError
+from repro.lp.simplex import solve_lp_maximize
+
+scipy_linprog = pytest.importorskip("scipy.optimize", reason="scipy absent").linprog
+
+
+class TestKnownPrograms:
+    def test_simple_2d(self):
+        # max 3x + 2y st x + y <= 4, x <= 2
+        sol = solve_lp_maximize(
+            np.array([3.0, 2.0]),
+            np.array([[1.0, 1.0], [1.0, 0.0]]),
+            np.array([4.0, 2.0]),
+        )
+        assert sol.objective == pytest.approx(10.0)
+        assert sol.x == pytest.approx([2.0, 2.0])
+
+    def test_degenerate_single_variable(self):
+        sol = solve_lp_maximize(
+            np.array([1.0]), np.array([[1.0]]), np.array([5.0])
+        )
+        assert sol.objective == pytest.approx(5.0)
+
+    def test_zero_rhs(self):
+        sol = solve_lp_maximize(
+            np.array([1.0]), np.array([[1.0]]), np.array([0.0])
+        )
+        assert sol.objective == pytest.approx(0.0)
+
+    def test_unbounded(self):
+        with pytest.raises(UnboundedError):
+            solve_lp_maximize(
+                np.array([1.0, 1.0]),
+                np.array([[1.0, -1.0]]),
+                np.array([1.0]),
+            )
+
+    def test_infeasible_equalities(self):
+        # x == 1 and x == 2 simultaneously
+        with pytest.raises(InfeasibleError):
+            solve_lp_maximize(
+                np.array([1.0]),
+                np.zeros((0, 1)),
+                np.zeros(0),
+                a_eq=np.array([[1.0], [1.0]]),
+                b_eq=np.array([1.0, 2.0]),
+            )
+
+    def test_equality_constraint(self):
+        # max x + y st x + y == 3, x <= 1
+        sol = solve_lp_maximize(
+            np.array([1.0, 1.0]),
+            np.array([[1.0, 0.0]]),
+            np.array([1.0]),
+            a_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([3.0]),
+        )
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_negative_rhs_phase1(self):
+        # max -x st -x <= -2 (i.e. x >= 2); optimum at x = 2.
+        sol = solve_lp_maximize(
+            np.array([-1.0]), np.array([[-1.0]]), np.array([-2.0])
+        )
+        assert sol.objective == pytest.approx(-2.0)
+
+    def test_infeasible_inequalities(self):
+        # x <= 1 and x >= 2
+        with pytest.raises(InfeasibleError):
+            solve_lp_maximize(
+                np.array([0.0]),
+                np.array([[1.0], [-1.0]]),
+                np.array([1.0, -2.0]),
+            )
+
+    def test_knapsack_relaxation(self):
+        # Fractional knapsack: values 6, 10, 12; weights 1, 2, 3; cap 5.
+        sol = solve_lp_maximize(
+            np.array([6.0, 10.0, 12.0]),
+            np.vstack([
+                np.array([[1.0, 2.0, 3.0]]),
+                np.eye(3),
+            ]),
+            np.array([5.0, 1.0, 1.0, 1.0]),
+        )
+        assert sol.objective == pytest.approx(6 + 10 + 12 * (2 / 3))
+
+
+@st.composite
+def random_lps(draw):
+    n = draw(st.integers(1, 5))
+    m = draw(st.integers(1, 5))
+    c = [draw(st.floats(-5, 5, allow_nan=False)) for _ in range(n)]
+    a = [
+        [draw(st.floats(0.0, 5, allow_nan=False)) for _ in range(n)]
+        for _ in range(m)
+    ]
+    b = [draw(st.floats(0.1, 10, allow_nan=False)) for _ in range(m)]
+    return np.array(c), np.array(a), np.array(b)
+
+
+class TestAgainstScipy:
+    @given(random_lps())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy_linprog(self, lp):
+        """Non-negative A with positive b is always feasible & bounded
+        whenever every improving variable has a binding row; compare
+        optima with scipy on exactly those cases."""
+        c, a, b = lp
+        # Ensure boundedness: any variable with positive objective must
+        # appear with a positive coefficient in some row.
+        for j in range(len(c)):
+            if c[j] > 0 and not (a[:, j] > 1e-9).any():
+                c[j] = -abs(c[j])
+        ours = solve_lp_maximize(c, a, b)
+        ref = scipy_linprog(-c, A_ub=a, b_ub=b, method="highs")
+        assert ref.success
+        assert ours.objective == pytest.approx(-ref.fun, abs=1e-6)

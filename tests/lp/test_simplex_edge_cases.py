@@ -1,0 +1,108 @@
+"""Additional simplex edge cases and cross-checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.simplex import solve_lp_maximize
+
+scipy_opt = pytest.importorskip("scipy.optimize")
+
+
+class TestEdgeCases:
+    def test_redundant_constraints(self):
+        # The same row three times must not confuse phase 2.
+        sol = solve_lp_maximize(
+            np.array([1.0]),
+            np.array([[1.0], [1.0], [1.0]]),
+            np.array([2.0, 2.0, 2.0]),
+        )
+        assert sol.objective == pytest.approx(2.0)
+
+    def test_degenerate_vertex(self):
+        # Two constraints meeting at the optimum (degenerate pivot).
+        sol = solve_lp_maximize(
+            np.array([1.0, 1.0]),
+            np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]),
+            np.array([1.0, 1.0, 2.0]),
+        )
+        assert sol.objective == pytest.approx(2.0)
+
+    def test_all_negative_objective_stays_at_origin(self):
+        sol = solve_lp_maximize(
+            np.array([-1.0, -2.0]),
+            np.array([[1.0, 1.0]]),
+            np.array([5.0]),
+        )
+        assert sol.objective == pytest.approx(0.0)
+        assert sol.x == pytest.approx([0.0, 0.0])
+
+    def test_equality_only_program(self):
+        # max x + y st x + y == 2 exactly, no inequality rows.
+        sol = solve_lp_maximize(
+            np.array([1.0, 1.0]),
+            np.zeros((0, 2)),
+            np.zeros(0),
+            a_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([2.0]),
+        )
+        assert sol.objective == pytest.approx(2.0)
+
+    def test_tight_zero_budget_equality(self):
+        sol = solve_lp_maximize(
+            np.array([3.0]),
+            np.zeros((0, 1)),
+            np.zeros(0),
+            a_eq=np.array([[1.0]]),
+            b_eq=np.array([0.0]),
+        )
+        assert sol.objective == pytest.approx(0.0)
+
+    def test_iterations_reported(self):
+        sol = solve_lp_maximize(
+            np.array([1.0, 2.0]),
+            np.array([[1.0, 1.0]]),
+            np.array([1.0]),
+        )
+        assert sol.iterations >= 1
+
+
+@st.composite
+def lps_with_equalities(draw):
+    n = draw(st.integers(2, 4))
+    c = np.array([draw(st.floats(-3, 3, allow_nan=False)) for _ in range(n)])
+    a_ub = np.array(
+        [[draw(st.floats(0.1, 3, allow_nan=False)) for _ in range(n)]]
+    )
+    b_ub = np.array([draw(st.floats(1.0, 8.0, allow_nan=False))])
+    # One equality: the first two variables sum to a constant within
+    # the inequality's reach.
+    a_eq = np.zeros((1, n))
+    a_eq[0, 0] = 1.0
+    a_eq[0, 1] = 1.0
+    b_eq = np.array([draw(st.floats(0.1, 2.0, allow_nan=False))])
+    return c, a_ub, b_ub, a_eq, b_eq
+
+
+class TestEqualitiesAgainstScipy:
+    @given(lps_with_equalities())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scipy(self, lp):
+        c, a_ub, b_ub, a_eq, b_eq = lp
+        # Bound improving free variables like the plain-LP test does.
+        for j in range(len(c)):
+            covered = (a_ub[:, j] > 1e-9).any() or (
+                abs(a_eq[:, j]) > 1e-9
+            ).any()
+            if c[j] > 0 and not covered:
+                c[j] = -abs(c[j])
+        ref = scipy_opt.linprog(
+            -c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, method="highs"
+        )
+        if not ref.success:
+            return  # infeasible/unbounded cases are covered elsewhere
+        ours = solve_lp_maximize(c, a_ub, b_ub, a_eq=a_eq, b_eq=b_eq)
+        assert ours.objective == pytest.approx(-ref.fun, abs=1e-6)

@@ -1,0 +1,117 @@
+"""Tests for MCKP dominance and LP-dominance filtering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mckp.dominance import (
+    incremental_efficiencies,
+    remove_dominated,
+    remove_lp_dominated,
+)
+from repro.mckp.items import MCKPItem
+
+
+def item(iid, cost, profit):
+    return MCKPItem(class_id=0, item_id=iid, cost=cost, profit=profit)
+
+
+class TestRemoveDominated:
+    def test_drops_worse_item(self):
+        survivors = remove_dominated(
+            [item(0, 1.0, 5.0), item(1, 2.0, 4.0)]  # 1 dominated by 0
+        )
+        assert [s.item_id for s in survivors] == [0]
+
+    def test_keeps_pareto_chain(self):
+        survivors = remove_dominated(
+            [item(0, 1.0, 1.0), item(1, 2.0, 3.0), item(2, 3.0, 5.0)]
+        )
+        assert [s.item_id for s in survivors] == [0, 1, 2]
+
+    def test_ties_keep_best(self):
+        survivors = remove_dominated(
+            [item(0, 1.0, 2.0), item(1, 1.0, 3.0)]
+        )
+        assert [s.item_id for s in survivors] == [1]
+
+    def test_result_sorted_increasing_cost_and_profit(self):
+        survivors = remove_dominated(
+            [item(0, 3.0, 5.0), item(1, 1.0, 1.0), item(2, 2.0, 3.0)]
+        )
+        costs = [s.cost for s in survivors]
+        profits = [s.profit for s in survivors]
+        assert costs == sorted(costs)
+        assert profits == sorted(profits)
+
+
+class TestRemoveLpDominated:
+    def test_interior_point_removed(self):
+        # (1,4), (2,5), (3,9): the middle point is under the hull from
+        # (1,4) to (3,9) through the origin chain.
+        survivors = remove_lp_dominated(
+            [item(0, 1.0, 4.0), item(1, 2.0, 5.0), item(2, 3.0, 9.0)]
+        )
+        assert [s.item_id for s in survivors] == [0, 2]
+
+    def test_zero_profit_items_dropped(self):
+        assert remove_lp_dominated([item(0, 1.0, 0.0)]) == []
+
+    def test_single_item_survives(self):
+        survivors = remove_lp_dominated([item(0, 2.0, 1.0)])
+        assert [s.item_id for s in survivors] == [0]
+
+    def test_incremental_efficiencies_decreasing(self):
+        chain = remove_lp_dominated(
+            [item(i, float(i + 1), float((i + 1) ** 0.8 * 3)) for i in range(6)]
+        )
+        efficiencies = incremental_efficiencies(chain)
+        for earlier, later in zip(efficiencies, efficiencies[1:]):
+            assert earlier >= later - 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 10.0, allow_nan=False),
+                st.floats(0.0, 10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_hull_property(self, raw):
+        items = [item(i, c, p) for i, (c, p) in enumerate(raw)]
+        chain = remove_lp_dominated(items)
+        # Chain is a subset with strictly increasing cost & profit and
+        # decreasing incremental efficiency (hull property).
+        costs = [x.cost for x in chain]
+        profits = [x.profit for x in chain]
+        assert costs == sorted(costs)
+        assert profits == sorted(profits)
+        efficiencies = incremental_efficiencies(chain)
+        for earlier, later in zip(efficiencies, efficiencies[1:]):
+            assert earlier >= later - 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 10.0, allow_nan=False),
+                st.floats(0.1, 10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_best_efficiency_item_always_survives(self, raw):
+        items = [item(i, c, p) for i, (c, p) in enumerate(raw)]
+        chain = remove_lp_dominated(items)
+        best = max(items, key=lambda x: x.efficiency)
+        assert chain, "positive-profit classes keep at least one item"
+        # The first hull item has the class's best efficiency.
+        assert chain[0].efficiency == pytest.approx(
+            best.efficiency, rel=1e-9
+        )

@@ -1,0 +1,67 @@
+"""Tests for the MCKP data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.mckp.items import MCKPInstance, MCKPItem, MCKPSolution
+
+
+def item(cid=0, iid=0, cost=1.0, profit=1.0):
+    return MCKPItem(class_id=cid, item_id=iid, cost=cost, profit=profit)
+
+
+class TestMCKPItem:
+    def test_efficiency(self):
+        assert item(cost=2.0, profit=3.0).efficiency == pytest.approx(1.5)
+
+    def test_rejects_non_positive_cost(self):
+        with pytest.raises(InvalidProblemError):
+            item(cost=0.0)
+
+    def test_rejects_negative_profit(self):
+        with pytest.raises(InvalidProblemError):
+            item(profit=-1.0)
+
+
+class TestMCKPInstance:
+    def test_from_items_groups_by_class(self):
+        inst = MCKPInstance.from_items(
+            [item(cid=0, iid=0), item(cid=0, iid=1), item(cid=1, iid=0)],
+            budget=5.0,
+        )
+        assert inst.n_classes == 2
+        assert inst.n_items == 3
+        assert len(inst.all_items()) == 3
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(InvalidProblemError):
+            MCKPInstance(classes={}, budget=-1.0)
+
+    def test_rejects_misfiled_item(self):
+        with pytest.raises(InvalidProblemError):
+            MCKPInstance(classes={1: (item(cid=0),)}, budget=1.0)
+
+
+class TestMCKPSolution:
+    def test_add_accumulates(self):
+        sol = MCKPSolution()
+        sol.add(item(cid=0, cost=1.0, profit=2.0))
+        sol.add(item(cid=1, cost=2.0, profit=3.0))
+        assert sol.total_cost == pytest.approx(3.0)
+        assert sol.total_profit == pytest.approx(5.0)
+
+    def test_one_item_per_class(self):
+        sol = MCKPSolution()
+        sol.add(item(cid=0, iid=0))
+        with pytest.raises(InvalidProblemError):
+            sol.add(item(cid=0, iid=1))
+
+    def test_feasibility(self):
+        inst = MCKPInstance.from_items([item(cost=2.0)], budget=1.0)
+        sol = MCKPSolution()
+        sol.add(item(cost=2.0))
+        assert not sol.is_feasible(inst)
+        roomy = MCKPInstance.from_items([item(cost=2.0)], budget=3.0)
+        assert sol.is_feasible(roomy)

@@ -1,0 +1,130 @@
+"""Detailed behaviour of the greedy LP-relaxation solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mckp.items import MCKPInstance, MCKPItem
+from repro.mckp.lp_relaxation import solve_lp_relaxation
+
+
+def item(cid, iid, cost, profit):
+    return MCKPItem(class_id=cid, item_id=iid, cost=cost, profit=profit)
+
+
+class TestFractionalRemainder:
+    def test_fractional_class_reported(self):
+        # Budget 1.5 splits the second class's unit item.
+        instance = MCKPInstance.from_items(
+            [item(0, 0, 1.0, 10.0), item(1, 0, 1.0, 4.0)], budget=1.5
+        )
+        result = solve_lp_relaxation(instance)
+        assert result.fractional_class == 1
+        assert result.fraction == pytest.approx(0.5)
+        assert result.lp_value == pytest.approx(10.0 + 2.0)
+        assert result.integral.total_profit == pytest.approx(10.0)
+
+    def test_upper_bound_attached_to_integral(self):
+        instance = MCKPInstance.from_items(
+            [item(0, 0, 1.0, 3.0)], budget=2.0
+        )
+        result = solve_lp_relaxation(instance)
+        assert result.integral.upper_bound == pytest.approx(result.lp_value)
+
+
+class TestBestSingleFallback:
+    def test_big_item_beats_greedy_crumbs(self):
+        # Greedy takes the efficient small item (eff 2.0) and then can't
+        # afford the big one; the single big item is worth more.
+        instance = MCKPInstance.from_items(
+            [
+                item(0, 0, 1.0, 2.0),     # efficiency 2.0
+                item(1, 0, 10.0, 15.0),   # efficiency 1.5, huge profit
+            ],
+            budget=10.0,
+        )
+        result = solve_lp_relaxation(instance)
+        assert result.integral.total_profit == pytest.approx(15.0)
+        assert list(result.integral.chosen) == [1]
+
+    def test_no_affordable_item(self):
+        instance = MCKPInstance.from_items(
+            [item(0, 0, 5.0, 9.0)], budget=1.0
+        )
+        result = solve_lp_relaxation(instance)
+        assert result.integral.total_profit == 0.0
+        assert result.lp_value == pytest.approx(9.0 / 5.0)  # fractional fit
+
+
+class TestClassChains:
+    def test_upgrade_within_class(self):
+        # One class, two hull items; with enough budget the LP takes the
+        # upgrade increment and the integral solution holds the upper item.
+        instance = MCKPInstance.from_items(
+            [item(0, 0, 1.0, 2.0), item(0, 1, 3.0, 4.0)], budget=3.0
+        )
+        result = solve_lp_relaxation(instance)
+        assert result.integral.chosen[0].item_id == 1
+        assert result.integral.total_profit == pytest.approx(4.0)
+
+    def test_partial_upgrade_is_fractional(self):
+        instance = MCKPInstance.from_items(
+            [item(0, 0, 1.0, 2.0), item(0, 1, 3.0, 4.0)], budget=2.0
+        )
+        result = solve_lp_relaxation(instance)
+        # LP: full item 0 (cost 1) + half the (cost 2, profit 2) upgrade.
+        assert result.lp_value == pytest.approx(3.0)
+        assert result.fractional_class == 0
+        assert result.integral.total_profit == pytest.approx(2.0)
+
+
+@st.composite
+def instances(draw):
+    items = []
+    for cid in range(draw(st.integers(1, 3))):
+        for iid in range(draw(st.integers(1, 3))):
+            items.append(
+                item(
+                    cid,
+                    iid,
+                    draw(st.floats(0.2, 4.0, allow_nan=False)),
+                    draw(st.floats(0.0, 9.0, allow_nan=False)),
+                )
+            )
+    return MCKPInstance.from_items(
+        items, budget=draw(st.floats(0.5, 10.0, allow_nan=False))
+    )
+
+
+class TestInvariants:
+    @given(instances())
+    @settings(max_examples=80, deadline=None)
+    def test_integral_never_exceeds_lp(self, instance):
+        result = solve_lp_relaxation(instance)
+        assert result.integral.total_profit <= result.lp_value + 1e-9
+
+    @given(instances())
+    @settings(max_examples=80, deadline=None)
+    def test_integral_loss_bounded_by_one_item(self, instance):
+        """Classical rounding guarantee: integral >= LP - max profit.
+
+        The subtracted profit is over *all* items: the LP may take an
+        unaffordable item fractionally, and dropping that fraction is
+        exactly the loss the bound accounts for.
+        """
+        result = solve_lp_relaxation(instance)
+        max_profit = max(
+            (i.profit for i in instance.all_items()), default=0.0
+        )
+        assert (
+            result.integral.total_profit
+            >= result.lp_value - max_profit - 1e-9
+        )
+
+    @given(instances())
+    @settings(max_examples=80, deadline=None)
+    def test_fraction_in_unit_interval(self, instance):
+        result = solve_lp_relaxation(instance)
+        assert 0.0 <= result.fraction < 1.0 + 1e-12

@@ -1,0 +1,196 @@
+"""Cross-solver tests for the MCKP backends.
+
+The exact solvers (DP by cost on integer-ish costs, branch-and-bound)
+must agree with brute force; the greedy LP-relaxation must be bounded by
+the LP value, reach at least half the optimum, and its LP value must
+match the generic simplex.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverError
+from repro.mckp.branch_and_bound import solve_branch_and_bound
+from repro.mckp.dynamic_programming import solve_dp_by_cost, solve_fptas
+from repro.mckp.items import MCKPInstance, MCKPItem
+from repro.mckp.lp_relaxation import solve_greedy, solve_lp_relaxation
+from repro.mckp.solvers import lp_value_via_simplex, solve
+
+
+def brute_force_optimum(instance: MCKPInstance) -> float:
+    """Exhaustive optimum over all class selections."""
+    class_lists = [
+        [None, *items] for items in instance.classes.values()
+    ]
+    best = 0.0
+    for combo in itertools.product(*class_lists):
+        cost = sum(i.cost for i in combo if i is not None)
+        if cost <= instance.budget + 1e-9:
+            profit = sum(i.profit for i in combo if i is not None)
+            best = max(best, profit)
+    return best
+
+
+@st.composite
+def small_instances(draw, integer_costs=False):
+    n_classes = draw(st.integers(1, 4))
+    items = []
+    for cid in range(n_classes):
+        n_items = draw(st.integers(1, 3))
+        for iid in range(n_items):
+            if integer_costs:
+                cost = float(draw(st.integers(1, 5)))
+            else:
+                cost = draw(st.floats(0.2, 5.0, allow_nan=False))
+            profit = draw(st.floats(0.0, 10.0, allow_nan=False))
+            items.append(
+                MCKPItem(class_id=cid, item_id=iid, cost=cost, profit=profit)
+            )
+    budget = draw(st.floats(0.5, 12.0, allow_nan=False))
+    return MCKPInstance.from_items(items, budget=budget)
+
+
+def fixture_instance():
+    items = [
+        MCKPItem(class_id=0, item_id=0, cost=1.0, profit=2.0),
+        MCKPItem(class_id=0, item_id=1, cost=2.0, profit=5.0),
+        MCKPItem(class_id=1, item_id=0, cost=1.0, profit=1.0),
+        MCKPItem(class_id=1, item_id=1, cost=3.0, profit=6.0),
+        MCKPItem(class_id=2, item_id=0, cost=2.0, profit=3.0),
+    ]
+    return MCKPInstance.from_items(items, budget=5.0)
+
+
+class TestExactSolvers:
+    def test_dp_on_fixture(self):
+        instance = fixture_instance()
+        solution = solve_dp_by_cost(instance, cost_resolution=1.0)
+        assert solution.total_profit == pytest.approx(
+            brute_force_optimum(instance)
+        )
+        assert solution.is_feasible(instance)
+
+    def test_bb_on_fixture(self):
+        instance = fixture_instance()
+        solution = solve_branch_and_bound(instance)
+        assert solution.total_profit == pytest.approx(
+            brute_force_optimum(instance)
+        )
+
+    @given(small_instances(integer_costs=True))
+    @settings(max_examples=80, deadline=None)
+    def test_dp_matches_brute_force_on_integer_costs(self, instance):
+        solution = solve_dp_by_cost(instance, cost_resolution=1.0)
+        assert solution.total_profit == pytest.approx(
+            brute_force_optimum(instance), abs=1e-9
+        )
+        assert solution.is_feasible(instance)
+
+    @given(small_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_bb_matches_brute_force_on_real_costs(self, instance):
+        solution = solve_branch_and_bound(instance)
+        assert solution.total_profit == pytest.approx(
+            brute_force_optimum(instance), abs=1e-6
+        )
+        assert solution.is_feasible(instance)
+
+    def test_bb_node_limit(self):
+        items = [
+            MCKPItem(class_id=c, item_id=i, cost=1.0 + 0.01 * i,
+                     profit=1.0 + 0.02 * ((i * 7 + c) % 5))
+            for c in range(12)
+            for i in range(3)
+        ]
+        instance = MCKPInstance.from_items(items, budget=10.0)
+        with pytest.raises(SolverError):
+            solve_branch_and_bound(instance, node_limit=5)
+
+
+class TestGreedyLpRelaxation:
+    def test_lp_value_upper_bounds_integral(self):
+        instance = fixture_instance()
+        result = solve_lp_relaxation(instance)
+        assert result.lp_value >= result.integral.total_profit - 1e-9
+        assert result.lp_value >= brute_force_optimum(instance) - 1e-9
+
+    def test_integral_solution_feasible(self):
+        instance = fixture_instance()
+        assert solve_greedy(instance).is_feasible(instance)
+
+    @given(small_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_greedy_at_least_half_of_optimum(self, instance):
+        optimum = brute_force_optimum(instance)
+        solution = solve_greedy(instance)
+        assert solution.total_profit >= optimum / 2 - 1e-7
+        assert solution.is_feasible(instance)
+
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_lp_value_matches_simplex(self, instance):
+        """The greedy LP sweep computes the exact LP optimum: it must
+        agree with the generic two-phase simplex on the same LP."""
+        greedy_lp = solve_lp_relaxation(instance).lp_value
+        simplex_lp = lp_value_via_simplex(instance)
+        assert greedy_lp == pytest.approx(simplex_lp, abs=1e-6)
+
+    def test_integral_lp_optimum_detected(self):
+        # All increments fit: LP solution is integral, no fractional class.
+        items = [
+            MCKPItem(class_id=0, item_id=0, cost=1.0, profit=2.0),
+            MCKPItem(class_id=1, item_id=0, cost=1.0, profit=1.0),
+        ]
+        instance = MCKPInstance.from_items(items, budget=5.0)
+        result = solve_lp_relaxation(instance)
+        assert result.fractional_class is None
+        assert result.fraction == 0.0
+        assert result.integral.total_profit == pytest.approx(3.0)
+
+    def test_empty_instance(self):
+        instance = MCKPInstance(classes={}, budget=3.0)
+        result = solve_lp_relaxation(instance)
+        assert result.lp_value == 0.0
+        assert result.integral.total_profit == 0.0
+
+
+class TestFPTAS:
+    @given(small_instances(), st.sampled_from([0.5, 0.2, 0.05]))
+    @settings(max_examples=60, deadline=None)
+    def test_fptas_guarantee(self, instance, epsilon):
+        optimum = brute_force_optimum(instance)
+        solution = solve_fptas(instance, epsilon=epsilon)
+        assert solution.total_profit >= (1 - epsilon) * optimum - 1e-7
+        assert solution.is_feasible(instance)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            solve_fptas(fixture_instance(), epsilon=0.0)
+        with pytest.raises(ValueError):
+            solve_fptas(fixture_instance(), epsilon=1.0)
+
+    def test_small_epsilon_is_near_exact(self):
+        instance = fixture_instance()
+        solution = solve_fptas(instance, epsilon=0.01)
+        assert solution.total_profit == pytest.approx(
+            brute_force_optimum(instance), rel=0.02
+        )
+
+
+class TestDispatcher:
+    def test_all_backends_run(self):
+        instance = fixture_instance()
+        optimum = brute_force_optimum(instance)
+        for method in ("greedy-lp", "fptas", "dp", "bb", "lp-simplex"):
+            solution = solve(instance, method=method)
+            assert solution.is_feasible(instance)
+            assert solution.total_profit <= optimum + 1e-9
+
+    def test_unknown_backend(self):
+        with pytest.raises(SolverError):
+            solve(fixture_instance(), method="magic")

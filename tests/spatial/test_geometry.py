@@ -1,0 +1,88 @@
+"""Tests for plain geometry helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import (
+    bounding_box,
+    euclidean,
+    normalize_to_unit_square,
+    squared_distance,
+    within_radius,
+)
+
+coords = st.floats(-1000.0, 1000.0, allow_nan=False)
+points = st.tuples(coords, coords)
+
+
+class TestDistances:
+    def test_euclidean_345(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_squared_distance(self):
+        assert squared_distance((0, 0), (3, 4)) == pytest.approx(25.0)
+
+    def test_within_radius_boundary_inclusive(self):
+        assert within_radius((0, 0), (3, 4), 5.0)
+        assert not within_radius((0, 0), (3, 4), 4.999)
+
+    @given(points, points)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, a, b):
+        assert euclidean(a, b) == pytest.approx(euclidean(b, a))
+
+    @given(points, points, points)
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-9
+
+
+class TestBoundingBox:
+    def test_simple_box(self):
+        (lo, hi) = bounding_box([(0, 1), (2, -1), (1, 0)])
+        assert lo == (0, -1)
+        assert hi == (2, 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+
+class TestNormalizeToUnitSquare:
+    def test_maps_into_unit_square(self):
+        mapped = normalize_to_unit_square([(100, 200), (110, 250), (105, 225)])
+        for x, y in mapped:
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_extremes_hit_corners(self):
+        mapped = normalize_to_unit_square([(0, 0), (10, 20)])
+        assert mapped[0] == pytest.approx((0.0, 0.0))
+        assert mapped[1] == pytest.approx((1.0, 1.0))
+
+    def test_padding(self):
+        mapped = normalize_to_unit_square([(0, 0), (1, 1)], padding=0.1)
+        assert mapped[0] == pytest.approx((0.1, 0.1))
+        assert mapped[1] == pytest.approx((0.9, 0.9))
+
+    def test_degenerate_axis(self):
+        mapped = normalize_to_unit_square([(5, 0), (5, 10)])
+        # constant x-axis maps to padding offset without dividing by 0
+        assert mapped[0][0] == pytest.approx(0.0)
+        assert mapped[1][0] == pytest.approx(0.0)
+
+    def test_empty_input(self):
+        assert normalize_to_unit_square([]) == []
+
+    @given(st.lists(points, min_size=2, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_preserves_x_order(self, pts):
+        mapped = normalize_to_unit_square(pts)
+        for (x1, _), (x2, _), (m1, _), (m2, _) in zip(
+            pts, pts[1:], mapped, mapped[1:]
+        ):
+            if x1 < x2:
+                assert m1 <= m2 + 1e-12

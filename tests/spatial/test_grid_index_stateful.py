@@ -1,0 +1,81 @@
+"""Stateful property test: the grid index vs a dict reference model."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, rule
+
+from repro.spatial.geometry import euclidean
+from repro.spatial.grid_index import GridIndex
+
+
+class GridIndexMachine(RuleBasedStateMachine):
+    """Random insert/move/remove/query sequences must always agree with
+    a plain dict + linear scan."""
+
+    def __init__(self):
+        super().__init__()
+        self.index = GridIndex(cell_size=0.37)
+        self.reference = {}
+        self.next_id = 0
+
+    ids = Bundle("ids")
+
+    @rule(
+        target=ids,
+        x=st.floats(-5, 5, allow_nan=False),
+        y=st.floats(-5, 5, allow_nan=False),
+    )
+    def insert(self, x, y):
+        item_id = self.next_id
+        self.next_id += 1
+        self.index.insert(item_id, (x, y))
+        self.reference[item_id] = (x, y)
+        return item_id
+
+    @rule(
+        item_id=ids,
+        x=st.floats(-5, 5, allow_nan=False),
+        y=st.floats(-5, 5, allow_nan=False),
+    )
+    def move(self, item_id, x, y):
+        if item_id in self.reference:
+            self.index.insert(item_id, (x, y))
+            self.reference[item_id] = (x, y)
+
+    @rule(item_id=ids)
+    def remove(self, item_id):
+        if item_id in self.reference:
+            self.index.remove(item_id)
+            del self.reference[item_id]
+
+    @rule(
+        cx=st.floats(-5, 5, allow_nan=False),
+        cy=st.floats(-5, 5, allow_nan=False),
+        radius=st.floats(0, 7, allow_nan=False),
+    )
+    def query(self, cx, cy, radius):
+        observed = set(self.index.query_radius((cx, cy), radius))
+        expected = {
+            item_id
+            for item_id, point in self.reference.items()
+            if euclidean(point, (cx, cy)) <= radius
+        }
+        # Boundary points may flip on float rounding; everything else
+        # must agree exactly.
+        for item_id in observed ^ expected:
+            gap = abs(
+                euclidean(self.reference[item_id], (cx, cy)) - radius
+            )
+            assert gap < 1e-9
+
+    @rule()
+    def sizes_agree(self):
+        assert len(self.index) == len(self.reference)
+
+
+TestGridIndexStateful = GridIndexMachine.TestCase
+TestGridIndexStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

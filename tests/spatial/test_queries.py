@@ -1,0 +1,75 @@
+"""Tests for entity-level range queries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.entities import Customer, Vendor, distance
+from repro.spatial.queries import (
+    build_customer_index,
+    build_vendor_index,
+    valid_customers,
+    valid_vendors,
+)
+
+
+def make_entities(seed=0, m=50, n=10):
+    rng = np.random.default_rng(seed)
+    customers = [
+        Customer(
+            customer_id=i,
+            location=(float(rng.uniform()), float(rng.uniform())),
+            capacity=1,
+            view_probability=0.5,
+        )
+        for i in range(m)
+    ]
+    vendors = [
+        Vendor(
+            vendor_id=j,
+            location=(float(rng.uniform()), float(rng.uniform())),
+            radius=float(rng.uniform(0.05, 0.3)),
+            budget=1.0,
+        )
+        for j in range(n)
+    ]
+    return customers, vendors
+
+
+def test_valid_customers_matches_brute_force():
+    customers, vendors = make_entities()
+    index = build_customer_index(customers, cell_size=0.3)
+    for vendor in vendors:
+        expected = sorted(
+            c.customer_id for c in customers
+            if distance(c, vendor) <= vendor.radius
+        )
+        assert sorted(valid_customers(vendor, index)) == expected
+
+
+def test_valid_vendors_matches_brute_force():
+    customers, vendors = make_entities(seed=3)
+    index = build_vendor_index(vendors)
+    vendors_by_id = {v.vendor_id: v for v in vendors}
+    max_radius = max(v.radius for v in vendors)
+    for customer in customers:
+        expected = sorted(
+            v.vendor_id for v in vendors
+            if distance(customer, v) <= v.radius
+        )
+        observed = sorted(
+            valid_vendors(customer, vendors_by_id, index, max_radius)
+        )
+        assert observed == expected
+
+
+def test_zero_radius_vendor_covers_nothing_far():
+    customers, _ = make_entities()
+    vendor = Vendor(vendor_id=0, location=(2.0, 2.0), radius=0.0, budget=1.0)
+    index = build_customer_index(customers, cell_size=0.1)
+    assert valid_customers(vendor, index) == []
+
+
+def test_empty_vendor_set():
+    index = build_vendor_index([])
+    assert len(index) == 0

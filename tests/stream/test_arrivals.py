@@ -1,0 +1,45 @@
+"""Tests for arrival orders."""
+
+from __future__ import annotations
+
+from repro.stream.arrivals import adversarial_order, by_arrival_time, random_order
+from tests.conftest import random_tabular_problem
+
+
+def customers():
+    return random_tabular_problem(seed=6, n_customers=15).customers
+
+
+def test_by_arrival_time_sorted():
+    ordered = by_arrival_time(customers())
+    times = [c.arrival_time for c in ordered]
+    assert times == sorted(times)
+
+
+def test_by_arrival_time_preserves_membership():
+    original = customers()
+    ordered = by_arrival_time(original)
+    assert sorted(c.customer_id for c in ordered) == sorted(
+        c.customer_id for c in original
+    )
+
+
+def test_random_order_is_permutation():
+    original = customers()
+    shuffled = random_order(original, seed=1)
+    assert sorted(c.customer_id for c in shuffled) == sorted(
+        c.customer_id for c in original
+    )
+
+
+def test_random_order_deterministic_per_seed():
+    original = customers()
+    a = random_order(original, seed=9)
+    b = random_order(original, seed=9)
+    assert [c.customer_id for c in a] == [c.customer_id for c in b]
+
+
+def test_adversarial_order_weakest_first():
+    ordered = adversarial_order(customers())
+    probabilities = [c.view_probability for c in ordered]
+    assert probabilities == sorted(probabilities)

@@ -1,0 +1,66 @@
+"""Tests for decision deadlines (customers going inactive, §II-E)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms.base import OnlineAlgorithm
+from repro.datagen.tabular import random_tabular_problem
+from repro.stream.simulator import OnlineSimulator
+
+
+class SlowAlgorithm(OnlineAlgorithm):
+    """Takes a configurable pause per customer."""
+
+    name = "SLOW"
+
+    def __init__(self, pause: float) -> None:
+        self._pause = pause
+
+    def process_customer(self, problem, customer, assignment):
+        time.sleep(self._pause)
+        for vendor_id in problem.valid_vendor_ids(customer):
+            best = problem.best_instance_for_pair(
+                customer.customer_id,
+                vendor_id,
+                max_cost=assignment.remaining_budget(vendor_id),
+            )
+            if best is not None:
+                return [best]
+        return []
+
+
+def test_fast_algorithm_loses_nobody():
+    problem = random_tabular_problem(seed=2, n_customers=10, n_vendors=3)
+    result = OnlineSimulator(problem).run(
+        SlowAlgorithm(pause=0.0), decision_deadline=0.5
+    )
+    assert result.customers_lost == 0
+    assert len(result.assignment) > 0
+
+
+def test_slow_algorithm_loses_everyone():
+    problem = random_tabular_problem(seed=2, n_customers=5, n_vendors=3)
+    result = OnlineSimulator(problem).run(
+        SlowAlgorithm(pause=0.02), decision_deadline=0.001
+    )
+    assert result.customers_lost == len(problem.customers)
+    assert len(result.assignment) == 0
+
+
+def test_deadline_implies_timing_even_without_latency_recording():
+    problem = random_tabular_problem(seed=2, n_customers=5, n_vendors=3)
+    result = OnlineSimulator(problem).run(
+        SlowAlgorithm(pause=0.02),
+        measure_latency=False,
+        decision_deadline=0.001,
+    )
+    assert result.customers_lost == len(problem.customers)
+    assert result.latencies == []
+
+
+def test_no_deadline_keeps_slow_decisions():
+    problem = random_tabular_problem(seed=2, n_customers=3, n_vendors=3)
+    result = OnlineSimulator(problem).run(SlowAlgorithm(pause=0.005))
+    assert result.customers_lost == 0
+    assert len(result.assignment) > 0

@@ -1,0 +1,74 @@
+"""Tests for stream operational metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.nearest import NearestVendor
+from repro.datagen.tabular import random_tabular_problem
+from repro.stream.metrics import (
+    budget_utilisation,
+    latency_profile,
+    utilisation_summary,
+)
+from repro.stream.simulator import OnlineSimulator, StreamResult
+from repro.core.assignment import Assignment
+
+
+@pytest.fixture
+def run():
+    problem = random_tabular_problem(
+        seed=6, n_customers=25, n_vendors=4, budget=(3.0, 6.0)
+    )
+    result = OnlineSimulator(problem).run(NearestVendor())
+    return problem, result
+
+
+class TestLatencyProfile:
+    def test_percentiles_ordered(self, run):
+        _problem, result = run
+        profile = latency_profile(result)
+        assert 0 <= profile.p50 <= profile.p95 <= profile.p99 <= profile.worst
+        assert profile.mean > 0
+
+    def test_requires_latencies(self):
+        with pytest.raises(ValueError):
+            latency_profile(StreamResult(assignment=Assignment()))
+
+
+class TestBudgetUtilisation:
+    def test_per_vendor_in_unit_interval(self, run):
+        problem, result = run
+        utilisation = budget_utilisation(problem, result)
+        assert set(utilisation) == set(problem.budgets)
+        for value in utilisation.values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_matches_assignment_spend(self, run):
+        problem, result = run
+        utilisation = budget_utilisation(problem, result)
+        for vendor in problem.vendors:
+            expected = (
+                result.assignment.spend_for_vendor(vendor.vendor_id)
+                / vendor.budget
+            )
+            assert utilisation[vendor.vendor_id] == pytest.approx(expected)
+
+    def test_summary_fields(self, run):
+        problem, result = run
+        summary = utilisation_summary(problem, result)
+        assert set(summary) == {
+            "mean", "min", "max", "fully_spent_fraction"
+        }
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+        assert 0.0 <= summary["fully_spent_fraction"] <= 1.0
+
+    def test_nearest_exhausts_budgets(self):
+        # NEAREST with tiny budgets and plenty of demand must spend out.
+        problem = random_tabular_problem(
+            seed=2, n_customers=50, n_vendors=2, budget=(2.0, 3.0),
+            capacity=(2, 3),
+        )
+        result = OnlineSimulator(problem).run(NearestVendor())
+        summary = utilisation_summary(problem, result)
+        assert summary["fully_spent_fraction"] == pytest.approx(1.0)

@@ -1,0 +1,121 @@
+"""Tests for the online streaming simulator."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.algorithms.base import OnlineAlgorithm
+from repro.algorithms.nearest import NearestVendor
+from repro.core.assignment import AdInstance
+from repro.core.validation import validate_assignment
+from repro.stream.simulator import OnlineAsOffline, OnlineSimulator
+from tests.conftest import random_tabular_problem
+
+
+class GreedyPerCustomer(OnlineAlgorithm):
+    """Test helper: take the best-efficiency instance per customer."""
+
+    name = "TEST-GREEDY"
+
+    def process_customer(self, problem, customer, assignment):
+        picked: List[AdInstance] = []
+        for vendor_id in problem.valid_vendor_ids(customer):
+            remaining = assignment.remaining_budget(vendor_id)
+            best = problem.best_instance_for_pair(
+                customer.customer_id, vendor_id, max_cost=remaining
+            )
+            if best is not None:
+                picked.append(best)
+        picked.sort(key=lambda inst: -inst.efficiency)
+        return picked[: customer.capacity]
+
+
+class MisbehavingAlgorithm(OnlineAlgorithm):
+    """Test helper: returns infeasible and foreign instances."""
+
+    name = "BAD"
+
+    def process_customer(self, problem, customer, assignment):
+        wrong_customer = AdInstance(
+            customer_id=customer.customer_id + 10_000,
+            vendor_id=problem.vendors[0].vendor_id,
+            type_id=problem.ad_types[0].type_id,
+            utility=1.0,
+            cost=1.0,
+        )
+        over_budget = AdInstance(
+            customer_id=customer.customer_id,
+            vendor_id=problem.vendors[0].vendor_id,
+            type_id=problem.ad_types[0].type_id,
+            utility=1.0,
+            cost=1e9,
+        )
+        return [wrong_customer, over_budget]
+
+
+@pytest.fixture
+def problem():
+    return random_tabular_problem(seed=4, n_customers=12, n_vendors=4)
+
+
+class TestOnlineSimulator:
+    def test_commits_feasible_instances(self, problem):
+        result = OnlineSimulator(problem).run(GreedyPerCustomer())
+        assert len(result.assignment) > 0
+        assert validate_assignment(problem, result.assignment).ok
+        assert result.rejected_instances == 0
+
+    def test_latencies_recorded_per_customer(self, problem):
+        result = OnlineSimulator(problem).run(GreedyPerCustomer())
+        assert len(result.latencies) == len(problem.customers)
+        assert result.mean_latency >= 0.0
+
+    def test_latency_measurement_can_be_disabled(self, problem):
+        result = OnlineSimulator(problem).run(
+            GreedyPerCustomer(), measure_latency=False
+        )
+        assert result.latencies == []
+        assert result.mean_latency == 0.0
+
+    def test_misbehaving_algorithm_is_contained(self, problem):
+        result = OnlineSimulator(problem).run(MisbehavingAlgorithm())
+        assert len(result.assignment) == 0
+        assert result.rejected_instances == 2 * len(problem.customers)
+
+    def test_explicit_arrival_sequence(self, problem):
+        reversed_customers = list(reversed(problem.customers))
+        result = OnlineSimulator(problem).run(
+            GreedyPerCustomer(), arrivals=reversed_customers
+        )
+        assert validate_assignment(problem, result.assignment).ok
+
+    def test_default_order_is_arrival_time(self, problem):
+        seen = []
+
+        class Recorder(OnlineAlgorithm):
+            name = "REC"
+
+            def process_customer(self, problem, customer, assignment):
+                seen.append(customer.arrival_time)
+                return []
+
+        OnlineSimulator(problem).run(Recorder())
+        assert seen == sorted(seen)
+
+
+class TestOnlineAsOffline:
+    def test_adapter_matches_simulator(self, problem):
+        direct = OnlineSimulator(problem).run(GreedyPerCustomer())
+        adapted = OnlineAsOffline(GreedyPerCustomer()).solve(problem)
+        assert adapted.total_utility == pytest.approx(
+            direct.total_utility
+        )
+
+    def test_adapter_reports_per_customer_latency(self, problem):
+        adapter = OnlineAsOffline(NearestVendor())
+        result = adapter.run(problem)
+        assert result.algorithm == "NEAREST"
+        assert result.per_customer_seconds > 0
+        assert result.extras["rejected_instances"] == 0.0

@@ -1,0 +1,38 @@
+"""Tests for the built-in Foursquare-style taxonomy."""
+
+from __future__ import annotations
+
+from repro.taxonomy.foursquare import FOURSQUARE_CATEGORIES, foursquare_taxonomy
+
+
+def test_has_nine_top_level_categories():
+    tax = foursquare_taxonomy()
+    assert len(tax.top_level()) == 9
+
+
+def test_every_declared_category_is_registered():
+    tax = foursquare_taxonomy()
+    for top, subs in FOURSQUARE_CATEGORIES:
+        assert top in tax
+        for sub in subs:
+            assert sub in tax
+            assert tax.parent(sub) == top
+
+
+def test_leaves_are_exactly_the_subcategories():
+    tax = foursquare_taxonomy()
+    declared = {sub for _top, subs in FOURSQUARE_CATEGORIES for sub in subs}
+    assert set(tax.leaves()) == declared
+
+
+def test_instances_are_independent():
+    a = foursquare_taxonomy()
+    b = foursquare_taxonomy()
+    a.add("Custom Tag", parent="Food")
+    assert "Custom Tag" in a
+    assert "Custom Tag" not in b
+
+
+def test_total_size_is_reasonable():
+    tax = foursquare_taxonomy()
+    assert 50 <= len(tax) <= 100

@@ -1,0 +1,149 @@
+"""Tests for taxonomy-driven interest vectors (Eqs. 1-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TaxonomyError
+from repro.taxonomy.foursquare import foursquare_taxonomy
+from repro.taxonomy.interest import (
+    interest_vector,
+    propagate_score,
+    topic_scores,
+    vendor_vector,
+)
+from repro.taxonomy.tree import Taxonomy
+
+
+@pytest.fixture
+def tax():
+    t = Taxonomy()
+    t.add("food")
+    t.add("pizza", parent="food")
+    t.add("sushi", parent="food")
+    t.add("coffee", parent="food")
+    t.add("shops")
+    t.add("books", parent="shops")
+    return t
+
+
+class TestTopicScores:
+    def test_eq1_proportional_distribution(self):
+        scores = topic_scores({"a": 3, "b": 1}, overall_score=1.0)
+        assert scores["a"] == pytest.approx(0.75)
+        assert scores["b"] == pytest.approx(0.25)
+
+    def test_eq1_overall_score_scales(self):
+        scores = topic_scores({"a": 1}, overall_score=5.0)
+        assert scores["a"] == pytest.approx(5.0)
+
+    def test_zero_counts_dropped(self):
+        assert topic_scores({"a": 0, "b": 2}) == {"b": pytest.approx(1.0)}
+
+    def test_empty_history(self):
+        assert topic_scores({}) == {}
+
+
+class TestPropagateScore:
+    def test_eq2_conservation(self, tax):
+        contributions = propagate_score(tax, "pizza", 1.0, kappa=0.5)
+        assert sum(contributions.values()) == pytest.approx(1.0)
+
+    def test_eq3_recurrence(self, tax):
+        kappa = 0.5
+        contributions = propagate_score(tax, "pizza", 1.0, kappa=kappa)
+        # sco(food) = kappa * sco(pizza) / (sib(pizza) + 1)
+        expected = kappa * contributions["pizza"] / (tax.siblings("pizza") + 1)
+        assert contributions["food"] == pytest.approx(expected)
+
+    def test_leaf_gets_most_weight(self, tax):
+        contributions = propagate_score(tax, "pizza", 1.0, kappa=0.5)
+        assert contributions["pizza"] > contributions["food"]
+
+    def test_top_level_tag_keeps_everything(self, tax):
+        contributions = propagate_score(tax, "food", 2.0)
+        assert contributions == {"food": pytest.approx(2.0)}
+
+    def test_kappa_zero_puts_all_on_leaf(self, tax):
+        contributions = propagate_score(tax, "pizza", 1.0, kappa=0.0)
+        assert contributions["pizza"] == pytest.approx(1.0)
+        assert contributions["food"] == pytest.approx(0.0)
+
+    @given(
+        kappa=st.floats(0.0, 1.0, allow_nan=False),
+        score=st.floats(0.01, 100.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_conservation_property(self, kappa, score):
+        tax = foursquare_taxonomy()
+        contributions = propagate_score(tax, "Pizza Place", score, kappa)
+        assert sum(contributions.values()) == pytest.approx(score, rel=1e-9)
+
+
+class TestInterestVector:
+    def test_entries_in_unit_interval(self, tax):
+        vector = interest_vector(tax, {"pizza": 3, "books": 1})
+        assert vector.min() >= 0.0
+        assert vector.max() == pytest.approx(1.0)
+
+    def test_unknown_tag_raises(self, tax):
+        with pytest.raises(TaxonomyError):
+            interest_vector(tax, {"nope": 1})
+
+    def test_unknown_normalize_mode(self, tax):
+        with pytest.raises(ValueError):
+            interest_vector(tax, {"pizza": 1}, normalize="weird")
+
+    def test_sum_normalisation(self, tax):
+        vector = interest_vector(tax, {"pizza": 2, "sushi": 1},
+                                 normalize="sum")
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_no_normalisation_conserves_overall_score(self, tax):
+        vector = interest_vector(
+            tax, {"pizza": 2, "sushi": 1}, normalize=None, overall_score=3.0
+        )
+        assert vector.sum() == pytest.approx(3.0)
+
+    def test_empty_history_is_zero_vector(self, tax):
+        vector = interest_vector(tax, {})
+        assert not vector.any()
+
+    def test_more_checkins_more_interest(self, tax):
+        vector = interest_vector(tax, {"pizza": 5, "sushi": 1})
+        assert (
+            vector[tax.index("pizza")] > vector[tax.index("sushi")]
+        )
+
+    def test_parent_accumulates_from_children(self, tax):
+        vector = interest_vector(
+            tax, {"pizza": 1, "sushi": 1}, normalize=None
+        )
+        single = interest_vector(tax, {"pizza": 2}, normalize=None)
+        # Both histories conserve the same total score; the two-category
+        # history routes weight to "food" from both children.
+        assert vector[tax.index("food")] == pytest.approx(
+            single[tax.index("food")], rel=1e-9
+        )
+
+
+class TestVendorVector:
+    def test_simple_mode_is_one_hot(self, tax):
+        vector = vendor_vector(tax, "pizza", propagate=False)
+        assert vector[tax.index("pizza")] == 1.0
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_propagated_mode_weights_ancestors(self, tax):
+        vector = vendor_vector(tax, "pizza", propagate=True)
+        assert vector[tax.index("pizza")] == pytest.approx(1.0)
+        assert 0.0 < vector[tax.index("food")] < 1.0
+        assert vector[tax.index("books")] == 0.0
+
+    def test_vendor_customer_overlap_is_positive(self):
+        tax = foursquare_taxonomy()
+        customer = interest_vector(tax, {"Pizza Place": 5, "Bar": 2})
+        vendor = vendor_vector(tax, "Pizza Place")
+        assert float(np.dot(customer, vendor)) > 0

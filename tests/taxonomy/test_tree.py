@@ -1,0 +1,101 @@
+"""Unit tests for the taxonomy tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TaxonomyError
+from repro.taxonomy.tree import ROOT, Taxonomy
+
+
+@pytest.fixture
+def tax():
+    t = Taxonomy()
+    t.add("food")
+    t.add("pizza", parent="food")
+    t.add("sushi", parent="food")
+    t.add("shops")
+    t.add("books", parent="shops")
+    return t
+
+
+class TestConstruction:
+    def test_len_counts_non_root_tags(self, tax):
+        assert len(tax) == 5
+
+    def test_duplicate_rejected(self, tax):
+        with pytest.raises(TaxonomyError):
+            tax.add("pizza")
+
+    def test_unknown_parent_rejected(self, tax):
+        with pytest.raises(TaxonomyError):
+            tax.add("x", parent="nope")
+
+    def test_root_name_reserved(self, tax):
+        with pytest.raises(TaxonomyError):
+            tax.add(ROOT)
+
+    def test_from_edges(self):
+        t = Taxonomy.from_edges([(None, "a"), ("a", "b"), ("a", "c")])
+        assert t.parent("b") == "a"
+        assert t.top_level() == ("a",)
+
+
+class TestQueries:
+    def test_index_roundtrip(self, tax):
+        for tag in tax.tags:
+            assert tax.name(tax.index(tag)) == tag
+
+    def test_index_unknown_raises(self, tax):
+        with pytest.raises(TaxonomyError):
+            tax.index("nope")
+
+    def test_parent_and_children(self, tax):
+        assert tax.parent("pizza") == "food"
+        assert tax.parent("food") is None
+        assert set(tax.children("food")) == {"pizza", "sushi"}
+        assert tax.children("pizza") == ()
+
+    def test_siblings(self, tax):
+        assert tax.siblings("pizza") == 1  # sushi
+        assert tax.siblings("food") == 1  # shops
+        assert tax.siblings("books") == 0
+
+    def test_path_to_root(self, tax):
+        assert tax.path_to_root("pizza") == ["pizza", "food"]
+        assert tax.path_to_root("food") == ["food"]
+
+    def test_depth(self, tax):
+        assert tax.depth("food") == 1
+        assert tax.depth("pizza") == 2
+
+    def test_leaves(self, tax):
+        assert set(tax.leaves()) == {"pizza", "sushi", "books"}
+
+    def test_is_leaf(self, tax):
+        assert tax.is_leaf("pizza")
+        assert not tax.is_leaf("food")
+
+    def test_contains(self, tax):
+        assert "pizza" in tax
+        assert "nope" not in tax
+
+    def test_ancestor_at_depth(self, tax):
+        assert tax.ancestor_at_depth("pizza", 1) == "food"
+        assert tax.ancestor_at_depth("pizza", 2) == "pizza"
+        with pytest.raises(TaxonomyError):
+            tax.ancestor_at_depth("pizza", 3)
+
+    def test_top_level(self, tax):
+        assert set(tax.top_level()) == {"food", "shops"}
+
+
+class TestDeepTree:
+    def test_three_levels(self):
+        t = Taxonomy()
+        t.add("a")
+        t.add("b", parent="a")
+        t.add("c", parent="b")
+        assert t.path_to_root("c") == ["c", "b", "a"]
+        assert t.depth("c") == 3
+        assert t.ancestor_at_depth("c", 1) == "a"

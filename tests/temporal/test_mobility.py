@@ -1,0 +1,111 @@
+"""Tests for random-waypoint trajectories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import euclidean
+from repro.temporal.mobility import (
+    Trajectory,
+    random_waypoint_trajectory,
+    trajectories_for,
+)
+
+
+class TestTrajectory:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory(waypoints=(), times=())
+        with pytest.raises(ValueError):
+            Trajectory(waypoints=((0, 0), (1, 1)), times=(0.0,))
+        with pytest.raises(ValueError):
+            Trajectory(waypoints=((0, 0), (1, 1)), times=(1.0, 1.0))
+
+    def test_position_interpolates(self):
+        trajectory = Trajectory(
+            waypoints=((0.0, 0.0), (1.0, 0.0)), times=(0.0, 2.0)
+        )
+        assert trajectory.position(1.0) == pytest.approx((0.5, 0.0))
+
+    def test_position_clamps_outside_span(self):
+        trajectory = Trajectory(
+            waypoints=((0.0, 0.0), (1.0, 0.0)), times=(1.0, 2.0)
+        )
+        assert trajectory.position(0.0) == (0.0, 0.0)
+        assert trajectory.position(5.0) == (1.0, 0.0)
+
+    def test_multi_leg_path(self):
+        trajectory = Trajectory(
+            waypoints=((0, 0), (1, 0), (1, 1)), times=(0.0, 1.0, 2.0)
+        )
+        assert trajectory.position(1.5) == pytest.approx((1.0, 0.5))
+
+    def test_displacement(self):
+        trajectory = Trajectory(
+            waypoints=((0, 0), (1, 0)), times=(0.0, 1.0)
+        )
+        assert trajectory.displacement_since(0.0, 1.0) == pytest.approx(1.0)
+
+
+class TestRandomWaypoint:
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_waypoint_trajectory(rng, speed=0.0)
+        with pytest.raises(ValueError):
+            random_waypoint_trajectory(rng, duration=0.0)
+
+    def test_covers_duration(self):
+        rng = np.random.default_rng(1)
+        trajectory = random_waypoint_trajectory(rng, duration=24.0)
+        assert trajectory.end_time >= 24.0
+
+    def test_stays_in_unit_square(self):
+        rng = np.random.default_rng(2)
+        trajectory = random_waypoint_trajectory(rng, duration=12.0)
+        for t in np.linspace(0, 12, 50):
+            x, y = trajectory.position(float(t))
+            assert -1e-9 <= x <= 1 + 1e-9
+            assert -1e-9 <= y <= 1 + 1e-9
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_speed_is_respected(self, seed):
+        """Distance covered between any two times <= speed * elapsed."""
+        rng = np.random.default_rng(seed)
+        speed = 0.08
+        trajectory = random_waypoint_trajectory(rng, speed=speed,
+                                                duration=10.0)
+        times = np.linspace(0, 10, 40)
+        for t0, t1 in zip(times, times[1:]):
+            moved = euclidean(
+                trajectory.position(float(t0)),
+                trajectory.position(float(t1)),
+            )
+            assert moved <= speed * (t1 - t0) + 1e-9
+
+    def test_respects_start(self):
+        rng = np.random.default_rng(3)
+        trajectory = random_waypoint_trajectory(rng, start=(0.5, 0.5))
+        assert trajectory.position(0.0) == (0.5, 0.5)
+
+
+class TestTrajectoriesFor:
+    def test_population(self):
+        trajectories = trajectories_for(10, seed=4)
+        assert len(trajectories) == 10
+
+    def test_deterministic(self):
+        a = trajectories_for(5, seed=9)
+        b = trajectories_for(5, seed=9)
+        for ta, tb in zip(a, b):
+            assert ta.waypoints == tb.waypoints
+
+    def test_explicit_starts(self):
+        starts = [(0.1 * i, 0.1 * i) for i in range(5)]
+        trajectories = trajectories_for(5, seed=0, starts=starts)
+        for start, trajectory in zip(starts, trajectories):
+            assert trajectory.position(0.0) == start

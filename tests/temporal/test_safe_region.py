@@ -1,0 +1,112 @@
+"""Tests for conservative safe-region tracking (CALBA subroutine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import Vendor
+from repro.temporal.mobility import random_waypoint_trajectory
+from repro.temporal.safe_region import (
+    SafeRegionTracker,
+    brute_force_valid_vendors,
+)
+
+
+def make_vendors(seed=0, n=30):
+    rng = np.random.default_rng(seed)
+    return [
+        Vendor(
+            vendor_id=j,
+            location=(float(rng.uniform()), float(rng.uniform())),
+            radius=float(rng.uniform(0.05, 0.25)),
+            budget=1.0,
+        )
+        for j in range(n)
+    ]
+
+
+class TestCorrectness:
+    def test_matches_brute_force_at_static_points(self):
+        vendors = make_vendors()
+        tracker = SafeRegionTracker(vendors)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            position = (float(rng.uniform()), float(rng.uniform()))
+            assert sorted(tracker.valid_vendors(0, position)) == sorted(
+                brute_force_valid_vendors(vendors, position)
+            )
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_brute_force_along_trajectories(self, seed):
+        """The safe region must never serve a stale valid set."""
+        vendors = make_vendors(seed=seed % 5, n=20)
+        tracker = SafeRegionTracker(vendors)
+        rng = np.random.default_rng(seed)
+        trajectory = random_waypoint_trajectory(rng, speed=0.2, duration=5.0)
+        for t in np.linspace(0, 5, 120):
+            position = trajectory.position(float(t))
+            assert sorted(tracker.valid_vendors(7, position)) == sorted(
+                brute_force_valid_vendors(vendors, position)
+            )
+
+    def test_multiple_customers_tracked_independently(self):
+        vendors = make_vendors()
+        tracker = SafeRegionTracker(vendors)
+        a = tracker.valid_vendors(1, (0.2, 0.2))
+        b = tracker.valid_vendors(2, (0.8, 0.8))
+        assert a == tracker.valid_vendors(1, (0.2, 0.2))
+        assert b == tracker.valid_vendors(2, (0.8, 0.8))
+
+    def test_no_vendors(self):
+        tracker = SafeRegionTracker([])
+        assert tracker.valid_vendors(0, (0.5, 0.5)) == ()
+
+
+class TestEfficiency:
+    def test_small_moves_hit_the_cache(self):
+        vendors = make_vendors()
+        tracker = SafeRegionTracker(vendors)
+        tracker.valid_vendors(0, (0.5, 0.5))
+        recomputes_after_first = tracker.stats.recomputations
+        # Tiny oscillation inside the safe disc.
+        for delta in np.linspace(0, 1e-5, 20):
+            tracker.valid_vendors(0, (0.5 + delta, 0.5))
+        assert tracker.stats.recomputations == recomputes_after_first
+
+    def test_hit_rate_is_high_for_slow_movement(self):
+        vendors = make_vendors(n=40)
+        tracker = SafeRegionTracker(vendors)
+        rng = np.random.default_rng(5)
+        trajectory = random_waypoint_trajectory(rng, speed=0.03,
+                                                duration=24.0)
+        for t in np.linspace(0, 24, 2000):
+            tracker.valid_vendors(0, trajectory.position(float(t)))
+        assert tracker.stats.hit_rate > 0.9
+
+    def test_invalidate_forces_recompute(self):
+        vendors = make_vendors()
+        tracker = SafeRegionTracker(vendors)
+        tracker.valid_vendors(0, (0.5, 0.5))
+        before = tracker.stats.recomputations
+        tracker.invalidate(0)
+        tracker.valid_vendors(0, (0.5, 0.5))
+        assert tracker.stats.recomputations == before + 1
+
+    def test_invalidate_all(self):
+        vendors = make_vendors()
+        tracker = SafeRegionTracker(vendors)
+        tracker.valid_vendors(0, (0.5, 0.5))
+        tracker.valid_vendors(1, (0.4, 0.4))
+        tracker.invalidate_all()
+        before = tracker.stats.recomputations
+        tracker.valid_vendors(0, (0.5, 0.5))
+        tracker.valid_vendors(1, (0.4, 0.4))
+        assert tracker.stats.recomputations == before + 2
+
+    def test_stats_hit_rate_empty(self):
+        tracker = SafeRegionTracker(make_vendors())
+        assert tracker.stats.hit_rate == 0.0

@@ -1,0 +1,117 @@
+"""Tests for temporal snapshots of a moving world."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.core.entities import Customer, Vendor
+from repro.core.validation import validate_assignment
+from repro.datagen.config import default_ad_types
+from repro.taxonomy.foursquare import foursquare_taxonomy
+from repro.taxonomy.interest import interest_vector, vendor_vector
+from repro.temporal.mobility import trajectories_for
+from repro.temporal.snapshots import TemporalWorld, snapshot_customers
+from repro.utility.activity import ActivityModel
+
+
+def build_world(n_customers=20, n_vendors=8, seed=0):
+    tax = foursquare_taxonomy()
+    rng = np.random.default_rng(seed)
+    leaves = tax.leaves()
+    customers = [
+        Customer(
+            customer_id=i,
+            location=(0.0, 0.0),  # ignored; trajectories govern positions
+            capacity=2,
+            view_probability=0.5,
+            interests=interest_vector(
+                tax, {leaves[int(rng.integers(len(leaves)))]: 3,
+                      leaves[int(rng.integers(len(leaves)))]: 2}
+            ),
+        )
+        for i in range(n_customers)
+    ]
+    vendors = [
+        Vendor(
+            vendor_id=j,
+            location=(float(rng.uniform()), float(rng.uniform())),
+            radius=0.25,
+            budget=6.0,
+            tags=vendor_vector(tax, leaves[int(rng.integers(len(leaves)))]),
+        )
+        for j in range(n_vendors)
+    ]
+    return TemporalWorld(
+        customers=customers,
+        trajectories=trajectories_for(n_customers, seed=seed),
+        vendors=vendors,
+        ad_types=list(default_ad_types()),
+        activity_model=ActivityModel.diurnal(tax),
+    )
+
+
+class TestSnapshotCustomers:
+    def test_positions_come_from_trajectories(self):
+        world = build_world()
+        snapshot = snapshot_customers(
+            world.customers, world.trajectories, time=6.0
+        )
+        for customer, trajectory in zip(snapshot, world.trajectories):
+            assert customer.location == trajectory.position(6.0)
+            assert customer.arrival_time == pytest.approx(6.0)
+
+    def test_misaligned_inputs_rejected(self):
+        world = build_world()
+        with pytest.raises(ValueError):
+            snapshot_customers(world.customers, world.trajectories[:-1], 0.0)
+
+    def test_attributes_preserved(self):
+        world = build_world()
+        snapshot = snapshot_customers(
+            world.customers, world.trajectories, time=3.0
+        )
+        for before, after in zip(world.customers, snapshot):
+            assert after.capacity == before.capacity
+            assert after.view_probability == before.view_probability
+            assert after.interests is before.interests
+
+
+class TestTemporalWorld:
+    def test_misaligned_construction_rejected(self):
+        world = build_world()
+        with pytest.raises(ValueError):
+            TemporalWorld(
+                customers=world.customers,
+                trajectories=world.trajectories[:-1],
+                vendors=world.vendors,
+                ad_types=world.ad_types,
+                activity_model=world.activity_model,
+            )
+
+    def test_snapshots_differ_over_time(self):
+        world = build_world()
+        morning = world.problem_at(8.0)
+        evening = world.problem_at(20.0)
+        moved = sum(
+            1
+            for a, b in zip(morning.customers, evening.customers)
+            if a.location != b.location
+        )
+        assert moved > 0
+
+    def test_snapshot_is_solvable_and_valid(self):
+        world = build_world()
+        problem = world.problem_at(12.0)
+        assignment = GreedyEfficiency().solve(problem)
+        assert validate_assignment(problem, assignment).ok
+
+    def test_solve_over_day(self):
+        world = build_world(n_customers=10, n_vendors=5)
+        results = world.solve_over_day(
+            GreedyEfficiency, times=[0.0, 8.0, 16.0]
+        )
+        assert [t for t, _r in results] == [0.0, 8.0, 16.0]
+        for _time, result in results:
+            assert result.total_utility >= 0.0

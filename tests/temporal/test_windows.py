@@ -1,0 +1,88 @@
+"""Tests for vendor opening-hour schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import Vendor
+from repro.temporal.windows import ALWAYS_OPEN, VendorSchedule, open_vendors
+
+
+def vendor(vid):
+    return Vendor(vendor_id=vid, location=(0.5, 0.5), radius=0.1, budget=1.0)
+
+
+class TestVendorSchedule:
+    def test_plain_window(self):
+        schedule = VendorSchedule(open_hour=9.0, close_hour=17.0)
+        assert schedule.is_open(12.0)
+        assert schedule.is_open(9.0)
+        assert not schedule.is_open(17.0)
+        assert not schedule.is_open(3.0)
+
+    def test_midnight_wrap(self):
+        bar = VendorSchedule(open_hour=18.0, close_hour=2.0)
+        assert bar.is_open(23.0)
+        assert bar.is_open(1.0)
+        assert not bar.is_open(10.0)
+        assert bar.hours_open == pytest.approx(8.0)
+
+    def test_always_open(self):
+        assert ALWAYS_OPEN.is_open(0.0)
+        assert ALWAYS_OPEN.is_open(13.37)
+        assert ALWAYS_OPEN.hours_open == 24.0
+
+    def test_hour_mod_24(self):
+        schedule = VendorSchedule(open_hour=9.0, close_hour=17.0)
+        assert schedule.is_open(36.0)  # 12:00 next day
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VendorSchedule(open_hour=-1.0, close_hour=5.0)
+        with pytest.raises(ValueError):
+            VendorSchedule(open_hour=1.0, close_hour=24.0)
+
+    @given(
+        st.floats(0, 23.99), st.floats(0, 23.99), st.floats(0, 23.99)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_open_fraction_matches_hours_open(self, open_h, close_h, probe):
+        schedule = VendorSchedule(open_hour=open_h, close_hour=close_h)
+        # Complementary windows partition the day (except the
+        # always-open degenerate case).
+        if open_h != close_h:
+            complement = VendorSchedule(open_hour=close_h, close_hour=open_h)
+            assert schedule.is_open(probe) != complement.is_open(probe)
+            assert schedule.hours_open + complement.hours_open == (
+                pytest.approx(24.0)
+            )
+
+
+class TestOpenVendors:
+    def test_no_schedules_means_all_open(self):
+        vendors = [vendor(0), vendor(1)]
+        assert open_vendors(vendors, None, 3.0) == vendors
+        assert open_vendors(vendors, {}, 3.0) == vendors
+
+    def test_filtering(self):
+        vendors = [vendor(0), vendor(1)]
+        schedules = {0: VendorSchedule(open_hour=9.0, close_hour=17.0)}
+        at_noon = open_vendors(vendors, schedules, 12.0)
+        at_night = open_vendors(vendors, schedules, 23.0)
+        assert [v.vendor_id for v in at_noon] == [0, 1]
+        assert [v.vendor_id for v in at_night] == [1]
+
+
+class TestTemporalWorldIntegration:
+    def test_snapshot_respects_schedules(self):
+        from tests.temporal.test_snapshots import build_world
+
+        world = build_world(n_customers=5, n_vendors=4)
+        world.schedules = {
+            v.vendor_id: VendorSchedule(open_hour=9.0, close_hour=17.0)
+            for v in world.vendors
+        }
+        assert len(world.problem_at(12.0).vendors) == 4
+        assert len(world.problem_at(3.0).vendors) == 0

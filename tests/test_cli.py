@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo(capsys):
+    assert main(["demo", "--customers", "200", "--vendors", "25"]) == 0
+    out = capsys.readouterr().out
+    for name in ("RANDOM", "GREEDY", "RECON", "ONLINE"):
+        assert name in out
+    assert "INVALID" not in out
+
+
+def test_calibrate(capsys):
+    assert main(["calibrate", "--customers", "200", "--vendors", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "gamma_min" in out
+    assert "g " in out
+
+
+def test_ratio(capsys):
+    assert main(["ratio", "--instances", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "RECON" in out
+    assert "ONLINE" in out
+
+
+def test_figure_with_exports(capsys, tmp_path):
+    csv_path = tmp_path / "fig7.csv"
+    json_path = tmp_path / "fig7.json"
+    assert (
+        main(
+            [
+                "figure",
+                "7",
+                "--scale",
+                "0.01",
+                "--csv",
+                str(csv_path),
+                "--json",
+                str(json_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "fig7 (a): total utility" in out
+    assert csv_path.exists()
+    assert json_path.exists()
+
+    from repro.experiments.io import read_csv, read_json
+
+    assert read_csv(csv_path).experiment == "fig7"
+    assert read_json(json_path).experiment == "fig7"
+
+
+def test_bounds(capsys):
+    assert main(["bounds", "--customers", "200", "--vendors", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "combined bound" in out
+    assert "RECON" in out
+    assert "%" in out
+
+
+def test_reproduce_subset(capsys, tmp_path):
+    code = main(
+        [
+            "reproduce",
+            "--scale-multiplier",
+            "0.2",
+            "--figures",
+            "7",
+            "--out",
+            str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "running figure 7" in out
+    assert "claims hold" in out
+    assert (tmp_path / "fig7.txt").exists()
+    assert code in (0, 1)  # shape checks may be noisy at tiny scale
+
+
+def test_stats(capsys):
+    assert main(["stats", "--customers", "200", "--vendors", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "MUAA instance" in out
+    assert "theta" in out
+
+
+def test_stats_checkins(capsys):
+    assert main(
+        ["stats", "--customers", "300", "--vendors", "30", "--checkins"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "valid pairs" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_figure_out_of_range_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "9"])

@@ -1,0 +1,24 @@
+"""Run embedded doctests of modules that carry usage examples."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.lp.model
+import repro.taxonomy.tree
+
+MODULES_WITH_DOCTESTS = (
+    repro.taxonomy.tree,
+    repro.lp.model,
+)
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} should carry doctests"
+    assert result.failed == 0

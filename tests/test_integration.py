@@ -1,0 +1,100 @@
+"""End-to-end integration tests across all subsystems.
+
+These exercise the same pipelines as the benchmarks, at small scale:
+generate a workload (synthetic and check-in based), run the full
+algorithm panel, validate every assignment, and check the paper's
+qualitative ordering claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validation import validate_assignment
+from repro.datagen.checkins import problem_from_checkins, simulate_checkins
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.experiments.runner import PANEL, run_panel
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    return synthetic_problem(
+        WorkloadConfig(
+            n_customers=500,
+            n_vendors=60,
+            radius_range=ParameterRange(0.04, 0.07),
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def checkin_based():
+    feed = simulate_checkins(
+        n_users=80, n_venues=150, n_checkins=4_000, seed=5
+    )
+    return problem_from_checkins(
+        feed, max_customers=400, max_vendors=60, seed=5,
+        config=WorkloadConfig(radius_range=ParameterRange(0.04, 0.07)),
+    )
+
+
+@pytest.fixture(scope="module")
+def synthetic_results(synthetic):
+    return run_panel(synthetic, seed=2)
+
+
+@pytest.fixture(scope="module")
+def checkin_results(checkin_based):
+    return run_panel(checkin_based, seed=2)
+
+
+class TestFeasibilityEverywhere:
+    def test_synthetic_panel_feasible(self, synthetic, synthetic_results):
+        for name, result in synthetic_results.items():
+            report = validate_assignment(synthetic, result.assignment)
+            assert report.ok, (name, report.violations[:3])
+
+    def test_checkin_panel_feasible(self, checkin_based, checkin_results):
+        for name, result in checkin_results.items():
+            report = validate_assignment(checkin_based, result.assignment)
+            assert report.ok, (name, report.violations[:3])
+
+
+class TestPaperOrderingClaims:
+    """Section V: RECON is the best, GREEDY close, ONLINE beats RANDOM."""
+
+    def test_recon_is_best_synthetic(self, synthetic_results):
+        recon = synthetic_results["RECON"].total_utility
+        for name in ("RANDOM", "NEAREST", "ONLINE"):
+            assert recon >= synthetic_results[name].total_utility
+
+    def test_utility_aware_beats_oblivious(self, synthetic_results):
+        for smart in ("GREEDY", "RECON", "ONLINE"):
+            assert (
+                synthetic_results[smart].total_utility
+                > synthetic_results["NEAREST"].total_utility
+            )
+
+    def test_online_beats_random_checkins(self, checkin_results):
+        assert (
+            checkin_results["ONLINE"].total_utility
+            >= checkin_results["RANDOM"].total_utility
+        )
+
+    def test_recon_is_best_checkins(self, checkin_results):
+        recon = checkin_results["RECON"].total_utility
+        for name in ("RANDOM", "NEAREST", "ONLINE"):
+            assert recon >= checkin_results[name].total_utility
+
+
+class TestPerformanceClaims:
+    def test_online_decides_fast_per_customer(self, synthetic_results):
+        # The paper reports sub-second decisions; at this scale the
+        # per-customer latency should be far below 10 ms.
+        assert synthetic_results["ONLINE"].per_customer_seconds < 0.01
+
+    def test_every_algorithm_assigns_something(self, synthetic_results):
+        for name, result in synthetic_results.items():
+            assert len(result.assignment) > 0, name

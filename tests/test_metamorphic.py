@@ -1,0 +1,163 @@
+"""Metamorphic properties: transformations with predictable effects.
+
+Rather than checking outputs against known values, these tests check
+that *relations between runs* hold: scaling all utilities scales every
+algorithm's total; growing a budget or capacity never hurts GREEDY;
+deleting a useless vendor changes nothing.  These catch subtle
+accounting bugs that example-based tests miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.algorithms.recon import Reconciliation
+from repro.core.entities import Vendor
+from repro.core.problem import MUAAProblem
+from repro.datagen.tabular import random_tabular_problem
+from repro.utility.model import TabularUtilityModel
+
+
+def scaled_copy(problem: MUAAProblem, factor: float) -> MUAAProblem:
+    """Same instance with every preference multiplied by ``factor``."""
+    model = problem.utility_model
+    assert isinstance(model, TabularUtilityModel)
+    scaled = TabularUtilityModel(
+        preferences={
+            key: value * factor for key, value in model._preferences.items()
+        },
+        distances=model._distances,
+        default_preference=model._default * factor,
+    )
+    return MUAAProblem(
+        customers=problem.customers,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=scaled,
+    )
+
+
+def with_budget_factor(problem: MUAAProblem, factor: float) -> MUAAProblem:
+    vendors = [
+        dataclasses.replace(v, budget=v.budget * factor)
+        for v in problem.vendors
+    ]
+    return MUAAProblem(
+        customers=problem.customers,
+        vendors=vendors,
+        ad_types=problem.ad_types,
+        utility_model=problem.utility_model,
+    )
+
+
+def with_capacity_bonus(problem: MUAAProblem, bonus: int) -> MUAAProblem:
+    customers = [
+        dataclasses.replace(c, capacity=c.capacity + bonus)
+        for c in problem.customers
+    ]
+    return MUAAProblem(
+        customers=customers,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=problem.utility_model,
+    )
+
+
+class TestScalingInvariance:
+    @given(st.integers(0, 25), st.floats(0.1, 50.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_scales_linearly(self, seed, factor):
+        problem = random_tabular_problem(seed=seed, n_customers=6,
+                                         n_vendors=3)
+        base = GreedyEfficiency().solve(problem)
+        scaled = GreedyEfficiency().solve(scaled_copy(problem, factor))
+        assert scaled.total_utility == pytest.approx(
+            base.total_utility * factor, rel=1e-9, abs=1e-12
+        )
+        # The selected instance *set* is identical, not just the total.
+        assert sorted(i.pair + (i.type_id,) for i in scaled) == sorted(
+            i.pair + (i.type_id,) for i in base
+        )
+
+    @given(st.integers(0, 15), st.floats(0.5, 10.0, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_recon_scales_linearly(self, seed, factor):
+        problem = random_tabular_problem(seed=seed, n_customers=6,
+                                         n_vendors=3)
+        base = Reconciliation(seed=0).solve(problem)
+        scaled = Reconciliation(seed=0).solve(scaled_copy(problem, factor))
+        assert scaled.total_utility == pytest.approx(
+            base.total_utility * factor, rel=1e-9, abs=1e-12
+        )
+
+
+class TestResourceMonotonicity:
+    @given(st.integers(0, 30), st.floats(1.0, 4.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_more_budget_never_hurts_greedy(self, seed, factor):
+        problem = random_tabular_problem(
+            seed=seed, n_customers=8, n_vendors=3, budget=(2.0, 4.0)
+        )
+        base = GreedyEfficiency().solve(problem).total_utility
+        grown = GreedyEfficiency().solve(
+            with_budget_factor(problem, factor)
+        ).total_utility
+        assert grown >= base - 1e-9
+
+    @given(st.integers(0, 30), st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_more_capacity_never_hurts_greedy(self, seed, bonus):
+        problem = random_tabular_problem(
+            seed=seed, n_customers=6, n_vendors=4, capacity=(1, 2)
+        )
+        base = GreedyEfficiency().solve(problem).total_utility
+        grown = GreedyEfficiency().solve(
+            with_capacity_bonus(problem, bonus)
+        ).total_utility
+        assert grown >= base - 1e-9
+
+
+class TestIrrelevantChanges:
+    @given(st.integers(0, 25))
+    @settings(max_examples=25, deadline=None)
+    def test_zero_budget_vendor_is_inert(self, seed):
+        problem = random_tabular_problem(seed=seed, n_customers=6,
+                                         n_vendors=3)
+        extended = MUAAProblem(
+            customers=problem.customers,
+            vendors=[
+                *problem.vendors,
+                Vendor(vendor_id=999, location=(0.5, 0.5), radius=2.0,
+                       budget=0.0),
+            ],
+            ad_types=problem.ad_types,
+            utility_model=problem.utility_model,
+        )
+        for factory in (GreedyEfficiency, lambda: Reconciliation(seed=0)):
+            base = factory().solve(problem).total_utility
+            same = factory().solve(extended).total_utility
+            assert same == pytest.approx(base, rel=1e-9, abs=1e-12)
+
+    @given(st.integers(0, 25))
+    @settings(max_examples=25, deadline=None)
+    def test_unreachable_vendor_is_inert(self, seed):
+        problem = random_tabular_problem(seed=seed, n_customers=6,
+                                         n_vendors=3)
+        extended = MUAAProblem(
+            customers=problem.customers,
+            vendors=[
+                *problem.vendors,
+                Vendor(vendor_id=999, location=(50.0, 50.0), radius=0.01,
+                       budget=100.0),
+            ],
+            ad_types=problem.ad_types,
+            utility_model=problem.utility_model,
+        )
+        base = GreedyEfficiency().solve(problem).total_utility
+        same = GreedyEfficiency().solve(extended).total_utility
+        assert same == pytest.approx(base, rel=1e-9, abs=1e-12)

@@ -1,0 +1,59 @@
+"""Golden-result regression tests over a frozen corpus instance.
+
+``tests/data/regression_instance.json`` is a frozen synthetic instance
+(see :mod:`repro.core.serialize`); the utilities pinned here were
+recorded when the corpus was created.  Any refactor that changes these
+numbers changed algorithm *behaviour*, not just structure -- the test
+failing is the point.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.algorithms.recon import Reconciliation
+from repro.core.serialize import load_problem
+from repro.core.validation import validate_assignment
+
+CORPUS = Path(__file__).parent / "data" / "regression_instance.json"
+
+#: Golden values recorded at corpus creation.
+GOLDEN_GREEDY = 14.63219996724721
+GOLDEN_RECON = 18.889910884754105
+GOLDEN_PAIRS = 30
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return load_problem(CORPUS)
+
+
+def test_corpus_loads(problem):
+    assert len(problem.customers) == 120
+    assert len(problem.vendors) == 15
+    assert sum(1 for _ in problem.valid_pairs()) == GOLDEN_PAIRS
+
+
+def test_greedy_golden_value(problem):
+    assignment = GreedyEfficiency().solve(problem)
+    assert validate_assignment(problem, assignment).ok
+    assert assignment.total_utility == pytest.approx(
+        GOLDEN_GREEDY, rel=1e-9
+    )
+
+
+def test_recon_golden_value(problem):
+    assignment = Reconciliation(seed=0).solve(problem)
+    assert validate_assignment(problem, assignment).ok
+    assert assignment.total_utility == pytest.approx(
+        GOLDEN_RECON, rel=1e-9
+    )
+
+
+def test_recon_beats_greedy_on_corpus(problem):
+    greedy = GreedyEfficiency().solve(problem).total_utility
+    recon = Reconciliation(seed=0).solve(problem).total_utility
+    assert recon > greedy

@@ -1,0 +1,175 @@
+"""Failure-injection and degenerate-input robustness tests.
+
+A production library must fail loudly on malformed inputs and behave
+sanely on degenerate-but-legal ones (zero budgets, zero capacities,
+empty populations, all-zero utilities).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware, StaticThreshold
+from repro.algorithms.recon import Reconciliation
+from repro.core.entities import AdType, Customer, Vendor
+from repro.core.problem import MUAAProblem
+from repro.core.validation import validate_assignment
+from repro.exceptions import InvalidEntityError, ReproError
+from repro.stream.simulator import OnlineSimulator
+from repro.utility.model import TabularUtilityModel
+
+
+def build(customers, vendors, ad_types=None, preferences=None):
+    ad_types = ad_types or [
+        AdType(type_id=0, name="a", cost=1.0, effectiveness=0.5)
+    ]
+    return MUAAProblem(
+        customers,
+        vendors,
+        ad_types,
+        TabularUtilityModel(preferences or {}, default_preference=0.5),
+    )
+
+
+class TestMalformedInputs:
+    def test_nan_locations_rejected_at_entity_level(self):
+        with pytest.raises(InvalidEntityError):
+            Customer(customer_id=0, location=(math.nan, 0.0), capacity=1,
+                     view_probability=0.5)
+        with pytest.raises(InvalidEntityError):
+            Vendor(vendor_id=0, location=(0.0, math.inf), radius=0.1,
+                   budget=1.0)
+
+    def test_every_library_error_is_a_repro_error(self):
+        from repro import exceptions
+
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not Exception:
+                assert issubclass(obj, ReproError)
+
+
+class TestDegenerateInstances:
+    def test_no_customers(self):
+        vendors = [Vendor(vendor_id=0, location=(0.5, 0.5), radius=0.2,
+                          budget=5.0)]
+        problem = build([], vendors)
+        assert len(GreedyEfficiency().solve(problem)) == 0
+        assert len(Reconciliation().solve(problem)) == 0
+
+    def test_no_vendors(self):
+        customers = [Customer(customer_id=0, location=(0.5, 0.5),
+                              capacity=2, view_probability=0.5)]
+        problem = build(customers, [])
+        assert len(GreedyEfficiency().solve(problem)) == 0
+        result = OnlineSimulator(problem).run(
+            OnlineAdaptiveFactorAware(threshold=StaticThreshold(0.0))
+        )
+        assert len(result.assignment) == 0
+
+    def test_zero_budget_vendor_sends_nothing(self):
+        customers = [Customer(customer_id=0, location=(0.5, 0.5),
+                              capacity=2, view_probability=0.5)]
+        vendors = [Vendor(vendor_id=0, location=(0.5, 0.5), radius=0.2,
+                          budget=0.0)]
+        problem = build(customers, vendors)
+        for algorithm in (GreedyEfficiency(), Reconciliation()):
+            assert len(algorithm.solve(problem)) == 0
+
+    def test_zero_capacity_customer_receives_nothing(self):
+        customers = [Customer(customer_id=0, location=(0.5, 0.5),
+                              capacity=0, view_probability=0.5)]
+        vendors = [Vendor(vendor_id=0, location=(0.5, 0.5), radius=0.2,
+                          budget=5.0)]
+        problem = build(customers, vendors)
+        for algorithm in (GreedyEfficiency(), Reconciliation()):
+            assert len(algorithm.solve(problem)) == 0
+        result = OnlineSimulator(problem).run(
+            OnlineAdaptiveFactorAware(threshold=StaticThreshold(0.0))
+        )
+        assert len(result.assignment) == 0
+
+    def test_zero_view_probability_everywhere(self):
+        customers = [Customer(customer_id=i, location=(0.5, 0.5),
+                              capacity=2, view_probability=0.0)
+                     for i in range(3)]
+        vendors = [Vendor(vendor_id=0, location=(0.5, 0.5), radius=0.2,
+                          budget=5.0)]
+        problem = build(customers, vendors)
+        assignment = GreedyEfficiency().solve(problem)
+        # Zero-utility instances are never worth selecting.
+        assert assignment.total_utility == 0.0
+
+    def test_budget_smaller_than_cheapest_ad(self):
+        customers = [Customer(customer_id=0, location=(0.5, 0.5),
+                              capacity=2, view_probability=0.5)]
+        vendors = [Vendor(vendor_id=0, location=(0.5, 0.5), radius=0.2,
+                          budget=0.5)]  # cheapest ad costs 1.0
+        problem = build(customers, vendors)
+        for algorithm in (GreedyEfficiency(), Reconciliation()):
+            assert len(algorithm.solve(problem)) == 0
+
+    def test_single_customer_single_vendor_single_type(self):
+        customers = [Customer(customer_id=0, location=(0.5, 0.5),
+                              capacity=1, view_probability=0.5)]
+        vendors = [Vendor(vendor_id=0, location=(0.5, 0.5), radius=0.2,
+                          budget=5.0)]
+        problem = build(customers, vendors)
+        assignment = GreedyEfficiency().solve(problem)
+        assert len(assignment) == 1
+        assert validate_assignment(problem, assignment).ok
+
+    def test_identical_locations_do_not_blow_up(self):
+        # Everyone stacked on one point: distances are clamped, all
+        # utilities finite, assignments feasible.
+        customers = [Customer(customer_id=i, location=(0.5, 0.5),
+                              capacity=1, view_probability=0.5)
+                     for i in range(5)]
+        vendors = [Vendor(vendor_id=j, location=(0.5, 0.5), radius=0.1,
+                          budget=3.0) for j in range(2)]
+        problem = build(customers, vendors)
+        assignment = GreedyEfficiency().solve(problem)
+        assert np.isfinite(assignment.total_utility)
+        assert validate_assignment(problem, assignment).ok
+
+    def test_huge_coordinates(self):
+        customers = [Customer(customer_id=0, location=(1e12, -1e12),
+                              capacity=1, view_probability=0.5)]
+        vendors = [Vendor(vendor_id=0, location=(1e12, -1e12), radius=1.0,
+                          budget=5.0)]
+        problem = build(customers, vendors)
+        assignment = GreedyEfficiency().solve(problem)
+        assert validate_assignment(problem, assignment).ok
+
+
+class TestAdversarialUtilityModels:
+    def test_all_equal_utilities_still_feasible(self):
+        customers = [Customer(customer_id=i, location=(0.5, 0.5),
+                              capacity=1, view_probability=1.0)
+                     for i in range(4)]
+        vendors = [Vendor(vendor_id=j, location=(0.5, 0.5), radius=1.0,
+                          budget=2.0) for j in range(2)]
+        preferences = {(i, j): 1.0 for i in range(4) for j in range(2)}
+        problem = build(customers, vendors, preferences=preferences)
+        for algorithm in (GreedyEfficiency(), Reconciliation(seed=0)):
+            assignment = algorithm.solve(problem)
+            assert validate_assignment(problem, assignment).ok
+
+    def test_extreme_utility_spread(self):
+        customers = [Customer(customer_id=i, location=(0.5, 0.5),
+                              capacity=1, view_probability=1.0)
+                     for i in range(3)]
+        vendors = [Vendor(vendor_id=0, location=(0.5, 0.5), radius=1.0,
+                          budget=2.0)]
+        preferences = {(0, 0): 1e-12, (1, 0): 1.0, (2, 0): 1e12}
+        # Distances default to geometric (0 -> clamped); spread of 24
+        # orders of magnitude must not break ordering.
+        problem = build(customers, vendors, preferences=preferences)
+        assignment = GreedyEfficiency().solve(problem)
+        chosen = {inst.customer_id for inst in assignment}
+        assert 2 in chosen  # the huge-utility customer always wins

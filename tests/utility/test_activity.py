@@ -1,0 +1,85 @@
+"""Tests for the temporal tag-activity model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.taxonomy.foursquare import foursquare_taxonomy
+from repro.utility.activity import (
+    ACTIVITY_FLOOR,
+    DEFAULT_CATEGORY_PROFILES,
+    FLAT_PROFILE,
+    ActivityModel,
+    ActivityProfile,
+)
+
+
+class TestActivityProfile:
+    def test_flat_profile_is_always_one(self):
+        for hour in (0.0, 6.0, 12.0, 23.99):
+            assert FLAT_PROFILE.activity(hour) == 1.0
+
+    def test_peak_is_local_maximum(self):
+        profile = ActivityProfile(peaks=((12.0, 1.5, 0.9),))
+        assert profile.activity(12.0) > profile.activity(9.0)
+        assert profile.activity(12.0) > profile.activity(15.0)
+
+    def test_bounded_by_floor_and_one(self):
+        profile = ActivityProfile(
+            peaks=((12.0, 2.0, 5.0),)  # oversized bump, must clip at 1
+        )
+        for hour in range(24):
+            level = profile.activity(float(hour))
+            assert ACTIVITY_FLOOR <= level <= 1.0
+
+    def test_wraps_around_midnight(self):
+        profile = ActivityProfile(peaks=((23.5, 1.0, 0.9),))
+        # 0:30 is one hour from the peak across midnight; 4:00 is not.
+        assert profile.activity(0.5) > profile.activity(4.0)
+
+    def test_hour_taken_modulo_24(self):
+        profile = ActivityProfile(peaks=((12.0, 2.0, 0.5),))
+        assert profile.activity(36.0) == pytest.approx(profile.activity(12.0))
+
+
+class TestActivityModel:
+    @pytest.fixture
+    def tax(self):
+        return foursquare_taxonomy()
+
+    def test_uniform_model_is_flat(self, tax):
+        model = ActivityModel.uniform(tax)
+        vector = model.activity_vector(13.0)
+        assert (vector == 1.0).all()
+
+    def test_diurnal_subcategory_inherits_top_level(self, tax):
+        model = ActivityModel.diurnal(tax)
+        expected = DEFAULT_CATEGORY_PROFILES["Food"].activity(12.5)
+        assert model.activity("Pizza Place", 12.5) == pytest.approx(expected)
+
+    def test_nightlife_peaks_at_night(self, tax):
+        model = ActivityModel.diurnal(tax)
+        assert model.activity("Bar", 22.0) > model.activity("Bar", 9.0)
+
+    def test_food_peaks_at_lunch(self, tax):
+        model = ActivityModel.diurnal(tax)
+        assert (
+            model.activity("Ramen Restaurant", 12.5)
+            > model.activity("Ramen Restaurant", 16.0)
+        )
+
+    def test_explicit_override_wins(self, tax):
+        constant = ActivityProfile(peaks=(), floor=0.42)
+        model = ActivityModel(tax, profiles={"Pizza Place": constant})
+        assert model.activity("Pizza Place", 12.0) == pytest.approx(0.42)
+
+    def test_activity_vector_order_matches_taxonomy(self, tax):
+        model = ActivityModel.diurnal(tax)
+        vector = model.activity_vector(20.0)
+        index = tax.index("Bar")
+        assert vector[index] == pytest.approx(model.activity("Bar", 20.0))
+
+    def test_activity_matrix_shape(self, tax):
+        model = ActivityModel.diurnal(tax)
+        matrix = model.activity_matrix([0.0, 12.0, 18.0])
+        assert matrix.shape == (3, len(tax))

@@ -1,0 +1,155 @@
+"""Tests for the Eq. 4 utility models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.entities import AdType, Customer, Vendor
+from repro.taxonomy.foursquare import foursquare_taxonomy
+from repro.taxonomy.interest import interest_vector, vendor_vector
+from repro.utility.activity import ActivityModel
+from repro.utility.model import (
+    MIN_DISTANCE,
+    TabularUtilityModel,
+    TaxonomyUtilityModel,
+)
+
+AD = AdType(type_id=0, name="x", cost=2.0, effectiveness=0.4)
+
+
+def make_customer(interests=None, location=(0.0, 0.0), p=0.5, hour=12.0):
+    return Customer(
+        customer_id=0, location=location, capacity=2, view_probability=p,
+        interests=interests, arrival_time=hour,
+    )
+
+
+def make_vendor(tags=None, location=(0.3, 0.4)):
+    return Vendor(
+        vendor_id=0, location=location, radius=1.0, budget=5.0, tags=tags
+    )
+
+
+class TestTabularModel:
+    def test_eq4_with_table_distance(self):
+        model = TabularUtilityModel(
+            preferences={(0, 0): 0.9}, distances={(0, 0): 7.5}
+        )
+        c = make_customer(p=0.15)
+        v = make_vendor()
+        assert model.utility(c, v, AD) == pytest.approx(
+            0.15 * 0.4 * 0.9 / 7.5
+        )
+
+    def test_falls_back_to_geometric_distance(self):
+        model = TabularUtilityModel(preferences={(0, 0): 1.0})
+        c = make_customer(p=1.0)
+        v = make_vendor(location=(0.3, 0.4))  # distance 0.5
+        assert model.utility(c, v, AD) == pytest.approx(0.4 / 0.5)
+
+    def test_missing_pair_uses_default_preference(self):
+        model = TabularUtilityModel(preferences={}, default_preference=0.0)
+        assert model.utility(make_customer(), make_vendor(), AD) == 0.0
+
+    def test_min_distance_clamp(self):
+        model = TabularUtilityModel(
+            preferences={(0, 0): 1.0}, distances={(0, 0): 0.0}
+        )
+        c = make_customer(p=1.0)
+        utility = model.utility(c, make_vendor(), AD)
+        assert np.isfinite(utility)
+        assert utility == pytest.approx(0.4 / MIN_DISTANCE)
+
+    def test_efficiency(self):
+        model = TabularUtilityModel(
+            preferences={(0, 0): 0.5}, distances={(0, 0): 1.0}
+        )
+        c = make_customer(p=1.0)
+        v = make_vendor()
+        assert model.efficiency(c, v, AD) == pytest.approx(
+            model.utility(c, v, AD) / AD.cost
+        )
+
+
+class TestTaxonomyModel:
+    @pytest.fixture
+    def tax(self):
+        return foursquare_taxonomy()
+
+    @pytest.fixture
+    def model(self, tax):
+        return TaxonomyUtilityModel(ActivityModel.uniform(tax))
+
+    def test_matching_interests_give_positive_utility(self, tax, model):
+        interests = interest_vector(tax, {"Pizza Place": 5})
+        tags = vendor_vector(tax, "Pizza Place")
+        c = make_customer(interests=interests)
+        v = make_vendor(tags=tags)
+        assert model.utility(c, v, AD) > 0
+
+    def test_mismatched_interests_give_zero_utility(self, tax, model):
+        interests = interest_vector(tax, {"Pizza Place": 5})
+        tags = vendor_vector(tax, "Ski Area")
+        c = make_customer(interests=interests)
+        v = make_vendor(tags=tags)
+        assert model.utility(c, v, AD) == pytest.approx(0.0, abs=1e-6)
+
+    def test_requires_vectors(self, model):
+        with pytest.raises(ValueError):
+            model.utility(make_customer(), make_vendor(tags=None), AD)
+
+    def test_closer_customer_higher_utility(self, tax, model):
+        interests = interest_vector(tax, {"Pizza Place": 5})
+        tags = vendor_vector(tax, "Pizza Place")
+        near = Customer(
+            customer_id=1, location=(0.29, 0.4), capacity=1,
+            view_probability=0.5, interests=interests,
+        )
+        far = Customer(
+            customer_id=2, location=(0.0, 0.0), capacity=1,
+            view_probability=0.5, interests=interests,
+        )
+        v = make_vendor(tags=tags)
+        assert model.utility(near, v, AD) > model.utility(far, v, AD)
+
+    def test_pair_base_is_cached(self, tax):
+        calls = []
+
+        class CountingActivity(ActivityModel):
+            def activity_vector(self, hour):
+                calls.append(hour)
+                return super().activity_vector(hour)
+
+        model = TaxonomyUtilityModel(CountingActivity(tax))
+        interests = interest_vector(tax, {"Pizza Place": 5})
+        tags = vendor_vector(tax, "Pizza Place")
+        c = make_customer(interests=interests)
+        v = make_vendor(tags=tags)
+        model.utility(c, v, AD)
+        first = len(calls)
+        model.utility(c, v, AD)
+        assert len(calls) == first  # pair base and weights both cached
+
+    def test_diurnal_activity_changes_preference(self, tax):
+        model = TaxonomyUtilityModel(ActivityModel.diurnal(tax))
+        interests = interest_vector(tax, {"Bar": 3, "Coffee Shop": 3})
+        tags = vendor_vector(tax, "Bar")
+        night = Customer(
+            customer_id=1, location=(0.0, 0.0), capacity=1,
+            view_probability=0.5, interests=interests, arrival_time=22.0,
+        )
+        morning = Customer(
+            customer_id=2, location=(0.0, 0.0), capacity=1,
+            view_probability=0.5, interests=interests, arrival_time=8.0,
+        )
+        v = make_vendor(tags=tags)
+        # At night the Bar tag is highly active, so the bar vendor's
+        # correlation with this bar-liking customer is weighted up.
+        assert model.preference(night, v) != model.preference(morning, v)
+
+    def test_invalid_time_resolution(self, tax):
+        with pytest.raises(ValueError):
+            TaxonomyUtilityModel(
+                ActivityModel.uniform(tax), time_resolution_hours=0.0
+            )
