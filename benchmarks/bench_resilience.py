@@ -1,0 +1,122 @@
+"""Utility retention under injected faults (the resilience benchmark).
+
+Sweeps the transient-fault rate from 0% to 50% on a fixed seeded
+workload and measures how much of the fault-free O-AFA utility the
+resilient broker retains, with retries and the graceful-degradation
+chain doing the absorbing.  The headline requirement: at a 10%
+transient-fault rate, retries keep retained utility at >= 90% of the
+fault-free run on the same seed.
+
+Everything runs on the simulated clock, so the sweep is deterministic
+and the printed table is stable across machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.online_static import OnlineStaticThreshold
+from repro.core.validation import validate_assignment
+from repro.datagen.tabular import random_tabular_problem
+from repro.resilience.broker import ResilientBroker
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RetryPolicy
+
+SEED = 20
+FAULT_RATES = (0.0, 0.05, 0.10, 0.20, 0.35, 0.50)
+
+
+def build_problem():
+    return random_tabular_problem(
+        seed=SEED, n_customers=120, n_vendors=10, budget=(3.0, 8.0)
+    )
+
+
+def run_at(problem, rate: float, retries: bool = True):
+    plan = FaultPlan.uniform(
+        seed=SEED,
+        transient_rate=rate,
+        latency_spike_rate=rate / 2,
+        latency_spike_seconds=0.01,
+        duplicate_rate=rate / 2,
+    )
+    retry = (
+        RetryPolicy(max_attempts=4, jitter=0.1)
+        if retries
+        else RetryPolicy(max_attempts=1)
+    )
+    broker = ResilientBroker(
+        problem,
+        plan=plan,
+        primary=OnlineStaticThreshold(0.0),
+        retry=retry,
+    )
+    return broker.run()
+
+
+def test_utility_retention_vs_fault_rate(benchmark):
+    problem = build_problem()
+    baseline = run_at(problem, 0.0)
+    assert baseline.resilience.total_faults == 0
+
+    def sweep():
+        return {rate: run_at(problem, rate) for rate in FAULT_RATES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        f"[resilience] {'rate':>6} {'utility':>9} {'retention':>9} "
+        f"{'degraded':>8} {'retries':>7} {'dup_supp':>8}"
+    )
+    for rate, result in results.items():
+        stats = result.resilience
+        retention = result.total_utility / baseline.total_utility
+        print(
+            f"[resilience] {rate:6.0%} {result.total_utility:9.3f} "
+            f"{retention:9.1%} {stats.degraded_decisions:8d} "
+            f"{stats.retries:7d} {stats.duplicates_suppressed:8d}"
+        )
+        assert validate_assignment(problem, result.assignment).ok
+
+    retention_10 = (
+        results[0.10].total_utility / baseline.total_utility
+    )
+    benchmark.extra_info["retention_at_10pct"] = retention_10
+    # The acceptance bar: retries absorb a 10% transient-fault rate
+    # with at least 90% of the fault-free utility retained.
+    assert retention_10 >= 0.90
+
+
+def test_retries_earn_their_keep(benchmark):
+    """Ablation: the same 20% fault rate with and without retries."""
+    problem = build_problem()
+    baseline = run_at(problem, 0.0)
+
+    def ablation():
+        return (
+            run_at(problem, 0.20, retries=True),
+            run_at(problem, 0.20, retries=False),
+        )
+
+    with_retries, without_retries = benchmark.pedantic(
+        ablation, rounds=1, iterations=1
+    )
+    r_with = with_retries.total_utility / baseline.total_utility
+    r_without = without_retries.total_utility / baseline.total_utility
+    print(
+        f"\n[resilience] 20% faults: retention {r_with:.1%} with retries "
+        f"vs {r_without:.1%} without "
+        f"(degraded {with_retries.resilience.degraded_decisions} vs "
+        f"{without_retries.resilience.degraded_decisions})"
+    )
+    benchmark.extra_info["retention_with_retries"] = r_with
+    benchmark.extra_info["retention_without_retries"] = r_without
+    # Retries must reduce degradation pressure.  (Raw utility is NOT a
+    # monotone function of faults -- an early degraded decision can
+    # leave budget for a later, better customer -- so the honest claim
+    # is about degraded traffic plus a retention floor.)
+    assert (
+        with_retries.resilience.degraded_decisions
+        <= without_retries.resilience.degraded_decisions
+    )
+    assert r_with >= 0.90

@@ -51,6 +51,7 @@ from repro.datagen import (
     synthetic_problem,
 )
 from repro.experiments import run_panel, run_sweep
+from repro.resilience import FaultPlan, ResilientBroker, SimulatedClock
 from repro.stream import OnlineSimulator
 from repro.taxonomy import Taxonomy, foursquare_taxonomy
 from repro.utility import TabularUtilityModel, TaxonomyUtilityModel
@@ -82,6 +83,9 @@ __all__ = [
     "synthetic_problem",
     "run_panel",
     "run_sweep",
+    "FaultPlan",
+    "ResilientBroker",
+    "SimulatedClock",
     "OnlineSimulator",
     "Taxonomy",
     "foursquare_taxonomy",

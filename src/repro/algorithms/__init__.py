@@ -15,6 +15,7 @@ from repro.algorithms.calibration import (
     estimate_gamma_bounds,
     observed_efficiencies,
 )
+from repro.algorithms.fallback import FallbackChain, FallbackTier
 from repro.algorithms.greedy import GreedyEfficiency
 from repro.algorithms.lp_rounding import LPRounding
 from repro.algorithms.nearest import NearestVendor
@@ -42,6 +43,8 @@ __all__ = [
     "full_lp_bound",
     "vendor_lp_bound",
     "LPRounding",
+    "FallbackChain",
+    "FallbackTier",
     "GammaBounds",
     "calibrate_from_problem",
     "choose_g",

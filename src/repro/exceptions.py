@@ -44,5 +44,36 @@ class TaxonomyError(ReproError):
     """The tag taxonomy is malformed (cycles, unknown tags, ...)."""
 
 
+class ResilienceError(ReproError):
+    """Base class for serving-layer failures the broker can survive.
+
+    These are the errors the :mod:`repro.resilience` policies are built
+    around: they signal *operational* trouble (a dependency hiccup, a
+    tripped breaker, a blown deadline) rather than a modelling or
+    feasibility bug, so the fallback chain may catch them wholesale.
+    """
+
+
+class TransientError(ResilienceError):
+    """A dependency call failed in a retriable way.
+
+    Models timeouts, dropped connections and other faults where the
+    same call is expected to succeed if repeated; retry policies treat
+    exactly this type (and its subclasses) as retriable.
+    """
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was refused because the dependency's circuit breaker is open.
+
+    Raised without attempting the underlying call; callers should fall
+    back to a degraded mode instead of retrying immediately.
+    """
+
+
+class DeadlineExceededError(ResilienceError):
+    """A call (or decision) took longer than its configured deadline."""
+
+
 class DataFormatError(ReproError):
     """An external data file does not match the expected schema."""

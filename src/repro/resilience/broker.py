@@ -1,0 +1,422 @@
+"""The resilient online broker: O-AFA serving that survives its
+dependencies.
+
+:class:`ResilientBroker` is the hardened counterpart of
+:class:`~repro.stream.simulator.OnlineSimulator`.  It drives the same
+customer-at-a-time protocol, but every dependency of the decision path
+is wrapped:
+
+* the **utility model** and **spatial index** calls go through a
+  :class:`~repro.resilience.policy.DependencyGuard` (retry with
+  deterministic-jitter backoff, per-call timeout, circuit breaker) on
+  top of seeded fault injection;
+* decisions flow through a graceful-degradation
+  :class:`~repro.algorithms.fallback.FallbackChain`
+  (O-AFA -> static-threshold O-AFA -> nearest-vendor), so an open
+  breaker degrades quality instead of availability;
+* the **commit path** is idempotent: a delivery re-attempt caused by a
+  lost acknowledgement is recognised and suppressed, so a vendor's
+  budget is never charged twice for one ad.
+
+The broker never raises out of :meth:`ResilientBroker.run`: when every
+tier fails for a customer, that decision is abandoned (counted) and the
+stream continues.  All counters land in
+:class:`~repro.stream.simulator.ResilienceStats` on the returned
+:class:`~repro.stream.simulator.StreamResult`.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.base import OnlineAlgorithm
+from repro.algorithms.calibration import calibrate_from_problem
+from repro.algorithms.fallback import FallbackChain, FallbackTier
+from repro.algorithms.nearest import NearestVendor
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.algorithms.online_static import OnlineStaticThreshold
+from repro.core.assignment import AdInstance, Assignment
+from repro.core.entities import AdType, Customer, Vendor
+from repro.core.problem import MUAAProblem
+from repro.exceptions import ResilienceError, TransientError
+from repro.resilience.clock import SimulatedClock
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyUtilityModel,
+    perturb_arrivals,
+)
+from repro.resilience.policy import (
+    CircuitBreaker,
+    DependencyGuard,
+    RetryPolicy,
+)
+from repro.stream.arrivals import by_arrival_time
+from repro.stream.simulator import ResilienceStats, StreamResult
+from repro.utility.model import DelegatingUtilityModel, UtilityModel
+
+logger = logging.getLogger(__name__)
+
+#: Commit outcomes of :meth:`ResilientBroker._commit`.
+_COMMITTED, _INFEASIBLE, _FAILED = "committed", "infeasible", "failed"
+
+
+class GuardedUtilityModel(DelegatingUtilityModel):
+    """A utility model whose every evaluation runs under a guard.
+
+    The inner model is typically a
+    :class:`~repro.resilience.faults.FaultyUtilityModel`; the guard
+    supplies retry/backoff, timeout, and circuit breaking, so transient
+    utility-service faults are absorbed here and only persistent
+    outages surface to the fallback chain.
+    """
+
+    def __init__(self, inner: UtilityModel, guard: DependencyGuard) -> None:
+        super().__init__(inner)
+        self._guard = guard
+
+    def pair_base(self, customer: Customer, vendor: Vendor) -> float:
+        return self._guard.call(lambda: self.inner.pair_base(customer, vendor))
+
+    def utility(
+        self, customer: Customer, vendor: Vendor, ad_type: AdType
+    ) -> float:
+        if self.inner.type_sensitive:
+            return self._guard.call(
+                lambda: self.inner.utility(customer, vendor, ad_type)
+            )
+        return self.pair_base(customer, vendor) * ad_type.effectiveness
+
+
+class GuardedProblem(MUAAProblem):
+    """A problem view whose remote-ish dependencies are guarded.
+
+    Shares the base problem's entities and budgets but substitutes a
+    guarded utility model and routes vendor-side range queries (the
+    online algorithms' spatial dependency) through fault injection and
+    a dependency guard.  Values are never altered, so anything decided
+    against this view validates against the pristine problem.
+    """
+
+    def __init__(
+        self,
+        base: MUAAProblem,
+        utility_model: UtilityModel,
+        injector: FaultInjector,
+        spatial_guard: Optional[DependencyGuard] = None,
+    ) -> None:
+        super().__init__(
+            customers=base.customers,
+            vendors=base.vendors,
+            ad_types=base.ad_types,
+            utility_model=utility_model,
+            pair_validator=base._pair_validator,
+            spatial_backend=base._spatial_backend,
+        )
+        self._injector = injector
+        self._spatial_guard = spatial_guard
+
+    def valid_vendor_ids(self, customer: Customer) -> List[int]:
+        def attempt() -> List[int]:
+            self._injector.before_call("spatial")
+            return MUAAProblem.valid_vendor_ids(self, customer)
+
+        if self._spatial_guard is None:
+            return attempt()
+        return self._spatial_guard.call(attempt)
+
+
+class ResilientBroker:
+    """Fault-tolerant online serving over one MUAA instance.
+
+    Args:
+        problem: The pristine MUAA instance (ground truth for budgets,
+            utilities, and validation).
+        plan: Seeded fault plan; ``None`` injects nothing (the broker
+            then behaves like the plain simulator plus bookkeeping).
+        primary: Primary decision algorithm; defaults to O-AFA with
+            thresholds calibrated from the pristine instance.
+        chain: Full custom fallback chain, overriding ``primary`` and
+            the default tiers.  The default chain is
+            primary -> static-threshold O-AFA -> nearest-vendor, with
+            the last tier reading the pristine problem directly (it is
+            the dependency-free local mode).
+        clock: Clock driving backoff, breakers, timeouts, and latency
+            accounting.  Defaults to a fresh
+            :class:`~repro.resilience.clock.SimulatedClock` -- the
+            broker is first a chaos harness, and a simulated clock
+            makes every run deterministic.  Pass
+            :class:`~repro.resilience.clock.SystemClock` for wall-clock
+            serving.
+        retry: Retry/backoff policy shared by all guards.
+        breaker_failure_threshold: Consecutive failures tripping a
+            dependency's breaker.
+        breaker_recovery_timeout: Open-state cool-down (seconds on the
+            injected clock).
+        call_timeout: Optional per-dependency-call budget in seconds.
+        decision_deadline: Optional per-customer decision deadline;
+            like the simulator's, late decisions lose the customer.
+    """
+
+    def __init__(
+        self,
+        problem: MUAAProblem,
+        plan: Optional[FaultPlan] = None,
+        primary: Optional[OnlineAlgorithm] = None,
+        chain: Optional[Sequence[FallbackTier]] = None,
+        clock=None,
+        retry: Optional[RetryPolicy] = None,
+        breaker_failure_threshold: int = 5,
+        breaker_recovery_timeout: float = 5.0,
+        call_timeout: Optional[float] = None,
+        decision_deadline: Optional[float] = None,
+    ) -> None:
+        self._problem = problem
+        self._plan = plan if plan is not None else FaultPlan()
+        self._primary = primary
+        self._chain_spec = list(chain) if chain is not None else None
+        self._clock = clock if clock is not None else SimulatedClock()
+        self._retry = retry or RetryPolicy()
+        self._breaker_failure_threshold = breaker_failure_threshold
+        self._breaker_recovery_timeout = breaker_recovery_timeout
+        self._call_timeout = call_timeout
+        self._decision_deadline = decision_deadline
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _default_primary(self) -> OnlineAlgorithm:
+        try:
+            bounds = calibrate_from_problem(self._problem, seed=self._plan.seed)
+        except ValueError:
+            logger.warning(
+                "calibration found no positive efficiencies; "
+                "using a static-threshold primary"
+            )
+            return OnlineStaticThreshold(0.0)
+        return OnlineAdaptiveFactorAware(
+            gamma_min=bounds.gamma_min, g=bounds.g
+        )
+
+    def _build_chain(self) -> FallbackChain:
+        if self._chain_spec is not None:
+            return FallbackChain(self._chain_spec)
+        primary = self._primary or self._default_primary()
+        return FallbackChain(
+            [
+                FallbackTier(primary),
+                FallbackTier(OnlineStaticThreshold(0.0)),
+                # Last resort: utility-oblivious local mode on the
+                # pristine problem -- it needs no remote dependency, so
+                # it stays available whatever the fault plan does.
+                FallbackTier(NearestVendor(), problem=self._problem),
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def run(
+        self, arrivals: Optional[Sequence[Customer]] = None
+    ) -> StreamResult:
+        """Serve one full stream under the configured fault plan.
+
+        Never raises for any seeded fault plan: per-customer failures
+        degrade or abandon that decision and the stream continues.
+
+        Returns:
+            A :class:`StreamResult` whose ``resilience`` field carries
+            the full fault/retry/breaker accounting.
+        """
+        problem, plan, clock = self._problem, self._plan, self._clock
+        stats = ResilienceStats()
+        injector = FaultInjector(plan, clock)
+        jitter_rng = random.Random(f"{plan.seed}:jitter")
+        breakers = {
+            name: CircuitBreaker(
+                name,
+                clock,
+                failure_threshold=self._breaker_failure_threshold,
+                recovery_timeout=self._breaker_recovery_timeout,
+            )
+            for name in ("utility", "spatial")
+        }
+        utility_guard = DependencyGuard(
+            "utility",
+            clock,
+            retry=self._retry,
+            breaker=breakers["utility"],
+            timeout=self._call_timeout,
+            rng=jitter_rng,
+        )
+        spatial_guard = DependencyGuard(
+            "spatial",
+            clock,
+            retry=self._retry,
+            breaker=breakers["spatial"],
+            timeout=self._call_timeout,
+            rng=jitter_rng,
+        )
+        guarded_model = GuardedUtilityModel(
+            FaultyUtilityModel(problem.utility_model, injector), utility_guard
+        )
+        guarded_problem = GuardedProblem(
+            problem, guarded_model, injector, spatial_guard
+        )
+        chain = self._build_chain()
+        chain.reset(guarded_problem)
+
+        if arrivals is None:
+            arrivals = by_arrival_time(problem.customers)
+        arrivals, dropped, reordered = perturb_arrivals(arrivals, plan)
+        stats.arrivals_dropped = dropped
+        stats.arrivals_reordered = reordered
+
+        assignment = problem.new_assignment()
+        result = StreamResult(assignment=assignment, resilience=stats)
+        seen = set()
+        guards = (utility_guard, spatial_guard)
+        for customer in arrivals:
+            seen.add(customer.customer_id)
+            faults_before = injector.total_faults
+            retries_before = sum(g.retries for g in guards)
+            start = clock()
+            tier: Optional[int] = None
+            try:
+                picked = chain.process_customer(
+                    guarded_problem, customer, assignment
+                )
+                tier = chain.last_tier_used
+            except ResilienceError as exc:
+                stats.decisions_abandoned += 1
+                picked = []
+                logger.warning(
+                    "every tier failed for customer %d (%s); decision "
+                    "abandoned",
+                    customer.customer_id,
+                    exc,
+                )
+            elapsed = clock() - start
+            result.latencies.append(elapsed)
+            degraded = (
+                tier is None
+                or tier > 0
+                or injector.total_faults > faults_before
+                or sum(g.retries for g in guards) > retries_before
+            )
+            (stats.degraded_latencies if degraded else stats.clean_latencies
+             ).append(elapsed)
+            if (
+                self._decision_deadline is not None
+                and elapsed > self._decision_deadline
+            ):
+                result.customers_lost += 1
+                logger.info(
+                    "customer %d lost: decision took %.4fs (deadline %.4fs)",
+                    customer.customer_id,
+                    elapsed,
+                    self._decision_deadline,
+                )
+                continue
+            for instance in picked:
+                if instance.customer_id not in seen:
+                    result.rejected_instances += 1
+                    continue
+                outcome = self._commit(
+                    instance, assignment, injector, stats, jitter_rng
+                )
+                if outcome == _INFEASIBLE:
+                    result.rejected_instances += 1
+                elif outcome == _FAILED:
+                    stats.deliveries_failed += 1
+
+        stats.retries += sum(g.retries for g in guards)
+        stats.timeouts = sum(g.timeouts for g in guards)
+        stats.faults_injected = {
+            f"{dep}:{kind}": count
+            for (dep, kind), count in sorted(injector.counts.items())
+        }
+        transitions = [
+            (name, when, from_state.value, to_state.value)
+            for name, breaker in breakers.items()
+            for when, from_state, to_state in breaker.transitions
+        ]
+        transitions.sort(key=lambda item: item[1])
+        stats.breaker_transitions = transitions
+        stats.degraded_decisions = (
+            chain.degraded_decisions + stats.decisions_abandoned
+        )
+        stats.decisions_by_tier = {
+            chain.tiers[i].name: count
+            for i, count in enumerate(chain.decisions_by_tier)
+            if count
+        }
+        logger.info(
+            "stream served: %d ads, %d degraded decisions, %d retries, "
+            "%d breaker transitions, %d duplicates suppressed",
+            len(assignment),
+            stats.degraded_decisions,
+            stats.retries,
+            len(stats.breaker_transitions),
+            stats.duplicates_suppressed,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Idempotent commit path
+    # ------------------------------------------------------------------
+    def _commit(
+        self,
+        instance: AdInstance,
+        assignment: Assignment,
+        injector: FaultInjector,
+        stats: ResilienceStats,
+        rng: random.Random,
+    ) -> str:
+        """Commit one delivery with retries and duplicate suppression.
+
+        The commit itself is local and atomic; what the fault plan can
+        break is the *round trip* -- a transient before the commit, or a
+        lost acknowledgement after it.  The retry loop is idempotent:
+        a re-attempt that finds the identical instance already
+        committed counts as a suppressed duplicate, never as a second
+        budget charge.
+        """
+        for attempt in range(self._retry.max_attempts):
+            try:
+                injector.before_call("commit")
+            except TransientError:
+                if attempt + 1 >= self._retry.max_attempts:
+                    logger.warning(
+                        "delivery of %s failed after %d attempts",
+                        instance,
+                        attempt + 1,
+                    )
+                    return _FAILED
+                stats.retries += 1
+                self._clock.sleep(self._retry.backoff(attempt, rng))
+                continue
+            existing = assignment.instance_for_pair(
+                instance.customer_id, instance.vendor_id
+            )
+            if existing is not None:
+                if existing == instance:
+                    # A previous attempt committed but its ack was
+                    # lost; recognise and suppress the duplicate.
+                    stats.duplicates_suppressed += 1
+                    logger.debug("suppressed duplicate delivery %s", instance)
+                    return _COMMITTED
+                return _INFEASIBLE
+            if not assignment.add(instance, strict=False):
+                return _INFEASIBLE
+            if injector.ack_lost():
+                # Committed, but the broker does not know -- re-attempt
+                # as a real at-least-once delivery pipeline would.
+                stats.retries += 1
+                continue
+            return _COMMITTED
+        # Attempts exhausted with the ack still lost: the ad *was*
+        # delivered exactly once; only our confirmation is missing.
+        return _COMMITTED

@@ -1,0 +1,72 @@
+"""Injectable clocks for the resilient serving layer.
+
+Every time-dependent piece of the resilience machinery (retry backoff,
+circuit-breaker recovery, per-call timeouts, decision deadlines) reads
+time through one of these clocks instead of the ``time`` module, so
+tests and chaos runs are fully deterministic: a
+:class:`SimulatedClock` only moves when something *advances* it, and
+"sleeping" on it is instantaneous in wall-clock terms.
+
+Both clocks are callables returning monotonic seconds, so anything that
+accepts ``time.perf_counter`` (e.g.
+:class:`~repro.stream.simulator.OnlineSimulator`) accepts them too.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SystemClock:
+    """Wall-clock time: ``now()`` is ``time.perf_counter`` and ``sleep``
+    really sleeps.  The production default."""
+
+    def now(self) -> float:
+        """Monotonic wall-clock seconds."""
+        return time.perf_counter()
+
+    def __call__(self) -> float:
+        return self.now()
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` of real time."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class SimulatedClock:
+    """A manually advanced clock for deterministic tests and chaos runs.
+
+    Args:
+        start: Initial reading in seconds.
+
+    The clock never moves on its own: :meth:`advance` (or :meth:`sleep`,
+    which is an alias used by backoff code) pushes it forward, so a
+    test asserting on retry timing or breaker recovery never has to
+    actually wait.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """The current simulated reading in seconds."""
+        return self._now
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward; negative advances are rejected.
+
+        Raises:
+            ValueError: If ``seconds`` is negative (time is monotonic).
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock by {seconds}")
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Advance instead of sleeping (instantaneous in real time)."""
+        if seconds > 0:
+            self.advance(seconds)

@@ -1,0 +1,259 @@
+"""Deterministic, seeded fault injection for the serving layer.
+
+The online model of Section IV assumes the utility model, the spatial
+index and the assignment commit path all answer instantly and exactly
+once.  A production broker gets none of that: dependencies throw,
+lookups stall, acks get lost (so deliveries are retried and may
+duplicate), and arrival streams are lossy and reordered.  This module
+simulates all of those failure modes *deterministically*: a
+:class:`FaultPlan` plus its seed fully determines every fault, so a
+chaos run is exactly reproducible and every assertion about broker
+behaviour under faults is stable in CI.
+
+Fault decisions are drawn from independent per-dependency RNG streams
+(seeded as ``"<seed>:<dependency>"``), so changing e.g. the commit
+duplicate rate never shifts which utility calls fail.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.entities import AdType, Customer, Vendor
+from repro.exceptions import TransientError
+from repro.utility.model import DelegatingUtilityModel, UtilityModel
+
+logger = logging.getLogger(__name__)
+
+#: Dependency names the injector knows about; the broker guards each.
+DEPENDENCIES = ("utility", "spatial", "commit")
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability, got {value}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Failure modes of one dependency.
+
+    Attributes:
+        transient_rate: Probability a call raises
+            :class:`~repro.exceptions.TransientError` instead of
+            answering.
+        latency_spike_rate: Probability a call stalls (the injected
+            clock is advanced by ``latency_spike_seconds``) before
+            answering.
+        latency_spike_seconds: Size of one stall.
+        duplicate_rate: Commit path only -- probability the *ack* of a
+            successful commit is lost, so the caller believes the
+            delivery failed and retries it (the classic source of
+            duplicate deliveries and double-charging).
+    """
+
+    transient_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_seconds: float = 0.0
+    duplicate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("transient_rate", self.transient_rate)
+        _check_rate("latency_spike_rate", self.latency_spike_rate)
+        _check_rate("duplicate_rate", self.duplicate_rate)
+        if self.latency_spike_seconds < 0:
+            raise ValueError("latency_spike_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of what goes wrong in one run.
+
+    Attributes:
+        seed: Determines every fault draw (together with the rates).
+        utility: Fault spec of the utility-model dependency.
+        spatial: Fault spec of the spatial-index dependency.
+        commit: Fault spec of the assignment commit path.
+        drop_rate: Probability an arriving customer is lost before the
+            broker ever sees them (network drop upstream).
+        reorder_rate: Probability an arriving customer is delayed and
+            delivered a few positions late (out-of-order arrival).
+    """
+
+    seed: int = 0
+    utility: FaultSpec = field(default_factory=FaultSpec)
+    spatial: FaultSpec = field(default_factory=FaultSpec)
+    commit: FaultSpec = field(default_factory=FaultSpec)
+    drop_rate: float = 0.0
+    reorder_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("drop_rate", self.drop_rate)
+        _check_rate("reorder_rate", self.reorder_rate)
+
+    @classmethod
+    def uniform(
+        cls,
+        seed: int,
+        transient_rate: float,
+        latency_spike_rate: float = 0.0,
+        latency_spike_seconds: float = 0.0,
+        duplicate_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+    ) -> "FaultPlan":
+        """A plan applying the same fault spec to every dependency."""
+        spec = FaultSpec(
+            transient_rate=transient_rate,
+            latency_spike_rate=latency_spike_rate,
+            latency_spike_seconds=latency_spike_seconds,
+        )
+        return cls(
+            seed=seed,
+            utility=spec,
+            spatial=spec,
+            commit=replace(spec, duplicate_rate=duplicate_rate),
+            drop_rate=drop_rate,
+            reorder_rate=reorder_rate,
+        )
+
+    def spec_for(self, dependency: str) -> FaultSpec:
+        """The fault spec of one named dependency.
+
+        Raises:
+            KeyError: For unknown dependency names.
+        """
+        if dependency not in DEPENDENCIES:
+            raise KeyError(f"unknown dependency {dependency!r}")
+        return getattr(self, dependency)
+
+
+class FaultInjector:
+    """Draws faults from a plan, one independent stream per dependency.
+
+    Args:
+        plan: The seeded fault plan.
+        clock: Optional clock with an ``advance`` method; latency
+            spikes advance it (a :class:`SimulatedClock`).  Without a
+            clock, spikes are counted but cost no time.
+    """
+
+    def __init__(self, plan: FaultPlan, clock=None) -> None:
+        self.plan = plan
+        self._clock = clock
+        # Seeding with a string keys the stream off (seed, dependency)
+        # stably across runs and Python versions.
+        self._rngs: Dict[str, random.Random] = {
+            dep: random.Random(f"{plan.seed}:{dep}") for dep in DEPENDENCIES
+        }
+        #: ``(dependency, kind)`` -> number of injected faults.
+        self.counts: Dict[Tuple[str, str], int] = {}
+
+    def _record(self, dependency: str, kind: str) -> None:
+        key = (dependency, kind)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    @property
+    def total_faults(self) -> int:
+        """Total faults injected so far, all kinds and dependencies."""
+        return sum(self.counts.values())
+
+    def before_call(self, dependency: str) -> None:
+        """Fault gate in front of one dependency call.
+
+        May advance the clock (latency spike) and/or raise
+        :class:`TransientError`; called once per *attempt*, so retries
+        re-roll the dice -- exactly like re-issuing a real RPC.
+        """
+        spec = self.plan.spec_for(dependency)
+        rng = self._rngs[dependency]
+        if spec.latency_spike_rate and rng.random() < spec.latency_spike_rate:
+            self._record(dependency, "latency_spike")
+            if self._clock is not None and hasattr(self._clock, "advance"):
+                self._clock.advance(spec.latency_spike_seconds)
+        if spec.transient_rate and rng.random() < spec.transient_rate:
+            self._record(dependency, "transient")
+            logger.debug("injected transient fault on %s", dependency)
+            raise TransientError(f"injected transient fault on {dependency}")
+
+    def ack_lost(self) -> bool:
+        """Whether a successful commit's acknowledgement is lost.
+
+        A lost ack makes the broker re-attempt the delivery; an
+        idempotent commit path must suppress the duplicate rather than
+        double-charge the vendor.
+        """
+        spec = self.plan.commit
+        if spec.duplicate_rate and self._rngs["commit"].random() < spec.duplicate_rate:
+            self._record("commit", "ack_lost")
+            logger.debug("injected lost commit ack (duplicate delivery)")
+            return True
+        return False
+
+
+class FaultyUtilityModel(DelegatingUtilityModel):
+    """A utility model whose calls pass through a fault injector.
+
+    Values are never corrupted -- the model either answers exactly or
+    fails loudly -- so any assignment actually committed remains
+    consistent with the pristine model (and passes
+    :func:`~repro.core.validation.validate_assignment`).
+    """
+
+    def __init__(self, inner: UtilityModel, injector: FaultInjector) -> None:
+        super().__init__(inner)
+        self._injector = injector
+
+    def pair_base(self, customer: Customer, vendor: Vendor) -> float:
+        self._injector.before_call("utility")
+        return self.inner.pair_base(customer, vendor)
+
+    def utility(
+        self, customer: Customer, vendor: Vendor, ad_type: AdType
+    ) -> float:
+        if self.inner.type_sensitive:
+            self._injector.before_call("utility")
+            return self.inner.utility(customer, vendor, ad_type)
+        # The default path multiplies pair_base (already gated above).
+        return super().utility(customer, vendor, ad_type)
+
+
+def perturb_arrivals(
+    arrivals: Sequence[Customer],
+    plan: FaultPlan,
+    max_delay: int = 3,
+) -> Tuple[List[Customer], int, int]:
+    """Apply the plan's stream-level faults to an arrival sequence.
+
+    Dropped customers vanish; reordered ones are delayed by a uniform
+    1..``max_delay`` positions (bounded out-of-orderness, the common
+    shape of real queueing jitter).  Deterministic in the plan seed.
+
+    Returns:
+        ``(perturbed_arrivals, n_dropped, n_reordered)``.
+    """
+    rng = random.Random(f"{plan.seed}:arrivals")
+    kept: List[Customer] = []
+    dropped = 0
+    delayed: List[Tuple[int, Customer]] = []
+    for position, customer in enumerate(arrivals):
+        if plan.drop_rate and rng.random() < plan.drop_rate:
+            dropped += 1
+            continue
+        if plan.reorder_rate and rng.random() < plan.reorder_rate:
+            delayed.append((position + rng.randint(1, max_delay), customer))
+            continue
+        kept.append(customer)
+    reordered = len(delayed)
+    # Reinsert delayed customers at their (clamped) later positions, in
+    # stable order so the result is reproducible.
+    for target, customer in sorted(delayed, key=lambda item: item[0]):
+        kept.insert(min(target, len(kept)), customer)
+    if dropped or reordered:
+        logger.debug(
+            "perturbed arrivals: %d dropped, %d reordered", dropped, reordered
+        )
+    return kept, dropped, reordered

@@ -4,10 +4,17 @@ from repro.stream.arrivals import adversarial_order, by_arrival_time, random_ord
 from repro.stream.metrics import (
     LatencyProfile,
     budget_utilisation,
+    fault_conditioned_latency,
     latency_profile,
+    resilience_summary,
     utilisation_summary,
 )
-from repro.stream.simulator import OnlineAsOffline, OnlineSimulator, StreamResult
+from repro.stream.simulator import (
+    OnlineAsOffline,
+    OnlineSimulator,
+    ResilienceStats,
+    StreamResult,
+)
 
 __all__ = [
     "adversarial_order",
@@ -15,9 +22,12 @@ __all__ = [
     "random_order",
     "LatencyProfile",
     "budget_utilisation",
+    "fault_conditioned_latency",
     "latency_profile",
+    "resilience_summary",
     "utilisation_summary",
     "OnlineAsOffline",
     "OnlineSimulator",
+    "ResilienceStats",
     "StreamResult",
 ]

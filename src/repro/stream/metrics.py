@@ -8,7 +8,7 @@ inactive in seconds" deadline) and how evenly vendor budgets burn.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -35,15 +35,8 @@ class LatencyProfile:
     worst: float
 
 
-def latency_profile(result: StreamResult) -> LatencyProfile:
-    """Percentile summary of the recorded per-customer latencies.
-
-    Raises:
-        ValueError: If the stream recorded no latencies.
-    """
-    if not result.latencies:
-        raise ValueError("stream recorded no latencies")
-    values = np.array(result.latencies)
+def _profile_of(latencies: Sequence[float]) -> LatencyProfile:
+    values = np.array(latencies)
     return LatencyProfile(
         mean=float(values.mean()),
         p50=float(np.quantile(values, 0.50)),
@@ -51,6 +44,62 @@ def latency_profile(result: StreamResult) -> LatencyProfile:
         p99=float(np.quantile(values, 0.99)),
         worst=float(values.max()),
     )
+
+
+def latency_profile(result: StreamResult) -> LatencyProfile:
+    """Percentile summary of the recorded per-customer latencies.
+
+    A single-latency stream yields a degenerate profile (every
+    percentile equals that latency).
+
+    Raises:
+        ValueError: If the stream recorded no latencies.
+    """
+    if not result.latencies:
+        raise ValueError("stream recorded no latencies")
+    return _profile_of(result.latencies)
+
+
+def fault_conditioned_latency(
+    result: StreamResult,
+) -> Dict[str, Optional[LatencyProfile]]:
+    """Latency profiles split by whether the decision hit any fault.
+
+    A degraded decision is one that saw at least one injected fault,
+    retry, or fallback; its latency includes every backoff wait, so the
+    degraded profile is the fault-conditioned tail the deadline budget
+    has to absorb.
+
+    Returns:
+        ``{"clean": ..., "degraded": ...}`` with ``None`` for an empty
+        side.
+
+    Raises:
+        ValueError: If the stream has no resilience accounting.
+    """
+    stats = result.resilience
+    if stats is None:
+        raise ValueError("stream has no resilience stats")
+    return {
+        "clean": _profile_of(stats.clean_latencies)
+        if stats.clean_latencies else None,
+        "degraded": _profile_of(stats.degraded_latencies)
+        if stats.degraded_latencies else None,
+    }
+
+
+def resilience_summary(result: StreamResult) -> Dict[str, float]:
+    """Flat counter summary of a resilient stream (for tables/logs).
+
+    Raises:
+        ValueError: If the stream has no resilience accounting.
+    """
+    if result.resilience is None:
+        raise ValueError("stream has no resilience stats")
+    summary = result.resilience.as_extras()
+    summary["customers_lost"] = float(result.customers_lost)
+    summary["rejected_instances"] = float(result.rejected_instances)
+    return summary
 
 
 def budget_utilisation(

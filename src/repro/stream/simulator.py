@@ -6,13 +6,19 @@ budgets consumed so far.  The simulator owns the committed assignment
 (so budgets are authoritative), measures per-customer decision latency,
 and can wrap any online algorithm as an offline one for the shared
 experiment harness.
+
+All timing flows through an injectable clock (any zero-argument
+callable returning monotonic seconds, e.g.
+:class:`repro.resilience.clock.SimulatedClock`); the default remains
+wall-clock ``time.perf_counter``, but with a simulated clock the
+decision-deadline drop path is fully deterministic and testable.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import OfflineAlgorithm, OnlineAlgorithm, SolveResult
 from repro.core.assignment import Assignment
@@ -22,24 +28,105 @@ from repro.stream.arrivals import by_arrival_time
 
 
 @dataclass
+class ResilienceStats:
+    """Operational counters of one resilient (fault-injected) stream.
+
+    Produced by :class:`repro.resilience.broker.ResilientBroker`; plain
+    data so the stream layer stays independent of the resilience
+    machinery.
+
+    Attributes:
+        retries: Dependency-call retries performed (backoff waits).
+        timeouts: Per-call timeout failures observed.
+        faults_injected: ``"dependency:kind"`` -> injected fault count.
+        breaker_transitions: ``(dependency, time, from, to)`` breaker
+            state changes, in order.
+        degraded_decisions: Decisions served by a fallback tier rather
+            than the primary algorithm.
+        decisions_by_tier: Tier name -> decisions served by that tier.
+        decisions_abandoned: Customers for whom every tier failed (the
+            broker served no ads but did not crash).
+        duplicates_suppressed: Delivery re-attempts recognised as
+            already-committed (a lost ack would otherwise have
+            double-charged the vendor).
+        deliveries_failed: Decided instances whose commit failed every
+            attempt (the ad was decided but never delivered).
+        arrivals_dropped: Customers lost upstream of the broker.
+        arrivals_reordered: Customers delivered out of arrival order.
+        clean_latencies: Decision latencies of fault-free decisions.
+        degraded_latencies: Decision latencies of decisions that hit at
+            least one fault, retry, or fallback (the fault-conditioned
+            tail).
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    breaker_transitions: List[Tuple[str, float, str, str]] = field(
+        default_factory=list
+    )
+    degraded_decisions: int = 0
+    decisions_by_tier: Dict[str, int] = field(default_factory=dict)
+    decisions_abandoned: int = 0
+    duplicates_suppressed: int = 0
+    deliveries_failed: int = 0
+    arrivals_dropped: int = 0
+    arrivals_reordered: int = 0
+    clean_latencies: List[float] = field(default_factory=list)
+    degraded_latencies: List[float] = field(default_factory=list)
+
+    @property
+    def breaker_opens(self) -> int:
+        """Number of transitions into the open state."""
+        return sum(
+            1 for _, _, _, to_state in self.breaker_transitions
+            if to_state == "open"
+        )
+
+    @property
+    def total_faults(self) -> int:
+        """Total injected faults across dependencies and kinds."""
+        return sum(self.faults_injected.values())
+
+    def as_extras(self) -> Dict[str, float]:
+        """Flat float counters for :class:`SolveResult` ``extras``."""
+        return {
+            "retries": float(self.retries),
+            "timeouts": float(self.timeouts),
+            "faults_injected": float(self.total_faults),
+            "breaker_transitions": float(len(self.breaker_transitions)),
+            "breaker_opens": float(self.breaker_opens),
+            "degraded_decisions": float(self.degraded_decisions),
+            "decisions_abandoned": float(self.decisions_abandoned),
+            "duplicates_suppressed": float(self.duplicates_suppressed),
+            "deliveries_failed": float(self.deliveries_failed),
+            "arrivals_dropped": float(self.arrivals_dropped),
+            "arrivals_reordered": float(self.arrivals_reordered),
+        }
+
+
+@dataclass
 class StreamResult:
     """Outcome of simulating one customer stream.
 
     Attributes:
         assignment: All committed ad instances.
-        latencies: Per-customer decision wall-clock seconds, in arrival
-            order.
+        latencies: Per-customer decision seconds (on the driving
+            clock), in arrival order.
         rejected_instances: Instances the algorithm returned but the
             simulator refused (infeasible against committed state);
             a correct algorithm keeps this at zero.
         customers_lost: Customers whose decision exceeded the configured
             deadline (they went inactive before the broker answered).
+        resilience: Fault/retry/breaker counters when the stream was
+            driven by the resilient broker; ``None`` for plain runs.
     """
 
     assignment: Assignment
     latencies: List[float] = field(default_factory=list)
     rejected_instances: int = 0
     customers_lost: int = 0
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def total_utility(self) -> float:
@@ -61,10 +148,20 @@ class OnlineSimulator:
         problem: The MUAA instance; its customer list is only used when
             no explicit arrival sequence is supplied (then arrival-time
             order is used).
+        clock: Zero-argument callable returning monotonic seconds,
+            used for latency measurement and deadline enforcement.
+            Defaults to wall-clock ``time.perf_counter``; inject a
+            :class:`repro.resilience.clock.SimulatedClock` for
+            deterministic deadline tests.
     """
 
-    def __init__(self, problem: MUAAProblem) -> None:
+    def __init__(
+        self,
+        problem: MUAAProblem,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self._problem = problem
+        self._clock: Callable[[], float] = clock or time.perf_counter
 
     def run(
         self,
@@ -106,10 +203,10 @@ class OnlineSimulator:
         for customer in arrivals:
             seen.add(customer.customer_id)
             if timed:
-                start = time.perf_counter()
+                start = self._clock()
             picked = algorithm.process_customer(problem, customer, assignment)
             if timed:
-                elapsed = time.perf_counter() - start
+                elapsed = self._clock() - start
                 if measure_latency:
                     result.latencies.append(elapsed)
                 if (
@@ -133,16 +230,33 @@ class OnlineAsOffline(OfflineAlgorithm):
     The shared experiment runner treats every algorithm as offline; this
     adapter streams the customers in arrival-time order and reports the
     simulator's mean per-customer latency (the paper's "CPU time" for
-    online algorithms).
+    online algorithms).  Stream-level diagnostics -- rejected
+    instances, lost customers, and any resilience counters -- are
+    propagated into :attr:`SolveResult.extras`.
+
+    Args:
+        algorithm: The online algorithm to adapt.
+        clock: Optional clock forwarded to the simulator.
+        decision_deadline: Optional decision deadline forwarded to the
+            simulator.
     """
 
-    def __init__(self, algorithm: OnlineAlgorithm) -> None:
+    def __init__(
+        self,
+        algorithm: OnlineAlgorithm,
+        clock: Optional[Callable[[], float]] = None,
+        decision_deadline: Optional[float] = None,
+    ) -> None:
         self._algorithm = algorithm
+        self._clock = clock
+        self._deadline = decision_deadline
         self.name = algorithm.name
         self.last_stream_result: Optional[StreamResult] = None
 
     def solve(self, problem: MUAAProblem) -> Assignment:
-        result = OnlineSimulator(problem).run(self._algorithm)
+        result = OnlineSimulator(problem, clock=self._clock).run(
+            self._algorithm, decision_deadline=self._deadline
+        )
         self.last_stream_result = result
         return result.assignment
 
@@ -152,9 +266,12 @@ class OnlineAsOffline(OfflineAlgorithm):
         elapsed = time.perf_counter() - start
         stream = self.last_stream_result
         per_customer = stream.mean_latency if stream is not None else 0.0
-        extras = {}
+        extras: Dict[str, float] = {}
         if stream is not None:
             extras["rejected_instances"] = float(stream.rejected_instances)
+            extras["customers_lost"] = float(stream.customers_lost)
+            if stream.resilience is not None:
+                extras.update(stream.resilience.as_extras())
         return SolveResult(
             algorithm=self.name,
             assignment=assignment,

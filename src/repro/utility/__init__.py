@@ -10,6 +10,7 @@ from repro.utility.activity import (
 )
 from repro.utility.model import (
     MIN_DISTANCE,
+    DelegatingUtilityModel,
     TabularUtilityModel,
     TaxonomyUtilityModel,
     UtilityModel,
@@ -29,6 +30,7 @@ __all__ = [
     "ActivityModel",
     "ActivityProfile",
     "MIN_DISTANCE",
+    "DelegatingUtilityModel",
     "TabularUtilityModel",
     "TaxonomyUtilityModel",
     "UtilityModel",

@@ -65,6 +65,35 @@ class UtilityModel(ABC):
         return self.utility(customer, vendor, ad_type) / ad_type.cost
 
 
+class DelegatingUtilityModel(UtilityModel):
+    """A utility model that forwards everything to an inner model.
+
+    Base class for decorators around a utility model -- fault injectors,
+    resilience guards, caching layers -- that want to intercept calls
+    without re-implementing Eq. 4.  Subclasses typically override
+    :meth:`pair_base` (and :meth:`utility` when the inner model is
+    type-sensitive) and delegate via ``self.inner``.
+
+    Args:
+        inner: The wrapped utility model.
+    """
+
+    def __init__(self, inner: UtilityModel) -> None:
+        self.inner = inner
+
+    @property
+    def type_sensitive(self) -> bool:  # type: ignore[override]
+        return self.inner.type_sensitive
+
+    def pair_base(self, customer: Customer, vendor: Vendor) -> float:
+        return self.inner.pair_base(customer, vendor)
+
+    def utility(
+        self, customer: Customer, vendor: Vendor, ad_type: AdType
+    ) -> float:
+        return self.inner.utility(customer, vendor, ad_type)
+
+
 class TaxonomyUtilityModel(UtilityModel):
     """Eq. 4 with the full Section II pipeline.
 

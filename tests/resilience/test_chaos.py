@@ -1,0 +1,85 @@
+"""Chaos property suite: the broker survives any seeded fault plan.
+
+For a spread of fault plans (rates from 0 to 50%, all failure modes on
+at once), the broker must (1) complete without an unhandled exception,
+(2) commit an assignment satisfying all four MUAA constraints against
+the *pristine* problem, and (3) never double-charge a vendor budget
+despite duplicate delivery attempts.  Everything runs on the simulated
+clock, so the whole suite is deterministic and sleep-free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validation import validate_assignment
+from repro.datagen.tabular import random_tabular_problem
+from repro.resilience.broker import ResilientBroker
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RetryPolicy
+
+#: 24 seeded plans sweeping the fault rate from 0% to 50%.
+N_PLANS = 24
+
+
+def chaos_case(index: int):
+    rate = 0.5 * index / (N_PLANS - 1)
+    seed = 1000 + index
+    plan = FaultPlan.uniform(
+        seed=seed,
+        transient_rate=rate,
+        latency_spike_rate=rate / 2,
+        latency_spike_seconds=0.02,
+        duplicate_rate=rate / 2,
+        drop_rate=rate / 4,
+        reorder_rate=rate / 4,
+    )
+    problem = random_tabular_problem(
+        seed=seed, n_customers=40, n_vendors=6, budget=(2.0, 5.0)
+    )
+    return problem, plan
+
+
+@pytest.mark.parametrize("index", range(N_PLANS))
+def test_broker_survives_and_stays_feasible(index):
+    problem, plan = chaos_case(index)
+    broker = ResilientBroker(
+        problem, plan=plan, retry=RetryPolicy(max_attempts=3, jitter=0.1)
+    )
+    result = broker.run()  # must not raise, whatever the plan
+
+    # All four MUAA constraints hold against the pristine problem.
+    report = validate_assignment(problem, result.assignment)
+    assert report.ok, report.violations
+
+    # Duplicate delivery attempts never double-charge a vendor: the
+    # ledger equals the recomputed spend and respects every budget.
+    spend = {}
+    for instance in result.assignment:
+        spend[instance.vendor_id] = (
+            spend.get(instance.vendor_id, 0.0) + instance.cost
+        )
+    for vendor in problem.vendors:
+        ledger = result.assignment.spend_for_vendor(vendor.vendor_id)
+        assert ledger == pytest.approx(spend.get(vendor.vendor_id, 0.0))
+        assert ledger <= vendor.budget + 1e-9
+
+    # Accounting is coherent.
+    stats = result.resilience
+    served = len(problem.customers) - stats.arrivals_dropped
+    assert len(result.latencies) == served
+    assert len(stats.clean_latencies) + len(stats.degraded_latencies) == served
+    assert stats.degraded_decisions <= served
+    if plan.utility.transient_rate == 0.0:
+        assert stats.total_faults == 0
+
+
+@pytest.mark.parametrize("index", range(0, N_PLANS, 4))
+def test_chaos_runs_are_reproducible(index):
+    problem, plan = chaos_case(index)
+    first = ResilientBroker(problem, plan=plan).run()
+    second = ResilientBroker(problem, plan=plan).run()
+    assert first.total_utility == second.total_utility
+    assert len(first.assignment) == len(second.assignment)
+    assert first.resilience.as_extras() == second.resilience.as_extras()
+    assert first.latencies == second.latencies

@@ -1,0 +1,48 @@
+"""Tests for the injectable clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.clock import SimulatedClock, SystemClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_given_time(self):
+        assert SimulatedClock()() == 0.0
+        assert SimulatedClock(start=5.0).now() == 5.0
+
+    def test_only_moves_when_advanced(self):
+        clock = SimulatedClock()
+        before = clock()
+        assert clock() == before
+        clock.advance(1.5)
+        assert clock() == before + 1.5
+
+    def test_sleep_advances_without_waiting(self):
+        clock = SimulatedClock()
+        wall = SystemClock()
+        start_wall = wall()
+        clock.sleep(1000.0)
+        assert clock() == 1000.0
+        assert wall() - start_wall < 1.0  # no real second passed
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-0.1)
+
+    def test_callable_matches_now(self):
+        clock = SimulatedClock(start=2.0)
+        clock.advance(3.0)
+        assert clock() == clock.now() == 5.0
+
+
+class TestSystemClock:
+    def test_monotone(self):
+        clock = SystemClock()
+        a = clock()
+        b = clock()
+        assert b >= a
+
+    def test_zero_sleep_returns_immediately(self):
+        SystemClock().sleep(0.0)

@@ -1,0 +1,190 @@
+"""Tests for the seeded fault-injection harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import Customer
+from repro.exceptions import TransientError
+from repro.resilience.clock import SimulatedClock
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultyUtilityModel,
+    perturb_arrivals,
+)
+from repro.datagen.tabular import random_tabular_problem
+
+
+def _fault_trace(plan, dependency, calls=200):
+    """Boolean trace: which of ``calls`` attempts raised."""
+    injector = FaultInjector(plan)
+    trace = []
+    for _ in range(calls):
+        try:
+            injector.before_call(dependency)
+            trace.append(False)
+        except TransientError:
+            trace.append(True)
+    return trace
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(transient_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(latency_spike_seconds=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=-0.1)
+
+    def test_uniform_builder_spreads_rates(self):
+        plan = FaultPlan.uniform(
+            seed=1, transient_rate=0.3, duplicate_rate=0.2
+        )
+        assert plan.utility.transient_rate == 0.3
+        assert plan.spatial.transient_rate == 0.3
+        assert plan.commit.transient_rate == 0.3
+        assert plan.commit.duplicate_rate == 0.2
+        assert plan.utility.duplicate_rate == 0.0
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(KeyError):
+            FaultPlan().spec_for("database")
+
+
+class TestFaultInjector:
+    def test_same_seed_same_faults(self):
+        plan = FaultPlan.uniform(seed=11, transient_rate=0.3)
+        assert _fault_trace(plan, "utility") == _fault_trace(plan, "utility")
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.uniform(seed=1, transient_rate=0.3)
+        b = FaultPlan.uniform(seed=2, transient_rate=0.3)
+        assert _fault_trace(a, "utility") != _fault_trace(b, "utility")
+
+    def test_streams_are_independent_per_dependency(self):
+        # Turning the spatial rate off must not shift utility faults.
+        both = FaultPlan(
+            seed=5,
+            utility=FaultSpec(transient_rate=0.3),
+            spatial=FaultSpec(transient_rate=0.3),
+        )
+        only_utility = FaultPlan(
+            seed=5, utility=FaultSpec(transient_rate=0.3)
+        )
+        assert _fault_trace(both, "utility") == _fault_trace(
+            only_utility, "utility"
+        )
+
+    def test_rates_roughly_honoured(self):
+        plan = FaultPlan.uniform(seed=3, transient_rate=0.25)
+        trace = _fault_trace(plan, "utility", calls=2000)
+        rate = sum(trace) / len(trace)
+        assert 0.20 <= rate <= 0.30
+
+    def test_zero_rate_never_faults(self):
+        assert not any(_fault_trace(FaultPlan(seed=9), "utility"))
+
+    def test_latency_spike_advances_clock(self):
+        clock = SimulatedClock()
+        plan = FaultPlan(
+            seed=0,
+            utility=FaultSpec(
+                latency_spike_rate=1.0, latency_spike_seconds=0.5
+            ),
+        )
+        injector = FaultInjector(plan, clock)
+        injector.before_call("utility")
+        assert clock() == pytest.approx(0.5)
+        assert injector.counts[("utility", "latency_spike")] == 1
+
+    def test_ack_lost_rate(self):
+        plan = FaultPlan(
+            seed=4, commit=FaultSpec(duplicate_rate=0.5)
+        )
+        injector = FaultInjector(plan)
+        losses = sum(injector.ack_lost() for _ in range(1000))
+        assert 400 <= losses <= 600
+
+
+class TestFaultyUtilityModel:
+    def test_values_never_corrupted(self):
+        problem = random_tabular_problem(seed=1)
+        plan = FaultPlan(seed=2, utility=FaultSpec(transient_rate=0.5))
+        faulty = FaultyUtilityModel(
+            problem.utility_model, FaultInjector(plan)
+        )
+        customer = problem.customers[0]
+        vendor = problem.vendors[0]
+        expected = problem.utility_model.pair_base(customer, vendor)
+        seen = 0
+        for _ in range(50):
+            try:
+                value = faulty.pair_base(customer, vendor)
+            except TransientError:
+                continue
+            assert value == expected
+            seen += 1
+        assert seen > 0
+
+    def test_type_sensitivity_forwarded(self):
+        problem = random_tabular_problem(seed=1)
+        faulty = FaultyUtilityModel(
+            problem.utility_model, FaultInjector(FaultPlan())
+        )
+        assert faulty.type_sensitive == problem.utility_model.type_sensitive
+
+
+def _customers(n):
+    return [
+        Customer(
+            customer_id=i, location=(0.0, 0.0), capacity=1,
+            view_probability=0.5,
+        )
+        for i in range(n)
+    ]
+
+
+class TestPerturbArrivals:
+    def test_no_rates_is_identity(self):
+        customers = _customers(10)
+        kept, dropped, reordered = perturb_arrivals(customers, FaultPlan())
+        assert kept == customers
+        assert dropped == 0 and reordered == 0
+
+    def test_deterministic(self):
+        customers = _customers(50)
+        plan = FaultPlan(seed=8, drop_rate=0.2, reorder_rate=0.2)
+        first = perturb_arrivals(customers, plan)
+        second = perturb_arrivals(customers, plan)
+        assert [c.customer_id for c in first[0]] == [
+            c.customer_id for c in second[0]
+        ]
+        assert first[1:] == second[1:]
+
+    def test_drops_remove_customers(self):
+        customers = _customers(200)
+        plan = FaultPlan(seed=8, drop_rate=0.3)
+        kept, dropped, _ = perturb_arrivals(customers, plan)
+        assert len(kept) == 200 - dropped
+        assert 30 <= dropped <= 90
+
+    def test_reorder_keeps_everyone_with_bounded_delay(self):
+        customers = _customers(100)
+        plan = FaultPlan(seed=8, reorder_rate=0.3)
+        kept, dropped, reordered = perturb_arrivals(
+            customers, plan, max_delay=3
+        )
+        assert dropped == 0
+        assert reordered > 0
+        assert sorted(c.customer_id for c in kept) == list(range(100))
+        # Bounded out-of-orderness: a delayed customer lands at most a
+        # few positions late (its delay plus shifts from other
+        # reinsertions), never arbitrarily far.
+        displacements = [
+            position - customer.customer_id
+            for position, customer in enumerate(kept)
+        ]
+        assert 0 < max(displacements) <= 3 + reordered

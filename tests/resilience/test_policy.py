@@ -1,0 +1,263 @@
+"""Unit tests for retry/backoff, timeouts, and the circuit breaker.
+
+Everything runs on a :class:`SimulatedClock` -- no sleeps, no
+wall-clock flakiness: the assertions on recovery timing and backoff
+schedules are exact.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    TransientError,
+)
+from repro.resilience.clock import SimulatedClock
+from repro.resilience.policy import (
+    BreakerState,
+    CircuitBreaker,
+    DependencyGuard,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0,
+            max_delay=10.0, jitter=0.0,
+        )
+        rng = random.Random(0)
+        delays = [policy.backoff(k, rng) for k in range(4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_backoff_capped_at_max_delay(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, multiplier=10.0,
+            max_delay=5.0, jitter=0.0,
+        )
+        assert policy.backoff(6, random.Random(0)) == 5.0
+
+    def test_jitter_is_deterministic_in_the_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff(k, random.Random(42)) for k in range(3)]
+        b = [policy.backoff(k, random.Random(42)) for k in range(3)]
+        assert a == b
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.2)
+        rng = random.Random(7)
+        for k in range(50):
+            assert 0.8 <= policy.backoff(k, rng) <= 1.2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestCircuitBreaker:
+    def make(self, clock, threshold=3, recovery=10.0, probes=1):
+        return CircuitBreaker(
+            "dep",
+            clock,
+            failure_threshold=threshold,
+            recovery_timeout=recovery,
+            half_open_max_calls=probes,
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        clock = SimulatedClock()
+        breaker = self.make(clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.admit()
+
+    def test_success_resets_the_failure_streak(self):
+        clock = SimulatedClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_after_recovery_timeout(self):
+        clock = SimulatedClock()
+        breaker = self.make(clock, recovery=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.99)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.02)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.admit()  # one probe allowed
+
+    def test_half_open_probe_success_closes(self):
+        clock = SimulatedClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.admit()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = SimulatedClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.admit()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        # The cool-down restarts from the re-open.
+        clock.advance(9.0)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(1.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_limits_concurrent_probes(self):
+        clock = SimulatedClock()
+        breaker = self.make(clock, probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.admit()
+        with pytest.raises(CircuitOpenError):
+            breaker.admit()
+
+    def test_transitions_are_recorded_with_times(self):
+        clock = SimulatedClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        _ = breaker.state
+        breaker.admit()
+        breaker.record_success()
+        states = [(f.value, t.value) for _, f, t in breaker.transitions]
+        assert states == [
+            ("closed", "open"), ("open", "half_open"), ("half_open", "closed")
+        ]
+        times = [when for when, _, _ in breaker.transitions]
+        assert times == sorted(times)
+
+
+class _Flaky:
+    """Callable failing the first ``failures`` times, then succeeding."""
+
+    def __init__(self, failures, clock=None, latency=0.0):
+        self.failures = failures
+        self.calls = 0
+        self._clock = clock
+        self._latency = latency
+
+    def __call__(self):
+        self.calls += 1
+        if self._clock is not None and self._latency:
+            self._clock.advance(self._latency)
+        if self.calls <= self.failures:
+            raise TransientError(f"boom #{self.calls}")
+        return "ok"
+
+
+class TestDependencyGuard:
+    def test_retries_then_succeeds(self):
+        clock = SimulatedClock()
+        guard = DependencyGuard(
+            "dep", clock, retry=RetryPolicy(max_attempts=3, jitter=0.0)
+        )
+        flaky = _Flaky(failures=2)
+        assert guard.call(flaky) == "ok"
+        assert flaky.calls == 3
+        assert guard.retries == 2
+
+    def test_backoff_advances_the_clock(self):
+        clock = SimulatedClock()
+        guard = DependencyGuard(
+            "dep",
+            clock,
+            retry=RetryPolicy(
+                max_attempts=3, base_delay=0.1, multiplier=2.0, jitter=0.0
+            ),
+        )
+        guard.call(_Flaky(failures=2))
+        assert clock() == pytest.approx(0.1 + 0.2)
+
+    def test_exhausted_retries_raise_last_transient(self):
+        clock = SimulatedClock()
+        guard = DependencyGuard(
+            "dep", clock, retry=RetryPolicy(max_attempts=2, jitter=0.0)
+        )
+        with pytest.raises(TransientError, match="boom #2"):
+            guard.call(_Flaky(failures=5))
+        assert guard.exhausted == 1
+
+    def test_timeout_enforced_on_simulated_clock(self):
+        clock = SimulatedClock()
+        guard = DependencyGuard(
+            "dep",
+            clock,
+            retry=RetryPolicy(max_attempts=1),
+            timeout=0.05,
+        )
+        slow = _Flaky(failures=0, clock=clock, latency=0.2)
+        with pytest.raises(DeadlineExceededError):
+            guard.call(slow)
+        assert guard.timeouts == 1
+
+    def test_fast_call_passes_timeout(self):
+        clock = SimulatedClock()
+        guard = DependencyGuard(
+            "dep", clock, retry=RetryPolicy(max_attempts=1), timeout=0.5
+        )
+        assert guard.call(_Flaky(failures=0, clock=clock, latency=0.1)) == "ok"
+
+    def test_breaker_trips_and_fails_fast(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            "dep", clock, failure_threshold=2, recovery_timeout=10.0
+        )
+        guard = DependencyGuard(
+            "dep",
+            clock,
+            retry=RetryPolicy(max_attempts=5, jitter=0.0),
+            breaker=breaker,
+        )
+        with pytest.raises(TransientError):
+            guard.call(_Flaky(failures=100))
+        assert breaker.state is BreakerState.OPEN
+        # While open, calls are refused without touching the dependency.
+        untouched = _Flaky(failures=0)
+        with pytest.raises(CircuitOpenError):
+            guard.call(untouched)
+        assert untouched.calls == 0
+
+    def test_breaker_recovers_through_half_open(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            "dep", clock, failure_threshold=1, recovery_timeout=5.0
+        )
+        guard = DependencyGuard(
+            "dep", clock, retry=RetryPolicy(max_attempts=1), breaker=breaker
+        )
+        with pytest.raises(TransientError):
+            guard.call(_Flaky(failures=1))
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(5.0)
+        assert guard.call(_Flaky(failures=0)) == "ok"
+        assert breaker.state is BreakerState.CLOSED

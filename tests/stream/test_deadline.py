@@ -4,8 +4,11 @@ from __future__ import annotations
 
 import time
 
+import pytest
+
 from repro.algorithms.base import OnlineAlgorithm
 from repro.datagen.tabular import random_tabular_problem
+from repro.resilience.clock import SimulatedClock
 from repro.stream.simulator import OnlineSimulator
 
 
@@ -64,3 +67,64 @@ def test_no_deadline_keeps_slow_decisions():
     result = OnlineSimulator(problem).run(SlowAlgorithm(pause=0.005))
     assert result.customers_lost == 0
     assert len(result.assignment) > 0
+
+
+class ClockedAlgorithm(OnlineAlgorithm):
+    """Advances a simulated clock by a per-customer amount: even
+    customer ids decide instantly, odd ones stall past any deadline."""
+
+    name = "CLOCKED"
+
+    def __init__(self, clock: SimulatedClock, slow_seconds: float) -> None:
+        self._clock = clock
+        self._slow = slow_seconds
+
+    def process_customer(self, problem, customer, assignment):
+        if customer.customer_id % 2 == 1:
+            self._clock.advance(self._slow)
+        for vendor_id in problem.valid_vendor_ids(customer):
+            best = problem.best_instance_for_pair(
+                customer.customer_id,
+                vendor_id,
+                max_cost=assignment.remaining_budget(vendor_id),
+            )
+            if best is not None:
+                return [best]
+        return []
+
+
+def test_simulated_clock_makes_losses_exact():
+    # No sleeps: deadline losses are decided purely by clock advances,
+    # so exactly the odd-id customers are lost -- deterministically.
+    problem = random_tabular_problem(seed=2, n_customers=10, n_vendors=3)
+    clock = SimulatedClock()
+    result = OnlineSimulator(problem, clock=clock).run(
+        ClockedAlgorithm(clock, slow_seconds=0.2),
+        decision_deadline=0.1,
+    )
+    odd = sum(1 for c in problem.customers if c.customer_id % 2 == 1)
+    assert result.customers_lost == odd
+    # Lost customers' ads were dropped: every committed ad belongs to
+    # an even-id customer.
+    assert all(
+        inst.customer_id % 2 == 0 for inst in result.assignment
+    )
+    # Latencies reflect the simulated stalls exactly.
+    stalled = [lat for lat in result.latencies if lat > 0.1]
+    assert len(stalled) == odd
+    assert stalled == pytest.approx([0.2] * odd)
+
+
+def test_simulated_clock_is_reproducible():
+    problem = random_tabular_problem(seed=2, n_customers=10, n_vendors=3)
+
+    def run_once():
+        clock = SimulatedClock()
+        return OnlineSimulator(problem, clock=clock).run(
+            ClockedAlgorithm(clock, slow_seconds=0.05),
+            decision_deadline=0.01,
+        )
+
+    first, second = run_once(), run_once()
+    assert first.customers_lost == second.customers_lost
+    assert first.latencies == second.latencies

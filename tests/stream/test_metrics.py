@@ -8,7 +8,9 @@ from repro.algorithms.nearest import NearestVendor
 from repro.datagen.tabular import random_tabular_problem
 from repro.stream.metrics import (
     budget_utilisation,
+    fault_conditioned_latency,
     latency_profile,
+    resilience_summary,
     utilisation_summary,
 )
 from repro.stream.simulator import OnlineSimulator, StreamResult
@@ -34,6 +36,31 @@ class TestLatencyProfile:
     def test_requires_latencies(self):
         with pytest.raises(ValueError):
             latency_profile(StreamResult(assignment=Assignment()))
+
+    def test_empty_stream_from_unmeasured_run_raises(self):
+        # A stream run with latency measurement disabled records
+        # nothing; profiling it must fail loudly, not return zeros.
+        problem = random_tabular_problem(seed=6, n_customers=5)
+        result = OnlineSimulator(problem).run(
+            NearestVendor(), measure_latency=False
+        )
+        assert result.latencies == []
+        with pytest.raises(ValueError, match="no latencies"):
+            latency_profile(result)
+
+    def test_single_latency_gives_degenerate_profile(self):
+        result = StreamResult(assignment=Assignment(), latencies=[0.25])
+        profile = latency_profile(result)
+        assert profile.mean == profile.p50 == profile.p95 == 0.25
+        assert profile.p99 == profile.worst == 0.25
+
+    def test_two_latency_percentiles_stay_bracketed(self):
+        result = StreamResult(
+            assignment=Assignment(), latencies=[0.1, 0.3]
+        )
+        profile = latency_profile(result)
+        assert profile.mean == pytest.approx(0.2)
+        assert 0.1 <= profile.p50 <= profile.p95 <= profile.worst == 0.3
 
 
 class TestBudgetUtilisation:
@@ -62,6 +89,35 @@ class TestBudgetUtilisation:
         }
         assert summary["min"] <= summary["mean"] <= summary["max"]
         assert 0.0 <= summary["fully_spent_fraction"] <= 1.0
+
+    def test_plain_stream_has_no_resilience_stats(self, run):
+        _problem, result = run
+        with pytest.raises(ValueError):
+            resilience_summary(result)
+        with pytest.raises(ValueError):
+            fault_conditioned_latency(result)
+
+    def test_fault_conditioned_latency_splits_the_stream(self):
+        from repro.resilience.broker import ResilientBroker
+        from repro.resilience.faults import FaultPlan, FaultSpec
+
+        problem = random_tabular_problem(seed=6, n_customers=25, n_vendors=4)
+        plan = FaultPlan(
+            seed=1,
+            utility=FaultSpec(
+                transient_rate=0.2,
+                latency_spike_rate=0.2,
+                latency_spike_seconds=0.05,
+            ),
+        )
+        result = ResilientBroker(problem, plan=plan).run()
+        profiles = fault_conditioned_latency(result)
+        assert profiles["degraded"] is not None
+        assert profiles["clean"] is not None
+        assert profiles["degraded"].worst >= profiles["clean"].worst
+        summary = resilience_summary(result)
+        assert summary["faults_injected"] > 0
+        assert summary["customers_lost"] == 0.0
 
     def test_nearest_exhausts_budgets(self):
         # NEAREST with tiny budgets and plenty of demand must spend out.

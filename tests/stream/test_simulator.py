@@ -119,3 +119,53 @@ class TestOnlineAsOffline:
         assert result.algorithm == "NEAREST"
         assert result.per_customer_seconds > 0
         assert result.extras["rejected_instances"] == 0.0
+
+    def test_adapter_propagates_customers_lost(self, problem):
+        from repro.resilience.clock import SimulatedClock
+
+        clock = SimulatedClock()
+
+        class Slow(OnlineAlgorithm):
+            name = "SLOW"
+
+            def process_customer(self, problem, customer, assignment):
+                clock.advance(1.0)
+                return []
+
+        adapter = OnlineAsOffline(
+            Slow(), clock=clock, decision_deadline=0.5
+        )
+        result = adapter.run(problem)
+        assert result.extras["customers_lost"] == float(
+            len(problem.customers)
+        )
+
+    def test_adapter_propagates_resilience_counters(self, problem):
+        from repro.resilience.broker import ResilientBroker
+        from repro.resilience.faults import FaultPlan
+
+        plan = FaultPlan.uniform(seed=2, transient_rate=0.2)
+        broker = ResilientBroker(problem, plan=plan)
+
+        class BrokerAsOffline(OnlineAsOffline):
+            def solve(self, problem):
+                result = broker.run()
+                self.last_stream_result = result
+                return result.assignment
+
+        solve_result = BrokerAsOffline(NearestVendor()).run(problem)
+        extras = solve_result.extras
+        assert extras["retries"] > 0
+        for key in (
+            "customers_lost",
+            "degraded_decisions",
+            "breaker_transitions",
+            "duplicates_suppressed",
+            "faults_injected",
+        ):
+            assert key in extras
+
+    def test_plain_adapter_run_has_no_resilience_extras(self, problem):
+        extras = OnlineAsOffline(NearestVendor()).run(problem).extras
+        assert "retries" not in extras
+        assert extras["customers_lost"] == 0.0
