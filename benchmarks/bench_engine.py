@@ -1,0 +1,183 @@
+"""Engine-vs-scalar benchmark and CI speedup gate.
+
+On the gate workload (2,000 customers x 200 vendors) the columnar
+compute engine must (a) reproduce GREEDY's and O-AFA's assignments
+*identically* to the scalar reference path and (b) run the end-to-end
+pipeline -- candidate scoring plus both solvers -- at least 5x faster.
+The measured sweep is emitted to ``BENCH_engine.json`` at the repo root
+so regressions are diffable.
+
+Run directly with ``pytest -q -s benchmarks/bench_engine.py``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.core.problem import MUAAProblem
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.stream.simulator import OnlineSimulator
+
+#: The acceptance workload: 2,000 customers x 200 vendors at the paper's
+#: urban density (vendor radii 0.15-0.25 of the unit square, ~43k
+#: candidate pairs), where batch scoring dominates end-to-end time.
+GATE_CONFIG = WorkloadConfig(
+    n_customers=2_000,
+    n_vendors=200,
+    seed=42,
+    radius_range=ParameterRange(0.15, 0.25),
+)
+
+#: Required end-to-end speedup of the engine path on the gate workload.
+SPEEDUP_GATE = 5.0
+
+#: Smaller sweep points recorded alongside the gate size.
+SWEEP_SIZES = ((500, 50), (1_000, 100), (2_000, 200))
+
+#: Fresh-problem repetitions per path; the fastest total is recorded
+#: (standard practice to suppress scheduler jitter -- every repeat
+#: starts from cold caches, so the minimum is still an honest run).
+REPEATS = 5
+
+RESULTS_PATH = Path(__file__).parent.parent / "BENCH_engine.json"
+
+
+def _build(config: WorkloadConfig, use_engine: bool) -> MUAAProblem:
+    """A fresh problem (fresh utility model and caches) for one path."""
+    generated = synthetic_problem(config)
+    return MUAAProblem(
+        customers=generated.customers,
+        vendors=generated.vendors,
+        ad_types=generated.ad_types,
+        utility_model=generated.utility_model,
+        use_engine=use_engine,
+    )
+
+
+def _triples(assignment):
+    return sorted(
+        (inst.customer_id, inst.vendor_id, inst.type_id)
+        for inst in assignment
+    )
+
+
+def _run_path(problem: MUAAProblem, algorithm) -> dict:
+    """Time the end-to-end pipeline on one path: candidate scoring
+    (``warm_utilities``), GREEDY, then the O-AFA stream."""
+    gc.collect()  # start each repeat from a settled heap
+    timings = {}
+    start = time.perf_counter()
+    n_pairs = problem.warm_utilities()
+    timings["warm_seconds"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    greedy = GreedyEfficiency().solve(problem)
+    timings["greedy_seconds"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    streamed = OnlineSimulator(problem).run(algorithm, measure_latency=False)
+    timings["oafa_seconds"] = time.perf_counter() - start
+
+    timings["total_seconds"] = (
+        timings["warm_seconds"]
+        + timings["greedy_seconds"]
+        + timings["oafa_seconds"]
+    )
+    return {
+        "timings": timings,
+        "n_pairs": n_pairs,
+        "greedy": greedy,
+        "oafa": streamed.assignment,
+    }
+
+
+def _best_of(config: WorkloadConfig, use_engine: bool, algorithm) -> dict:
+    """The fastest of ``REPEATS`` runs, each on a fresh problem (fresh
+    model caches and engine state)."""
+    runs = [
+        _run_path(_build(config, use_engine), algorithm)
+        for _ in range(REPEATS)
+    ]
+    return min(runs, key=lambda run: run["timings"]["total_seconds"])
+
+
+def _measure(config: WorkloadConfig) -> dict:
+    # Calibrate once, on its own instance, so neither measured path
+    # starts with a warmed cache.
+    algorithm = OnlineAdaptiveFactorAware.calibrated(
+        _build(config, use_engine=True), seed=config.seed
+    )
+    scalar = _best_of(config, use_engine=False, algorithm=algorithm)
+    engine = _best_of(config, use_engine=True, algorithm=algorithm)
+
+    greedy_identical = _triples(engine["greedy"]) == _triples(scalar["greedy"])
+    oafa_identical = _triples(engine["oafa"]) == _triples(scalar["oafa"])
+    speedup = (
+        scalar["timings"]["total_seconds"]
+        / engine["timings"]["total_seconds"]
+    )
+    return {
+        "n_customers": config.n_customers,
+        "n_vendors": config.n_vendors,
+        "n_candidate_pairs": engine["n_pairs"],
+        "scalar": scalar["timings"],
+        "engine": engine["timings"],
+        "speedup": speedup,
+        "greedy_identical": greedy_identical,
+        "oafa_identical": oafa_identical,
+        "greedy_utility": engine["greedy"].total_utility,
+        "oafa_utility": engine["oafa"].total_utility,
+    }
+
+
+def test_engine_speedup_gate():
+    rows = []
+    for n_customers, n_vendors in SWEEP_SIZES:
+        config = GATE_CONFIG.with_overrides(
+            n_customers=n_customers, n_vendors=n_vendors
+        )
+        rows.append(_measure(config))
+
+    print()
+    print(
+        f"[engine] {'m':>6} {'n':>5} {'pairs':>8} {'scalar_s':>9} "
+        f"{'engine_s':>9} {'speedup':>8} {'greedy==':>8} {'oafa==':>7}"
+    )
+    for row in rows:
+        print(
+            f"[engine] {row['n_customers']:6d} {row['n_vendors']:5d} "
+            f"{row['n_candidate_pairs']:8d} "
+            f"{row['scalar']['total_seconds']:9.3f} "
+            f"{row['engine']['total_seconds']:9.3f} "
+            f"{row['speedup']:7.1f}x "
+            f"{str(row['greedy_identical']):>8} "
+            f"{str(row['oafa_identical']):>7}"
+        )
+
+    RESULTS_PATH.write_text(
+        json.dumps({"speedup_gate": SPEEDUP_GATE, "sweep": rows}, indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"[engine] wrote {RESULTS_PATH}")
+
+    gate = rows[-1]
+    assert gate["n_customers"] == 2_000 and gate["n_vendors"] == 200
+    # Parity must hold at every size, not just the gate point.
+    for row in rows:
+        assert row["greedy_identical"], (
+            f"GREEDY diverged at {row['n_customers']}x{row['n_vendors']}"
+        )
+        assert row["oafa_identical"], (
+            f"O-AFA diverged at {row['n_customers']}x{row['n_vendors']}"
+        )
+    assert gate["speedup"] >= SPEEDUP_GATE, (
+        f"engine end-to-end speedup {gate['speedup']:.1f}x is below the "
+        f"{SPEEDUP_GATE:.0f}x gate"
+    )

@@ -48,11 +48,31 @@ class GammaBounds:
     g: float
 
 
+def _sampled_customer_rows(
+    n_customers: int, sample_customers: Optional[int], seed: Optional[int]
+) -> Optional[np.ndarray]:
+    """Row indices of the calibration sample, or ``None`` for everyone.
+
+    One shared sampler so the scalar and engine paths (and global vs
+    per-vendor calibration) observe the identical customer subset for
+    the same seed.
+    """
+    if sample_customers is None or sample_customers >= n_customers:
+        return None
+    rng = np.random.default_rng(seed)
+    return rng.choice(n_customers, size=sample_customers, replace=False)
+
+
 def observed_efficiencies(
     problem: MUAAProblem, sample_customers: Optional[int] = None,
     seed: Optional[int] = None,
 ) -> List[float]:
     """Positive budget efficiencies of (a sample of) valid instances.
+
+    With a vectorized utility model this reads the compute engine's
+    whole-table efficiency matrix in one pass; otherwise it walks the
+    scalar per-pair path.  The two return the same multiset of values
+    (ordering may differ, which the quantile estimators ignore).
 
     Args:
         problem: The historical problem instance to observe.
@@ -60,10 +80,21 @@ def observed_efficiencies(
             chosen customers (keeps calibration cheap on big instances).
         seed: RNG seed for the sampling.
     """
+    picks = _sampled_customer_rows(
+        len(problem.customers), sample_customers, seed
+    )
+    engine = problem.acquire_engine()
+    if engine is not None:
+        utilities = engine.utilities()
+        if picks is None:
+            edge_rows = slice(None)
+        else:
+            edge_rows = np.isin(engine.edges.customer_idx, picks)
+        util = utilities[edge_rows].ravel()
+        eff = engine.efficiencies()[edge_rows].ravel()
+        return eff[util > 0].tolist()
     customers = problem.customers
-    if sample_customers is not None and sample_customers < len(customers):
-        rng = np.random.default_rng(seed)
-        picks = rng.choice(len(customers), size=sample_customers, replace=False)
+    if picks is not None:
         customers = [customers[i] for i in picks]
     efficiencies: List[float] = []
     for customer in customers:
@@ -159,19 +190,42 @@ def calibrate_per_vendor(
     Returns:
         vendor_id -> bounds, for vendors with enough observations.
     """
-    customers = problem.customers
-    if sample_customers is not None and sample_customers < len(customers):
-        rng = np.random.default_rng(seed)
-        picks = rng.choice(len(customers), size=sample_customers, replace=False)
-        customers = [customers[i] for i in picks]
+    picks = _sampled_customer_rows(
+        len(problem.customers), sample_customers, seed
+    )
     per_vendor: Dict[int, List[float]] = {}
-    for customer in customers:
-        for vendor_id in problem.valid_vendor_ids(customer):
-            for inst in problem.pair_instances(customer.customer_id, vendor_id):
-                if inst.utility > 0:
-                    per_vendor.setdefault(vendor_id, []).append(
-                        inst.efficiency
-                    )
+    engine = problem.acquire_engine()
+    if engine is not None:
+        utilities = engine.utilities()
+        efficiencies = engine.efficiencies()
+        edges = engine.edges
+        arrays = engine.arrays
+        in_sample = (
+            None if picks is None else np.isin(edges.customer_idx, picks)
+        )
+        for row in range(arrays.n_vendors):
+            span = edges.vendor_slice(row)
+            util = utilities[span]
+            eff = efficiencies[span]
+            if in_sample is not None:
+                util = util[in_sample[span]]
+                eff = eff[in_sample[span]]
+            sample = eff.ravel()[util.ravel() > 0]
+            if sample.size:
+                per_vendor[int(arrays.vendor_ids[row])] = sample.tolist()
+    else:
+        customers = problem.customers
+        if picks is not None:
+            customers = [customers[i] for i in picks]
+        for customer in customers:
+            for vendor_id in problem.valid_vendor_ids(customer):
+                for inst in problem.pair_instances(
+                    customer.customer_id, vendor_id
+                ):
+                    if inst.utility > 0:
+                        per_vendor.setdefault(vendor_id, []).append(
+                            inst.efficiency
+                        )
     return {
         vendor_id: estimate_gamma_bounds(
             sample, low_quantile=low_quantile, high_quantile=high_quantile

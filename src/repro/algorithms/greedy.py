@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.algorithms.base import OfflineAlgorithm
 from repro.core.assignment import AdInstance, Assignment
 from repro.core.problem import MUAAProblem
@@ -38,10 +40,15 @@ class GreedyEfficiency(OfflineAlgorithm):
         self._rescan = rescan
 
     def solve(self, problem: MUAAProblem) -> Assignment:
+        assignment = problem.new_assignment()
+        if not self._rescan:
+            engine = problem.acquire_engine()
+            if engine is not None:
+                self._solve_vectorized(problem, engine, assignment)
+                return assignment
         candidates: List[AdInstance] = [
             inst for inst in problem.candidate_instances() if inst.utility > 0
         ]
-        assignment = problem.new_assignment()
         if self._rescan:
             self._solve_rescan(candidates, assignment)
         else:
@@ -49,6 +56,60 @@ class GreedyEfficiency(OfflineAlgorithm):
             for instance in candidates:
                 assignment.add(instance, strict=False)
         return assignment
+
+    @staticmethod
+    def _solve_vectorized(
+        problem: MUAAProblem, engine, assignment: Assignment
+    ) -> None:
+        """The sort-once sweep on the columnar engine.
+
+        Candidate order, efficiency values, tie-breaking (stable sort
+        over the enumeration order) and feasibility tolerances all match
+        the scalar sweep exactly, so the resulting assignment is
+        identical; only AdInstance objects for *committed* ads are ever
+        constructed.
+        """
+        utilities = engine.utilities()
+        if utilities.size == 0:
+            return
+        flat_util = utilities.ravel()
+        flat_eff = engine.efficiencies().ravel()
+        keep = np.flatnonzero(flat_util > 0)
+        if keep.size == 0:
+            return
+        order = keep[np.argsort(-flat_eff[keep], kind="stable")]
+
+        arrays = engine.arrays
+        edges = engine.edges
+        ad_types = problem.ad_types
+        n_types = len(ad_types)
+        remaining_cap = arrays.capacity.astype(np.int64, copy=True)
+        spent = np.zeros(arrays.n_vendors, dtype=float)
+        budget = arrays.budget
+        used_pairs = set()
+        for flat in order.tolist():
+            edge, k = divmod(flat, n_types)
+            cu = int(edges.customer_idx[edge])
+            ve = int(edges.vendor_idx[edge])
+            if remaining_cap[cu] <= 0 or (cu, ve) in used_pairs:
+                continue
+            cost = ad_types[k].cost
+            # Same tolerance as Assignment.can_add's budget check.
+            if spent[ve] + cost > budget[ve] + 1e-9:
+                continue
+            used_pairs.add((cu, ve))
+            remaining_cap[cu] -= 1
+            spent[ve] += cost
+            assignment.add(
+                AdInstance(
+                    customer_id=int(arrays.customer_ids[cu]),
+                    vendor_id=int(arrays.vendor_ids[ve]),
+                    type_id=ad_types[k].type_id,
+                    utility=float(flat_util[flat]),
+                    cost=cost,
+                ),
+                strict=True,
+            )
 
     @staticmethod
     def _solve_rescan(

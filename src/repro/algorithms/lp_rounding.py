@@ -33,6 +33,10 @@ class LPRounding(OfflineAlgorithm):
         self.last_lp_value = None
 
     def solve(self, problem: MUAAProblem) -> Assignment:
+        # Batch-evaluate every pair base up front: with a vectorized
+        # utility model this builds the compute engine, so the candidate
+        # enumeration below is table lookups instead of per-pair Eq. 4/5.
+        problem.warm_utilities()
         lp = LinearProgram()
         utilities: Dict[Tuple[int, int, int], float] = {}
         by_customer: Dict[int, List] = {}

@@ -23,6 +23,7 @@ from repro.algorithms.base import OnlineAlgorithm
 from repro.core.assignment import AdInstance, Assignment
 from repro.core.entities import Customer
 from repro.core.problem import MUAAProblem
+from repro.engine.engine import MISS
 
 #: Base of the natural logarithm, the lower bound on g.
 E = math.e
@@ -160,6 +161,55 @@ class OnlineAdaptiveFactorAware(OnlineAlgorithm):
             threshold = AdaptiveExponentialThreshold(gamma_min, g)
         self.threshold_function = threshold
 
+    @classmethod
+    def calibrated(
+        cls,
+        problem: MUAAProblem,
+        sample_customers: Optional[int] = 500,
+        seed: Optional[int] = None,
+        per_vendor: bool = False,
+    ) -> "OnlineAdaptiveFactorAware":
+        """O-AFA with thresholds calibrated from a historical instance.
+
+        Calibration batch-scores the instance's candidate edges through
+        the compute engine when the utility model supports it, so this
+        is cheap even on large historical instances.
+
+        Args:
+            problem: The historical instance to calibrate against.
+            sample_customers: Customer sample size (see
+                :func:`repro.algorithms.calibration.observed_efficiencies`).
+            seed: RNG seed for the customer sampling.
+            per_vendor: Calibrate a per-vendor threshold (Section IV-C
+                refinement) with the global bounds as fallback.
+
+        Raises:
+            ValueError: If the instance has no positive-utility candidate.
+        """
+        from repro.algorithms.calibration import (
+            calibrate_from_problem,
+            calibrate_per_vendor,
+        )
+
+        bounds = calibrate_from_problem(
+            problem, sample_customers=sample_customers, seed=seed
+        )
+        default = AdaptiveExponentialThreshold(bounds.gamma_min, bounds.g)
+        if not per_vendor:
+            return cls(threshold=default)
+        vendor_bounds = calibrate_per_vendor(
+            problem, sample_customers=sample_customers, seed=seed
+        )
+        return cls(
+            threshold=PerVendorExponentialThreshold(
+                {
+                    vendor_id: AdaptiveExponentialThreshold(b.gamma_min, b.g)
+                    for vendor_id, b in vendor_bounds.items()
+                },
+                default,
+            )
+        )
+
     def process_customer(
         self,
         problem: MUAAProblem,
@@ -169,20 +219,38 @@ class OnlineAdaptiveFactorAware(OnlineAlgorithm):
         # Line 2: valid vendors by the spatial constraint.
         vendor_ids = problem.valid_vendor_ids(customer)
         potential: List[AdInstance] = []
+        # Hot path: with a built compute engine, skip the per-call
+        # dispatch in ``problem.best_instance_for_pair`` (the engine
+        # covers every candidate edge, so its lookups never miss).
+        engine = problem.engine
+        lookup = engine.best_for_pair if engine is not None else None
+        customer_id = customer.customer_id
+        spend_for_vendor = assignment.spend_for_vendor
+        budgets = problem.budgets
         for vendor_id in vendor_ids:
-            budget = problem.budgets[vendor_id]
+            budget = budgets[vendor_id]
             if budget <= 0:
                 continue
-            spent = assignment.spend_for_vendor(vendor_id)
+            spent = spend_for_vendor(vendor_id)
             remaining = budget - spent
             # Line 4: the vendor's "best" (highest-efficiency) affordable
             # ad type for this customer.
-            best = problem.best_instance_for_pair(
-                customer.customer_id,
-                vendor_id,
-                by="efficiency",
-                max_cost=remaining,
-            )
+            if lookup is not None:
+                best = lookup(customer_id, vendor_id, max_cost=remaining)
+                if best is MISS:
+                    best = problem.best_instance_for_pair(
+                        customer_id,
+                        vendor_id,
+                        by="efficiency",
+                        max_cost=remaining,
+                    )
+            else:
+                best = problem.best_instance_for_pair(
+                    customer_id,
+                    vendor_id,
+                    by="efficiency",
+                    max_cost=remaining,
+                )
             if best is None or best.utility <= 0:
                 continue
             # Line 5: adaptive acceptance test on the used-budget ratio.

@@ -8,7 +8,10 @@ ablation benchmark can quantify that claim on our workloads.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.algorithms.online_afa import OnlineAdaptiveFactorAware, StaticThreshold
+from repro.core.problem import MUAAProblem
 
 
 class OnlineStaticThreshold(OnlineAdaptiveFactorAware):
@@ -24,3 +27,24 @@ class OnlineStaticThreshold(OnlineAdaptiveFactorAware):
 
     def __init__(self, threshold_value: float = 0.0) -> None:
         super().__init__(threshold=StaticThreshold(threshold_value))
+
+    @classmethod
+    def calibrated(
+        cls,
+        problem: MUAAProblem,
+        sample_customers: Optional[int] = 500,
+        seed: Optional[int] = None,
+        per_vendor: bool = False,
+    ) -> "OnlineStaticThreshold":
+        """The static baseline pinned to the calibrated
+        :math:`\\gamma_{min}` (engine-backed, like O-AFA's).
+
+        ``per_vendor`` is accepted for signature compatibility but a
+        static baseline has one global threshold by definition.
+        """
+        from repro.algorithms.calibration import calibrate_from_problem
+
+        bounds = calibrate_from_problem(
+            problem, sample_customers=sample_customers, seed=seed
+        )
+        return cls(threshold_value=bounds.gamma_min)

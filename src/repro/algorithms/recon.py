@@ -76,19 +76,42 @@ class Reconciliation(OfflineAlgorithm):
         self, problem: MUAAProblem, vendor: Vendor
     ) -> List[AdInstance]:
         """Solve :math:`\\mathbb{M}_j` and return its chosen instances."""
-        customer_ids = problem.valid_customer_ids(vendor)
         items: List[MCKPItem] = []
-        for customer_id in customer_ids:
-            for inst in problem.pair_instances(customer_id, vendor.vendor_id):
-                if inst.utility > 0 and inst.cost <= vendor.budget + _EPS:
-                    items.append(
-                        MCKPItem(
-                            class_id=customer_id,
-                            item_id=inst.type_id,
-                            cost=inst.cost,
-                            profit=inst.utility,
+        engine = problem.acquire_engine()
+        if engine is not None:
+            # The vendor's candidates are one contiguous slice of the
+            # engine's edge table, utilities pre-scored.
+            arrays = engine.arrays
+            span = engine.vendor_edge_slice(vendor.vendor_id)
+            utilities = engine.utilities()[span]
+            customer_rows = engine.edges.customer_idx[span]
+            for local, cu in enumerate(customer_rows.tolist()):
+                customer_id = int(arrays.customer_ids[cu])
+                for k, ad_type in enumerate(problem.ad_types):
+                    utility = float(utilities[local, k])
+                    if utility > 0 and ad_type.cost <= vendor.budget + _EPS:
+                        items.append(
+                            MCKPItem(
+                                class_id=customer_id,
+                                item_id=ad_type.type_id,
+                                cost=ad_type.cost,
+                                profit=utility,
+                            )
                         )
-                    )
+        else:
+            for customer_id in problem.valid_customer_ids(vendor):
+                for inst in problem.pair_instances(
+                    customer_id, vendor.vendor_id
+                ):
+                    if inst.utility > 0 and inst.cost <= vendor.budget + _EPS:
+                        items.append(
+                            MCKPItem(
+                                class_id=customer_id,
+                                item_id=inst.type_id,
+                                cost=inst.cost,
+                                profit=inst.utility,
+                            )
+                        )
         if not items:
             return []
         mckp = MCKPInstance.from_items(items, budget=vendor.budget)

@@ -5,6 +5,17 @@ and a utility model, and provides the derived quantities every
 algorithm needs: valid-pair range queries (via the spatial grid index),
 per-instance utilities and budget efficiencies, and fresh
 constraint-tracking assignment sets.
+
+Utility evaluation has two implementations behind one interface: the
+scalar :class:`~repro.utility.model.UtilityModel` reference path, and
+the columnar :class:`~repro.engine.ComputeEngine` that scores the whole
+candidate-edge table in vectorized passes.  Batch entry points
+(:meth:`MUAAProblem.warm_utilities`,
+:meth:`MUAAProblem.candidate_instances`) build the engine on demand via
+:meth:`MUAAProblem.acquire_engine`; point lookups
+(:meth:`MUAAProblem.pair_instances`,
+:meth:`MUAAProblem.best_instance_for_pair`) use it only once built, so
+purely online access patterns keep their scalar latency profile.
 """
 
 from __future__ import annotations
@@ -44,6 +55,10 @@ class MUAAProblem:
             exact; the grid is tuned by the max vendor radius, the
             KD-tree is parameter-free (see
             ``benchmarks/bench_spatial_backends.py``).
+        use_engine: Allow the columnar compute engine for batch utility
+            evaluation when the utility model has a vectorized kernel.
+            Disable to force the scalar reference path everywhere
+            (parity tests, fault-injection wrappers, baselines).
 
     Raises:
         InvalidProblemError: On duplicate ids, an empty catalogue, or
@@ -60,6 +75,7 @@ class MUAAProblem:
             Callable[[Customer, Vendor], bool]
         ] = None,
         spatial_backend: str = "grid",
+        use_engine: bool = True,
     ) -> None:
         if spatial_backend not in ("grid", "kdtree"):
             raise InvalidProblemError(
@@ -102,10 +118,69 @@ class MUAAProblem:
         self._spatial_backend = spatial_backend
         self._customer_index = None
         self._vendor_index: Optional[GridIndex] = None
+        self._use_engine = use_engine
+        self._engine = None
+        self._engine_miss = None
+        self._engine_unsupported = False
+
+    # ------------------------------------------------------------------
+    # Columnar compute engine
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The built :class:`~repro.engine.ComputeEngine`, or ``None``.
+
+        Point lookups consult this without triggering a build, so the
+        engine only pays off after a batch entry point (or an explicit
+        :meth:`acquire_engine`) has constructed it.
+        """
+        return self._engine
+
+    def acquire_engine(self):
+        """Build (once) and return the compute engine, or ``None``.
+
+        Returns ``None`` when the engine is disabled for this problem
+        or the utility model has no vectorized kernel; callers fall
+        back to the scalar reference path.
+        """
+        if (
+            self._engine is None
+            and self._use_engine
+            and not self._engine_unsupported
+        ):
+            from repro.engine import ComputeEngine
+            from repro.engine.engine import MISS
+
+            engine = ComputeEngine.create(self)
+            if engine is None:
+                self._engine_unsupported = True
+            else:
+                self._engine = engine
+                self._engine_miss = MISS
+        return self._engine
+
+    def _engine_base(
+        self, customer_id: int, vendor_id: int
+    ) -> Optional[float]:
+        """The pair base from the built engine, or ``None`` (engine not
+        built, or the pair is not a range-valid candidate)."""
+        if self._engine is None:
+            return None
+        return self._engine.pair_base(customer_id, vendor_id)
 
     # ------------------------------------------------------------------
     # Spatial queries (constraint 1 of Definition 5)
     # ------------------------------------------------------------------
+    @property
+    def pair_validator(self):
+        """The custom pair validator, or ``None`` for the range check."""
+        return self._pair_validator
+
+    @property
+    def spatial_backend(self) -> str:
+        """The configured spatial index backend (``grid``/``kdtree``)."""
+        return self._spatial_backend
+
     @property
     def customer_index(self):
         """Spatial index over customer locations (built lazily)."""
@@ -140,7 +215,17 @@ class MUAAProblem:
         return valid_customers(vendor, self.customer_index)
 
     def valid_vendor_ids(self, customer: Customer) -> List[int]:
-        """Vendors whose advertising area contains ``customer``."""
+        """Vendors whose advertising area contains ``customer``.
+
+        With a built compute engine this reads the precomputed
+        candidate-edge adjacency (same set as the spatial query, in
+        vendor catalogue order) instead of re-running the range query
+        per call.
+        """
+        if self._engine is not None and self._engine.edges_built:
+            vendors = self._engine.vendors_in_range(customer.customer_id)
+            if vendors is not None:
+                return list(vendors)
         if self._pair_validator is not None:
             return [
                 v.vendor_id for v in self.vendors
@@ -162,6 +247,9 @@ class MUAAProblem:
     # ------------------------------------------------------------------
     def utility(self, customer_id: int, vendor_id: int, type_id: int) -> float:
         """Utility :math:`\\lambda_{ijk}` by entity ids."""
+        base = self._engine_base(customer_id, vendor_id)
+        if base is not None:
+            return base * self.ad_types_by_id[type_id].effectiveness
         return self.utility_model.utility(
             self.customers_by_id[customer_id],
             self.vendors_by_id[vendor_id],
@@ -188,6 +276,9 @@ class MUAAProblem:
 
     def pair_instances(self, customer_id: int, vendor_id: int) -> List[AdInstance]:
         """All ad-type choices for one valid pair, utility pre-evaluated."""
+        base = self._engine_base(customer_id, vendor_id)
+        if base is not None:
+            return self._engine.pair_instances(customer_id, vendor_id, base)
         customer = self.customers_by_id[customer_id]
         vendor = self.vendors_by_id[vendor_id]
         if self.utility_model.type_sensitive:
@@ -234,6 +325,12 @@ class MUAAProblem:
         Returns:
             The best instance, or ``None`` when no type is affordable.
         """
+        if self._engine is not None:
+            hit = self._engine.best_for_pair(
+                customer_id, vendor_id, by=by, max_cost=max_cost
+            )
+            if hit is not self._engine_miss:
+                return hit
         choices = self.pair_instances(customer_id, vendor_id)
         if max_cost is not None:
             choices = [c for c in choices if c.cost <= max_cost + 1e-9]
@@ -250,14 +347,36 @@ class MUAAProblem:
 
         Enumerates range-valid pairs through the vendor-side index, so
         the cost is proportional to the number of valid pairs rather
-        than :math:`m \\cdot n`.
+        than :math:`m \\cdot n`.  A batch entry point: builds the
+        compute engine when the utility model supports it, scoring the
+        whole candidate-edge table in vectorized passes.
         """
+        engine = self.acquire_engine()
+        if engine is not None:
+            bases = engine.pair_bases
+            arrays = engine.arrays
+            for pos, (customer_id, vendor_id) in enumerate(
+                engine.edges.iter_pairs(arrays)
+            ):
+                yield from engine.pair_instances(
+                    customer_id, vendor_id, float(bases[pos])
+                )
+            return
         for vendor in self.vendors:
             for customer_id in self.valid_customer_ids(vendor):
                 yield from self.pair_instances(customer_id, vendor.vendor_id)
 
     def valid_pairs(self) -> Iterator[Tuple[int, int]]:
-        """Every range-valid ``(customer_id, vendor_id)`` pair."""
+        """Every range-valid ``(customer_id, vendor_id)`` pair.
+
+        Reuses the engine's edge table when one has already been built
+        (the table enumerates pairs in exactly this vendor-major order);
+        otherwise runs the range queries directly.
+        """
+        engine = self._engine
+        if engine is not None and engine.edges_built:
+            yield from engine.edges.iter_pairs(engine.arrays)
+            return
         for vendor in self.vendors:
             for customer_id in self.valid_customer_ids(vendor):
                 yield (customer_id, vendor.vendor_id)
@@ -267,11 +386,17 @@ class MUAAProblem:
 
         Utility evaluation (Eqs. 4-5) is shared preprocessing for all
         algorithms; warming it up front makes algorithm timings compare
-        assignment work rather than who touched a pair first.
+        assignment work rather than who touched a pair first.  A batch
+        entry point: with a vectorized utility model this builds the
+        compute engine and scores every candidate edge in one pass per
+        time bucket.
 
         Returns:
             The number of valid pairs evaluated.
         """
+        engine = self.acquire_engine()
+        if engine is not None:
+            return engine.warm()
         count = 0
         for customer_id, vendor_id in self.valid_pairs():
             self.utility_model.pair_base(

@@ -1,0 +1,39 @@
+"""Columnar compute engine: vectorized Eq. 4/5 over candidate edges.
+
+The scalar :mod:`repro.utility.model` path evaluates Eq. 4 one
+customer-vendor pair at a time; this package evaluates *all* candidate
+pairs of an instance in a handful of NumPy passes:
+
+* :class:`ProblemArrays` -- structure-of-arrays columns of an instance;
+* :class:`CandidateEdges` -- the vendor-major table of range-valid
+  pairs, built from the spatial index in one sweep;
+* :mod:`repro.engine.kernels` -- batched Eq. 5 weighted-Pearson and
+  Eq. 4 pair-base kernels (one pass per time bucket);
+* :class:`ComputeEngine` -- the facade every solver shares, created via
+  ``MUAAProblem.acquire_engine()``.
+
+See ``docs/engine.md`` for which solvers ride the vectorized path and
+how parity with the scalar reference implementation is maintained.
+"""
+
+from repro.engine.arrays import ProblemArrays
+from repro.engine.edges import CandidateEdges, build_candidate_edges
+from repro.engine.engine import ComputeEngine, supports_vectorization
+from repro.engine.kernels import (
+    batched_positive_preferences,
+    pair_bases,
+    tabular_pair_bases,
+    taxonomy_pair_bases,
+)
+
+__all__ = [
+    "ProblemArrays",
+    "CandidateEdges",
+    "build_candidate_edges",
+    "ComputeEngine",
+    "supports_vectorization",
+    "batched_positive_preferences",
+    "pair_bases",
+    "tabular_pair_bases",
+    "taxonomy_pair_bases",
+]

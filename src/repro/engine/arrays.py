@@ -1,0 +1,138 @@
+"""Columnar (structure-of-arrays) view of a MUAA problem instance.
+
+:class:`ProblemArrays` lays the entity attributes of a
+:class:`~repro.core.problem.MUAAProblem` out as NumPy columns --
+customer/vendor coordinates, capacities, budgets, probabilities, arrival
+times, interest/tag matrices, and the ad-type catalogue -- so the Eq. 4/5
+kernels in :mod:`repro.engine.kernels` can score whole candidate-edge
+tables in a handful of array passes instead of one Python call per pair.
+
+The arrays are a *view* in spirit: values are copied out of the frozen
+entity objects once, never mutated, and indexed positionally.  The
+``customer_index`` / ``vendor_index`` maps translate entity ids to row
+positions (ids are arbitrary ints; rows are dense).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.entities import Customer, Vendor
+
+
+def _stack_vectors(vectors: Sequence[Optional[np.ndarray]]) -> Optional[np.ndarray]:
+    """Stack per-entity tag vectors into a matrix, or ``None`` when any
+    entity lacks a vector or the lengths are inconsistent."""
+    if not vectors or any(v is None for v in vectors):
+        return None
+    length = vectors[0].shape
+    if any(v.shape != length for v in vectors):
+        return None
+    return np.stack([np.asarray(v, dtype=float) for v in vectors])
+
+
+@dataclass(frozen=True)
+class ProblemArrays:
+    """Structure-of-arrays columns of one MUAA instance.
+
+    Attributes:
+        customer_ids: ``(m,)`` entity ids, in problem customer order.
+        customer_xy: ``(m, 2)`` customer locations.
+        capacity: ``(m,)`` ad limits :math:`a_i`.
+        view_probability: ``(m,)`` view probabilities :math:`p_i`.
+        arrival_time: ``(m,)`` arrival hours :math:`\\varphi`.
+        interests: ``(m, T)`` interest matrix :math:`\\psi_i`, or
+            ``None`` when any customer lacks a vector (tabular models).
+        vendor_ids: ``(n,)`` entity ids, in problem vendor order.
+        vendor_xy: ``(n, 2)`` vendor locations.
+        radius: ``(n,)`` advertising radii :math:`r_j`.
+        budget: ``(n,)`` budgets :math:`B_j`.
+        tags: ``(n, T)`` vendor tag matrix :math:`\\psi_j`, or ``None``.
+        type_ids: ``(K,)`` ad-type ids, in catalogue order.
+        type_cost: ``(K,)`` prices :math:`c_k`.
+        type_effectiveness: ``(K,)`` effectivenesses :math:`\\beta_k`.
+        customer_index: customer id -> row position.
+        vendor_index: vendor id -> row position.
+    """
+
+    customer_ids: np.ndarray
+    customer_xy: np.ndarray
+    capacity: np.ndarray
+    view_probability: np.ndarray
+    arrival_time: np.ndarray
+    interests: Optional[np.ndarray]
+    vendor_ids: np.ndarray
+    vendor_xy: np.ndarray
+    radius: np.ndarray
+    budget: np.ndarray
+    tags: Optional[np.ndarray]
+    type_ids: np.ndarray
+    type_cost: np.ndarray
+    type_effectiveness: np.ndarray
+    customer_index: Dict[int, int] = field(repr=False)
+    vendor_index: Dict[int, int] = field(repr=False)
+
+    @property
+    def n_customers(self) -> int:
+        return len(self.customer_ids)
+
+    @property
+    def n_vendors(self) -> int:
+        return len(self.vendor_ids)
+
+    @property
+    def n_types(self) -> int:
+        return len(self.type_ids)
+
+    @classmethod
+    def from_problem(cls, problem) -> "ProblemArrays":
+        """Extract the columns of a :class:`MUAAProblem`."""
+        return cls.from_entities(
+            problem.customers, problem.vendors, problem.ad_types
+        )
+
+    @classmethod
+    def from_entities(
+        cls,
+        customers: Sequence[Customer],
+        vendors: Sequence[Vendor],
+        ad_types: Sequence,
+    ) -> "ProblemArrays":
+        """Build columns straight from entity sequences."""
+        customer_ids = np.array(
+            [c.customer_id for c in customers], dtype=np.int64
+        )
+        vendor_ids = np.array([v.vendor_id for v in vendors], dtype=np.int64)
+        return cls(
+            customer_ids=customer_ids,
+            customer_xy=np.array(
+                [c.location for c in customers], dtype=float
+            ).reshape(len(customers), 2),
+            capacity=np.array([c.capacity for c in customers], dtype=np.int64),
+            view_probability=np.array(
+                [c.view_probability for c in customers], dtype=float
+            ),
+            arrival_time=np.array(
+                [c.arrival_time for c in customers], dtype=float
+            ),
+            interests=_stack_vectors([c.interests for c in customers]),
+            vendor_ids=vendor_ids,
+            vendor_xy=np.array(
+                [v.location for v in vendors], dtype=float
+            ).reshape(len(vendors), 2),
+            radius=np.array([v.radius for v in vendors], dtype=float),
+            budget=np.array([v.budget for v in vendors], dtype=float),
+            tags=_stack_vectors([v.tags for v in vendors]),
+            type_ids=np.array([t.type_id for t in ad_types], dtype=np.int64),
+            type_cost=np.array([t.cost for t in ad_types], dtype=float),
+            type_effectiveness=np.array(
+                [t.effectiveness for t in ad_types], dtype=float
+            ),
+            customer_index={
+                int(cid): row for row, cid in enumerate(customer_ids)
+            },
+            vendor_index={int(vid): row for row, vid in enumerate(vendor_ids)},
+        )

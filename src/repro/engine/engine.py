@@ -1,0 +1,311 @@
+"""The columnar compute engine shared by every solver.
+
+:class:`ComputeEngine` ties the pieces together: it owns the
+:class:`~repro.engine.arrays.ProblemArrays` columns of one problem, the
+:class:`~repro.engine.edges.CandidateEdges` table (built on demand from
+the spatial index), and the vectorized Eq. 4/5 pair bases of every edge
+(computed once, in one pass per time bucket).  On top of those it
+offers the point lookups the online algorithms need -- pair base, best
+ad type for a pair, per-pair instance lists -- at dictionary-lookup
+cost, plus whole-table utility/efficiency matrices for the offline
+solvers.
+
+The scalar ``UtilityModel`` API remains the reference implementation;
+the engine exists only for models with a vectorized kernel (see
+:func:`repro.engine.kernels.pair_bases`) and reproduces their values to
+float rounding.  Use :meth:`ComputeEngine.create` -- it returns ``None``
+for unsupported models so callers can fall back to the scalar path.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.assignment import AdInstance
+from repro.engine.arrays import ProblemArrays
+from repro.engine.edges import CandidateEdges, build_candidate_edges
+from repro.engine.kernels import pair_bases as _kernel_pair_bases
+from repro.utility.model import TabularUtilityModel, TaxonomyUtilityModel
+
+#: Cost-affordability tolerance, identical to the scalar
+#: ``MUAAProblem.best_instance_for_pair`` filter.
+_COST_EPS = 1e-9
+
+#: Sentinel for "this pair is not a candidate edge" -- distinct from
+#: ``None``, which means "no ad type is affordable".
+MISS = object()
+
+
+def supports_vectorization(model) -> bool:
+    """Whether a utility model has a vectorized engine kernel.
+
+    True exactly for the stock :class:`TaxonomyUtilityModel` and
+    :class:`TabularUtilityModel` (not subclasses, not decorated models,
+    not type-sensitive models) -- anything else keeps the scalar
+    reference path.
+    """
+    return not model.type_sensitive and type(model) in (
+        TaxonomyUtilityModel,
+        TabularUtilityModel,
+    )
+
+
+class ComputeEngine:
+    """Vectorized candidate-edge pipeline of one MUAA problem.
+
+    Build via :meth:`create`; all heavy state (edge table, pair bases,
+    lookup maps) is constructed lazily and cached, so an engine that is
+    never used batch-wise costs only the columnar entity copy.
+    """
+
+    def __init__(self, problem, arrays: ProblemArrays) -> None:
+        self._problem = problem
+        self._arrays = arrays
+        self._edges: Optional[CandidateEdges] = None
+        self._bases: Optional[np.ndarray] = None
+        self._edge_index: Optional[Dict[Tuple[int, int], int]] = None
+        self._utilities: Optional[np.ndarray] = None
+        # Point-lookup accelerators (plain Python containers; indexing
+        # numpy scalars per online decision is measurably slower).
+        self._util_rows: Optional[List[List[float]]] = None
+        self._adjacency: Optional[Dict[int, List[int]]] = None
+        # Affordability is a threshold on the K type costs, so the
+        # affordable set is one of at most K+1 cost-sorted prefixes
+        # ("levels"); level L covers the L cheapest types.
+        by_cost = sorted((c, k) for k, c in enumerate(arrays.type_cost.tolist()))
+        self._sorted_costs: List[float] = [c for c, _ in by_cost]
+        self._level_cols: List[Tuple[int, ...]] = [
+            tuple(sorted(k for _, k in by_cost[:level]))
+            for level in range(len(by_cost) + 1)
+        ]
+        self._level_tables: Dict[str, List[Optional[List[int]]]] = {
+            "efficiency": [None] * (len(by_cost) + 1),
+            "utility": [None] * (len(by_cost) + 1),
+        }
+
+    @classmethod
+    def create(cls, problem) -> Optional["ComputeEngine"]:
+        """An engine for ``problem``, or ``None`` when its utility model
+        has no vectorized kernel."""
+        if not supports_vectorization(problem.utility_model):
+            return None
+        arrays = ProblemArrays.from_problem(problem)
+        if type(problem.utility_model) is TaxonomyUtilityModel and (
+            arrays.interests is None or arrays.tags is None
+        ):
+            return None
+        return cls(problem, arrays)
+
+    # ------------------------------------------------------------------
+    # Columnar state
+    # ------------------------------------------------------------------
+    @property
+    def arrays(self) -> ProblemArrays:
+        """The structure-of-arrays entity columns."""
+        return self._arrays
+
+    @property
+    def edges_built(self) -> bool:
+        """Whether the edge table has been materialised yet."""
+        return self._edges is not None
+
+    @property
+    def edges(self) -> CandidateEdges:
+        """The candidate-edge table (built on first access)."""
+        if self._edges is None:
+            self._edges = build_candidate_edges(self._problem, self._arrays)
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        """Number of range-valid candidate pairs."""
+        return len(self.edges)
+
+    @property
+    def pair_bases(self) -> np.ndarray:
+        """``(E,)`` Eq. 4 pair bases, aligned with :attr:`edges`."""
+        if self._bases is None:
+            bases = _kernel_pair_bases(
+                self._problem.utility_model, self._arrays, self.edges
+            )
+            if bases is None:  # pragma: no cover - guarded by create()
+                raise RuntimeError(
+                    "engine created for a model without a vectorized kernel"
+                )
+            self._bases = bases
+        return self._bases
+
+    @property
+    def edge_index(self) -> Dict[Tuple[int, int], int]:
+        """``(customer_id, vendor_id)`` -> edge position."""
+        if self._edge_index is None:
+            edges = self.edges
+            cids = self._arrays.customer_ids[edges.customer_idx].tolist()
+            vids = self._arrays.vendor_ids[edges.vendor_idx].tolist()
+            self._edge_index = {
+                pair: pos for pos, pair in enumerate(zip(cids, vids))
+            }
+        return self._edge_index
+
+    def utilities(self) -> np.ndarray:
+        """``(E, K)`` utilities :math:`\\lambda_{ijk}` of every candidate
+        instance (edge-major, ad types in catalogue order)."""
+        if self._utilities is None:
+            self._utilities = (
+                self.pair_bases[:, None]
+                * self._arrays.type_effectiveness[None, :]
+            )
+        return self._utilities
+
+    def efficiencies(self) -> np.ndarray:
+        """``(E, K)`` budget efficiencies :math:`\\gamma_{ijk}`."""
+        return self.utilities() / self._arrays.type_cost[None, :]
+
+    def warm(self) -> int:
+        """Materialise every batch structure and point-lookup table.
+
+        Called by ``MUAAProblem.warm_utilities`` so the one-time builds
+        (edge table, pair bases, edge index, utility rows, best-type
+        tables) happen during warm-up rather than inside an online
+        decision loop.  Returns the number of candidate edges.
+        """
+        self.edge_index
+        if self._util_rows is None:
+            self._util_rows = self.utilities().tolist()
+        full = len(self._sorted_costs)
+        for by in ("efficiency", "utility"):
+            self._level_table(by, full)
+        self._vendor_adjacency()
+        return self.num_edges
+
+    def _vendor_adjacency(self) -> Dict[int, List[int]]:
+        """``customer_id`` -> vendor ids of its candidate edges.
+
+        Derived from the edge table (so a custom pair validator is
+        honoured), with vendors in catalogue (row) order.  The scalar
+        grid query returns the same *set* in grid-cell order; order is
+        immaterial to the online solvers, which score every listed
+        vendor independently before ranking.
+        """
+        if self._adjacency is None:
+            adjacency: Dict[int, List[int]] = {
+                cid: [] for cid in self._arrays.customer_ids.tolist()
+            }
+            # edge_index preserves edge-table insertion order, so its
+            # keys are the (customer_id, vendor_id) pairs in table order.
+            for cid, vid in self.edge_index:
+                adjacency[cid].append(vid)
+            self._adjacency = adjacency
+        return self._adjacency
+
+    def vendors_in_range(self, customer_id: int) -> Optional[List[int]]:
+        """Vendor ids of one customer's candidate edges, or ``None``
+        for a customer the problem does not know (callers fall back to
+        the scalar spatial query)."""
+        return self._vendor_adjacency().get(customer_id)
+
+    def vendor_edge_slice(self, vendor_id: int) -> slice:
+        """The contiguous edge range of one vendor (vendor-major table)."""
+        return self.edges.vendor_slice(self._arrays.vendor_index[vendor_id])
+
+    # ------------------------------------------------------------------
+    # Point lookups (the online algorithms' hot path)
+    # ------------------------------------------------------------------
+    def pair_base(self, customer_id: int, vendor_id: int) -> Optional[float]:
+        """The cached pair base, or ``None`` when the pair is not a
+        range-valid candidate (callers fall back to the scalar model)."""
+        pos = self.edge_index.get((customer_id, vendor_id))
+        if pos is None:
+            return None
+        return float(self.pair_bases[pos])
+
+    def pair_instances(
+        self, customer_id: int, vendor_id: int, base: float
+    ) -> List[AdInstance]:
+        """All ad-type choices of one pair from its pair base."""
+        return [
+            AdInstance(
+                customer_id=customer_id,
+                vendor_id=vendor_id,
+                type_id=ad_type.type_id,
+                utility=base * ad_type.effectiveness,
+                cost=ad_type.cost,
+            )
+            for ad_type in self._problem.ad_types
+        ]
+
+    def _level_table(self, by: str, level: int) -> List[int]:
+        """Per-edge best ad-type index over affordability level ``level``
+        (the ``level`` cheapest types), computed once per level.
+
+        ``np.argmax`` returns the *first* maximum, which is exactly the
+        scalar loop's strict-``>`` tie-breaking over catalogue order
+        (each level's columns are kept in ascending catalogue order).
+        """
+        cached = self._level_tables[by][level]
+        if cached is None:
+            matrix = (
+                self.efficiencies() if by == "efficiency" else self.utilities()
+            )
+            cols = self._level_cols[level]
+            if len(cols) == matrix.shape[1]:
+                cached = np.argmax(matrix, axis=1).tolist()
+            else:
+                sub = np.argmax(matrix[:, cols], axis=1)
+                cached = np.asarray(cols)[sub].tolist()
+            self._level_tables[by][level] = cached
+        return cached
+
+    def best_for_pair(
+        self,
+        customer_id: int,
+        vendor_id: int,
+        by: str = "efficiency",
+        max_cost: Optional[float] = None,
+    ):
+        """Point lookup for the online hot path.
+
+        Returns :data:`MISS` when the pair is not a candidate edge
+        (callers fall back to the scalar model), ``None`` when no ad
+        type is affordable, and the best :class:`AdInstance` otherwise.
+        The answer is always a precomputed table read: the affordable
+        set depends only on where ``max_cost`` falls among the K type
+        costs, so a bisection picks the level and the level's argmax
+        table gives the type.
+        """
+        index = self._edge_index
+        if index is None:
+            index = self.edge_index
+        pos = index.get((customer_id, vendor_id))
+        if pos is None:
+            return MISS
+        if max_cost is None:
+            level = len(self._sorted_costs)
+        else:
+            level = bisect_right(self._sorted_costs, max_cost + _COST_EPS)
+            if level == 0:
+                # Scalar path returns None on an empty affordable set
+                # *before* validating ``by`` -- preserve that order.
+                return None
+        tables = self._level_tables.get(by)
+        if tables is None:
+            raise ValueError(f"unknown ranking criterion {by!r}")
+        table = tables[level]
+        if table is None:
+            table = self._level_table(by, level)
+        k = table[pos]
+        rows = self._util_rows
+        if rows is None:
+            rows = self._util_rows = self.utilities().tolist()
+        ad_type = self._problem.ad_types[k]
+        return AdInstance(
+            customer_id=customer_id,
+            vendor_id=vendor_id,
+            type_id=ad_type.type_id,
+            utility=rows[pos][k],
+            cost=ad_type.cost,
+        )
+

@@ -107,6 +107,10 @@ class GuardedProblem(MUAAProblem):
         injector: FaultInjector,
         spatial_guard: Optional[DependencyGuard] = None,
     ) -> None:
+        # The engine would batch-evaluate utilities outside the guard;
+        # fault injection must see every evaluation, so force the
+        # scalar path (the guarded model type is rejected by the engine
+        # anyway -- this makes the intent explicit).
         super().__init__(
             customers=base.customers,
             vendors=base.vendors,
@@ -114,6 +118,7 @@ class GuardedProblem(MUAAProblem):
             utility_model=utility_model,
             pair_validator=base._pair_validator,
             spatial_backend=base._spatial_backend,
+            use_engine=False,
         )
         self._injector = injector
         self._spatial_guard = spatial_guard

@@ -42,6 +42,11 @@ class GridIndex:
             index.insert(item_id, point)
         return index
 
+    @property
+    def cell_size(self) -> float:
+        """Side length of each grid cell."""
+        return self._cell_size
+
     def __len__(self) -> int:
         return len(self._points)
 

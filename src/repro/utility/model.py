@@ -38,6 +38,23 @@ from repro.utility.preference import positive_preference
 #: thing that attenuates an ad's effect.
 MIN_DISTANCE = 1e-3
 
+#: Default bound on the number of cached pair bases / weight vectors.
+#: A long streaming run touches an unbounded set of (customer, vendor)
+#: pairs; without a bound the cache grows with the stream.
+DEFAULT_MAX_CACHE_ENTRIES = 1 << 20
+
+
+def clamp_distance(dist: float, min_distance: float = MIN_DISTANCE) -> float:
+    """The Eq. 4 denominator clamp, in its single authoritative place.
+
+    Both the scalar models below and the vectorized kernels in
+    :mod:`repro.engine.kernels` route their clamping through this
+    definition (the kernels apply the same ``max`` element-wise with the
+    model's :attr:`UtilityModel.min_distance`), so the two paths cannot
+    drift apart.
+    """
+    return max(dist, min_distance)
+
 
 class UtilityModel(ABC):
     """Interface every utility model implements."""
@@ -47,6 +64,11 @@ class UtilityModel(ABC):
     #: any other way (e.g. the knapsack-reduction's item locking) must
     #: set this True so callers evaluate :meth:`utility` per type.
     type_sensitive: bool = False
+
+    @property
+    def min_distance(self) -> float:
+        """The clamp applied to Eq. 4's distance denominator."""
+        return MIN_DISTANCE
 
     @abstractmethod
     def pair_base(self, customer: Customer, vendor: Vendor) -> float:
@@ -85,6 +107,10 @@ class DelegatingUtilityModel(UtilityModel):
     def type_sensitive(self) -> bool:  # type: ignore[override]
         return self.inner.type_sensitive
 
+    @property
+    def min_distance(self) -> float:
+        return self.inner.min_distance
+
     def pair_base(self, customer: Customer, vendor: Vendor) -> float:
         return self.inner.pair_base(customer, vendor)
 
@@ -103,6 +129,14 @@ class TaxonomyUtilityModel(UtilityModel):
             this resolution; 0.25 h is far finer than the diurnal curves
             vary, so the cache is exact for practical purposes.
         min_distance: Clamp for the distance denominator.
+        max_cache_entries: Bound on each internal cache (pair bases and
+            activity-weight vectors).  A cache that would exceed the
+            bound is cleared before inserting -- entries are cheap to
+            recompute, so clear-on-overflow keeps a long streaming run's
+            memory flat without LRU bookkeeping on the hot path.
+
+    Raises:
+        ValueError: On a non-positive resolution or cache bound.
     """
 
     def __init__(
@@ -110,22 +144,63 @@ class TaxonomyUtilityModel(UtilityModel):
         activity_model: ActivityModel,
         time_resolution_hours: float = 0.25,
         min_distance: float = MIN_DISTANCE,
+        max_cache_entries: int = DEFAULT_MAX_CACHE_ENTRIES,
     ) -> None:
         if time_resolution_hours <= 0:
             raise ValueError("time_resolution_hours must be positive")
+        if max_cache_entries <= 0:
+            raise ValueError("max_cache_entries must be positive")
         self._activity = activity_model
         self._resolution = time_resolution_hours
         self._min_distance = min_distance
+        self._max_cache_entries = max_cache_entries
         self._weights_cache: Dict[int, "object"] = {}
         self._pair_cache: Dict[Tuple[int, int], float] = {}
+        #: Times either cache hit its bound and was cleared.
+        self.cache_clears: int = 0
 
-    def _weights_at(self, hour: float):
-        bucket = int(round((hour % 24.0) / self._resolution))
+    @property
+    def min_distance(self) -> float:
+        return self._min_distance
+
+    @property
+    def max_cache_entries(self) -> int:
+        """The configured bound on each internal cache."""
+        return self._max_cache_entries
+
+    @property
+    def time_resolution_hours(self) -> float:
+        """Resolution of the activity-weight time grid."""
+        return self._resolution
+
+    def _cache_put(self, cache: Dict, key, value) -> None:
+        if len(cache) >= self._max_cache_entries:
+            cache.clear()
+            self.cache_clears += 1
+        cache[key] = value
+
+    def time_bucket(self, hour: float) -> int:
+        """The weight-grid bucket an hour falls into."""
+        return int(round((hour % 24.0) / self._resolution))
+
+    def weights_for_bucket(self, bucket: int):
+        """Activity weights of one time-grid bucket.
+
+        The vectorized engine evaluates edges bucket-by-bucket through
+        this same accessor, so both paths see identical weight vectors.
+        """
         weights = self._weights_cache.get(bucket)
         if weights is None:
             weights = self._activity.activity_vector(bucket * self._resolution)
-            self._weights_cache[bucket] = weights
+            self._cache_put(self._weights_cache, bucket, weights)
         return weights
+
+    def weights_at(self, hour: float):
+        """Activity weights :math:`\\alpha_x(\\varphi)` on the time grid."""
+        return self.weights_for_bucket(self.time_bucket(hour))
+
+    # Backwards-compatible private name.
+    _weights_at = weights_at
 
     def preference(self, customer: Customer, vendor: Vendor) -> float:
         """Temporal preference :math:`s(u_i, v_j, \\varphi)` (Eq. 5),
@@ -135,20 +210,20 @@ class TaxonomyUtilityModel(UtilityModel):
                 "taxonomy utility model needs interest/tag vectors on both "
                 "entities; use TabularUtilityModel for direct preferences"
             )
-        weights = self._weights_at(customer.arrival_time)
+        weights = self.weights_at(customer.arrival_time)
         return positive_preference(customer.interests, vendor.tags, weights)
 
     def pair_base(self, customer: Customer, vendor: Vendor) -> float:
         key = (customer.customer_id, vendor.vendor_id)
         base = self._pair_cache.get(key)
         if base is None:
-            dist = max(distance(customer, vendor), self._min_distance)
+            dist = clamp_distance(distance(customer, vendor), self._min_distance)
             base = (
                 customer.view_probability
                 * self.preference(customer, vendor)
                 / dist
             )
-            self._pair_cache[key] = base
+            self._cache_put(self._pair_cache, key, base)
         return base
 
 
@@ -181,6 +256,25 @@ class TabularUtilityModel(UtilityModel):
         self._default = default_preference
         self._min_distance = min_distance
 
+    @property
+    def min_distance(self) -> float:
+        return self._min_distance
+
+    @property
+    def preference_table(self) -> Mapping[Tuple[int, int], float]:
+        """The per-pair preference table (read-only view for the engine)."""
+        return self._preferences
+
+    @property
+    def distance_table(self) -> Optional[Mapping[Tuple[int, int], float]]:
+        """The per-pair distance overrides, or ``None``."""
+        return self._distances
+
+    @property
+    def default_preference(self) -> float:
+        """Preference used for pairs missing from the table."""
+        return self._default
+
     def preference(self, customer: Customer, vendor: Vendor) -> float:
         """The tabulated preference of the pair."""
         key = (customer.customer_id, vendor.vendor_id)
@@ -194,7 +288,7 @@ class TabularUtilityModel(UtilityModel):
         return distance(customer, vendor)
 
     def pair_base(self, customer: Customer, vendor: Vendor) -> float:
-        dist = max(self._distance(customer, vendor), self._min_distance)
+        dist = clamp_distance(self._distance(customer, vendor), self._min_distance)
         return (
             customer.view_probability
             * self.preference(customer, vendor)

@@ -14,7 +14,12 @@ from typing import Optional
 import numpy as np
 
 #: Variance below this is treated as zero (constant vector under weights).
-_VARIANCE_EPS = 1e-15
+#: Shared with the vectorized kernels in :mod:`repro.engine.kernels` so
+#: the scalar and columnar paths agree on degenerate vectors.
+VARIANCE_EPS = 1e-15
+
+#: Backwards-compatible alias.
+_VARIANCE_EPS = VARIANCE_EPS
 
 
 def weighted_mean(vector: np.ndarray, weights: np.ndarray) -> float:

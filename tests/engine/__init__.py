@@ -1,0 +1,1 @@
+"""Tests of the columnar compute engine (repro.engine)."""

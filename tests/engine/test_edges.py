@@ -1,0 +1,85 @@
+"""The candidate-edge table must mirror the scalar enumeration exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.entities import distance
+from repro.core.problem import MUAAProblem
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.engine import ProblemArrays, build_candidate_edges
+
+from tests.conftest import paper_example_problem, random_tabular_problem
+
+
+def _scalar_pairs(problem: MUAAProblem):
+    return [
+        (customer_id, vendor.vendor_id)
+        for vendor in problem.vendors
+        for customer_id in problem.valid_customer_ids(vendor)
+    ]
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    return synthetic_problem(
+        WorkloadConfig(
+            n_customers=120,
+            n_vendors=15,
+            seed=11,
+            radius_range=ParameterRange(0.1, 0.3),
+        )
+    )
+
+
+def test_pairs_match_scalar_enumeration_order(synthetic):
+    arrays = ProblemArrays.from_problem(synthetic)
+    edges = build_candidate_edges(synthetic, arrays)
+    assert list(edges.iter_pairs(arrays)) == _scalar_pairs(synthetic)
+
+
+def test_pairs_respect_custom_pair_validator():
+    problem = paper_example_problem()
+    arrays = ProblemArrays.from_problem(problem)
+    edges = build_candidate_edges(problem, arrays)
+    assert list(edges.iter_pairs(arrays)) == _scalar_pairs(problem)
+
+
+def test_distances_match_entity_geometry(synthetic):
+    arrays = ProblemArrays.from_problem(synthetic)
+    edges = build_candidate_edges(synthetic, arrays)
+    for pos, (customer_id, vendor_id) in enumerate(edges.iter_pairs(arrays)):
+        expected = distance(
+            synthetic.customers_by_id[customer_id],
+            synthetic.vendors_by_id[vendor_id],
+        )
+        assert edges.distance[pos] == pytest.approx(expected, rel=1e-12)
+
+
+def test_vendor_slices_partition_the_table(synthetic):
+    arrays = ProblemArrays.from_problem(synthetic)
+    edges = build_candidate_edges(synthetic, arrays)
+    total = 0
+    for row in range(arrays.n_vendors):
+        span = edges.vendor_slice(row)
+        assert np.all(edges.vendor_idx[span] == row)
+        total += span.stop - span.start
+    assert total == len(edges)
+
+
+def test_empty_problem_builds_empty_table():
+    problem = random_tabular_problem(seed=3)
+    # A validator that rejects everything gives an empty edge table.
+    strict = MUAAProblem(
+        customers=problem.customers,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=problem.utility_model,
+        pair_validator=lambda c, v: False,
+    )
+    arrays = ProblemArrays.from_problem(strict)
+    edges = build_candidate_edges(strict, arrays)
+    assert len(edges) == 0
+    assert list(edges.iter_pairs(arrays)) == []

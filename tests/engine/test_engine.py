@@ -1,0 +1,168 @@
+"""ComputeEngine facade behaviour and MUAAProblem integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import MUAAProblem
+from repro.engine import ComputeEngine, supports_vectorization
+from repro.utility.model import (
+    DelegatingUtilityModel,
+    TabularUtilityModel,
+    TaxonomyUtilityModel,
+)
+
+from tests.conftest import paper_example_problem, random_tabular_problem
+
+
+class _SubclassedTabular(TabularUtilityModel):
+    """A subclass may override Eq. 4; the engine must not assume it."""
+
+
+class _TypeSensitive(TabularUtilityModel):
+    type_sensitive = True
+
+
+def test_supports_vectorization_is_exact_type_check():
+    model = TabularUtilityModel(preferences={})
+    assert supports_vectorization(model)
+    assert not supports_vectorization(_SubclassedTabular(preferences={}))
+    assert not supports_vectorization(_TypeSensitive(preferences={}))
+    assert not supports_vectorization(DelegatingUtilityModel(model))
+
+
+def test_create_returns_none_for_unsupported_model():
+    problem = random_tabular_problem(seed=5)
+    wrapped = MUAAProblem(
+        customers=problem.customers,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=DelegatingUtilityModel(problem.utility_model),
+    )
+    assert ComputeEngine.create(wrapped) is None
+    assert wrapped.acquire_engine() is None
+
+
+def test_use_engine_false_never_builds():
+    problem = random_tabular_problem(seed=5)
+    scalar = MUAAProblem(
+        customers=problem.customers,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=problem.utility_model,
+        use_engine=False,
+    )
+    assert scalar.acquire_engine() is None
+    assert scalar.engine is None
+    scalar.warm_utilities()
+    assert scalar.engine is None
+
+
+def test_engine_is_lazy_until_batch_entry_point():
+    problem = paper_example_problem()
+    assert problem.engine is None
+    # A point lookup alone must not build the engine.
+    problem.best_instance_for_pair(0, 0)
+    assert problem.engine is None
+    problem.warm_utilities()
+    assert problem.engine is not None
+    assert problem.engine.edges_built
+
+
+def test_warm_utilities_counts_valid_pairs():
+    problem = paper_example_problem()
+    scalar_count = sum(
+        1
+        for _ in MUAAProblem(
+            customers=problem.customers,
+            vendors=problem.vendors,
+            ad_types=problem.ad_types,
+            utility_model=problem.utility_model,
+            pair_validator=problem._pair_validator,
+            use_engine=False,
+        ).valid_pairs()
+    )
+    assert problem.warm_utilities() == scalar_count
+    # Idempotent.
+    assert problem.warm_utilities() == scalar_count
+
+
+def test_point_lookups_match_scalar_path():
+    engine_problem = paper_example_problem()
+    scalar_problem = paper_example_problem()
+    scalar_problem._use_engine = False
+    engine_problem.warm_utilities()
+    assert engine_problem.engine is not None
+    for customer_id, vendor_id in scalar_problem.valid_pairs():
+        for by in ("efficiency", "utility"):
+            for max_cost in (None, 1.5, 0.5):
+                got = engine_problem.best_instance_for_pair(
+                    customer_id, vendor_id, by=by, max_cost=max_cost
+                )
+                want = scalar_problem.best_instance_for_pair(
+                    customer_id, vendor_id, by=by, max_cost=max_cost
+                )
+                assert got == want
+        assert engine_problem.pair_instances(
+            customer_id, vendor_id
+        ) == scalar_problem.pair_instances(customer_id, vendor_id)
+        for ad_type in engine_problem.ad_types:
+            assert engine_problem.utility(
+                customer_id, vendor_id, ad_type.type_id
+            ) == pytest.approx(
+                scalar_problem.utility(
+                    customer_id, vendor_id, ad_type.type_id
+                ),
+                rel=1e-9,
+            )
+
+
+def test_best_instance_rejects_unknown_criterion():
+    problem = paper_example_problem()
+    problem.warm_utilities()
+    with pytest.raises(ValueError):
+        problem.best_instance_for_pair(0, 0, by="luck")
+
+
+def test_best_instance_none_when_nothing_affordable():
+    problem = paper_example_problem()
+    problem.warm_utilities()
+    assert problem.best_instance_for_pair(0, 0, max_cost=0.0) is None
+
+
+def test_utilities_matrix_shape_and_values():
+    problem = paper_example_problem()
+    engine = problem.acquire_engine()
+    utilities = engine.utilities()
+    assert utilities.shape == (engine.num_edges, len(problem.ad_types))
+    efficiencies = engine.efficiencies()
+    costs = np.array([t.cost for t in problem.ad_types])
+    assert np.allclose(efficiencies, utilities / costs)
+
+
+def test_valid_pairs_identical_with_and_without_engine():
+    problem = random_tabular_problem(seed=9)
+    scalar = MUAAProblem(
+        customers=problem.customers,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=problem.utility_model,
+        use_engine=False,
+    )
+    problem.warm_utilities()
+    assert list(problem.valid_pairs()) == list(scalar.valid_pairs())
+
+
+def test_candidate_instances_identical_with_and_without_engine():
+    problem = random_tabular_problem(seed=9)
+    scalar = MUAAProblem(
+        customers=problem.customers,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=problem.utility_model,
+        use_engine=False,
+    )
+    assert list(problem.candidate_instances()) == list(
+        scalar.candidate_instances()
+    )

@@ -1,0 +1,155 @@
+"""Every refactored solver must produce identical results on both paths.
+
+The acceptance bar of the engine PR: GREEDY and O-AFA produce identical
+assignments whether candidates are scored by the columnar engine or the
+scalar reference model; RECON, LP rounding and the calibration helpers
+agree likewise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.calibration import (
+    calibrate_per_vendor,
+    observed_efficiencies,
+)
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.algorithms.lp_rounding import LPRounding
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.algorithms.online_static import OnlineStaticThreshold
+from repro.algorithms.recon import Reconciliation
+from repro.core.problem import MUAAProblem
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.stream.simulator import OnlineSimulator
+
+from tests.conftest import random_tabular_problem
+
+
+def _variants(problem: MUAAProblem):
+    """The same instance, once engine-enabled and once scalar-only."""
+    engine = MUAAProblem(
+        customers=problem.customers,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=problem.utility_model,
+        pair_validator=problem._pair_validator,
+        use_engine=True,
+    )
+    scalar = MUAAProblem(
+        customers=problem.customers,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=problem.utility_model,
+        pair_validator=problem._pair_validator,
+        use_engine=False,
+    )
+    return engine, scalar
+
+
+def _triples(assignment):
+    return sorted(
+        (inst.customer_id, inst.vendor_id, inst.type_id)
+        for inst in assignment
+    )
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    return synthetic_problem(
+        WorkloadConfig(
+            n_customers=150,
+            n_vendors=20,
+            seed=23,
+            radius_range=ParameterRange(0.1, 0.25),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def tabular():
+    return random_tabular_problem(seed=17)
+
+
+@pytest.mark.parametrize("fixture", ["synthetic", "tabular"])
+def test_greedy_assignments_identical(fixture, request):
+    engine, scalar = _variants(request.getfixturevalue(fixture))
+    solver = GreedyEfficiency()
+    a_engine = solver.solve(engine)
+    a_scalar = solver.solve(scalar)
+    assert engine.engine is not None  # the fast path actually ran
+    assert _triples(a_engine) == _triples(a_scalar)
+    assert a_engine.total_utility == pytest.approx(
+        a_scalar.total_utility, rel=1e-9
+    )
+
+
+def test_greedy_rescan_still_matches(synthetic):
+    engine, scalar = _variants(synthetic)
+    fast = GreedyEfficiency().solve(engine)
+    rescan = GreedyEfficiency(rescan=True).solve(scalar)
+    assert _triples(fast) == _triples(rescan)
+
+
+@pytest.mark.parametrize("fixture", ["synthetic", "tabular"])
+def test_online_afa_assignments_identical(fixture, request):
+    engine, scalar = _variants(request.getfixturevalue(fixture))
+    algorithm = OnlineAdaptiveFactorAware.calibrated(scalar, seed=5)
+    streamed_engine = OnlineSimulator(engine).run(algorithm, warm_engine=True)
+    streamed_scalar = OnlineSimulator(scalar).run(algorithm)
+    assert engine.engine is not None
+    assert _triples(streamed_engine.assignment) == _triples(
+        streamed_scalar.assignment
+    )
+
+
+def test_online_static_calibrated_threshold(synthetic):
+    engine, scalar = _variants(synthetic)
+    from_engine = OnlineStaticThreshold.calibrated(engine, seed=5)
+    from_scalar = OnlineStaticThreshold.calibrated(scalar, seed=5)
+    assert from_engine.threshold_function.value == pytest.approx(
+        from_scalar.threshold_function.value, rel=1e-9
+    )
+
+
+def test_recon_assignments_identical(synthetic):
+    engine, scalar = _variants(synthetic)
+    a_engine = Reconciliation(seed=3).solve(engine)
+    a_scalar = Reconciliation(seed=3).solve(scalar)
+    assert engine.engine is not None
+    assert _triples(a_engine) == _triples(a_scalar)
+
+
+def test_lp_rounding_assignments_identical(tabular):
+    engine, scalar = _variants(tabular)
+    solver_engine = LPRounding()
+    solver_scalar = LPRounding()
+    a_engine = solver_engine.solve(engine)
+    a_scalar = solver_scalar.solve(scalar)
+    assert engine.engine is not None
+    assert _triples(a_engine) == _triples(a_scalar)
+    assert solver_engine.last_lp_value == pytest.approx(
+        solver_scalar.last_lp_value, rel=1e-9
+    )
+
+
+def test_observed_efficiencies_same_multiset(synthetic):
+    engine, scalar = _variants(synthetic)
+    got = np.sort(observed_efficiencies(engine, sample_customers=60, seed=2))
+    want = np.sort(observed_efficiencies(scalar, sample_customers=60, seed=2))
+    assert got.shape == want.shape
+    np.testing.assert_allclose(got, want, rtol=1e-9)
+
+
+def test_per_vendor_calibration_identical(synthetic):
+    engine, scalar = _variants(synthetic)
+    got = calibrate_per_vendor(engine, sample_customers=60, seed=2)
+    want = calibrate_per_vendor(scalar, sample_customers=60, seed=2)
+    assert set(got) == set(want)
+    for vendor_id, bounds in want.items():
+        assert got[vendor_id].gamma_min == pytest.approx(
+            bounds.gamma_min, rel=1e-9
+        )
+        assert got[vendor_id].g == pytest.approx(bounds.g, rel=1e-9)

@@ -15,6 +15,7 @@ PACKAGES = (
     "repro.lp",
     "repro.mckp",
     "repro.algorithms",
+    "repro.engine",
     "repro.resilience",
     "repro.stream",
     "repro.datagen",

@@ -1,0 +1,92 @@
+"""Bounded utility-model caches (the streaming-memory satellite)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.entities import Customer, Vendor
+from repro.utility.model import (
+    DEFAULT_MAX_CACHE_ENTRIES,
+    TaxonomyUtilityModel,
+)
+
+
+class _FlatActivity:
+    def __init__(self, n_tags: int) -> None:
+        self._n_tags = n_tags
+
+    def activity_vector(self, hour: float) -> np.ndarray:
+        return np.ones(self._n_tags)
+
+
+def _customer(i: int) -> Customer:
+    rng = np.random.default_rng(i)
+    return Customer(
+        customer_id=i,
+        location=(0.1 * i, 0.2),
+        capacity=1,
+        view_probability=0.5,
+        interests=rng.uniform(0.0, 1.0, size=4),
+        arrival_time=float(i % 24),
+    )
+
+
+def _vendor(j: int) -> Vendor:
+    rng = np.random.default_rng(1000 + j)
+    return Vendor(
+        vendor_id=j,
+        location=(0.5, 0.5),
+        radius=10.0,
+        budget=5.0,
+        tags=rng.uniform(0.0, 1.0, size=4),
+    )
+
+
+def test_default_bound_is_large():
+    model = TaxonomyUtilityModel(_FlatActivity(4))
+    assert model.max_cache_entries == DEFAULT_MAX_CACHE_ENTRIES
+
+
+def test_rejects_non_positive_bound():
+    with pytest.raises(ValueError):
+        TaxonomyUtilityModel(_FlatActivity(4), max_cache_entries=0)
+    with pytest.raises(ValueError):
+        TaxonomyUtilityModel(_FlatActivity(4), max_cache_entries=-3)
+
+
+def test_pair_cache_never_exceeds_bound():
+    model = TaxonomyUtilityModel(_FlatActivity(4), max_cache_entries=8)
+    vendor = _vendor(0)
+    for i in range(50):
+        model.pair_base(_customer(i), vendor)
+        assert len(model._pair_cache) <= 8
+    assert model.cache_clears > 0
+
+
+def test_weights_cache_never_exceeds_bound():
+    model = TaxonomyUtilityModel(
+        _FlatActivity(4),
+        time_resolution_hours=0.25,
+        max_cache_entries=4,
+    )
+    customer = _customer(0)
+    vendor = _vendor(0)
+    for hour in np.linspace(0.0, 23.9, 40):
+        model.weights_at(float(hour))
+        assert len(model._weights_cache) <= 4
+
+
+def test_values_survive_cache_clears():
+    """Clear-on-overflow must not change any returned value."""
+    bounded = TaxonomyUtilityModel(_FlatActivity(4), max_cache_entries=2)
+    unbounded = TaxonomyUtilityModel(_FlatActivity(4))
+    vendor = _vendor(0)
+    customers = [_customer(i) for i in range(12)]
+    # Two passes: the second re-evaluates entries evicted by the first.
+    for _ in range(2):
+        for customer in customers:
+            assert bounded.pair_base(customer, vendor) == unbounded.pair_base(
+                customer, vendor
+            )
+    assert bounded.cache_clears > 0

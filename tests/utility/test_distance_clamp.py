@@ -1,0 +1,107 @@
+"""Regression tests pinning the single MIN_DISTANCE clamp.
+
+Eq. 4 divides by the customer-vendor distance; distances below
+``MIN_DISTANCE`` are clamped in exactly one place
+(:func:`repro.utility.model.clamp_distance`), which both scalar models
+and the vectorized kernels route through.  These tests pin the clamped
+values so any drift in the clamp -- its constant, its location, or a
+path that stops using it -- fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.entities import AdType, Customer, Vendor
+from repro.core.problem import MUAAProblem
+from repro.engine import ProblemArrays, build_candidate_edges, pair_bases
+from repro.utility.model import (
+    MIN_DISTANCE,
+    TabularUtilityModel,
+    TaxonomyUtilityModel,
+    clamp_distance,
+)
+
+
+def test_clamp_distance_pins_the_constant():
+    assert MIN_DISTANCE == 1e-3
+    assert clamp_distance(0.0) == 1e-3
+    assert clamp_distance(5e-4) == 1e-3
+    assert clamp_distance(1e-3) == 1e-3
+    assert clamp_distance(0.25) == 0.25
+
+
+def test_clamp_distance_honours_custom_minimum():
+    assert clamp_distance(0.0, min_distance=0.05) == 0.05
+    assert clamp_distance(0.1, min_distance=0.05) == 0.1
+
+
+def test_tabular_pair_base_pins_clamped_value():
+    """view_probability 0.5 x preference 0.8 / clamp 1e-3 == 400.0."""
+    customer = Customer(
+        customer_id=0, location=(0.2, 0.2), capacity=1, view_probability=0.5
+    )
+    vendor = Vendor(vendor_id=0, location=(0.2, 0.2), radius=1.0, budget=5.0)
+    model = TabularUtilityModel(preferences={(0, 0): 0.8})
+    assert model.pair_base(customer, vendor) == pytest.approx(400.0)
+
+
+def test_engine_and_scalar_clamp_identically_at_zero_distance():
+    customer = Customer(
+        customer_id=0,
+        location=(0.3, 0.3),
+        capacity=1,
+        view_probability=0.5,
+        interests=np.array([0.9, 0.1, 0.5]),
+    )
+    vendor = Vendor(
+        vendor_id=0,
+        location=(0.3, 0.3),  # coincident: raw distance is exactly 0
+        radius=1.0,
+        budget=5.0,
+        tags=np.array([0.9, 0.1, 0.5]),  # identical: correlation exactly 1
+    )
+
+    class _Flat:
+        def activity_vector(self, hour):
+            return np.ones(3)
+
+    model = TaxonomyUtilityModel(_Flat())
+    problem = MUAAProblem(
+        customers=[customer],
+        vendors=[vendor],
+        ad_types=[AdType(type_id=0, name="TL", cost=1.0, effectiveness=0.1)],
+        utility_model=model,
+        use_engine=False,
+    )
+    arrays = ProblemArrays.from_problem(problem)
+    edges = build_candidate_edges(problem, arrays)
+    assert edges.distance[0] == 0.0  # the clamp is NOT baked into the table
+    engine_base = pair_bases(model, arrays, edges)[0]
+    scalar_base = TaxonomyUtilityModel(_Flat()).pair_base(customer, vendor)
+    assert engine_base == pytest.approx(scalar_base, rel=1e-9)
+    # Pinned: preference is a perfect positive correlation (1.0), so the
+    # base is exactly p / MIN_DISTANCE = 0.5 / 1e-3.
+    assert scalar_base == pytest.approx(500.0)
+
+
+def test_custom_min_distance_flows_through_engine():
+    customer = Customer(
+        customer_id=0, location=(0.0, 0.0), capacity=1, view_probability=1.0
+    )
+    vendor = Vendor(vendor_id=0, location=(0.0, 0.0), radius=1.0, budget=5.0)
+    model = TabularUtilityModel(
+        preferences={(0, 0): 1.0}, min_distance=0.25
+    )
+    problem = MUAAProblem(
+        customers=[customer],
+        vendors=[vendor],
+        ad_types=[AdType(type_id=0, name="TL", cost=1.0, effectiveness=0.1)],
+        utility_model=model,
+        use_engine=False,
+    )
+    arrays = ProblemArrays.from_problem(problem)
+    edges = build_candidate_edges(problem, arrays)
+    assert pair_bases(model, arrays, edges)[0] == pytest.approx(4.0)
+    assert model.pair_base(customer, vendor) == pytest.approx(4.0)
