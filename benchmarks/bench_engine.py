@@ -7,16 +7,20 @@ pipeline -- candidate scoring plus both solvers -- at least 5x faster.
 The measured sweep is emitted to ``BENCH_engine.json`` at the repo root
 so regressions are diffable.
 
+Timing/JSON discipline is shared with the other gate benchmarks; see
+``benchmarks/harness.py``.
+
 Run directly with ``pytest -q -s benchmarks/bench_engine.py``.
 """
 
 from __future__ import annotations
 
-import gc
-import json
-import time
-from pathlib import Path
-
+from benchmarks.harness import (
+    StageTimer,
+    best_of,
+    sorted_triples,
+    write_bench_json,
+)
 from repro.algorithms.greedy import GreedyEfficiency
 from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
 from repro.core.problem import MUAAProblem
@@ -40,12 +44,9 @@ SPEEDUP_GATE = 5.0
 #: Smaller sweep points recorded alongside the gate size.
 SWEEP_SIZES = ((500, 50), (1_000, 100), (2_000, 200))
 
-#: Fresh-problem repetitions per path; the fastest total is recorded
-#: (standard practice to suppress scheduler jitter -- every repeat
-#: starts from cold caches, so the minimum is still an honest run).
+#: Fresh-problem repetitions per path (fastest total kept; see
+#: ``benchmarks.harness.best_of``).
 REPEATS = 5
-
-RESULTS_PATH = Path(__file__).parent.parent / "BENCH_engine.json"
 
 
 def _build(config: WorkloadConfig, use_engine: bool) -> MUAAProblem:
@@ -60,51 +61,24 @@ def _build(config: WorkloadConfig, use_engine: bool) -> MUAAProblem:
     )
 
 
-def _triples(assignment):
-    return sorted(
-        (inst.customer_id, inst.vendor_id, inst.type_id)
-        for inst in assignment
-    )
-
-
 def _run_path(problem: MUAAProblem, algorithm) -> dict:
     """Time the end-to-end pipeline on one path: candidate scoring
     (``warm_utilities``), GREEDY, then the O-AFA stream."""
-    gc.collect()  # start each repeat from a settled heap
-    timings = {}
-    start = time.perf_counter()
-    n_pairs = problem.warm_utilities()
-    timings["warm_seconds"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    greedy = GreedyEfficiency().solve(problem)
-    timings["greedy_seconds"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    streamed = OnlineSimulator(problem).run(algorithm, measure_latency=False)
-    timings["oafa_seconds"] = time.perf_counter() - start
-
-    timings["total_seconds"] = (
-        timings["warm_seconds"]
-        + timings["greedy_seconds"]
-        + timings["oafa_seconds"]
-    )
+    timer = StageTimer()
+    with timer.stage("warm"):
+        n_pairs = problem.warm_utilities()
+    with timer.stage("greedy"):
+        greedy = GreedyEfficiency().solve(problem)
+    with timer.stage("oafa"):
+        streamed = OnlineSimulator(problem).run(
+            algorithm, measure_latency=False
+        )
     return {
-        "timings": timings,
+        "timings": timer.timings,
         "n_pairs": n_pairs,
         "greedy": greedy,
         "oafa": streamed.assignment,
     }
-
-
-def _best_of(config: WorkloadConfig, use_engine: bool, algorithm) -> dict:
-    """The fastest of ``REPEATS`` runs, each on a fresh problem (fresh
-    model caches and engine state)."""
-    runs = [
-        _run_path(_build(config, use_engine), algorithm)
-        for _ in range(REPEATS)
-    ]
-    return min(runs, key=lambda run: run["timings"]["total_seconds"])
 
 
 def _measure(config: WorkloadConfig) -> dict:
@@ -113,11 +87,21 @@ def _measure(config: WorkloadConfig) -> dict:
     algorithm = OnlineAdaptiveFactorAware.calibrated(
         _build(config, use_engine=True), seed=config.seed
     )
-    scalar = _best_of(config, use_engine=False, algorithm=algorithm)
-    engine = _best_of(config, use_engine=True, algorithm=algorithm)
+    scalar = best_of(
+        lambda: _run_path(_build(config, use_engine=False), algorithm),
+        REPEATS,
+    )
+    engine = best_of(
+        lambda: _run_path(_build(config, use_engine=True), algorithm),
+        REPEATS,
+    )
 
-    greedy_identical = _triples(engine["greedy"]) == _triples(scalar["greedy"])
-    oafa_identical = _triples(engine["oafa"]) == _triples(scalar["oafa"])
+    greedy_identical = (
+        sorted_triples(engine["greedy"]) == sorted_triples(scalar["greedy"])
+    )
+    oafa_identical = (
+        sorted_triples(engine["oafa"]) == sorted_triples(scalar["oafa"])
+    )
     speedup = (
         scalar["timings"]["total_seconds"]
         / engine["timings"]["total_seconds"]
@@ -160,12 +144,7 @@ def test_engine_speedup_gate():
             f"{str(row['oafa_identical']):>7}"
         )
 
-    RESULTS_PATH.write_text(
-        json.dumps({"speedup_gate": SPEEDUP_GATE, "sweep": rows}, indent=2)
-        + "\n",
-        encoding="utf-8",
-    )
-    print(f"[engine] wrote {RESULTS_PATH}")
+    write_bench_json("engine", {"speedup_gate": SPEEDUP_GATE, "sweep": rows})
 
     gate = rows[-1]
     assert gate["n_customers"] == 2_000 and gate["n_vendors"] == 200

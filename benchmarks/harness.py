@@ -1,0 +1,110 @@
+"""Shared timing and JSON-emission boilerplate for the gate benchmarks.
+
+The acceptance benchmarks (``bench_engine.py``, ``bench_parallel.py``)
+share one measurement discipline:
+
+* stages are timed with :class:`StageTimer` (one ``perf_counter`` pair
+  per named stage, plus the derived total);
+* each measured path is repeated on a **fresh** problem instance and
+  the fastest total is kept (:func:`best_of`) -- every repeat starts
+  from cold caches, so the minimum is still an honest run while
+  scheduler jitter is suppressed;
+* assignments are compared via :func:`sorted_triples` (byte-identical
+  results are part of every gate, not just speed); and
+* the measured sweep is emitted as ``BENCH_<name>.json`` at the repo
+  root (:func:`write_bench_json`), always stamped with the machine's
+  CPU count so conditional gates (e.g. "enforce only on >= 4 cores")
+  are auditable from the artifact alone.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from repro.parallel import available_cpus
+
+#: Repo root; the ``BENCH_*.json`` artifacts live here so CI can diff
+#: them without knowing the benchmark layout.
+REPO_ROOT = Path(__file__).parent.parent
+
+
+class StageTimer:
+    """Accumulates named stage durations into a timings dict.
+
+    Usage::
+
+        timer = StageTimer()
+        with timer.stage("warm"):
+            problem.warm_utilities()
+        with timer.stage("solve"):
+            algorithm.solve(problem)
+        timer.timings  # {"warm_seconds": ..., "solve_seconds": ...,
+                       #  "total_seconds": ...}
+    """
+
+    def __init__(self) -> None:
+        self._timings: Dict[str, float] = {}
+
+    def stage(self, name: str) -> "_Stage":
+        return _Stage(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        self._timings[f"{name}_seconds"] = seconds
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        out = dict(self._timings)
+        out["total_seconds"] = sum(self._timings.values())
+        return out
+
+
+class _Stage:
+    def __init__(self, timer: StageTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> "_Stage":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.record(self._name, time.perf_counter() - self._start)
+
+
+def best_of(run: Callable[[], dict], repeats: int) -> dict:
+    """The fastest of ``repeats`` runs by ``["timings"]["total_seconds"]``.
+
+    ``run`` must build its own fresh problem instance (fresh model
+    caches, fresh engine state) so repeats are independent; a
+    ``gc.collect()`` before each run starts it from a settled heap.
+    """
+    runs: List[dict] = []
+    for _ in range(repeats):
+        gc.collect()
+        runs.append(run())
+    return min(runs, key=lambda r: r["timings"]["total_seconds"])
+
+
+def sorted_triples(assignment):
+    """An order-independent identity fingerprint of an assignment."""
+    return sorted(
+        (inst.customer_id, inst.vendor_id, inst.type_id)
+        for inst in assignment
+    )
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root (CPU count stamped).
+
+    Returns the artifact path; also echoes a ``[name] wrote ...`` marker
+    so the run log shows which artifacts were produced.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    payload = {"cpu_count": available_cpus(), **payload}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"[{name}] wrote {path}")
+    return path

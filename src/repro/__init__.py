@@ -51,6 +51,7 @@ from repro.datagen import (
     synthetic_problem,
 )
 from repro.experiments import run_panel, run_sweep
+from repro.parallel import ParallelConfig
 from repro.resilience import FaultPlan, ResilientBroker, SimulatedClock
 from repro.stream import OnlineSimulator
 from repro.taxonomy import Taxonomy, foursquare_taxonomy

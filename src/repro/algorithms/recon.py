@@ -14,7 +14,7 @@ bounds the result at :math:`(1 - \\varepsilon)\\,\\theta` of optimal.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from repro.core.entities import Vendor
 from repro.core.problem import MUAAProblem
 from repro.mckp.items import MCKPInstance, MCKPItem
 from repro.mckp.solvers import solve as solve_mckp
+from repro.parallel import ParallelConfig, parallel_map, resolve
+from repro.parallel import recon_workers
+from repro.parallel.shm import HAVE_SHARED_MEMORY, ship_columns
 
 _EPS = 1e-9
 
@@ -36,12 +39,21 @@ class Reconciliation(OfflineAlgorithm):
             :data:`repro.mckp.solvers.SOLVER_NAMES`.
         seed: RNG seed for the random order in which violated customers
             are reconciled (line 7 of Algorithm 1 picks randomly).
+            The RNG state is derived from this seed alone -- never from
+            worker scheduling -- so a fixed seed produces identical
+            assignments at every ``jobs`` value.
         violation_order: Order in which violated customers are
             reconciled -- ``"random"`` (the paper's choice),
             ``"most-violated"`` (largest capacity excess first), or
             ``"least-excess"`` (smallest excess first).  Exposed for
             the reconciliation-order ablation; the guarantee of
             Theorem III.1 holds for any order.
+        jobs: Worker processes for the per-vendor MCKP solves (the
+            independent subproblems of Eq. 8).  ``1`` (default) keeps
+            the serial path; vendor batches are chunked across workers
+            and merged in vendor order, so assignments are
+            byte-identical to serial at any value.
+        parallel: Full fan-out configuration; overrides ``jobs``.
 
     Raises:
         ValueError: On an unknown violation order.
@@ -57,6 +69,8 @@ class Reconciliation(OfflineAlgorithm):
         mckp_method: str = "greedy-lp",
         seed: Optional[int] = None,
         violation_order: str = "random",
+        jobs: int = 1,
+        parallel: Optional[ParallelConfig] = None,
     ) -> None:
         if violation_order not in self.VIOLATION_ORDERS:
             raise ValueError(
@@ -66,6 +80,7 @@ class Reconciliation(OfflineAlgorithm):
         self._mckp_method = mckp_method
         self._seed = seed
         self._violation_order = violation_order
+        self._parallel = resolve(parallel, jobs)
         #: Diagnostics of the last run (violations found, ads replaced).
         self.last_stats: Dict[str, float] = {}
 
@@ -121,6 +136,69 @@ class Reconciliation(OfflineAlgorithm):
             for customer_id, item in solution.chosen.items()
         ]
 
+    def _vendor_solutions(
+        self, problem: MUAAProblem
+    ) -> Iterator[List[AdInstance]]:
+        """Per-vendor MCKP solutions, in vendor catalogue order.
+
+        With ``jobs > 1`` and a built compute engine, vendor batches are
+        solved in worker processes against shared-memory columns and
+        merged back in vendor order; results are byte-identical to the
+        serial loop.  Degrades to serial when the pool declines (one
+        job, no shared memory, worker crash) or there is no engine.
+        """
+        chunks = self._parallel_vendor_solutions(problem)
+        if chunks is not None:
+            return iter(chunks)
+        return (
+            self._solve_single_vendor(problem, vendor)
+            for vendor in problem.vendors
+        )
+
+    def _parallel_vendor_solutions(
+        self, problem: MUAAProblem
+    ) -> Optional[List[List[AdInstance]]]:
+        """Fan the per-vendor solves across workers, or ``None``."""
+        n_vendors = len(problem.vendors)
+        if not HAVE_SHARED_MEMORY or not self._parallel.active(n_vendors):
+            return None
+        engine = problem.acquire_engine()
+        if engine is None:
+            # The scalar utility path cannot be shipped as columns;
+            # stay on the serial reference loop.
+            return None
+        arrays = engine.arrays
+        edges = engine.edges
+        columns = {
+            "utilities": engine.utilities(),
+            "edge_customer": np.asarray(edges.customer_idx, dtype=np.int64),
+            "vendor_starts": np.asarray(edges.vendor_starts, dtype=np.int64),
+            "customer_ids": arrays.customer_ids,
+            "budget": arrays.budget,
+            "type_cost": arrays.type_cost,
+            "type_ids": arrays.type_ids,
+        }
+        with ship_columns(columns) as shipment:
+            chunked = parallel_map(
+                recon_workers.solve_vendor_span,
+                self._parallel.spans(n_vendors),
+                self._parallel,
+                initializer=recon_workers.init_worker,
+                initargs=(shipment.handle, self._mckp_method),
+            )
+        if chunked is None:
+            return None
+        vendor_ids = arrays.vendor_ids
+        solutions: List[List[AdInstance]] = [None] * n_vendors  # type: ignore[list-item]
+        for chunk in chunked:
+            for vendor_row, choices in chunk:
+                vendor_id = int(vendor_ids[vendor_row])
+                solutions[vendor_row] = [
+                    problem.make_instance(customer_id, vendor_id, type_id)
+                    for customer_id, type_id in choices
+                ]
+        return solutions
+
     # ------------------------------------------------------------------
     # Reconciliation (lines 6-11)
     # ------------------------------------------------------------------
@@ -133,17 +211,21 @@ class Reconciliation(OfflineAlgorithm):
         spend: Dict[int, float] = {v.vendor_id: 0.0 for v in problem.vendors}
         assigned_pairs: Set[Tuple[int, int]] = set()
 
-        for vendor in problem.vendors:
-            for inst in self._solve_single_vendor(problem, vendor):
+        for instances in self._vendor_solutions(problem):
+            for inst in instances:
                 by_customer.setdefault(inst.customer_id, []).append(inst)
                 spend[inst.vendor_id] += inst.cost
                 assigned_pairs.add(inst.pair)
 
-        violated = [
+        # Canonical (sorted) base order: the reconciliation order must
+        # be a function of the seed and the instance alone, never of
+        # dict insertion order or worker scheduling -- ``seed=`` then
+        # gives identical output at any ``jobs`` value.
+        violated = sorted(
             cid
             for cid, instances in by_customer.items()
             if len(instances) > problem.capacities[cid]
-        ]
+        )
         if self._violation_order == "random":
             rng.shuffle(violated)
         else:

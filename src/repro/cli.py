@@ -20,6 +20,16 @@ from typing import List, Optional
 from repro.experiments.report import full_report
 
 
+def _parallel_from_args(args: argparse.Namespace):
+    """The :class:`ParallelConfig` for ``--jobs``, or ``None`` (serial)."""
+    jobs = getattr(args, "jobs", 1)
+    if jobs == 1:
+        return None
+    from repro.parallel import ParallelConfig
+
+    return ParallelConfig(jobs=jobs)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -30,10 +40,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_jobs(command) -> None:
+        command.add_argument(
+            "--jobs", "-j", type=int, default=1, metavar="N",
+            help="worker processes for the experiment fan-out "
+                 "(default 1 = serial; 0 = all cores; results are "
+                 "identical at any value)",
+        )
+
     demo = sub.add_parser("demo", help="run the algorithm panel once")
     demo.add_argument("--customers", type=int, default=2_000)
     demo.add_argument("--vendors", type=int, default=150)
     demo.add_argument("--seed", type=int, default=7)
+    add_jobs(demo)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=range(3, 9),
@@ -45,6 +64,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also write the rows as CSV")
     figure.add_argument("--json", type=str, default=None,
                         help="also write the rows as JSON")
+    add_jobs(figure)
 
     ratio = sub.add_parser(
         "ratio", help="empirical ratios vs the exact optimum"
@@ -78,6 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--figures", type=int, nargs="+", default=None,
         choices=range(3, 9), help="subset of figures to run",
     )
+    add_jobs(reproduce)
 
     stats = sub.add_parser(
         "stats", help="print the instance card of a workload"
@@ -106,7 +127,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     )
-    results = run_panel(problem, seed=args.seed)
+    results = run_panel(
+        problem, seed=args.seed, parallel=_parallel_from_args(args)
+    )
     print(f"{'algorithm':10s} {'utility':>12s} {'ads':>6s} {'time':>9s}")
     for name, result in results.items():
         flag = "" if validate_assignment(problem, result.assignment).ok \
@@ -123,7 +146,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
     runner, default_scale = figure_by_number(args.number)
     scale = args.scale if args.scale is not None else default_scale
-    result = runner(scale=scale, seed=args.seed)
+    result = runner(
+        scale=scale, seed=args.seed, parallel=_parallel_from_args(args)
+    )
     from repro.experiments.report import utility_chart
 
     print(full_report(result))
@@ -260,6 +285,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         figures=tuple(args.figures) if args.figures else ALL_FIGURES,
         output_dir=args.out,
         progress=print,
+        parallel=_parallel_from_args(args),
     )
     print()
     print(report.summary())

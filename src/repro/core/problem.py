@@ -59,6 +59,11 @@ class MUAAProblem:
             evaluation when the utility model has a vectorized kernel.
             Disable to force the scalar reference path everywhere
             (parity tests, fault-injection wrappers, baselines).
+        parallel: Optional :class:`repro.parallel.ParallelConfig`.
+            When set (and ``jobs > 1``), the compute engine scores
+            large candidate-edge tables in chunked worker processes
+            over shared memory; results are bitwise identical to the
+            serial pass.  Serial (``None``) is the default.
 
     Raises:
         InvalidProblemError: On duplicate ids, an empty catalogue, or
@@ -76,6 +81,7 @@ class MUAAProblem:
         ] = None,
         spatial_backend: str = "grid",
         use_engine: bool = True,
+        parallel=None,
     ) -> None:
         if spatial_backend not in ("grid", "kdtree"):
             raise InvalidProblemError(
@@ -122,6 +128,9 @@ class MUAAProblem:
         self._engine = None
         self._engine_miss = None
         self._engine_unsupported = False
+        #: Fan-out configuration consulted by the compute engine for
+        #: chunked kernel scoring (``None`` means strictly serial).
+        self.parallel_config = parallel
 
     # ------------------------------------------------------------------
     # Columnar compute engine

@@ -126,11 +126,31 @@ class ComputeEngine:
 
     @property
     def pair_bases(self) -> np.ndarray:
-        """``(E,)`` Eq. 4 pair bases, aligned with :attr:`edges`."""
+        """``(E,)`` Eq. 4 pair bases, aligned with :attr:`edges`.
+
+        With a :class:`~repro.parallel.ParallelConfig` on the problem
+        (``problem.parallel_config``) and a table above the config's
+        edge threshold, the table is scored in chunked worker processes
+        over shared memory; the chunks concatenate to bitwise the same
+        values as the serial one-pass kernel, which remains the
+        fallback whenever the pool declines.
+        """
         if self._bases is None:
-            bases = _kernel_pair_bases(
-                self._problem.utility_model, self._arrays, self.edges
-            )
+            bases = None
+            config = getattr(self._problem, "parallel_config", None)
+            if config is not None:
+                from repro.parallel.kernels import chunked_pair_bases
+
+                bases = chunked_pair_bases(
+                    self._problem.utility_model,
+                    self._arrays,
+                    self.edges,
+                    config,
+                )
+            if bases is None:
+                bases = _kernel_pair_bases(
+                    self._problem.utility_model, self._arrays, self.edges
+                )
             if bases is None:  # pragma: no cover - guarded by create()
                 raise RuntimeError(
                     "engine created for a model without a vectorized kernel"

@@ -35,6 +35,21 @@ def _edge_block(n_tags: int) -> int:
     return max(256, _BLOCK_ELEMENTS // max(1, n_tags))
 
 
+def _row_weighted_sums(matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """``matrix @ weights`` with a shape-independent accumulation order.
+
+    BLAS gemv may pick different kernels (and hence different rounding)
+    depending on the row count, so ``(M @ w)[i]`` is not guaranteed to
+    be bitwise stable under row subsetting.  ``einsum`` (without
+    ``optimize``, so it never dispatches to BLAS) reduces each row with
+    the same fixed-order loop regardless of how many rows there are --
+    which is what lets the chunked multi-process kernels
+    (:mod:`repro.parallel.kernels`) concatenate to bitwise the same
+    bases as this serial pass, at near-gemv speed.
+    """
+    return np.einsum("et,t->e", matrix, weights, optimize=False)
+
+
 def batched_positive_preferences(
     model: TaxonomyUtilityModel,
     arrays: ProblemArrays,
@@ -85,12 +100,12 @@ def batched_positive_preferences(
         # actually appear in this bucket.
         cust_rows = np.unique(cust[sel])
         sub = interests[cust_rows]
-        mu_c = sub @ weights / total
+        mu_c = _row_weighted_sums(sub, weights) / total
         dc = sub - mu_c[:, None]
-        var_c = (dc * dc) @ weights / total
-        mu_v = tags @ weights / total
+        var_c = _row_weighted_sums(dc * dc, weights) / total
+        mu_v = _row_weighted_sums(tags, weights) / total
         dv = tags - mu_v[:, None]
-        var_v = (dv * dv) @ weights / total
+        var_v = _row_weighted_sums(dv * dv, weights) / total
 
         local_c = np.searchsorted(cust_rows, cust[sel])
         local_v = vend[sel]
@@ -102,9 +117,9 @@ def batched_positive_preferences(
         cov = np.empty(len(sel), dtype=float)
         for start in range(0, len(sel), block):
             stop = min(start + block, len(sel))
-            cov[start:stop] = (
-                dc[local_c[start:stop]] * dv[local_v[start:stop]]
-            ) @ weights / total
+            cov[start:stop] = _row_weighted_sums(
+                dc[local_c[start:stop]] * dv[local_v[start:stop]], weights
+            ) / total
 
         with np.errstate(divide="ignore", invalid="ignore"):
             corr = np.where(defined, cov / denom, 0.0)

@@ -37,6 +37,7 @@ from repro.datagen.config import (
 from repro.datagen.synthetic import synthetic_problem
 from repro.experiments.runner import PANEL
 from repro.experiments.sweep import SweepResult, run_sweep
+from repro.parallel import ParallelConfig
 
 #: Paper-scale sizes for the real-like workload (Section V-A after the
 #: venue filter: 441,060 customers / 7,222 vendors).  ``scale=1.0``
@@ -110,6 +111,7 @@ def fig3_budget(
     seed: int = 42,
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[ParameterRange] = BUDGET_SWEEP,
+    parallel: Optional[ParallelConfig] = None,
 ) -> SweepResult:
     """Figure 3: effect of the vendor budget range :math:`[B^-, B^+]`."""
     points = _real_like_points(
@@ -117,7 +119,10 @@ def fig3_budget(
         seed,
         [(_range_label(r), {"budget_range": r}) for r in sweep],
     )
-    return run_sweep("fig3", points, algorithms=algorithms, seed=seed)
+    return run_sweep(
+        "fig3", points, algorithms=algorithms, seed=seed,
+        parallel=parallel,
+    )
 
 
 def fig4_radius(
@@ -125,6 +130,7 @@ def fig4_radius(
     seed: int = 42,
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[ParameterRange] = RADIUS_SWEEP,
+    parallel: Optional[ParallelConfig] = None,
 ) -> SweepResult:
     """Figure 4: effect of the vendor radius range :math:`[r^-, r^+]`."""
     points = _real_like_points(
@@ -132,7 +138,10 @@ def fig4_radius(
         seed,
         [(_range_label(r), {"radius_range": r}) for r in sweep],
     )
-    return run_sweep("fig4", points, algorithms=algorithms, seed=seed)
+    return run_sweep(
+        "fig4", points, algorithms=algorithms, seed=seed,
+        parallel=parallel,
+    )
 
 
 def fig5_capacity(
@@ -140,6 +149,7 @@ def fig5_capacity(
     seed: int = 42,
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[ParameterRange] = CAPACITY_SWEEP,
+    parallel: Optional[ParallelConfig] = None,
 ) -> SweepResult:
     """Figure 5: effect of the customer capacity range :math:`[a^-, a^+]`.
 
@@ -170,7 +180,10 @@ def fig5_capacity(
         max_customers=vendor_heavy_customers,
         max_vendors=vendor_heavy_vendors,
     )
-    return run_sweep("fig5", points, algorithms=algorithms, seed=seed)
+    return run_sweep(
+        "fig5", points, algorithms=algorithms, seed=seed,
+        parallel=parallel,
+    )
 
 
 def fig6_probability(
@@ -178,6 +191,7 @@ def fig6_probability(
     seed: int = 42,
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[ParameterRange] = PROBABILITY_SWEEP,
+    parallel: Optional[ParallelConfig] = None,
 ) -> SweepResult:
     """Figure 6: effect of the view-probability range :math:`[p^-, p^+]`."""
     points = _real_like_points(
@@ -185,7 +199,10 @@ def fig6_probability(
         seed,
         [(_range_label(r), {"probability_range": r}) for r in sweep],
     )
-    return run_sweep("fig6", points, algorithms=algorithms, seed=seed)
+    return run_sweep(
+        "fig6", points, algorithms=algorithms, seed=seed,
+        parallel=parallel,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +213,7 @@ def fig7_customers(
     seed: int = 42,
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[int] = CUSTOMER_COUNT_SWEEP,
+    parallel: Optional[ParallelConfig] = None,
 ) -> SweepResult:
     """Figure 7: scalability in the number m of customers (synthetic)."""
     points = []
@@ -209,7 +227,10 @@ def fig7_customers(
             return synthetic_problem(config)
 
         points.append((str(m), factory))
-    return run_sweep("fig7", points, algorithms=algorithms, seed=seed)
+    return run_sweep(
+        "fig7", points, algorithms=algorithms, seed=seed,
+        parallel=parallel,
+    )
 
 
 #: Default scale per figure number (check-in figures are heavier).
@@ -239,6 +260,7 @@ def fig8_vendors(
     seed: int = 42,
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[int] = VENDOR_COUNT_SWEEP,
+    parallel: Optional[ParallelConfig] = None,
 ) -> SweepResult:
     """Figure 8: scalability in the number n of vendors (synthetic)."""
     points = []
@@ -254,4 +276,7 @@ def fig8_vendors(
             return synthetic_problem(config)
 
         points.append((str(n), factory))
-    return run_sweep("fig8", points, algorithms=algorithms, seed=seed)
+    return run_sweep(
+        "fig8", points, algorithms=algorithms, seed=seed,
+        parallel=parallel,
+    )

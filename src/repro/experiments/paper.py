@@ -21,6 +21,7 @@ from repro.experiments.measures import (
 )
 from repro.experiments.report import full_report
 from repro.experiments.sweep import SweepResult
+from repro.parallel import ParallelConfig
 
 #: The figure numbers of the paper's evaluation section.
 ALL_FIGURES = (3, 4, 5, 6, 7, 8)
@@ -120,6 +121,7 @@ def reproduce_all(
     figures: Sequence[int] = ALL_FIGURES,
     output_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    parallel: Optional[ParallelConfig] = None,
 ) -> ReproductionReport:
     """Run the whole evaluation section and check its claims.
 
@@ -133,6 +135,8 @@ def reproduce_all(
             ``<dir>/fig<N>.txt``.
         progress: Optional callback receiving one status line per
             figure.
+        parallel: Fan sweep points across worker processes within each
+            figure (default: serial; results identical either way).
     """
     report = ReproductionReport()
     if output_dir is not None:
@@ -142,7 +146,11 @@ def reproduce_all(
         runner, default_scale = figure_by_number(number)
         if progress is not None:
             progress(f"running figure {number} ...")
-        result = runner(scale=default_scale * scale_multiplier, seed=seed)
+        result = runner(
+            scale=default_scale * scale_multiplier,
+            seed=seed,
+            parallel=parallel,
+        )
         report.results[number] = result
         report.checks.extend(_shape_claims(number, result))
         if report.output_dir is not None:

@@ -9,7 +9,7 @@ paper's "historical records").
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import OfflineAlgorithm, SolveResult
 from repro.algorithms.calibration import GammaBounds, calibrate_from_problem
@@ -19,6 +19,7 @@ from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
 from repro.algorithms.random_baseline import RandomAssignment
 from repro.algorithms.recon import Reconciliation
 from repro.core.problem import MUAAProblem
+from repro.parallel import ParallelConfig, parallel_map
 from repro.stream.simulator import OnlineAsOffline
 
 #: Panel names in the paper's presentation order.
@@ -87,12 +88,40 @@ def build_panel(
     return panel
 
 
+# ----------------------------------------------------------------------
+# Parallel panel fan-out (worker state inherited via fork)
+# ----------------------------------------------------------------------
+#: Worker-process state set by :func:`_init_panel_worker`.
+_PANEL_STATE: Optional[Tuple] = None
+
+
+def _init_panel_worker(
+    problem: MUAAProblem,
+    seed: int,
+    calibration: Optional[GammaBounds],
+    mckp_method: str,
+) -> None:
+    global _PANEL_STATE
+    _PANEL_STATE = (problem, seed, calibration, mckp_method)
+
+
+def _run_panel_member(name: str) -> SolveResult:
+    """Build and run one panel member against the inherited problem."""
+    assert _PANEL_STATE is not None, "panel worker initializer did not run"
+    problem, seed, calibration, mckp_method = _PANEL_STATE
+    algorithm = build_panel(
+        problem, (name,), seed, calibration, mckp_method
+    )[0]
+    return algorithm.run(problem)
+
+
 def run_panel(
     problem: MUAAProblem,
     algorithms: Sequence[str] = PANEL,
     seed: int = 42,
     calibration: Optional[GammaBounds] = None,
     mckp_method: str = "greedy-lp",
+    parallel: Optional[ParallelConfig] = None,
 ) -> Dict[str, SolveResult]:
     """Run the panel and collect results keyed by algorithm name.
 
@@ -100,8 +129,32 @@ def run_panel(
     starts, so the reported times compare the algorithms' assignment
     work rather than charging the shared Eq. 4/5 evaluation to whichever
     algorithm happens to touch a pair first.
+
+    With ``parallel`` active, panel members run in worker processes
+    against the (already warmed) problem -- inherited copy-on-write
+    under ``fork``, so nothing heavy is re-evaluated per member.  Every
+    stochastic member derives its randomness from ``seed`` alone and
+    results are merged in panel order, so assignments and utilities are
+    identical to the serial run (wall-clock fields excepted, as they
+    measure real time).  O-AFA's calibration always happens up front in
+    the parent, exactly as in the serial path.
     """
     problem.warm_utilities()
+    if parallel is not None and parallel.active(len(algorithms)):
+        if calibration is None and "ONLINE" in algorithms:
+            calibration = _safe_calibration(problem, seed)
+        fanned = parallel_map(
+            _run_panel_member,
+            list(algorithms),
+            parallel,
+            initializer=_init_panel_worker,
+            initargs=(problem, seed, calibration, mckp_method),
+        )
+        if fanned is not None:
+            return {
+                result.algorithm: result
+                for result in fanned
+            }
     results: Dict[str, SolveResult] = {}
     for algorithm in build_panel(
         problem, algorithms, seed, calibration, mckp_method

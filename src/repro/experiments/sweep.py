@@ -7,11 +7,12 @@ while setting others to their default values" (Section V-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.problem import MUAAProblem
 from repro.experiments.measures import Row
 from repro.experiments.runner import PANEL, run_panel
+from repro.parallel import ParallelConfig, parallel_map
 
 #: A sweep point: (parameter label, problem factory).
 SweepPoint = Tuple[str, Callable[[], MUAAProblem]]
@@ -46,12 +47,53 @@ class SweepResult:
         return seen
 
 
+# ----------------------------------------------------------------------
+# Parallel point fan-out (worker state inherited via fork)
+# ----------------------------------------------------------------------
+#: Worker-process state set by :func:`_init_sweep_worker`.
+_SWEEP_STATE = None
+
+
+def _init_sweep_worker(
+    experiment: str,
+    points: Sequence[SweepPoint],
+    algorithms: Sequence[str],
+    seed: int,
+    mckp_method: str,
+) -> None:
+    global _SWEEP_STATE
+    _SWEEP_STATE = (experiment, list(points), tuple(algorithms), seed,
+                    mckp_method)
+
+
+def _run_sweep_point(index: int) -> List[Row]:
+    """Run the whole panel at one sweep point, returning its rows.
+
+    The point's problem is constructed inside the task and garbage-
+    collected when the task returns, preserving the serial path's
+    release-memory-between-points behaviour (each worker holds at most
+    one point's instance at a time).
+    """
+    assert _SWEEP_STATE is not None, "sweep worker initializer did not run"
+    experiment, points, algorithms, seed, mckp_method = _SWEEP_STATE
+    label, factory = points[index]
+    problem = factory()
+    panel_results = run_panel(
+        problem, algorithms=algorithms, seed=seed, mckp_method=mckp_method
+    )
+    return [
+        Row.from_result(experiment, label, panel_results[name])
+        for name in algorithms
+    ]
+
+
 def run_sweep(
     experiment: str,
     points: Sequence[SweepPoint],
     algorithms: Sequence[str] = PANEL,
     seed: int = 42,
     mckp_method: str = "greedy-lp",
+    parallel: Optional[ParallelConfig] = None,
 ) -> SweepResult:
     """Run the algorithm panel at every sweep point.
 
@@ -59,18 +101,47 @@ def run_sweep(
     for large instances is released between points) and calibrated
     independently.
 
+    With ``parallel`` active, sweep points run across worker processes
+    (each worker builds, solves and releases its own point); with a
+    single point the fan-out drops down to the panel's algorithm level
+    instead, so ``points x algorithms`` cells are always what spreads
+    across workers.  Per-point seeds are the same deterministic values
+    the serial loop uses -- never derived from scheduling -- and rows
+    are merged in ``(point, algorithm)`` order, so sweep output is
+    identical to serial except for the measured wall-clock fields.
+
     Args:
         experiment: Id recorded on every row.
         points: ``(label, factory)`` pairs in presentation order.
         algorithms: Panel member names.
         seed: Seed shared across points for the stochastic members.
         mckp_method: MCKP backend for RECON.
+        parallel: Fan-out configuration (default: serial).
     """
     result = SweepResult(experiment=experiment)
+    if parallel is not None and parallel.active(len(points)):
+        fanned = parallel_map(
+            _run_sweep_point,
+            range(len(points)),
+            parallel,
+            initializer=_init_sweep_worker,
+            initargs=(experiment, points, algorithms, seed, mckp_method),
+        )
+        if fanned is not None:
+            for rows in fanned:
+                result.rows.extend(rows)
+            return result
+    point_parallel = (
+        parallel if parallel is not None and len(points) == 1 else None
+    )
     for label, factory in points:
         problem = factory()
         panel_results = run_panel(
-            problem, algorithms=algorithms, seed=seed, mckp_method=mckp_method
+            problem,
+            algorithms=algorithms,
+            seed=seed,
+            mckp_method=mckp_method,
+            parallel=point_parallel,
         )
         for name in algorithms:
             result.rows.append(

@@ -1,0 +1,60 @@
+"""Shared-memory process fan-out for RECON, sweeps, and engine kernels.
+
+The layer has three pieces:
+
+* :mod:`repro.parallel.config` -- :class:`ParallelConfig`, the one knob
+  threaded through every consumer, plus spawn-safe seed derivation;
+* :mod:`repro.parallel.shm` -- zero-copy column shipping over
+  ``multiprocessing.shared_memory`` (ship once, attach per worker);
+* :mod:`repro.parallel.pool` -- :func:`parallel_map`, an ordered
+  process-pool map that returns ``None`` whenever the serial path
+  should run instead (too few tasks, ``jobs=1``, missing platform
+  support, worker crash).
+
+Consumers: ``Reconciliation(jobs=...)`` fans its per-vendor MCKP solves,
+``run_sweep(parallel=...)`` / ``run_panel(parallel=...)`` fan sweep
+points and panel algorithms, and the compute engine chunks large
+candidate tables (:func:`repro.parallel.kernels.chunked_pair_bases`).
+Determinism is guaranteed everywhere: parallel and serial runs produce
+identical assignments and rows.  See ``docs/parallel.md``.
+"""
+
+from repro.parallel.config import (
+    SERIAL,
+    ParallelConfig,
+    available_cpus,
+    resolve,
+    seed_for,
+)
+from repro.parallel.pool import (
+    WorkerCrashError,
+    parallel_map,
+    pool_available,
+    serial_map,
+)
+from repro.parallel.shm import (
+    HAVE_SHARED_MEMORY,
+    AttachedColumns,
+    ColumnHandle,
+    ColumnShipment,
+    attach_columns,
+    ship_columns,
+)
+
+__all__ = [
+    "SERIAL",
+    "ParallelConfig",
+    "available_cpus",
+    "resolve",
+    "seed_for",
+    "WorkerCrashError",
+    "parallel_map",
+    "pool_available",
+    "serial_map",
+    "HAVE_SHARED_MEMORY",
+    "AttachedColumns",
+    "ColumnHandle",
+    "ColumnShipment",
+    "attach_columns",
+    "ship_columns",
+]

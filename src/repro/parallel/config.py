@@ -1,0 +1,134 @@
+"""Configuration for the shared-memory process fan-out layer.
+
+A single :class:`ParallelConfig` value is threaded through every
+consumer of :mod:`repro.parallel` -- RECON's per-vendor MCKP solves,
+the experiment sweeps, and the engine's chunked kernels -- so one knob
+(``jobs``) controls the whole stack.  The default is strictly serial:
+``ParallelConfig()`` (or ``jobs=1``) reproduces the pre-parallel code
+paths instruction for instruction.
+
+Determinism is part of the contract, not an option: every consumer
+merges worker results back in task order, and any randomness is derived
+from ``(seed, task index)`` via :func:`seed_for` -- never from pool
+scheduling -- so serial and parallel runs produce identical output.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Ceiling applied when ``jobs <= 0`` requests "all cores".
+_MAX_AUTO_JOBS = 32
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware when possible)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def seed_for(base_seed: Optional[int], index: int) -> int:
+    """A per-task seed derived from ``(base_seed, index)`` only.
+
+    Spawn-safe: the value is a pure function of its arguments (via
+    :class:`numpy.random.SeedSequence`), so it is identical no matter
+    which worker runs the task, in which order, or under which start
+    method.  ``base_seed=None`` maps to a fixed sentinel so the
+    derivation stays deterministic.
+    """
+    base = 0x5EED if base_seed is None else int(base_seed)
+    return int(np.random.SeedSequence((base, int(index))).generate_state(1)[0])
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How (and whether) to fan work out across worker processes.
+
+    Attributes:
+        jobs: Worker process count.  ``1`` (default) means strictly
+            serial -- no pool, no shared memory, byte-identical to the
+            pre-parallel code.  ``0`` or negative means "all available
+            CPUs" (capped at 32).
+        chunk_size: Tasks per dispatched chunk.  ``None`` picks
+            ``ceil(n_tasks / (jobs * 4))`` so the pool stays load-
+            balanced without drowning in IPC.
+        start_method: ``"fork"`` / ``"spawn"`` / ``"forkserver"``, or
+            ``None`` to prefer ``fork`` where available (fork inherits
+            problem state and closures for free; spawn requires
+            everything shipped to workers to be picklable).
+        fallback_serial: Degrade to the serial path -- instead of
+            raising -- when the platform lacks ``shared_memory``, a
+            worker dies, or task state cannot be pickled.
+        min_tasks: Below this many tasks the pool is never worth its
+            startup cost; stay serial.
+        min_kernel_edges: Candidate-edge tables smaller than this are
+            scored serially even when ``jobs > 1`` (kernel chunking
+            only pays off on large tables).
+    """
+
+    jobs: int = 1
+    chunk_size: Optional[int] = None
+    start_method: Optional[str] = None
+    fallback_serial: bool = True
+    min_tasks: int = 2
+    min_kernel_edges: int = 8192
+
+    def resolved_jobs(self) -> int:
+        """The effective worker count (``jobs<=0`` -> all CPUs)."""
+        if self.jobs <= 0:
+            return min(available_cpus(), _MAX_AUTO_JOBS)
+        return self.jobs
+
+    def active(self, n_tasks: int) -> bool:
+        """Whether a pool should be used for ``n_tasks`` tasks."""
+        return self.resolved_jobs() > 1 and n_tasks >= self.min_tasks
+
+    def task_chunksize(self, n_tasks: int) -> int:
+        """Tasks per dispatch chunk for ``executor.map``."""
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        return max(1, -(-n_tasks // (self.resolved_jobs() * 4)))
+
+    def spans(self, n_items: int) -> List[Tuple[int, int]]:
+        """Contiguous ``[lo, hi)`` item ranges, one per task.
+
+        Ranges are sized so each worker gets a few chunks (for load
+        balancing) while chunk count stays proportional to ``jobs``.
+        Concatenating per-span results in list order reproduces the
+        full-range result exactly.
+        """
+        if n_items <= 0:
+            return []
+        jobs = self.resolved_jobs()
+        if self.chunk_size is not None:
+            size = max(1, self.chunk_size)
+        else:
+            size = max(1, -(-n_items // (jobs * 4)))
+        return [
+            (lo, min(lo + size, n_items)) for lo in range(0, n_items, size)
+        ]
+
+
+#: The strictly-serial configuration (module-level singleton for reuse).
+SERIAL = ParallelConfig()
+
+
+def resolve(
+    parallel: Optional[ParallelConfig] = None, jobs: Optional[int] = None
+) -> ParallelConfig:
+    """Normalise the ``parallel=`` / ``jobs=`` dual API of consumers.
+
+    ``parallel`` wins when given; otherwise ``jobs`` builds a default
+    config; otherwise the serial singleton is returned.
+    """
+    if parallel is not None:
+        return parallel
+    if jobs is not None and jobs != 1:
+        return ParallelConfig(jobs=jobs)
+    return SERIAL

@@ -1,0 +1,121 @@
+"""The process fan-out primitive: ordered map with graceful fallback.
+
+:func:`parallel_map` is the one entry point every consumer uses.  It
+returns the task results **in task order** (so merges are
+deterministic), or ``None`` whenever a pool is not worth having or not
+available -- too few tasks, ``jobs=1``, no shared memory, unpicklable
+state, or a worker crash with ``fallback_serial`` set.  ``None`` is the
+signal to run the serial reference path; consumers never need to know
+*why* the pool declined.
+
+Worker functions must be module-level (they are pickled by reference),
+and heavy state travels either through the pool initializer (inherited
+for free under ``fork``) or through :mod:`repro.parallel.shm` handles.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pickle import PicklingError
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.parallel.config import ParallelConfig
+from repro.parallel.shm import HAVE_SHARED_MEMORY
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker died and the config forbids serial fallback."""
+
+
+#: Pool-infrastructure failures that trigger the serial fallback.  Task
+#: *logic* exceptions are deliberately not in this set -- they re-raise,
+#: because the serial path would fail identically.
+_POOL_FAILURES = (
+    BrokenProcessPool,
+    PicklingError,
+    AttributeError,  # "Can't pickle local object ..." under spawn
+    ImportError,  # worker re-import failure under spawn
+    OSError,  # fork/shm resource exhaustion
+)
+
+
+def _context(config: ParallelConfig):
+    """The multiprocessing context for ``config`` (prefers fork)."""
+    methods = multiprocessing.get_all_start_methods()
+    method = config.start_method
+    if method is None:
+        method = "fork" if "fork" in methods else methods[0]
+    elif method not in methods:
+        return None
+    return multiprocessing.get_context(method)
+
+
+def pool_available(config: ParallelConfig, n_tasks: int) -> bool:
+    """Whether :func:`parallel_map` would even try a pool."""
+    return (
+        HAVE_SHARED_MEMORY
+        and config.active(n_tasks)
+        and _context(config) is not None
+    )
+
+
+def parallel_map(
+    fn: Callable,
+    tasks: Sequence,
+    config: ParallelConfig,
+    initializer: Optional[Callable] = None,
+    initargs: Tuple = (),
+) -> Optional[List]:
+    """Run ``fn`` over ``tasks`` in a worker pool, results in task order.
+
+    Args:
+        fn: Module-level worker function of one task.
+        tasks: The task values (must be picklable; keep them tiny --
+            indices and ranges -- and ship bulk data via shm/initargs).
+        config: The fan-out configuration.
+        initializer: Per-worker setup (attach shared memory, stash
+            state in module globals).
+        initargs: Arguments for ``initializer``.  Under ``fork`` these
+            are inherited, not pickled, so closures and problem objects
+            are fine; under ``spawn`` they must pickle.
+
+    Returns:
+        The ordered result list, or ``None`` when the caller should run
+        its serial path instead (pool inactive, platform unsupported,
+        or pool infrastructure failed with ``fallback_serial=True``).
+
+    Raises:
+        WorkerCrashError: Infrastructure failure with
+            ``fallback_serial=False``.
+    """
+    tasks = list(tasks)
+    if not pool_available(config, len(tasks)):
+        return None
+    ctx = _context(config)
+    jobs = min(config.resolved_jobs(), len(tasks))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=ctx,
+            initializer=initializer,
+            initargs=initargs,
+        ) as executor:
+            return list(
+                executor.map(
+                    fn, tasks, chunksize=config.task_chunksize(len(tasks))
+                )
+            )
+    except _POOL_FAILURES as exc:
+        if config.fallback_serial:
+            return None
+        raise WorkerCrashError(
+            f"worker pool failed ({type(exc).__name__}: {exc}) and "
+            f"fallback_serial is disabled"
+        ) from exc
+
+
+def serial_map(fn: Callable, tasks: Iterable) -> List:
+    """The serial twin of :func:`parallel_map` (always succeeds)."""
+    return [fn(task) for task in tasks]

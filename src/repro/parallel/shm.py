@@ -1,0 +1,200 @@
+"""Zero-copy column shipping via ``multiprocessing.shared_memory``.
+
+The fan-out layer never pickles a problem instance per task.  Instead
+the parent packs the NumPy columns workers need (``ProblemArrays``
+columns, ``CandidateEdges`` columns, utility matrices) into **one**
+shared-memory block and passes workers a tiny picklable
+:class:`ColumnHandle` -- block name plus per-column dtype/shape/offset
+specs.  Workers attach and rebuild read-only array *views* over the
+same physical pages: no copy, no serialization, O(1) per worker.
+
+Lifecycle (the part that bites if you get it wrong):
+
+1. parent: ``shipment = ship_columns({...})`` -- creates + copies once;
+2. parent: passes ``shipment.handle`` through the pool initializer;
+3. worker: ``columns = attach_columns(handle)`` -- maps read-only views
+   over the same pages (workers share the parent's resource tracker, so
+   CPython's register-on-attach is an idempotent no-op -- gh-82300);
+4. parent: ``shipment.close()`` after the pool has drained -- closes
+   its mapping and unlinks the block.  ``ship_columns`` is also a
+   context manager, which is the recommended form.
+
+Platforms without ``multiprocessing.shared_memory`` (or without POSIX
+shared memory at runtime) are detected via :data:`HAVE_SHARED_MEMORY`;
+consumers then stay on the serial path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import success is the common case
+    from multiprocessing import resource_tracker, shared_memory
+
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover - platform without shm
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+    HAVE_SHARED_MEMORY = False
+
+#: Byte alignment of each column inside the block (cache-line friendly,
+#: and satisfies any dtype's alignment requirement).
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Where one column lives inside the shared block."""
+
+    key: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class ColumnHandle:
+    """The picklable description of a shipped column set.
+
+    Workers rebuild the arrays from this alone; ``None``-valued columns
+    (e.g. a tabular model's missing interest matrix) are recorded in
+    ``none_keys`` so the worker-side mapping is faithful.
+    """
+
+    shm_name: str
+    specs: Tuple[ColumnSpec, ...]
+    none_keys: Tuple[str, ...] = ()
+
+
+class ColumnShipment:
+    """Parent-side owner of one shared-memory block (context manager)."""
+
+    def __init__(self, shm, handle: ColumnHandle) -> None:
+        self._shm = shm
+        self.handle = handle
+        self._closed = False
+
+    def close(self) -> None:
+        """Close the parent mapping and unlink the block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ColumnShipment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def ship_columns(
+    columns: Mapping[str, Optional[np.ndarray]]
+) -> ColumnShipment:
+    """Pack named arrays into one shared-memory block.
+
+    Args:
+        columns: ``key -> array`` (C-contiguous copies are taken as
+            needed).  ``None`` values are allowed and recorded as
+            absent columns.
+
+    Raises:
+        RuntimeError: When the platform has no shared memory; callers
+            should check :data:`HAVE_SHARED_MEMORY` first (the
+            consumers in this package do, and fall back to serial).
+    """
+    if not HAVE_SHARED_MEMORY:  # pragma: no cover - platform without shm
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+
+    none_keys = tuple(k for k, v in columns.items() if v is None)
+    present = {
+        k: np.ascontiguousarray(v)
+        for k, v in columns.items()
+        if v is not None
+    }
+
+    specs = []
+    offset = 0
+    for key, arr in present.items():
+        offset = _aligned(offset)
+        specs.append(
+            ColumnSpec(
+                key=key,
+                dtype=arr.dtype.str,
+                shape=tuple(arr.shape),
+                offset=offset,
+            )
+        )
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    for spec in specs:
+        arr = present[spec.key]
+        view = np.ndarray(
+            spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+        )
+        view[...] = arr
+    handle = ColumnHandle(
+        shm_name=shm.name, specs=tuple(specs), none_keys=none_keys
+    )
+    return ColumnShipment(shm, handle)
+
+
+class AttachedColumns:
+    """Worker-side view set over a shipped block.
+
+    Behaves like a read-only mapping ``key -> ndarray`` (or ``None``
+    for absent columns).  Keeps the :class:`SharedMemory` attachment
+    alive for as long as the views are in use; ``close()`` when done
+    (worker exit closes it implicitly).
+    """
+
+    def __init__(self, shm, arrays: Dict[str, Optional[np.ndarray]]) -> None:
+        self._shm = shm
+        self._arrays = arrays
+
+    def __getitem__(self, key: str) -> Optional[np.ndarray]:
+        return self._arrays[key]
+
+    def get(self, key: str, default=None):
+        return self._arrays.get(key, default)
+
+    def keys(self):
+        return self._arrays.keys()
+
+    def close(self) -> None:
+        self._arrays = {}
+        self._shm.close()
+
+
+def attach_columns(handle: ColumnHandle) -> AttachedColumns:
+    """Attach to a shipped block and rebuild read-only array views."""
+    if not HAVE_SHARED_MEMORY:  # pragma: no cover - platform without shm
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    shm = shared_memory.SharedMemory(name=handle.shm_name, create=False)
+    # CPython registers shared memory with the resource tracker on
+    # *attach* as well as create (gh-82300).  Pool workers are children
+    # of the shipping parent and share its tracker process, so the
+    # extra registration is an idempotent set-add; the parent's unlink
+    # clears the single entry.  Do NOT unregister here -- that would
+    # steal the parent's registration through the shared tracker.
+    arrays: Dict[str, Optional[np.ndarray]] = {k: None for k in handle.none_keys}
+    for spec in handle.specs:
+        view = np.ndarray(
+            spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+        )
+        view.flags.writeable = False
+        arrays[spec.key] = view
+    return AttachedColumns(shm, arrays)

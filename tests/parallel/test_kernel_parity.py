@@ -1,0 +1,93 @@
+"""Chunked engine kernels: bitwise parity with the serial one-pass."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.engine.engine import ComputeEngine
+from repro.engine.kernels import pair_bases as serial_pair_bases
+from repro.parallel import HAVE_SHARED_MEMORY, ParallelConfig
+from repro.parallel.kernels import chunked_pair_bases
+
+needs_shm = pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY,
+    reason="platform lacks multiprocessing.shared_memory",
+)
+
+
+def _taxonomy_problem(seed: int = 3, n_customers: int = 300):
+    return synthetic_problem(
+        WorkloadConfig(
+            n_customers=n_customers, n_vendors=40,
+            radius_range=ParameterRange(0.1, 0.2), seed=seed,
+        )
+    )
+
+
+@needs_shm
+class TestChunkedParity:
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_bitwise_equal_to_serial(self, jobs):
+        engine = ComputeEngine.create(_taxonomy_problem())
+        model = engine._problem.utility_model
+        serial = serial_pair_bases(model, engine.arrays, engine.edges)
+        chunked = chunked_pair_bases(
+            model, engine.arrays, engine.edges,
+            ParallelConfig(jobs=jobs, min_kernel_edges=1),
+        )
+        assert chunked is not None
+        assert np.array_equal(serial, chunked)
+
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_engine_property_parity_across_seeds(self, seed):
+        p_serial = _taxonomy_problem(seed=seed)
+        p_chunked = _taxonomy_problem(seed=seed)
+        p_chunked.parallel_config = ParallelConfig(
+            jobs=2, min_kernel_edges=1
+        )
+        b_serial = ComputeEngine.create(p_serial).pair_bases
+        b_chunked = ComputeEngine.create(p_chunked).pair_bases
+        assert np.array_equal(b_serial, b_chunked)
+
+    def test_chunk_size_does_not_matter(self):
+        engine = ComputeEngine.create(_taxonomy_problem())
+        model = engine._problem.utility_model
+        serial = serial_pair_bases(model, engine.arrays, engine.edges)
+        for chunk_size in (64, 113, 500):
+            chunked = chunked_pair_bases(
+                model, engine.arrays, engine.edges,
+                ParallelConfig(
+                    jobs=2, min_kernel_edges=1, chunk_size=chunk_size
+                ),
+            )
+            assert chunked is not None
+            assert np.array_equal(serial, chunked)
+
+
+class TestChunkedDeclines:
+    def test_jobs_1_declines(self):
+        engine = ComputeEngine.create(_taxonomy_problem(n_customers=60))
+        assert chunked_pair_bases(
+            engine._problem.utility_model, engine.arrays, engine.edges,
+            ParallelConfig(jobs=1, min_kernel_edges=1),
+        ) is None
+
+    def test_small_table_declines(self):
+        engine = ComputeEngine.create(_taxonomy_problem(n_customers=60))
+        assert chunked_pair_bases(
+            engine._problem.utility_model, engine.arrays, engine.edges,
+            ParallelConfig(jobs=2),  # default min_kernel_edges=8192
+        ) is None
+
+    def test_engine_falls_back_when_pool_declines(self):
+        p_serial = _taxonomy_problem(seed=7, n_customers=100)
+        p_declined = _taxonomy_problem(seed=7, n_customers=100)
+        p_declined.parallel_config = ParallelConfig(
+            jobs=2, min_kernel_edges=1, start_method="not-a-method"
+        )
+        b_serial = ComputeEngine.create(p_serial).pair_bases
+        b_declined = ComputeEngine.create(p_declined).pair_bases
+        assert np.array_equal(b_serial, b_declined)

@@ -1,0 +1,95 @@
+"""The pool primitive: ordered results, crash fallback, declines."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import (
+    HAVE_SHARED_MEMORY,
+    ParallelConfig,
+    WorkerCrashError,
+    parallel_map,
+    pool_available,
+    serial_map,
+)
+
+needs_shm = pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY,
+    reason="platform lacks multiprocessing.shared_memory",
+)
+
+
+# Worker functions must live at module level (pickled by reference).
+def _square(x: int) -> int:
+    return x * x
+
+
+def _crash(x: int) -> int:
+    os._exit(13)  # kill the worker process outright
+
+
+def _fail_logically(x: int) -> int:
+    raise ValueError(f"task {x} is bad")
+
+
+class TestDeclines:
+    def test_jobs_1_declines(self):
+        assert parallel_map(_square, range(10), ParallelConfig()) is None
+
+    def test_too_few_tasks_declines(self):
+        assert parallel_map(_square, [3], ParallelConfig(jobs=4)) is None
+
+    def test_unknown_start_method_declines(self):
+        config = ParallelConfig(jobs=2, start_method="not-a-method")
+        assert not pool_available(config, 10)
+        assert parallel_map(_square, range(10), config) is None
+
+    def test_serial_map_twin(self):
+        assert serial_map(_square, range(5)) == [0, 1, 4, 9, 16]
+
+
+@needs_shm
+class TestPool:
+    def test_results_in_task_order(self):
+        config = ParallelConfig(jobs=2)
+        result = parallel_map(_square, range(20), config)
+        assert result == [x * x for x in range(20)]
+
+    def test_worker_crash_falls_back_to_none(self):
+        config = ParallelConfig(jobs=2, fallback_serial=True)
+        assert parallel_map(_crash, range(4), config) is None
+
+    def test_worker_crash_raises_without_fallback(self):
+        config = ParallelConfig(jobs=2, fallback_serial=False)
+        with pytest.raises(WorkerCrashError):
+            parallel_map(_crash, range(4), config)
+
+    def test_task_logic_error_reraises(self):
+        # A task exception is not a pool failure: the serial path would
+        # fail identically, so it must surface, not trigger fallback.
+        config = ParallelConfig(jobs=2, fallback_serial=True)
+        with pytest.raises(ValueError, match="is bad"):
+            parallel_map(_fail_logically, range(4), config)
+
+    def test_initializer_runs_per_worker(self):
+        config = ParallelConfig(jobs=2)
+        result = parallel_map(
+            _read_init_state, range(6), config,
+            initializer=_set_init_state, initargs=(7,),
+        )
+        assert result == [7] * 6
+
+
+_INIT_STATE = None
+
+
+def _set_init_state(value: int) -> None:
+    global _INIT_STATE
+    _INIT_STATE = value
+
+
+def _read_init_state(x: int) -> int:
+    assert _INIT_STATE is not None
+    return _INIT_STATE

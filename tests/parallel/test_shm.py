@@ -1,0 +1,114 @@
+"""Shared-memory column shipping: round-trips and lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    HAVE_SHARED_MEMORY,
+    attach_columns,
+    ship_columns,
+)
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY,
+    reason="platform lacks multiprocessing.shared_memory",
+)
+
+
+def _sample_columns():
+    rng = np.random.default_rng(0)
+    return {
+        "floats": rng.normal(size=257),
+        "ints": np.arange(19, dtype=np.int64),
+        "matrix": rng.normal(size=(31, 7)),
+        "bools": np.array([True, False, True]),
+        "absent": None,
+    }
+
+
+class TestRoundTrip:
+    def test_values_identical(self):
+        columns = _sample_columns()
+        with ship_columns(columns) as shipment:
+            attached = attach_columns(shipment.handle)
+            try:
+                for key, value in columns.items():
+                    if value is None:
+                        assert attached[key] is None
+                    else:
+                        got = attached[key]
+                        assert got.dtype == np.asarray(value).dtype
+                        assert np.array_equal(got, value)
+            finally:
+                attached.close()
+
+    def test_views_are_read_only(self):
+        with ship_columns({"x": np.arange(5.0)}) as shipment:
+            attached = attach_columns(shipment.handle)
+            try:
+                with pytest.raises((ValueError, RuntimeError)):
+                    attached["x"][0] = 99.0
+            finally:
+                attached.close()
+
+    def test_handle_is_picklable(self):
+        import pickle
+
+        with ship_columns(_sample_columns()) as shipment:
+            handle = pickle.loads(pickle.dumps(shipment.handle))
+            attached = attach_columns(handle)
+            try:
+                assert np.array_equal(
+                    attached["ints"], np.arange(19, dtype=np.int64)
+                )
+            finally:
+                attached.close()
+
+    def test_non_contiguous_input(self):
+        base = np.arange(20.0).reshape(4, 5)
+        strided = base[:, ::2]  # not C-contiguous
+        with ship_columns({"s": strided}) as shipment:
+            attached = attach_columns(shipment.handle)
+            try:
+                assert np.array_equal(attached["s"], strided)
+            finally:
+                attached.close()
+
+    def test_empty_column_set(self):
+        with ship_columns({"only": None}) as shipment:
+            attached = attach_columns(shipment.handle)
+            try:
+                assert attached["only"] is None
+            finally:
+                attached.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        shipment = ship_columns({"x": np.arange(3.0)})
+        shipment.close()
+        shipment.close()  # no error
+
+    def test_block_unlinked_after_close(self):
+        from multiprocessing import shared_memory
+
+        shipment = ship_columns({"x": np.arange(3.0)})
+        name = shipment.handle.shm_name
+        shipment.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name, create=False)
+
+    def test_context_manager_cleans_up(self):
+        from multiprocessing import shared_memory
+
+        with ship_columns({"x": np.arange(3.0)}) as shipment:
+            name = shipment.handle.shm_name
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name, create=False)
+
+    def test_alignment(self):
+        with ship_columns(_sample_columns()) as shipment:
+            for spec in shipment.handle.specs:
+                assert spec.offset % 64 == 0
