@@ -1,0 +1,172 @@
+"""Observability overhead benchmark and CI gate.
+
+The subsystem's performance contract, measured on the shared
+acceptance workload (2,000 customers x 200 vendors, RECON solve):
+
+* **no-op overhead <= 3%** -- with no recorder installed, every
+  instrumentation site costs one ``recorder()`` read plus a no-op
+  call.  Comparing two timed no-op runs would only measure scheduler
+  noise, so the gate is computed honestly: the number of
+  instrumentation hits the workload actually performs (counted with a
+  real recorder) times the microbenchmarked per-hit cost of the null
+  path, as a fraction of the baseline solve time.
+* **active recording <= 15%** -- a solve under an installed
+  :class:`~repro.obs.recorder.Recorder` (spans, counters, histograms
+  retained in memory) may cost at most 15% wall time over the
+  uninstrumented solve, best-of-``REPEATS`` on both sides.
+* **identity** -- recording must never change the assignment; checked
+  byte-exactly, unconditionally.
+
+Everything is emitted to ``BENCH_obs.json`` at the repo root.  Run
+directly with ``pytest -q -s benchmarks/bench_obs.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.harness import (
+    StageTimer,
+    best_of,
+    sorted_triples,
+    write_bench_json,
+)
+from repro.algorithms.recon import Reconciliation
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.obs.recorder import NullRecorder, observed
+
+#: The acceptance workload, shared with the engine/parallel gates.
+GATE_CONFIG = WorkloadConfig(
+    n_customers=2_000,
+    n_vendors=200,
+    seed=42,
+    radius_range=ParameterRange(0.15, 0.25),
+)
+
+#: Maximum tolerated overhead with the no-op recorder installed.
+NOOP_OVERHEAD_GATE = 0.03
+
+#: Maximum tolerated overhead with a live recorder installed.
+ACTIVE_OVERHEAD_GATE = 0.15
+
+#: Fresh-problem repetitions per path (fastest total kept).
+REPEATS = 3
+
+#: Null-path calls per microbenchmark loop.
+MICRO_CALLS = 200_000
+
+
+def _build():
+    problem = synthetic_problem(GATE_CONFIG)
+    problem.warm_utilities()
+    return problem
+
+
+def _run_solve(record: bool) -> dict:
+    problem = _build()  # warm outside the timed region, like the harness
+    timer = StageTimer()
+    if record:
+        with observed() as rec:
+            with timer.stage("solve"):
+                assignment = Reconciliation(seed=GATE_CONFIG.seed).solve(
+                    problem
+                )
+        spans = len(rec.all_spans)
+    else:
+        with timer.stage("solve"):
+            assignment = Reconciliation(seed=GATE_CONFIG.seed).solve(
+                problem
+            )
+        spans = 0
+    return {
+        "timings": timer.timings,
+        "assignment": assignment,
+        "spans": spans,
+    }
+
+
+def _count_instrumentation_hits() -> int:
+    """Spans + counter/gauge/histogram touches of one gate solve."""
+    with observed() as rec:
+        Reconciliation(seed=GATE_CONFIG.seed).solve(_build())
+    snap = rec.metrics.snapshot()
+    touches = len(snap["counters"]) + len(snap["gauges"])
+    touches += sum(
+        int(h["count"]) for h in snap["histograms"].values()
+    )
+    return len(rec.all_spans) + touches
+
+
+def _null_cost_per_hit() -> float:
+    """Microbenchmarked seconds per no-op instrumentation hit.
+
+    One hit = one ``recorder()`` dictionary read plus one null method
+    call (the exact off-path cost of an instrumentation site).
+    """
+    from repro.obs.recorder import recorder
+
+    assert isinstance(recorder(), NullRecorder)
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(MICRO_CALLS):
+            with recorder().span("x"):
+                pass
+        best = min(best, (time.perf_counter() - start) / MICRO_CALLS)
+    return best
+
+
+def test_observability_overhead_gate():
+    baseline = best_of(lambda: _run_solve(record=False), REPEATS)
+    active = best_of(lambda: _run_solve(record=True), REPEATS)
+    baseline_seconds = baseline["timings"]["total_seconds"]
+    active_seconds = active["timings"]["total_seconds"]
+
+    hits = _count_instrumentation_hits()
+    per_hit = _null_cost_per_hit()
+    noop_overhead = (hits * per_hit) / baseline_seconds
+    active_overhead = active_seconds / baseline_seconds - 1.0
+    identical = sorted_triples(baseline["assignment"]) == sorted_triples(
+        active["assignment"]
+    )
+
+    print()
+    print(
+        f"[obs] baseline {baseline_seconds:8.3f}s, "
+        f"recorded {active_seconds:8.3f}s "
+        f"({max(active_overhead, 0.0):.1%} overhead), "
+        f"{active['spans']} spans"
+    )
+    print(
+        f"[obs] no-op path: {hits} hits x {per_hit * 1e9:.0f}ns "
+        f"= {hits * per_hit * 1e3:.3f}ms ({noop_overhead:.3%} of solve)"
+    )
+
+    write_bench_json(
+        "obs",
+        {
+            "n_customers": GATE_CONFIG.n_customers,
+            "n_vendors": GATE_CONFIG.n_vendors,
+            "noop_overhead_gate": NOOP_OVERHEAD_GATE,
+            "active_overhead_gate": ACTIVE_OVERHEAD_GATE,
+            "baseline_seconds": baseline_seconds,
+            "recorded_seconds": active_seconds,
+            "active_overhead": active_overhead,
+            "instrumentation_hits": hits,
+            "noop_seconds_per_hit": per_hit,
+            "noop_overhead": noop_overhead,
+            "spans_recorded": active["spans"],
+            "identical": identical,
+        },
+    )
+
+    assert identical, "recording changed the assignment"
+    assert noop_overhead <= NOOP_OVERHEAD_GATE, (
+        f"no-op instrumentation costs {noop_overhead:.2%} of the gate "
+        f"solve (gate {NOOP_OVERHEAD_GATE:.0%})"
+    )
+    assert active_overhead <= ACTIVE_OVERHEAD_GATE, (
+        f"active recording costs {active_overhead:.2%} over baseline "
+        f"(gate {ACTIVE_OVERHEAD_GATE:.0%})"
+    )

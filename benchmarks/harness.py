@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import gc
 import json
+import subprocess
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict, List
 
@@ -30,6 +32,25 @@ from repro.parallel import available_cpus
 #: Repo root; the ``BENCH_*.json`` artifacts live here so CI can diff
 #: them without knowing the benchmark layout.
 REPO_ROOT = Path(__file__).parent.parent
+
+#: Version of the stamped artifact layout.  Bump when the meaning of a
+#: stamped field changes so downstream tooling can dispatch on it.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _git_sha() -> str:
+    """The current short commit SHA, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
 
 
 class StageTimer:
@@ -98,13 +119,25 @@ def sorted_triples(assignment):
 
 
 def write_bench_json(name: str, payload: dict) -> Path:
-    """Write ``BENCH_<name>.json`` at the repo root (CPU count stamped).
+    """Write ``BENCH_<name>.json`` at the repo root, provenance-stamped.
 
-    Returns the artifact path; also echoes a ``[name] wrote ...`` marker
-    so the run log shows which artifacts were produced.
+    Every artifact carries the schema version, the short git SHA of the
+    measured tree (``"unknown"`` outside a checkout), a UTC ISO-8601
+    timestamp, and the machine's CPU count, so a stray artifact is
+    auditable on its own.  Returns the artifact path; also echoes a
+    ``[name] wrote ...`` marker so the run log shows which artifacts
+    were produced.
     """
     path = REPO_ROOT / f"BENCH_{name}.json"
-    payload = {"cpu_count": available_cpus(), **payload}
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": _git_sha(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "cpu_count": available_cpus(),
+        **payload,
+    }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"[{name}] wrote {path}")
     return path

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.core.problem import MUAAProblem
+from repro.obs.recorder import recorder
 
 #: Minimum admissible g (strictly above e for Corollary IV.1).
 MIN_G = math.e * 1.001
@@ -164,11 +165,12 @@ def calibrate_from_problem(
     Raises:
         ValueError: If the instance has no positive-utility candidate.
     """
-    return estimate_gamma_bounds(
-        observed_efficiencies(problem, sample_customers, seed),
-        low_quantile=low_quantile,
-        high_quantile=high_quantile,
-    )
+    with recorder().span("calibrate", sample_customers=sample_customers):
+        return estimate_gamma_bounds(
+            observed_efficiencies(problem, sample_customers, seed),
+            low_quantile=low_quantile,
+            high_quantile=high_quantile,
+        )
 
 
 def calibrate_per_vendor(

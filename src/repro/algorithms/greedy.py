@@ -22,6 +22,7 @@ import numpy as np
 from repro.algorithms.base import OfflineAlgorithm
 from repro.core.assignment import AdInstance, Assignment
 from repro.core.problem import MUAAProblem
+from repro.obs.recorder import recorder
 
 
 class GreedyEfficiency(OfflineAlgorithm):
@@ -40,21 +41,31 @@ class GreedyEfficiency(OfflineAlgorithm):
         self._rescan = rescan
 
     def solve(self, problem: MUAAProblem) -> Assignment:
+        rec = recorder()
         assignment = problem.new_assignment()
         if not self._rescan:
             engine = problem.acquire_engine()
             if engine is not None:
-                self._solve_vectorized(problem, engine, assignment)
+                with rec.span("greedy.solve", path="vectorized"):
+                    self._solve_vectorized(problem, engine, assignment)
                 return assignment
-        candidates: List[AdInstance] = [
-            inst for inst in problem.candidate_instances() if inst.utility > 0
-        ]
-        if self._rescan:
-            self._solve_rescan(candidates, assignment)
-        else:
-            candidates.sort(key=lambda inst: -inst.efficiency)
-            for instance in candidates:
-                assignment.add(instance, strict=False)
+        with rec.span(
+            "greedy.solve", path="rescan" if self._rescan else "scalar"
+        ):
+            with rec.span("greedy.enumerate"):
+                candidates: List[AdInstance] = [
+                    inst
+                    for inst in problem.candidate_instances()
+                    if inst.utility > 0
+                ]
+            if self._rescan:
+                with rec.span("greedy.sweep"):
+                    self._solve_rescan(candidates, assignment)
+            else:
+                with rec.span("greedy.sweep"):
+                    candidates.sort(key=lambda inst: -inst.efficiency)
+                    for instance in candidates:
+                        assignment.add(instance, strict=False)
         return assignment
 
     @staticmethod
@@ -69,47 +80,50 @@ class GreedyEfficiency(OfflineAlgorithm):
         identical; only AdInstance objects for *committed* ads are ever
         constructed.
         """
-        utilities = engine.utilities()
-        if utilities.size == 0:
-            return
-        flat_util = utilities.ravel()
-        flat_eff = engine.efficiencies().ravel()
-        keep = np.flatnonzero(flat_util > 0)
-        if keep.size == 0:
-            return
-        order = keep[np.argsort(-flat_eff[keep], kind="stable")]
+        rec = recorder()
+        with rec.span("greedy.rank"):
+            utilities = engine.utilities()
+            if utilities.size == 0:
+                return
+            flat_util = utilities.ravel()
+            flat_eff = engine.efficiencies().ravel()
+            keep = np.flatnonzero(flat_util > 0)
+            if keep.size == 0:
+                return
+            order = keep[np.argsort(-flat_eff[keep], kind="stable")]
 
-        arrays = engine.arrays
-        edges = engine.edges
-        ad_types = problem.ad_types
-        n_types = len(ad_types)
-        remaining_cap = arrays.capacity.astype(np.int64, copy=True)
-        spent = np.zeros(arrays.n_vendors, dtype=float)
-        budget = arrays.budget
-        used_pairs = set()
-        for flat in order.tolist():
-            edge, k = divmod(flat, n_types)
-            cu = int(edges.customer_idx[edge])
-            ve = int(edges.vendor_idx[edge])
-            if remaining_cap[cu] <= 0 or (cu, ve) in used_pairs:
-                continue
-            cost = ad_types[k].cost
-            # Same tolerance as Assignment.can_add's budget check.
-            if spent[ve] + cost > budget[ve] + 1e-9:
-                continue
-            used_pairs.add((cu, ve))
-            remaining_cap[cu] -= 1
-            spent[ve] += cost
-            assignment.add(
-                AdInstance(
-                    customer_id=int(arrays.customer_ids[cu]),
-                    vendor_id=int(arrays.vendor_ids[ve]),
-                    type_id=ad_types[k].type_id,
-                    utility=float(flat_util[flat]),
-                    cost=cost,
-                ),
-                strict=True,
-            )
+        with rec.span("greedy.sweep", n_candidates=int(keep.size)):
+            arrays = engine.arrays
+            edges = engine.edges
+            ad_types = problem.ad_types
+            n_types = len(ad_types)
+            remaining_cap = arrays.capacity.astype(np.int64, copy=True)
+            spent = np.zeros(arrays.n_vendors, dtype=float)
+            budget = arrays.budget
+            used_pairs = set()
+            for flat in order.tolist():
+                edge, k = divmod(flat, n_types)
+                cu = int(edges.customer_idx[edge])
+                ve = int(edges.vendor_idx[edge])
+                if remaining_cap[cu] <= 0 or (cu, ve) in used_pairs:
+                    continue
+                cost = ad_types[k].cost
+                # Same tolerance as Assignment.can_add's budget check.
+                if spent[ve] + cost > budget[ve] + 1e-9:
+                    continue
+                used_pairs.add((cu, ve))
+                remaining_cap[cu] -= 1
+                spent[ve] += cost
+                assignment.add(
+                    AdInstance(
+                        customer_id=int(arrays.customer_ids[cu]),
+                        vendor_id=int(arrays.vendor_ids[ve]),
+                        type_id=ad_types[k].type_id,
+                        utility=float(flat_util[flat]),
+                        cost=cost,
+                    ),
+                    strict=True,
+                )
 
     @staticmethod
     def _solve_rescan(

@@ -20,6 +20,7 @@ from repro.algorithms.base import OfflineAlgorithm
 from repro.core.assignment import Assignment
 from repro.core.problem import MUAAProblem
 from repro.lp.model import LinearProgram
+from repro.obs.recorder import recorder
 
 
 class LPRounding(OfflineAlgorithm):
@@ -33,68 +34,78 @@ class LPRounding(OfflineAlgorithm):
         self.last_lp_value = None
 
     def solve(self, problem: MUAAProblem) -> Assignment:
+        rec = recorder()
         # Batch-evaluate every pair base up front: with a vectorized
         # utility model this builds the compute engine, so the candidate
         # enumeration below is table lookups instead of per-pair Eq. 4/5.
         problem.warm_utilities()
-        lp = LinearProgram()
-        utilities: Dict[Tuple[int, int, int], float] = {}
-        by_customer: Dict[int, List] = {}
-        by_vendor: Dict[int, List] = {}
-        by_pair: Dict[Tuple[int, int], List] = {}
-        for customer_id, vendor_id in problem.valid_pairs():
-            for inst in problem.pair_instances(customer_id, vendor_id):
-                if inst.utility <= 0:
-                    continue
-                name = (customer_id, vendor_id, inst.type_id)
-                lp.add_variable(name, objective=inst.utility)
-                utilities[name] = inst.utility
-                by_customer.setdefault(customer_id, []).append(name)
-                by_vendor.setdefault(vendor_id, []).append((name, inst.cost))
-                by_pair.setdefault((customer_id, vendor_id), []).append(name)
+        with rec.span("lp.build"):
+            lp = LinearProgram()
+            utilities: Dict[Tuple[int, int, int], float] = {}
+            by_customer: Dict[int, List] = {}
+            by_vendor: Dict[int, List] = {}
+            by_pair: Dict[Tuple[int, int], List] = {}
+            for customer_id, vendor_id in problem.valid_pairs():
+                for inst in problem.pair_instances(customer_id, vendor_id):
+                    if inst.utility <= 0:
+                        continue
+                    name = (customer_id, vendor_id, inst.type_id)
+                    lp.add_variable(name, objective=inst.utility)
+                    utilities[name] = inst.utility
+                    by_customer.setdefault(customer_id, []).append(name)
+                    by_vendor.setdefault(vendor_id, []).append(
+                        (name, inst.cost)
+                    )
+                    by_pair.setdefault((customer_id, vendor_id), []).append(
+                        name
+                    )
 
-        assignment = problem.new_assignment()
-        if not utilities:
-            self.last_lp_value = 0.0
-            return assignment
+            assignment = problem.new_assignment()
+            if not utilities:
+                self.last_lp_value = 0.0
+                return assignment
 
-        for customer_id, names in by_customer.items():
-            lp.add_constraint(
-                {name: 1.0 for name in names},
-                bound=float(problem.capacities.get(customer_id, 0)),
-            )
-        for vendor_id, entries in by_vendor.items():
-            lp.add_constraint(
-                {name: cost for name, cost in entries},
-                bound=problem.budgets[vendor_id],
-            )
-        for names in by_pair.values():
-            lp.add_constraint({name: 1.0 for name in names}, bound=1.0)
+            for customer_id, names in by_customer.items():
+                lp.add_constraint(
+                    {name: 1.0 for name in names},
+                    bound=float(problem.capacities.get(customer_id, 0)),
+                )
+            for vendor_id, entries in by_vendor.items():
+                lp.add_constraint(
+                    {name: cost for name, cost in entries},
+                    bound=problem.budgets[vendor_id],
+                )
+            for names in by_pair.values():
+                lp.add_constraint({name: 1.0 for name in names}, bound=1.0)
+        rec.gauge("lp.variables", len(utilities))
 
-        solution = lp.solve()
+        with rec.span("lp.solve", n_variables=len(utilities)):
+            solution = lp.solve()
         self.last_lp_value = solution.objective
 
-        ranked = sorted(
-            utilities,
-            key=lambda name: (
-                -solution.x[lp.variable_index(name)],
-                -utilities[name],
-            ),
-        )
-        for name in ranked:
-            if solution.x[lp.variable_index(name)] <= 1e-9:
-                break  # zero-valued variables can still be skipped safely
-            customer_id, vendor_id, type_id = name
-            assignment.add(
-                problem.make_instance(customer_id, vendor_id, type_id),
-                strict=False,
+        with rec.span("lp.round"):
+            ranked = sorted(
+                utilities,
+                key=lambda name: (
+                    -solution.x[lp.variable_index(name)],
+                    -utilities[name],
+                ),
             )
-        # A second pass over the remaining candidates fills any budget
-        # the fractional solution left unusable after rounding.
-        for name in ranked:
-            customer_id, vendor_id, type_id = name
-            assignment.add(
-                problem.make_instance(customer_id, vendor_id, type_id),
-                strict=False,
-            )
+            for name in ranked:
+                if solution.x[lp.variable_index(name)] <= 1e-9:
+                    break  # zero-valued variables can still be skipped
+                customer_id, vendor_id, type_id = name
+                assignment.add(
+                    problem.make_instance(customer_id, vendor_id, type_id),
+                    strict=False,
+                )
+            # A second pass over the remaining candidates fills any
+            # budget the fractional solution left unusable after
+            # rounding.
+            for name in ranked:
+                customer_id, vendor_id, type_id = name
+                assignment.add(
+                    problem.make_instance(customer_id, vendor_id, type_id),
+                    strict=False,
+                )
         return assignment

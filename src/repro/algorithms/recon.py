@@ -24,6 +24,7 @@ from repro.core.entities import Vendor
 from repro.core.problem import MUAAProblem
 from repro.mckp.items import MCKPInstance, MCKPItem
 from repro.mckp.solvers import solve as solve_mckp
+from repro.obs.recorder import recorder
 from repro.parallel import ParallelConfig, parallel_map, resolve
 from repro.parallel import recon_workers
 from repro.parallel.shm import HAVE_SHARED_MEMORY, ship_columns
@@ -91,6 +92,12 @@ class Reconciliation(OfflineAlgorithm):
         self, problem: MUAAProblem, vendor: Vendor
     ) -> List[AdInstance]:
         """Solve :math:`\\mathbb{M}_j` and return its chosen instances."""
+        with recorder().span("recon.vendor", vendor_id=vendor.vendor_id):
+            return self._solve_single_vendor_inner(problem, vendor)
+
+    def _solve_single_vendor_inner(
+        self, problem: MUAAProblem, vendor: Vendor
+    ) -> List[AdInstance]:
         items: List[MCKPItem] = []
         engine = problem.acquire_engine()
         if engine is not None:
@@ -203,6 +210,7 @@ class Reconciliation(OfflineAlgorithm):
     # Reconciliation (lines 6-11)
     # ------------------------------------------------------------------
     def solve(self, problem: MUAAProblem) -> Assignment:
+        rec = recorder()
         rng = np.random.default_rng(self._seed)
 
         # Mutable global view: per-customer instance lists, per-vendor
@@ -211,11 +219,12 @@ class Reconciliation(OfflineAlgorithm):
         spend: Dict[int, float] = {v.vendor_id: 0.0 for v in problem.vendors}
         assigned_pairs: Set[Tuple[int, int]] = set()
 
-        for instances in self._vendor_solutions(problem):
-            for inst in instances:
-                by_customer.setdefault(inst.customer_id, []).append(inst)
-                spend[inst.vendor_id] += inst.cost
-                assigned_pairs.add(inst.pair)
+        with rec.span("recon.vendor_mckp", n_vendors=len(problem.vendors)):
+            for instances in self._vendor_solutions(problem):
+                for inst in instances:
+                    by_customer.setdefault(inst.customer_id, []).append(inst)
+                    spend[inst.vendor_id] += inst.cost
+                    assigned_pairs.add(inst.pair)
 
         # Canonical (sorted) base order: the reconciliation order must
         # be a function of the seed and the instance alone, never of
@@ -284,19 +293,22 @@ class Reconciliation(OfflineAlgorithm):
                 cursor += 1
             vendor_cursor[vendor_id] = cursor
 
-        for cid in violated:
-            instances = by_customer[cid]
-            capacity = problem.capacities[cid]
-            # Line 8: sort the customer's instances by utility.
-            instances.sort(key=lambda inst: -inst.utility)
-            while len(instances) > capacity:
-                # Line 10: drop the lowest-utility instance.
-                dropped = instances.pop()
-                spend[dropped.vendor_id] -= dropped.cost
-                assigned_pairs.discard(dropped.pair)
-                # Line 11: the vendor re-spends its refund elsewhere.
-                redistribute(dropped.vendor_id)
+        with rec.span("recon.reconcile", n_violated=n_violations):
+            for cid in violated:
+                instances = by_customer[cid]
+                capacity = problem.capacities[cid]
+                # Line 8: sort the customer's instances by utility.
+                instances.sort(key=lambda inst: -inst.utility)
+                while len(instances) > capacity:
+                    # Line 10: drop the lowest-utility instance.
+                    dropped = instances.pop()
+                    spend[dropped.vendor_id] -= dropped.cost
+                    assigned_pairs.discard(dropped.pair)
+                    # Line 11: the vendor re-spends its refund elsewhere.
+                    redistribute(dropped.vendor_id)
 
+        rec.count("recon.violated_customers", n_violations)
+        rec.count("recon.replacement_ads", n_replacements)
         self.last_stats = {
             "violated_customers": float(n_violations),
             "replacement_ads": float(n_replacements),

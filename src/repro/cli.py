@@ -6,6 +6,13 @@ Commands:
 * ``figure N``  -- regenerate paper figure N's tables (3-8)
 * ``ratio``     -- measure empirical approximation/competitive ratios
 * ``calibrate`` -- print O-AFA's gamma/g calibration for a workload
+* ``obs``       -- inspect recorded traces (``obs summary TRACE``)
+* ``info``      -- runtime/backend card of this installation
+
+``demo``, ``figure`` and ``reproduce`` accept ``--trace PATH`` (record
+a merged Chrome-trace timeline of the run, loadable in
+chrome://tracing or Perfetto) and ``--metrics PATH`` (write the run's
+metrics snapshot as JSON).
 
 All commands are deterministic for a fixed ``--seed``.
 """
@@ -48,11 +55,25 @@ def _build_parser() -> argparse.ArgumentParser:
                  "identical at any value)",
         )
 
+    def add_obs(command) -> None:
+        command.add_argument(
+            "--trace", type=str, default=None, metavar="PATH",
+            help="record the run and write a Chrome-trace timeline "
+                 "(worker processes appear as separate lanes; load in "
+                 "chrome://tracing or Perfetto)",
+        )
+        command.add_argument(
+            "--metrics", type=str, default=None, metavar="PATH",
+            help="write the run's metrics snapshot (counters, gauges, "
+                 "histograms) as JSON",
+        )
+
     demo = sub.add_parser("demo", help="run the algorithm panel once")
     demo.add_argument("--customers", type=int, default=2_000)
     demo.add_argument("--vendors", type=int, default=150)
     demo.add_argument("--seed", type=int, default=7)
     add_jobs(demo)
+    add_obs(demo)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=range(3, 9),
@@ -65,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--json", type=str, default=None,
                         help="also write the rows as JSON")
     add_jobs(figure)
+    add_obs(figure)
 
     ratio = sub.add_parser(
         "ratio", help="empirical ratios vs the exact optimum"
@@ -99,6 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=range(3, 9), help="subset of figures to run",
     )
     add_jobs(reproduce)
+    add_obs(reproduce)
 
     stats = sub.add_parser(
         "stats", help="print the instance card of a workload"
@@ -109,6 +132,23 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--checkins", action="store_true",
         help="use the check-in workload instead of the synthetic one",
+    )
+
+    obs = sub.add_parser("obs", help="inspect recorded observability data")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_sub.add_parser(
+        "summary",
+        help="per-stage wall time and latency percentiles of a trace",
+    )
+    # dest must not be "trace": main() treats an args.trace attribute
+    # as the recording flag, and obs must never record over its input.
+    obs_summary.add_argument(
+        "trace_file", metavar="TRACE",
+        help="Chrome-trace JSON written by --trace",
+    )
+
+    sub.add_parser(
+        "info", help="print version, runtime, and backend information"
     )
     return parser
 
@@ -294,6 +334,44 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0 if report.all_passed else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.summary import spans_from_chrome_trace, summary_table
+
+    spans = spans_from_chrome_trace(args.trace_file)
+    if not spans:
+        print(f"no spans recorded in {args.trace_file}")
+        return 1
+    print(summary_table(spans))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import multiprocessing
+    import platform
+
+    import numpy
+
+    import repro
+    from repro.mckp.solvers import _BACKENDS, SOLVER_NAMES
+    from repro.parallel.shm import HAVE_SHARED_MEMORY
+
+    start_methods = multiprocessing.get_all_start_methods()
+    backends = ", ".join(
+        name for name in SOLVER_NAMES if callable(_BACKENDS.get(name))
+    )
+    print(f"repro version:  {repro.__version__}")
+    print(f"python:         {platform.python_version()}")
+    print(f"numpy:          {numpy.__version__}")
+    print(f"platform:       {platform.platform()}")
+    print(f"cpu count:      {multiprocessing.cpu_count()}")
+    print(f"start methods:  {multiprocessing.get_start_method()} (default); "
+          f"available: {', '.join(start_methods)}")
+    print(f"shared memory:  {'yes' if HAVE_SHARED_MEMORY else 'no'}")
+    print(f"mckp backends:  {backends}")
+    print("lp backend:     in-tree simplex (repro.lp.model.LinearProgram)")
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "figure": _cmd_figure,
@@ -302,13 +380,31 @@ _COMMANDS = {
     "bounds": _cmd_bounds,
     "stats": _cmd_stats,
     "reproduce": _cmd_reproduce,
+    "obs": _cmd_obs,
+    "info": _cmd_info,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path is None and metrics_path is None:
+        return command(args)
+
+    from repro.obs.recorder import observed
+
+    with observed() as rec:
+        code = command(args)
+    if trace_path is not None:
+        rec.write_trace(trace_path)
+        print(f"wrote trace {trace_path}")
+    if metrics_path is not None:
+        rec.write_metrics(metrics_path)
+        print(f"wrote metrics {metrics_path}")
+    return code
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from repro.core.assignment import AdInstance
 from repro.engine.arrays import ProblemArrays
 from repro.engine.edges import CandidateEdges, build_candidate_edges
 from repro.engine.kernels import pair_bases as _kernel_pair_bases
+from repro.obs.recorder import recorder
 from repro.utility.model import TabularUtilityModel, TaxonomyUtilityModel
 
 #: Cost-affordability tolerance, identical to the scalar
@@ -116,7 +117,12 @@ class ComputeEngine:
     def edges(self) -> CandidateEdges:
         """The candidate-edge table (built on first access)."""
         if self._edges is None:
-            self._edges = build_candidate_edges(self._problem, self._arrays)
+            rec = recorder()
+            with rec.span("engine.build_edges"):
+                self._edges = build_candidate_edges(
+                    self._problem, self._arrays
+                )
+            rec.gauge("engine.candidate_edges", len(self._edges))
         return self._edges
 
     @property
@@ -136,21 +142,23 @@ class ComputeEngine:
         fallback whenever the pool declines.
         """
         if self._bases is None:
-            bases = None
-            config = getattr(self._problem, "parallel_config", None)
-            if config is not None:
-                from repro.parallel.kernels import chunked_pair_bases
+            edges = self.edges  # build outside the scoring span
+            with recorder().span("engine.pair_bases", n_edges=len(edges)):
+                bases = None
+                config = getattr(self._problem, "parallel_config", None)
+                if config is not None:
+                    from repro.parallel.kernels import chunked_pair_bases
 
-                bases = chunked_pair_bases(
-                    self._problem.utility_model,
-                    self._arrays,
-                    self.edges,
-                    config,
-                )
-            if bases is None:
-                bases = _kernel_pair_bases(
-                    self._problem.utility_model, self._arrays, self.edges
-                )
+                    bases = chunked_pair_bases(
+                        self._problem.utility_model,
+                        self._arrays,
+                        edges,
+                        config,
+                    )
+                if bases is None:
+                    bases = _kernel_pair_bases(
+                        self._problem.utility_model, self._arrays, edges
+                    )
             if bases is None:  # pragma: no cover - guarded by create()
                 raise RuntimeError(
                     "engine created for a model without a vectorized kernel"

@@ -1,0 +1,75 @@
+"""Zero-dependency observability: spans, metrics, merged timelines.
+
+Three pieces, one facade:
+
+* :mod:`repro.obs.trace` -- hierarchical spans with deterministic ids,
+  an injectable clock, and a Chrome-trace-event exporter (loadable in
+  ``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.metrics` -- a registry of counters, gauges, and
+  fixed-bucket histograms with snapshot/diff/merge semantics;
+* :mod:`repro.obs.recorder` -- the process-local :func:`recorder`
+  facade instrumented code reads.  The default is a shared no-op, so
+  the hot path pays ~nothing when observability is off; pool workers
+  record locally and the parent merges their snapshots into one
+  timeline with per-worker lanes.
+
+Turn it on with :func:`observed` (or the CLI's ``--trace`` /
+``--metrics`` flags) and summarise with ``repro obs summary``.  See
+``docs/observability.md``.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+)
+from repro.obs.recorder import (
+    NULL,
+    NullRecorder,
+    Recorder,
+    RecorderSnapshot,
+    observed,
+    recorder,
+    set_recorder,
+)
+from repro.obs.summary import (
+    StageSummary,
+    spans_from_chrome_trace,
+    summarize_spans,
+    summary_table,
+)
+from repro.obs.trace import (
+    MAIN_LANE,
+    Span,
+    Tracer,
+    chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "NULL",
+    "NullRecorder",
+    "Recorder",
+    "RecorderSnapshot",
+    "observed",
+    "recorder",
+    "set_recorder",
+    "StageSummary",
+    "spans_from_chrome_trace",
+    "summarize_spans",
+    "summary_table",
+    "MAIN_LANE",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "write_chrome_trace",
+]

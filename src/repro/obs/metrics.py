@@ -1,0 +1,273 @@
+"""Counters, gauges, and fixed-bucket histograms with snapshot/merge.
+
+A :class:`MetricsRegistry` owns named instruments:
+
+* :class:`Counter` -- monotonically increasing totals (commits, drops);
+* :class:`Gauge` -- last-written values (candidate-edge counts);
+* :class:`Histogram` -- fixed upper-bound buckets with count/sum/min/
+  max, built for latency distributions.
+
+Snapshots are plain JSON-able dicts, so they pickle across process
+boundaries for free.  The algebra the parallel layer relies on:
+
+* ``registry.snapshot()`` captures the current state;
+* ``diff_snapshots(now, earlier)`` isolates what happened in between
+  (counters and histogram buckets subtract; gauges keep the current
+  value);
+* ``registry.merge(snapshot)`` folds a child recording in (counters
+  and histogram buckets add; gauges take the merged value, last merge
+  wins).
+
+Merging requires histogram bucket bounds to match; mismatched schemas
+raise rather than silently mixing distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram buckets (seconds): ~1us .. 30s, log-spaced.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+    1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    Args:
+        buckets: Strictly increasing upper bounds.  An observation
+            lands in the first bucket whose bound is >= the value; one
+            implicit overflow bucket catches everything larger.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
+
+    def __init__(
+        self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("buckets must be non-empty, strictly increasing")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:  # bisect over the bounds
+            mid = (lo + hi) // 2
+            if self.buckets[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile by linear interpolation in-bucket.
+
+        The overflow bucket is represented by the observed maximum.
+        Returns ``nan`` with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        target = q * self.count
+        seen = 0.0
+        lower = max(0.0, min(self.min, self.buckets[0]))
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                if i < len(self.buckets):
+                    lower = self.buckets[i]
+                continue
+            upper = self.max if i == len(self.buckets) else min(
+                self.buckets[i], self.max
+            )
+            upper = max(upper, lower)
+            if seen + n >= target:
+                frac = 0.0 if n == 0 else (target - seen) / n
+                return lower + frac * (upper - lower)
+            seen += n
+            lower = upper if i == len(self.buckets) else self.buckets[i]
+        return self.max  # pragma: no cover - loop always returns
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict snapshot of this histogram."""
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+
+
+#: A registry snapshot: plain nested dicts (JSON- and pickle-safe).
+MetricsSnapshot = Dict[str, Dict[str, object]]
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms of one process."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (create on first use) --------------------
+    def counter(self, name: str) -> Counter:
+        """The named counter (created at zero on first access)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge (created at zero on first access)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The named histogram (default latency buckets on creation)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(
+                buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS
+            )
+        return histogram
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """The registry's current state as plain nested dicts."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.as_dict()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a (child) snapshot into this registry.
+
+        Counters and histogram bucket counts add; gauges take the
+        snapshot's value (last merge wins).
+
+        Raises:
+            ValueError: When a histogram's bucket bounds differ from
+                the local instrument of the same name.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, buckets=data["buckets"])
+            if list(histogram.buckets) != list(data["buckets"]):
+                raise ValueError(
+                    f"histogram {name!r}: bucket bounds differ; refusing "
+                    "to merge mismatched schemas"
+                )
+            for i, n in enumerate(data["counts"]):
+                histogram.counts[i] += int(n)
+            histogram.sum += float(data["sum"])
+            histogram.count += int(data["count"])
+            if data["count"]:
+                histogram.min = min(histogram.min, float(data["min"]))
+                histogram.max = max(histogram.max, float(data["max"]))
+
+
+def diff_snapshots(
+    now: MetricsSnapshot, earlier: MetricsSnapshot
+) -> MetricsSnapshot:
+    """What happened between two snapshots of the *same* registry.
+
+    Counters and histogram bucket counts subtract; gauges keep their
+    ``now`` value.  Instruments absent from ``earlier`` pass through
+    unchanged.  Used by the parallel layer to ship only each task's
+    increment back to the parent.
+    """
+    out: MetricsSnapshot = {"counters": {}, "gauges": {}, "histograms": {}}
+    earlier_counters = earlier.get("counters", {})
+    for name, value in now.get("counters", {}).items():
+        delta = float(value) - float(earlier_counters.get(name, 0.0))
+        if delta:
+            out["counters"][name] = delta
+    out["gauges"] = dict(now.get("gauges", {}))
+    earlier_hists = earlier.get("histograms", {})
+    for name, data in now.get("histograms", {}).items():
+        before = earlier_hists.get(name)
+        if before is None:
+            out["histograms"][name] = data
+            continue
+        counts = [
+            int(n) - int(m) for n, m in zip(data["counts"], before["counts"])
+        ]
+        count = int(data["count"]) - int(before["count"])
+        if count <= 0:
+            continue
+        out["histograms"][name] = {
+            "buckets": list(data["buckets"]),
+            "counts": counts,
+            "sum": float(data["sum"]) - float(before["sum"]),
+            "count": count,
+            # Interval extrema are not recoverable from totals; the
+            # current extrema are a safe (conservative) envelope.
+            "min": data["min"],
+            "max": data["max"],
+        }
+    return out

@@ -1,0 +1,276 @@
+"""The process-local recorder facade the instrumented code talks to.
+
+Instrumentation sites never construct tracers or registries; they call
+:func:`recorder` and use whatever is installed::
+
+    rec = recorder()
+    with rec.span("recon.vendor_mckp"):
+        ...
+    rec.count("stream.budget_commits")
+
+By default the installed recorder is :data:`NULL` -- a shared no-op
+whose ``span`` returns one reusable empty context manager -- so
+instrumented code pays a dictionary-read and a function call when
+observability is off, nothing more.  Enabling observability is one
+call (:func:`set_recorder` with a real :class:`Recorder`, or the
+:func:`observed` context manager); nothing else changes.
+
+Worker processes record into their own local :class:`Recorder`
+(installed by the pool layer) and ship :class:`RecorderSnapshot`
+values -- plain picklable data -- back with their results; the parent's
+:meth:`Recorder.merge` folds them into one timeline with per-worker
+lanes.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    diff_snapshots,
+)
+from repro.obs.trace import (
+    MAIN_LANE,
+    Span,
+    Tracer,
+    chrome_trace,
+    write_chrome_trace,
+)
+
+
+class _NullSpan:
+    """The reusable do-nothing context manager of the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The no-op recorder: every call returns immediately.
+
+    ``enabled`` is ``False`` so code with per-item instrumentation in a
+    genuinely hot loop can skip even the no-op call; everything else
+    just calls through unconditionally.
+    """
+
+    enabled = False
+    lane = MAIN_LANE
+
+    def span(self, name: str, **args: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **args: object) -> None:
+        return None
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
+
+#: The module-wide shared no-op instance.
+NULL = NullRecorder()
+
+
+@dataclass
+class RecorderSnapshot:
+    """Plain-data recording of one process (picklable across pools).
+
+    Attributes:
+        lane: Recording process's lane name.
+        spans: Spans recorded (raw clock readings; on supported
+            platforms ``perf_counter`` is system-wide monotonic, so
+            readings from different processes share an origin).
+        metrics: Metrics state (or delta, when drained) as plain dicts.
+    """
+
+    lane: str
+    spans: List[Span] = field(default_factory=list)
+    metrics: MetricsSnapshot = field(default_factory=dict)
+
+
+class Recorder:
+    """An enabled recorder: tracer + metrics registry + merge.
+
+    Args:
+        clock: Monotonic-seconds callable shared by the tracer;
+            defaults to ``time.perf_counter``.  Any
+            :mod:`repro.resilience.clock` clock works.
+        lane: This process's lane name (``"main"`` in the parent,
+            ``"worker-<pid>"`` in pool workers).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        lane: str = MAIN_LANE,
+    ) -> None:
+        self.lane = lane
+        self.tracer = Tracer(clock=clock, lane=lane)
+        self.metrics = MetricsRegistry()
+        #: Spans merged in from other lanes (workers).
+        self.foreign_spans: List[Span] = []
+        self._drained_spans = 0
+        self._drained_metrics: MetricsSnapshot = self.metrics.snapshot()
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, **args: object):
+        """Open a named span (context manager)."""
+        return self.tracer.span(name, **args)
+
+    def event(self, name: str, **args: object) -> Span:
+        """Record an instant event on the timeline."""
+        return self.tracer.event(name, **args)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment the named counter."""
+        self.metrics.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge."""
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        self.metrics.histogram(name).observe(value)
+
+    def now(self) -> float:
+        """The recorder clock's current reading."""
+        return self.tracer.now()
+
+    # -- snapshots and merging -----------------------------------------
+    @property
+    def all_spans(self) -> List[Span]:
+        """Own spans plus everything merged from worker lanes."""
+        return list(self.tracer.spans) + list(self.foreign_spans)
+
+    def snapshot(self) -> RecorderSnapshot:
+        """The full recording (own lane only) as plain data."""
+        return RecorderSnapshot(
+            lane=self.lane,
+            spans=list(self.tracer.spans),
+            metrics=self.metrics.snapshot(),
+        )
+
+    def drain(self) -> RecorderSnapshot:
+        """Spans and metric increments since the previous drain.
+
+        The worker-side per-task shipping primitive: each task returns
+        only what it added, so the parent can merge task results in
+        order without double counting.
+        """
+        spans = self.tracer.spans[self._drained_spans:]
+        self._drained_spans = len(self.tracer.spans)
+        current = self.metrics.snapshot()
+        delta = diff_snapshots(current, self._drained_metrics)
+        self._drained_metrics = current
+        return RecorderSnapshot(
+            lane=self.lane, spans=list(spans), metrics=delta
+        )
+
+    def merge(
+        self, snapshot: RecorderSnapshot, offset: float = 0.0
+    ) -> None:
+        """Fold a child recording into this one.
+
+        Spans keep the snapshot's lane (a distinct timeline row in the
+        exported trace); ``offset`` seconds are added to their clock
+        readings for clocks that do *not* share an origin across
+        processes (simulated clocks).  Metrics merge per
+        :meth:`repro.obs.metrics.MetricsRegistry.merge`.
+        """
+        for span in snapshot.spans:
+            if offset:
+                span = Span(
+                    name=span.name,
+                    span_id=span.span_id,
+                    parent_id=span.parent_id,
+                    start=span.start + offset,
+                    end=None if span.end is None else span.end + offset,
+                    lane=span.lane,
+                    args=span.args,
+                )
+            self.foreign_spans.append(span)
+        if snapshot.metrics:
+            self.metrics.merge(snapshot.metrics)
+
+    # -- export ---------------------------------------------------------
+    def chrome_trace(self) -> Dict[str, object]:
+        """The merged timeline as a Chrome trace-event object."""
+        return chrome_trace(self.all_spans)
+
+    def write_trace(self, path: Union[str, Path]) -> Path:
+        """Write the merged timeline as Chrome-trace JSON."""
+        return write_chrome_trace(path, self.all_spans)
+
+    def write_metrics(self, path: Union[str, Path]) -> Path:
+        """Write the metrics snapshot as JSON and return the path."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.metrics.snapshot(), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+#: The process-local active recorder read by every instrumentation site.
+_ACTIVE: Union[Recorder, NullRecorder] = NULL
+
+
+def recorder() -> Union[Recorder, NullRecorder]:
+    """The currently installed recorder (the shared no-op by default)."""
+    return _ACTIVE
+
+
+def set_recorder(
+    rec: Union[Recorder, NullRecorder]
+) -> Union[Recorder, NullRecorder]:
+    """Install ``rec`` as the process-local recorder; returns the old one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = rec
+    return previous
+
+
+@contextmanager
+def observed(
+    clock: Optional[Callable[[], float]] = None, lane: str = MAIN_LANE
+) -> Iterator[Recorder]:
+    """Scope with a fresh enabled :class:`Recorder` installed.
+
+    Restores the previous recorder on exit, so nesting and tests stay
+    hermetic::
+
+        with observed() as rec:
+            Reconciliation(jobs=4).solve(problem)
+        rec.write_trace("trace.json")
+    """
+    rec = Recorder(clock=clock, lane=lane)
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)

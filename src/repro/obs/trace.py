@@ -1,0 +1,252 @@
+"""Hierarchical tracing spans with a Chrome-trace-event exporter.
+
+A :class:`Tracer` records *spans* -- named, nested intervals on a
+monotonic clock -- through a context-manager API::
+
+    tracer = Tracer()
+    with tracer.span("recon.solve"):
+        with tracer.span("recon.vendor", vendor_id=3):
+            ...
+
+Span identity is deterministic: ids are dotted paths derived from a
+per-parent counter (``"1"``, ``"1.1"``, ``"1.2"``, ``"2"`` ...), never
+from object addresses or wall-clock values, so two runs of the same
+code produce the same span tree.  Time flows through an injectable
+clock -- any zero-argument callable returning monotonic seconds, e.g.
+:class:`repro.resilience.clock.SystemClock` or
+:class:`~repro.resilience.clock.SimulatedClock` -- so traces are fully
+deterministic under a simulated clock.
+
+:func:`chrome_trace` converts spans from any number of *lanes*
+(processes/workers) into the Chrome trace-event JSON format, loadable
+in ``chrome://tracing`` or `Perfetto <https://ui.perfetto.dev>`_: each
+lane becomes one named thread row, spans become complete (``"X"``)
+events and zero-duration events become instants (``"i"``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+#: Lane name of the parent process (workers get their own lanes).
+MAIN_LANE = "main"
+
+
+@dataclass
+class Span:
+    """One named interval (or instant) on a tracer's clock.
+
+    Attributes:
+        name: Stage name, e.g. ``"recon.vendor_mckp"``.
+        span_id: Deterministic dotted path (``"2.1"``); unique within
+            one lane.
+        parent_id: Enclosing span's id, or ``None`` at top level.
+        start: Clock reading at entry (seconds).
+        end: Clock reading at exit; ``None`` marks an instant event.
+        lane: Recording process's lane name.
+        args: Extra key/value payload shown by trace viewers.
+    """
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    start: float
+    end: Optional[float] = None
+    lane: str = MAIN_LANE
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 for instant events)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-dict form (JSON/pickle friendly)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "lane": self.lane,
+            "args": dict(self.args),
+        }
+
+
+class _ActiveSpan:
+    """Context manager closing one span on exit (re-entrant never)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._close(self._span)
+
+
+class Tracer:
+    """Span recorder of one process lane.
+
+    Args:
+        clock: Zero-argument callable returning monotonic seconds;
+            defaults to ``time.perf_counter``.  On the platforms we
+            support ``perf_counter`` reads a system-wide monotonic
+            clock, so raw readings from different processes share an
+            origin and merge into one coherent timeline.
+        lane: Lane name stamped on every span.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        lane: str = MAIN_LANE,
+    ) -> None:
+        self._clock = clock or time.perf_counter
+        self.lane = lane
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._child_counts: Dict[Optional[str], int] = {None: 0}
+
+    def _next_id(self, parent_id: Optional[str]) -> str:
+        n = self._child_counts.get(parent_id, 0) + 1
+        self._child_counts[parent_id] = n
+        return str(n) if parent_id is None else f"{parent_id}.{n}"
+
+    def span(self, name: str, **args: object) -> _ActiveSpan:
+        """Open a span; use as ``with tracer.span("stage"): ...``.
+
+        The span is appended to :attr:`spans` immediately (with
+        ``end=None``) and closed on context exit, so a crash mid-span
+        still leaves the entry visible.
+        """
+        parent_id = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id(parent_id),
+            parent_id=parent_id,
+            start=self._clock(),
+            lane=self.lane,
+            args=args,
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        # Close any deeper spans left open by a non-local exit so the
+        # stack never corrupts sibling bookkeeping.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end is None:
+                top.end = span.end
+
+    def event(self, name: str, **args: object) -> Span:
+        """Record an instant event (zero-duration span) at *now*."""
+        parent_id = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id(parent_id),
+            parent_id=parent_id,
+            start=self._clock(),
+            end=None,
+            lane=self.lane,
+            args=args,
+        )
+        self.spans.append(span)
+        return span
+
+    def now(self) -> float:
+        """The tracer clock's current reading."""
+        return self._clock()
+
+
+def _lane_order(spans: Sequence[Span]) -> List[str]:
+    """Lanes in display order: main first, then sorted worker lanes."""
+    lanes = {span.lane for span in spans}
+    ordered = []
+    if MAIN_LANE in lanes:
+        ordered.append(MAIN_LANE)
+        lanes.discard(MAIN_LANE)
+    ordered.extend(sorted(lanes))
+    return ordered
+
+
+def chrome_trace(spans: Sequence[Span]) -> Dict[str, object]:
+    """Spans (any mix of lanes) -> Chrome trace-event JSON object.
+
+    Timestamps are re-based to the earliest span start, converted to
+    microseconds.  Each lane becomes one named thread (``tid``) of a
+    single process; open spans (``end is None`` that are not instant
+    events recorded via :meth:`Tracer.event`) are exported as instants.
+    """
+    events: List[Dict[str, object]] = []
+    lanes = _lane_order(spans)
+    tids = {lane: tid for tid, lane in enumerate(lanes)}
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    )
+    for lane, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+    if spans:
+        epoch = min(span.start for span in spans)
+        for span in spans:
+            ts = (span.start - epoch) * 1e6
+            args = {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                **span.args,
+            }
+            base = {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "pid": 0,
+                "tid": tids[span.lane],
+                "ts": ts,
+                "args": args,
+            }
+            if span.end is None:
+                events.append({**base, "ph": "i", "s": "t"})
+            else:
+                events.append(
+                    {**base, "ph": "X", "dur": (span.end - span.start) * 1e6}
+                )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, Path], spans: Sequence[Span]
+) -> Path:
+    """Write spans as a Chrome-trace JSON file and return its path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(chrome_trace(spans), indent=1) + "\n", encoding="utf-8"
+    )
+    return path

@@ -23,6 +23,7 @@ import numpy as np
 from repro.engine.arrays import ProblemArrays
 from repro.engine.edges import CandidateEdges
 from repro.engine.kernels import pair_bases as _serial_pair_bases
+from repro.obs.recorder import recorder
 from repro.parallel.config import ParallelConfig
 from repro.parallel.pool import parallel_map
 from repro.parallel.shm import (
@@ -77,15 +78,16 @@ def _score_span(span: Tuple[int, int]) -> np.ndarray:
     assert _STATE is not None, "worker initializer did not run"
     columns, model, arrays = _STATE
     lo, hi = span
-    sub_edges = CandidateEdges(
-        customer_idx=columns["edge_customer"][lo:hi],
-        vendor_idx=columns["edge_vendor"][lo:hi],
-        distance=columns["edge_distance"][lo:hi],
-        # vendor_starts is not consulted by the kernels; a trivial
-        # placeholder keeps the dataclass honest.
-        vendor_starts=np.zeros(1, dtype=np.int64),
-    )
-    bases = _serial_pair_bases(model, arrays, sub_edges)
+    with recorder().span("engine.kernel_chunk", lo=lo, hi=hi):
+        sub_edges = CandidateEdges(
+            customer_idx=columns["edge_customer"][lo:hi],
+            vendor_idx=columns["edge_vendor"][lo:hi],
+            distance=columns["edge_distance"][lo:hi],
+            # vendor_starts is not consulted by the kernels; a trivial
+            # placeholder keeps the dataclass honest.
+            vendor_starts=np.zeros(1, dtype=np.int64),
+        )
+        bases = _serial_pair_bases(model, arrays, sub_edges)
     if bases is None:  # pragma: no cover - guarded by the caller
         raise RuntimeError("model lost its vectorized kernel in the worker")
     return bases

@@ -11,16 +11,28 @@ signal to run the serial reference path; consumers never need to know
 Worker functions must be module-level (they are pickled by reference),
 and heavy state travels either through the pool initializer (inherited
 for free under ``fork``) or through :mod:`repro.parallel.shm` handles.
+
+When the parent process has an enabled :mod:`repro.obs` recorder, the
+pool transparently instruments itself: each worker gets its own
+recorder (lane ``"worker-<pid>"``), every task ships the spans and
+metric increments it produced back alongside its result, and the
+parent merges them -- so one ``--trace`` run yields a single timeline
+with per-worker lanes.  With the default no-op recorder none of this
+machinery engages and the dispatch path is byte-for-byte the
+uninstrumented one.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from pickle import PicklingError
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.recorder import Recorder, recorder, set_recorder
 from repro.parallel.config import ParallelConfig
 from repro.parallel.shm import HAVE_SHARED_MEMORY
 
@@ -50,6 +62,28 @@ def _context(config: ParallelConfig):
     elif method not in methods:
         return None
     return multiprocessing.get_context(method)
+
+
+def _obs_init(initializer: Optional[Callable], initargs: Tuple) -> None:
+    """Observability-aware pool initializer.
+
+    Installs a fresh enabled recorder in the worker -- replacing any
+    recorder state inherited under ``fork``, which belongs to the
+    parent's timeline -- then runs the caller's initializer.  The lane
+    is named after the worker pid, so each worker process becomes one
+    distinct timeline row in the merged trace.
+    """
+    set_recorder(Recorder(lane=f"worker-{os.getpid()}"))
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _obs_task(fn: Callable, task):
+    """Run one task and ship its recording increment with the result."""
+    result = fn(task)
+    rec = recorder()
+    snapshot = rec.drain() if rec.enabled else None
+    return result, snapshot
 
 
 def pool_available(config: ParallelConfig, n_tasks: int) -> bool:
@@ -95,18 +129,39 @@ def parallel_map(
         return None
     ctx = _context(config)
     jobs = min(config.resolved_jobs(), len(tasks))
+    rec = recorder()
+    if rec.enabled:
+        # Route tasks through the observability wrapper: workers get
+        # their own lanes, every task returns (result, recording).
+        mapped_fn: Callable = functools.partial(_obs_task, fn)
+        pool_initializer: Callable = _obs_init
+        pool_initargs: Tuple = (initializer, initargs)
+    else:
+        mapped_fn = fn
+        pool_initializer = initializer
+        pool_initargs = initargs
     try:
         with ProcessPoolExecutor(
             max_workers=jobs,
             mp_context=ctx,
-            initializer=initializer,
-            initargs=initargs,
+            initializer=pool_initializer,
+            initargs=pool_initargs,
         ) as executor:
-            return list(
+            mapped = list(
                 executor.map(
-                    fn, tasks, chunksize=config.task_chunksize(len(tasks))
+                    mapped_fn,
+                    tasks,
+                    chunksize=config.task_chunksize(len(tasks)),
                 )
             )
+        if not rec.enabled:
+            return mapped
+        results = []
+        for result, snapshot in mapped:
+            if snapshot is not None:
+                rec.merge(snapshot)
+            results.append(result)
+        return results
     except _POOL_FAILURES as exc:
         if config.fallback_serial:
             return None

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 
 from repro.mckp.items import MCKPInstance, MCKPItem
 from repro.mckp.solvers import solve as solve_mckp
+from repro.obs.recorder import recorder
 from repro.parallel.shm import AttachedColumns, ColumnHandle, attach_columns
 
 #: Cost-affordability tolerance; must match ``repro.algorithms.recon``.
@@ -52,42 +53,44 @@ def solve_vendor_span(span: Tuple[int, int]) -> List[Tuple[int, VendorChoice]]:
     type_ids = columns["type_ids"].tolist()
 
     lo, hi = span
+    rec = recorder()
     results: List[Tuple[int, VendorChoice]] = []
     for vendor_row in range(lo, hi):
-        budget = float(budgets[vendor_row])
-        span_lo = int(starts[vendor_row])
-        span_hi = int(starts[vendor_row + 1])
-        util = utilities[span_lo:span_hi]
-        customer_rows = edge_customer[span_lo:span_hi].tolist()
-        items: List[MCKPItem] = []
-        # Same nesting and filters as the serial engine path in
-        # ``Reconciliation._solve_single_vendor``: customers in edge
-        # order, ad types in catalogue order.
-        for local, cu in enumerate(customer_rows):
-            customer_id = int(customer_ids[cu])
-            for k, cost in enumerate(type_cost):
-                utility = float(util[local, k])
-                if utility > 0 and cost <= budget + _EPS:
-                    items.append(
-                        MCKPItem(
-                            class_id=customer_id,
-                            item_id=int(type_ids[k]),
-                            cost=cost,
-                            profit=utility,
+        with rec.span("recon.vendor", vendor_row=vendor_row):
+            budget = float(budgets[vendor_row])
+            span_lo = int(starts[vendor_row])
+            span_hi = int(starts[vendor_row + 1])
+            util = utilities[span_lo:span_hi]
+            customer_rows = edge_customer[span_lo:span_hi].tolist()
+            items: List[MCKPItem] = []
+            # Same nesting and filters as the serial engine path in
+            # ``Reconciliation._solve_single_vendor``: customers in edge
+            # order, ad types in catalogue order.
+            for local, cu in enumerate(customer_rows):
+                customer_id = int(customer_ids[cu])
+                for k, cost in enumerate(type_cost):
+                    utility = float(util[local, k])
+                    if utility > 0 and cost <= budget + _EPS:
+                        items.append(
+                            MCKPItem(
+                                class_id=customer_id,
+                                item_id=int(type_ids[k]),
+                                cost=cost,
+                                profit=utility,
+                            )
                         )
-                    )
-        if not items:
-            results.append((vendor_row, []))
-            continue
-        mckp = MCKPInstance.from_items(items, budget=budget)
-        solution = solve_mckp(mckp, method=method)
-        results.append(
-            (
-                vendor_row,
-                [
-                    (int(customer_id), int(item.item_id))
-                    for customer_id, item in solution.chosen.items()
-                ],
+            if not items:
+                results.append((vendor_row, []))
+                continue
+            mckp = MCKPInstance.from_items(items, budget=budget)
+            solution = solve_mckp(mckp, method=method)
+            results.append(
+                (
+                    vendor_row,
+                    [
+                        (int(customer_id), int(item.item_id))
+                        for customer_id, item in solution.chosen.items()
+                    ],
+                )
             )
-        )
     return results

@@ -41,6 +41,7 @@ from repro.core.assignment import AdInstance, Assignment
 from repro.core.entities import AdType, Customer, Vendor
 from repro.core.problem import MUAAProblem
 from repro.exceptions import ResilienceError, TransientError
+from repro.obs.recorder import recorder
 from repro.resilience.clock import SimulatedClock
 from repro.resilience.faults import (
     FaultInjector,
@@ -282,6 +283,7 @@ class ResilientBroker:
         assignment = problem.new_assignment()
         result = StreamResult(assignment=assignment, resilience=stats)
         seen = set()
+        rec = recorder()
         guards = (utility_guard, spatial_guard)
         for customer in arrivals:
             seen.add(customer.customer_id)
@@ -289,22 +291,27 @@ class ResilientBroker:
             retries_before = sum(g.retries for g in guards)
             start = clock()
             tier: Optional[int] = None
-            try:
-                picked = chain.process_customer(
-                    guarded_problem, customer, assignment
-                )
-                tier = chain.last_tier_used
-            except ResilienceError as exc:
-                stats.decisions_abandoned += 1
-                picked = []
-                logger.warning(
-                    "every tier failed for customer %d (%s); decision "
-                    "abandoned",
-                    customer.customer_id,
-                    exc,
-                )
+            with rec.span("broker.decision", customer=customer.customer_id):
+                try:
+                    picked = chain.process_customer(
+                        guarded_problem, customer, assignment
+                    )
+                    tier = chain.last_tier_used
+                except ResilienceError as exc:
+                    stats.decisions_abandoned += 1
+                    picked = []
+                    rec.count("broker.decisions_abandoned")
+                    logger.warning(
+                        "every tier failed for customer %d (%s); decision "
+                        "abandoned",
+                        customer.customer_id,
+                        exc,
+                    )
             elapsed = clock() - start
             result.latencies.append(elapsed)
+            rec.observe("broker.decision_seconds", elapsed)
+            if tier is not None and tier > 0:
+                rec.count("broker.degraded_decisions")
             degraded = (
                 tier is None
                 or tier > 0
@@ -318,6 +325,7 @@ class ResilientBroker:
                 and elapsed > self._decision_deadline
             ):
                 result.customers_lost += 1
+                rec.count("broker.deadline_drops")
                 logger.info(
                     "customer %d lost: decision took %.4fs (deadline %.4fs)",
                     customer.customer_id,

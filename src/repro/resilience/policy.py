@@ -28,6 +28,7 @@ from repro.exceptions import (
     DeadlineExceededError,
     TransientError,
 )
+from repro.obs.recorder import recorder
 
 logger = logging.getLogger(__name__)
 
@@ -141,6 +142,14 @@ class CircuitBreaker:
         if to_state is self._state:
             return
         self.transitions.append((self._clock(), self._state, to_state))
+        rec = recorder()
+        rec.event(
+            "resilience.breaker_transition",
+            dependency=self.name,
+            from_state=self._state.value,
+            to_state=to_state.value,
+        )
+        rec.count("resilience.breaker_transitions")
         level = (
             logging.WARNING if to_state is BreakerState.OPEN else logging.INFO
         )
@@ -265,6 +274,13 @@ class DependencyGuard:
             elapsed = self._clock() - started
             if self.timeout is not None and elapsed > self.timeout:
                 self.timeouts += 1
+                rec = recorder()
+                rec.event(
+                    "resilience.timeout",
+                    dependency=self.name,
+                    elapsed=elapsed,
+                )
+                rec.count("resilience.timeouts")
                 last_error = DeadlineExceededError(
                     f"{self.name}: call took {elapsed:.4f}s "
                     f"(timeout {self.timeout:.4f}s)"
@@ -301,5 +317,13 @@ class DependencyGuard:
             "%s: retry %d after %.4fs backoff", self.name, attempt + 1, delay
         )
         self.retries += 1
+        rec = recorder()
+        rec.event(
+            "resilience.retry",
+            dependency=self.name,
+            attempt=attempt + 1,
+            backoff=delay,
+        )
+        rec.count("resilience.retries")
         self._clock.sleep(delay)
         return True

@@ -20,6 +20,12 @@ from repro.stream.simulator import StreamResult
 class LatencyProfile:
     """Latency distribution of a stream's decisions (seconds).
 
+    Percentiles use ``np.quantile``'s default **linear interpolation**
+    between the two nearest order statistics (NumPy's
+    ``method="linear"``); e.g. the p50 of ``[0.1, 0.3]`` is exactly
+    ``0.2``.  This choice is pinned -- changing the interpolation
+    method would silently shift every recorded latency gate.
+
     Attributes:
         mean: Mean decision time.
         p50: Median.

@@ -24,6 +24,7 @@ from repro.algorithms.base import OfflineAlgorithm, OnlineAlgorithm, SolveResult
 from repro.core.assignment import Assignment
 from repro.core.entities import Customer
 from repro.core.problem import MUAAProblem
+from repro.obs.recorder import recorder
 from repro.stream.arrivals import by_arrival_time
 
 
@@ -209,14 +210,19 @@ class OnlineSimulator:
         # never for a future or unknown one, which would break the
         # online model.
         seen = set()
+        rec = recorder()
         timed = measure_latency or decision_deadline is not None
         for customer in arrivals:
             seen.add(customer.customer_id)
             if timed:
                 start = self._clock()
-            picked = algorithm.process_customer(problem, customer, assignment)
+            with rec.span("stream.decision", customer=customer.customer_id):
+                picked = algorithm.process_customer(
+                    problem, customer, assignment
+                )
             if timed:
                 elapsed = self._clock() - start
+                rec.observe("stream.decision_seconds", elapsed)
                 if measure_latency:
                     result.latencies.append(elapsed)
                 if (
@@ -224,13 +230,18 @@ class OnlineSimulator:
                     and elapsed > decision_deadline
                 ):
                     result.customers_lost += 1
+                    rec.count("stream.deadline_drops")
                     continue  # customer went inactive; ads are dropped
             for instance in picked:
                 if instance.customer_id not in seen:
                     result.rejected_instances += 1
+                    rec.count("stream.rejected_instances")
                     continue
-                if not assignment.add(instance, strict=False):
+                if assignment.add(instance, strict=False):
+                    rec.count("stream.budget_commits")
+                else:
                     result.rejected_instances += 1
+                    rec.count("stream.rejected_instances")
         return result
 
 

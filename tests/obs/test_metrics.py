@@ -1,0 +1,153 @@
+"""Counter/gauge/histogram semantics and the snapshot algebra."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_gauge_keeps_last_value(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram(buckets=[])
+
+    def test_histogram_bucket_placement(self):
+        h = Histogram(buckets=[1.0, 10.0])
+        for value in (0.5, 1.0, 5.0, 100.0):
+            h.observe(value)
+        # <=1, <=10, overflow
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(106.5)
+        assert h.min == 0.5 and h.max == 100.0
+
+    def test_histogram_quantiles(self):
+        h = Histogram(buckets=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 2.5, 3.5):
+            h.observe(value)
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+        assert h.quantile(1.0) <= 4.0
+        assert math.isnan(Histogram().quantile(0.5))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestRegistry:
+    def test_instruments_create_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert registry.counter("a").value == 1.0
+        registry.gauge("g").set(2.0)
+        registry.histogram("h").observe(0.1)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a": 1.0}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("h").observe(0.5)
+        json.dumps(registry.snapshot())  # must not raise
+
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.histogram("h").observe(0.5)
+        b.histogram("h").observe(0.5)
+        b.histogram("h").observe(50.0)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 5.0
+        assert snap["gauges"]["g"] == 9.0  # last merge wins
+        merged = snap["histograms"]["h"]
+        assert merged["count"] == 3
+        assert merged["min"] == 0.5 and merged["max"] == 50.0
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=[1.0, 2.0]).observe(0.5)
+        b.histogram("h", buckets=[5.0, 6.0]).observe(5.5)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge(b.snapshot())
+
+
+class TestDiffSnapshots:
+    def test_counters_subtract_and_zero_deltas_vanish(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.counter("b").inc(1)
+        earlier = registry.snapshot()
+        registry.counter("a").inc(3)
+        delta = diff_snapshots(registry.snapshot(), earlier)
+        assert delta["counters"] == {"a": 3.0}
+
+    def test_histograms_subtract(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(0.1)
+        earlier = registry.snapshot()
+        registry.histogram("h").observe(0.2)
+        registry.histogram("h").observe(0.3)
+        delta = diff_snapshots(registry.snapshot(), earlier)
+        assert delta["histograms"]["h"]["count"] == 2
+        assert delta["histograms"]["h"]["sum"] == pytest.approx(0.5)
+
+    def test_unchanged_histogram_is_omitted(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(0.1)
+        snap = registry.snapshot()
+        assert diff_snapshots(snap, snap)["histograms"] == {}
+
+    def test_merge_of_drained_deltas_equals_one_registry(self):
+        # The parallel layer's invariant: merging per-task deltas must
+        # reconstruct the same totals as recording in one registry.
+        whole, parent = MetricsRegistry(), MetricsRegistry()
+        child = MetricsRegistry()
+        drained = child.snapshot()
+        for batch in ([0.1, 0.2], [0.3], [0.4, 0.5]):
+            for value in batch:
+                whole.histogram("h").observe(value)
+                whole.counter("n").inc()
+                child.histogram("h").observe(value)
+                child.counter("n").inc()
+            current = child.snapshot()
+            parent.merge(diff_snapshots(current, drained))
+            drained = current
+        assert (
+            parent.snapshot()["counters"] == whole.snapshot()["counters"]
+        )
+        assert (
+            parent.snapshot()["histograms"]["h"]["counts"]
+            == whole.snapshot()["histograms"]["h"]["counts"]
+        )

@@ -1,0 +1,135 @@
+"""The recorder facade: no-op default, drain/merge, installation."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.recorder import (
+    NULL,
+    NullRecorder,
+    Recorder,
+    observed,
+    recorder,
+    set_recorder,
+)
+from repro.resilience.clock import SimulatedClock
+
+
+class TestNullDefault:
+    def test_default_recorder_is_the_shared_noop(self):
+        assert recorder() is NULL
+        assert not recorder().enabled
+
+    def test_null_span_is_reused(self):
+        null = NullRecorder()
+        assert null.span("a") is null.span("b")
+        with null.span("a"):
+            pass
+        null.count("c")
+        null.gauge("g", 1.0)
+        null.observe("h", 0.1)
+        null.event("e")
+        assert null.now() == 0.0
+
+    def test_observed_installs_and_restores(self):
+        assert recorder() is NULL
+        with observed() as rec:
+            assert recorder() is rec
+            assert rec.enabled
+        assert recorder() is NULL
+
+    def test_observed_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with observed():
+                raise RuntimeError("boom")
+        assert recorder() is NULL
+
+    def test_set_recorder_returns_previous(self):
+        rec = Recorder()
+        previous = set_recorder(rec)
+        try:
+            assert previous is NULL
+            assert recorder() is rec
+        finally:
+            set_recorder(previous)
+
+
+class TestRecorder:
+    def test_records_spans_and_metrics(self):
+        clock = SimulatedClock()
+        rec = Recorder(clock=clock)
+        with rec.span("stage", key=1):
+            clock.advance(2.0)
+            rec.count("hits")
+            rec.observe("lat", 0.5)
+        rec.gauge("level", 7.0)
+        assert [s.name for s in rec.all_spans] == ["stage"]
+        assert rec.all_spans[0].duration == pytest.approx(2.0)
+        snap = rec.metrics.snapshot()
+        assert snap["counters"] == {"hits": 1.0}
+        assert snap["gauges"] == {"level": 7.0}
+
+    def test_drain_ships_only_the_increment(self):
+        clock = SimulatedClock()
+        rec = Recorder(clock=clock, lane="worker-1")
+        with rec.span("a"):
+            clock.advance(1.0)
+        rec.count("n")
+        first = rec.drain()
+        assert [s.name for s in first.spans] == ["a"]
+        assert first.metrics["counters"] == {"n": 1.0}
+        with rec.span("b"):
+            clock.advance(1.0)
+        second = rec.drain()
+        assert [s.name for s in second.spans] == ["b"]
+        assert rec.drain().spans == []  # nothing new
+
+    def test_snapshot_is_picklable(self):
+        clock = SimulatedClock()
+        rec = Recorder(clock=clock, lane="worker-9")
+        with rec.span("a", vendor=3):
+            clock.advance(1.0)
+        rec.observe("lat", 0.5)
+        snapshot = pickle.loads(pickle.dumps(rec.drain()))
+        assert snapshot.lane == "worker-9"
+        assert snapshot.spans[0].name == "a"
+
+    def test_merge_keeps_worker_lane(self):
+        clock = SimulatedClock()
+        parent = Recorder(clock=clock)
+        worker = Recorder(clock=clock, lane="worker-1")
+        with worker.span("w"):
+            clock.advance(1.0)
+        worker.count("n", 2.0)
+        parent.merge(worker.drain())
+        assert {s.lane for s in parent.all_spans} == {"worker-1"}
+        assert parent.metrics.snapshot()["counters"] == {"n": 2.0}
+
+    def test_merge_offset_shifts_foreign_clocks(self):
+        parent = Recorder(clock=SimulatedClock())
+        child_clock = SimulatedClock()
+        child = Recorder(clock=child_clock, lane="worker-1")
+        with child.span("w"):
+            child_clock.advance(1.0)
+        parent.merge(child.drain(), offset=10.0)
+        span = parent.all_spans[0]
+        assert span.start == pytest.approx(10.0)
+        assert span.end == pytest.approx(11.0)
+
+    def test_write_trace_and_metrics(self, tmp_path):
+        clock = SimulatedClock()
+        rec = Recorder(clock=clock)
+        with rec.span("stage"):
+            clock.advance(1.0)
+        rec.count("n")
+        trace = json.loads(
+            rec.write_trace(tmp_path / "t.json").read_text()
+        )
+        metrics = json.loads(
+            rec.write_metrics(tmp_path / "m.json").read_text()
+        )
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        assert metrics["counters"] == {"n": 1.0}

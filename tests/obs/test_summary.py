@@ -1,0 +1,80 @@
+"""Stage summaries and the trace-file round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.recorder import Recorder
+from repro.obs.summary import (
+    spans_from_chrome_trace,
+    summarize_spans,
+    summary_table,
+)
+from repro.obs.trace import Span
+from repro.resilience.clock import SimulatedClock
+
+
+def make_spans():
+    return [
+        Span("fast", "1", None, 0.0, 0.1),
+        Span("fast", "2", None, 0.2, 0.3),
+        Span("slow", "3", None, 0.0, 5.0),
+        Span("mark", "4", None, 1.0, None),  # instant: excluded
+        Span("fast", "1", None, 0.0, 0.1, lane="worker-1"),
+    ]
+
+
+class TestSummarize:
+    def test_groups_by_name_sorted_by_total(self):
+        summaries = summarize_spans(make_spans())
+        assert [s.name for s in summaries] == ["slow", "fast"]
+        fast = summaries[1]
+        assert fast.count == 3
+        assert fast.lanes == 2
+        assert fast.total == pytest.approx(0.3)
+        assert fast.p50 == pytest.approx(0.1)
+
+    def test_instants_are_excluded(self):
+        summaries = summarize_spans(make_spans())
+        assert "mark" not in {s.name for s in summaries}
+
+    def test_empty_trace_message(self):
+        assert "no closed spans" in summary_table([])
+
+    def test_table_has_percentile_columns(self):
+        table = summary_table(make_spans())
+        for column in ("stage", "count", "lanes", "total", "p50", "p95",
+                       "p99"):
+            assert column in table
+
+
+class TestRoundTrip:
+    def test_trace_file_reproduces_stage_totals(self, tmp_path):
+        clock = SimulatedClock()
+        rec = Recorder(clock=clock)
+        with rec.span("outer"):
+            clock.advance(1.0)
+            with rec.span("inner", vendor=7):
+                clock.advance(0.5)
+            rec.event("mark")
+        path = rec.write_trace(tmp_path / "trace.json")
+        spans = spans_from_chrome_trace(path)
+        by_name = {s.name: s for s in spans}
+        assert by_name["outer"].duration == pytest.approx(1.5)
+        assert by_name["inner"].duration == pytest.approx(0.5)
+        assert by_name["inner"].args["vendor"] == 7
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["mark"].end is None
+
+    def test_lanes_survive_the_round_trip(self, tmp_path):
+        clock = SimulatedClock()
+        parent = Recorder(clock=clock)
+        worker = Recorder(clock=clock, lane="worker-1")
+        with worker.span("w"):
+            clock.advance(1.0)
+        with parent.span("m"):
+            clock.advance(1.0)
+        parent.merge(worker.drain())
+        path = parent.write_trace(tmp_path / "trace.json")
+        lanes = {s.lane for s in spans_from_chrome_trace(path)}
+        assert lanes == {"main", "worker-1"}

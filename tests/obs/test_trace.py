@@ -1,0 +1,131 @@
+"""Tracer span trees, deterministic ids, and the Chrome exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    MAIN_LANE,
+    Span,
+    Tracer,
+    chrome_trace,
+    write_chrome_trace,
+)
+from repro.resilience.clock import SimulatedClock
+
+
+def make_tracer(lane: str = MAIN_LANE):
+    clock = SimulatedClock()
+    return Tracer(clock=clock, lane=lane), clock
+
+
+class TestSpanIds:
+    def test_dotted_ids_are_deterministic(self):
+        tracer, clock = make_tracer()
+        with tracer.span("a"):
+            clock.advance(1.0)
+            with tracer.span("a.child"):
+                clock.advance(1.0)
+            with tracer.span("a.child"):
+                clock.advance(1.0)
+        with tracer.span("b"):
+            clock.advance(1.0)
+        assert [s.span_id for s in tracer.spans] == ["1", "1.1", "1.2", "2"]
+        assert [s.parent_id for s in tracer.spans] == [None, "1", "1", None]
+
+    def test_two_runs_produce_identical_trees(self):
+        def run():
+            tracer, clock = make_tracer()
+            with tracer.span("outer", key="v"):
+                clock.advance(0.5)
+                tracer.event("tick")
+                with tracer.span("inner"):
+                    clock.advance(0.25)
+            return [s.as_dict() for s in tracer.spans]
+
+        assert run() == run()
+
+    def test_nesting_tracks_the_stack(self):
+        tracer, clock = make_tracer()
+        with tracer.span("outer") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner") as inner:
+                clock.advance(2.0)
+        assert inner.parent_id == outer.span_id
+        assert outer.duration == pytest.approx(3.0)
+        assert inner.duration == pytest.approx(2.0)
+
+    def test_nonlocal_exit_closes_deeper_spans(self):
+        tracer, clock = make_tracer()
+
+        class Boom(RuntimeError):
+            pass
+
+        with pytest.raises(Boom):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    clock.advance(1.0)
+                    raise Boom()
+        outer, inner = tracer.spans
+        assert outer.end is not None and inner.end is not None
+        assert not tracer._stack
+
+    def test_event_is_an_instant(self):
+        tracer, clock = make_tracer()
+        with tracer.span("stage"):
+            clock.advance(1.0)
+            event = tracer.event("mark", detail=3)
+        assert event.end is None
+        assert event.duration == 0.0
+        assert event.parent_id == "1"
+        assert event.args == {"detail": 3}
+
+
+class TestChromeExport:
+    def test_structure_and_rebase(self):
+        tracer, clock = make_tracer()
+        clock.advance(100.0)  # nonzero epoch: ts must re-base to 0
+        with tracer.span("stage"):
+            clock.advance(0.5)
+            tracer.event("mark")
+        doc = chrome_trace(tracer.spans)
+        events = doc["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in metadata} == {
+            "process_name", "thread_name"
+        }
+        assert len(complete) == 1 and len(instants) == 1
+        assert complete[0]["ts"] == pytest.approx(0.0)
+        assert complete[0]["dur"] == pytest.approx(0.5e6)
+        assert instants[0]["ts"] == pytest.approx(0.5e6)
+
+    def test_lanes_become_threads_main_first(self):
+        spans = [
+            Span("w", "1", None, 0.0, 1.0, lane="worker-2"),
+            Span("m", "1", None, 0.0, 1.0, lane=MAIN_LANE),
+            Span("w", "1", None, 0.0, 1.0, lane="worker-1"),
+        ]
+        doc = chrome_trace(spans)
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert names == [MAIN_LANE, "worker-1", "worker-2"]
+
+    def test_write_is_valid_json(self, tmp_path):
+        tracer, clock = make_tracer()
+        with tracer.span("stage"):
+            clock.advance(1.0)
+        path = write_chrome_trace(tmp_path / "trace.json", tracer.spans)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_empty_trace_still_loads(self):
+        doc = chrome_trace([])
+        assert doc["traceEvents"][0]["name"] == "process_name"

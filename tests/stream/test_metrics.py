@@ -62,6 +62,35 @@ class TestLatencyProfile:
         assert profile.mean == pytest.approx(0.2)
         assert 0.1 <= profile.p50 <= profile.p95 <= profile.worst == 0.3
 
+    def test_all_equal_latencies_collapse_every_percentile(self):
+        result = StreamResult(
+            assignment=Assignment(), latencies=[0.02] * 40
+        )
+        profile = latency_profile(result)
+        assert profile.mean == profile.p50 == profile.p95 == 0.02
+        assert profile.p99 == profile.worst == 0.02
+
+    def test_interpolation_method_is_linear(self):
+        # Pinned contract (see LatencyProfile's docstring): percentiles
+        # interpolate linearly between order statistics.
+        result = StreamResult(
+            assignment=Assignment(), latencies=[0.0, 1.0]
+        )
+        profile = latency_profile(result)
+        assert profile.p50 == pytest.approx(0.5)
+        assert profile.p95 == pytest.approx(0.95)
+        assert profile.p99 == pytest.approx(0.99)
+
+    def test_interpolation_across_four_samples(self):
+        result = StreamResult(
+            assignment=Assignment(), latencies=[0.0, 1.0, 2.0, 3.0]
+        )
+        profile = latency_profile(result)
+        # linear method: q * (n - 1) = 0.95 * 3 = 2.85, 0.99 * 3 = 2.97
+        assert profile.p50 == pytest.approx(1.5)
+        assert profile.p95 == pytest.approx(2.85)
+        assert profile.p99 == pytest.approx(2.97)
+
 
 class TestBudgetUtilisation:
     def test_per_vendor_in_unit_interval(self, run):

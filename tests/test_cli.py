@@ -100,6 +100,64 @@ def test_stats_checkins(capsys):
     assert "valid pairs" in out
 
 
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro version" in out
+    assert "cpu count" in out
+    assert "start methods" in out
+    assert "greedy-lp" in out
+
+
+def test_demo_trace_and_metrics(capsys, tmp_path):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert main(
+        [
+            "demo", "--customers", "150", "--vendors", "20",
+            "--trace", str(trace_path), "--metrics", str(metrics_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert f"wrote trace {trace_path}" in out
+    assert f"wrote metrics {metrics_path}" in out
+    trace = json.loads(trace_path.read_text())
+    assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+    metrics = json.loads(metrics_path.read_text())
+    assert "counters" in metrics
+
+    # the recorder must be uninstalled once the command returns
+    from repro.obs.recorder import recorder
+
+    assert not recorder().enabled
+
+
+def test_obs_summary_of_recorded_trace(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    assert main(
+        [
+            "demo", "--customers", "150", "--vendors", "20",
+            "--trace", str(trace_path),
+        ]
+    ) == 0
+    capsys.readouterr()
+    before = trace_path.read_bytes()
+    assert main(["obs", "summary", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "stage" in out and "p99" in out
+    assert "stream.decision" in out
+    # summarising must never record over its input
+    assert trace_path.read_bytes() == before
+
+
+def test_obs_summary_empty_trace_fails(capsys, tmp_path):
+    path = tmp_path / "empty.json"
+    path.write_text('{"traceEvents": []}')
+    assert main(["obs", "summary", str(path)]) == 1
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["nonsense"])

@@ -21,6 +21,7 @@ PACKAGES = (
     "repro.datagen",
     "repro.experiments",
     "repro.temporal",
+    "repro.obs",
 )
 
 
