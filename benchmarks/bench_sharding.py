@@ -1,0 +1,198 @@
+"""Sharding memory and wall-clock gates.
+
+On the uniform gate workload (2,000 customers x 200 vendors, same
+instance as ``bench_parallel.py``) a 4-shard :class:`ShardPlan` must
+(a) bound the largest shard's candidate-edge table at **1.5x the ideal
+quarter** of the total edge count -- the memory half of the gate,
+enforced unconditionally since edge counts are deterministic -- and
+(b) solve RECON through the sharded path (4 shards, 4 workers) **no
+slower than the unsharded serial baseline**, enforced only on machines
+with at least 4 CPUs where the per-shard worker fan can actually run.
+
+Utility parity (within 1e-9 of the unsharded solve, constraints
+validated post-merge) is asserted unconditionally: a fast sharded
+solve that changes the answer is a bug, not a win.  Everything is
+emitted to ``BENCH_sharding.json`` at the repo root, stamped with the
+CPU count so the conditional gate is auditable from the artifact
+alone.
+
+Run directly with ``pytest -q -s benchmarks/bench_sharding.py``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import StageTimer, best_of, write_bench_json
+from repro.algorithms.recon import Reconciliation
+from repro.core.validation import validate_assignment
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.parallel import available_cpus
+from repro.sharding import ShardPlan
+
+#: The acceptance workload, shared with ``bench_parallel.py``.
+GATE_CONFIG = WorkloadConfig(
+    n_customers=2_000,
+    n_vendors=200,
+    seed=42,
+    radius_range=ParameterRange(0.15, 0.25),
+)
+
+#: Shard count of both gate halves.
+GATE_SHARDS = 4
+
+#: Largest shard's edge count must stay within this factor of the
+#: ideal ``total / GATE_SHARDS`` split.
+MEMORY_GATE = 1.5
+
+#: Worker processes of the sharded wall-clock measurement.
+GATE_WORKERS = 4
+
+#: Sharded wall-clock must stay within this factor of the unsharded
+#: serial solve ("no worse", with scheduler-jitter headroom).
+WALLCLOCK_GATE = 1.05
+
+#: Sharded total utility must match unsharded within this tolerance
+#: (exact ties may resolve differently across shard-local orders).
+UTILITY_TOL = 1e-9
+
+#: Minimum CPUs for the wall-clock half of the gate to be enforceable.
+MIN_GATE_CPUS = 4
+
+#: Fresh-problem repetitions per path (fastest total kept).
+REPEATS = 3
+
+
+def _build():
+    # No warm-up: engine construction is part of both timed paths, so
+    # the comparison charges the sharded path its per-shard builds and
+    # the unsharded path its single global build alike.
+    return synthetic_problem(GATE_CONFIG)
+
+
+def _measure_memory() -> dict:
+    problem = _build()
+    plan = ShardPlan.build(problem, shards=GATE_SHARDS)
+    edges = plan.edge_counts()
+    total = sum(edges)
+    ideal = total / plan.n_shards
+    return {
+        "n_shards": plan.n_shards,
+        "cell_size": plan.cell_size,
+        "edge_counts": list(edges),
+        "total_edges": total,
+        "ideal_edges_per_shard": ideal,
+        "peak_edges": max(edges),
+        "peak_over_ideal": (max(edges) / ideal) if ideal else 0.0,
+        "replicated_customers": plan.replicated_customers,
+    }
+
+
+def _run_recon(shards: int, jobs: int) -> dict:
+    problem = _build()
+    timer = StageTimer()
+    with timer.stage("solve"):
+        assignment = Reconciliation(
+            seed=GATE_CONFIG.seed, shards=shards, jobs=jobs
+        ).solve(problem)
+    report = validate_assignment(problem, assignment)
+    return {
+        "timings": timer.timings,
+        "utility": assignment.total_utility,
+        "n_ads": len(assignment),
+        "valid": report.ok,
+    }
+
+
+def _measure_wallclock() -> dict:
+    serial = best_of(lambda: _run_recon(shards=1, jobs=1), REPEATS)
+    sharded = best_of(
+        lambda: _run_recon(shards=GATE_SHARDS, jobs=GATE_WORKERS), REPEATS
+    )
+    return {
+        "n_customers": GATE_CONFIG.n_customers,
+        "n_vendors": GATE_CONFIG.n_vendors,
+        "shards": GATE_SHARDS,
+        "workers": GATE_WORKERS,
+        "unsharded_serial": serial["timings"],
+        "sharded": sharded["timings"],
+        "ratio": (
+            sharded["timings"]["total_seconds"]
+            / serial["timings"]["total_seconds"]
+        ),
+        "unsharded_utility": serial["utility"],
+        "sharded_utility": sharded["utility"],
+        "utility_diff": abs(serial["utility"] - sharded["utility"]),
+        "unsharded_valid": serial["valid"],
+        "sharded_valid": sharded["valid"],
+        "sharded_n_ads": sharded["n_ads"],
+    }
+
+
+def test_sharding_gate():
+    cpu_count = available_cpus()
+    wallclock_enforced = cpu_count >= MIN_GATE_CPUS
+
+    memory = _measure_memory()
+    wallclock = _measure_wallclock()
+
+    print()
+    print(
+        f"[sharding] cpus={cpu_count} shards={GATE_SHARDS} "
+        f"workers={GATE_WORKERS} wallclock_enforced={wallclock_enforced}"
+    )
+    print(
+        f"[sharding] edges total={memory['total_edges']} "
+        f"peak={memory['peak_edges']} "
+        f"({memory['peak_over_ideal']:.2f}x ideal, gate {MEMORY_GATE}x) "
+        f"replicated={memory['replicated_customers']}"
+    )
+    print(
+        f"[sharding] recon  "
+        f"{wallclock['unsharded_serial']['total_seconds']:8.3f}s serial -> "
+        f"{wallclock['sharded']['total_seconds']:8.3f}s sharded "
+        f"({wallclock['ratio']:.2f}x, gate {WALLCLOCK_GATE}x) "
+        f"utility_diff={wallclock['utility_diff']:.2e}"
+    )
+
+    write_bench_json(
+        "sharding",
+        {
+            "memory_gate": MEMORY_GATE,
+            "wallclock_gate": WALLCLOCK_GATE,
+            "utility_tolerance": UTILITY_TOL,
+            "min_gate_cpus": MIN_GATE_CPUS,
+            "wallclock_enforced": wallclock_enforced,
+            "memory": memory,
+            "wallclock": wallclock,
+        },
+    )
+
+    # Parity and feasibility are the unconditional half of the gate:
+    # the sharded solve must stay a correct solve on any machine.
+    assert wallclock["unsharded_valid"], "unsharded RECON invalid"
+    assert wallclock["sharded_valid"], "sharded RECON violates constraints"
+    assert wallclock["utility_diff"] <= UTILITY_TOL, (
+        f"sharded utility diverged by {wallclock['utility_diff']:.3e} "
+        f"(tolerance {UTILITY_TOL})"
+    )
+
+    # Memory gate: deterministic (edge counts are a property of the
+    # plan, not the machine), so always enforced.
+    assert memory["peak_edges"] <= MEMORY_GATE * memory[
+        "ideal_edges_per_shard"
+    ], (
+        f"largest shard holds {memory['peak_edges']} edges, above "
+        f"{MEMORY_GATE}x the ideal {memory['ideal_edges_per_shard']:.0f}"
+    )
+
+    if wallclock_enforced:
+        assert wallclock["ratio"] <= WALLCLOCK_GATE, (
+            f"sharded RECON is {wallclock['ratio']:.2f}x the unsharded "
+            f"serial solve at {GATE_WORKERS} workers "
+            f"(gate {WALLCLOCK_GATE}x, {cpu_count} CPUs)"
+        )
+    else:
+        print(
+            f"[sharding] wall-clock gate skipped: {cpu_count} < "
+            f"{MIN_GATE_CPUS} CPUs (memory + parity still enforced)"
+        )

@@ -53,6 +53,7 @@ from repro.datagen import (
 from repro.experiments import run_panel, run_sweep
 from repro.parallel import ParallelConfig
 from repro.resilience import FaultPlan, ResilientBroker, SimulatedClock
+from repro.sharding import ShardPlan
 from repro.stream import OnlineSimulator
 from repro.taxonomy import Taxonomy, foursquare_taxonomy
 from repro.utility import TabularUtilityModel, TaxonomyUtilityModel
@@ -87,6 +88,7 @@ __all__ = [
     "FaultPlan",
     "ResilientBroker",
     "SimulatedClock",
+    "ShardPlan",
     "OnlineSimulator",
     "Taxonomy",
     "foursquare_taxonomy",

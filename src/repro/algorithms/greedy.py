@@ -33,17 +33,37 @@ class GreedyEfficiency(OfflineAlgorithm):
             the sort-once sweep.  Results are identical; only the
             running time differs (this is what makes GREEDY the slowest
             curve in the paper's Figures 3b-8b).
+        shards: Solve through a spatial shard plan with this many
+            shards: candidate columns are extracted one shard engine at
+            a time (each released before the next is built, so peak
+            memory is the largest shard) and merged into one global
+            efficiency sweep.  ``1`` (default) keeps the original
+            unsharded path byte-for-byte.
+        shard_plan: Explicit :class:`~repro.sharding.ShardPlan`,
+            overriding ``shards``.
     """
 
     name = "GREEDY"
 
-    def __init__(self, rescan: bool = False) -> None:
+    def __init__(
+        self,
+        rescan: bool = False,
+        shards: int = 1,
+        shard_plan=None,
+    ) -> None:
         self._rescan = rescan
+        self._shards = shards
+        self._shard_plan = shard_plan
 
     def solve(self, problem: MUAAProblem) -> Assignment:
         rec = recorder()
         assignment = problem.new_assignment()
         if not self._rescan:
+            plan = self._resolve_plan(problem)
+            if plan is not None:
+                with rec.span("greedy.solve", path="sharded"):
+                    self._solve_sharded(problem, plan, assignment)
+                return assignment
             engine = problem.acquire_engine()
             if engine is not None:
                 with rec.span("greedy.solve", path="vectorized"):
@@ -67,6 +87,46 @@ class GreedyEfficiency(OfflineAlgorithm):
                     for instance in candidates:
                         assignment.add(instance, strict=False)
         return assignment
+
+    def _resolve_plan(self, problem: MUAAProblem):
+        """The active shard plan, or ``None`` for the unsharded path."""
+        if self._shard_plan is None and self._shards <= 1:
+            return None
+        from repro.sharding import resolve_plan
+
+        return resolve_plan(problem, self._shards, self._shard_plan)
+
+    @staticmethod
+    def _solve_sharded(
+        problem: MUAAProblem, plan, assignment: Assignment
+    ) -> None:
+        """Per-shard candidate extraction, one global ranked sweep.
+
+        The heavy part (engine build + utility scoring) runs one shard
+        at a time, each view released before the next is built; the
+        merged sweep then applies the global capacity/budget/pair
+        constraints, which is the entire cross-shard coupling GREEDY
+        has.  Candidate values are bitwise those of the global engine,
+        so the result matches the unsharded sweep up to exact
+        cross-shard efficiency ties.
+        """
+        from repro.sharding import (
+            concat_columns,
+            greedy_sweep,
+            shard_candidate_columns,
+        )
+
+        rec = recorder()
+        chunks = []
+        for shard in range(plan.n_shards):
+            with rec.span("greedy.shard", shard=shard):
+                chunks.append(
+                    shard_candidate_columns(plan.problem_for(shard))
+                )
+            plan.release(shard)
+        columns = concat_columns(chunks)
+        with rec.span("greedy.sweep", n_candidates=int(columns[0].size)):
+            greedy_sweep(problem, columns, assignment)
 
     @staticmethod
     def _solve_vectorized(

@@ -14,27 +14,95 @@ precisely why the paper decomposes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.algorithms.base import OfflineAlgorithm
-from repro.core.assignment import Assignment
+from repro.core.assignment import AdInstance, Assignment
 from repro.core.problem import MUAAProblem
 from repro.lp.model import LinearProgram
 from repro.obs.recorder import recorder
 
 
 class LPRounding(OfflineAlgorithm):
-    """Solve the full MUAA LP, then round greedily by fractional value."""
+    """Solve the full MUAA LP, then round greedily by fractional value.
+
+    Args:
+        shards: Solve through a spatial shard plan with this many
+            shards: one independent LP per shard (peak simplex size is
+            the largest shard's triple count), rounded per shard, then
+            a cross-shard reconciliation pass restores the global
+            capacity constraint on replicated customers.  The summed
+            per-shard LP values remain a certified upper bound on the
+            integral optimum (sharding only adds constraints to the
+            relaxation).  ``1`` (default) keeps the original one-big-LP
+            path byte-for-byte.
+        shard_plan: Explicit :class:`~repro.sharding.ShardPlan`,
+            overriding ``shards``.
+    """
 
     name = "LP-ROUND"
 
-    def __init__(self) -> None:
+    def __init__(self, shards: int = 1, shard_plan=None) -> None:
         #: LP relaxation value of the last solved instance (an upper
         #: bound on the integral optimum); ``None`` before any solve.
+        #: Under sharding: the sum of per-shard LP values, still an
+        #: upper bound.
         self.last_lp_value = None
+        self._shards = shards
+        self._shard_plan = shard_plan
+
+    def _resolve_plan(self, problem: MUAAProblem):
+        """The active shard plan, or ``None`` for the unsharded path."""
+        if self._shard_plan is None and self._shards <= 1:
+            return None
+        from repro.sharding import resolve_plan
+
+        return resolve_plan(problem, self._shards, self._shard_plan)
+
+    def _solve_sharded(self, problem: MUAAProblem, plan) -> Assignment:
+        """Per-shard LPs + roundings, then global reconciliation.
+
+        Each shard is a complete sub-LP (every vendor's candidates are
+        fully inside its shard), solved and rounded with the unsharded
+        code on the shard view and released before the next shard's
+        simplex is built.  Replicated customers can end up over
+        capacity across shards; ``reconcile_capacity`` (RECON's
+        violation machinery) restores feasibility deterministically.
+        """
+        from repro.algorithms.recon import reconcile_capacity
+
+        rec = recorder()
+        by_customer: Dict[int, List[AdInstance]] = {}
+        spend: Dict[int, float] = {v.vendor_id: 0.0 for v in problem.vendors}
+        assigned_pairs: Set[Tuple[int, int]] = set()
+        lp_total = 0.0
+        for shard in range(plan.n_shards):
+            view = plan.problem_for(shard)
+            inner = LPRounding()
+            with rec.span("lp.shard", shard=shard):
+                rounded = inner.solve(view)
+            lp_total += inner.last_lp_value or 0.0
+            for inst in rounded.instances():
+                by_customer.setdefault(inst.customer_id, []).append(inst)
+                spend[inst.vendor_id] += inst.cost
+                assigned_pairs.add(inst.pair)
+            plan.release(shard)
+        self.last_lp_value = lp_total
+
+        # Deterministic seed: the sharded LP path has no RNG of its
+        # own, and reconciliation order must not depend on anything
+        # but the inputs.
+        assignment, _ = reconcile_capacity(
+            problem, by_customer, spend, assigned_pairs, seed=0
+        )
+        return assignment
 
     def solve(self, problem: MUAAProblem) -> Assignment:
         rec = recorder()
+        plan = self._resolve_plan(problem)
+        if plan is not None:
+            with rec.span("lp.solve_sharded", n_shards=plan.n_shards):
+                return self._solve_sharded(problem, plan)
         # Batch-evaluate every pair base up front: with a vectorized
         # utility model this builds the compute engine, so the candidate
         # enumeration below is table lookups instead of per-pair Eq. 4/5.

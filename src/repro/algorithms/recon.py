@@ -55,6 +55,15 @@ class Reconciliation(OfflineAlgorithm):
             and merged in vendor order, so assignments are
             byte-identical to serial at any value.
         parallel: Full fan-out configuration; overrides ``jobs``.
+        shards: Solve through a spatial shard plan with this many
+            shards: each shard's per-vendor MCKPs run against that
+            shard's engine only (one ``ship_columns`` block per shard
+            when ``jobs > 1``), the shard is released, and the usual
+            reconciliation then restores the global capacity
+            constraint on replicated customers.  ``1`` (default) keeps
+            the original unsharded path byte-for-byte.
+        shard_plan: Explicit :class:`~repro.sharding.ShardPlan`,
+            overriding ``shards``.
 
     Raises:
         ValueError: On an unknown violation order.
@@ -72,6 +81,8 @@ class Reconciliation(OfflineAlgorithm):
         violation_order: str = "random",
         jobs: int = 1,
         parallel: Optional[ParallelConfig] = None,
+        shards: int = 1,
+        shard_plan=None,
     ) -> None:
         if violation_order not in self.VIOLATION_ORDERS:
             raise ValueError(
@@ -82,6 +93,8 @@ class Reconciliation(OfflineAlgorithm):
         self._seed = seed
         self._violation_order = violation_order
         self._parallel = resolve(parallel, jobs)
+        self._shards = shards
+        self._shard_plan = shard_plan
         #: Diagnostics of the last run (violations found, ads replaced).
         self.last_stats: Dict[str, float] = {}
 
@@ -209,9 +222,29 @@ class Reconciliation(OfflineAlgorithm):
     # ------------------------------------------------------------------
     # Reconciliation (lines 6-11)
     # ------------------------------------------------------------------
+    def _resolve_plan(self, problem: MUAAProblem):
+        """The active shard plan, or ``None`` for the unsharded path."""
+        if self._shard_plan is None and self._shards <= 1:
+            return None
+        from repro.sharding import resolve_plan
+
+        return resolve_plan(problem, self._shards, self._shard_plan)
+
+    @staticmethod
+    def _merge(
+        instances: List[AdInstance],
+        by_customer: Dict[int, List[AdInstance]],
+        spend: Dict[int, float],
+        assigned_pairs: Set[Tuple[int, int]],
+    ) -> None:
+        """Union one vendor's solution into the mutable global view."""
+        for inst in instances:
+            by_customer.setdefault(inst.customer_id, []).append(inst)
+            spend[inst.vendor_id] += inst.cost
+            assigned_pairs.add(inst.pair)
+
     def solve(self, problem: MUAAProblem) -> Assignment:
         rec = recorder()
-        rng = np.random.default_rng(self._seed)
 
         # Mutable global view: per-customer instance lists, per-vendor
         # spend.  Capacity may be violated here by design.
@@ -219,103 +252,162 @@ class Reconciliation(OfflineAlgorithm):
         spend: Dict[int, float] = {v.vendor_id: 0.0 for v in problem.vendors}
         assigned_pairs: Set[Tuple[int, int]] = set()
 
-        with rec.span("recon.vendor_mckp", n_vendors=len(problem.vendors)):
-            for instances in self._vendor_solutions(problem):
-                for inst in instances:
-                    by_customer.setdefault(inst.customer_id, []).append(inst)
-                    spend[inst.vendor_id] += inst.cost
-                    assigned_pairs.add(inst.pair)
-
-        # Canonical (sorted) base order: the reconciliation order must
-        # be a function of the seed and the instance alone, never of
-        # dict insertion order or worker scheduling -- ``seed=`` then
-        # gives identical output at any ``jobs`` value.
-        violated = sorted(
-            cid
-            for cid, instances in by_customer.items()
-            if len(instances) > problem.capacities[cid]
-        )
-        if self._violation_order == "random":
-            rng.shuffle(violated)
-        else:
-            reverse = self._violation_order == "most-violated"
-            violated.sort(
-                key=lambda cid: len(by_customer[cid])
-                - problem.capacities[cid],
-                reverse=reverse,
-            )
-        n_violations = len(violated)
-        n_replacements = 0
-
-        # Per-vendor candidate queues for the greedy re-assignment,
-        # built lazily the first time a vendor frees budget.
-        vendor_candidates: Dict[int, List[AdInstance]] = {}
-        vendor_cursor: Dict[int, int] = {}
-
-        def candidates_for(vendor_id: int) -> List[AdInstance]:
-            queue = vendor_candidates.get(vendor_id)
-            if queue is None:
-                vendor = problem.vendors_by_id[vendor_id]
-                queue = [
-                    inst
-                    for cid in problem.valid_customer_ids(vendor)
-                    for inst in problem.pair_instances(cid, vendor_id)
-                    if inst.utility > 0
-                ]
-                queue.sort(key=lambda inst: -inst.efficiency)
-                vendor_candidates[vendor_id] = queue
-                vendor_cursor[vendor_id] = 0
-            return queue
-
-        def redistribute(vendor_id: int) -> None:
-            """Line 11: greedily re-spend the vendor's freed budget."""
-            nonlocal n_replacements
-            budget = problem.budgets[vendor_id]
-            queue = candidates_for(vendor_id)
-            cursor = vendor_cursor[vendor_id]
-            while cursor < len(queue):
-                inst = queue[cursor]
-                cid = inst.customer_id
-                if (
-                    inst.pair not in assigned_pairs
-                    and spend[vendor_id] + inst.cost <= budget + _EPS
-                    and len(by_customer.get(cid, ()))
-                    < problem.capacities[cid]
+        plan = self._resolve_plan(problem)
+        if plan is not None:
+            # Sharded collection: each shard's engine lives only while
+            # its vendors are solved (release before the next build),
+            # so peak memory is the largest shard's edge table.  Every
+            # vendor's candidate set is fully inside its shard (cell
+            # size >= max radius + customer replication), making the
+            # per-vendor solutions identical to the unsharded ones.
+            for shard in range(plan.n_shards):
+                view = plan.problem_for(shard)
+                with rec.span(
+                    "recon.shard_mckp",
+                    shard=shard,
+                    n_vendors=len(view.vendors),
                 ):
-                    by_customer.setdefault(cid, []).append(inst)
-                    spend[vendor_id] += inst.cost
-                    assigned_pairs.add(inst.pair)
-                    n_replacements += 1
-                    cursor += 1
-                    continue
-                if spend[vendor_id] + problem.min_cost > budget + _EPS:
-                    break  # no ad type is affordable any more
-                cursor += 1
-            vendor_cursor[vendor_id] = cursor
+                    for instances in self._vendor_solutions(view):
+                        self._merge(
+                            instances, by_customer, spend, assigned_pairs
+                        )
+                plan.release(shard)
+        else:
+            with rec.span(
+                "recon.vendor_mckp", n_vendors=len(problem.vendors)
+            ):
+                for instances in self._vendor_solutions(problem):
+                    self._merge(
+                        instances, by_customer, spend, assigned_pairs
+                    )
 
-        with rec.span("recon.reconcile", n_violated=n_violations):
-            for cid in violated:
-                instances = by_customer[cid]
-                capacity = problem.capacities[cid]
-                # Line 8: sort the customer's instances by utility.
-                instances.sort(key=lambda inst: -inst.utility)
-                while len(instances) > capacity:
-                    # Line 10: drop the lowest-utility instance.
-                    dropped = instances.pop()
-                    spend[dropped.vendor_id] -= dropped.cost
-                    assigned_pairs.discard(dropped.pair)
-                    # Line 11: the vendor re-spends its refund elsewhere.
-                    redistribute(dropped.vendor_id)
-
-        rec.count("recon.violated_customers", n_violations)
-        rec.count("recon.replacement_ads", n_replacements)
-        self.last_stats = {
-            "violated_customers": float(n_violations),
-            "replacement_ads": float(n_replacements),
-        }
-
-        assignment = problem.new_assignment()
-        for instances in by_customer.values():
-            for inst in instances:
-                assignment.add(inst, strict=True)
+        assignment, stats = reconcile_capacity(
+            problem,
+            by_customer,
+            spend,
+            assigned_pairs,
+            seed=self._seed,
+            violation_order=self._violation_order,
+        )
+        self.last_stats = stats
         return assignment
+
+
+def reconcile_capacity(
+    problem: MUAAProblem,
+    by_customer: Dict[int, List[AdInstance]],
+    spend: Dict[int, float],
+    assigned_pairs: Set[Tuple[int, int]],
+    seed: Optional[int] = None,
+    violation_order: str = "random",
+) -> Tuple[Assignment, Dict[str, float]]:
+    """Lines 6-11 of Algorithm 1 as a reusable pass.
+
+    Takes the unioned per-vendor solutions (which may violate customer
+    capacities -- by per-vendor construction in the unsharded solver,
+    or additionally via replicated customers in the sharded solvers)
+    and restores feasibility: violated customers are visited in the
+    configured order, their lowest-utility instances dropped, and each
+    refunded vendor greedily re-spends its freed budget.
+
+    The mutable inputs (``by_customer``, ``spend``, ``assigned_pairs``)
+    are consumed and modified in place.
+
+    Returns:
+        The feasible assignment and the run's violation statistics.
+    """
+    rec = recorder()
+    rng = np.random.default_rng(seed)
+
+    # Canonical (sorted) base order: the reconciliation order must
+    # be a function of the seed and the instance alone, never of
+    # dict insertion order or worker scheduling -- ``seed=`` then
+    # gives identical output at any ``jobs`` value.
+    violated = sorted(
+        cid
+        for cid, instances in by_customer.items()
+        if len(instances) > problem.capacities[cid]
+    )
+    if violation_order == "random":
+        rng.shuffle(violated)
+    else:
+        reverse = violation_order == "most-violated"
+        violated.sort(
+            key=lambda cid: len(by_customer[cid]) - problem.capacities[cid],
+            reverse=reverse,
+        )
+    n_violations = len(violated)
+    n_replacements = 0
+
+    # Per-vendor candidate queues for the greedy re-assignment,
+    # built lazily the first time a vendor frees budget.
+    vendor_candidates: Dict[int, List[AdInstance]] = {}
+    vendor_cursor: Dict[int, int] = {}
+
+    def candidates_for(vendor_id: int) -> List[AdInstance]:
+        queue = vendor_candidates.get(vendor_id)
+        if queue is None:
+            vendor = problem.vendors_by_id[vendor_id]
+            queue = [
+                inst
+                for cid in problem.valid_customer_ids(vendor)
+                for inst in problem.pair_instances(cid, vendor_id)
+                if inst.utility > 0
+            ]
+            queue.sort(key=lambda inst: -inst.efficiency)
+            vendor_candidates[vendor_id] = queue
+            vendor_cursor[vendor_id] = 0
+        return queue
+
+    def redistribute(vendor_id: int) -> None:
+        """Line 11: greedily re-spend the vendor's freed budget."""
+        nonlocal n_replacements
+        budget = problem.budgets[vendor_id]
+        queue = candidates_for(vendor_id)
+        cursor = vendor_cursor[vendor_id]
+        while cursor < len(queue):
+            inst = queue[cursor]
+            cid = inst.customer_id
+            if (
+                inst.pair not in assigned_pairs
+                and spend[vendor_id] + inst.cost <= budget + _EPS
+                and len(by_customer.get(cid, ()))
+                < problem.capacities[cid]
+            ):
+                by_customer.setdefault(cid, []).append(inst)
+                spend[vendor_id] += inst.cost
+                assigned_pairs.add(inst.pair)
+                n_replacements += 1
+                cursor += 1
+                continue
+            if spend[vendor_id] + problem.min_cost > budget + _EPS:
+                break  # no ad type is affordable any more
+            cursor += 1
+        vendor_cursor[vendor_id] = cursor
+
+    with rec.span("recon.reconcile", n_violated=n_violations):
+        for cid in violated:
+            instances = by_customer[cid]
+            capacity = problem.capacities[cid]
+            # Line 8: sort the customer's instances by utility.
+            instances.sort(key=lambda inst: -inst.utility)
+            while len(instances) > capacity:
+                # Line 10: drop the lowest-utility instance.
+                dropped = instances.pop()
+                spend[dropped.vendor_id] -= dropped.cost
+                assigned_pairs.discard(dropped.pair)
+                # Line 11: the vendor re-spends its refund elsewhere.
+                redistribute(dropped.vendor_id)
+
+    rec.count("recon.violated_customers", n_violations)
+    rec.count("recon.replacement_ads", n_replacements)
+    stats = {
+        "violated_customers": float(n_violations),
+        "replacement_ads": float(n_replacements),
+    }
+
+    assignment = problem.new_assignment()
+    for instances in by_customer.values():
+        for inst in instances:
+            assignment.add(inst, strict=True)
+    return assignment, stats

@@ -55,6 +55,14 @@ def _build_parser() -> argparse.ArgumentParser:
                  "identical at any value)",
         )
 
+    def add_shards(command) -> None:
+        command.add_argument(
+            "--shards", "-s", type=int, default=1, metavar="S",
+            help="spatial shards for the solvers (default 1 = "
+                 "unsharded; peak memory becomes the largest shard; "
+                 "total utility matches unsharded to within 1e-9)",
+        )
+
     def add_obs(command) -> None:
         command.add_argument(
             "--trace", type=str, default=None, metavar="PATH",
@@ -73,6 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--vendors", type=int, default=150)
     demo.add_argument("--seed", type=int, default=7)
     add_jobs(demo)
+    add_shards(demo)
     add_obs(demo)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -86,6 +95,7 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--json", type=str, default=None,
                         help="also write the rows as JSON")
     add_jobs(figure)
+    add_shards(figure)
     add_obs(figure)
 
     ratio = sub.add_parser(
@@ -121,6 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=range(3, 9), help="subset of figures to run",
     )
     add_jobs(reproduce)
+    add_shards(reproduce)
     add_obs(reproduce)
 
     stats = sub.add_parser(
@@ -147,8 +158,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Chrome-trace JSON written by --trace",
     )
 
-    sub.add_parser(
+    info = sub.add_parser(
         "info", help="print version, runtime, and backend information"
+    )
+    info.add_argument("--customers", type=int, default=500)
+    info.add_argument("--vendors", type=int, default=50)
+    info.add_argument("--seed", type=int, default=7)
+    info.add_argument(
+        "--shards", "-s", type=int, default=4, metavar="S",
+        help="shard count of the sample shard card (default 4)",
     )
     return parser
 
@@ -168,7 +186,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         )
     )
     results = run_panel(
-        problem, seed=args.seed, parallel=_parallel_from_args(args)
+        problem, seed=args.seed, parallel=_parallel_from_args(args),
+        shards=getattr(args, "shards", 1),
     )
     print(f"{'algorithm':10s} {'utility':>12s} {'ads':>6s} {'time':>9s}")
     for name, result in results.items():
@@ -187,7 +206,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     runner, default_scale = figure_by_number(args.number)
     scale = args.scale if args.scale is not None else default_scale
     result = runner(
-        scale=scale, seed=args.seed, parallel=_parallel_from_args(args)
+        scale=scale, seed=args.seed, parallel=_parallel_from_args(args),
+        shards=getattr(args, "shards", 1),
     )
     from repro.experiments.report import utility_chart
 
@@ -326,6 +346,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         output_dir=args.out,
         progress=print,
         parallel=_parallel_from_args(args),
+        shards=getattr(args, "shards", 1),
     )
     print()
     print(report.summary())
@@ -369,6 +390,26 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"shared memory:  {'yes' if HAVE_SHARED_MEMORY else 'no'}")
     print(f"mckp backends:  {backends}")
     print("lp backend:     in-tree simplex (repro.lp.model.LinearProgram)")
+
+    # Shard card of a small sample instance: what --shards would do.
+    from repro.datagen.config import ParameterRange, WorkloadConfig
+    from repro.datagen.synthetic import synthetic_problem
+    from repro.sharding import ShardPlan
+
+    problem = synthetic_problem(
+        WorkloadConfig(
+            n_customers=args.customers,
+            n_vendors=args.vendors,
+            radius_range=ParameterRange(0.03, 0.06),
+            seed=args.seed,
+        )
+    )
+    plan = ShardPlan.build(problem, shards=args.shards)
+    print()
+    print(f"shard card ({args.customers} customers x {args.vendors} "
+          f"vendors, seed {args.seed}, --shards {args.shards}):")
+    for line in plan.card().splitlines():
+        print(f"  {line}")
     return 0
 
 

@@ -110,6 +110,12 @@ class MUAAProblem:
         if len(self.ad_types_by_id) != len(self.ad_types):
             raise InvalidProblemError("duplicate ad type ids")
 
+        # Deferred import: validation.py imports this module for the
+        # assignment checker, so the entity gate is bound at call time.
+        from repro.core.validation import validate_problem_entities
+
+        validate_problem_entities(self.customers, self.vendors)
+
         self.capacities: Dict[int, int] = {
             c.customer_id: c.capacity for c in self.customers
         }

@@ -5,18 +5,71 @@ pair-uniqueness incrementally, but not the spatial range constraint and
 not consistency of the recorded utilities/costs.  This module checks
 everything, and is used in tests and as a post-condition on every
 algorithm's output.
+
+It also hosts :func:`validate_problem_entities`, the construction-time
+gate of :class:`~repro.core.problem.MUAAProblem`: a NaN coordinate or a
+non-positive vendor radius does not raise anywhere downstream -- it
+silently corrupts grid binning (``floor(nan / cell)`` and zero-area
+advertising circles), so it must be rejected before any index is built.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Sequence
 
 from repro.core.assignment import Assignment
+from repro.core.entities import Customer, Vendor
 from repro.core.problem import MUAAProblem
+from repro.exceptions import InvalidProblemError
 
 #: Float tolerance for budget and utility comparisons.
 TOLERANCE = 1e-6
+
+
+def validate_problem_entities(
+    customers: Sequence[Customer], vendors: Sequence[Vendor]
+) -> None:
+    """Reject entity values that would silently corrupt spatial state.
+
+    The entity ``__post_init__`` checks catch most bad values, but they
+    can be bypassed (deserialised or mutated objects) and they admit
+    two values that are poison to the spatial layer: a NaN radius
+    (``nan < 0`` is false) and a zero radius (a vendor whose candidate
+    set is almost surely empty yet still occupies a grid cell and
+    dilutes the cell-size heuristics).  Problem construction therefore
+    re-checks:
+
+    * every customer/vendor coordinate is finite,
+    * every vendor radius is finite and strictly positive,
+    * every vendor budget is finite.
+
+    Raises:
+        InvalidProblemError: Naming the first offending entity.
+    """
+    for customer in customers:
+        if not all(math.isfinite(c) for c in customer.location):
+            raise InvalidProblemError(
+                f"customer {customer.customer_id}: non-finite location "
+                f"{customer.location}"
+            )
+    for vendor in vendors:
+        if not all(math.isfinite(c) for c in vendor.location):
+            raise InvalidProblemError(
+                f"vendor {vendor.vendor_id}: non-finite location "
+                f"{vendor.location}"
+            )
+        if not math.isfinite(vendor.radius) or vendor.radius <= 0:
+            raise InvalidProblemError(
+                f"vendor {vendor.vendor_id}: radius must be finite and "
+                f"positive, got {vendor.radius}"
+            )
+        if not math.isfinite(vendor.budget):
+            raise InvalidProblemError(
+                f"vendor {vendor.vendor_id}: non-finite budget "
+                f"{vendor.budget}"
+            )
 
 
 @dataclass

@@ -60,7 +60,10 @@ def random_tabular_problem(
         )
         for i in range(n_customers)
     ]
-    radius = float(np.sqrt(2.0) * coverage)
+    # Floor at a tiny positive radius: problem construction rejects
+    # non-positive radii, and ``coverage=0.0`` ("no valid pairs") still
+    # holds -- no random point lands within 1e-9 of a vendor.
+    radius = max(float(np.sqrt(2.0) * coverage), 1e-9)
     vendors = [
         Vendor(
             vendor_id=j,

@@ -25,12 +25,14 @@ from repro.engine.kernels import (
     tabular_pair_bases,
     taxonomy_pair_bases,
 )
+from repro.engine.sharded import ShardedEngine
 
 __all__ = [
     "ProblemArrays",
     "CandidateEdges",
     "build_candidate_edges",
     "ComputeEngine",
+    "ShardedEngine",
     "supports_vectorization",
     "batched_positive_preferences",
     "pair_bases",

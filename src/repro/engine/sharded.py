@@ -1,0 +1,212 @@
+"""A sharded facade over the columnar compute engine.
+
+:class:`ShardedEngine` exposes the same surface as
+:class:`~repro.engine.engine.ComputeEngine` -- utility/efficiency
+matrices, candidate adjacency, pair bases, best-type lookups -- but
+builds per-shard :class:`~repro.engine.arrays.ProblemArrays` and
+:class:`~repro.engine.edges.CandidateEdges` lazily, one shard view at a
+time.  Peak memory is therefore the largest shard's edge table (plus
+plan bookkeeping), not the whole problem's.
+
+Because the Eq. 4/5 kernels score each candidate edge independently of
+every other edge (fixed-order reductions, no cross-edge state), a
+shard engine's pair bases are bitwise equal to the global engine's for
+the same ``(customer, vendor)`` pair; routing a lookup to the vendor's
+shard returns exactly the value the monolithic engine would have.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.engine import MISS, ComputeEngine, supports_vectorization
+from repro.obs.recorder import recorder
+
+
+class ShardedEngine:
+    """Per-shard compute engines behind one ``ComputeEngine``-like API.
+
+    Build via :meth:`create`, which mirrors
+    :meth:`ComputeEngine.create` and returns ``None`` when the
+    problem's utility model has no vectorized kernel.
+
+    Point lookups (:meth:`pair_base`, :meth:`best_for_pair`) are routed
+    to the owning vendor's shard; batch accessors take an explicit
+    shard index, because materialising "the whole matrix" is exactly
+    what this facade exists to avoid.
+    """
+
+    def __init__(self, plan) -> None:
+        self._plan = plan
+        self._engines: Dict[int, ComputeEngine] = {}
+        self._resident_edges: Dict[int, int] = {}
+        self._peak_resident_edges = 0
+
+    @classmethod
+    def create(cls, plan) -> Optional["ShardedEngine"]:
+        """A sharded engine for ``plan``, or ``None`` when the
+        problem's utility model has no vectorized kernel."""
+        if not supports_vectorization(plan.problem.utility_model):
+            return None
+        return cls(plan)
+
+    # ------------------------------------------------------------------
+    # Shard lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def plan(self):
+        """The underlying :class:`~repro.sharding.ShardPlan`."""
+        return self._plan
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the plan."""
+        return self._plan.n_shards
+
+    def engine(self, shard: int) -> Optional[ComputeEngine]:
+        """The (lazily built) engine of one shard, or ``None`` when the
+        shard view declined an engine (scalar-only model)."""
+        built = self._engines.get(shard)
+        if built is None:
+            with recorder().span("sharded_engine.build", shard=shard):
+                built = self._plan.problem_for(shard).acquire_engine()
+            if built is not None:
+                self._engines[shard] = built
+        return built
+
+    def release(self, shard: int) -> None:
+        """Drop one shard's engine and problem view."""
+        self._engines.pop(shard, None)
+        self._resident_edges.pop(shard, None)
+        self._plan.release(shard)
+
+    def warm(self, shard: int) -> int:
+        """Materialise one shard's batch structures; returns its edge
+        count (0 when the shard has no engine)."""
+        engine = self.engine(shard)
+        if engine is None:
+            return 0
+        edges = engine.warm()
+        self._note_resident(shard, edges)
+        return edges
+
+    def warm_all(self) -> int:
+        """Warm every shard (views stay resident); total edge count."""
+        return sum(self.warm(shard) for shard in range(self.n_shards))
+
+    def _note_resident(self, shard: int, edges: int) -> None:
+        self._resident_edges[shard] = edges
+        total = sum(self._resident_edges.values())
+        if total > self._peak_resident_edges:
+            self._peak_resident_edges = total
+
+    @property
+    def peak_resident_edges(self) -> int:
+        """Largest number of simultaneously materialised edges seen.
+
+        With the release-after-use discipline (one shard at a time)
+        this is the largest single shard's edge count -- the facade's
+        memory model in one number.
+        """
+        return self._peak_resident_edges
+
+    # ------------------------------------------------------------------
+    # Batch accessors (per shard)
+    # ------------------------------------------------------------------
+    def utilities(self, shard: int) -> np.ndarray:
+        """``(E_s, K)`` utilities of one shard's candidate edges."""
+        engine = self._require(shard)
+        out = engine.utilities()
+        self._note_resident(shard, engine.num_edges)
+        return out
+
+    def efficiencies(self, shard: int) -> np.ndarray:
+        """``(E_s, K)`` budget efficiencies of one shard."""
+        engine = self._require(shard)
+        out = engine.efficiencies()
+        self._note_resident(shard, engine.num_edges)
+        return out
+
+    def num_edges(self, shard: Optional[int] = None) -> int:
+        """Edge count of one shard, or the whole plan when omitted.
+
+        Totals come from the plan's construction-time counts, so asking
+        for the total never materialises any edge table.
+        """
+        if shard is None:
+            return sum(self._plan.edge_counts())
+        return self._plan.edge_counts()[shard]
+
+    # ------------------------------------------------------------------
+    # Point lookups (routed to the owning shard)
+    # ------------------------------------------------------------------
+    def shard_of_vendor(self, vendor_id: int) -> int:
+        """The shard owning one vendor."""
+        return self._plan.shard_of_vendor[vendor_id]
+
+    def pair_base(self, customer_id: int, vendor_id: int) -> Optional[float]:
+        """The pair base from the owning shard's engine, or ``None``
+        when the pair is not a candidate edge."""
+        shard = self._plan.shard_of_vendor.get(vendor_id)
+        if shard is None:
+            return None
+        engine = self.engine(shard)
+        if engine is None:
+            return None
+        return engine.pair_base(customer_id, vendor_id)
+
+    def best_for_pair(
+        self,
+        customer_id: int,
+        vendor_id: int,
+        by: str = "efficiency",
+        max_cost: Optional[float] = None,
+    ):
+        """Best-type lookup routed to the vendor's shard.
+
+        Same contract as :meth:`ComputeEngine.best_for_pair`:
+        :data:`~repro.engine.engine.MISS` when the pair is not a
+        candidate edge, ``None`` when nothing is affordable.
+        """
+        shard = self._plan.shard_of_vendor.get(vendor_id)
+        if shard is None:
+            return MISS
+        engine = self.engine(shard)
+        if engine is None:
+            return MISS
+        return engine.best_for_pair(
+            customer_id, vendor_id, by=by, max_cost=max_cost
+        )
+
+    def vendors_in_range(self, customer_id: int) -> Optional[List[int]]:
+        """Vendor ids of one customer's candidate edges, merged across
+        its member shards in global catalogue order; ``None`` for an
+        unknown customer (mirrors the monolithic engine's contract)."""
+        shards = self._plan.shards_of_customer(customer_id)
+        if not shards:
+            known = (
+                customer_id in self._plan.problem.customers_by_id
+            )
+            return [] if known else None
+        merged: List[int] = []
+        for shard in shards:
+            engine = self.engine(shard)
+            if engine is None:
+                return None
+            vendors = engine.vendors_in_range(customer_id)
+            if vendors:
+                merged.extend(vendors)
+        rows = self._plan.problem.vendors_by_id
+        order = {vid: row for row, vid in enumerate(rows)}
+        merged.sort(key=order.__getitem__)
+        return merged
+
+    def _require(self, shard: int) -> ComputeEngine:
+        engine = self.engine(shard)
+        if engine is None:
+            raise RuntimeError(
+                f"shard {shard} has no compute engine (scalar-only model)"
+            )
+        return engine

@@ -112,6 +112,7 @@ def fig3_budget(
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[ParameterRange] = BUDGET_SWEEP,
     parallel: Optional[ParallelConfig] = None,
+    shards: int = 1,
 ) -> SweepResult:
     """Figure 3: effect of the vendor budget range :math:`[B^-, B^+]`."""
     points = _real_like_points(
@@ -121,7 +122,7 @@ def fig3_budget(
     )
     return run_sweep(
         "fig3", points, algorithms=algorithms, seed=seed,
-        parallel=parallel,
+        parallel=parallel, shards=shards,
     )
 
 
@@ -131,6 +132,7 @@ def fig4_radius(
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[ParameterRange] = RADIUS_SWEEP,
     parallel: Optional[ParallelConfig] = None,
+    shards: int = 1,
 ) -> SweepResult:
     """Figure 4: effect of the vendor radius range :math:`[r^-, r^+]`."""
     points = _real_like_points(
@@ -140,7 +142,7 @@ def fig4_radius(
     )
     return run_sweep(
         "fig4", points, algorithms=algorithms, seed=seed,
-        parallel=parallel,
+        parallel=parallel, shards=shards,
     )
 
 
@@ -150,6 +152,7 @@ def fig5_capacity(
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[ParameterRange] = CAPACITY_SWEEP,
     parallel: Optional[ParallelConfig] = None,
+    shards: int = 1,
 ) -> SweepResult:
     """Figure 5: effect of the customer capacity range :math:`[a^-, a^+]`.
 
@@ -182,7 +185,7 @@ def fig5_capacity(
     )
     return run_sweep(
         "fig5", points, algorithms=algorithms, seed=seed,
-        parallel=parallel,
+        parallel=parallel, shards=shards,
     )
 
 
@@ -192,6 +195,7 @@ def fig6_probability(
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[ParameterRange] = PROBABILITY_SWEEP,
     parallel: Optional[ParallelConfig] = None,
+    shards: int = 1,
 ) -> SweepResult:
     """Figure 6: effect of the view-probability range :math:`[p^-, p^+]`."""
     points = _real_like_points(
@@ -201,7 +205,7 @@ def fig6_probability(
     )
     return run_sweep(
         "fig6", points, algorithms=algorithms, seed=seed,
-        parallel=parallel,
+        parallel=parallel, shards=shards,
     )
 
 
@@ -214,6 +218,7 @@ def fig7_customers(
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[int] = CUSTOMER_COUNT_SWEEP,
     parallel: Optional[ParallelConfig] = None,
+    shards: int = 1,
 ) -> SweepResult:
     """Figure 7: scalability in the number m of customers (synthetic)."""
     points = []
@@ -229,7 +234,7 @@ def fig7_customers(
         points.append((str(m), factory))
     return run_sweep(
         "fig7", points, algorithms=algorithms, seed=seed,
-        parallel=parallel,
+        parallel=parallel, shards=shards,
     )
 
 
@@ -261,6 +266,7 @@ def fig8_vendors(
     algorithms: Sequence[str] = PANEL,
     sweep: Sequence[int] = VENDOR_COUNT_SWEEP,
     parallel: Optional[ParallelConfig] = None,
+    shards: int = 1,
 ) -> SweepResult:
     """Figure 8: scalability in the number n of vendors (synthetic)."""
     points = []
@@ -278,5 +284,5 @@ def fig8_vendors(
         points.append((str(n), factory))
     return run_sweep(
         "fig8", points, algorithms=algorithms, seed=seed,
-        parallel=parallel,
+        parallel=parallel, shards=shards,
     )

@@ -122,6 +122,7 @@ def reproduce_all(
     output_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable[[str], None]] = None,
     parallel: Optional[ParallelConfig] = None,
+    shards: int = 1,
 ) -> ReproductionReport:
     """Run the whole evaluation section and check its claims.
 
@@ -137,6 +138,8 @@ def reproduce_all(
             figure.
         parallel: Fan sweep points across worker processes within each
             figure (default: serial; results identical either way).
+        shards: Spatial shard count forwarded to every panel run
+            (``1`` keeps every algorithm on its unsharded path).
     """
     report = ReproductionReport()
     if output_dir is not None:
@@ -150,6 +153,7 @@ def reproduce_all(
             scale=default_scale * scale_multiplier,
             seed=seed,
             parallel=parallel,
+            shards=shards,
         )
         report.results[number] = result
         report.checks.extend(_shape_claims(number, result))

@@ -44,28 +44,43 @@ def build_panel(
     seed: int = 42,
     calibration: Optional[GammaBounds] = None,
     mckp_method: str = "greedy-lp",
+    shards: int = 1,
+    shard_plan=None,
 ) -> List[OfflineAlgorithm]:
     """Instantiate the named algorithms, calibrating O-AFA as needed.
 
     Args:
-        problem: The instance (used only for O-AFA calibration).
+        problem: The instance (used only for O-AFA calibration and, when
+            sharding, for building the shard plan).
         algorithms: Panel member names (subset of :data:`PANEL`).
         seed: Seed shared by the stochastic members.
         calibration: Pre-computed gamma bounds for O-AFA; computed from
             the instance when omitted.
         mckp_method: MCKP backend for RECON.
+        shards: Spatial shard count; ``1`` (default) keeps every member
+            on its unsharded path.  The plan is built once and shared:
+            GREEDY and RECON solve shard-by-shard, the streaming members
+            route each arrival to its shard's view.
+        shard_plan: Pre-built :class:`~repro.sharding.ShardPlan` for
+            ``problem``, overriding ``shards``.
 
     Raises:
         ValueError: On an unknown algorithm name.
     """
+    if shard_plan is None and shards > 1:
+        from repro.sharding import resolve_plan
+
+        shard_plan = resolve_plan(problem, shards)
     panel: List[OfflineAlgorithm] = []
     for name in algorithms:
         if name == "RANDOM":
             panel.append(RandomAssignment(seed=seed))
         elif name == "NEAREST":
-            panel.append(OnlineAsOffline(NearestVendor()))
+            panel.append(
+                OnlineAsOffline(NearestVendor(), shard_plan=shard_plan)
+            )
         elif name == "GREEDY":
-            panel.append(GreedyEfficiency())
+            panel.append(GreedyEfficiency(shard_plan=shard_plan))
         elif name == "GREEDY-RESCAN":
             # The paper's literal O(N^2) formulation; identical output,
             # reproduces the paper's "GREEDY is the slowest" time curves.
@@ -73,14 +88,21 @@ def build_panel(
             rescan.name = "GREEDY-RESCAN"
             panel.append(rescan)
         elif name == "RECON":
-            panel.append(Reconciliation(mckp_method=mckp_method, seed=seed))
+            panel.append(
+                Reconciliation(
+                    mckp_method=mckp_method,
+                    seed=seed,
+                    shard_plan=shard_plan,
+                )
+            )
         elif name == "ONLINE":
             bounds = calibration or _safe_calibration(problem, seed)
             panel.append(
                 OnlineAsOffline(
                     OnlineAdaptiveFactorAware(
                         gamma_min=bounds.gamma_min, g=bounds.g
-                    )
+                    ),
+                    shard_plan=shard_plan,
                 )
             )
         else:
@@ -100,17 +122,18 @@ def _init_panel_worker(
     seed: int,
     calibration: Optional[GammaBounds],
     mckp_method: str,
+    shards: int,
 ) -> None:
     global _PANEL_STATE
-    _PANEL_STATE = (problem, seed, calibration, mckp_method)
+    _PANEL_STATE = (problem, seed, calibration, mckp_method, shards)
 
 
 def _run_panel_member(name: str) -> SolveResult:
     """Build and run one panel member against the inherited problem."""
     assert _PANEL_STATE is not None, "panel worker initializer did not run"
-    problem, seed, calibration, mckp_method = _PANEL_STATE
+    problem, seed, calibration, mckp_method, shards = _PANEL_STATE
     algorithm = build_panel(
-        problem, (name,), seed, calibration, mckp_method
+        problem, (name,), seed, calibration, mckp_method, shards
     )[0]
     return algorithm.run(problem)
 
@@ -122,13 +145,18 @@ def run_panel(
     calibration: Optional[GammaBounds] = None,
     mckp_method: str = "greedy-lp",
     parallel: Optional[ParallelConfig] = None,
+    shards: int = 1,
+    shard_plan=None,
 ) -> Dict[str, SolveResult]:
     """Run the panel and collect results keyed by algorithm name.
 
     Pair utilities are warmed (evaluated and cached) before timing
     starts, so the reported times compare the algorithms' assignment
     work rather than charging the shared Eq. 4/5 evaluation to whichever
-    algorithm happens to touch a pair first.
+    algorithm happens to touch a pair first.  When sharding is active
+    the *global* warm-up is skipped -- building the whole candidate
+    table is exactly what sharded members avoid; each member warms its
+    own shards instead.
 
     With ``parallel`` active, panel members run in worker processes
     against the (already warmed) problem -- inherited copy-on-write
@@ -137,10 +165,19 @@ def run_panel(
     results are merged in panel order, so assignments and utilities are
     identical to the serial run (wall-clock fields excepted, as they
     measure real time).  O-AFA's calibration always happens up front in
-    the parent, exactly as in the serial path.
+    the parent, exactly as in the serial path.  Only the shard *count*
+    crosses the process boundary (plans hold problem views and are
+    rebuilt per worker), so an explicit ``shard_plan`` keeps the run
+    serial.
     """
-    problem.warm_utilities()
-    if parallel is not None and parallel.active(len(algorithms)):
+    sharded = shard_plan is not None or shards > 1
+    if not sharded:
+        problem.warm_utilities()
+    if (
+        shard_plan is None
+        and parallel is not None
+        and parallel.active(len(algorithms))
+    ):
         if calibration is None and "ONLINE" in algorithms:
             calibration = _safe_calibration(problem, seed)
         fanned = parallel_map(
@@ -148,7 +185,7 @@ def run_panel(
             list(algorithms),
             parallel,
             initializer=_init_panel_worker,
-            initargs=(problem, seed, calibration, mckp_method),
+            initargs=(problem, seed, calibration, mckp_method, shards),
         )
         if fanned is not None:
             return {
@@ -157,7 +194,8 @@ def run_panel(
             }
     results: Dict[str, SolveResult] = {}
     for algorithm in build_panel(
-        problem, algorithms, seed, calibration, mckp_method
+        problem, algorithms, seed, calibration, mckp_method, shards,
+        shard_plan,
     ):
         results[algorithm.name] = algorithm.run(problem)
     return results

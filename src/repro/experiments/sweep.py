@@ -60,10 +60,11 @@ def _init_sweep_worker(
     algorithms: Sequence[str],
     seed: int,
     mckp_method: str,
+    shards: int,
 ) -> None:
     global _SWEEP_STATE
     _SWEEP_STATE = (experiment, list(points), tuple(algorithms), seed,
-                    mckp_method)
+                    mckp_method, shards)
 
 
 def _run_sweep_point(index: int) -> List[Row]:
@@ -75,11 +76,12 @@ def _run_sweep_point(index: int) -> List[Row]:
     one point's instance at a time).
     """
     assert _SWEEP_STATE is not None, "sweep worker initializer did not run"
-    experiment, points, algorithms, seed, mckp_method = _SWEEP_STATE
+    experiment, points, algorithms, seed, mckp_method, shards = _SWEEP_STATE
     label, factory = points[index]
     problem = factory()
     panel_results = run_panel(
-        problem, algorithms=algorithms, seed=seed, mckp_method=mckp_method
+        problem, algorithms=algorithms, seed=seed, mckp_method=mckp_method,
+        shards=shards,
     )
     return [
         Row.from_result(experiment, label, panel_results[name])
@@ -94,6 +96,7 @@ def run_sweep(
     seed: int = 42,
     mckp_method: str = "greedy-lp",
     parallel: Optional[ParallelConfig] = None,
+    shards: int = 1,
 ) -> SweepResult:
     """Run the algorithm panel at every sweep point.
 
@@ -117,6 +120,8 @@ def run_sweep(
         seed: Seed shared across points for the stochastic members.
         mckp_method: MCKP backend for RECON.
         parallel: Fan-out configuration (default: serial).
+        shards: Spatial shard count forwarded to every panel run
+            (``1`` keeps every algorithm on its unsharded path).
     """
     result = SweepResult(experiment=experiment)
     if parallel is not None and parallel.active(len(points)):
@@ -125,7 +130,8 @@ def run_sweep(
             range(len(points)),
             parallel,
             initializer=_init_sweep_worker,
-            initargs=(experiment, points, algorithms, seed, mckp_method),
+            initargs=(experiment, points, algorithms, seed, mckp_method,
+                      shards),
         )
         if fanned is not None:
             for rows in fanned:
@@ -142,6 +148,7 @@ def run_sweep(
             seed=seed,
             mckp_method=mckp_method,
             parallel=point_parallel,
+            shards=shards,
         )
         for name in algorithms:
             result.rows.append(

@@ -164,6 +164,12 @@ class ResilientBroker:
         call_timeout: Optional per-dependency-call budget in seconds.
         decision_deadline: Optional per-customer decision deadline;
             like the simulator's, late decisions lose the customer.
+        shard_plan: Optional :class:`~repro.sharding.ShardPlan`.  Each
+            arriving customer is routed by location to one shard and
+            decided against a guarded view of that shard only, so a
+            decision touches one shard's columns.  Commits, validation,
+            and the dependency-free nearest-vendor tier stay on the
+            pristine global problem.
     """
 
     def __init__(
@@ -178,6 +184,7 @@ class ResilientBroker:
         breaker_recovery_timeout: float = 5.0,
         call_timeout: Optional[float] = None,
         decision_deadline: Optional[float] = None,
+        shard_plan=None,
     ) -> None:
         self._problem = problem
         self._plan = plan if plan is not None else FaultPlan()
@@ -189,6 +196,7 @@ class ResilientBroker:
         self._breaker_recovery_timeout = breaker_recovery_timeout
         self._call_timeout = call_timeout
         self._decision_deadline = decision_deadline
+        self._shard_plan = shard_plan
 
     # ------------------------------------------------------------------
     # Wiring
@@ -274,6 +282,14 @@ class ResilientBroker:
         chain = self._build_chain()
         chain.reset(guarded_problem)
 
+        shard_plan = self._shard_plan
+        if shard_plan is not None and shard_plan.is_identity:
+            shard_plan = None  # identity plan == the global problem
+        # Guarded views of the shards a decision actually touches,
+        # built lazily; all share the one guarded model/injector so the
+        # fault accounting stays global.
+        shard_guarded: Dict[int, GuardedProblem] = {}
+
         if arrivals is None:
             arrivals = by_arrival_time(problem.customers)
         arrivals, dropped, reordered = perturb_arrivals(arrivals, plan)
@@ -289,12 +305,28 @@ class ResilientBroker:
             seen.add(customer.customer_id)
             faults_before = injector.total_faults
             retries_before = sum(g.retries for g in guards)
+            target = guarded_problem
+            span_attrs = {"customer": customer.customer_id}
+            if shard_plan is not None:
+                shard = shard_plan.route(customer)
+                if shard is not None:
+                    target = shard_guarded.get(shard)
+                    if target is None:
+                        target = GuardedProblem(
+                            shard_plan.problem_for(shard),
+                            guarded_model,
+                            injector,
+                            spatial_guard,
+                        )
+                        shard_guarded[shard] = target
+                    span_attrs["shard"] = shard
+                    rec.count("broker.shard_decisions")
             start = clock()
             tier: Optional[int] = None
-            with rec.span("broker.decision", customer=customer.customer_id):
+            with rec.span("broker.decision", **span_attrs):
                 try:
                     picked = chain.process_customer(
-                        guarded_problem, customer, assignment
+                        target, customer, assignment
                     )
                     tier = chain.last_tier_used
                 except ResilienceError as exc:

@@ -1,0 +1,36 @@
+"""Spatial sharding: partition one MUAA problem into cell-group shards.
+
+The layer between the core model and the solvers that lets everything
+downstream operate on one shard at a time:
+
+* :class:`ShardPlan` -- grid-cell vendor partition (cell size >= max
+  vendor radius), replicated customers, lazily-built per-shard problem
+  views, streaming-arrival routing, and a JSON metadata round-trip;
+* :mod:`repro.sharding.solvers` -- shard-local candidate extraction
+  and the global greedy sweep the sharded solvers share;
+* :class:`repro.engine.sharded.ShardedEngine` -- the compute-engine
+  facade over a plan (re-exported here for discoverability).
+
+See ``docs/sharding.md`` for the partition rules, the
+replication/reconciliation semantics, and the memory model.
+"""
+
+from repro.sharding.plan import (
+    METADATA_SCHEMA_VERSION,
+    ShardPlan,
+    resolve_plan,
+)
+from repro.sharding.solvers import (
+    concat_columns,
+    greedy_sweep,
+    shard_candidate_columns,
+)
+
+__all__ = [
+    "METADATA_SCHEMA_VERSION",
+    "ShardPlan",
+    "resolve_plan",
+    "concat_columns",
+    "greedy_sweep",
+    "shard_candidate_columns",
+]

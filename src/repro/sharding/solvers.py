@@ -1,0 +1,152 @@
+"""Shard-local solver building blocks shared by the offline algorithms.
+
+The solvers keep their own sharded entry points (``shards=`` /
+``shard_plan=`` on :class:`~repro.algorithms.greedy.GreedyEfficiency`,
+:class:`~repro.algorithms.recon.Reconciliation` and
+:class:`~repro.algorithms.lp_rounding.LPRounding`); this module holds
+the pieces that only need core + engine:
+
+* :func:`shard_candidate_columns` -- extract one shard view's
+  positive-utility candidate columns (the memory-heavy vectorized
+  part), ready to be released before the next shard is touched;
+* :func:`greedy_sweep` -- the single *global* efficiency sweep over
+  the concatenated shard columns.  Because candidate efficiencies
+  never change as instances are committed, sweeping the merged ranking
+  with global capacity/budget state reproduces the unsharded greedy
+  exactly (up to cross-shard exact-efficiency ties); the sweep *is*
+  the cross-shard capacity reconciliation for GREEDY.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.assignment import AdInstance, Assignment
+from repro.core.problem import MUAAProblem
+
+#: Budget tolerance, identical to ``Assignment.can_add``.
+_EPS = 1e-9
+
+#: One shard's candidate columns: parallel arrays of efficiency,
+#: utility, customer id, vendor id, and ad-type id.
+CandidateColumns = Tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+]
+
+
+def shard_candidate_columns(view: MUAAProblem) -> CandidateColumns:
+    """Positive-utility candidate columns of one shard view.
+
+    Rides the shard's compute engine when the utility model has a
+    vectorized kernel (the ``(E, K)`` utility/efficiency matrices are
+    flattened and filtered in one pass); otherwise falls back to the
+    scalar candidate enumeration.  Global entity ids are returned, so
+    columns from different shards concatenate directly.
+    """
+    engine = view.acquire_engine()
+    if engine is not None:
+        utilities = engine.utilities()
+        if utilities.size == 0:
+            return _empty_columns()
+        flat_util = utilities.ravel()
+        flat_eff = engine.efficiencies().ravel()
+        keep = np.flatnonzero(flat_util > 0)
+        if keep.size == 0:
+            return _empty_columns()
+        n_types = utilities.shape[1]
+        edge, k = np.divmod(keep, n_types)
+        arrays = engine.arrays
+        edges = engine.edges
+        return (
+            flat_eff[keep],
+            flat_util[keep],
+            arrays.customer_ids[edges.customer_idx[edge]].astype(np.int64),
+            arrays.vendor_ids[edges.vendor_idx[edge]].astype(np.int64),
+            arrays.type_ids[k].astype(np.int64),
+        )
+    rows: List[Tuple[float, float, int, int, int]] = [
+        (inst.efficiency, inst.utility, inst.customer_id,
+         inst.vendor_id, inst.type_id)
+        for inst in view.candidate_instances()
+        if inst.utility > 0
+    ]
+    if not rows:
+        return _empty_columns()
+    eff, util, cid, vid, tid = zip(*rows)
+    return (
+        np.asarray(eff, dtype=float),
+        np.asarray(util, dtype=float),
+        np.asarray(cid, dtype=np.int64),
+        np.asarray(vid, dtype=np.int64),
+        np.asarray(tid, dtype=np.int64),
+    )
+
+
+def _empty_columns() -> CandidateColumns:
+    return (
+        np.empty(0, dtype=float),
+        np.empty(0, dtype=float),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+    )
+
+
+def concat_columns(chunks: List[CandidateColumns]) -> CandidateColumns:
+    """Concatenate per-shard columns in shard order."""
+    if not chunks:
+        return _empty_columns()
+    return tuple(
+        np.concatenate([chunk[i] for chunk in chunks]) for i in range(5)
+    )  # type: ignore[return-value]
+
+
+def greedy_sweep(
+    problem: MUAAProblem,
+    columns: CandidateColumns,
+    assignment: Assignment,
+) -> None:
+    """One global efficiency-ranked sweep over merged shard columns.
+
+    Ranking (stable descending efficiency) and feasibility tolerances
+    match :class:`~repro.algorithms.greedy.GreedyEfficiency`'s
+    vectorized sweep; capacity, budget and pair uniqueness are tracked
+    against the *full* problem, which is exactly the coupling the
+    per-shard extraction deferred.
+    """
+    eff, util, cids, vids, tids = columns
+    if eff.size == 0:
+        return
+    order = np.argsort(-eff, kind="stable")
+    cost_of = {t.type_id: t.cost for t in problem.ad_types}
+    remaining_cap = dict(problem.capacities)
+    budgets = problem.budgets
+    spent = {vendor_id: 0.0 for vendor_id in budgets}
+    used_pairs = set()
+    cid_list = cids[order].tolist()
+    vid_list = vids[order].tolist()
+    tid_list = tids[order].tolist()
+    util_list = util[order].tolist()
+    for cid, vid, tid, utility in zip(
+        cid_list, vid_list, tid_list, util_list
+    ):
+        if remaining_cap[cid] <= 0 or (cid, vid) in used_pairs:
+            continue
+        cost = cost_of[tid]
+        if spent[vid] + cost > budgets[vid] + _EPS:
+            continue
+        used_pairs.add((cid, vid))
+        remaining_cap[cid] -= 1
+        spent[vid] += cost
+        assignment.add(
+            AdInstance(
+                customer_id=cid,
+                vendor_id=vid,
+                type_id=tid,
+                utility=utility,
+                cost=cost,
+            ),
+            strict=True,
+        )

@@ -59,6 +59,26 @@ class GridIndex:
             int(math.floor(point[1] / self._cell_size)),
         )
 
+    def cell_of(self, point: Point) -> Tuple[int, int]:
+        """The ``(cx, cy)`` cell coordinates containing ``point``.
+
+        A point exactly on a cell boundary belongs to the higher cell
+        (floor division), so every point is in exactly one cell.
+        """
+        return self._cell_of(point)
+
+    def cells(self) -> List[Tuple[int, int]]:
+        """Occupied cell coordinates in ``(cx, cy)`` lexicographic order.
+
+        Only cells currently holding at least one point are listed, so
+        the result is independent of how sparse the space is.
+        """
+        return sorted(self._cells)
+
+    def points_in_cell(self, cell: Tuple[int, int]) -> List[int]:
+        """Ids stored in one cell, in insertion order (empty if none)."""
+        return list(self._cells.get(tuple(cell), ()))
+
     def insert(self, item_id: int, point: Point) -> None:
         """Insert a point; an existing id is moved to the new location."""
         if item_id in self._points:

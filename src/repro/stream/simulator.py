@@ -171,6 +171,7 @@ class OnlineSimulator:
         measure_latency: bool = True,
         decision_deadline: Optional[float] = None,
         warm_engine: bool = False,
+        shard_plan=None,
     ) -> StreamResult:
         """Simulate the stream and return the committed assignment.
 
@@ -195,10 +196,28 @@ class OnlineSimulator:
                 the precompute by design.  Without this, lookups stay
                 on the scalar path unless something else already built
                 the engine (e.g. calibrating on this same instance).
+            shard_plan: Optional :class:`~repro.sharding.ShardPlan`.
+                Each arriving customer is routed by location to one
+                shard and decided against that shard's problem view
+                only, so per-decision work (and any warm engine) covers
+                one shard's columns.  A customer replicated across
+                shards sees just its routed shard's vendors -- the
+                locality/quality trade-off documented in
+                ``docs/sharding.md``.  Commits still land on the global
+                assignment, so budgets stay authoritative.
         """
         problem = self._problem
+        plan = shard_plan
+        if plan is not None and plan.is_identity:
+            plan = None  # identity plan == the global problem itself
         if warm_engine:
-            problem.warm_utilities()
+            if plan is not None:
+                # Warm shard views instead of the global table; the
+                # views stay resident for per-decision lookups.
+                for shard in range(plan.n_shards):
+                    plan.problem_for(shard).warm_utilities()
+            else:
+                problem.warm_utilities()
         if arrivals is None:
             arrivals = by_arrival_time(problem.customers)
         assignment = problem.new_assignment()
@@ -214,11 +233,19 @@ class OnlineSimulator:
         timed = measure_latency or decision_deadline is not None
         for customer in arrivals:
             seen.add(customer.customer_id)
+            target = problem
+            span_attrs = {"customer": customer.customer_id}
+            if plan is not None:
+                shard = plan.route(customer)
+                if shard is not None:
+                    target = plan.problem_for(shard)
+                    span_attrs["shard"] = shard
+                    rec.count("stream.shard_decisions")
             if timed:
                 start = self._clock()
-            with rec.span("stream.decision", customer=customer.customer_id):
+            with rec.span("stream.decision", **span_attrs):
                 picked = algorithm.process_customer(
-                    problem, customer, assignment
+                    target, customer, assignment
                 )
             if timed:
                 elapsed = self._clock() - start
@@ -262,6 +289,8 @@ class OnlineAsOffline(OfflineAlgorithm):
             simulator.
         warm_engine: Forwarded to :meth:`OnlineSimulator.run` -- batch
             precompute of the candidate table before the stream.
+        shard_plan: Forwarded to :meth:`OnlineSimulator.run` -- route
+            each arrival to its spatial shard's problem view.
     """
 
     def __init__(
@@ -270,11 +299,13 @@ class OnlineAsOffline(OfflineAlgorithm):
         clock: Optional[Callable[[], float]] = None,
         decision_deadline: Optional[float] = None,
         warm_engine: bool = False,
+        shard_plan=None,
     ) -> None:
         self._algorithm = algorithm
         self._clock = clock
         self._deadline = decision_deadline
         self._warm_engine = warm_engine
+        self._shard_plan = shard_plan
         self.name = algorithm.name
         self.last_stream_result: Optional[StreamResult] = None
 
@@ -283,6 +314,7 @@ class OnlineAsOffline(OfflineAlgorithm):
             self._algorithm,
             decision_deadline=self._deadline,
             warm_engine=self._warm_engine,
+            shard_plan=self._shard_plan,
         )
         self.last_stream_result = result
         return result.assignment

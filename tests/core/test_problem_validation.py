@@ -1,0 +1,112 @@
+"""Construction-time entity gate of MUAAProblem.
+
+The entity dataclasses already reject most bad values in
+``__post_init__``; these tests corrupt frozen entities afterwards
+(modelling deserialised or mutated objects) and check the *problem*
+constructor still refuses them -- NaN coordinates and NaN/zero radii
+otherwise corrupt grid binning silently instead of raising.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.entities import AdType, Customer, Vendor
+from repro.core.problem import MUAAProblem
+from repro.exceptions import InvalidProblemError
+from repro.utility.model import TabularUtilityModel
+
+AD_TYPES = [AdType(type_id=0, name="TL", cost=1.0, effectiveness=0.5)]
+NAN = float("nan")
+INF = float("inf")
+
+
+def _customer(**overrides):
+    customer = Customer(
+        customer_id=0,
+        location=(0.5, 0.5),
+        capacity=1,
+        view_probability=0.5,
+    )
+    for name, value in overrides.items():
+        object.__setattr__(customer, name, value)
+    return customer
+
+
+def _vendor(**overrides):
+    vendor = Vendor(
+        vendor_id=0, location=(0.4, 0.4), radius=0.2, budget=2.0
+    )
+    for name, value in overrides.items():
+        object.__setattr__(vendor, name, value)
+    return vendor
+
+
+def _build(customer=None, vendor=None):
+    return MUAAProblem(
+        customers=[customer or _customer()],
+        vendors=[vendor or _vendor()],
+        ad_types=AD_TYPES,
+        utility_model=TabularUtilityModel(preferences={(0, 0): 0.5}),
+    )
+
+
+def test_clean_entities_pass():
+    problem = _build()
+    assert problem.max_radius == pytest.approx(0.2)
+
+
+@pytest.mark.parametrize("coord", [NAN, INF, -INF])
+def test_non_finite_customer_coordinate_rejected(coord):
+    with pytest.raises(InvalidProblemError, match="customer 0"):
+        _build(customer=_customer(location=(coord, 0.5)))
+    with pytest.raises(InvalidProblemError, match="customer 0"):
+        _build(customer=_customer(location=(0.5, coord)))
+
+
+@pytest.mark.parametrize("coord", [NAN, INF, -INF])
+def test_non_finite_vendor_coordinate_rejected(coord):
+    with pytest.raises(InvalidProblemError, match="vendor 0"):
+        _build(vendor=_vendor(location=(coord, 0.4)))
+
+
+def test_nan_radius_rejected():
+    # nan < 0 is False, so the entity-level check admits this one.
+    assert not (NAN < 0)
+    with pytest.raises(InvalidProblemError, match="radius"):
+        _build(vendor=_vendor(radius=NAN))
+
+
+def test_infinite_radius_rejected():
+    with pytest.raises(InvalidProblemError, match="radius"):
+        _build(vendor=_vendor(radius=INF))
+
+
+def test_zero_radius_rejected():
+    with pytest.raises(InvalidProblemError, match="radius"):
+        _build(vendor=_vendor(radius=0.0))
+
+
+def test_negative_radius_rejected():
+    with pytest.raises(InvalidProblemError, match="radius"):
+        _build(vendor=_vendor(radius=-1.0))
+
+
+def test_nan_budget_rejected():
+    with pytest.raises(InvalidProblemError, match="budget"):
+        _build(vendor=_vendor(budget=NAN))
+
+
+def test_infinite_budget_rejected():
+    with pytest.raises(InvalidProblemError, match="budget"):
+        _build(vendor=_vendor(budget=INF))
+
+
+def test_error_names_the_offending_entity():
+    vendor = _vendor(radius=NAN)
+    with pytest.raises(InvalidProblemError) as excinfo:
+        _build(vendor=vendor)
+    assert "vendor 0" in str(excinfo.value)
+    assert math.isnan(vendor.radius)

@@ -1,0 +1,124 @@
+"""Sharded-vs-unsharded parity for the offline solvers.
+
+The contract the sharding layer promises: at ``shards=1`` results are
+byte-identical (the identity plan aliases the original problem, so the
+original code path runs); at real shard counts the total utility is
+within 1e-9 of the unsharded solve and all constraints hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.algorithms.lp_rounding import LPRounding
+from repro.algorithms.recon import Reconciliation
+from repro.core.validation import validate_assignment
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+
+SEEDS = (3, 11)
+SHARD_COUNTS = (4, 16)
+
+
+def _problem(seed):
+    return synthetic_problem(
+        WorkloadConfig(
+            n_customers=400,
+            n_vendors=40,
+            radius_range=ParameterRange(0.03, 0.06),
+            seed=seed,
+        )
+    )
+
+
+def _triples(assignment):
+    return sorted(
+        (i.customer_id, i.vendor_id, i.type_id)
+        for i in assignment.instances()
+    )
+
+
+class TestGreedyParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shards_1_byte_identical(self, seed):
+        problem = _problem(seed)
+        base = GreedyEfficiency().solve(problem)
+        sharded = GreedyEfficiency(shards=1).solve(_problem(seed))
+        assert _triples(base) == _triples(sharded)
+        assert base.total_utility == sharded.total_utility
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_sharded_within_1e9(self, seed, shards):
+        problem = _problem(seed)
+        base = GreedyEfficiency().solve(problem)
+        sharded = GreedyEfficiency(shards=shards).solve(problem)
+        assert sharded.total_utility == pytest.approx(
+            base.total_utility, abs=1e-9
+        )
+        report = validate_assignment(problem, sharded)
+        assert report.ok, report
+
+
+class TestReconParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shards_1_byte_identical(self, seed):
+        problem = _problem(seed)
+        base = Reconciliation(seed=seed).solve(problem)
+        sharded = Reconciliation(seed=seed, shards=1).solve(_problem(seed))
+        assert _triples(base) == _triples(sharded)
+        assert base.total_utility == sharded.total_utility
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_sharded_within_1e9(self, seed, shards):
+        problem = _problem(seed)
+        base = Reconciliation(seed=seed).solve(problem)
+        sharded = Reconciliation(seed=seed, shards=shards).solve(problem)
+        assert sharded.total_utility == pytest.approx(
+            base.total_utility, abs=1e-9
+        )
+        report = validate_assignment(problem, sharded)
+        assert report.ok, report
+
+    def test_sharded_stats_populated(self):
+        problem = _problem(3)
+        algo = Reconciliation(seed=3, shards=4)
+        algo.solve(problem)
+        assert "violated_customers" in algo.last_stats
+        assert "replacement_ads" in algo.last_stats
+
+
+class TestLPRoundingSharded:
+    def test_shards_1_byte_identical(self):
+        problem = synthetic_problem(
+            WorkloadConfig(
+                n_customers=150,
+                n_vendors=20,
+                radius_range=ParameterRange(0.05, 0.1),
+                seed=5,
+            )
+        )
+        base = LPRounding()
+        sharded = LPRounding(shards=1)
+        a0, a1 = base.solve(problem), sharded.solve(problem)
+        assert _triples(a0) == _triples(a1)
+        assert base.last_lp_value == sharded.last_lp_value
+
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_sharded_valid_and_bounded(self, shards):
+        problem = synthetic_problem(
+            WorkloadConfig(
+                n_customers=150,
+                n_vendors=20,
+                radius_range=ParameterRange(0.05, 0.1),
+                seed=5,
+            )
+        )
+        algo = LPRounding(shards=shards)
+        assignment = algo.solve(problem)
+        report = validate_assignment(problem, assignment)
+        assert report.ok, report
+        # The summed per-shard LP values stay a certified upper bound.
+        assert assignment.total_utility <= algo.last_lp_value + 1e-6

@@ -1,0 +1,126 @@
+"""ShardedEngine: routed lookups match the monolithic compute engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.engine import ShardedEngine
+from repro.engine.engine import MISS
+from repro.sharding import ShardPlan
+from repro.utility.model import DelegatingUtilityModel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    problem = synthetic_problem(
+        WorkloadConfig(
+            n_customers=300,
+            n_vendors=30,
+            radius_range=ParameterRange(0.03, 0.06),
+            seed=9,
+        )
+    )
+    plan = ShardPlan.build(problem, shards=4)
+    sharded = ShardedEngine.create(plan)
+    global_engine = problem.acquire_engine()
+    global_engine.warm()
+    return problem, plan, sharded, global_engine
+
+
+def test_create_requires_vectorizable_model():
+    problem = synthetic_problem(
+        WorkloadConfig(n_customers=40, n_vendors=5, seed=1)
+    )
+    scalar = MUAA_scalar_clone(problem)
+    plan = ShardPlan.build(scalar, shards=2)
+    assert ShardedEngine.create(plan) is None
+
+
+def MUAA_scalar_clone(problem):
+    """The same instance behind a scalar-only (delegating) model."""
+    from repro.core.problem import MUAAProblem
+
+    return MUAAProblem(
+        customers=problem.customers,
+        vendors=problem.vendors,
+        ad_types=problem.ad_types,
+        utility_model=DelegatingUtilityModel(problem.utility_model),
+    )
+
+
+def test_pair_base_matches_global(setup):
+    problem, plan, sharded, global_engine = setup
+    checked = 0
+    for vendor in problem.vendors:
+        for cid in problem.valid_customer_ids(vendor):
+            expected = global_engine.pair_base(cid, vendor.vendor_id)
+            assert sharded.pair_base(cid, vendor.vendor_id) == expected
+            checked += 1
+    assert checked > 0
+    assert sharded.pair_base(problem.customers[0].customer_id, 999999) \
+        is None
+
+
+def test_best_for_pair_matches_global(setup):
+    problem, plan, sharded, global_engine = setup
+    for vendor in problem.vendors[:10]:
+        for cid in problem.valid_customer_ids(vendor):
+            expected = global_engine.best_for_pair(cid, vendor.vendor_id)
+            assert sharded.best_for_pair(cid, vendor.vendor_id) == expected
+    assert sharded.best_for_pair(
+        problem.customers[0].customer_id, 999999
+    ) is MISS
+
+
+def test_vendors_in_range_merged(setup):
+    problem, plan, sharded, global_engine = setup
+    for customer in problem.customers[:50]:
+        expected = global_engine.vendors_in_range(customer.customer_id)
+        assert sharded.vendors_in_range(customer.customer_id) == expected
+    assert sharded.vendors_in_range(999999) is None
+
+
+def test_num_edges_totals(setup):
+    problem, plan, sharded, global_engine = setup
+    assert sharded.num_edges() == global_engine.num_edges
+    assert sharded.num_edges() == sum(
+        sharded.num_edges(shard) for shard in range(plan.n_shards)
+    )
+
+
+def test_shard_of_vendor_routes(setup):
+    problem, plan, sharded, _global = setup
+    for vendor in problem.vendors:
+        assert (
+            sharded.shard_of_vendor(vendor.vendor_id)
+            == plan.shard_of_vendor[vendor.vendor_id]
+        )
+
+
+def test_peak_resident_edges_one_shard_at_a_time():
+    problem = synthetic_problem(
+        WorkloadConfig(
+            n_customers=300,
+            n_vendors=30,
+            radius_range=ParameterRange(0.03, 0.06),
+            seed=9,
+        )
+    )
+    plan = ShardPlan.build(problem, shards=4)
+    sharded = ShardedEngine.create(plan)
+    for shard in range(plan.n_shards):
+        sharded.warm(shard)
+        sharded.release(shard)
+    # Release-after-use: the peak is the single largest shard, never
+    # the total.
+    assert sharded.peak_resident_edges == max(plan.edge_counts())
+    assert sharded.peak_resident_edges < sum(plan.edge_counts())
+
+
+def test_warm_all_counts_every_edge(setup):
+    problem, plan, _sharded, global_engine = setup
+    fresh = ShardedEngine.create(ShardPlan.build(problem, shards=4))
+    assert fresh.warm_all() == global_engine.num_edges
+    assert fresh.peak_resident_edges == global_engine.num_edges

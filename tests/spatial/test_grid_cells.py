@@ -1,0 +1,75 @@
+"""Cell-enumeration surface of the grid index: cells(), points_in_cell(),
+boundary ownership, and queries whose radius exceeds the cell size."""
+
+from __future__ import annotations
+
+import math
+
+from repro.spatial.grid_index import GridIndex
+
+
+def test_cells_sorted_and_occupied_only():
+    index = GridIndex.build(
+        [(0, (0.05, 0.05)), (1, (0.95, 0.95)), (2, (0.95, 0.05))], 0.1
+    )
+    cells = index.cells()
+    assert cells == sorted(cells)
+    assert set(cells) == {(0, 0), (9, 9), (9, 0)}
+
+
+def test_points_in_cell_contents_and_insertion_order():
+    index = GridIndex(0.5)
+    index.insert(7, (0.1, 0.1))
+    index.insert(3, (0.2, 0.2))
+    index.insert(5, (0.9, 0.9))
+    assert index.points_in_cell((0, 0)) == [7, 3]
+    assert index.points_in_cell((1, 1)) == [5]
+    assert index.points_in_cell((5, 5)) == []
+
+
+def test_every_point_in_exactly_one_cell():
+    points = [(i, (0.013 * i % 1.0, 0.029 * i % 1.0)) for i in range(200)]
+    index = GridIndex.build(points, 0.07)
+    counted = sum(len(index.points_in_cell(c)) for c in index.cells())
+    assert counted == len(points)
+    for item_id, point in points:
+        assert item_id in index.points_in_cell(index.cell_of(point))
+
+
+def test_boundary_point_belongs_to_higher_cell():
+    index = GridIndex(0.25)
+    # Exactly on the boundary between cells (0,*) and (1,*): floor
+    # division puts it in the higher cell, never both.
+    index.insert(0, (0.25, 0.1))
+    assert index.cell_of((0.25, 0.1)) == (1, 0)
+    assert index.points_in_cell((1, 0)) == [0]
+    assert index.points_in_cell((0, 0)) == []
+    # Negative coordinates floor downward, still one cell.
+    assert index.cell_of((-0.25, 0.0)) == (-1, 0)
+    assert index.cell_of((-0.1, -0.1)) == (-1, -1)
+
+
+def test_origin_boundary():
+    index = GridIndex(1.0)
+    index.insert(0, (0.0, 0.0))
+    assert index.cell_of((0.0, 0.0)) == (0, 0)
+    assert index.points_in_cell((0, 0)) == [0]
+
+
+def test_query_radius_larger_than_cell_size():
+    """A query radius spanning many cells must still find everything
+    (regression: the candidate-cell window must scale with radius)."""
+    points = [
+        (i * 10 + j, (0.1 * i, 0.1 * j)) for i in range(10) for j in range(10)
+    ]
+    index = GridIndex.build(points, 0.05)  # radius will be 10x the cell
+    center = (0.45, 0.45)
+    radius = 0.5
+    found = set(index.query_radius(center, radius))
+    expected = {
+        item_id
+        for item_id, (x, y) in points
+        if math.hypot(x - center[0], y - center[1]) <= radius
+    }
+    assert found == expected
+    assert len(found) > 50  # the window really spanned many cells

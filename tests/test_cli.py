@@ -100,6 +100,16 @@ def test_stats_checkins(capsys):
     assert "valid pairs" in out
 
 
+def test_demo_sharded(capsys):
+    assert main(
+        ["demo", "--customers", "200", "--vendors", "25", "--shards", "4"]
+    ) == 0
+    out = capsys.readouterr().out
+    for name in ("GREEDY", "RECON", "ONLINE"):
+        assert name in out
+    assert "INVALID" not in out
+
+
 def test_info(capsys):
     assert main(["info"]) == 0
     out = capsys.readouterr().out
@@ -107,6 +117,15 @@ def test_info(capsys):
     assert "cpu count" in out
     assert "start methods" in out
     assert "greedy-lp" in out
+    assert "shard card" in out
+    assert "replicated:" in out
+
+
+def test_info_shard_count(capsys):
+    assert main(["info", "--shards", "2", "--customers", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "--shards 2" in out
+    assert "shard 0:" in out
 
 
 def test_demo_trace_and_metrics(capsys, tmp_path):

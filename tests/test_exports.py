@@ -16,6 +16,7 @@ PACKAGES = (
     "repro.mckp",
     "repro.algorithms",
     "repro.engine",
+    "repro.sharding",
     "repro.resilience",
     "repro.stream",
     "repro.datagen",
