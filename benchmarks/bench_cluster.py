@@ -1,0 +1,219 @@
+"""Cluster acceptance gates: retention, parity, router overhead.
+
+Three measurements over the shared gate workload, emitted as
+``BENCH_cluster.json``:
+
+* **Utility retention** (enforced unconditionally): with 1 of 4 shards
+  SIGKILL-scheduled mid-episode, the cluster must retain **>= 90%** of
+  the fault-free baseline utility, finish every decision, and keep the
+  assignment feasible.  Runs on the deterministic inline transport so
+  the gate means the same thing on every machine.
+* **Decision parity** (enforced unconditionally): under zero faults
+  the cluster's assignment must match the in-process sharded
+  :class:`~repro.stream.simulator.OnlineSimulator` identically --
+  utility within 1e-9 and instance-for-instance equality.
+* **Router overhead** (recorded always, enforced on >= ``4`` CPUs):
+  p99 of the full per-arrival router path (envelope round-trip
+  included) must stay within ``ROUTER_P99_GATE`` of the in-process
+  sharded simulator's p99 decision latency.  Wall-clock is
+  machine-dependent, hence the CPU floor -- same convention as
+  ``bench_parallel.py``.
+
+Run with ``pytest -q -s benchmarks/bench_cluster.py``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import sorted_triples, write_bench_json
+from repro.algorithms.calibration import calibrate_from_problem
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.cluster import ChaosPlan, ClusterConfig, run_episode
+from repro.core.validation import validate_assignment
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.parallel import available_cpus
+from repro.sharding import ShardPlan
+from repro.stream.simulator import OnlineSimulator
+
+#: The shared gate workload (same shape as the sharding gate).
+GATE_CONFIG = WorkloadConfig(
+    n_customers=2_000,
+    n_vendors=200,
+    seed=42,
+    radius_range=ParameterRange(0.15, 0.25),
+)
+
+#: Shards in the gate cluster; the chaos gate kills exactly one.
+GATE_SHARDS = 4
+
+#: Arrival index at which the chaos gate kills its victim shard.
+KILL_TICK = GATE_CONFIG.n_customers // 2
+
+#: Minimum fraction of fault-free utility that must survive the kill.
+RETENTION_GATE = 0.90
+
+#: Zero-fault utility agreement with the sharded simulator.
+PARITY_TOL = 1e-9
+
+#: Router p99 may be at most this multiple of the simulator's p99.
+ROUTER_P99_GATE = 10.0
+
+#: Wall-clock gates only bind with this many CPUs (cf. bench_parallel).
+MIN_GATE_CPUS = 4
+
+
+def _fresh_problem():
+    return synthetic_problem(GATE_CONFIG)
+
+
+def _baseline():
+    """The in-process sharded simulator run (the parity reference)."""
+    problem = _fresh_problem()
+    plan = ShardPlan.build(problem, GATE_SHARDS)
+    bounds = calibrate_from_problem(problem, sample_customers=500, seed=0)
+    algorithm = OnlineAdaptiveFactorAware(
+        gamma_min=bounds.gamma_min, g=bounds.g
+    )
+    return OnlineSimulator(problem).run(
+        algorithm, warm_engine=True, shard_plan=plan
+    )
+
+
+def _cluster(chaos=None):
+    problem = _fresh_problem()
+    result = run_episode(
+        problem,
+        ClusterConfig(shards=GATE_SHARDS, transport="inline"),
+        chaos=chaos,
+    )
+    feasible = validate_assignment(problem, result.assignment).ok
+    return result, feasible
+
+
+def test_cluster_gate():
+    cpu_count = available_cpus()
+    overhead_enforced = cpu_count >= MIN_GATE_CPUS
+    print(
+        f"[cluster] cpus={cpu_count} shards={GATE_SHARDS} "
+        f"kill_tick={KILL_TICK} overhead_enforced={overhead_enforced}"
+    )
+
+    baseline = _baseline()
+    base_p99 = (
+        float(
+            sorted(baseline.latencies)[
+                int(0.99 * (len(baseline.latencies) - 1))
+            ]
+        )
+        if baseline.latencies
+        else 0.0
+    )
+
+    clean, clean_feasible = _cluster()
+    parity_diff = abs(clean.total_utility - baseline.total_utility)
+    identical = sorted_triples(clean.assignment) == sorted_triples(
+        baseline.assignment
+    )
+    print(
+        f"[cluster] zero-fault parity: diff={parity_diff:.2e} "
+        f"identical={identical}"
+    )
+
+    chaos = ChaosPlan.kill_one(
+        seed=GATE_CONFIG.seed, n_shards=GATE_SHARDS, tick=KILL_TICK
+    )
+    faulted, faulted_feasible = _cluster(chaos=chaos)
+    retention = faulted.total_utility / baseline.total_utility
+    print(
+        f"[cluster] 1/{GATE_SHARDS} shards killed @ tick {KILL_TICK}: "
+        f"retention={retention:.4f} (gate {RETENTION_GATE}) "
+        f"restarts={faulted.stats.restarts} "
+        f"replayed={faulted.stats.replayed_instances} "
+        f"breaker_opens={faulted.stats.breaker_opens}"
+    )
+
+    router_p99 = clean.p99_decision_seconds
+    overhead_ratio = router_p99 / base_p99 if base_p99 > 0 else 0.0
+    print(
+        f"[cluster] router p99 {router_p99 * 1e3:.3f}ms vs simulator "
+        f"p99 {base_p99 * 1e3:.3f}ms ({overhead_ratio:.2f}x, "
+        f"gate {ROUTER_P99_GATE}x on >= {MIN_GATE_CPUS} CPUs)"
+    )
+
+    write_bench_json(
+        "cluster",
+        {
+            "workload": {
+                "n_customers": GATE_CONFIG.n_customers,
+                "n_vendors": GATE_CONFIG.n_vendors,
+                "seed": GATE_CONFIG.seed,
+                "shards": GATE_SHARDS,
+                "transport": "inline",
+            },
+            "retention_gate": RETENTION_GATE,
+            "parity_tolerance": PARITY_TOL,
+            "router_p99_gate": ROUTER_P99_GATE,
+            "min_gate_cpus": MIN_GATE_CPUS,
+            "overhead_enforced": overhead_enforced,
+            "parity": {
+                "baseline_utility": baseline.total_utility,
+                "cluster_utility": clean.total_utility,
+                "utility_diff": parity_diff,
+                "assignments_identical": identical,
+                "feasible": clean_feasible,
+            },
+            "chaos": {
+                "kill_tick": KILL_TICK,
+                "victim_shard": chaos.events[0].shard,
+                "utility": faulted.total_utility,
+                "retention": retention,
+                "feasible": faulted_feasible,
+                "decisions": faulted.stats.decisions,
+                "decisions_by_path": faulted.stats.decisions_by_path,
+                "restarts": faulted.stats.restarts,
+                "replayed_instances": faulted.stats.replayed_instances,
+                "breaker_counts": faulted.stats.breaker_counts,
+                "shard_health": {
+                    str(shard): health
+                    for shard, health in faulted.stats.shard_health.items()
+                },
+            },
+            "overhead": {
+                "router_p99_seconds": router_p99,
+                "simulator_p99_seconds": base_p99,
+                "ratio": overhead_ratio,
+            },
+        },
+    )
+
+    # Parity: unconditional (decisions are machine-independent).
+    assert clean_feasible, "zero-fault cluster assignment infeasible"
+    assert parity_diff <= PARITY_TOL, (
+        f"cluster utility diverges from sharded simulator by "
+        f"{parity_diff:.2e} (tol {PARITY_TOL})"
+    )
+    assert identical, "cluster and simulator assignments differ"
+
+    # Retention: unconditional (inline transport is deterministic).
+    assert faulted_feasible, "chaos-run assignment infeasible"
+    assert faulted.stats.decisions == GATE_CONFIG.n_customers, (
+        "chaos run did not decide every arrival"
+    )
+    assert retention >= RETENTION_GATE, (
+        f"retention {retention:.4f} below gate {RETENTION_GATE} with "
+        f"1/{GATE_SHARDS} shards killed"
+    )
+    assert faulted.stats.restarts >= 1, "no restart was performed"
+    assert faulted.stats.breaker_opens >= 1, "breaker never tripped"
+
+    # Router overhead: wall-clock, so gated by CPU count.
+    if overhead_enforced:
+        assert overhead_ratio <= ROUTER_P99_GATE, (
+            f"router p99 {overhead_ratio:.2f}x over the simulator "
+            f"(gate {ROUTER_P99_GATE}x, {cpu_count} CPUs)"
+        )
+    else:
+        print(
+            f"[cluster] overhead gate skipped below "
+            f"{MIN_GATE_CPUS} CPUs (parity + retention still enforced)"
+        )

@@ -7,6 +7,8 @@ Commands:
 * ``ratio``     -- measure empirical approximation/competitive ratios
 * ``calibrate`` -- print O-AFA's gamma/g calibration for a workload
 * ``obs``       -- inspect recorded traces (``obs summary TRACE``)
+* ``serve-cluster`` -- stream a workload through the process-per-shard
+  cluster (optionally killing a shard mid-stream to watch recovery)
 * ``info``      -- runtime/backend card of this installation
 
 ``demo``, ``figure`` and ``reproduce`` accept ``--trace PATH`` (record
@@ -157,6 +159,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace_file", metavar="TRACE",
         help="Chrome-trace JSON written by --trace",
     )
+
+    serve = sub.add_parser(
+        "serve-cluster",
+        help="serve a synthetic arrival stream through the "
+             "process-per-shard cluster",
+    )
+    serve.add_argument("--customers", type=int, default=1_000)
+    serve.add_argument("--vendors", type=int, default=100)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--shards", "-s", type=int, default=4, metavar="S",
+        help="worker count (one shard and one worker per shard)",
+    )
+    serve.add_argument(
+        "--transport", choices=("process", "inline"), default="process",
+        help="process = one forked worker per shard over shared "
+             "memory; inline = deterministic in-process stand-ins",
+    )
+    serve.add_argument(
+        "--kill-shard", type=int, default=None, metavar="SHARD",
+        help="chaos: SIGKILL this shard's worker mid-stream (the "
+             "control plane restarts it with replay)",
+    )
+    serve.add_argument(
+        "--kill-tick", type=int, default=None, metavar="TICK",
+        help="arrival index of the kill (default: halfway)",
+    )
+    add_obs(serve)
 
     info = sub.add_parser(
         "info", help="print version, runtime, and backend information"
@@ -366,6 +396,57 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import multiprocessing
+
+    from repro.cluster import ChaosEvent, ChaosPlan, ClusterConfig, run_episode
+    from repro.datagen.config import ParameterRange, WorkloadConfig
+    from repro.datagen.synthetic import synthetic_problem
+
+    transport = args.transport
+    if (
+        transport == "process"
+        and "fork" not in multiprocessing.get_all_start_methods()
+    ):
+        print("fork start method unavailable; using the inline transport")
+        transport = "inline"
+    problem = synthetic_problem(
+        WorkloadConfig(
+            n_customers=args.customers,
+            n_vendors=args.vendors,
+            seed=args.seed,
+            radius_range=ParameterRange(0.15, 0.25),
+        )
+    )
+    chaos = None
+    if args.kill_shard is not None:
+        if not 0 <= args.kill_shard < args.shards:
+            print(
+                f"--kill-shard must be in [0, {args.shards}), "
+                f"got {args.kill_shard}"
+            )
+            return 2
+        tick = (
+            args.customers // 2 if args.kill_tick is None else args.kill_tick
+        )
+        chaos = ChaosPlan(
+            seed=args.seed,
+            events=(
+                ChaosEvent(tick=tick, kind="kill", shard=args.kill_shard),
+            ),
+        )
+        print(
+            f"chaos: killing shard {args.kill_shard} at tick {tick}"
+        )
+    result = run_episode(
+        problem,
+        ClusterConfig(shards=args.shards, transport=transport),
+        chaos=chaos,
+    )
+    print(result.card())
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import multiprocessing
     import platform
@@ -410,6 +491,21 @@ def _cmd_info(args: argparse.Namespace) -> int:
           f"vendors, seed {args.seed}, --shards {args.shards}):")
     for line in plan.card().splitlines():
         print(f"  {line}")
+
+    # Cluster card: what serve-cluster would run on this machine.
+    from repro.cluster.episode import TRANSPORTS
+
+    fork_ok = "fork" in start_methods
+    default_transport = "process" if fork_ok else "inline"
+    print()
+    print("cluster card (repro serve-cluster):")
+    print(f"  transports:     {', '.join(TRANSPORTS)} "
+          f"(default: {default_transport})")
+    print(f"  workers:        one process per shard "
+          f"({plan.n_shards} at --shards {args.shards})")
+    print(f"  engine columns: {'shared memory' if HAVE_SHARED_MEMORY else 'per-worker local scoring'}")
+    print("  resilience:     per-shard breakers, heartbeats, "
+          "restart-with-replay, replica/static/nearest/shed ladder")
     return 0
 
 
@@ -422,6 +518,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "reproduce": _cmd_reproduce,
     "obs": _cmd_obs,
+    "serve-cluster": _cmd_serve_cluster,
     "info": _cmd_info,
 }
 

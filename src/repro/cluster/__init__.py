@@ -1,0 +1,76 @@
+"""Process-per-shard serving cluster for the online broker.
+
+One worker per :class:`~repro.sharding.ShardPlan` shard holds that
+shard's compute engine over shared memory and decides every customer
+routed to it with the literal O-AFA hot path; a router forwards
+arrivals, merges decisions into the one authoritative assignment, and
+a control plane (heartbeats, per-shard circuit breakers,
+restart-with-replay, crash-loop give-up) keeps the episode serving
+through seeded chaos: shard kills, corrupted replies, delayed
+heartbeats and crash loops all degrade gracefully down a
+replica -> static-threshold -> nearest-vendor -> shed ladder instead
+of raising.
+
+See ``docs/cluster.md`` for the architecture, the failure modes and
+the chaos-plan format; ``benchmarks/bench_cluster.py`` holds the
+utility-retention and decision-parity gates.
+"""
+
+from repro.cluster.chaos import ChaosController, ChaosEvent, ChaosPlan
+from repro.cluster.control import ControlPlane, ShardHealth, ShardState
+from repro.cluster.episode import (
+    ClusterConfig,
+    ClusterResult,
+    run_episode,
+)
+from repro.cluster.protocol import (
+    CorruptMessageError,
+    DecideReply,
+    DecideRequest,
+    Envelope,
+    HeartbeatReply,
+    HeartbeatRequest,
+    ReplayReply,
+    ReplayRequest,
+    ShutdownReply,
+    ShutdownRequest,
+    corrupt,
+    seal,
+    unseal,
+)
+from repro.cluster.router import ClusterRouter, ClusterStats, DEFAULT_LADDER
+from repro.cluster.transport import InlineShardHost, ProcessShardHost
+from repro.cluster.worker import ShardServer, engine_columns, worker_main
+
+__all__ = [
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ClusterConfig",
+    "ClusterResult",
+    "ClusterRouter",
+    "ClusterStats",
+    "ControlPlane",
+    "CorruptMessageError",
+    "DecideReply",
+    "DecideRequest",
+    "DEFAULT_LADDER",
+    "Envelope",
+    "HeartbeatReply",
+    "HeartbeatRequest",
+    "InlineShardHost",
+    "ProcessShardHost",
+    "ReplayReply",
+    "ReplayRequest",
+    "ShardHealth",
+    "ShardServer",
+    "ShardState",
+    "ShutdownReply",
+    "ShutdownRequest",
+    "corrupt",
+    "engine_columns",
+    "run_episode",
+    "seal",
+    "unseal",
+    "worker_main",
+]

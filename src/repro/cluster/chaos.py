@@ -1,0 +1,181 @@
+"""Seeded, tick-keyed chaos plans for cluster episodes.
+
+Chaos events are keyed to *logical ticks* (arrival indices), not wall
+time, so a plan replays identically on any machine and under any
+transport: "kill shard 2 at tick 150" means exactly that whether the
+shard is a forked process or an in-process stand-in.  All randomness
+(victim selection, corruption byte positions) derives from per-purpose
+``random.Random(f"{seed}:{name}")`` streams, the same idiom as
+:mod:`repro.resilience.faults`.
+
+Supported event kinds:
+
+* ``kill`` -- SIGKILL the shard's worker at the event tick (mid-stream
+  shard loss; the control plane discovers it and restarts with replay).
+* ``corrupt_reply`` -- flip a byte in the shard's next ``count``
+  replies; each surfaces as a checksum failure and a router retry.
+* ``delay_heartbeats`` -- suppress the shard's heartbeat replies for
+  ``duration`` ticks (the control plane sees misses and turns suspect).
+* ``crash_loop`` -- the shard's next ``count`` restarts die immediately
+  after coming up, exercising the give-up path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: The event kinds a plan may schedule.
+EVENT_KINDS = ("kill", "corrupt_reply", "delay_heartbeats", "crash_loop")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault.
+
+    Attributes:
+        tick: Logical arrival index at which the event fires.
+        kind: One of :data:`EVENT_KINDS`.
+        shard: Target shard id.
+        count: For ``corrupt_reply``/``crash_loop``: how many replies /
+            restarts are affected.
+        duration: For ``delay_heartbeats``: suppression window in ticks.
+    """
+
+    tick: int
+    kind: str
+    shard: int
+    count: int = 1
+    duration: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r}; expected one of "
+                f"{EVENT_KINDS}"
+            )
+        if self.tick < 0:
+            raise ValueError(f"tick must be >= 0, got {self.tick}")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, fully deterministic schedule of faults.
+
+    Attributes:
+        seed: Master seed; per-purpose RNG streams derive from it.
+        events: The scheduled events (any order; fired by tick).
+    """
+
+    seed: int = 0
+    events: Tuple[ChaosEvent, ...] = ()
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "ChaosPlan":
+        """The empty plan (zero-fault runs share the code path)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def kill_one(
+        cls, seed: int, n_shards: int, tick: int
+    ) -> "ChaosPlan":
+        """Kill one seeded-random shard mid-stream (the bench gate)."""
+        victim = random.Random(f"{seed}:kill").randrange(n_shards)
+        return cls(
+            seed=seed,
+            events=(ChaosEvent(tick=tick, kind="kill", shard=victim),),
+        )
+
+    def stream(self, name: str) -> random.Random:
+        """A named, reproducible RNG stream derived from the seed."""
+        return random.Random(f"{self.seed}:{name}")
+
+    @property
+    def total_events(self) -> int:
+        return len(self.events)
+
+
+class ChaosController:
+    """Runtime state of a plan during one episode.
+
+    The episode driver calls :meth:`activate` once per tick and acts on
+    the returned ``kill`` events itself; corruption, heartbeat
+    suppression and crash-loops are tracked here and consulted by the
+    router/control plane at the relevant decision points.
+    """
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+        self._by_tick: Dict[int, List[ChaosEvent]] = {}
+        for event in plan.events:
+            self._by_tick.setdefault(event.tick, []).append(event)
+        self._corrupt_pending: Dict[int, int] = {}
+        self._suppressed_until: Dict[int, int] = {}
+        self._crash_loops: Dict[int, int] = {}
+        self._corrupt_rng = plan.stream("corrupt")
+        #: Counters of faults actually injected, by kind.
+        self.injected: Dict[str, int] = {}
+
+    def activate(self, tick: int) -> List[ChaosEvent]:
+        """Arm this tick's events; returns the ``kill`` events to apply.
+
+        Non-kill events update internal state (corruption budget,
+        heartbeat suppression windows, crash-loop counters) and are
+        consumed later via the query methods.
+        """
+        kills: List[ChaosEvent] = []
+        for event in self._by_tick.get(tick, ()):
+            if event.kind == "kill":
+                kills.append(event)
+            elif event.kind == "corrupt_reply":
+                self._corrupt_pending[event.shard] = (
+                    self._corrupt_pending.get(event.shard, 0) + event.count
+                )
+            elif event.kind == "delay_heartbeats":
+                self._suppressed_until[event.shard] = max(
+                    self._suppressed_until.get(event.shard, -1),
+                    tick + event.duration,
+                )
+            elif event.kind == "crash_loop":
+                self._crash_loops[event.shard] = (
+                    self._crash_loops.get(event.shard, 0) + event.count
+                )
+        return kills
+
+    def note(self, kind: str) -> None:
+        """Count one injected fault of ``kind``."""
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def corrupt_position(self) -> int:
+        """Seeded byte position for the next corruption."""
+        return self._corrupt_rng.randrange(1 << 16)
+
+    def should_corrupt(self, shard: int) -> bool:
+        """Consume one pending reply corruption for ``shard``."""
+        left = self._corrupt_pending.get(shard, 0)
+        if left <= 0:
+            return False
+        self._corrupt_pending[shard] = left - 1
+        self.note("corrupt_reply")
+        return True
+
+    def heartbeat_suppressed(self, shard: int, tick: int) -> bool:
+        """Whether ``shard``'s heartbeat is being swallowed at ``tick``."""
+        suppressed = tick <= self._suppressed_until.get(shard, -1)
+        if suppressed:
+            self.note("delay_heartbeats")
+        return suppressed
+
+    def consume_crash_loop(self, shard: int) -> bool:
+        """Whether the restart that just completed should die again."""
+        left = self._crash_loops.get(shard, 0)
+        if left <= 0:
+            return False
+        self._crash_loops[shard] = left - 1
+        self.note("crash_loop")
+        return True
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())

@@ -1,0 +1,255 @@
+"""The cluster control plane: health, heartbeats, restarts, breakers.
+
+Time here is the stream's logical tick (one tick per arrival), so every
+health decision is reproducible: heartbeats fire every
+``heartbeat_interval`` ticks, a shard that misses ``suspect_after``
+consecutive probes turns SUSPECT and ``down_after`` misses mark it DOWN,
+and restarts are scheduled ``restart_delay`` ticks out.  Each shard gets
+its own :class:`~repro.resilience.policy.CircuitBreaker` running on the
+same tick clock -- a dead shard trips its breaker on the first failed
+call (``failure_threshold=1``: a SIGKILLed worker is not a flaky one),
+and the breaker's open -> half-open -> closed recovery paces when the
+router resumes sending real traffic after a restart.
+
+Restarts *replay*: the control plane brings the worker up and then asks
+the router (via a callback) to re-send every committed instance owned by
+the shard's vendors plus the shard's decision cache, so budgets resume
+exactly where the cluster left them.  A shard whose restarts keep dying
+(a chaos ``crash_loop``, or replay itself failing) is given up on after
+``max_restarts`` attempts and marked FAILED -- the degradation ladder
+then owns its traffic for the rest of the episode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.chaos import ChaosController
+from repro.exceptions import ResilienceError
+from repro.obs.recorder import recorder
+from repro.resilience.policy import BreakerState, CircuitBreaker
+
+
+class ShardHealth(enum.Enum):
+    """Lifecycle states of one shard as seen by the control plane."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    DOWN = "down"
+    FAILED = "failed"
+
+
+@dataclass
+class ShardState:
+    """Mutable per-shard health bookkeeping."""
+
+    shard: int
+    health: ShardHealth = ShardHealth.HEALTHY
+    missed_heartbeats: int = 0
+    restarts: int = 0
+    down_since: Optional[int] = None
+
+
+class ControlPlane:
+    """Watches shard hosts and drives recovery.
+
+    Args:
+        hosts: shard id -> host (inline or process transport).
+        heartbeat_interval: Probe every N ticks.
+        suspect_after: Consecutive misses before SUSPECT.
+        down_after: Consecutive misses before DOWN (and a restart).
+        restart_delay: Ticks between detecting DOWN and restarting.
+        max_restarts: Restart attempts before giving a shard up.
+        breaker_recovery: Breaker open -> half-open cool-down, in ticks.
+    """
+
+    def __init__(
+        self,
+        hosts: Dict[int, object],
+        heartbeat_interval: int = 8,
+        suspect_after: int = 1,
+        down_after: int = 2,
+        restart_delay: int = 2,
+        max_restarts: int = 3,
+        breaker_recovery: float = 4.0,
+    ) -> None:
+        self._hosts = hosts
+        self.heartbeat_interval = max(1, heartbeat_interval)
+        self.suspect_after = suspect_after
+        self.down_after = down_after
+        self.restart_delay = restart_delay
+        self.max_restarts = max_restarts
+        self._tick = 0
+        self.states: Dict[int, ShardState] = {
+            shard: ShardState(shard=shard) for shard in hosts
+        }
+        self.breakers: Dict[int, CircuitBreaker] = {
+            shard: CircuitBreaker(
+                name=f"shard-{shard}",
+                clock=self._clock,
+                failure_threshold=1,
+                recovery_timeout=breaker_recovery,
+            )
+            for shard in hosts
+        }
+        self._restart_due: Dict[int, int] = {}
+        self.heartbeats = 0
+        self.heartbeats_missed = 0
+        self.restarts_performed = 0
+        self.replayed_instances = 0
+
+    def _clock(self) -> float:
+        return float(self._tick)
+
+    def begin_tick(self, tick: int) -> None:
+        self._tick = tick
+
+    # -- router-facing signals --------------------------------------------
+
+    def note_failure(self, shard: int, tick: int) -> None:
+        """A request to ``shard`` failed; trip its breaker, mark it."""
+        self.breakers[shard].record_failure()
+        state = self.states[shard]
+        if state.health in (ShardHealth.DOWN, ShardHealth.FAILED):
+            return
+        host = self._hosts[shard]
+        if not host.alive:
+            self._mark_down(state, tick)
+        elif state.health is ShardHealth.HEALTHY:
+            state.health = ShardHealth.SUSPECT
+
+    def note_success(self, shard: int) -> None:
+        """A request to ``shard`` succeeded; heal its bookkeeping."""
+        self.breakers[shard].record_success()
+        state = self.states[shard]
+        if state.health is ShardHealth.SUSPECT:
+            state.health = ShardHealth.HEALTHY
+        state.missed_heartbeats = 0
+
+    def serving(self, shard: int) -> bool:
+        """Whether the router should even try this shard."""
+        return self.states[shard].health is not ShardHealth.FAILED
+
+    # -- heartbeats --------------------------------------------------------
+
+    def heartbeat_due(self, tick: int) -> bool:
+        return tick % self.heartbeat_interval == 0
+
+    def heartbeat_round(self, tick: int, chaos: ChaosController) -> None:
+        """Probe every serving shard; misses escalate health state."""
+        from repro.cluster.protocol import HeartbeatRequest, unseal
+
+        rec = recorder()
+        for shard, host in self._hosts.items():
+            state = self.states[shard]
+            if state.health in (ShardHealth.DOWN, ShardHealth.FAILED):
+                continue  # restart pending (or given up); don't probe
+            self.heartbeats += 1
+            if chaos.heartbeat_suppressed(shard, tick):
+                self._heartbeat_miss(state, tick, rec, reason="suppressed")
+                continue
+            try:
+                unseal(host.request(HeartbeatRequest(tick=tick)))
+            except ResilienceError:
+                self._heartbeat_miss(state, tick, rec, reason="unreachable")
+                continue
+            state.missed_heartbeats = 0
+            if state.health is ShardHealth.SUSPECT:
+                state.health = ShardHealth.HEALTHY
+
+    def _heartbeat_miss(self, state, tick, rec, reason: str) -> None:
+        state.missed_heartbeats += 1
+        self.heartbeats_missed += 1
+        rec.event(
+            "cluster.heartbeat_miss",
+            shard=state.shard,
+            misses=state.missed_heartbeats,
+            reason=reason,
+        )
+        if state.missed_heartbeats >= self.down_after:
+            self._mark_down(state, tick)
+        elif state.missed_heartbeats >= self.suspect_after:
+            state.health = ShardHealth.SUSPECT
+
+    # -- restarts ----------------------------------------------------------
+
+    def _mark_down(self, state: ShardState, tick: int) -> None:
+        state.health = ShardHealth.DOWN
+        state.down_since = tick
+        if state.restarts >= self.max_restarts:
+            self._give_up(state)
+            return
+        self._restart_due.setdefault(
+            state.shard, tick + self.restart_delay
+        )
+
+    def _give_up(self, state: ShardState) -> None:
+        state.health = ShardHealth.FAILED
+        self._restart_due.pop(state.shard, None)
+        recorder().event("cluster.shard_failed", shard=state.shard)
+
+    def tend(
+        self,
+        tick: int,
+        chaos: ChaosController,
+        replay: Callable[[int], Optional[int]],
+    ) -> None:
+        """Perform due restarts: bring the worker up, replay, re-serve.
+
+        Args:
+            tick: Current logical tick.
+            chaos: Consulted for crash-loop faults on each restart.
+            replay: ``shard -> replayed instance count`` callback (the
+                router re-sends committed state); ``None`` means the
+                replay itself failed and the restart is treated as dead.
+        """
+        rec = recorder()
+        for shard in sorted(self._restart_due):
+            if tick < self._restart_due[shard]:
+                continue
+            del self._restart_due[shard]
+            state = self.states[shard]
+            state.restarts += 1
+            rec.event(
+                "cluster.restart", shard=shard, attempt=state.restarts
+            )
+            host = self._hosts[shard]
+            host.restart()
+            crashed = chaos.consume_crash_loop(shard)
+            replayed: Optional[int] = None
+            if crashed:
+                host.kill()
+            else:
+                replayed = replay(shard)
+            if crashed or replayed is None:
+                if state.restarts >= self.max_restarts:
+                    self._give_up(state)
+                else:
+                    self._restart_due[shard] = tick + self.restart_delay
+                continue
+            self.restarts_performed += 1
+            self.replayed_instances += replayed
+            state.health = ShardHealth.HEALTHY
+            state.missed_heartbeats = 0
+            state.down_since = None
+
+    # -- reporting ---------------------------------------------------------
+
+    def breaker_transitions(self) -> List[Tuple[str, float, str, str]]:
+        """All shard breaker transitions as ``(dep, t, from, to)`` rows."""
+        rows: List[Tuple[str, float, str, str]] = []
+        for shard in sorted(self.breakers):
+            breaker = self.breakers[shard]
+            for when, from_state, to_state in breaker.transitions:
+                rows.append(
+                    (breaker.name, when, from_state.value, to_state.value)
+                )
+        return rows
+
+    def health_card(self) -> Dict[int, str]:
+        return {
+            shard: state.health.value
+            for shard, state in sorted(self.states.items())
+        }

@@ -1,0 +1,167 @@
+"""Wire protocol between the cluster router and shard workers.
+
+Every message crossing a shard boundary -- in either direction, over
+either transport -- travels inside an :class:`Envelope`: the pickled
+payload plus a CRC-32 of those exact bytes.  :func:`unseal` verifies
+the checksum before unpickling, so a corrupted reply surfaces as a
+:class:`CorruptMessageError` (a :class:`~repro.exceptions.TransientError`)
+instead of silently decoding into garbage decisions.  Because workers
+keep an idempotent per-customer decision cache, the router can simply
+retry a corrupted exchange and receive the same decision again.
+
+The message types are deliberately small, frozen dataclasses: ticks are
+logical arrival indices (the cluster's only notion of time shared with
+chaos plans), and replies optionally carry a drained
+:class:`~repro.obs.recorder.RecorderSnapshot` so every worker's spans
+land on the router's merged timeline.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.assignment import AdInstance
+from repro.core.entities import Customer
+from repro.exceptions import TransientError
+
+
+class CorruptMessageError(TransientError):
+    """An envelope failed its checksum; the exchange should be retried."""
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A checksummed, pickled message.
+
+    Attributes:
+        payload: ``pickle.dumps`` of the message object.
+        crc: CRC-32 of ``payload`` computed at seal time.
+    """
+
+    payload: bytes
+    crc: int
+
+
+def seal(message: object) -> Envelope:
+    """Pickle a message and stamp its checksum."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return Envelope(payload=payload, crc=zlib.crc32(payload))
+
+
+def unseal(envelope: Envelope) -> object:
+    """Verify an envelope's checksum and unpickle its message.
+
+    Raises:
+        CorruptMessageError: If the payload does not match the stamped
+            checksum (bit-rot, a chaos fault, a torn write).
+    """
+    if zlib.crc32(envelope.payload) != envelope.crc:
+        raise CorruptMessageError(
+            f"envelope checksum mismatch "
+            f"(expected {envelope.crc:#010x}, "
+            f"got {zlib.crc32(envelope.payload):#010x})"
+        )
+    return pickle.loads(envelope.payload)
+
+
+def corrupt(envelope: Envelope, position: int = 0) -> Envelope:
+    """Flip one payload byte, keeping the stale checksum (fault model).
+
+    Used by chaos plans to model an in-flight bit flip; ``unseal`` on
+    the result raises :class:`CorruptMessageError`.
+    """
+    payload = bytearray(envelope.payload)
+    if payload:
+        index = position % len(payload)
+        payload[index] ^= 0xFF
+    return Envelope(payload=bytes(payload), crc=envelope.crc)
+
+
+@dataclass(frozen=True)
+class DecideRequest:
+    """Route one arriving customer to its shard for a decision."""
+
+    tick: int
+    customer: Customer
+
+
+@dataclass(frozen=True)
+class DecideReply:
+    """A shard's decision for one customer.
+
+    Attributes:
+        tick: Echo of the request tick.
+        shard: The deciding shard id.
+        instances: The picked instances, in commit order (the router
+            applies them to the global assignment in this order).
+        cached: True when served from the idempotent decision cache
+            (a retried exchange), so duplicates are observable.
+        obs: Drained worker spans/metrics since the last reply, or
+            ``None`` when the worker records nothing.
+    """
+
+    tick: int
+    shard: int
+    instances: Tuple[AdInstance, ...]
+    cached: bool = False
+    obs: Optional[object] = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class HeartbeatRequest:
+    """Control-plane liveness probe."""
+
+    tick: int
+
+
+@dataclass(frozen=True)
+class HeartbeatReply:
+    """A worker's liveness answer with its commit counters."""
+
+    tick: int
+    shard: int
+    decided: int
+    committed: int
+
+
+@dataclass(frozen=True)
+class ReplayRequest:
+    """State restoration after a worker restart.
+
+    Attributes:
+        instances: Every globally-committed instance owned by the
+            shard's vendors (including ones committed by degraded-path
+            decisions while the worker was down) -- re-seeds the
+            worker-local budget bookkeeping.
+        decided: ``(customer_id, picked_instances)`` pairs for customers
+            this shard already decided -- re-seeds the idempotent
+            decision cache so retried exchanges stay duplicate-free
+            across a restart.
+    """
+
+    instances: Tuple[AdInstance, ...] = ()
+    decided: Tuple[Tuple[int, Tuple[AdInstance, ...]], ...] = ()
+
+
+@dataclass(frozen=True)
+class ReplayReply:
+    """Acknowledgement of a replay with restoration counters."""
+
+    shard: int
+    replayed_instances: int
+    replayed_decisions: int
+
+
+@dataclass(frozen=True)
+class ShutdownRequest:
+    """Ask a worker to exit its serving loop cleanly."""
+
+
+@dataclass(frozen=True)
+class ShutdownReply:
+    """A worker's final acknowledgement before exiting."""
+
+    shard: int

@@ -1,0 +1,371 @@
+"""The cluster router: forwards arrivals to shard workers, merges state.
+
+Every arriving customer is routed by
+:meth:`~repro.sharding.plan.ShardPlan.route` to its owning shard and
+decided there; the router is the sole writer of the *global*
+assignment, so budgets and capacities stay authoritative in one place
+while each worker mirrors only its own vendors' spend.  Replies travel
+in checksummed envelopes; a corrupted reply is retried (workers decide
+idempotently, so a retry returns the identical decision) and only a
+persistently failing exchange escalates to the shard's circuit breaker.
+
+When a shard cannot serve -- worker dead, breaker open, retries
+exhausted, shard given up -- the decision walks the degradation ladder:
+
+1. ``replica``: decide on the router's own copy of the shard view with
+   the primary algorithm (full quality, router-side CPU);
+2. ``static``: a static-threshold O-AFA over the whole problem;
+3. ``nearest``: the nearest-vendor heuristic;
+4. ``shed``: drop the customer (counted, never an exception).
+
+Each tier is attempted in order and any :class:`ResilienceError` falls
+through to the next, so a customer always gets *an* answer and chaos
+runs finish with zero unhandled exceptions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.algorithms.nearest import NearestVendor
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.algorithms.online_static import OnlineStaticThreshold
+from repro.cluster.chaos import ChaosController
+from repro.cluster.control import ControlPlane
+from repro.cluster.protocol import (
+    CorruptMessageError,
+    DecideRequest,
+    ReplayRequest,
+    corrupt,
+    unseal,
+)
+from repro.core.assignment import AdInstance
+from repro.core.entities import Customer
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ResilienceError,
+    ShardUnavailableError,
+)
+from repro.obs.recorder import recorder
+from repro.stream.simulator import ResilienceStats
+
+#: Default degradation ladder, best tier first.
+DEFAULT_LADDER = ("replica", "static", "nearest", "shed")
+
+
+@dataclass
+class ClusterStats:
+    """Counters and rollups of one cluster episode.
+
+    ``decisions_by_path`` keys are ``shard`` (a worker decided),
+    ``local`` (unroutable customer decided by the router), the ladder
+    tiers, and ``shed``.
+    """
+
+    decisions_by_path: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    corrupt_replies: int = 0
+    shard_failures: int = 0
+    duplicates_served: int = 0
+    rejected_instances: int = 0
+    shed: int = 0
+    heartbeats: int = 0
+    heartbeats_missed: int = 0
+    restarts: int = 0
+    replayed_instances: int = 0
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    breaker_transitions: List[Tuple[str, float, str, str]] = field(
+        default_factory=list
+    )
+    breaker_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    shard_health: Dict[int, str] = field(default_factory=dict)
+    router_latencies: List[float] = field(default_factory=list, repr=False)
+
+    @property
+    def decisions(self) -> int:
+        return sum(self.decisions_by_path.values())
+
+    @property
+    def degraded_decisions(self) -> int:
+        """Decisions that did not reach a live shard worker."""
+        return sum(
+            count
+            for path, count in self.decisions_by_path.items()
+            if path not in ("shard", "local")
+        )
+
+    @property
+    def breaker_opens(self) -> int:
+        return sum(
+            1 for _, _, _, to_state in self.breaker_transitions
+            if to_state == "open"
+        )
+
+    def as_extras(self) -> Dict[str, float]:
+        """Flatten for :attr:`repro.algorithms.base.SolveResult.extras`."""
+        extras = {
+            "cluster_retries": float(self.retries),
+            "cluster_corrupt_replies": float(self.corrupt_replies),
+            "cluster_shard_failures": float(self.shard_failures),
+            "cluster_restarts": float(self.restarts),
+            "cluster_replayed_instances": float(self.replayed_instances),
+            "cluster_heartbeats_missed": float(self.heartbeats_missed),
+            "cluster_degraded_decisions": float(self.degraded_decisions),
+            "cluster_shed": float(self.shed),
+            "cluster_faults_injected": float(
+                sum(self.faults_injected.values())
+            ),
+        }
+        for path in sorted(self.decisions_by_path):
+            extras[f"cluster_path.{path}"] = float(
+                self.decisions_by_path[path]
+            )
+        for dep in sorted(self.breaker_counts):
+            for state in sorted(self.breaker_counts[dep]):
+                extras[f"cluster_breaker_{state}.{dep}"] = float(
+                    self.breaker_counts[dep][state]
+                )
+        return extras
+
+
+class ClusterRouter:
+    """Routes one arrival stream across shard hosts.
+
+    Args:
+        problem: The global problem (budgets/capacities authority).
+        plan: The shard plan used for routing and replica views.
+        hosts: shard id -> host.
+        control: The control plane owning health and breakers.
+        chaos: Active chaos controller (fault injection points).
+        gamma_min: Calibrated primary-threshold parameters (identical
+            to what the workers run, for parity).
+        g: Threshold growth constant.
+        retry_attempts: Extra attempts after a corrupted reply.
+        ladder: Degradation tiers, tried in order.
+    """
+
+    def __init__(
+        self,
+        problem,
+        plan,
+        hosts: Dict[int, object],
+        control: ControlPlane,
+        chaos: ChaosController,
+        gamma_min: float,
+        g: float,
+        retry_attempts: int = 2,
+        ladder: Tuple[str, ...] = DEFAULT_LADDER,
+    ) -> None:
+        self._problem = problem
+        self._plan = plan
+        self._hosts = hosts
+        self._control = control
+        self._chaos = chaos
+        self._retry_attempts = retry_attempts
+        self._ladder = ladder
+        self._primary = OnlineAdaptiveFactorAware(gamma_min=gamma_min, g=g)
+        self._primary.reset(problem)
+        self._static = OnlineStaticThreshold(0.0)
+        self._static.reset(problem)
+        self._nearest = NearestVendor()
+        self._nearest.reset(problem)
+        self.assignment = problem.new_assignment()
+        self._seen: set = set()
+        self._committed_by_shard: Dict[int, List[AdInstance]] = {}
+        self._decided_by_shard: Dict[
+            int, List[Tuple[int, Tuple[AdInstance, ...]]]
+        ] = {}
+        self.stats = ClusterStats()
+
+    # -- the per-arrival path ---------------------------------------------
+
+    def decide(self, customer: Customer, tick: int) -> List[AdInstance]:
+        """Route, decide, and commit one arriving customer."""
+        start = time.perf_counter()
+        self._seen.add(customer.customer_id)
+        rec = recorder()
+        with rec.span(
+            "cluster.decision", customer=customer.customer_id, tick=tick
+        ):
+            picked, path = self._route(customer, tick)
+            committed = self._commit(picked)
+        self.stats.decisions_by_path[path] = (
+            self.stats.decisions_by_path.get(path, 0) + 1
+        )
+        rec.count(f"cluster.path.{path}")
+        self.stats.router_latencies.append(time.perf_counter() - start)
+        if path == "shard":
+            shard = self._plan.route(customer)
+            self._decided_by_shard.setdefault(shard, []).append(
+                (customer.customer_id, tuple(picked))
+            )
+        return committed
+
+    def _route(
+        self, customer: Customer, tick: int
+    ) -> Tuple[List[AdInstance], str]:
+        rec = recorder()
+        shard = self._plan.route(customer)
+        if shard is None:
+            picked = self._primary.process_customer(
+                self._problem, customer, self.assignment
+            )
+            return list(picked), "local"
+        if not self._control.serving(shard):
+            return self._degrade(customer, shard, tick, "shard_failed")
+        breaker = self._control.breakers[shard]
+        try:
+            breaker.admit()
+        except CircuitOpenError:
+            rec.count("cluster.breaker_rejections")
+            return self._degrade(customer, shard, tick, "breaker_open")
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                envelope = self._hosts[shard].request(
+                    DecideRequest(tick=tick, customer=customer)
+                )
+                if self._chaos.should_corrupt(shard):
+                    envelope = corrupt(
+                        envelope, self._chaos.corrupt_position()
+                    )
+                    self.stats.corrupt_replies += 1
+                reply = unseal(envelope)
+                break
+            except CorruptMessageError:
+                self.stats.retries += 1
+                rec.count("cluster.retries")
+                if attempts <= self._retry_attempts:
+                    continue
+                self._control.note_failure(shard, tick)
+                self.stats.shard_failures += 1
+                return self._degrade(
+                    customer, shard, tick, "retries_exhausted"
+                )
+            except (ShardUnavailableError, DeadlineExceededError):
+                self._control.note_failure(shard, tick)
+                self.stats.shard_failures += 1
+                rec.event(
+                    "cluster.shard_loss",
+                    shard=shard,
+                    tick=tick,
+                    customer=customer.customer_id,
+                )
+                return self._degrade(customer, shard, tick, "shard_down")
+        self._control.note_success(shard)
+        if reply.cached:
+            self.stats.duplicates_served += 1
+        if reply.obs is not None and rec.enabled:
+            rec.merge(reply.obs)
+        return list(reply.instances), "shard"
+
+    def _degrade(
+        self,
+        customer: Customer,
+        shard: Optional[int],
+        tick: int,
+        reason: str,
+    ) -> Tuple[List[AdInstance], str]:
+        rec = recorder()
+        rec.event(
+            "cluster.fallback",
+            shard=-1 if shard is None else shard,
+            customer=customer.customer_id,
+            reason=reason,
+        )
+        for tier in self._ladder:
+            try:
+                if tier == "replica":
+                    if shard is None:
+                        continue
+                    view = self._plan.problem_for(shard)
+                    with rec.span(
+                        "cluster.replica_decision",
+                        shard=shard,
+                        customer=customer.customer_id,
+                    ):
+                        picked = self._primary.process_customer(
+                            view, customer, self.assignment
+                        )
+                    return list(picked), "replica"
+                if tier == "static":
+                    picked = self._static.process_customer(
+                        self._problem, customer, self.assignment
+                    )
+                    return list(picked), "static"
+                if tier == "nearest":
+                    picked = self._nearest.process_customer(
+                        self._problem, customer, self.assignment
+                    )
+                    return list(picked), "nearest"
+            except ResilienceError:
+                continue
+            if tier == "shed":
+                break
+        self.stats.shed += 1
+        rec.count("cluster.shed")
+        return [], "shed"
+
+    def _commit(self, picked: List[AdInstance]) -> List[AdInstance]:
+        rec = recorder()
+        committed: List[AdInstance] = []
+        for instance in picked:
+            if instance.customer_id not in self._seen:
+                self.stats.rejected_instances += 1
+                continue
+            if self.assignment.add(instance, strict=False):
+                committed.append(instance)
+                rec.count("cluster.commits")
+                owner = self._plan.shard_of_vendor.get(instance.vendor_id)
+                if owner is not None:
+                    self._committed_by_shard.setdefault(owner, []).append(
+                        instance
+                    )
+            else:
+                self.stats.rejected_instances += 1
+                rec.count("cluster.rejected_instances")
+        return committed
+
+    # -- recovery support --------------------------------------------------
+
+    def replay(self, shard: int) -> Optional[int]:
+        """Re-seed a restarted worker from the authoritative state.
+
+        Returns the replayed instance count, or ``None`` when the
+        replay exchange itself failed (the control plane treats that
+        restart as dead).
+        """
+        request = ReplayRequest(
+            instances=tuple(self._committed_by_shard.get(shard, ())),
+            decided=tuple(self._decided_by_shard.get(shard, ())),
+        )
+        try:
+            reply = unseal(self._hosts[shard].request(request))
+        except ResilienceError:
+            return None
+        recorder().event(
+            "cluster.replayed",
+            shard=shard,
+            instances=reply.replayed_instances,
+            decisions=reply.replayed_decisions,
+        )
+        return reply.replayed_instances
+
+    def finalize(self) -> ClusterStats:
+        """Fold control-plane and chaos rollups into the stats."""
+        stats = self.stats
+        stats.breaker_transitions = self._control.breaker_transitions()
+        stats.breaker_counts = ResilienceStats.count_transitions(
+            stats.breaker_transitions
+        )
+        stats.shard_health = self._control.health_card()
+        stats.heartbeats = self._control.heartbeats
+        stats.heartbeats_missed = self._control.heartbeats_missed
+        stats.restarts = self._control.restarts_performed
+        stats.replayed_instances = self._control.replayed_instances
+        stats.faults_injected = dict(self._chaos.injected)
+        return stats

@@ -1,0 +1,239 @@
+"""Shard hosts: the router's handle on one worker, over two transports.
+
+Both hosts share one contract: :meth:`request` takes a protocol message,
+moves it through a sealed :class:`~repro.cluster.protocol.Envelope`
+round-trip, and returns the *reply envelope* (the router unseals it, so
+chaos corruption can be applied uniformly at the boundary).  ``kill``
+models abrupt shard loss, ``restart`` brings a fresh worker up with
+empty state (the control plane replays committed budgets afterwards).
+
+* :class:`ProcessShardHost` forks a real child process per shard
+  (pipe RPC, SIGKILL on ``kill``); the worker re-assembles its engine
+  from the shared-memory columns, so a restart re-attaches to the same
+  block -- the parent keeps the shipment alive for the episode.
+* :class:`InlineShardHost` runs the identical
+  :class:`~repro.cluster.worker.ShardServer` in-process with the same
+  envelope round-trip.  It is deterministic and fork-free, which is
+  what chaos tests and the parity gate run on; ``kill`` flips a dead
+  flag and drops the server (state loss included).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional
+
+from repro.cluster.protocol import (
+    Envelope,
+    ShutdownRequest,
+    seal,
+    unseal,
+)
+from repro.cluster.worker import ShardServer, worker_main
+from repro.exceptions import DeadlineExceededError, ShardUnavailableError
+from repro.parallel.shm import ColumnHandle
+
+
+class InlineShardHost:
+    """An in-process shard host (deterministic transport).
+
+    Args:
+        shard_id: The shard index.
+        problem: The shard's problem view.
+        handle: Optional shm handle for engine reconstruction; ``None``
+            scores locally.
+        gamma_min: Calibrated threshold parameters (see
+            :class:`~repro.cluster.worker.ShardServer`).
+        g: Threshold growth constant.
+        obs: Ship worker span snapshots in replies.
+    """
+
+    transport = "inline"
+
+    def __init__(
+        self,
+        shard_id: int,
+        problem,
+        handle: Optional[ColumnHandle],
+        gamma_min: float,
+        g: float,
+        obs: bool = False,
+    ) -> None:
+        self.shard_id = shard_id
+        self._problem = problem
+        self._handle = handle
+        self._gamma_min = gamma_min
+        self._g = g
+        self._obs = obs
+        self._server: Optional[ShardServer] = ShardServer(
+            shard_id, problem, handle, gamma_min, g, obs=obs
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self._server is not None
+
+    def request(self, message: object, timeout: float = 10.0) -> Envelope:
+        """Serve one sealed exchange; returns the reply envelope."""
+        if self._server is None:
+            raise ShardUnavailableError(
+                f"shard {self.shard_id} worker is down"
+            )
+        # The envelope round-trip is not decorative: requests and
+        # replies cross the same checksum boundary as the process
+        # transport, so corruption faults behave identically.
+        request = unseal(seal(message))
+        return seal(self._server.handle(request))
+
+    def kill(self) -> None:
+        """Abrupt loss: the server and all its local state are dropped."""
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    def restart(self) -> None:
+        """Bring up a fresh worker with empty state (replay follows)."""
+        self.kill()
+        self._server = ShardServer(
+            self.shard_id,
+            self._problem,
+            self._handle,
+            self._gamma_min,
+            self._g,
+            obs=self._obs,
+        )
+
+    def close(self) -> None:
+        self.kill()
+
+
+class ProcessShardHost:
+    """A forked worker process per shard, spoken to over a pipe.
+
+    The fork start method is required: the shard problem view rides
+    fork inheritance (entity objects need no pickling) while the
+    engine columns ride shared memory.  ``kill`` sends SIGKILL -- the
+    worker gets no chance to flush or reply, exactly like a crashed
+    container.
+
+    Args:
+        shard_id: The shard index.
+        problem: The shard's problem view (fork-inherited).
+        handle: Shm handle the worker attaches its engine to; the
+            parent must keep the shipment open while workers run.
+        gamma_min: Calibrated threshold parameters.
+        g: Threshold growth constant.
+        obs: Ship worker span snapshots in replies.
+        timeout: Default per-request reply deadline in seconds.
+    """
+
+    transport = "process"
+
+    def __init__(
+        self,
+        shard_id: int,
+        problem,
+        handle: Optional[ColumnHandle],
+        gamma_min: float,
+        g: float,
+        obs: bool = False,
+        timeout: float = 30.0,
+    ) -> None:
+        self.shard_id = shard_id
+        self._problem = problem
+        self._handle = handle
+        self._gamma_min = gamma_min
+        self._g = g
+        self._obs = obs
+        self._timeout = timeout
+        self._ctx = multiprocessing.get_context("fork")
+        self._proc = None
+        self._conn = None
+        self._start()
+
+    def _start(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(
+                child_conn,
+                self.shard_id,
+                self._problem,
+                self._handle,
+                self._gamma_min,
+                self._g,
+                self._obs,
+            ),
+            daemon=True,
+            name=f"repro-shard-{self.shard_id}",
+        )
+        proc.start()
+        child_conn.close()
+        self._proc = proc
+        self._conn = parent_conn
+
+    @property
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.is_alive()
+
+    def request(
+        self, message: object, timeout: Optional[float] = None
+    ) -> Envelope:
+        """One pipe round-trip; returns the reply envelope.
+
+        Raises:
+            ShardUnavailableError: The worker is dead or the pipe broke.
+            DeadlineExceededError: No reply within the timeout.
+        """
+        if not self.alive or self._conn is None:
+            raise ShardUnavailableError(
+                f"shard {self.shard_id} worker process is down"
+            )
+        deadline = self._timeout if timeout is None else timeout
+        try:
+            self._conn.send(seal(message))
+            if not self._conn.poll(deadline):
+                raise DeadlineExceededError(
+                    f"shard {self.shard_id} reply exceeded {deadline:.1f}s"
+                )
+            return self._conn.recv()
+        except (BrokenPipeError, ConnectionResetError, EOFError) as exc:
+            raise ShardUnavailableError(
+                f"shard {self.shard_id} transport failed: {exc!r}"
+            ) from exc
+
+    def kill(self) -> None:
+        """SIGKILL the worker (abrupt loss, no cleanup on its side)."""
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc.join(timeout=5.0)
+        self._drop_channel()
+
+    def restart(self) -> None:
+        """Fork a fresh worker; it re-attaches the same shm columns."""
+        self.kill()
+        self._start()
+
+    def close(self) -> None:
+        """Polite shutdown; falls back to kill on any trouble."""
+        if self._proc is None:
+            return
+        if self.alive and self._conn is not None:
+            try:
+                self._conn.send(seal(ShutdownRequest()))
+                if self._conn.poll(5.0):
+                    self._conn.recv()
+            except (BrokenPipeError, ConnectionResetError, EOFError, OSError):
+                pass
+        proc = self._proc
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.kill()
+            proc.join(timeout=5.0)
+        self._drop_channel()
+
+    def _drop_channel(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+        self._conn = None
+        self._proc = None

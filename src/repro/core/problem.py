@@ -174,6 +174,22 @@ class MUAAProblem:
                 self._engine_miss = MISS
         return self._engine
 
+    def adopt_engine(self, engine) -> None:
+        """Install a pre-built compute engine for this problem.
+
+        Shard worker processes reconstruct their engine from columns
+        shipped over shared memory
+        (:meth:`repro.engine.ComputeEngine.from_prescored`) instead of
+        re-scoring locally; this hands the result to the problem so
+        every point lookup rides it.  The engine must have been built
+        against this problem's entities.
+        """
+        from repro.engine.engine import MISS
+
+        self._engine = engine
+        self._engine_miss = MISS
+        self._engine_unsupported = False
+
     def _engine_base(
         self, customer_id: int, vendor_id: int
     ) -> Optional[float]:

@@ -100,6 +100,30 @@ class ComputeEngine:
             return None
         return cls(problem, arrays)
 
+    @classmethod
+    def from_prescored(
+        cls,
+        problem,
+        edges: CandidateEdges,
+        bases: np.ndarray,
+    ) -> Optional["ComputeEngine"]:
+        """An engine whose edge table and pair bases were computed
+        elsewhere (typically shipped into a worker process over shared
+        memory; the arrays may be read-only views into that block).
+
+        The caller asserts that ``edges``/``bases`` were built for
+        exactly this problem's entities; everything downstream (edge
+        index, utility rows, level tables) derives from them locally.
+        Returns ``None`` when the utility model has no vectorized
+        kernel, mirroring :meth:`create`.
+        """
+        engine = cls.create(problem)
+        if engine is None:
+            return None
+        engine._edges = edges
+        engine._bases = np.asarray(bases)
+        return engine
+
     # ------------------------------------------------------------------
     # Columnar state
     # ------------------------------------------------------------------

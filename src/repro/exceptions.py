@@ -75,5 +75,15 @@ class DeadlineExceededError(ResilienceError):
     """A call (or decision) took longer than its configured deadline."""
 
 
+class ShardUnavailableError(ResilienceError):
+    """A cluster shard worker cannot serve requests.
+
+    Raised by a shard host when its worker process is dead (killed,
+    crashed, or not yet restarted) or its transport channel is broken.
+    Routers treat this as the signal to fail over to the degradation
+    ladder and let the control plane schedule a restart.
+    """
+
+
 class DataFormatError(ReproError):
     """An external data file does not match the expected schema."""

@@ -1,5 +1,6 @@
 """Experiment harness: measures, runners, sweeps, figures, reporting."""
 
+from repro.experiments.chaos_matrix import retention_matrix, retention_of
 from repro.experiments.figures import (
     fig3_budget,
     fig4_radius,
@@ -84,4 +85,6 @@ __all__ = [
     "run_panel",
     "SweepResult",
     "run_sweep",
+    "retention_matrix",
+    "retention_of",
 ]

@@ -1,0 +1,132 @@
+"""Chaos retention matrix: utility under shard loss, as experiment rows.
+
+The robustness twin of the figure experiments: instead of sweeping a
+workload parameter, :func:`retention_matrix` sweeps *when* a shard dies
+(early / midway / late in the arrival stream) and reports each episode
+as a :class:`~repro.experiments.measures.Row` -- utility, per-decision
+latency, and the cluster's resilience counters in ``extras`` -- next to
+the fault-free cluster and the in-process sharded baseline.  Retention
+is read straight off the table: every chaos row's utility over the
+``baseline`` row's.
+
+Episodes run on the deterministic inline transport, so the matrix is
+reproducible anywhere (CI included) for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.algorithms.calibration import calibrate_from_problem
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.cluster.chaos import ChaosPlan
+from repro.cluster.episode import ClusterConfig, run_episode
+from repro.experiments.measures import Row
+from repro.sharding import ShardPlan
+from repro.stream.simulator import OnlineSimulator
+
+#: Experiment id used in the emitted rows.
+EXPERIMENT = "chaos-matrix"
+
+#: Default kill points as fractions of the arrival stream.
+DEFAULT_KILL_FRACTIONS = (0.25, 0.5, 0.75)
+
+
+def retention_matrix(
+    problem_factory,
+    shards: int = 4,
+    kill_fractions: Sequence[float] = DEFAULT_KILL_FRACTIONS,
+    seed: int = 0,
+    config: Optional[ClusterConfig] = None,
+) -> List[Row]:
+    """Measure utility retention across shard-kill timings.
+
+    Args:
+        problem_factory: Zero-argument callable returning a *fresh*
+            problem instance per episode (caches must not leak between
+            runs, same discipline as the benchmarks).
+        shards: Cluster size; each chaos episode kills one seeded
+            victim shard.
+        kill_fractions: Stream positions (0..1) at which the victim
+            dies; one row per position.
+        seed: Chaos seed (victim selection).
+        config: Episode knobs; transport is forced to ``inline``.
+
+    Returns:
+        Rows: ``baseline`` (in-process sharded simulator),
+        ``cluster`` (zero faults), and one ``cluster-kill@f`` row per
+        kill fraction.
+    """
+    base = config or ClusterConfig(shards=shards)
+    cfg = ClusterConfig(
+        **{
+            **base.__dict__,
+            "shards": shards,
+            "transport": "inline",
+        }
+    )
+    rows: List[Row] = []
+
+    problem = problem_factory()
+    plan = ShardPlan.build(problem, shards)
+    bounds = calibrate_from_problem(
+        problem,
+        sample_customers=cfg.sample_customers,
+        seed=cfg.calibration_seed,
+    )
+    algorithm = OnlineAdaptiveFactorAware(
+        gamma_min=bounds.gamma_min, g=bounds.g
+    )
+    baseline = OnlineSimulator(problem).run(
+        algorithm, warm_engine=True, shard_plan=plan
+    )
+    n_customers = len(problem.customers)
+    rows.append(
+        Row(
+            experiment=EXPERIMENT,
+            parameter="baseline",
+            algorithm="SHARDED-SIM",
+            total_utility=baseline.total_utility,
+            wall_time=sum(baseline.latencies),
+            per_customer_seconds=baseline.mean_latency,
+            n_instances=len(baseline.assignment),
+        )
+    )
+
+    def episode_row(parameter: str, chaos) -> Row:
+        fresh = problem_factory()
+        result = run_episode(fresh, cfg, chaos=chaos)
+        latencies = result.stats.router_latencies
+        return Row(
+            experiment=EXPERIMENT,
+            parameter=parameter,
+            algorithm="CLUSTER",
+            total_utility=result.total_utility,
+            wall_time=sum(latencies),
+            per_customer_seconds=(
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            n_instances=len(result.assignment),
+            extras=result.stats.as_extras(),
+        )
+
+    rows.append(episode_row("zero-fault", None))
+    for fraction in kill_fractions:
+        tick = max(0, min(n_customers - 1, int(fraction * n_customers)))
+        chaos = ChaosPlan.kill_one(seed=seed, n_shards=shards, tick=tick)
+        rows.append(episode_row(f"kill@{fraction:.2f}", chaos))
+    return rows
+
+
+def retention_of(rows: Sequence[Row]) -> dict:
+    """``parameter -> utility / baseline-utility`` for a matrix."""
+    baseline = next(
+        row.total_utility for row in rows if row.parameter == "baseline"
+    )
+    return {
+        row.parameter: (
+            row.total_utility / baseline if baseline > 0 else 0.0
+        )
+        for row in rows
+        if row.parameter != "baseline"
+    }

@@ -109,6 +109,26 @@ def summarize_spans(spans: Sequence[Span]) -> List[StageSummary]:
     return summaries
 
 
+def breaker_transition_counts(
+    spans: Sequence[Span],
+) -> Dict[str, Dict[str, int]]:
+    """Per-dependency breaker transitions found on a timeline.
+
+    Counts the ``resilience.breaker_transition`` instant events by
+    dependency and target state -- the trace-side twin of
+    :attr:`~repro.stream.simulator.ResilienceStats.breaker_counts`.
+    """
+    counts: Dict[str, Dict[str, int]] = {}
+    for span in spans:
+        if span.name != "resilience.breaker_transition":
+            continue
+        dep = str(span.args.get("dependency", "?"))
+        to_state = str(span.args.get("to_state", "?"))
+        per = counts.setdefault(dep, {})
+        per[to_state] = per.get(to_state, 0) + 1
+    return counts
+
+
 def _fmt(seconds: float) -> str:
     """Human-scale seconds (ms/us below 1s)."""
     if seconds >= 1.0:
@@ -119,9 +139,16 @@ def _fmt(seconds: float) -> str:
 
 
 def summary_table(spans: Sequence[Span]) -> str:
-    """A printable per-stage time/percentile table."""
+    """A printable per-stage time/percentile table.
+
+    When the timeline carries circuit-breaker transition events, a
+    per-dependency breaker section follows the stage table.
+    """
     summaries = summarize_spans(spans)
+    breakers = breaker_transition_counts(spans)
     if not summaries:
+        if breakers:
+            return "\n".join(_breaker_lines(breakers))
         return "(trace contains no closed spans)"
     lanes = len({span.lane for span in spans})
     width = max(len(s.name) for s in summaries)
@@ -138,4 +165,19 @@ def summary_table(spans: Sequence[Span]) -> str:
             f"{_fmt(s.total)} {_fmt(s.mean)} {_fmt(s.p50)} "
             f"{_fmt(s.p95)} {_fmt(s.p99)}"
         )
+    if breakers:
+        lines.append("")
+        lines.extend(_breaker_lines(breakers))
     return "\n".join(lines)
+
+
+def _breaker_lines(counts: Dict[str, Dict[str, int]]) -> List[str]:
+    lines = ["breaker transitions (into state):"]
+    for dep in sorted(counts):
+        detail = "  ".join(
+            f"{state}={counts[dep][state]}"
+            for state in ("open", "half_open", "closed")
+            if state in counts[dep]
+        )
+        lines.append(f"  {dep}: {detail}")
+    return lines

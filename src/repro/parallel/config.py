@@ -65,6 +65,12 @@ class ParallelConfig:
         fallback_serial: Degrade to the serial path -- instead of
             raising -- when the platform lacks ``shared_memory``, a
             worker dies, or task state cannot be pickled.
+        clamp_jobs: Clamp an explicit ``jobs`` request to the CPUs
+            actually available (default).  ``jobs=4`` on a 1-CPU box
+            then resolves to ``1`` and the stack runs serial instead of
+            paying pool startup and IPC for a measured slowdown.  Tests
+            that deliberately oversubscribe to exercise real pool
+            machinery set this to ``False``.
         min_tasks: Below this many tasks the pool is never worth its
             startup cost; stay serial.
         min_kernel_edges: Candidate-edge tables smaller than this are
@@ -76,13 +82,22 @@ class ParallelConfig:
     chunk_size: Optional[int] = None
     start_method: Optional[str] = None
     fallback_serial: bool = True
+    clamp_jobs: bool = True
     min_tasks: int = 2
     min_kernel_edges: int = 8192
 
     def resolved_jobs(self) -> int:
-        """The effective worker count (``jobs<=0`` -> all CPUs)."""
+        """The effective worker count.
+
+        ``jobs<=0`` means all available CPUs (capped at 32).  An
+        explicit positive ``jobs`` is clamped to the available CPUs
+        unless ``clamp_jobs`` is off -- more workers than cores can
+        only lose on CPU-bound solves.
+        """
         if self.jobs <= 0:
             return min(available_cpus(), _MAX_AUTO_JOBS)
+        if self.clamp_jobs:
+            return min(self.jobs, available_cpus())
         return self.jobs
 
     def active(self, n_tasks: int) -> bool:

@@ -390,6 +390,7 @@ class ResilientBroker:
         ]
         transitions.sort(key=lambda item: item[1])
         stats.breaker_transitions = transitions
+        stats.breaker_counts = ResilienceStats.count_transitions(transitions)
         stats.degraded_decisions = (
             chain.degraded_decisions + stats.decisions_abandoned
         )

@@ -42,6 +42,12 @@ class ResilienceStats:
         faults_injected: ``"dependency:kind"`` -> injected fault count.
         breaker_transitions: ``(dependency, time, from, to)`` breaker
             state changes, in order.
+        breaker_counts: Dependency name -> transitions *into* each
+            breaker state (``"open"`` / ``"half_open"`` / ``"closed"``),
+            e.g. ``{"utility": {"open": 2, "half_open": 2,
+            "closed": 1}}``.  The per-dependency rollup of
+            ``breaker_transitions``, so shard/dependency breaker
+            behaviour is directly assertable.
         degraded_decisions: Decisions served by a fallback tier rather
             than the primary algorithm.
         decisions_by_tier: Tier name -> decisions served by that tier.
@@ -66,6 +72,7 @@ class ResilienceStats:
     breaker_transitions: List[Tuple[str, float, str, str]] = field(
         default_factory=list
     )
+    breaker_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
     degraded_decisions: int = 0
     decisions_by_tier: Dict[str, int] = field(default_factory=dict)
     decisions_abandoned: int = 0
@@ -89,9 +96,21 @@ class ResilienceStats:
         """Total injected faults across dependencies and kinds."""
         return sum(self.faults_injected.values())
 
+    @staticmethod
+    def count_transitions(
+        transitions: Sequence[Tuple[str, float, str, str]],
+    ) -> Dict[str, Dict[str, int]]:
+        """Roll ``(dep, time, from, to)`` records up into per-dependency
+        counts of transitions into each state."""
+        counts: Dict[str, Dict[str, int]] = {}
+        for name, _, _, to_state in transitions:
+            per = counts.setdefault(name, {})
+            per[to_state] = per.get(to_state, 0) + 1
+        return counts
+
     def as_extras(self) -> Dict[str, float]:
         """Flat float counters for :class:`SolveResult` ``extras``."""
-        return {
+        extras = {
             "retries": float(self.retries),
             "timeouts": float(self.timeouts),
             "faults_injected": float(self.total_faults),
@@ -104,6 +123,10 @@ class ResilienceStats:
             "arrivals_dropped": float(self.arrivals_dropped),
             "arrivals_reordered": float(self.arrivals_reordered),
         }
+        for dep in sorted(self.breaker_counts):
+            for state, count in sorted(self.breaker_counts[dep].items()):
+                extras[f"breaker_{state}.{dep}"] = float(count)
+        return extras
 
 
 @dataclass

@@ -1,0 +1,61 @@
+"""Shared workload builders for the cluster suite.
+
+The instances are small (fast on 1-CPU CI boxes) but radius-wide
+enough that every shard sees real cross-cell traffic, so routing,
+replication and the degradation ladder are all exercised.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.calibration import calibrate_from_problem
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.sharding import ShardPlan
+from repro.stream.simulator import OnlineSimulator
+
+
+def make_problem(n_customers=160, n_vendors=32, seed=11):
+    """A fresh synthetic instance (every call: fresh caches)."""
+    return synthetic_problem(
+        WorkloadConfig(
+            n_customers=n_customers,
+            n_vendors=n_vendors,
+            seed=seed,
+            radius_range=ParameterRange(0.15, 0.25),
+        )
+    )
+
+
+def sharded_baseline(shards=4, **kwargs):
+    """The in-process sharded simulator run the cluster must match.
+
+    Uses the same calibration call as
+    :func:`repro.cluster.episode.run_episode` (same sample size, same
+    seed), so thresholds -- and therefore decisions -- are comparable.
+    """
+    problem = make_problem(**kwargs)
+    plan = ShardPlan.build(problem, shards)
+    bounds = calibrate_from_problem(problem, sample_customers=500, seed=0)
+    algorithm = OnlineAdaptiveFactorAware(
+        gamma_min=bounds.gamma_min, g=bounds.g
+    )
+    return OnlineSimulator(problem).run(
+        algorithm, warm_engine=True, shard_plan=plan
+    )
+
+
+def triples(assignment):
+    """Order-independent identity fingerprint of an assignment."""
+    return sorted(
+        (inst.customer_id, inst.vendor_id, inst.type_id)
+        for inst in assignment
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    """Module-cached zero-fault sharded baseline (4 shards)."""
+    return sharded_baseline(shards=4)

@@ -1,0 +1,231 @@
+"""End-to-end chaos: seeded fault plans against a live cluster.
+
+Every scenario runs the full episode loop on the deterministic inline
+transport -- same servers, same envelopes, same control plane as the
+process transport, minus the forking -- so each of these is exactly
+reproducible.  The contract under any plan: the episode completes with
+no unhandled exception, the assignment stays feasible against the
+pristine problem, and the configured resilience machinery (retries,
+breakers, restarts, the degradation ladder) is *visible* in the stats
+and on the merged timeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ChaosEvent,
+    ChaosPlan,
+    ClusterConfig,
+    run_episode,
+)
+from repro.core.validation import validate_assignment
+from repro.obs.recorder import observed
+
+from tests.cluster.conftest import make_problem, triples
+
+#: Kill tick for the mid-stream scenarios (of 160 arrivals).
+MID_STREAM = 80
+
+
+def kill_plan(shard=1, tick=MID_STREAM):
+    return ChaosPlan(
+        seed=9, events=(ChaosEvent(tick=tick, kind="kill", shard=shard),)
+    )
+
+
+class TestKillShardMidStream:
+    def test_retention_and_recovery(self, baseline_result):
+        problem = make_problem()
+        with observed() as rec:
+            result = run_episode(
+                problem,
+                ClusterConfig(shards=4, transport="inline"),
+                chaos=kill_plan(),
+            )
+        # >= 90% of the fault-free utility survives losing 1 of 4
+        # shards mid-episode (the replica tier keeps serving).
+        retention = result.total_utility / baseline_result.total_utility
+        assert retention >= 0.9
+        # The loss and the recovery actually happened.
+        assert result.stats.shard_failures >= 1
+        assert result.stats.restarts == 1
+        assert result.stats.decisions_by_path.get("replica", 0) >= 1
+        # Breaker tripped and recovered; fallback events on timeline.
+        assert result.stats.breaker_counts["shard-1"]["open"] >= 1
+        names = {span.name for span in rec.all_spans}
+        assert "cluster.chaos_kill" in names
+        assert "cluster.fallback" in names
+        assert "resilience.breaker_transition" in names
+        assert "cluster.replayed" in names
+        # Feasible against the pristine instance.
+        assert validate_assignment(problem, result.assignment).ok
+
+    def test_post_restart_traffic_returns_to_shard(self):
+        result = run_episode(
+            make_problem(),
+            ClusterConfig(shards=4, transport="inline"),
+            chaos=kill_plan(tick=40),
+        )
+        # After restart + breaker recovery the worker serves again:
+        # shard decisions dominate the episode.
+        paths = result.stats.decisions_by_path
+        assert paths["shard"] > paths.get("replica", 0) * 10
+        assert result.stats.shard_health[1] == "healthy"
+        assert result.stats.replayed_instances >= 0
+
+
+class TestCorruptReply:
+    def test_retry_is_transparent(self, baseline_result):
+        # A corrupted reply is detected by checksum, retried, and the
+        # idempotent worker returns the identical decision: the final
+        # assignment matches the fault-free run exactly.
+        result = run_episode(
+            make_problem(),
+            ClusterConfig(shards=4, transport="inline"),
+            chaos=ChaosPlan(
+                seed=4,
+                events=(
+                    ChaosEvent(
+                        tick=30, kind="corrupt_reply", shard=0, count=1
+                    ),
+                    ChaosEvent(
+                        tick=90, kind="corrupt_reply", shard=2, count=1
+                    ),
+                ),
+            ),
+        )
+        assert result.stats.corrupt_replies == 2
+        assert result.stats.retries == 2
+        assert result.stats.duplicates_served == 2
+        assert triples(result.assignment) == triples(
+            baseline_result.assignment
+        )
+
+    def test_persistent_corruption_degrades(self):
+        # Enough corruption on one shard exhausts retries and walks the
+        # ladder instead of hanging or raising.
+        problem = make_problem()
+        result = run_episode(
+            problem,
+            ClusterConfig(shards=4, transport="inline", retry_attempts=1),
+            chaos=ChaosPlan(
+                seed=4,
+                events=(
+                    ChaosEvent(
+                        tick=0, kind="corrupt_reply", shard=0, count=500
+                    ),
+                ),
+            ),
+        )
+        assert result.stats.decisions_by_path.get("replica", 0) >= 1
+        assert validate_assignment(problem, result.assignment).ok
+
+
+class TestDelayedHeartbeats:
+    def test_silent_shard_is_fenced_and_restarted(self):
+        # The worker stays alive but its heartbeats are swallowed; the
+        # control plane fences it (restart + replay) and serving
+        # continues.
+        result = run_episode(
+            make_problem(),
+            ClusterConfig(
+                shards=4,
+                transport="inline",
+                heartbeat_interval=4,
+                down_after=2,
+            ),
+            chaos=ChaosPlan(
+                seed=3,
+                events=(
+                    ChaosEvent(
+                        tick=8,
+                        kind="delay_heartbeats",
+                        shard=2,
+                        duration=12,
+                    ),
+                ),
+            ),
+        )
+        assert result.stats.heartbeats_missed >= 2
+        assert result.stats.restarts >= 1
+        assert result.stats.shard_health[2] == "healthy"
+        assert result.stats.decisions == 160
+
+
+class TestCrashLoop:
+    def test_give_up_lands_on_deeper_ladder(self):
+        # The shard crash-loops through every allowed restart; with the
+        # replica tier disabled the ladder's static/nearest tiers carry
+        # its traffic, and the episode still completes cleanly.
+        problem = make_problem()
+        result = run_episode(
+            problem,
+            ClusterConfig(
+                shards=4,
+                transport="inline",
+                max_restarts=2,
+                ladder=("static", "nearest", "shed"),
+            ),
+            chaos=ChaosPlan(
+                seed=6,
+                events=(
+                    ChaosEvent(tick=40, kind="kill", shard=1),
+                    ChaosEvent(
+                        tick=40, kind="crash_loop", shard=1, count=10
+                    ),
+                ),
+            ),
+        )
+        assert result.stats.shard_health[1] == "failed"
+        assert result.stats.decisions_by_path.get("static", 0) >= 1
+        assert result.stats.restarts == 0  # none ever came back
+        assert validate_assignment(problem, result.assignment).ok
+
+    def test_shed_tier_drops_but_never_raises(self):
+        problem = make_problem()
+        result = run_episode(
+            problem,
+            ClusterConfig(
+                shards=4,
+                transport="inline",
+                max_restarts=0,
+                ladder=("shed",),
+            ),
+            chaos=ChaosPlan(
+                seed=2,
+                events=(ChaosEvent(tick=20, kind="kill", shard=0),),
+            ),
+        )
+        assert result.stats.shed >= 1
+        assert result.stats.decisions_by_path.get("shed", 0) >= 1
+        assert result.stats.shard_health[0] == "failed"
+        assert validate_assignment(problem, result.assignment).ok
+
+
+class TestCombinedPlan:
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_everything_at_once_survives(self, seed):
+        # All four failure modes in one plan; the only invariants are
+        # completion, feasibility, and full decision coverage.
+        problem = make_problem()
+        plan = ChaosPlan(
+            seed=seed,
+            events=(
+                ChaosEvent(tick=30, kind="corrupt_reply", shard=0, count=3),
+                ChaosEvent(tick=50, kind="kill", shard=seed % 4),
+                ChaosEvent(
+                    tick=60, kind="delay_heartbeats", shard=2, duration=10
+                ),
+                ChaosEvent(
+                    tick=90, kind="crash_loop", shard=(seed + 1) % 4, count=1
+                ),
+                ChaosEvent(tick=100, kind="kill", shard=(seed + 1) % 4),
+            ),
+        )
+        result = run_episode(
+            problem, ClusterConfig(shards=4, transport="inline"), chaos=plan
+        )
+        assert result.stats.decisions == 160
+        assert validate_assignment(problem, result.assignment).ok

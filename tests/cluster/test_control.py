@@ -1,0 +1,195 @@
+"""Control plane state machine: heartbeats, restarts, give-up."""
+
+from __future__ import annotations
+
+from repro.cluster.chaos import ChaosController, ChaosEvent, ChaosPlan
+from repro.cluster.control import ControlPlane, ShardHealth
+from repro.cluster.protocol import HeartbeatReply, HeartbeatRequest, seal
+from repro.exceptions import ShardUnavailableError
+
+
+class FakeHost:
+    """A scriptable shard host for control-plane tests."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.alive = True
+        self.kills = 0
+        self.restarts = 0
+
+    def request(self, message, timeout=None):
+        if not self.alive:
+            raise ShardUnavailableError(f"shard {self.shard} down")
+        assert isinstance(message, HeartbeatRequest)
+        return seal(
+            HeartbeatReply(
+                tick=message.tick, shard=self.shard, decided=0, committed=0
+            )
+        )
+
+    def kill(self):
+        self.alive = False
+        self.kills += 1
+
+    def restart(self):
+        self.alive = True
+        self.restarts += 1
+
+    def close(self):
+        self.alive = False
+
+
+def make_plane(n=2, **kwargs):
+    hosts = {i: FakeHost(i) for i in range(n)}
+    defaults = dict(
+        heartbeat_interval=4,
+        suspect_after=1,
+        down_after=2,
+        restart_delay=2,
+        max_restarts=3,
+    )
+    defaults.update(kwargs)
+    return hosts, ControlPlane(hosts, **defaults)
+
+
+def no_chaos():
+    return ChaosController(ChaosPlan.none())
+
+
+class TestHeartbeats:
+    def test_all_healthy_round(self):
+        hosts, plane = make_plane()
+        plane.heartbeat_round(0, no_chaos())
+        assert plane.heartbeats == 2
+        assert plane.heartbeats_missed == 0
+        assert all(
+            state.health is ShardHealth.HEALTHY
+            for state in plane.states.values()
+        )
+
+    def test_miss_escalates_suspect_then_down(self):
+        hosts, plane = make_plane()
+        hosts[1].alive = False
+        plane.heartbeat_round(0, no_chaos())
+        assert plane.states[1].health is ShardHealth.SUSPECT
+        plane.heartbeat_round(4, no_chaos())
+        assert plane.states[1].health is ShardHealth.DOWN
+        assert plane.states[0].health is ShardHealth.HEALTHY
+
+    def test_suppressed_heartbeats_count_as_misses(self):
+        hosts, plane = make_plane()
+        chaos = ChaosController(
+            ChaosPlan(
+                seed=0,
+                events=(
+                    ChaosEvent(
+                        tick=0,
+                        kind="delay_heartbeats",
+                        shard=0,
+                        duration=100,
+                    ),
+                ),
+            )
+        )
+        chaos.activate(0)
+        plane.heartbeat_round(0, chaos)
+        plane.heartbeat_round(4, chaos)
+        assert plane.states[0].health is ShardHealth.DOWN
+        assert plane.heartbeats_missed == 2
+
+    def test_recovery_clears_suspect(self):
+        hosts, plane = make_plane()
+        hosts[0].alive = False
+        plane.heartbeat_round(0, no_chaos())
+        assert plane.states[0].health is ShardHealth.SUSPECT
+        hosts[0].alive = True
+        plane.heartbeat_round(4, no_chaos())
+        assert plane.states[0].health is ShardHealth.HEALTHY
+        assert plane.states[0].missed_heartbeats == 0
+
+
+class TestFailureSignals:
+    def test_note_failure_trips_breaker_and_marks_down(self):
+        hosts, plane = make_plane()
+        hosts[0].kill()
+        plane.begin_tick(5)
+        plane.note_failure(0, tick=5)
+        assert plane.states[0].health is ShardHealth.DOWN
+        assert plane.breakers[0].state.value == "open"
+        rows = plane.breaker_transitions()
+        assert rows == [("shard-0", 5.0, "closed", "open")]
+
+    def test_note_failure_live_host_is_suspect(self):
+        hosts, plane = make_plane()
+        plane.note_failure(0, tick=1)
+        assert plane.states[0].health is ShardHealth.SUSPECT
+
+    def test_note_success_heals(self):
+        hosts, plane = make_plane()
+        plane.note_failure(0, tick=1)
+        plane.note_success(0)
+        assert plane.states[0].health is ShardHealth.HEALTHY
+
+
+class TestRestarts:
+    def test_restart_with_replay(self):
+        hosts, plane = make_plane()
+        hosts[1].kill()
+        plane.begin_tick(3)
+        plane.note_failure(1, tick=3)
+        replayed = []
+
+        def replay(shard):
+            replayed.append(shard)
+            return 7
+
+        plane.tend(4, no_chaos(), replay)  # too early (due at 5)
+        assert replayed == []
+        plane.tend(5, no_chaos(), replay)
+        assert replayed == [1]
+        assert hosts[1].restarts == 1
+        assert plane.states[1].health is ShardHealth.HEALTHY
+        assert plane.restarts_performed == 1
+        assert plane.replayed_instances == 7
+
+    def test_failed_replay_retries_restart(self):
+        hosts, plane = make_plane()
+        hosts[0].kill()
+        plane.note_failure(0, tick=0)
+        plane.tend(2, no_chaos(), lambda shard: None)  # replay fails
+        assert plane.states[0].health is ShardHealth.DOWN
+        plane.tend(4, no_chaos(), lambda shard: 3)  # rescheduled, works
+        assert plane.states[0].health is ShardHealth.HEALTHY
+        assert hosts[0].restarts == 2
+
+    def test_crash_loop_gives_up(self):
+        hosts, plane = make_plane(max_restarts=2)
+        chaos = ChaosController(
+            ChaosPlan(
+                seed=0,
+                events=(
+                    ChaosEvent(tick=0, kind="crash_loop", shard=0, count=5),
+                ),
+            )
+        )
+        chaos.activate(0)
+        hosts[0].kill()
+        plane.note_failure(0, tick=0)
+        plane.tend(2, chaos, lambda shard: 0)  # restart 1 crashes
+        assert plane.states[0].health is ShardHealth.DOWN
+        plane.tend(4, chaos, lambda shard: 0)  # restart 2 crashes: give up
+        assert plane.states[0].health is ShardHealth.FAILED
+        assert not plane.serving(0)
+        # No further restarts are attempted.
+        plane.tend(10, chaos, lambda shard: 0)
+        assert hosts[0].restarts == 2
+        assert plane.restarts_performed == 0
+
+    def test_failed_shard_not_probed(self):
+        hosts, plane = make_plane(max_restarts=0)
+        hosts[0].kill()
+        plane.note_failure(0, tick=0)
+        assert plane.states[0].health is ShardHealth.FAILED
+        before = plane.heartbeats
+        plane.heartbeat_round(4, no_chaos())
+        assert plane.heartbeats == before + 1  # only shard 1 probed

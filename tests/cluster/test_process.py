@@ -1,0 +1,75 @@
+"""The real thing: forked worker processes, pipe RPC, SIGKILL chaos.
+
+Kept small -- each episode forks real processes -- but these are the
+only tests where ``kill`` is a literal SIGKILL delivered to a separate
+PID and the engine truly crosses an address-space boundary through
+shared memory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.cluster import (
+    ChaosEvent,
+    ChaosPlan,
+    ClusterConfig,
+    run_episode,
+)
+from repro.core.validation import validate_assignment
+from repro.parallel.shm import HAVE_SHARED_MEMORY
+
+from tests.cluster.conftest import make_problem, triples
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process transport requires the fork start method",
+)
+
+#: A small instance: three forks per episode is plenty for CI.
+SMALL = dict(n_customers=90, n_vendors=18)
+
+
+def small_config(**kwargs):
+    defaults = dict(shards=3, transport="process")
+    defaults.update(kwargs)
+    return ClusterConfig(**defaults)
+
+
+def test_process_cluster_matches_inline():
+    process = run_episode(make_problem(**SMALL), small_config())
+    inline = run_episode(
+        make_problem(**SMALL),
+        ClusterConfig(shards=3, transport="inline"),
+    )
+    assert triples(process.assignment) == triples(inline.assignment)
+    assert abs(process.total_utility - inline.total_utility) <= 1e-9
+
+
+@pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY, reason="platform lacks shared memory"
+)
+def test_workers_rebuild_engines_over_shm():
+    result = run_episode(
+        make_problem(**SMALL), small_config(use_shm=True)
+    )
+    assert result.stats.decisions_by_path.get("shard", 0) > 0
+
+
+def test_sigkilled_worker_recovers():
+    problem = make_problem(**SMALL)
+    result = run_episode(
+        problem,
+        small_config(),
+        chaos=ChaosPlan(
+            seed=5,
+            events=(ChaosEvent(tick=45, kind="kill", shard=1),),
+        ),
+    )
+    assert result.stats.decisions == SMALL["n_customers"]
+    assert result.stats.shard_failures >= 1
+    assert result.stats.restarts == 1
+    assert result.stats.shard_health[1] == "healthy"
+    assert validate_assignment(problem, result.assignment).ok

@@ -1,0 +1,134 @@
+"""Envelope checksums, corruption detection, and chaos-plan mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.chaos import ChaosController, ChaosEvent, ChaosPlan
+from repro.cluster.protocol import (
+    CorruptMessageError,
+    DecideRequest,
+    Envelope,
+    corrupt,
+    seal,
+    unseal,
+)
+from repro.exceptions import ResilienceError, TransientError
+
+from tests.cluster.conftest import make_problem
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        problem = make_problem(n_customers=4, n_vendors=2)
+        message = DecideRequest(tick=3, customer=problem.customers[0])
+        out = unseal(seal(message))
+        assert out.tick == message.tick
+        # Customer carries an ndarray field, so compare piecewise.
+        assert out.customer.customer_id == message.customer.customer_id
+        assert out.customer.location == message.customer.location
+        assert out.customer.capacity == message.customer.capacity
+
+    def test_corruption_detected(self):
+        envelope = seal({"key": "value"})
+        broken = corrupt(envelope, position=5)
+        with pytest.raises(CorruptMessageError):
+            unseal(broken)
+
+    def test_corruption_any_position(self):
+        envelope = seal(list(range(100)))
+        for position in (0, 1, 17, 10_000):
+            with pytest.raises(CorruptMessageError):
+                unseal(corrupt(envelope, position))
+
+    def test_corrupt_error_is_transient(self):
+        # Retry policies treat TransientError as retriable; the ladder
+        # catches ResilienceError wholesale.
+        assert issubclass(CorruptMessageError, TransientError)
+        assert issubclass(CorruptMessageError, ResilienceError)
+
+    def test_tampered_crc_detected(self):
+        envelope = seal("payload")
+        with pytest.raises(CorruptMessageError):
+            unseal(Envelope(payload=envelope.payload, crc=envelope.crc ^ 1))
+
+
+class TestChaosPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(tick=0, kind="meteor", shard=0)
+
+    def test_kill_one_is_seeded(self):
+        a = ChaosPlan.kill_one(seed=7, n_shards=4, tick=10)
+        b = ChaosPlan.kill_one(seed=7, n_shards=4, tick=10)
+        assert a == b
+        assert a.events[0].kind == "kill"
+        assert 0 <= a.events[0].shard < 4
+
+    def test_streams_reproducible(self):
+        plan = ChaosPlan(seed=3)
+        assert [plan.stream("x").random() for _ in range(3)] == [
+            plan.stream("x").random() for _ in range(3)
+        ]
+        assert plan.stream("x").random() != plan.stream("y").random()
+
+
+class TestChaosController:
+    def test_kill_events_returned_at_tick(self):
+        plan = ChaosPlan(
+            seed=0,
+            events=(
+                ChaosEvent(tick=5, kind="kill", shard=1),
+                ChaosEvent(tick=5, kind="kill", shard=2),
+                ChaosEvent(tick=9, kind="corrupt_reply", shard=0),
+            ),
+        )
+        ctl = ChaosController(plan)
+        assert ctl.activate(4) == []
+        kills = ctl.activate(5)
+        assert sorted(event.shard for event in kills) == [1, 2]
+        assert ctl.activate(9) == []  # corruption arms state, no kill
+
+    def test_corruption_budget_consumed(self):
+        plan = ChaosPlan(
+            seed=0,
+            events=(
+                ChaosEvent(tick=0, kind="corrupt_reply", shard=2, count=2),
+            ),
+        )
+        ctl = ChaosController(plan)
+        ctl.activate(0)
+        assert ctl.should_corrupt(2)
+        assert ctl.should_corrupt(2)
+        assert not ctl.should_corrupt(2)
+        assert not ctl.should_corrupt(0)
+        assert ctl.injected == {"corrupt_reply": 2}
+
+    def test_heartbeat_suppression_window(self):
+        plan = ChaosPlan(
+            seed=0,
+            events=(
+                ChaosEvent(
+                    tick=10, kind="delay_heartbeats", shard=1, duration=5
+                ),
+            ),
+        )
+        ctl = ChaosController(plan)
+        ctl.activate(10)
+        assert ctl.heartbeat_suppressed(1, 10)
+        assert ctl.heartbeat_suppressed(1, 15)
+        assert not ctl.heartbeat_suppressed(1, 16)
+        assert not ctl.heartbeat_suppressed(0, 10)
+
+    def test_crash_loop_counter(self):
+        plan = ChaosPlan(
+            seed=0,
+            events=(
+                ChaosEvent(tick=0, kind="crash_loop", shard=3, count=2),
+            ),
+        )
+        ctl = ChaosController(plan)
+        ctl.activate(0)
+        assert ctl.consume_crash_loop(3)
+        assert ctl.consume_crash_loop(3)
+        assert not ctl.consume_crash_loop(3)

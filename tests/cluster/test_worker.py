@@ -1,0 +1,164 @@
+"""ShardServer: shm engine reconstruction, idempotency, replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.calibration import calibrate_from_problem
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.cluster.protocol import (
+    DecideRequest,
+    HeartbeatRequest,
+    ReplayRequest,
+)
+from repro.cluster.worker import ShardServer, engine_columns
+from repro.parallel.shm import HAVE_SHARED_MEMORY, ship_columns
+from repro.sharding import ShardPlan
+from repro.stream.arrivals import by_arrival_time
+
+from tests.cluster.conftest import make_problem
+
+needs_shm = pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY, reason="platform lacks shared memory"
+)
+
+
+def calibrated_bounds(problem):
+    return calibrate_from_problem(problem, sample_customers=500, seed=0)
+
+
+@needs_shm
+class TestEngineOverSharedMemory:
+    def test_prescored_columns_roundtrip(self):
+        problem = make_problem(n_customers=60, n_vendors=12)
+        plan = ShardPlan.build(problem, 2)
+        view = plan.problem_for(0)
+        engine = view.acquire_engine()
+        assert engine is not None
+        engine.warm()
+        columns = engine_columns(engine)
+        with ship_columns(columns) as shipment:
+            bounds = calibrated_bounds(problem)
+            server = ShardServer(
+                0, view, shipment.handle, bounds.gamma_min, bounds.g
+            )
+            rebuilt = view.engine
+            assert rebuilt is not None
+            np.testing.assert_array_equal(
+                rebuilt.pair_bases, columns["bases"]
+            )
+            np.testing.assert_array_equal(
+                rebuilt.edges.vendor_starts, columns["vendor_starts"]
+            )
+            server.close()
+
+    def test_shm_decisions_match_in_process_view(self):
+        # The worker's shm-backed engine must reproduce the decisions
+        # of the in-process warmed shard view, byte for byte.
+        problem = make_problem(n_customers=120, n_vendors=24)
+        plan = ShardPlan.build(problem, 2)
+        bounds = calibrated_bounds(problem)
+        shard = 0
+        view = plan.problem_for(shard)
+        engine = view.acquire_engine()
+        engine.warm()
+        with ship_columns(engine_columns(engine)) as shipment:
+            server = ShardServer(
+                shard, view, shipment.handle, bounds.gamma_min, bounds.g
+            )
+            # Reference: same algorithm over the same (already warm)
+            # view with its own assignment, fed the same arrivals.
+            reference = OnlineAdaptiveFactorAware(
+                gamma_min=bounds.gamma_min, g=bounds.g
+            )
+            ref_assignment = view.new_assignment()
+            tick = 0
+            for customer in by_arrival_time(problem.customers):
+                if plan.route(customer) != shard:
+                    continue
+                reply = server.decide(
+                    DecideRequest(tick=tick, customer=customer)
+                )
+                expected = tuple(
+                    reference.process_customer(
+                        view, customer, ref_assignment
+                    )
+                )
+                assert reply.instances == expected
+                for instance in expected:
+                    ref_assignment.add(instance, strict=False)
+                tick += 1
+            assert tick > 0, "shard 0 decided no customers"
+            server.close()
+
+
+class TestServerSemantics:
+    def make_server(self, problem=None, shard=0, shards=2):
+        problem = problem or make_problem(n_customers=80, n_vendors=16)
+        plan = ShardPlan.build(problem, shards)
+        bounds = calibrated_bounds(problem)
+        view = plan.problem_for(shard)
+        server = ShardServer(
+            shard, view, None, bounds.gamma_min, bounds.g
+        )
+        routed = [
+            customer
+            for customer in by_arrival_time(problem.customers)
+            if plan.route(customer) == shard
+        ]
+        return server, routed
+
+    def test_idempotent_decide(self):
+        server, routed = self.make_server()
+        customer = routed[0]
+        first = server.decide(DecideRequest(tick=0, customer=customer))
+        again = server.decide(DecideRequest(tick=1, customer=customer))
+        assert not first.cached
+        assert again.cached
+        assert again.instances == first.instances
+        # The retry did not double-spend: committed counter unchanged.
+        beat = server.heartbeat(HeartbeatRequest(tick=2))
+        assert beat.decided == 1
+        assert beat.committed == sum(
+            1 for _ in first.instances
+        ) or beat.committed <= len(first.instances)
+
+    def test_heartbeat_counters(self):
+        server, routed = self.make_server()
+        assert server.heartbeat(HeartbeatRequest(tick=0)).decided == 0
+        for tick, customer in enumerate(routed[:5]):
+            server.decide(DecideRequest(tick=tick, customer=customer))
+        beat = server.heartbeat(HeartbeatRequest(tick=9))
+        assert beat.decided == 5
+
+    def test_replay_restores_budgets_and_cache(self):
+        problem = make_problem(n_customers=80, n_vendors=16)
+        server, routed = self.make_server(problem=problem)
+        decided = []
+        committed = []
+        for tick, customer in enumerate(routed):
+            reply = server.decide(DecideRequest(tick=tick, customer=customer))
+            decided.append((customer.customer_id, reply.instances))
+            committed.extend(reply.instances)
+        state_before = server.heartbeat(HeartbeatRequest(tick=99))
+
+        # A fresh server (the restarted worker) replays to the same state.
+        fresh, _ = self.make_server(problem=problem)
+        ack = fresh.replay(
+            ReplayRequest(
+                instances=tuple(committed), decided=tuple(decided)
+            )
+        )
+        assert ack.replayed_decisions == len(decided)
+        state_after = fresh.heartbeat(HeartbeatRequest(tick=100))
+        assert state_after.decided == state_before.decided
+        # Replayed customers are served from cache, not re-decided.
+        reply = fresh.decide(DecideRequest(tick=101, customer=routed[0]))
+        assert reply.cached
+        assert reply.instances == decided[0][1]
+
+    def test_unknown_message_rejected(self):
+        server, _ = self.make_server()
+        with pytest.raises(TypeError):
+            server.handle(object())

@@ -1,0 +1,61 @@
+"""Chaos retention matrix: row shape, retention, and extras."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.chaos_matrix import (
+    DEFAULT_KILL_FRACTIONS,
+    EXPERIMENT,
+    retention_matrix,
+    retention_of,
+)
+
+from tests.cluster.conftest import make_problem
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return retention_matrix(
+        lambda: make_problem(n_customers=120, n_vendors=24),
+        shards=3,
+        kill_fractions=(0.5,),
+        seed=5,
+    )
+
+
+def test_row_shape(matrix):
+    assert [row.parameter for row in matrix] == [
+        "baseline",
+        "zero-fault",
+        "kill@0.50",
+    ]
+    assert all(row.experiment == EXPERIMENT for row in matrix)
+    assert matrix[0].algorithm == "SHARDED-SIM"
+    assert all(row.algorithm == "CLUSTER" for row in matrix[1:])
+
+
+def test_zero_fault_parity(matrix):
+    baseline, clean = matrix[0], matrix[1]
+    assert clean.total_utility == pytest.approx(
+        baseline.total_utility, abs=1e-9
+    )
+    assert clean.n_instances == baseline.n_instances
+
+
+def test_retention_values(matrix):
+    retention = retention_of(matrix)
+    assert set(retention) == {"zero-fault", "kill@0.50"}
+    assert retention["zero-fault"] == pytest.approx(1.0)
+    assert retention["kill@0.50"] >= 0.9
+
+
+def test_chaos_row_extras(matrix):
+    extras = matrix[2].extras
+    assert extras["cluster_restarts"] >= 1
+    assert extras["cluster_shard_failures"] >= 1
+    assert any(key.startswith("cluster_path.") for key in extras)
+
+
+def test_default_fractions_cover_stream():
+    assert DEFAULT_KILL_FRACTIONS == (0.25, 0.5, 0.75)

@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs.recorder import Recorder
 from repro.obs.summary import (
+    breaker_transition_counts,
     spans_from_chrome_trace,
     summarize_spans,
     summary_table,
@@ -78,3 +79,40 @@ class TestRoundTrip:
         path = parent.write_trace(tmp_path / "trace.json")
         lanes = {s.lane for s in spans_from_chrome_trace(path)}
         assert lanes == {"main", "worker-1"}
+
+
+def _transition(span_id, dep, from_state, to_state, when=1.0):
+    return Span(
+        "resilience.breaker_transition", span_id, None, when, None,
+        args={
+            "dependency": dep,
+            "from_state": from_state,
+            "to_state": to_state,
+        },
+    )
+
+
+class TestBreakerSection:
+    def test_counts_by_dependency_and_state(self):
+        spans = make_spans() + [
+            _transition("9", "shard-1", "closed", "open"),
+            _transition("10", "shard-1", "open", "half_open", when=2.0),
+            _transition("11", "utility", "closed", "open", when=3.0),
+        ]
+        counts = breaker_transition_counts(spans)
+        assert counts == {
+            "shard-1": {"open": 1, "half_open": 1},
+            "utility": {"open": 1},
+        }
+
+    def test_table_gains_breaker_section(self):
+        spans = make_spans() + [
+            _transition("9", "shard-1", "closed", "open"),
+            _transition("10", "shard-1", "open", "half_open", when=2.0),
+        ]
+        table = summary_table(spans)
+        assert "breaker transitions (into state):" in table
+        assert "shard-1: open=1  half_open=1" in table
+
+    def test_no_section_without_transitions(self):
+        assert "breaker transitions" not in summary_table(make_spans())

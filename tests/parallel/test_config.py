@@ -12,8 +12,29 @@ class TestResolvedJobs:
     def test_default_is_serial(self):
         assert ParallelConfig().resolved_jobs() == 1
 
-    def test_explicit_jobs(self):
-        assert ParallelConfig(jobs=4).resolved_jobs() == 4
+    def test_explicit_jobs_clamped_to_cpus(self):
+        resolved = ParallelConfig(jobs=4).resolved_jobs()
+        assert resolved == min(4, available_cpus())
+
+    def test_clamp_pins_to_cpu_count(self, monkeypatch):
+        # Regression: jobs=4 on a 1-CPU box measured a 0.85x RECON
+        # *slowdown* -- oversubscribed workers must resolve serial.
+        monkeypatch.setattr(
+            "repro.parallel.config.available_cpus", lambda: 1
+        )
+        assert ParallelConfig(jobs=4).resolved_jobs() == 1
+        monkeypatch.setattr(
+            "repro.parallel.config.available_cpus", lambda: 2
+        )
+        assert ParallelConfig(jobs=4).resolved_jobs() == 2
+        assert ParallelConfig(jobs=2).resolved_jobs() == 2
+
+    def test_clamp_opt_out(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.parallel.config.available_cpus", lambda: 1
+        )
+        config = ParallelConfig(jobs=4, clamp_jobs=False)
+        assert config.resolved_jobs() == 4
 
     @pytest.mark.parametrize("jobs", [0, -1])
     def test_all_cores(self, jobs):
@@ -27,13 +48,19 @@ class TestActive:
         assert not SERIAL.active(1_000_000)
 
     def test_too_few_tasks(self):
-        assert not ParallelConfig(jobs=4).active(1)
+        assert not ParallelConfig(jobs=4, clamp_jobs=False).active(1)
 
     def test_active(self):
-        assert ParallelConfig(jobs=4).active(2)
+        assert ParallelConfig(jobs=4, clamp_jobs=False).active(2)
+
+    def test_clamped_to_one_cpu_never_active(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.parallel.config.available_cpus", lambda: 1
+        )
+        assert not ParallelConfig(jobs=4).active(1_000)
 
     def test_min_tasks_respected(self):
-        config = ParallelConfig(jobs=4, min_tasks=10)
+        config = ParallelConfig(jobs=4, clamp_jobs=False, min_tasks=10)
         assert not config.active(9)
         assert config.active(10)
 
@@ -42,7 +69,7 @@ class TestSpans:
     @pytest.mark.parametrize("n_items", [0, 1, 7, 100, 1001])
     @pytest.mark.parametrize("jobs", [2, 3, 8])
     def test_spans_cover_exactly_once(self, n_items, jobs):
-        spans = ParallelConfig(jobs=jobs).spans(n_items)
+        spans = ParallelConfig(jobs=jobs, clamp_jobs=False).spans(n_items)
         covered = [i for lo, hi in spans for i in range(lo, hi)]
         assert covered == list(range(n_items))
 
@@ -54,7 +81,7 @@ class TestSpans:
         assert ParallelConfig(jobs=4).spans(0) == []
 
     def test_spans_are_contiguous_and_ordered(self):
-        spans = ParallelConfig(jobs=4).spans(1234)
+        spans = ParallelConfig(jobs=4, clamp_jobs=False).spans(1234)
         assert spans[0][0] == 0
         assert spans[-1][1] == 1234
         for (_, hi), (lo, _) in zip(spans, spans[1:]):

@@ -36,7 +36,7 @@ class TestChunkedParity:
         serial = serial_pair_bases(model, engine.arrays, engine.edges)
         chunked = chunked_pair_bases(
             model, engine.arrays, engine.edges,
-            ParallelConfig(jobs=jobs, min_kernel_edges=1),
+            ParallelConfig(jobs=jobs, clamp_jobs=False, min_kernel_edges=1),
         )
         assert chunked is not None
         assert np.array_equal(serial, chunked)
@@ -46,7 +46,7 @@ class TestChunkedParity:
         p_serial = _taxonomy_problem(seed=seed)
         p_chunked = _taxonomy_problem(seed=seed)
         p_chunked.parallel_config = ParallelConfig(
-            jobs=2, min_kernel_edges=1
+            jobs=2, clamp_jobs=False, min_kernel_edges=1
         )
         b_serial = ComputeEngine.create(p_serial).pair_bases
         b_chunked = ComputeEngine.create(p_chunked).pair_bases
@@ -60,7 +60,8 @@ class TestChunkedParity:
             chunked = chunked_pair_bases(
                 model, engine.arrays, engine.edges,
                 ParallelConfig(
-                    jobs=2, min_kernel_edges=1, chunk_size=chunk_size
+                    jobs=2, clamp_jobs=False, min_kernel_edges=1,
+                    chunk_size=chunk_size,
                 ),
             )
             assert chunked is not None

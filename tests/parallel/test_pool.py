@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import os
+import random
+import signal
 
 import pytest
 
@@ -20,6 +22,11 @@ needs_shm = pytest.mark.skipif(
     reason="platform lacks multiprocessing.shared_memory",
 )
 
+# Pool tests deliberately oversubscribe tiny CI boxes to exercise real
+# worker processes; ``clamp_jobs=False`` bypasses the CPU clamp.
+def _pool(jobs: int = 2, **kwargs) -> ParallelConfig:
+    return ParallelConfig(jobs=jobs, clamp_jobs=False, **kwargs)
+
 
 # Worker functions must live at module level (pickled by reference).
 def _square(x: int) -> int:
@@ -28,6 +35,17 @@ def _square(x: int) -> int:
 
 def _crash(x: int) -> int:
     os._exit(13)  # kill the worker process outright
+
+
+#: Seeded victim task for the SIGKILL test: which task murders its
+#: worker is a pure function of the seed, so the test is deterministic.
+_KILL_VICTIM = random.Random(0xC1A0).randrange(8)
+
+
+def _sigkill_on_victim(x: int) -> int:
+    if x == _KILL_VICTIM:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
 
 
 def _fail_logically(x: int) -> int:
@@ -39,10 +57,20 @@ class TestDeclines:
         assert parallel_map(_square, range(10), ParallelConfig()) is None
 
     def test_too_few_tasks_declines(self):
-        assert parallel_map(_square, [3], ParallelConfig(jobs=4)) is None
+        assert parallel_map(_square, [3], _pool(jobs=4)) is None
+
+    def test_clamped_jobs_decline(self, monkeypatch):
+        # jobs=4 with the (default) clamp on a 1-CPU box resolves to a
+        # single worker, and a one-worker pool is never worth starting.
+        monkeypatch.setattr(
+            "repro.parallel.config.available_cpus", lambda: 1
+        )
+        config = ParallelConfig(jobs=4)
+        assert not pool_available(config, 100)
+        assert parallel_map(_square, range(100), config) is None
 
     def test_unknown_start_method_declines(self):
-        config = ParallelConfig(jobs=2, start_method="not-a-method")
+        config = _pool(start_method="not-a-method")
         assert not pool_available(config, 10)
         assert parallel_map(_square, range(10), config) is None
 
@@ -53,30 +81,40 @@ class TestDeclines:
 @needs_shm
 class TestPool:
     def test_results_in_task_order(self):
-        config = ParallelConfig(jobs=2)
-        result = parallel_map(_square, range(20), config)
+        result = parallel_map(_square, range(20), _pool())
         assert result == [x * x for x in range(20)]
 
     def test_worker_crash_falls_back_to_none(self):
-        config = ParallelConfig(jobs=2, fallback_serial=True)
+        config = _pool(fallback_serial=True)
         assert parallel_map(_crash, range(4), config) is None
 
     def test_worker_crash_raises_without_fallback(self):
-        config = ParallelConfig(jobs=2, fallback_serial=False)
+        config = _pool(fallback_serial=False)
         with pytest.raises(WorkerCrashError):
             parallel_map(_crash, range(4), config)
+
+    def test_sigkilled_worker_falls_back_to_none(self):
+        # A child killed by SIGKILL (no Python exception, no exit
+        # handler) must surface as a BrokenProcessPool and trigger the
+        # serial fallback -- not hang the parent on a dead pipe.
+        config = _pool(fallback_serial=True)
+        assert parallel_map(_sigkill_on_victim, range(8), config) is None
+
+    def test_sigkilled_worker_raises_without_fallback(self):
+        config = _pool(fallback_serial=False)
+        with pytest.raises(WorkerCrashError):
+            parallel_map(_sigkill_on_victim, range(8), config)
 
     def test_task_logic_error_reraises(self):
         # A task exception is not a pool failure: the serial path would
         # fail identically, so it must surface, not trigger fallback.
-        config = ParallelConfig(jobs=2, fallback_serial=True)
+        config = _pool(fallback_serial=True)
         with pytest.raises(ValueError, match="is bad"):
             parallel_map(_fail_logically, range(4), config)
 
     def test_initializer_runs_per_worker(self):
-        config = ParallelConfig(jobs=2)
         result = parallel_map(
-            _read_init_state, range(6), config,
+            _read_init_state, range(6), _pool(),
             initializer=_set_init_state, initargs=(7,),
         )
         assert result == [7] * 6

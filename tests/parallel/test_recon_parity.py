@@ -22,6 +22,11 @@ needs_shm = pytest.mark.skipif(
     reason="platform lacks multiprocessing.shared_memory",
 )
 
+# Parity tests must exercise *real* pools even on 1-CPU CI boxes, so
+# they opt out of the CPU clamp (deliberate oversubscription).
+_POOL2 = ParallelConfig(jobs=2, clamp_jobs=False)
+_POOL3 = ParallelConfig(jobs=3, clamp_jobs=False)
+
 
 def _signature(assignment):
     """A byte-exact, order-independent fingerprint of an assignment."""
@@ -46,7 +51,9 @@ class TestVendorFanOutParity:
         problem_a = _crowded_problem(seed)
         problem_b = _crowded_problem(seed)
         serial = Reconciliation(seed=seed).solve(problem_a)
-        fanned = Reconciliation(seed=seed, jobs=2).solve(problem_b)
+        fanned = Reconciliation(
+            seed=seed, parallel=_POOL2
+        ).solve(problem_b)
         assert _signature(serial) == _signature(fanned)
         assert serial.total_utility == fanned.total_utility
 
@@ -56,7 +63,7 @@ class TestVendorFanOutParity:
             radius_range=ParameterRange(0.1, 0.2), seed=3,
         )
         serial = Reconciliation(seed=1).solve(synthetic_problem(config))
-        fanned = Reconciliation(seed=1, jobs=3).solve(
+        fanned = Reconciliation(seed=1, parallel=_POOL3).solve(
             synthetic_problem(config)
         )
         assert _signature(serial) == _signature(fanned)
@@ -66,14 +73,16 @@ class TestVendorFanOutParity:
         problem_a = _crowded_problem(2)
         problem_b = _crowded_problem(2)
         serial = Reconciliation(mckp_method=method, seed=2).solve(problem_a)
-        fanned = Reconciliation(mckp_method=method, seed=2, jobs=2).solve(
+        fanned = Reconciliation(
+            mckp_method=method, seed=2, parallel=_POOL2
+        ).solve(
             problem_b
         )
         assert _signature(serial) == _signature(fanned)
 
     def test_parallel_output_feasible(self):
         problem = _crowded_problem(4)
-        assignment = Reconciliation(seed=4, jobs=2).solve(problem)
+        assignment = Reconciliation(seed=4, parallel=_POOL2).solve(problem)
         assert validate_assignment(problem, assignment).ok
 
 
@@ -90,8 +99,7 @@ class TestReconciliationOrderRegression:
                 seed=seed, violation_order="random"
             ).solve(_crowded_problem(11))
             fanned = Reconciliation(
-                seed=seed, violation_order="random", jobs=3,
-                parallel=None,
+                seed=seed, violation_order="random", parallel=_POOL3,
             ).solve(_crowded_problem(11))
             assert _signature(serial) == _signature(fanned)
 
@@ -144,5 +152,5 @@ class TestFallbacks:
         problem_a = _crowded_problem(8)
         problem_b = _crowded_problem(8)
         serial = Reconciliation(seed=8).solve(problem_a)
-        crashed = Reconciliation(seed=8, jobs=2).solve(problem_b)
+        crashed = Reconciliation(seed=8, parallel=_POOL2).solve(problem_b)
         assert _signature(serial) == _signature(crashed)

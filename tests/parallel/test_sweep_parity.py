@@ -52,7 +52,7 @@ class TestSweepParity:
         serial = run_sweep("t", _points(), algorithms=ALGORITHMS, seed=3)
         fanned = run_sweep(
             "t", _points(), algorithms=ALGORITHMS, seed=3,
-            parallel=ParallelConfig(jobs=2),
+            parallel=ParallelConfig(jobs=2, clamp_jobs=False),
         )
         assert [_row_key(r) for r in serial.rows] == \
             [_row_key(r) for r in fanned.rows]
@@ -64,7 +64,7 @@ class TestSweepParity:
         serial = run_sweep("t", point, algorithms=ALGORITHMS, seed=2)
         fanned = run_sweep(
             "t", point, algorithms=ALGORITHMS, seed=2,
-            parallel=ParallelConfig(jobs=2),
+            parallel=ParallelConfig(jobs=2, clamp_jobs=False),
         )
         assert [_row_key(r) for r in serial.rows] == \
             [_row_key(r) for r in fanned.rows]
@@ -78,7 +78,7 @@ class TestPanelParity:
         serial = run_panel(problem_a, algorithms=ALGORITHMS, seed=4)
         fanned = run_panel(
             problem_b, algorithms=ALGORITHMS, seed=4,
-            parallel=ParallelConfig(jobs=2),
+            parallel=ParallelConfig(jobs=2, clamp_jobs=False),
         )
         assert list(serial) == list(fanned)  # panel order preserved
         for name in ALGORITHMS:
@@ -94,7 +94,7 @@ class TestPanelParity:
         serial = run_panel(problem_a, algorithms=("ONLINE",), seed=5)
         fanned = run_panel(
             problem_b, algorithms=("ONLINE", "GREEDY"), seed=5,
-            parallel=ParallelConfig(jobs=2),
+            parallel=ParallelConfig(jobs=2, clamp_jobs=False),
         )
         assert serial["ONLINE"].total_utility == \
             fanned["ONLINE"].total_utility

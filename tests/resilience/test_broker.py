@@ -85,6 +85,33 @@ class TestFallbackChain:
             for dep, _, _, to_state in stats.breaker_transitions
         )
 
+    def test_breaker_counts_keyed_by_dependency(self, problem):
+        plan = FaultPlan(seed=1, utility=FaultSpec(transient_rate=1.0))
+        broker = ResilientBroker(
+            problem,
+            plan=plan,
+            primary=OnlineStaticThreshold(0.0),
+            retry=RetryPolicy(max_attempts=2, jitter=0.0),
+            breaker_failure_threshold=3,
+            breaker_recovery_timeout=1e9,
+        )
+        stats = broker.run().resilience
+        # The rollup matches the raw transition log exactly.
+        assert stats.breaker_counts
+        for dep, states in stats.breaker_counts.items():
+            for state, count in states.items():
+                assert count == sum(
+                    1
+                    for name, _, _, to_state in stats.breaker_transitions
+                    if name == dep and to_state == state
+                )
+        assert stats.breaker_counts["utility"]["open"] >= 1
+        # ...and is exported through the flat extras for experiments.
+        extras = stats.as_extras()
+        assert extras["breaker_open.utility"] == float(
+            stats.breaker_counts["utility"]["open"]
+        )
+
     def test_transient_faults_are_absorbed_by_retries(self, problem):
         primary = OnlineStaticThreshold(0.0)
         fault_free = ResilientBroker(

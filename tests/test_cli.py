@@ -121,6 +121,69 @@ def test_info(capsys):
     assert "replicated:" in out
 
 
+def test_info_cluster_card(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster card" in out
+    assert "one process per shard" in out
+    assert "restart-with-replay" in out
+
+
+def test_serve_cluster_inline(capsys):
+    assert (
+        main(
+            [
+                "serve-cluster",
+                "--customers", "120",
+                "--vendors", "20",
+                "--shards", "2",
+                "--transport", "inline",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "2 shard(s)" in out
+    assert "inline transport" in out
+    assert "decisions: 120" in out
+
+
+def test_serve_cluster_chaos_kill(capsys):
+    assert (
+        main(
+            [
+                "serve-cluster",
+                "--customers", "120",
+                "--vendors", "20",
+                "--shards", "2",
+                "--transport", "inline",
+                "--kill-shard", "1",
+                "--kill-tick", "60",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "killing shard 1 at tick 60" in out
+    assert "1 restart(s)" in out
+
+
+def test_serve_cluster_bad_kill_shard(capsys):
+    assert (
+        main(
+            [
+                "serve-cluster",
+                "--customers", "40",
+                "--vendors", "10",
+                "--shards", "2",
+                "--transport", "inline",
+                "--kill-shard", "5",
+            ]
+        )
+        == 2
+    )
+
+
 def test_info_shard_count(capsys):
     assert main(["info", "--shards", "2", "--customers", "300"]) == 0
     out = capsys.readouterr().out

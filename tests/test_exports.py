@@ -23,6 +23,7 @@ PACKAGES = (
     "repro.experiments",
     "repro.temporal",
     "repro.obs",
+    "repro.cluster",
 )
 
 
