@@ -186,6 +186,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--kill-tick", type=int, default=None, metavar="TICK",
         help="arrival index of the kill (default: halfway)",
     )
+    serve.add_argument(
+        "--churn", type=int, default=0, metavar="N",
+        help="apply N seeded vendor join/leave/exhaust/migrate events "
+             "spread over the stream (delta-spliced, never rebuilt)",
+    )
+    serve.add_argument(
+        "--churn-seed", type=int, default=None, metavar="SEED",
+        help="seed of the churn event stream (default: --seed)",
+    )
     add_obs(serve)
 
     info = sub.add_parser(
@@ -438,10 +447,32 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         print(
             f"chaos: killing shard {args.kill_shard} at tick {tick}"
         )
+    plan = None
+    churn = None
+    if args.churn > 0:
+        from repro.churn import seeded_vendor_churn
+        from repro.sharding import ShardPlan
+
+        plan = ShardPlan.build(problem, args.shards)
+        churn_seed = (
+            args.seed if args.churn_seed is None else args.churn_seed
+        )
+        churn = seeded_vendor_churn(
+            problem,
+            args.churn,
+            seed=churn_seed,
+            n_ticks=args.customers,
+            plan=plan,
+        )
+        print(
+            f"churn: {len(churn)} seeded event(s), seed {churn_seed}"
+        )
     result = run_episode(
         problem,
         ClusterConfig(shards=args.shards, transport=transport),
         chaos=chaos,
+        shard_plan=plan,
+        churn=churn,
     )
     print(result.card())
     return 0
@@ -506,6 +537,25 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"  engine columns: {'shared memory' if HAVE_SHARED_MEMORY else 'per-worker local scoring'}")
     print("  resilience:     per-shard breakers, heartbeats, "
           "restart-with-replay, replica/static/nearest/shed ladder")
+
+    # Churn card: live marketplace churn on the sample plan.
+    from repro.churn import EVENT_KINDS, seeded_vendor_churn
+
+    sample = seeded_vendor_churn(
+        problem, 8, seed=args.seed, n_ticks=args.customers, plan=plan
+    )
+    kinds: dict = {}
+    for event in sample.events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    mix = ", ".join(f"{kind}={kinds[kind]}" for kind in sorted(kinds))
+    print()
+    print("churn card (serve-cluster --churn N):")
+    print(f"  event kinds:    {', '.join(EVENT_KINDS)}")
+    print(f"  plan epoch:     {plan.epoch} "
+          f"(schema v2 metadata round-trips the epoch)")
+    print(f"  sample of 8:    {mix} (seed {args.seed})")
+    print("  delta path:     engine segments spliced in place; "
+          "cold rebuild kept as the parity reference")
     return 0
 
 

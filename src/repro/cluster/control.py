@@ -63,6 +63,10 @@ class ControlPlane:
         restart_delay: Ticks between detecting DOWN and restarting.
         max_restarts: Restart attempts before giving a shard up.
         breaker_recovery: Breaker open -> half-open cool-down, in ticks.
+        epoch_of: Optional zero-argument callable returning the current
+            churn epoch; stamped into restart/failure events so replay
+            timelines are attributable to the marketplace state they
+            ran against.
     """
 
     def __init__(
@@ -74,6 +78,7 @@ class ControlPlane:
         restart_delay: int = 2,
         max_restarts: int = 3,
         breaker_recovery: float = 4.0,
+        epoch_of: Optional[Callable[[], int]] = None,
     ) -> None:
         self._hosts = hosts
         self.heartbeat_interval = max(1, heartbeat_interval)
@@ -95,6 +100,7 @@ class ControlPlane:
             for shard in hosts
         }
         self._restart_due: Dict[int, int] = {}
+        self._epoch_of = epoch_of
         self.heartbeats = 0
         self.heartbeats_missed = 0
         self.restarts_performed = 0
@@ -185,10 +191,15 @@ class ControlPlane:
             state.shard, tick + self.restart_delay
         )
 
+    def _epoch(self) -> int:
+        return self._epoch_of() if self._epoch_of is not None else 0
+
     def _give_up(self, state: ShardState) -> None:
         state.health = ShardHealth.FAILED
         self._restart_due.pop(state.shard, None)
-        recorder().event("cluster.shard_failed", shard=state.shard)
+        recorder().event(
+            "cluster.shard_failed", shard=state.shard, epoch=self._epoch()
+        )
 
     def tend(
         self,
@@ -213,7 +224,10 @@ class ControlPlane:
             state = self.states[shard]
             state.restarts += 1
             rec.event(
-                "cluster.restart", shard=shard, attempt=state.restarts
+                "cluster.restart",
+                shard=shard,
+                attempt=state.restarts,
+                epoch=self._epoch(),
             )
             host = self._hosts[shard]
             host.restart()

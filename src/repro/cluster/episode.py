@@ -146,6 +146,12 @@ class ClusterResult:
             f"health: {health}",
             f"router p99: {self.p99_decision_seconds * 1e3:.3f}ms",
         ]
+        if stats.churn_events or stats.churn_epoch:
+            lines.insert(
+                5,
+                f"churn: {stats.churn_events} event(s), "
+                f"epoch {stats.churn_epoch}",
+            )
         return "\n".join(lines)
 
 
@@ -155,6 +161,7 @@ def run_episode(
     chaos: Optional[ChaosPlan] = None,
     arrivals: Optional[Sequence[Customer]] = None,
     shard_plan: Optional[ShardPlan] = None,
+    churn=None,
 ) -> ClusterResult:
     """Serve one arrival stream through the process-per-shard cluster.
 
@@ -165,6 +172,11 @@ def run_episode(
         arrivals: Arrival order (arrival-time order by default).
         shard_plan: Pre-built plan to reuse (wins over
             ``config.shards``).
+        churn: Optional :class:`~repro.churn.ChurnSchedule`.  Events at
+            arrival index ``t`` are applied through the plan and their
+            per-shard deltas shipped to the workers *before* customer
+            ``t`` is decided; the final epoch lands in the episode
+            stats.
     """
     config = config or ClusterConfig()
     plan = shard_plan or ShardPlan.build(problem, config.shards)
@@ -213,6 +225,7 @@ def run_episode(
         restart_delay=config.restart_delay,
         max_restarts=config.max_restarts,
         breaker_recovery=config.breaker_recovery,
+        epoch_of=lambda: plan.epoch,
     )
     chaosctl = ChaosController(chaos or ChaosPlan.none())
     router = ClusterRouter(
@@ -240,6 +253,9 @@ def run_episode(
             control.tend(tick, chaosctl, router.replay)
             if control.heartbeat_due(tick):
                 control.heartbeat_round(tick, chaosctl)
+            if churn is not None:
+                for event in churn.at(tick):
+                    router.apply_churn(event, tick)
             router.decide(customer, tick)
     finally:
         for host in hosts.values():

@@ -23,6 +23,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.churn import ShardDelta
 from repro.core.assignment import AdInstance
 from repro.core.entities import Customer
 from repro.exceptions import TransientError
@@ -111,6 +112,38 @@ class DecideReply:
 
 
 @dataclass(frozen=True)
+class ChurnRequest:
+    """Bring a shard worker to a new churn epoch.
+
+    Carries one :class:`~repro.churn.ShardDelta` -- the per-shard
+    payload of a vendor join/leave/exhaust or cell migration the plan
+    already applied on the router side.  Workers apply deltas
+    idempotently (guarded by the epoch), so re-sending one after a
+    retried exchange or across a restart is harmless.
+    """
+
+    tick: int
+    delta: ShardDelta
+
+
+@dataclass(frozen=True)
+class ChurnReply:
+    """A worker's acknowledgement of one churn delta.
+
+    Attributes:
+        shard: The acknowledging shard id.
+        epoch: The worker's churn epoch after handling the request.
+        applied: False when the delta was skipped as already applied
+            (inline transport shares the spliced view; a replayed
+            delta after a restart finds the epoch already current).
+    """
+
+    shard: int
+    epoch: int
+    applied: bool
+
+
+@dataclass(frozen=True)
 class HeartbeatRequest:
     """Control-plane liveness probe."""
 
@@ -125,6 +158,7 @@ class HeartbeatReply:
     shard: int
     decided: int
     committed: int
+    epoch: int = 0
 
 
 @dataclass(frozen=True)

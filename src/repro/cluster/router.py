@@ -34,7 +34,9 @@ from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
 from repro.algorithms.online_static import OnlineStaticThreshold
 from repro.cluster.chaos import ChaosController
 from repro.cluster.control import ControlPlane
+from repro.churn import ChurnEvent, ShardDelta
 from repro.cluster.protocol import (
+    ChurnRequest,
     CorruptMessageError,
     DecideRequest,
     ReplayRequest,
@@ -72,6 +74,8 @@ class ClusterStats:
     duplicates_served: int = 0
     rejected_instances: int = 0
     shed: int = 0
+    churn_events: int = 0
+    churn_epoch: int = 0
     heartbeats: int = 0
     heartbeats_missed: int = 0
     restarts: int = 0
@@ -118,6 +122,8 @@ class ClusterStats:
             "cluster_faults_injected": float(
                 sum(self.faults_injected.values())
             ),
+            "cluster_churn_events": float(self.churn_events),
+            "cluster_churn_epoch": float(self.churn_epoch),
         }
         for path in sorted(self.decisions_by_path):
             extras[f"cluster_path.{path}"] = float(
@@ -174,10 +180,12 @@ class ClusterRouter:
         self._nearest.reset(problem)
         self.assignment = problem.new_assignment()
         self._seen: set = set()
-        self._committed_by_shard: Dict[int, List[AdInstance]] = {}
-        self._decided_by_shard: Dict[
-            int, List[Tuple[int, Tuple[AdInstance, ...]]]
-        ] = {}
+        # Flat replay logs, *filtered at replay time* by the current
+        # plan: a vendor migrated to another shard takes its committed
+        # spend history with it, so a post-migration restart replays
+        # every commit onto the shard that owns the vendor *now*.
+        self._committed_log: List[AdInstance] = []
+        self._decided_log: List[Tuple[int, Tuple[AdInstance, ...]]] = []
         self.stats = ClusterStats()
 
     # -- the per-arrival path ---------------------------------------------
@@ -188,7 +196,10 @@ class ClusterRouter:
         self._seen.add(customer.customer_id)
         rec = recorder()
         with rec.span(
-            "cluster.decision", customer=customer.customer_id, tick=tick
+            "cluster.decision",
+            customer=customer.customer_id,
+            tick=tick,
+            epoch=self._plan.epoch,
         ):
             picked, path = self._route(customer, tick)
             committed = self._commit(picked)
@@ -198,8 +209,7 @@ class ClusterRouter:
         rec.count(f"cluster.path.{path}")
         self.stats.router_latencies.append(time.perf_counter() - start)
         if path == "shard":
-            shard = self._plan.route(customer)
-            self._decided_by_shard.setdefault(shard, []).append(
+            self._decided_log.append(
                 (customer.customer_id, tuple(picked))
             )
         return committed
@@ -320,29 +330,101 @@ class ClusterRouter:
             if self.assignment.add(instance, strict=False):
                 committed.append(instance)
                 rec.count("cluster.commits")
-                owner = self._plan.shard_of_vendor.get(instance.vendor_id)
-                if owner is not None:
-                    self._committed_by_shard.setdefault(owner, []).append(
-                        instance
-                    )
+                self._committed_log.append(instance)
             else:
                 self.stats.rejected_instances += 1
                 rec.count("cluster.rejected_instances")
         return committed
+
+    # -- live churn --------------------------------------------------------
+
+    def apply_churn(self, event: ChurnEvent, tick: int) -> List[ShardDelta]:
+        """Apply one churn event and ship its deltas to the workers.
+
+        The plan updates the global problem, its own membership maps,
+        and the router-side replica views incrementally; the returned
+        per-shard deltas are then forwarded so out-of-process workers
+        splice their fork-local state to the same epoch.  A dead shard
+        simply misses the shipment -- its restart boots from the plan's
+        already-churned view and the replayed delta no-ops.
+        """
+        deltas = self._plan.apply_churn(event)
+        self.stats.churn_events += 1
+        recorder().event(
+            "cluster.churn",
+            kind=event.kind,
+            tick=tick,
+            epoch=self._plan.epoch,
+        )
+        for delta in deltas:
+            self._ship_delta(delta, tick)
+        return deltas
+
+    def _ship_delta(self, delta: ShardDelta, tick: int) -> None:
+        shard = delta.shard
+        host = self._hosts.get(shard)
+        if host is None:
+            return
+        if delta.retire or delta.join:
+            # Boot-time shm columns no longer describe this shard; any
+            # future restart must score locally against the live view.
+            host.invalidate_handle()
+        if not self._control.serving(shard) or not host.alive:
+            return
+        try:
+            unseal(host.request(ChurnRequest(tick=tick, delta=delta)))
+        except ResilienceError:
+            self._control.note_failure(shard, tick)
+            self.stats.shard_failures += 1
+            return
+        if delta.join:
+            # A joining vendor brings its committed spend history along
+            # so the new owner's local budget mirror starts correct.
+            seed = self.committed_for_vendors(
+                join.vendor.vendor_id for join in delta.join
+            )
+            if seed:
+                try:
+                    unseal(host.request(ReplayRequest(instances=seed)))
+                except ResilienceError:
+                    self._control.note_failure(shard, tick)
+                    self.stats.shard_failures += 1
+
+    def committed_for_vendors(self, vendor_ids) -> Tuple[AdInstance, ...]:
+        """Every globally-committed instance of the given vendors."""
+        wanted = set(vendor_ids)
+        return tuple(
+            instance
+            for instance in self._committed_log
+            if instance.vendor_id in wanted
+        )
 
     # -- recovery support --------------------------------------------------
 
     def replay(self, shard: int) -> Optional[int]:
         """Re-seed a restarted worker from the authoritative state.
 
+        The flat commit/decision logs are filtered by the *current*
+        plan, so commits on a vendor that has since migrated replay to
+        its post-migration shard.
+
         Returns the replayed instance count, or ``None`` when the
         replay exchange itself failed (the control plane treats that
         restart as dead).
         """
-        request = ReplayRequest(
-            instances=tuple(self._committed_by_shard.get(shard, ())),
-            decided=tuple(self._decided_by_shard.get(shard, ())),
+        plan = self._plan
+        customers = self._problem.customers_by_id
+        instances = tuple(
+            instance
+            for instance in self._committed_log
+            if plan.shard_of_vendor.get(instance.vendor_id) == shard
         )
+        decided = tuple(
+            (cid, picked)
+            for cid, picked in self._decided_log
+            if cid in customers and plan.route(customers[cid]) == shard
+        )
+        request = ReplayRequest(instances=instances, decided=decided)
         try:
             reply = unseal(self._hosts[shard].request(request))
         except ResilienceError:
@@ -352,6 +434,7 @@ class ClusterRouter:
             shard=shard,
             instances=reply.replayed_instances,
             decisions=reply.replayed_decisions,
+            epoch=plan.epoch,
         )
         return reply.replayed_instances
 
@@ -368,4 +451,5 @@ class ClusterRouter:
         stats.restarts = self._control.restarts_performed
         stats.replayed_instances = self._control.replayed_instances
         stats.faults_injected = dict(self._chaos.injected)
+        stats.churn_epoch = self._plan.epoch
         return stats

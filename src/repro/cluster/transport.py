@@ -85,6 +85,16 @@ class InlineShardHost:
         request = unseal(seal(message))
         return seal(self._server.handle(request))
 
+    def invalidate_handle(self) -> None:
+        """Forget the pre-scored shm columns (stale after churn).
+
+        A later :meth:`restart` then scores locally against the
+        current -- post-churn -- problem view instead of attaching
+        columns frozen at boot time.  The live server is unaffected:
+        it splices its own engine as churn deltas arrive.
+        """
+        self._handle = None
+
     def kill(self) -> None:
         """Abrupt loss: the server and all its local state are dropped."""
         if self._server is not None:
@@ -201,6 +211,12 @@ class ProcessShardHost:
             raise ShardUnavailableError(
                 f"shard {self.shard_id} transport failed: {exc!r}"
             ) from exc
+
+    def invalidate_handle(self) -> None:
+        """Forget the shm columns (stale after churn); a later restart
+        forks a worker that scores locally against the post-churn view
+        it inherits, instead of attaching boot-time columns."""
+        self._handle = None
 
     def kill(self) -> None:
         """SIGKILL the worker (abrupt loss, no cleanup on its side)."""

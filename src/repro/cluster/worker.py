@@ -30,6 +30,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.cluster.protocol import (
+    ChurnReply,
+    ChurnRequest,
     DecideReply,
     DecideRequest,
     HeartbeatReply,
@@ -138,6 +140,8 @@ class ShardServer:
             return self.heartbeat(message)
         if isinstance(message, ReplayRequest):
             return self.replay(message)
+        if isinstance(message, ChurnRequest):
+            return self.churn(message)
         raise TypeError(f"unexpected message {type(message).__name__}")
 
     def decide(self, request: DecideRequest) -> DecideReply:
@@ -155,7 +159,10 @@ class ShardServer:
                 obs=self._drain(),
             )
         with self._rec.span(
-            "cluster.shard_decision", customer=cid, shard=self.shard_id
+            "cluster.shard_decision",
+            customer=cid,
+            shard=self.shard_id,
+            epoch=self._problem.churn.epoch,
         ):
             picked = tuple(
                 self._algorithm.process_customer(
@@ -180,6 +187,41 @@ class ShardServer:
             shard=self.shard_id,
             decided=len(self._decided),
             committed=self._committed,
+            epoch=self._problem.churn.epoch,
+        )
+
+    def churn(self, request: ChurnRequest) -> ChurnReply:
+        """Apply one shard delta, idempotently.
+
+        The epoch guard is what makes re-delivery safe: the inline
+        transport shares the plan's already-spliced view (its epoch is
+        current before the request arrives), and a restarted worker
+        boots from the post-churn view, so a replayed delta finds
+        nothing to do.  A forked process worker, whose state is a
+        fork-time snapshot, sees an older epoch and applies the delta
+        to its local view (splicing its engine in place).
+        """
+        delta = request.delta
+        problem = self._problem
+        if delta.epoch <= problem.churn.epoch:
+            return ChurnReply(
+                shard=self.shard_id,
+                epoch=problem.churn.epoch,
+                applied=False,
+            )
+        with self._rec.span(
+            "cluster.shard_churn", shard=self.shard_id, epoch=delta.epoch
+        ):
+            for join in delta.join:
+                problem.admit_customers(join.admit)
+                problem.insert_vendor(join.vendor, position=join.position)
+            for vendor_id in delta.retire:
+                problem.retire_vendor(vendor_id)
+            if delta.deactivate:
+                problem.deactivate_vendors(delta.deactivate)
+        problem.churn.epoch = delta.epoch
+        return ChurnReply(
+            shard=self.shard_id, epoch=delta.epoch, applied=True
         )
 
     def replay(self, request: ReplayRequest) -> ReplayReply:

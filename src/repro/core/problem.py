@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.churn import KIND_DEACTIVATE, KIND_INSERT, KIND_RETIRE, ChurnEvent, ChurnState
 from repro.core.assignment import AdInstance, Assignment
 from repro.core.entities import AdType, Customer, Vendor, distance
 from repro.exceptions import InvalidProblemError
@@ -64,6 +65,11 @@ class MUAAProblem:
             large candidate-edge tables in chunked worker processes
             over shared memory; results are bitwise identical to the
             serial pass.  Serial (``None``) is the default.
+        churn: Optional shared :class:`~repro.churn.ChurnState`.  Shard
+            views pass their parent's state so a vendor deactivated
+            anywhere (budget exhaustion is a global fact) is skipped by
+            every view's candidate scans; omitted, the problem gets a
+            private state.
 
     Raises:
         InvalidProblemError: On duplicate ids, an empty catalogue, or
@@ -82,6 +88,7 @@ class MUAAProblem:
         spatial_backend: str = "grid",
         use_engine: bool = True,
         parallel=None,
+        churn: Optional[ChurnState] = None,
     ) -> None:
         if spatial_backend not in ("grid", "kdtree"):
             raise InvalidProblemError(
@@ -137,6 +144,9 @@ class MUAAProblem:
         #: Fan-out configuration consulted by the compute engine for
         #: chunked kernel scoring (``None`` means strictly serial).
         self.parallel_config = parallel
+        #: Churn bookkeeping (deactivated vendors, skip/epoch counters),
+        #: shared with shard views of this problem.
+        self.churn: ChurnState = churn if churn is not None else ChurnState()
 
     # ------------------------------------------------------------------
     # Columnar compute engine
@@ -188,6 +198,16 @@ class MUAAProblem:
 
         self._engine = engine
         self._engine_miss = MISS
+        self._engine_unsupported = False
+
+    def drop_engine(self) -> None:
+        """Discard the built compute engine (if any).
+
+        The next batch entry point rebuilds from scratch -- the cold
+        path churn's incremental splices are parity-tested against.
+        """
+        self._engine = None
+        self._engine_miss = None
         self._engine_unsupported = False
 
     def _engine_base(
@@ -251,20 +271,35 @@ class MUAAProblem:
         With a built compute engine this reads the precomputed
         candidate-edge adjacency (same set as the spatial query, in
         vendor catalogue order) instead of re-running the range query
-        per call.
+        per call.  Vendors deactivated in the shared
+        :class:`~repro.churn.ChurnState` (exhausted budgets, explicit
+        ``deactivate`` events) are filtered out, and each skip is
+        counted in ``churn.skips``.
         """
         if self._engine is not None and self._engine.edges_built:
             vendors = self._engine.vendors_in_range(customer.customer_id)
             if vendors is not None:
-                return list(vendors)
+                return self._filter_inactive(list(vendors))
         if self._pair_validator is not None:
-            return [
+            return self._filter_inactive([
                 v.vendor_id for v in self.vendors
                 if self._pair_validator(customer, v)
-            ]
-        return valid_vendors(
+            ])
+        return self._filter_inactive(valid_vendors(
             customer, self.vendors_by_id, self.vendor_index, self.max_radius
-        )
+        ))
+
+    def _filter_inactive(self, vendor_ids: List[int]) -> List[int]:
+        """Drop deactivated vendors from a candidate scan, counting the
+        skips (surfaced in ``ResilienceStats`` and obs)."""
+        inactive = self.churn.inactive
+        if not inactive:
+            return vendor_ids
+        active = [vid for vid in vendor_ids if vid not in inactive]
+        skipped = len(vendor_ids) - len(active)
+        if skipped:
+            self.churn.skips += skipped
+        return active
 
     def is_valid_pair(self, customer: Customer, vendor: Vendor) -> bool:
         """Range check :math:`d(u_i, v_j) \\le r_j` (or the custom
@@ -443,6 +478,159 @@ class MUAAProblem:
     def new_assignment(self) -> Assignment:
         """A fresh assignment tracking this problem's capacities/budgets."""
         return Assignment(capacities=self.capacities, budgets=self.budgets)
+
+    # ------------------------------------------------------------------
+    # Churn (live vendor joins/leaves; see docs/incremental.md)
+    # ------------------------------------------------------------------
+    def insert_vendor(
+        self, vendor: Vendor, position: Optional[int] = None
+    ) -> bool:
+        """Add a joining vendor at catalogue ``position`` (default:
+        end), threading the delta into a built compute engine.
+
+        The customer spatial index is left untouched (its cell size is
+        frozen at construction; range queries stay exact for any
+        radius), so a cold engine rebuild on this same problem object
+        reproduces the delta result bit for bit.  Idempotent.
+        """
+        if vendor.vendor_id in self.vendors_by_id:
+            return False
+        if position is None:
+            position = len(self.vendors)
+        self.vendors.insert(position, vendor)
+        self.vendors_by_id[vendor.vendor_id] = vendor
+        # ``budgets`` is shared by reference with live assignments, so
+        # the join is immediately spendable mid-episode.
+        self.budgets[vendor.vendor_id] = vendor.budget
+        self.max_radius = max(self.max_radius, vendor.radius)
+        self._vendor_index = None
+        if self._engine is not None:
+            self._engine.insert_vendor(vendor, row=position)
+        return True
+
+    def retire_vendor(self, vendor_id: int) -> bool:
+        """Remove a leaving vendor from the catalogue and a built
+        engine.  The ``budgets`` entry is kept -- live assignments still
+        account spend against it.  Idempotent."""
+        vendor = self.vendors_by_id.pop(vendor_id, None)
+        if vendor is None:
+            return False
+        self.vendors.remove(vendor)
+        self.churn.inactive.discard(vendor_id)
+        self.churn.auto.discard(vendor_id)
+        self._vendor_index = None
+        if self._engine is not None:
+            self._engine.retire_vendor(vendor_id)
+        return True
+
+    def admit_customers(self, customers: Sequence[Customer]) -> int:
+        """Add new customers (shard views admit replicas during a cell
+        migration).  The spatial index is invalidated for lazy rebuild;
+        ``capacities`` is shared by reference with live assignments, so
+        the admits are immediately servable.  Idempotent per id."""
+        fresh = [
+            c for c in customers if c.customer_id not in self.customers_by_id
+        ]
+        if not fresh:
+            return 0
+        for customer in fresh:
+            self.customers.append(customer)
+            self.customers_by_id[customer.customer_id] = customer
+            self.capacities[customer.customer_id] = customer.capacity
+        self._customer_index = None
+        if self._engine is not None:
+            self._engine.admit_customers(fresh)
+        return len(fresh)
+
+    def deactivate_vendors(
+        self, vendor_ids: Sequence[int], auto: bool = False
+    ) -> int:
+        """Mark vendors inactive so candidate scans skip them.
+
+        Explicit deactivations (``auto=False``, e.g. a ``deactivate``
+        churn event) also splice the vendors' candidate segments out of
+        a built engine.  Automatic ones (budget exhaustion detected
+        mid-run) stay set-only -- cheap, and rolled back by
+        :meth:`reset_auto_deactivations` so the problem object is
+        reusable across runs.  Returns the number newly deactivated.
+        """
+        fresh = [
+            vid for vid in vendor_ids
+            if vid in self.vendors_by_id and vid not in self.churn.inactive
+        ]
+        for vid in fresh:
+            self.churn.inactive.add(vid)
+            if auto:
+                self.churn.auto.add(vid)
+        self.churn.deactivations += len(fresh)
+        if fresh and not auto and self._engine is not None:
+            self._engine.deactivate_exhausted(fresh)
+        return len(fresh)
+
+    def reactivate_vendors(self, vendor_ids: Sequence[int]) -> int:
+        """Undo deactivations (segments are rebuilt bit-identically)."""
+        count = 0
+        for vid in vendor_ids:
+            if vid in self.churn.inactive:
+                self.churn.inactive.discard(vid)
+                self.churn.auto.discard(vid)
+                count += 1
+                if self._engine is not None:
+                    self._engine.restore_vendor(vid)
+        return count
+
+    def note_if_exhausted(self, assignment: Assignment, vendor_id: int) -> bool:
+        """Auto-deactivate a vendor whose remaining budget can no
+        longer afford the cheapest ad type.
+
+        Called by the stream/broker loops after each commit.  Such a
+        vendor always yields ``best=None`` on every later scan, so
+        skipping it is provably decision-neutral -- the skip only saves
+        the scoring work.  Returns whether the vendor was deactivated.
+        """
+        if (
+            vendor_id in self.churn.inactive
+            or vendor_id not in self.vendors_by_id
+        ):
+            return False
+        try:
+            remaining = assignment.remaining_budget(vendor_id)
+        except KeyError:
+            return False
+        if remaining + 1e-9 >= self.min_cost:
+            return False
+        self.churn.inactive.add(vendor_id)
+        self.churn.auto.add(vendor_id)
+        self.churn.deactivations += 1
+        return True
+
+    def reset_auto_deactivations(self) -> int:
+        """Roll back every automatic (budget-exhaustion) deactivation,
+        returning how many were active.  Run at the end of a stream or
+        broker episode so the problem object stays reusable."""
+        auto = self.churn.auto
+        count = len(auto)
+        if count:
+            self.churn.inactive.difference_update(auto)
+            auto.clear()
+        return count
+
+    def apply_churn(self, event: ChurnEvent) -> int:
+        """Apply one churn event directly to this (un-sharded) problem
+        and bump the epoch.  ``migrate`` events are shard-level --
+        route those through ``ShardPlan.apply_churn``."""
+        if event.kind == KIND_INSERT:
+            self.insert_vendor(event.vendor)
+        elif event.kind == KIND_RETIRE:
+            self.retire_vendor(event.vendor_id)
+        elif event.kind == KIND_DEACTIVATE:
+            self.deactivate_vendors([event.vendor_id])
+        else:
+            raise ValueError(
+                f"{event.kind!r} events require a ShardPlan to apply"
+            )
+        self.churn.epoch += 1
+        return self.churn.epoch
 
     def theta(self) -> float:
         """The bound factor :math:`\\theta = \\min_i a_i / n_i^c` of

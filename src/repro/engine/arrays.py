@@ -11,11 +11,16 @@ The arrays are a *view* in spirit: values are copied out of the frozen
 entity objects once, never mutated, and indexed positionally.  The
 ``customer_index`` / ``vendor_index`` maps translate entity ids to row
 positions (ids are arbitrary ints; rows are dense).
+
+Churn deltas (``docs/incremental.md``) never mutate columns in place --
+the ``with_*`` methods return a new :class:`ProblemArrays` with freshly
+allocated rows spliced in or out, so engines whose columns are
+read-only shared-memory views stay valid after a delta.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -135,4 +140,126 @@ class ProblemArrays:
                 int(cid): row for row, cid in enumerate(customer_ids)
             },
             vendor_index={int(vid): row for row, vid in enumerate(vendor_ids)},
+        )
+
+    # ------------------------------------------------------------------
+    # Delta splices (fresh arrays; originals are never written to)
+    # ------------------------------------------------------------------
+    def with_vendor_inserted(self, vendor: Vendor, row: int) -> "ProblemArrays":
+        """Columns with ``vendor`` spliced in at vendor row ``row``.
+
+        Raises:
+            ValueError: When the tag matrix exists but the vendor has no
+                compatible tag vector (the vectorized kernels would
+                silently lose their inputs otherwise).
+        """
+        tags = self.tags
+        if tags is not None:
+            vec = None if vendor.tags is None else np.asarray(
+                vendor.tags, dtype=float
+            )
+            if vec is None or vec.shape != tags.shape[1:]:
+                raise ValueError(
+                    f"vendor {vendor.vendor_id}: tag vector incompatible "
+                    f"with the existing ({tags.shape[1]},) tag matrix"
+                )
+            tags = np.insert(tags, row, vec, axis=0)
+        vendor_ids = np.insert(self.vendor_ids, row, vendor.vendor_id)
+        return replace(
+            self,
+            vendor_ids=vendor_ids,
+            vendor_xy=np.insert(
+                self.vendor_xy,
+                row,
+                np.asarray(vendor.location, dtype=float),
+                axis=0,
+            ),
+            radius=np.insert(self.radius, row, vendor.radius),
+            budget=np.insert(self.budget, row, vendor.budget),
+            tags=tags,
+            vendor_index={
+                int(vid): pos for pos, vid in enumerate(vendor_ids)
+            },
+        )
+
+    def with_vendor_removed(self, row: int) -> "ProblemArrays":
+        """Columns with vendor row ``row`` spliced out."""
+        vendor_ids = np.delete(self.vendor_ids, row)
+        return replace(
+            self,
+            vendor_ids=vendor_ids,
+            vendor_xy=np.delete(self.vendor_xy, row, axis=0),
+            radius=np.delete(self.radius, row),
+            budget=np.delete(self.budget, row),
+            tags=(
+                None if self.tags is None
+                else np.delete(self.tags, row, axis=0)
+            ),
+            vendor_index={
+                int(vid): pos for pos, vid in enumerate(vendor_ids)
+            },
+        )
+
+    def with_customers_appended(
+        self, customers: Sequence[Customer]
+    ) -> "ProblemArrays":
+        """Columns with new customer rows appended (shard-view admits).
+
+        Appending (rather than positional insertion) keeps existing edge
+        ``customer_idx`` references valid; per-customer queries do not
+        depend on customer row order.
+        """
+        if not customers:
+            return self
+        interests = self.interests
+        if interests is not None:
+            vectors = [
+                None if c.interests is None
+                else np.asarray(c.interests, dtype=float)
+                for c in customers
+            ]
+            if any(
+                v is None or v.shape != interests.shape[1:] for v in vectors
+            ):
+                raise ValueError(
+                    "admitted customers lack interest vectors compatible "
+                    f"with the existing ({interests.shape[1]},) matrix"
+                )
+            interests = np.concatenate([interests, np.stack(vectors)])
+        customer_index = dict(self.customer_index)
+        base = len(self.customer_ids)
+        for offset, customer in enumerate(customers):
+            customer_index[int(customer.customer_id)] = base + offset
+        return replace(
+            self,
+            customer_ids=np.concatenate([
+                self.customer_ids,
+                np.array(
+                    [c.customer_id for c in customers], dtype=np.int64
+                ),
+            ]),
+            customer_xy=np.concatenate([
+                self.customer_xy,
+                np.array(
+                    [c.location for c in customers], dtype=float
+                ).reshape(len(customers), 2),
+            ]),
+            capacity=np.concatenate([
+                self.capacity,
+                np.array([c.capacity for c in customers], dtype=np.int64),
+            ]),
+            view_probability=np.concatenate([
+                self.view_probability,
+                np.array(
+                    [c.view_probability for c in customers], dtype=float
+                ),
+            ]),
+            arrival_time=np.concatenate([
+                self.arrival_time,
+                np.array(
+                    [c.arrival_time for c in customers], dtype=float
+                ),
+            ]),
+            interests=interests,
+            customer_index=customer_index,
         )

@@ -100,6 +100,158 @@ def build_candidate_edges(problem, arrays: ProblemArrays) -> CandidateEdges:
     )
 
 
+def vendor_segment(
+    problem, arrays: ProblemArrays, vendor
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One vendor's candidate customer rows and distances, in the exact
+    per-vendor order of :func:`build_candidate_edges`.
+
+    The scalar grid query visits cells lexicographically and points in
+    insertion (row) order -- the same per-vendor order the vectorized
+    enumeration produces -- and the distances use the same
+    ``np.hypot`` expression, so a segment built here can be spliced
+    into an existing table and stay bit-identical to a cold rebuild.
+    """
+    valid_ids = problem.valid_customer_ids(vendor)
+    customer_index = arrays.customer_index
+    rows = np.array(
+        [customer_index[cid] for cid in valid_ids], dtype=np.intp
+    )
+    vendor_xy = np.asarray(vendor.location, dtype=float)
+    if len(rows):
+        deltas = arrays.customer_xy[rows] - vendor_xy[None, :]
+        dist = np.hypot(deltas[:, 0], deltas[:, 1])
+    else:
+        dist = np.zeros(0, dtype=float)
+    return rows, dist
+
+
+def insert_vendor_segment(
+    edges: CandidateEdges,
+    vendor_row: int,
+    customer_rows: np.ndarray,
+    dist: np.ndarray,
+) -> CandidateEdges:
+    """A new table with a new vendor row (and its edge segment) spliced
+    in at ``vendor_row``; later vendor rows shift up by one.
+
+    All columns are freshly allocated -- the input table may wrap
+    read-only shared-memory views.
+    """
+    start = int(edges.vendor_starts[vendor_row])
+    seg_len = len(customer_rows)
+    old_vidx = edges.vendor_idx
+    starts = edges.vendor_starts
+    return CandidateEdges(
+        customer_idx=np.concatenate([
+            edges.customer_idx[:start],
+            np.asarray(customer_rows, dtype=np.intp),
+            edges.customer_idx[start:],
+        ]),
+        # Vendor-major: positions < start hold rows < vendor_row,
+        # positions >= start hold rows >= vendor_row (renumbered +1).
+        vendor_idx=np.concatenate([
+            old_vidx[:start],
+            np.full(seg_len, vendor_row, dtype=old_vidx.dtype),
+            old_vidx[start:] + 1,
+        ]),
+        distance=np.concatenate([
+            edges.distance[:start],
+            np.asarray(dist, dtype=float),
+            edges.distance[start:],
+        ]),
+        vendor_starts=np.concatenate([
+            starts[: vendor_row + 1],
+            starts[vendor_row:] + seg_len,
+        ]),
+    )
+
+
+def remove_vendor_segment(
+    edges: CandidateEdges, vendor_row: int
+) -> CandidateEdges:
+    """A new table with vendor row ``vendor_row`` (and its segment)
+    spliced out; later vendor rows shift down by one."""
+    start = int(edges.vendor_starts[vendor_row])
+    stop = int(edges.vendor_starts[vendor_row + 1])
+    seg_len = stop - start
+    old_vidx = edges.vendor_idx
+    starts = edges.vendor_starts
+    return CandidateEdges(
+        customer_idx=np.concatenate([
+            edges.customer_idx[:start], edges.customer_idx[stop:]
+        ]),
+        vendor_idx=np.concatenate([
+            old_vidx[:start], old_vidx[stop:] - 1
+        ]),
+        distance=np.concatenate([
+            edges.distance[:start], edges.distance[stop:]
+        ]),
+        vendor_starts=np.concatenate([
+            starts[:vendor_row], starts[vendor_row + 1:] - seg_len
+        ]),
+    )
+
+
+def clear_vendor_segment(
+    edges: CandidateEdges, vendor_row: int
+) -> CandidateEdges:
+    """A new table with vendor row ``vendor_row``'s segment emptied but
+    the row kept (deactivation: the vendor stays in the catalogue)."""
+    start = int(edges.vendor_starts[vendor_row])
+    stop = int(edges.vendor_starts[vendor_row + 1])
+    seg_len = stop - start
+    starts = edges.vendor_starts
+    return CandidateEdges(
+        customer_idx=np.concatenate([
+            edges.customer_idx[:start], edges.customer_idx[stop:]
+        ]),
+        vendor_idx=np.concatenate([
+            edges.vendor_idx[:start], edges.vendor_idx[stop:]
+        ]),
+        distance=np.concatenate([
+            edges.distance[:start], edges.distance[stop:]
+        ]),
+        vendor_starts=np.concatenate([
+            starts[: vendor_row + 1], starts[vendor_row + 1:] - seg_len
+        ]),
+    )
+
+
+def fill_vendor_segment(
+    edges: CandidateEdges,
+    vendor_row: int,
+    customer_rows: np.ndarray,
+    dist: np.ndarray,
+) -> CandidateEdges:
+    """A new table with an (empty) existing vendor row's segment filled
+    back in -- the inverse of :func:`clear_vendor_segment`."""
+    start = int(edges.vendor_starts[vendor_row])
+    seg_len = len(customer_rows)
+    old_vidx = edges.vendor_idx
+    starts = edges.vendor_starts
+    return CandidateEdges(
+        customer_idx=np.concatenate([
+            edges.customer_idx[:start],
+            np.asarray(customer_rows, dtype=np.intp),
+            edges.customer_idx[start:],
+        ]),
+        vendor_idx=np.concatenate([
+            old_vidx[:start],
+            np.full(seg_len, vendor_row, dtype=old_vidx.dtype),
+            old_vidx[start:],
+        ]),
+        distance=np.concatenate([
+            edges.distance[:start],
+            np.asarray(dist, dtype=float),
+            edges.distance[start:],
+        ]),
+        vendor_starts=np.concatenate([
+            starts[: vendor_row + 1], starts[vendor_row + 1:] + seg_len
+        ]),
+    )
+
+
 def _grid_order_enumeration(
     problem, arrays: ProblemArrays
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -20,13 +20,21 @@ for unsupported models so callers can fall back to the scalar path.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.assignment import AdInstance
 from repro.engine.arrays import ProblemArrays
-from repro.engine.edges import CandidateEdges, build_candidate_edges
+from repro.engine.edges import (
+    CandidateEdges,
+    build_candidate_edges,
+    clear_vendor_segment,
+    fill_vendor_segment,
+    insert_vendor_segment,
+    remove_vendor_segment,
+    vendor_segment,
+)
 from repro.engine.kernels import pair_bases as _kernel_pair_bases
 from repro.obs.recorder import recorder
 from repro.utility.model import TabularUtilityModel, TaxonomyUtilityModel
@@ -67,7 +75,15 @@ class ComputeEngine:
         self._arrays = arrays
         self._edges: Optional[CandidateEdges] = None
         self._bases: Optional[np.ndarray] = None
-        self._edge_index: Optional[Dict[Tuple[int, int], int]] = None
+        # Two-level point index: (customer_id, vendor_id) -> offset
+        # *within the vendor's segment*, plus vendor id -> absolute
+        # segment start.  Deltas only touch the affected vendor's keys
+        # plus the O(n) start map -- never the O(E) pair map.
+        self._edge_pos: Optional[Dict[Tuple[int, int], int]] = None
+        self._seg_start: Optional[Dict[int, int]] = None
+        #: Vendors whose segments were spliced out by
+        #: :meth:`deactivate_exhausted` (restorable).
+        self._cleared: Set[int] = set()
         self._utilities: Optional[np.ndarray] = None
         # Point-lookup accelerators (plain Python containers; indexing
         # numpy scalars per online decision is measurably slower).
@@ -190,17 +206,57 @@ class ComputeEngine:
             self._bases = bases
         return self._bases
 
-    @property
-    def edge_index(self) -> Dict[Tuple[int, int], int]:
-        """``(customer_id, vendor_id)`` -> edge position."""
-        if self._edge_index is None:
+    def _point_index(
+        self,
+    ) -> Tuple[Dict[Tuple[int, int], int], Dict[int, int]]:
+        """Build (once) the two-level point index.
+
+        Returns the ``(customer_id, vendor_id) -> segment offset`` map
+        and the ``vendor_id -> absolute segment start`` map.  Absolute
+        edge positions are ``seg_start[vid] + offset``, so splicing one
+        vendor's segment shifts only the O(n) start map, not the O(E)
+        pair map.
+        """
+        if self._edge_pos is None:
             edges = self.edges
             cids = self._arrays.customer_ids[edges.customer_idx].tolist()
-            vids = self._arrays.vendor_ids[edges.vendor_idx].tolist()
-            self._edge_index = {
-                pair: pos for pos, pair in enumerate(zip(cids, vids))
-            }
-        return self._edge_index
+            vendor_ids = self._arrays.vendor_ids.tolist()
+            starts = edges.vendor_starts
+            pos_map: Dict[Tuple[int, int], int] = {}
+            seg_start: Dict[int, int] = {}
+            for row, vid in enumerate(vendor_ids):
+                lo = int(starts[row])
+                hi = int(starts[row + 1])
+                seg_start[vid] = lo
+                for off in range(hi - lo):
+                    pos_map[(cids[lo + off], vid)] = off
+            self._edge_pos = pos_map
+            self._seg_start = seg_start
+        return self._edge_pos, self._seg_start
+
+    def _recount_segments(self) -> None:
+        """Refresh the O(n) vendor-id -> segment-start map after a
+        splice changed the table layout."""
+        starts = self.edges.vendor_starts
+        self._seg_start = {
+            vid: int(starts[row])
+            for row, vid in enumerate(self._arrays.vendor_ids.tolist())
+        }
+
+    @property
+    def edge_index(self) -> Dict[Tuple[int, int], int]:
+        """``(customer_id, vendor_id)`` -> absolute edge position.
+
+        Derived on demand from the two-level point index the hot path
+        uses (per-segment offsets plus per-vendor starts); churn deltas
+        keep that index O(segment) per splice instead of rebuilding an
+        O(E) flat map.
+        """
+        edge_pos, seg_start = self._point_index()
+        return {
+            (cid, vid): seg_start[vid] + off
+            for (cid, vid), off in edge_pos.items()
+        }
 
     def utilities(self) -> np.ndarray:
         """``(E, K)`` utilities :math:`\\lambda_{ijk}` of every candidate
@@ -224,7 +280,7 @@ class ComputeEngine:
         tables) happen during warm-up rather than inside an online
         decision loop.  Returns the number of candidate edges.
         """
-        self.edge_index
+        self._point_index()
         if self._util_rows is None:
             self._util_rows = self.utilities().tolist()
         full = len(self._sorted_costs)
@@ -237,18 +293,20 @@ class ComputeEngine:
         """``customer_id`` -> vendor ids of its candidate edges.
 
         Derived from the edge table (so a custom pair validator is
-        honoured), with vendors in catalogue (row) order.  The scalar
-        grid query returns the same *set* in grid-cell order; order is
-        immaterial to the online solvers, which score every listed
-        vendor independently before ranking.
+        honoured), with vendors in catalogue (row) order -- the
+        vendor-major table visits rows in ascending order, which churn
+        splices preserve.  The scalar grid query returns the same *set*
+        in grid-cell order; order is immaterial to the online solvers,
+        which score every listed vendor independently before ranking.
         """
         if self._adjacency is None:
+            edges = self.edges
+            cids = self._arrays.customer_ids[edges.customer_idx].tolist()
+            vids = self._arrays.vendor_ids[edges.vendor_idx].tolist()
             adjacency: Dict[int, List[int]] = {
                 cid: [] for cid in self._arrays.customer_ids.tolist()
             }
-            # edge_index preserves edge-table insertion order, so its
-            # keys are the (customer_id, vendor_id) pairs in table order.
-            for cid, vid in self.edge_index:
+            for cid, vid in zip(cids, vids):
                 adjacency[cid].append(vid)
             self._adjacency = adjacency
         return self._adjacency
@@ -269,10 +327,13 @@ class ComputeEngine:
     def pair_base(self, customer_id: int, vendor_id: int) -> Optional[float]:
         """The cached pair base, or ``None`` when the pair is not a
         range-valid candidate (callers fall back to the scalar model)."""
-        pos = self.edge_index.get((customer_id, vendor_id))
-        if pos is None:
+        edge_pos = self._edge_pos
+        if edge_pos is None:
+            edge_pos, _ = self._point_index()
+        off = edge_pos.get((customer_id, vendor_id))
+        if off is None:
             return None
-        return float(self.pair_bases[pos])
+        return float(self.pair_bases[self._seg_start[vendor_id] + off])
 
     def pair_instances(
         self, customer_id: int, vendor_id: int, base: float
@@ -328,12 +389,13 @@ class ComputeEngine:
         costs, so a bisection picks the level and the level's argmax
         table gives the type.
         """
-        index = self._edge_index
-        if index is None:
-            index = self.edge_index
-        pos = index.get((customer_id, vendor_id))
-        if pos is None:
+        edge_pos = self._edge_pos
+        if edge_pos is None:
+            edge_pos, _ = self._point_index()
+        off = edge_pos.get((customer_id, vendor_id))
+        if off is None:
             return MISS
+        pos = self._seg_start[vendor_id] + off
         if max_cost is None:
             level = len(self._sorted_costs)
         else:
@@ -360,4 +422,281 @@ class ComputeEngine:
             utility=rows[pos][k],
             cost=ad_type.cost,
         )
+
+    # ------------------------------------------------------------------
+    # Churn deltas (segment splices; see docs/incremental.md)
+    # ------------------------------------------------------------------
+    @property
+    def cleared_vendors(self) -> Set[int]:
+        """Vendors whose segments are currently spliced out."""
+        return set(self._cleared)
+
+    def _score_segment(
+        self, row: int, seg_rows: np.ndarray, dist: np.ndarray
+    ) -> np.ndarray:
+        """Eq. 4/5 pair bases of one vendor's segment.
+
+        The kernels reduce per edge with fixed-order ``einsum``
+        accumulations, so scoring a segment alone is bitwise equal to
+        the same rows of a cold full-table pass.
+        """
+        seg_edges = CandidateEdges(
+            customer_idx=seg_rows,
+            vendor_idx=np.full(len(seg_rows), row, dtype=np.intp),
+            distance=dist,
+            vendor_starts=np.array([0, len(seg_rows)], dtype=np.int64),
+        )
+        bases = _kernel_pair_bases(
+            self._problem.utility_model, self._arrays, seg_edges
+        )
+        if bases is None:  # pragma: no cover - guarded by create()
+            raise RuntimeError(
+                "engine created for a model without a vectorized kernel"
+            )
+        return bases
+
+    def _install_segment(
+        self,
+        row: int,
+        start: int,
+        seg_rows: np.ndarray,
+        dist: np.ndarray,
+        vendor_id: int,
+    ) -> None:
+        """Splice a freshly built segment's derived state in at
+        ``start``: bases, utility matrix/rows, level tables, point
+        index.  The edge table itself was already spliced."""
+        if self._bases is not None and len(seg_rows):
+            seg_bases = self._score_segment(row, seg_rows, dist)
+            self._bases = np.concatenate([
+                self._bases[:start], seg_bases, self._bases[start:]
+            ])
+            seg_util = (
+                seg_bases[:, None]
+                * self._arrays.type_effectiveness[None, :]
+            )
+            if self._utilities is not None:
+                self._utilities = np.concatenate([
+                    self._utilities[:start],
+                    seg_util,
+                    self._utilities[start:],
+                ])
+            if self._util_rows is not None:
+                self._util_rows[start:start] = seg_util.tolist()
+            self._insert_level_entries(
+                start, seg_util, seg_util / self._arrays.type_cost[None, :]
+            )
+        if self._edge_pos is not None:
+            cids = self._arrays.customer_ids[seg_rows].tolist()
+            for off, cid in enumerate(cids):
+                self._edge_pos[(cid, vendor_id)] = off
+            self._recount_segments()
+
+    def _insert_level_entries(
+        self, start: int, seg_util: np.ndarray, seg_eff: np.ndarray
+    ) -> None:
+        """Splice per-edge best-type entries for a new segment into
+        every already-built affordability-level table (same argmax code
+        path as :meth:`_level_table`, so tie-breaking is identical)."""
+        for by, matrix in (("efficiency", seg_eff), ("utility", seg_util)):
+            for level, table in enumerate(self._level_tables[by]):
+                cols = self._level_cols[level]
+                if table is None or not cols:
+                    continue
+                if len(cols) == matrix.shape[1]:
+                    entries = np.argmax(matrix, axis=1).tolist()
+                else:
+                    sub = np.argmax(matrix[:, cols], axis=1)
+                    entries = np.asarray(cols)[sub].tolist()
+                table[start:start] = entries
+
+    def _remove_segment_caches(self, start: int, stop: int) -> None:
+        """Splice one segment's rows out of every derived cache."""
+        if start == stop:
+            return
+        if self._bases is not None:
+            self._bases = np.concatenate([
+                self._bases[:start], self._bases[stop:]
+            ])
+        if self._utilities is not None:
+            self._utilities = np.concatenate([
+                self._utilities[:start], self._utilities[stop:]
+            ])
+        if self._util_rows is not None:
+            del self._util_rows[start:stop]
+        for by in ("efficiency", "utility"):
+            for table in self._level_tables[by]:
+                if table is not None:
+                    del table[start:stop]
+
+    def insert_vendor(self, vendor, row: Optional[int] = None) -> bool:
+        """Splice a new vendor (and its candidate segment) into the
+        engine at vendor row ``row`` (default: catalogue end).
+
+        The segment is enumerated with the scalar grid query (the exact
+        per-vendor order of a cold build) and scored with the same
+        fixed-order kernel, so queries after the delta are bitwise the
+        cold-rebuild answers.  Idempotent: a vendor already present is
+        a no-op returning ``False``.
+        """
+        arrays = self._arrays
+        if vendor.vendor_id in arrays.vendor_index:
+            return False
+        if row is None:
+            row = arrays.n_vendors
+        new_arrays = arrays.with_vendor_inserted(vendor, row)
+        if self._edges is None:
+            self._arrays = new_arrays
+            return True
+        with recorder().span(
+            "engine.delta_insert", vendor=vendor.vendor_id
+        ):
+            seg_rows, dist = vendor_segment(self._problem, new_arrays, vendor)
+            start = int(self._edges.vendor_starts[row])
+            self._edges = insert_vendor_segment(
+                self._edges, row, seg_rows, dist
+            )
+            self._arrays = new_arrays
+            self._install_segment(row, start, seg_rows, dist, vendor.vendor_id)
+            if self._adjacency is not None:
+                vendor_index = new_arrays.vendor_index
+                for cid in new_arrays.customer_ids[seg_rows].tolist():
+                    listed = self._adjacency.setdefault(cid, [])
+                    # Keep the per-customer vendor list in catalogue
+                    # (row) order; scans from the right so catalogue
+                    # appends stay O(1).
+                    i = len(listed)
+                    while i > 0 and vendor_index[listed[i - 1]] > row:
+                        i -= 1
+                    listed.insert(i, vendor.vendor_id)
+        return True
+
+    def retire_vendor(self, vendor_id: int) -> bool:
+        """Splice a vendor's row and candidate segment out of the
+        engine.  Idempotent: an unknown vendor is a no-op."""
+        arrays = self._arrays
+        row = arrays.vendor_index.get(vendor_id)
+        if row is None:
+            return False
+        new_arrays = arrays.with_vendor_removed(row)
+        if self._edges is None:
+            self._arrays = new_arrays
+            self._cleared.discard(vendor_id)
+            return True
+        with recorder().span("engine.delta_retire", vendor=vendor_id):
+            start = int(self._edges.vendor_starts[row])
+            stop = int(self._edges.vendor_starts[row + 1])
+            cids = arrays.customer_ids[
+                self._edges.customer_idx[start:stop]
+            ].tolist()
+            self._edges = remove_vendor_segment(self._edges, row)
+            self._arrays = new_arrays
+            self._remove_segment_caches(start, stop)
+            if self._edge_pos is not None:
+                for cid in cids:
+                    self._edge_pos.pop((cid, vendor_id), None)
+                self._seg_start.pop(vendor_id, None)
+                self._recount_segments()
+            if self._adjacency is not None:
+                if vendor_id in self._cleared:
+                    # A deactivated vendor's segment is empty but its
+                    # adjacency entries were kept (for skip counting) --
+                    # sweep every list.
+                    for listed in self._adjacency.values():
+                        try:
+                            listed.remove(vendor_id)
+                        except ValueError:
+                            pass
+                else:
+                    for cid in cids:
+                        listed = self._adjacency.get(cid)
+                        if listed is not None:
+                            try:
+                                listed.remove(vendor_id)
+                            except ValueError:
+                                pass
+            self._cleared.discard(vendor_id)
+        return True
+
+    def deactivate_exhausted(self, vendor_ids: Iterable[int]) -> int:
+        """Splice the candidate segments of exhausted vendors out while
+        keeping their rows (budget bookkeeping stays intact).
+
+        A vendor whose remaining budget is below the cheapest ad price
+        can never serve another ad, so emptying its segment is
+        behaviour-preserving; the per-customer adjacency keeps listing
+        it so ``MUAAProblem.valid_vendor_ids`` can count the skip.
+        Idempotent per vendor; returns the number newly deactivated.
+        """
+        cleared = 0
+        for vendor_id in vendor_ids:
+            row = self._arrays.vendor_index.get(vendor_id)
+            if (
+                row is None
+                or vendor_id in self._cleared
+                or self._edges is None
+            ):
+                continue
+            start = int(self._edges.vendor_starts[row])
+            stop = int(self._edges.vendor_starts[row + 1])
+            if stop > start:
+                cids = self._arrays.customer_ids[
+                    self._edges.customer_idx[start:stop]
+                ].tolist()
+                self._edges = clear_vendor_segment(self._edges, row)
+                self._remove_segment_caches(start, stop)
+                if self._edge_pos is not None:
+                    for cid in cids:
+                        self._edge_pos.pop((cid, vendor_id), None)
+                    self._recount_segments()
+            self._cleared.add(vendor_id)
+            cleared += 1
+        if cleared:
+            recorder().count("engine.vendors_deactivated", cleared)
+        return cleared
+
+    def restore_vendor(self, vendor_id: int) -> bool:
+        """Rebuild a deactivated vendor's segment in place -- the
+        inverse of :meth:`deactivate_exhausted` (the rebuilt values are
+        bitwise the originals)."""
+        if vendor_id not in self._cleared:
+            return False
+        self._cleared.discard(vendor_id)
+        row = self._arrays.vendor_index.get(vendor_id)
+        if row is None or self._edges is None:
+            return False
+        vendor = self._problem.vendors_by_id.get(vendor_id)
+        if vendor is None:
+            # Engine-only insert: rebuild the entity from the columns.
+            from repro.core.entities import Vendor
+
+            arrays = self._arrays
+            vendor = Vendor(
+                vendor_id=vendor_id,
+                location=tuple(arrays.vendor_xy[row].tolist()),
+                radius=float(arrays.radius[row]),
+                budget=float(arrays.budget[row]),
+                tags=None if arrays.tags is None else arrays.tags[row],
+            )
+        seg_rows, dist = vendor_segment(self._problem, self._arrays, vendor)
+        start = int(self._edges.vendor_starts[row])
+        self._edges = fill_vendor_segment(self._edges, row, seg_rows, dist)
+        self._install_segment(row, start, seg_rows, dist, vendor_id)
+        return True
+
+    def admit_customers(self, customers: Sequence) -> int:
+        """Append new customer rows (shard-view admits during a cell
+        migration).  Existing edges keep their row references; the new
+        customers gain edges only through subsequent vendor inserts."""
+        fresh = [
+            c for c in customers
+            if c.customer_id not in self._arrays.customer_index
+        ]
+        if not fresh:
+            return 0
+        self._arrays = self._arrays.with_customers_appended(fresh)
+        if self._adjacency is not None:
+            for customer in fresh:
+                self._adjacency.setdefault(customer.customer_id, [])
+        return len(fresh)
 

@@ -43,6 +43,11 @@ class ShardedEngine:
         self._engines: Dict[int, ComputeEngine] = {}
         self._resident_edges: Dict[int, int] = {}
         self._peak_resident_edges = 0
+        #: Engine *constructions* per shard.  Plan churn updates
+        #: resident views (and their engines) in place, so a cell
+        #: migration must not grow these counts for untouched shards --
+        #: asserted by the churn suite.
+        self.builds_by_shard: Dict[int, int] = {}
 
     @classmethod
     def create(cls, plan) -> Optional["ShardedEngine"]:
@@ -67,13 +72,26 @@ class ShardedEngine:
 
     def engine(self, shard: int) -> Optional[ComputeEngine]:
         """The (lazily built) engine of one shard, or ``None`` when the
-        shard view declined an engine (scalar-only model)."""
-        built = self._engines.get(shard)
-        if built is None:
-            with recorder().span("sharded_engine.build", shard=shard):
-                built = self._plan.problem_for(shard).acquire_engine()
-            if built is not None:
-                self._engines[shard] = built
+        shard view declined an engine (scalar-only model).
+
+        The cache is validated against the plan's resident view: churn
+        deltas update a resident view's engine in place (same object,
+        cache stays warm), while a released-and-rematerialised view gets
+        a fresh engine (counted in :attr:`builds_by_shard`).
+        """
+        cached = self._engines.get(shard)
+        if cached is not None:
+            view = self._plan.resident_view(shard)
+            if view is not None and view.engine is cached:
+                return cached
+        with recorder().span("sharded_engine.build", shard=shard):
+            built = self._plan.problem_for(shard).acquire_engine()
+        if built is not None:
+            if built is not cached:
+                self.builds_by_shard[shard] = (
+                    self.builds_by_shard.get(shard, 0) + 1
+                )
+            self._engines[shard] = built
         return built
 
     def release(self, shard: int) -> None:

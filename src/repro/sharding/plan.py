@@ -28,15 +28,27 @@ Invariants:
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, insort
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.entities import Customer
+from repro.churn import (
+    KIND_DEACTIVATE,
+    KIND_INSERT,
+    KIND_MIGRATE,
+    KIND_RETIRE,
+    ChurnEvent,
+    ChurnLog,
+    ShardDelta,
+    VendorJoin,
+)
+from repro.core.entities import Customer, Vendor
 from repro.core.problem import MUAAProblem
 from repro.exceptions import InvalidProblemError
 from repro.spatial.grid_index import GridIndex
 
 #: Version of the :meth:`ShardPlan.to_metadata` document layout.
-METADATA_SCHEMA_VERSION = 1
+#: v2 adds ``churn_epoch``; v1 documents still load (epoch 0).
+METADATA_SCHEMA_VERSION = 2
 
 #: Floor on the shard cell size, mirroring the spatial-query backends.
 _MIN_CELL = 1e-6
@@ -57,6 +69,7 @@ class ShardPlan:
         problem: MUAAProblem,
         cell_size: float,
         shard_vendor_ids: Sequence[Sequence[int]],
+        churn_epoch: int = 0,
     ) -> None:
         if not shard_vendor_ids:
             raise InvalidProblemError("a shard plan needs at least one shard")
@@ -93,6 +106,19 @@ class ShardPlan:
         self._edge_counts: Optional[List[int]] = None
         self._cell_owner: Dict[Tuple[int, int], int] = {}
         self._views: Dict[int, MUAAProblem] = {}
+        # Incremental-churn bookkeeping: per-shard customer refcounts
+        # (how many of a shard's vendors have the customer in range),
+        # per-vendor candidate degrees, and the global customer row
+        # order that keeps membership lists deterministic.
+        self._refs: List[Dict[int, int]] = []
+        self._vendor_degrees: Dict[int, int] = {}
+        self._customer_rows: Dict[int, int] = {
+            c.customer_id: row for row, c in enumerate(problem.customers)
+        }
+        #: Per-shard structural version, bumped whenever churn changes
+        #: the shard's vendor/customer sets (consumed by caching layers).
+        self.shard_versions: List[int] = [0] * len(self._shard_vendor_ids)
+        self._churn_log = ChurnLog(base=churn_epoch)
         self._finalize()
 
     # ------------------------------------------------------------------
@@ -188,23 +214,24 @@ class ShardPlan:
             self._shards_of_customer = {
                 c.customer_id: [0] for c in problem.customers
             }
+            self._refs = [{}]
             return
-        customer_rows = {
-            c.customer_id: row for row, c in enumerate(problem.customers)
-        }
+        customer_rows = self._customer_rows
         edge_counts: List[int] = []
         for shard, vendor_ids in enumerate(self._shard_vendor_ids):
-            members: Dict[int, None] = {}
+            refs: Dict[int, int] = {}
             n_edges = 0
             for vendor_id in vendor_ids:
                 vendor = problem.vendors_by_id[vendor_id]
                 in_range = problem.valid_customer_ids(vendor)
                 n_edges += len(in_range)
+                self._vendor_degrees[vendor_id] = len(in_range)
                 for customer_id in in_range:
-                    members[customer_id] = None
+                    refs[customer_id] = refs.get(customer_id, 0) + 1
                 cell = self._cell_index(vendor.location)
                 self._cell_owner.setdefault(cell, shard)
-            ordered = sorted(members, key=customer_rows.__getitem__)
+            ordered = sorted(refs, key=customer_rows.__getitem__)
+            self._refs.append(refs)
             self._shard_customer_ids.append(ordered)
             edge_counts.append(n_edges)
             for customer_id in ordered:
@@ -218,6 +245,11 @@ class ShardPlan:
             int(math.floor(point[0] / self._cell_size)),
             int(math.floor(point[1] / self._cell_size)),
         )
+
+    def cell_of(self, point: Tuple[float, float]) -> Tuple[int, int]:
+        """The partition-grid cell of a point (public form of the
+        routing/migration cell key)."""
+        return self._cell_index(point)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -242,6 +274,17 @@ class ShardPlan:
     def cell_size(self) -> float:
         """Side of the partition cells (>= the maximum vendor radius)."""
         return self._cell_size
+
+    @property
+    def epoch(self) -> int:
+        """The plan's churn epoch: the number of churn events applied
+        (plus any epoch inherited from serialised metadata)."""
+        return self._churn_log.epoch
+
+    @property
+    def churn_log(self) -> ChurnLog:
+        """The versioned log of churn events applied to this plan."""
+        return self._churn_log
 
     def vendor_ids(self, shard: int) -> List[int]:
         """Vendor ids of one shard, in global catalogue order."""
@@ -346,9 +389,18 @@ class ShardPlan:
                 spatial_backend=problem.spatial_backend,
                 use_engine=problem._use_engine,
                 parallel=problem.parallel_config,
+                churn=problem.churn,
             )
             self._views[shard] = view
         return view
+
+    def resident_view(self, shard: int) -> Optional[MUAAProblem]:
+        """The shard's cached view if currently materialised, else
+        ``None`` -- never triggers a build (unlike :meth:`problem_for`).
+        The identity plan's view is always the problem itself."""
+        if self._identity:
+            return self._problem
+        return self._views.get(shard)
 
     def release(self, shard: int) -> None:
         """Drop a shard's cached view (and with it its engine state).
@@ -393,6 +445,260 @@ class ShardPlan:
         return cell_owner
 
     # ------------------------------------------------------------------
+    # Live churn (incremental membership; see docs/incremental.md)
+    # ------------------------------------------------------------------
+    def _vendor_rows(self) -> Dict[int, int]:
+        """Vendor id -> current global catalogue row."""
+        return {
+            v.vendor_id: row for row, v in enumerate(self._problem.vendors)
+        }
+
+    def _attach_vendor(
+        self, shard: int, vendor: Vendor, in_range: Sequence[int]
+    ) -> int:
+        """Record a vendor joining ``shard``: shard vendor list (kept in
+        global catalogue order), customer refcounts/membership,
+        replication, and edge counts.  Returns the vendor's insertion
+        position inside the shard's vendor list."""
+        rows = self._vendor_rows()
+        ids = self._shard_vendor_ids[shard]
+        position = bisect_left(
+            [rows[vid] for vid in ids], rows[vendor.vendor_id]
+        )
+        ids.insert(position, vendor.vendor_id)
+        refs = self._refs[shard]
+        members = self._shard_customer_ids[shard]
+        crow = self._customer_rows
+        member_rows = [crow[cid] for cid in members]
+        for cid in in_range:
+            count = refs.get(cid, 0)
+            if count == 0:
+                pos = bisect_left(member_rows, crow[cid])
+                members.insert(pos, cid)
+                member_rows.insert(pos, crow[cid])
+                insort(self._shards_of_customer.setdefault(cid, []), shard)
+            refs[cid] = count + 1
+        self._vendor_degrees[vendor.vendor_id] = len(in_range)
+        if self._edge_counts is not None:
+            self._edge_counts[shard] += len(in_range)
+        return position
+
+    def _detach_vendor(
+        self, shard: int, vendor_id: int, in_range: Sequence[int]
+    ) -> None:
+        """Record a vendor leaving ``shard``; customers whose refcount
+        drops to zero leave the shard's membership/replication maps."""
+        self._shard_vendor_ids[shard].remove(vendor_id)
+        refs = self._refs[shard]
+        members = self._shard_customer_ids[shard]
+        for cid in in_range:
+            count = refs.get(cid, 0) - 1
+            if count <= 0:
+                refs.pop(cid, None)
+                try:
+                    members.remove(cid)
+                except ValueError:
+                    pass
+                shards = self._shards_of_customer.get(cid)
+                if shards is not None and shard in shards:
+                    shards.remove(shard)
+                    if not shards:
+                        del self._shards_of_customer[cid]
+            else:
+                refs[cid] = count
+        degree = self._vendor_degrees.pop(vendor_id, len(in_range))
+        if self._edge_counts is not None:
+            self._edge_counts[shard] -= degree
+
+    def _commit_event(
+        self, event: ChurnEvent, touched: Sequence[int]
+    ) -> int:
+        """Log one applied event, sync the shared epoch, and bump the
+        structural version of every touched shard."""
+        epoch = self._churn_log.append(event)
+        self._problem.churn.epoch = epoch
+        for shard in touched:
+            self.shard_versions[shard] += 1
+        return epoch
+
+    def migrate_cells(
+        self,
+        cells: Sequence[Tuple[int, int]],
+        src: int,
+        dst: int,
+        _event: Optional[ChurnEvent] = None,
+    ) -> List[ShardDelta]:
+        """Move every ``src`` vendor located in ``cells`` to ``dst``,
+        rebalancing online.
+
+        Membership, routing, replication and cached views are updated
+        incrementally -- untouched shards are not rebuilt, and the two
+        touched shards' resident views are spliced (vendors retired
+        from ``src``; customers admitted and vendors inserted into
+        ``dst`` at catalogue positions) rather than rebuilt.  The
+        event is appended to the churn log (one epoch tick).
+
+        Returns the per-shard deltas (for ``src`` and ``dst``) so a
+        cluster episode can forward them to out-of-process workers.
+        """
+        if self._identity:
+            raise InvalidProblemError(
+                "cell migration needs a non-identity shard plan"
+            )
+        n = self.n_shards
+        if not (0 <= src < n and 0 <= dst < n) or src == dst:
+            raise InvalidProblemError(
+                f"invalid migration {src} -> {dst} with {n} shards"
+            )
+        problem = self._problem
+        cell_set = {tuple(cell) for cell in cells}
+        moved = [
+            vid
+            for vid in self._shard_vendor_ids[src]
+            if self._cell_index(problem.vendors_by_id[vid].location)
+            in cell_set
+        ]
+        event = _event or ChurnEvent(
+            kind=KIND_MIGRATE, cells=tuple(sorted(cell_set)), src=src, dst=dst
+        )
+        if not moved:
+            epoch = self._commit_event(event, ())
+            return []
+        joins: List[VendorJoin] = []
+        for vid in moved:
+            vendor = problem.vendors_by_id[vid]
+            in_range = problem.valid_customer_ids(vendor)
+            self._detach_vendor(src, vid, in_range)
+            admit_ids = [
+                cid for cid in in_range if cid not in self._refs[dst]
+            ]
+            position = self._attach_vendor(dst, vendor, in_range)
+            self.shard_of_vendor[vid] = dst
+            joins.append(
+                VendorJoin(
+                    vendor=vendor,
+                    position=position,
+                    admit=tuple(
+                        problem.customers_by_id[cid] for cid in admit_ids
+                    ),
+                )
+            )
+        for cell in cell_set:
+            self._cell_owner[cell] = dst
+        src_view = self._views.get(src)
+        if src_view is not None:
+            for vid in moved:
+                src_view.retire_vendor(vid)
+        dst_view = self._views.get(dst)
+        if dst_view is not None:
+            for join in joins:
+                dst_view.admit_customers(join.admit)
+                dst_view.insert_vendor(join.vendor, position=join.position)
+        epoch = self._commit_event(event, (src, dst))
+        return [
+            ShardDelta(shard=src, epoch=epoch, retire=tuple(moved)),
+            ShardDelta(shard=dst, epoch=epoch, join=tuple(joins)),
+        ]
+
+    def apply_churn(self, event: ChurnEvent) -> List[ShardDelta]:
+        """Apply one churn event through the plan, bumping the epoch.
+
+        The global problem, the plan's membership/routing maps, and any
+        resident shard views are all updated incrementally; the
+        returned :class:`ShardDelta` payloads let a cluster episode
+        bring out-of-process shard workers to the same epoch.
+        """
+        problem = self._problem
+        if event.kind == KIND_MIGRATE:
+            return self.migrate_cells(
+                event.cells, event.src, event.dst, _event=event
+            )
+        if event.kind == KIND_INSERT:
+            vendor = event.vendor
+            if self._identity:
+                if problem.insert_vendor(vendor):
+                    self._shard_vendor_ids[0].append(vendor.vendor_id)
+                    self.shard_of_vendor[vendor.vendor_id] = 0
+                epoch = self._commit_event(event, (0,))
+                return [
+                    ShardDelta(
+                        shard=0, epoch=epoch,
+                        join=(VendorJoin(vendor=vendor),),
+                    )
+                ]
+            if vendor.vendor_id in problem.vendors_by_id:
+                epoch = self._commit_event(event, ())
+                return []
+            cell = self._cell_index(vendor.location)
+            dst = self._cell_owner.get(cell)
+            if dst is None:
+                counts = self.edge_counts()
+                dst = counts.index(min(counts))
+            problem.insert_vendor(vendor)
+            in_range = problem.valid_customer_ids(vendor)
+            admit_ids = [
+                cid for cid in in_range if cid not in self._refs[dst]
+            ]
+            position = self._attach_vendor(dst, vendor, in_range)
+            self.shard_of_vendor[vendor.vendor_id] = dst
+            self._cell_owner.setdefault(cell, dst)
+            join = VendorJoin(
+                vendor=vendor,
+                position=position,
+                admit=tuple(
+                    problem.customers_by_id[cid] for cid in admit_ids
+                ),
+            )
+            view = self._views.get(dst)
+            if view is not None:
+                view.admit_customers(join.admit)
+                view.insert_vendor(vendor, position=position)
+            epoch = self._commit_event(event, (dst,))
+            return [ShardDelta(shard=dst, epoch=epoch, join=(join,))]
+        if event.kind == KIND_RETIRE:
+            vendor_id = event.vendor_id
+            if self._identity:
+                if problem.retire_vendor(vendor_id):
+                    self._shard_vendor_ids[0].remove(vendor_id)
+                    self.shard_of_vendor.pop(vendor_id, None)
+                epoch = self._commit_event(event, (0,))
+                return [
+                    ShardDelta(shard=0, epoch=epoch, retire=(vendor_id,))
+                ]
+            shard = self.shard_of_vendor.pop(vendor_id, None)
+            if shard is None:
+                epoch = self._commit_event(event, ())
+                return []
+            vendor = problem.vendors_by_id[vendor_id]
+            in_range = problem.valid_customer_ids(vendor)
+            problem.retire_vendor(vendor_id)
+            self._detach_vendor(shard, vendor_id, in_range)
+            view = self._views.get(shard)
+            if view is not None:
+                view.retire_vendor(vendor_id)
+            epoch = self._commit_event(event, (shard,))
+            return [ShardDelta(shard=shard, epoch=epoch, retire=(vendor_id,))]
+        if event.kind == KIND_DEACTIVATE:
+            vendor_id = event.vendor_id
+            shard = 0 if self._identity else self.shard_of_vendor.get(
+                vendor_id
+            )
+            problem.deactivate_vendors([vendor_id])
+            if shard is not None and not self._identity:
+                view = self._views.get(shard)
+                if view is not None and view.engine is not None:
+                    view.engine.deactivate_exhausted([vendor_id])
+            # Set-only at the membership level: no structural change,
+            # so no version bump and untouched caches stay valid.
+            epoch = self._commit_event(event, ())
+            if shard is None:
+                return []
+            return [
+                ShardDelta(shard=shard, epoch=epoch, deactivate=(vendor_id,))
+            ]
+        raise InvalidProblemError(f"unknown churn event kind {event.kind!r}")
+
+    # ------------------------------------------------------------------
     # Metadata round-trip
     # ------------------------------------------------------------------
     def to_metadata(self) -> Dict:
@@ -408,25 +714,35 @@ class ShardPlan:
             "n_shards": self.n_shards,
             "cell_size": self._cell_size,
             "shard_vendors": [list(ids) for ids in self._shard_vendor_ids],
+            "churn_epoch": self.epoch,
         }
 
     @classmethod
     def from_metadata(cls, problem: MUAAProblem, doc: Dict) -> "ShardPlan":
         """Rebuild a plan from :meth:`to_metadata` output.
 
+        Accepts schema versions 1 (pre-churn; epoch 0) and 2.  The
+        vendor grouping stored is the *post-churn* one, so a reloaded
+        plan reproduces the current partition without replaying events.
+
         Raises:
             InvalidProblemError: On an unknown schema version, a vendor
                 id the problem does not know, or an incomplete cover.
         """
         version = doc.get("schema_version")
-        if version != METADATA_SCHEMA_VERSION:
+        if version not in (1, METADATA_SCHEMA_VERSION):
             raise InvalidProblemError(
                 f"unsupported shard-plan schema version {version!r}"
             )
         shard_vendors = doc.get("shard_vendors")
         if not isinstance(shard_vendors, list) or not shard_vendors:
             raise InvalidProblemError("shard metadata misses shard_vendors")
-        return cls(problem, float(doc["cell_size"]), shard_vendors)
+        return cls(
+            problem,
+            float(doc["cell_size"]),
+            shard_vendors,
+            churn_epoch=int(doc.get("churn_epoch", 0)),
+        )
 
 
 def _balanced_groups(counts: Sequence[int], shards: int) -> List[List[int]]:

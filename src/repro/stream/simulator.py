@@ -60,6 +60,13 @@ class ResilienceStats:
             attempt (the ad was decided but never delivered).
         arrivals_dropped: Customers lost upstream of the broker.
         arrivals_reordered: Customers delivered out of arrival order.
+        exhausted_skips: Candidate-scan skips of vendors whose budget
+            was exhausted (the work saved by
+            ``deactivate_exhausted``-style filtering).
+        vendors_deactivated: Vendors auto-deactivated after their
+            remaining budget dropped below the cheapest ad price.
+        churn_epoch: The churn epoch at the end of the run (0 when no
+            churn was applied).
         clean_latencies: Decision latencies of fault-free decisions.
         degraded_latencies: Decision latencies of decisions that hit at
             least one fault, retry, or fallback (the fault-conditioned
@@ -80,6 +87,9 @@ class ResilienceStats:
     deliveries_failed: int = 0
     arrivals_dropped: int = 0
     arrivals_reordered: int = 0
+    exhausted_skips: int = 0
+    vendors_deactivated: int = 0
+    churn_epoch: int = 0
     clean_latencies: List[float] = field(default_factory=list)
     degraded_latencies: List[float] = field(default_factory=list)
 
@@ -122,6 +132,9 @@ class ResilienceStats:
             "deliveries_failed": float(self.deliveries_failed),
             "arrivals_dropped": float(self.arrivals_dropped),
             "arrivals_reordered": float(self.arrivals_reordered),
+            "exhausted_skips": float(self.exhausted_skips),
+            "vendors_deactivated": float(self.vendors_deactivated),
+            "churn_epoch": float(self.churn_epoch),
         }
         for dep in sorted(self.breaker_counts):
             for state, count in sorted(self.breaker_counts[dep].items()):
@@ -144,6 +157,11 @@ class StreamResult:
             deadline (they went inactive before the broker answered).
         resilience: Fault/retry/breaker counters when the stream was
             driven by the resilient broker; ``None`` for plain runs.
+        churn_epoch: Churn epoch at the end of the stream (0 when no
+            churn schedule was supplied).
+        exhausted_skips: Candidate-scan skips of deactivated vendors.
+        vendors_deactivated: Vendors auto-deactivated mid-stream after
+            exhausting their budget.
     """
 
     assignment: Assignment
@@ -151,6 +169,9 @@ class StreamResult:
     rejected_instances: int = 0
     customers_lost: int = 0
     resilience: Optional[ResilienceStats] = None
+    churn_epoch: int = 0
+    exhausted_skips: int = 0
+    vendors_deactivated: int = 0
 
     @property
     def total_utility(self) -> float:
@@ -195,6 +216,8 @@ class OnlineSimulator:
         decision_deadline: Optional[float] = None,
         warm_engine: bool = False,
         shard_plan=None,
+        churn=None,
+        churn_cold_rebuild: bool = False,
     ) -> StreamResult:
         """Simulate the stream and return the committed assignment.
 
@@ -228,6 +251,17 @@ class OnlineSimulator:
                 locality/quality trade-off documented in
                 ``docs/sharding.md``.  Commits still land on the global
                 assignment, so budgets stay authoritative.
+            churn: Optional :class:`~repro.churn.ChurnSchedule`.
+                Events scheduled at arrival index ``t`` are applied
+                (through the plan when one is active, else directly on
+                the problem) *before* customer ``t`` is decided, so the
+                stream serves against the post-churn marketplace.  The
+                final epoch lands in ``StreamResult.churn_epoch``.
+            churn_cold_rebuild: With ``churn``, rebuild from scratch
+                after every applied event instead of splicing deltas
+                (shard views released / engine dropped, then re-warmed
+                when ``warm_engine`` was requested).  The parity
+                reference the delta path is tested against.
         """
         problem = self._problem
         plan = shard_plan
@@ -254,45 +288,110 @@ class OnlineSimulator:
         seen = set()
         rec = recorder()
         timed = measure_latency or decision_deadline is not None
-        for customer in arrivals:
-            seen.add(customer.customer_id)
-            target = problem
-            span_attrs = {"customer": customer.customer_id}
-            if plan is not None:
-                shard = plan.route(customer)
-                if shard is not None:
-                    target = plan.problem_for(shard)
-                    span_attrs["shard"] = shard
-                    rec.count("stream.shard_decisions")
-            if timed:
-                start = self._clock()
-            with rec.span("stream.decision", **span_attrs):
-                picked = algorithm.process_customer(
-                    target, customer, assignment
-                )
-            if timed:
-                elapsed = self._clock() - start
-                rec.observe("stream.decision_seconds", elapsed)
-                if measure_latency:
-                    result.latencies.append(elapsed)
-                if (
-                    decision_deadline is not None
-                    and elapsed > decision_deadline
-                ):
-                    result.customers_lost += 1
-                    rec.count("stream.deadline_drops")
-                    continue  # customer went inactive; ads are dropped
-            for instance in picked:
-                if instance.customer_id not in seen:
-                    result.rejected_instances += 1
-                    rec.count("stream.rejected_instances")
-                    continue
-                if assignment.add(instance, strict=False):
-                    rec.count("stream.budget_commits")
-                else:
-                    result.rejected_instances += 1
-                    rec.count("stream.rejected_instances")
+        base_skips = problem.churn.skips
+        try:
+            for tick, customer in enumerate(arrivals):
+                if churn is not None:
+                    # Events flow through the plan even when it is the
+                    # identity one, so its churn log/epoch stay correct
+                    # for cluster replay.
+                    self._apply_churn(
+                        churn.at(tick),
+                        shard_plan,
+                        plan,
+                        churn_cold_rebuild,
+                        warm_engine,
+                    )
+                seen.add(customer.customer_id)
+                target = problem
+                span_attrs = {"customer": customer.customer_id}
+                if churn is not None:
+                    span_attrs["epoch"] = problem.churn.epoch
+                if plan is not None:
+                    shard = plan.route(customer)
+                    if shard is not None:
+                        target = plan.problem_for(shard)
+                        span_attrs["shard"] = shard
+                        rec.count("stream.shard_decisions")
+                if timed:
+                    start = self._clock()
+                with rec.span("stream.decision", **span_attrs):
+                    picked = algorithm.process_customer(
+                        target, customer, assignment
+                    )
+                if timed:
+                    elapsed = self._clock() - start
+                    rec.observe("stream.decision_seconds", elapsed)
+                    if measure_latency:
+                        result.latencies.append(elapsed)
+                    if (
+                        decision_deadline is not None
+                        and elapsed > decision_deadline
+                    ):
+                        result.customers_lost += 1
+                        rec.count("stream.deadline_drops")
+                        continue  # customer went inactive; ads dropped
+                for instance in picked:
+                    if instance.customer_id not in seen:
+                        result.rejected_instances += 1
+                        rec.count("stream.rejected_instances")
+                        continue
+                    if assignment.add(instance, strict=False):
+                        rec.count("stream.budget_commits")
+                        if problem.note_if_exhausted(
+                            assignment, instance.vendor_id
+                        ):
+                            result.vendors_deactivated += 1
+                            rec.count("stream.vendors_deactivated")
+                    else:
+                        result.rejected_instances += 1
+                        rec.count("stream.rejected_instances")
+        finally:
+            # Auto-deactivations are run-local (the assignment dies with
+            # the run); roll them back so the problem stays reusable.
+            problem.reset_auto_deactivations()
+        result.churn_epoch = problem.churn.epoch
+        result.exhausted_skips = problem.churn.skips - base_skips
+        if result.exhausted_skips:
+            rec.gauge("stream.exhausted_skips", result.exhausted_skips)
         return result
+
+    def _apply_churn(
+        self, events, churn_plan, plan, cold_rebuild: bool, warm_engine: bool
+    ) -> None:
+        """Apply churn events due at one arrival tick.
+
+        ``churn_plan`` is the plan the events commit through (possibly
+        the identity plan, whose log must still advance); ``plan`` is
+        the routing plan (``None`` when decisions run unsharded).
+        """
+        if not events:
+            return
+        problem = self._problem
+        rec = recorder()
+        for event in events:
+            if churn_plan is not None:
+                churn_plan.apply_churn(event)
+            else:
+                problem.apply_churn(event)
+            rec.count("stream.churn_events")
+            rec.event(
+                "stream.churn",
+                kind=event.kind,
+                epoch=problem.churn.epoch,
+            )
+        if cold_rebuild:
+            # Parity reference: tear every incremental structure down
+            # and rebuild from scratch.
+            if plan is not None:
+                plan.release_all()
+                if warm_engine:
+                    for shard in range(plan.n_shards):
+                        plan.problem_for(shard).warm_utilities()
+            else:
+                problem.drop_engine()
+                if warm_engine:
+                    problem.warm_utilities()
 
 
 class OnlineAsOffline(OfflineAlgorithm):

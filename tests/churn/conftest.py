@@ -1,0 +1,60 @@
+"""Shared builders for the churn suite.
+
+Small instances, wide radii (every shard sees cross-cell traffic), and
+seeded churn schedules -- the suite holds the delta path to the cold
+rebuild at every layer.
+"""
+
+from __future__ import annotations
+
+from repro.core.entities import Vendor
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+
+
+def make_problem(n_customers=160, n_vendors=32, seed=11):
+    """A fresh synthetic instance (every call: fresh caches)."""
+    return synthetic_problem(
+        WorkloadConfig(
+            n_customers=n_customers,
+            n_vendors=n_vendors,
+            seed=seed,
+            radius_range=ParameterRange(0.15, 0.25),
+        )
+    )
+
+
+def fresh_vendor(problem, offset=0, location=(0.41, 0.57)):
+    """A join candidate inside the existing radius/budget envelope."""
+    radii = sorted(v.radius for v in problem.vendors)
+    budgets = sorted(v.budget for v in problem.vendors)
+    donor = problem.vendors[offset % len(problem.vendors)]
+    return Vendor(
+        vendor_id=max(v.vendor_id for v in problem.vendors) + 1 + offset,
+        location=location,
+        radius=radii[len(radii) // 2],
+        budget=budgets[len(budgets) // 2],
+        tags=donor.tags,
+    )
+
+
+def triples(assignment):
+    """Order-independent identity fingerprint of an assignment."""
+    return sorted(
+        (inst.customer_id, inst.vendor_id, inst.type_id)
+        for inst in assignment
+    )
+
+
+def segments(problem, engine):
+    """vendor id -> ``(bases, utilities)`` slices, vendor-major."""
+    starts = engine.edges.vendor_starts.tolist()
+    bases = engine.pair_bases
+    utilities = engine.utilities()
+    return {
+        vendor.vendor_id: (
+            bases[starts[row] : starts[row + 1]].copy(),
+            utilities[starts[row] : starts[row + 1]].copy(),
+        )
+        for row, vendor in enumerate(problem.vendors)
+    }

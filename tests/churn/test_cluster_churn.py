@@ -1,0 +1,243 @@
+"""Cluster churn: versioned delta delivery, epoch-straddling replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.calibration import calibrate_from_problem
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.churn import (
+    KIND_MIGRATE,
+    KIND_RETIRE,
+    ChurnEvent,
+    seeded_vendor_churn,
+)
+from repro.cluster.chaos import ChaosController, ChaosPlan
+from repro.cluster.control import ControlPlane
+from repro.cluster.episode import ClusterConfig, run_episode
+from repro.cluster.protocol import ChurnRequest, HeartbeatRequest, unseal
+from repro.cluster.router import ClusterRouter
+from repro.cluster.transport import InlineShardHost
+from repro.core.validation import validate_assignment
+from repro.sharding import ShardPlan
+from repro.stream.arrivals import by_arrival_time
+from repro.stream.simulator import OnlineSimulator
+from tests.churn.conftest import make_problem, triples
+
+N_EVENTS = 12
+SHARDS = 4
+
+
+def _schedule(problem, plan):
+    return seeded_vendor_churn(
+        problem,
+        N_EVENTS,
+        seed=19,
+        n_ticks=len(problem.customers),
+        plan=plan,
+    )
+
+
+def assert_feasible_post_churn(problem, assignment, schedule):
+    """Valid up to commits that predate a vendor's retirement.
+
+    The post-churn problem no longer knows retired vendors, so their
+    (legitimately committed) instances surface as ``unknown vendor``
+    violations -- anything else is a real infeasibility.
+    """
+    retired = {
+        event.vendor_id
+        for event in schedule.events
+        if event.kind == KIND_RETIRE
+    }
+    report = validate_assignment(problem, assignment)
+    for violation in report.violations:
+        assert any(
+            violation == f"unknown vendor {vid}" for vid in retired
+        ), violation
+
+
+def _baseline():
+    """The in-process sharded simulator run the cluster must match."""
+    problem = make_problem()
+    plan = ShardPlan.build(problem, SHARDS)
+    bounds = calibrate_from_problem(problem, sample_customers=500, seed=0)
+    algorithm = OnlineAdaptiveFactorAware(
+        gamma_min=bounds.gamma_min, g=bounds.g
+    )
+    return OnlineSimulator(problem).run(
+        algorithm,
+        warm_engine=True,
+        shard_plan=plan,
+        churn=_schedule(problem, plan),
+        measure_latency=False,
+    )
+
+
+class TestChurnParity:
+    @pytest.mark.parametrize("transport", ["inline", "process"])
+    def test_cluster_matches_sharded_simulator_under_churn(
+        self, transport
+    ):
+        reference = _baseline()
+        problem = make_problem()
+        plan = ShardPlan.build(problem, SHARDS)
+        schedule = _schedule(problem, plan)
+        result = run_episode(
+            problem,
+            ClusterConfig(transport=transport),
+            shard_plan=plan,
+            churn=schedule,
+        )
+        assert result.stats.churn_events == N_EVENTS
+        assert result.stats.churn_epoch == N_EVENTS
+        assert (
+            abs(result.total_utility - reference.total_utility) <= 1e-9
+        )
+        assert triples(result.assignment) == triples(
+            reference.assignment
+        )
+        assert_feasible_post_churn(problem, result.assignment, schedule)
+
+
+class TestDeltaDelivery:
+    def _cluster(self, problem, plan):
+        bounds = calibrate_from_problem(
+            problem, sample_customers=500, seed=0
+        )
+        hosts = {
+            shard: InlineShardHost(
+                shard,
+                plan.problem_for(shard),
+                None,
+                bounds.gamma_min,
+                bounds.g,
+            )
+            for shard in range(plan.n_shards)
+        }
+        control = ControlPlane(hosts, epoch_of=lambda: plan.epoch)
+        router = ClusterRouter(
+            problem,
+            plan,
+            hosts,
+            control,
+            ChaosController(ChaosPlan.none()),
+            bounds.gamma_min,
+            bounds.g,
+        )
+        return hosts, control, router
+
+    def test_stale_delta_skipped_by_epoch_guard(self):
+        problem = make_problem()
+        plan = ShardPlan.build(problem, 2)
+        hosts, _, router = self._cluster(problem, plan)
+        victim = plan.vendor_ids(0)[0]
+        cell = plan.cell_of(problem.vendors_by_id[victim].location)
+        moved = [
+            vid
+            for vid in plan.vendor_ids(0)
+            if plan.cell_of(problem.vendors_by_id[vid].location) == cell
+        ]
+        deltas = plan.migrate_cells([cell], src=0, dst=1)
+        # The inline hosts share the plan's views, which are already at
+        # the new epoch -- re-delivering the deltas must be a no-op.
+        for delta in deltas:
+            reply = unseal(
+                hosts[delta.shard].request(
+                    ChurnRequest(tick=0, delta=delta)
+                )
+            )
+            assert reply.applied is False
+            assert reply.epoch == plan.epoch
+        for vid in moved:
+            assert plan.shard_of_vendor[vid] == 1
+
+    def test_heartbeats_carry_worker_epoch(self):
+        problem = make_problem()
+        plan = ShardPlan.build(problem, 2)
+        hosts, _, router = self._cluster(problem, plan)
+        schedule = seeded_vendor_churn(
+            problem, 5, seed=2, n_ticks=10, plan=plan
+        )
+        for tick, event in enumerate(schedule.events):
+            router.apply_churn(event, tick)
+        for shard, host in hosts.items():
+            reply = unseal(host.request(HeartbeatRequest(tick=99)))
+            assert reply.epoch == plan.epoch == 5
+
+    def test_replay_follows_migrated_vendors(self):
+        problem = make_problem()
+        plan = ShardPlan.build(problem, 2)
+        hosts, control, router = self._cluster(problem, plan)
+        arrivals = by_arrival_time(problem.customers)
+        for tick, customer in enumerate(arrivals[:80]):
+            control.begin_tick(tick)
+            router.decide(customer, tick)
+        # Find a source-shard vendor with committed spend.
+        committed_vendors = {
+            inst.vendor_id for inst in router.assignment
+        }
+        src_committed = [
+            vid
+            for vid in plan.vendor_ids(0)
+            if vid in committed_vendors
+        ]
+        assert src_committed, "need a shard-0 vendor with commits"
+        vendor_id = src_committed[0]
+        seed = router.committed_for_vendors([vendor_id])
+        assert seed
+        cell = plan.cell_of(problem.vendors_by_id[vendor_id].location)
+        router.apply_churn(
+            ChurnEvent(kind=KIND_MIGRATE, cells=(cell,), src=0, dst=1),
+            tick=80,
+        )
+        assert plan.shard_of_vendor[vendor_id] == 1
+        # Restart the *destination* worker: its replay must include the
+        # migrated vendor's pre-migration commits (the flat log is
+        # filtered by the current plan, not the plan at commit time).
+        hosts[1].kill()
+        hosts[1].restart()
+        replayed = router.replay(1)
+        assert replayed is not None and replayed >= len(seed)
+        # The source shard's replay no longer carries those commits.
+        hosts[0].kill()
+        hosts[0].restart()
+        src_replayed = router.replay(0)
+        assert src_replayed is not None
+        total_for_shards = len(
+            [
+                inst
+                for inst in router.assignment
+                if plan.shard_of_vendor.get(inst.vendor_id) is not None
+            ]
+        )
+        assert src_replayed + replayed <= total_for_shards
+
+
+class TestKillMidChurn:
+    @pytest.mark.parametrize("transport", ["inline", "process"])
+    def test_restart_straddling_churn_epochs(self, transport):
+        fault_free = _baseline()
+        problem = make_problem()
+        plan = ShardPlan.build(problem, SHARDS)
+        schedule = _schedule(problem, plan)
+        ticks = [event.tick for event in schedule.events]
+        kill_tick = ticks[len(ticks) // 2]  # mid-schedule: epochs straddle
+        chaos = ChaosPlan.kill_one(
+            seed=13, n_shards=SHARDS, tick=kill_tick
+        )
+        result = run_episode(
+            problem,
+            ClusterConfig(transport=transport),
+            chaos=chaos,
+            shard_plan=plan,
+            churn=schedule,
+        )
+        stats = result.stats
+        assert stats.churn_epoch == N_EVENTS
+        assert stats.restarts >= 1
+        assert stats.decisions == len(problem.customers)
+        assert_feasible_post_churn(problem, result.assignment, schedule)
+        assert (
+            result.total_utility >= 0.90 * fault_free.total_utility
+        )
