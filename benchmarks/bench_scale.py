@@ -1,0 +1,241 @@
+"""Million-user scale benchmark and CI smoke gate.
+
+Measures the three scale fronts of the compact-column work as one
+sweep per problem size:
+
+* **cold build** -- candidate-edge enumeration plus Eq. 4/5 pair-base
+  scoring on a fresh problem;
+* **artifact save / warm mmap load** -- persisting the built engine
+  with :mod:`repro.store` and re-attaching it to a fresh problem
+  (``np.memmap``, no re-scoring).  The CI gate requires the warm load
+  to be at least :data:`WARM_LOAD_GATE` times faster than the cold
+  build at the smoke size;
+* **certified pruning + solve** -- ``prune("exact")`` followed by a
+  GREEDY solve; the certificate promises ``utility_delta == 0.0`` and
+  the gate holds the pruned solve to the unpruned utility bit for bit
+  (equal dtype);
+* **dtype policies** -- at the smoke size the whole pipeline runs under
+  both policies; float32 must halve the edge-table bytes and stay
+  within ``FLOAT32.utility_rtol`` of the float64 total utility.
+
+Peak RSS is stamped per stage.  ``ru_maxrss`` is a process-lifetime
+high-water mark, so points run in ascending size order and each
+reading means "the largest the process had been by the end of this
+stage" -- deltas between successive readings bound a stage's net new
+allocation, and the final reading is the honest peak of the whole
+sweep.
+
+The smoke point (10K x 1K) always runs and is what CI gates on; the
+full curve (100K x 1K and 1M x 10K) runs when ``REPRO_SCALE_FULL=1``
+-- roughly 20M candidate edges at the top end, which is the paper's
+city-scale regime.  The 1M point never calls ``engine.warm()`` (the
+point of the columnar path is that solving does not need the per-entity
+Python adjacency it materialises).
+
+Run directly with ``pytest -q -s benchmarks/bench_scale.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.harness import (
+    StageTimer,
+    peak_rss_bytes,
+    write_bench_json,
+)
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.datagen.config import WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.engine import FLOAT32, ComputeEngine
+from repro.store import save_engine
+
+#: The always-on smoke point (what CI gates on).
+GATE_POINT = (10_000, 1_000)
+
+#: The full curve, run when ``REPRO_SCALE_FULL=1``.
+FULL_POINTS = ((100_000, 1_000), (1_000_000, 10_000))
+
+#: Required cold-build / warm-load ratio at the smoke point.
+WARM_LOAD_GATE = 10.0
+
+#: Workload seed (shared by every point).
+SEED = 42
+
+
+def _config(n_customers: int, n_vendors: int) -> WorkloadConfig:
+    return WorkloadConfig(
+        n_customers=n_customers, n_vendors=n_vendors, seed=SEED
+    )
+
+
+def _edge_nbytes(engine: ComputeEngine) -> int:
+    """Total bytes of the candidate-edge table plus pair bases."""
+    edges = engine.edges
+    return int(
+        edges.customer_idx.nbytes
+        + edges.vendor_idx.nbytes
+        + edges.distance.nbytes
+        + edges.vendor_starts.nbytes
+        + np.asarray(engine.pair_bases).nbytes
+    )
+
+
+def _measure_point(
+    n_customers: int,
+    n_vendors: int,
+    workdir: Path,
+    dtype: str = "float64",
+    solve: bool = True,
+) -> dict:
+    """One size x dtype sweep: generate, cold-build, save, warm-load,
+    prune, solve (pruned and unpruned)."""
+    config = _config(n_customers, n_vendors)
+    timer = StageTimer()
+    rss = {}
+
+    with timer.stage("datagen"):
+        problem = synthetic_problem(config, dtype=dtype)
+    rss["datagen"] = peak_rss_bytes()
+
+    with timer.stage("cold_build"):
+        engine = problem.acquire_engine()
+        n_edges = engine.num_edges
+        engine.pair_bases
+    rss["cold_build"] = peak_rss_bytes()
+
+    artifact = workdir / f"scale-{n_customers}x{n_vendors}-{dtype}.cols"
+    with timer.stage("save"):
+        save_engine(engine, artifact)
+    rss["save"] = peak_rss_bytes()
+
+    unpruned_utility = None
+    if solve:
+        with timer.stage("solve_unpruned"):
+            unpruned = GreedyEfficiency().solve(problem)
+            unpruned_utility = unpruned.total_utility
+        rss["solve_unpruned"] = peak_rss_bytes()
+
+    # Warm path: a fresh problem (fresh caches, same entities), engine
+    # attached from the artifact instead of rebuilt.  Datagen is outside
+    # the timed load on purpose -- the artifact's job is to replace the
+    # build, not the workload.
+    problem.drop_engine()
+    fresh = synthetic_problem(config, dtype=dtype)
+    with timer.stage("warm_load"):
+        loaded = ComputeEngine.load(artifact, fresh)
+    fresh.adopt_engine(loaded)
+    rss["warm_load"] = peak_rss_bytes()
+
+    with timer.stage("prune"):
+        certificate = loaded.prune("exact")
+    rss["prune"] = peak_rss_bytes()
+
+    pruned_utility = None
+    if solve:
+        with timer.stage("solve_pruned"):
+            pruned = GreedyEfficiency().solve(fresh)
+            pruned_utility = pruned.total_utility
+        rss["solve_pruned"] = peak_rss_bytes()
+
+    timings = timer.timings
+    return {
+        "n_customers": n_customers,
+        "n_vendors": n_vendors,
+        "dtype": dtype,
+        "n_edges": n_edges,
+        "edge_table_bytes": _edge_nbytes(loaded),
+        "artifact_bytes": artifact.stat().st_size,
+        "timings": timings,
+        "peak_rss_bytes_after": rss,
+        "warm_load_speedup": (
+            timings["cold_build_seconds"] / timings["warm_load_seconds"]
+            if timings["warm_load_seconds"] > 0
+            else float("inf")
+        ),
+        "prune": certificate.to_metadata(),
+        "prune_ratio": certificate.prune_ratio,
+        "unpruned_utility": unpruned_utility,
+        "pruned_utility": pruned_utility,
+    }
+
+
+def test_scale_smoke_gate():
+    rows = []
+    m, n = GATE_POINT
+    full = os.environ.get("REPRO_SCALE_FULL") == "1"
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        for dtype in ("float64", "float32"):
+            rows.append(_measure_point(m, n, workdir, dtype=dtype))
+        if full:
+            for m_full, n_full in FULL_POINTS:
+                rows.append(
+                    _measure_point(m_full, n_full, workdir, dtype="float64")
+                )
+
+    print()
+    print(
+        f"[scale] {'m':>8} {'n':>6} {'dtype':>8} {'edges':>10} "
+        f"{'build_s':>8} {'load_s':>8} {'speedup':>8} {'pruned':>7} "
+        f"{'rss_gb':>7}"
+    )
+    for row in rows:
+        print(
+            f"[scale] {row['n_customers']:8d} {row['n_vendors']:6d} "
+            f"{row['dtype']:>8} {row['n_edges']:10d} "
+            f"{row['timings']['cold_build_seconds']:8.3f} "
+            f"{row['timings']['warm_load_seconds']:8.4f} "
+            f"{row['warm_load_speedup']:7.1f}x "
+            f"{row['prune_ratio']:6.1%} "
+            f"{max(row['peak_rss_bytes_after'].values()) / 1e9:7.2f}"
+        )
+
+    write_bench_json(
+        "scale",
+        {
+            "warm_load_gate": WARM_LOAD_GATE,
+            "full_curve": full,
+            "float32_utility_rtol": FLOAT32.utility_rtol,
+            "sweep": rows,
+        },
+    )
+
+    f64, f32 = rows[0], rows[1]
+
+    # Certified pruning is exact: same utility, bit for bit, per dtype.
+    for row in rows:
+        assert row["pruned_utility"] == row["unpruned_utility"], (
+            f"pruning changed utility at "
+            f"{row['n_customers']}x{row['n_vendors']} ({row['dtype']}): "
+            f"{row['pruned_utility']} != {row['unpruned_utility']}"
+        )
+        assert row["prune"]["utility_delta"] == 0.0
+
+    # Compact columns halve the edge table (same edge count).
+    assert f32["n_edges"] == f64["n_edges"]
+    ratio = f32["edge_table_bytes"] / f64["edge_table_bytes"]
+    assert ratio <= 0.6, (
+        f"float32 edge table is {ratio:.2f}x the float64 bytes; "
+        f"expected about half"
+    )
+
+    # float32 stays within the documented utility tolerance.
+    rel = abs(f32["unpruned_utility"] - f64["unpruned_utility"]) / abs(
+        f64["unpruned_utility"]
+    )
+    assert rel <= FLOAT32.utility_rtol, (
+        f"float32 utility deviates {rel:.2e} relative, above the "
+        f"documented rtol {FLOAT32.utility_rtol:.0e}"
+    )
+
+    # Warm mmap load replaces the cold build at >= 10x.
+    assert f64["warm_load_speedup"] >= WARM_LOAD_GATE, (
+        f"warm load is only {f64['warm_load_speedup']:.1f}x faster than "
+        f"the cold build (gate {WARM_LOAD_GATE:.0f}x)"
+    )

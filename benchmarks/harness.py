@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import gc
 import json
+import resource
 import subprocess
+import sys
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -51,6 +53,20 @@ def _git_sha() -> str:
         return "unknown"
     sha = out.stdout.strip()
     return sha if out.returncode == 0 and sha else "unknown"
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalised
+    here so the stamped artifact field is always bytes.  The value is a
+    process-lifetime high-water mark: it only ever grows, so per-stage
+    deltas must be computed by the caller from successive readings.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return int(peak)
 
 
 class StageTimer:
@@ -136,6 +152,7 @@ def write_bench_json(name: str, payload: dict) -> Path:
             timespec="seconds"
         ),
         "cpu_count": available_cpus(),
+        "peak_rss_bytes": peak_rss_bytes(),
         **payload,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -24,6 +24,11 @@ from repro.core.assignment import AdInstance, Assignment
 from repro.core.problem import MUAAProblem
 from repro.obs.recorder import recorder
 
+#: Candidates per vectorized sweep chunk.  Any value yields the same
+#: assignment (the pre-filter is state-monotone); this only trades mask
+#: allocation size against pre-filter staleness.
+_SWEEP_CHUNK = 1 << 20
+
 
 class GreedyEfficiency(OfflineAlgorithm):
     """Global budget-efficiency greedy.
@@ -160,30 +165,66 @@ class GreedyEfficiency(OfflineAlgorithm):
             remaining_cap = arrays.capacity.astype(np.int64, copy=True)
             spent = np.zeros(arrays.n_vendors, dtype=float)
             budget = arrays.budget
+            # The scalar check is ``spent[ve] + cost > budget[ve] + 1e-9``
+            # with the epsilon added *in the budget column's dtype*
+            # (weak-scalar promotion); widening that sum to float64
+            # afterwards reproduces the comparison bit for bit, so the
+            # chunk pre-filter below is the exact complement of the
+            # scalar rejection -- never stricter, never looser.
+            threshold = (
+                budget + np.asarray(1e-9, dtype=budget.dtype)
+            ).astype(np.float64)
+            type_cost = np.array(
+                [ad_type.cost for ad_type in ad_types], dtype=np.float64
+            )
+            min_cost = float(type_cost.min())
             used_pairs = set()
-            for flat in order.tolist():
-                edge, k = divmod(flat, n_types)
-                cu = int(edges.customer_idx[edge])
-                ve = int(edges.vendor_idx[edge])
-                if remaining_cap[cu] <= 0 or (cu, ve) in used_pairs:
-                    continue
-                cost = ad_types[k].cost
-                # Same tolerance as Assignment.can_add's budget check.
-                if spent[ve] + cost > budget[ve] + 1e-9:
-                    continue
-                used_pairs.add((cu, ve))
-                remaining_cap[cu] -= 1
-                spent[ve] += cost
-                assignment.add(
-                    AdInstance(
-                        customer_id=int(arrays.customer_ids[cu]),
-                        vendor_id=int(arrays.vendor_ids[ve]),
-                        type_id=ad_types[k].type_id,
-                        utility=float(flat_util[flat]),
-                        cost=cost,
-                    ),
-                    strict=True,
+            customer_idx = edges.customer_idx
+            vendor_idx = edges.vendor_idx
+            # Chunked sweep: infeasibility is monotone (capacity only
+            # falls, spend only rises), so a candidate infeasible at its
+            # chunk boundary is infeasible forever and the vectorized
+            # mask drops it without changing the result; survivors still
+            # run through the authoritative scalar loop, which re-checks
+            # everything (including the pair-exclusivity set).
+            chunk_size = _SWEEP_CHUNK
+            for start in range(0, order.size, chunk_size):
+                if remaining_cap.max() <= 0:
+                    break
+                if bool(np.all(spent + min_cost > threshold)):
+                    break
+                chunk = order[start:start + chunk_size]
+                edge_a = chunk // n_types
+                k_a = chunk - edge_a * n_types
+                cu_a = customer_idx[edge_a]
+                ve_a = vendor_idx[edge_a]
+                feasible = (remaining_cap[cu_a] > 0) & (
+                    spent[ve_a] + type_cost[k_a] <= threshold[ve_a]
                 )
+                for position in np.flatnonzero(feasible).tolist():
+                    flat = int(chunk[position])
+                    edge, k = divmod(flat, n_types)
+                    cu = int(customer_idx[edge])
+                    ve = int(vendor_idx[edge])
+                    if remaining_cap[cu] <= 0 or (cu, ve) in used_pairs:
+                        continue
+                    cost = ad_types[k].cost
+                    # Same tolerance as Assignment.can_add's budget check.
+                    if spent[ve] + cost > budget[ve] + 1e-9:
+                        continue
+                    used_pairs.add((cu, ve))
+                    remaining_cap[cu] -= 1
+                    spent[ve] += cost
+                    assignment.add(
+                        AdInstance(
+                            customer_id=int(arrays.customer_ids[cu]),
+                            vendor_id=int(arrays.vendor_ids[ve]),
+                            type_id=ad_types[k].type_id,
+                            utility=float(flat_util[flat]),
+                            cost=cost,
+                        ),
+                        strict=True,
+                    )
 
     @staticmethod
     def _solve_rescan(

@@ -9,7 +9,14 @@ Commands:
 * ``obs``       -- inspect recorded traces (``obs summary TRACE``)
 * ``serve-cluster`` -- stream a workload through the process-per-shard
   cluster (optionally killing a shard mid-stream to watch recovery)
+* ``build-artifact`` -- pre-build mmap-able engine artifacts (single or
+  sharded) for ``--artifact`` consumers
 * ``info``      -- runtime/backend card of this installation
+
+``demo`` and ``reproduce`` accept ``--artifact DIR`` (a fingerprint-
+keyed engine artifact cache: warm runs mmap their engines instead of
+re-scoring); ``serve-cluster --artifact DIR`` boots shard workers from
+a sharded store written by ``build-artifact --shards S``.
 
 ``demo``, ``figure`` and ``reproduce`` accept ``--trace PATH`` (record
 a merged Chrome-trace timeline of the run, loadable in
@@ -37,6 +44,26 @@ def _parallel_from_args(args: argparse.Namespace):
     from repro.parallel import ParallelConfig
 
     return ParallelConfig(jobs=jobs)
+
+
+def _artifact_cache_from_args(args: argparse.Namespace):
+    """The installed engine cache for ``--artifact DIR``, or a no-op."""
+    directory = getattr(args, "artifact", None)
+    if directory is None:
+        from contextlib import nullcontext
+
+        return nullcontext(None)
+    from repro.store import engine_cache
+
+    return engine_cache(directory)
+
+
+def _report_cache(cache) -> None:
+    if cache is not None:
+        print(
+            f"artifact cache {cache.directory}: "
+            f"{cache.hits} warm load(s), {cache.misses} build(s)"
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -78,6 +105,24 @@ def _build_parser() -> argparse.ArgumentParser:
                  "histograms) as JSON",
         )
 
+    def add_artifact(command) -> None:
+        command.add_argument(
+            "--artifact", type=str, default=None, metavar="DIR",
+            help="engine artifact cache directory: problems warm-load "
+                 "their engine from a matching artifact (mmap, no "
+                 "re-scoring) and persist freshly built ones for the "
+                 "next run; entries are fingerprint-keyed so a stale "
+                 "artifact is never used (see docs/scale.md)",
+        )
+
+    def add_dtype(command) -> None:
+        command.add_argument(
+            "--dtype", choices=("float64", "float32"), default="float64",
+            help="engine dtype policy: float64 = bitwise parity "
+                 "reference; float32 = compact columns (half the edge "
+                 "table, utilities within 1e-3 relative)",
+        )
+
     demo = sub.add_parser("demo", help="run the algorithm panel once")
     demo.add_argument("--customers", type=int, default=2_000)
     demo.add_argument("--vendors", type=int, default=150)
@@ -85,6 +130,8 @@ def _build_parser() -> argparse.ArgumentParser:
     add_jobs(demo)
     add_shards(demo)
     add_obs(demo)
+    add_artifact(demo)
+    add_dtype(demo)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=range(3, 9),
@@ -135,6 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_jobs(reproduce)
     add_shards(reproduce)
     add_obs(reproduce)
+    add_artifact(reproduce)
 
     stats = sub.add_parser(
         "stats", help="print the instance card of a workload"
@@ -195,7 +243,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--churn-seed", type=int, default=None, metavar="SEED",
         help="seed of the churn event stream (default: --seed)",
     )
+    serve.add_argument(
+        "--artifact", type=str, default=None, metavar="DIR",
+        help="sharded artifact store written by `repro build-artifact "
+             "--shards S` (plan.json + shard-NNNN.cols): workers boot "
+             "their shard engine from the mapped file instead of "
+             "scoring locally or shipping shm columns",
+    )
     add_obs(serve)
+
+    build = sub.add_parser(
+        "build-artifact",
+        help="pre-build engine artifacts for a synthetic workload",
+    )
+    build.add_argument("--customers", type=int, default=2_000)
+    build.add_argument("--vendors", type=int, default=150)
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument(
+        "--radius", type=float, nargs=2, default=(0.03, 0.06),
+        metavar=("LO", "HI"),
+        help="vendor radius range of the workload; must match the "
+             "consumer's (demo/figures use 0.03 0.06, serve-cluster "
+             "uses 0.15 0.25)",
+    )
+    add_dtype(build)
+    build.add_argument(
+        "--shards", "-s", type=int, default=1, metavar="S",
+        help="1 (default) writes one fingerprint-keyed engine artifact "
+             "(consumed by demo/reproduce --artifact); S > 1 writes a "
+             "sharded store -- plan.json + one artifact per shard "
+             "(consumed by serve-cluster --artifact)",
+    )
+    build.add_argument(
+        "--prune", choices=("exact", "lp"), default=None,
+        help="prune the edge table before saving; 'exact' is certified "
+             "utility-neutral for every solver, 'lp' additionally "
+             "drops below-LP-marginal edges (bound-preserving)",
+    )
+    build.add_argument(
+        "--out", type=str, required=True, metavar="DIR",
+        help="output directory for the artifact(s)",
+    )
 
     info = sub.add_parser(
         "info", help="print version, runtime, and backend information"
@@ -222,12 +310,15 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             n_vendors=args.vendors,
             radius_range=ParameterRange(0.03, 0.06),
             seed=args.seed,
+        ),
+        dtype=getattr(args, "dtype", None),
+    )
+    with _artifact_cache_from_args(args) as cache:
+        results = run_panel(
+            problem, seed=args.seed, parallel=_parallel_from_args(args),
+            shards=getattr(args, "shards", 1),
         )
-    )
-    results = run_panel(
-        problem, seed=args.seed, parallel=_parallel_from_args(args),
-        shards=getattr(args, "shards", 1),
-    )
+    _report_cache(cache)
     print(f"{'algorithm':10s} {'utility':>12s} {'ads':>6s} {'time':>9s}")
     for name, result in results.items():
         flag = "" if validate_assignment(problem, result.assignment).ok \
@@ -378,15 +469,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.paper import ALL_FIGURES, reproduce_all
 
-    report = reproduce_all(
-        scale_multiplier=args.scale_multiplier,
-        seed=args.seed,
-        figures=tuple(args.figures) if args.figures else ALL_FIGURES,
-        output_dir=args.out,
-        progress=print,
-        parallel=_parallel_from_args(args),
-        shards=getattr(args, "shards", 1),
-    )
+    with _artifact_cache_from_args(args) as cache:
+        report = reproduce_all(
+            scale_multiplier=args.scale_multiplier,
+            seed=args.seed,
+            figures=tuple(args.figures) if args.figures else ALL_FIGURES,
+            output_dir=args.out,
+            progress=print,
+            parallel=_parallel_from_args(args),
+            shards=getattr(args, "shards", 1),
+        )
+    _report_cache(cache)
     print()
     print(report.summary())
     if report.output_dir is not None:
@@ -467,14 +560,70 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         print(
             f"churn: {len(churn)} seeded event(s), seed {churn_seed}"
         )
+    if args.artifact is not None:
+        print(f"artifact store: {args.artifact} (shards with a saved "
+              f"shard-NNNN.cols boot from it)")
     result = run_episode(
         problem,
-        ClusterConfig(shards=args.shards, transport=transport),
+        ClusterConfig(
+            shards=args.shards,
+            transport=transport,
+            artifact_dir=args.artifact,
+        ),
         chaos=chaos,
         shard_plan=plan,
         churn=churn,
     )
     print(result.card())
+    return 0
+
+
+def _cmd_build_artifact(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.datagen.config import ParameterRange, WorkloadConfig
+    from repro.datagen.synthetic import synthetic_problem
+    from repro.store import EngineCache, save_sharded
+
+    problem = synthetic_problem(
+        WorkloadConfig(
+            n_customers=args.customers,
+            n_vendors=args.vendors,
+            radius_range=ParameterRange(*args.radius),
+            seed=args.seed,
+        ),
+        dtype=args.dtype,
+    )
+    out = Path(args.out)
+    if args.shards > 1:
+        from repro.sharding import ShardPlan
+
+        plan = ShardPlan.build(problem, args.shards)
+        paths = save_sharded(plan, out, prune=args.prune)
+        for path in paths:
+            print(f"wrote {path}")
+        if args.prune is not None:
+            print(f"each shard pruned at level={args.prune} "
+                  f"(certificates saved in the artifacts)")
+        print(f"{args.shards} shard artifact(s) + plan.json in {out}/ "
+              f"(consume with: repro serve-cluster --artifact {out})")
+        return 0
+    engine = problem.acquire_engine()
+    if engine is None:
+        print("this workload's utility model has no vectorized engine")
+        return 2
+    engine.num_edges
+    engine.pair_bases
+    if args.prune is not None:
+        certificate = engine.prune(args.prune)
+        print(f"pruned {certificate.edges_dropped} of "
+              f"{certificate.edges_before} edges "
+              f"({certificate.prune_ratio:.1%}, level={args.prune})")
+    path = EngineCache(out).store(problem, engine)
+    print(f"wrote {path} ({path.stat().st_size} bytes, "
+          f"{engine.num_edges} edges, dtype {args.dtype})")
+    print(f"consume with: repro demo --artifact {out} (matching "
+          f"--customers/--vendors/--seed/--dtype)")
     return 0
 
 
@@ -556,6 +705,21 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"  sample of 8:    {mix} (seed {args.seed})")
     print("  delta path:     engine segments spliced in place; "
           "cold rebuild kept as the parity reference")
+
+    # Scale card: dtype policies and the artifact store (docs/scale.md).
+    from repro.engine import FLOAT32, FLOAT64
+    from repro.store import ENGINE_SCHEMA_VERSION, FORMAT_VERSION, MAGIC
+
+    print()
+    print("scale card (docs/scale.md):")
+    print(f"  dtype policies: {FLOAT64.name} (reference, bitwise parity) "
+          f"| {FLOAT32.name} (compact, utility rtol "
+          f"{FLOAT32.utility_rtol:.0e}, half the edge-table bytes)")
+    print(f"  artifact store: {MAGIC.decode()} container v{FORMAT_VERSION}, "
+          f"engine schema v{ENGINE_SCHEMA_VERSION}, mmap-able "
+          f"(repro build-artifact / --artifact)")
+    print("  edge pruning:   exact (certified utility-neutral) | lp "
+          "(bound-preserving); certificates travel with artifacts")
     return 0
 
 
@@ -569,6 +733,7 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "obs": _cmd_obs,
     "serve-cluster": _cmd_serve_cluster,
+    "build-artifact": _cmd_build_artifact,
     "info": _cmd_info,
 }
 

@@ -19,6 +19,7 @@ run with the same plan and threshold -- the parity gate in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -63,6 +64,10 @@ class ClusterConfig:
         calibration_seed: Seed for threshold calibration sampling.
         sample_customers: Calibration sample size.
         request_timeout: Per-request reply deadline (process transport).
+        artifact_dir: Optional :mod:`repro.store` directory
+          (``plan.json`` + ``shard-NNNN.cols``).  Shards whose artifact
+          file exists boot from it (mapped read-only) instead of
+          scoring locally or shipping shm columns.
     """
 
     shards: int = 4
@@ -79,6 +84,7 @@ class ClusterConfig:
     calibration_seed: int = 0
     sample_customers: Optional[int] = 500
     request_timeout: float = 30.0
+    artifact_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -204,7 +210,16 @@ def run_episode(
         for shard in range(plan.n_shards):
             view = plan.problem_for(shard)
             handle = None
-            if use_shm:
+            artifact_path = None
+            if config.artifact_dir is not None:
+                from repro.store import shard_artifact_name
+
+                candidate = (
+                    Path(config.artifact_dir) / shard_artifact_name(shard)
+                )
+                if candidate.exists():
+                    artifact_path = str(candidate)
+            if use_shm and artifact_path is None:
                 engine = view.acquire_engine()
                 if engine is not None:
                     engine.warm()
@@ -215,7 +230,13 @@ def run_episode(
             if config.transport == "process":
                 kwargs["timeout"] = config.request_timeout
             hosts[shard] = host_cls(
-                shard, view, handle, gamma_min, g, **kwargs
+                shard,
+                view,
+                handle,
+                gamma_min,
+                g,
+                artifact_path=artifact_path,
+                **kwargs,
             )
     control = ControlPlane(
         hosts,

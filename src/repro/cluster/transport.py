@@ -46,6 +46,8 @@ class InlineShardHost:
             :class:`~repro.cluster.worker.ShardServer`).
         g: Threshold growth constant.
         obs: Ship worker span snapshots in replies.
+        artifact_path: Optional engine artifact to boot from (wins
+            over ``handle``; see :mod:`repro.store`).
     """
 
     transport = "inline"
@@ -58,6 +60,7 @@ class InlineShardHost:
         gamma_min: float,
         g: float,
         obs: bool = False,
+        artifact_path: Optional[str] = None,
     ) -> None:
         self.shard_id = shard_id
         self._problem = problem
@@ -65,8 +68,15 @@ class InlineShardHost:
         self._gamma_min = gamma_min
         self._g = g
         self._obs = obs
+        self._artifact_path = artifact_path
         self._server: Optional[ShardServer] = ShardServer(
-            shard_id, problem, handle, gamma_min, g, obs=obs
+            shard_id,
+            problem,
+            handle,
+            gamma_min,
+            g,
+            obs=obs,
+            artifact_path=artifact_path,
         )
 
     @property
@@ -94,6 +104,8 @@ class InlineShardHost:
         it splices its own engine as churn deltas arrive.
         """
         self._handle = None
+        # On-disk artifacts are frozen at their save epoch too.
+        self._artifact_path = None
 
     def kill(self) -> None:
         """Abrupt loss: the server and all its local state are dropped."""
@@ -111,6 +123,7 @@ class InlineShardHost:
             self._gamma_min,
             self._g,
             obs=self._obs,
+            artifact_path=self._artifact_path,
         )
 
     def close(self) -> None:
@@ -135,6 +148,8 @@ class ProcessShardHost:
         g: Threshold growth constant.
         obs: Ship worker span snapshots in replies.
         timeout: Default per-request reply deadline in seconds.
+        artifact_path: Optional engine artifact the worker boots from
+            (mapped read-only in the child; wins over ``handle``).
     """
 
     transport = "process"
@@ -148,6 +163,7 @@ class ProcessShardHost:
         g: float,
         obs: bool = False,
         timeout: float = 30.0,
+        artifact_path: Optional[str] = None,
     ) -> None:
         self.shard_id = shard_id
         self._problem = problem
@@ -156,6 +172,7 @@ class ProcessShardHost:
         self._g = g
         self._obs = obs
         self._timeout = timeout
+        self._artifact_path = artifact_path
         self._ctx = multiprocessing.get_context("fork")
         self._proc = None
         self._conn = None
@@ -173,6 +190,7 @@ class ProcessShardHost:
                 self._gamma_min,
                 self._g,
                 self._obs,
+                self._artifact_path,
             ),
             daemon=True,
             name=f"repro-shard-{self.shard_id}",
@@ -217,6 +235,7 @@ class ProcessShardHost:
         forks a worker that scores locally against the post-churn view
         it inherits, instead of attaching boot-time columns."""
         self._handle = None
+        self._artifact_path = None
 
     def kill(self) -> None:
         """SIGKILL the worker (abrupt loss, no cleanup on its side)."""

@@ -85,6 +85,9 @@ class ShardServer:
         g: Calibrated threshold growth constant.
         obs: Record spans into a ``shard-<i>`` lane and ship drained
             snapshots inside every reply.
+        artifact_path: Optional on-disk engine artifact
+            (:mod:`repro.store`) to boot the engine from instead of
+            shm columns or local scoring; wins over ``handle``.
     """
 
     def __init__(
@@ -95,20 +98,32 @@ class ShardServer:
         gamma_min: float,
         g: float,
         obs: bool = False,
+        artifact_path: Optional[str] = None,
     ) -> None:
         self.shard_id = shard_id
         self._problem = problem
         self._rec = Recorder(lane=f"shard-{shard_id}") if obs else NullRecorder()
         self._attached = None
         with self._rec.span("cluster.shard_boot", shard=shard_id):
-            self._build_engine(handle)
+            self._build_engine(handle, artifact_path)
         self._algorithm = OnlineAdaptiveFactorAware(gamma_min=gamma_min, g=g)
         self._algorithm.reset(problem)
         self._assignment = problem.new_assignment()
         self._decided: Dict[int, Tuple[AdInstance, ...]] = {}
         self._committed = 0
 
-    def _build_engine(self, handle: Optional[ColumnHandle]) -> None:
+    def _build_engine(
+        self,
+        handle: Optional[ColumnHandle],
+        artifact_path: Optional[str] = None,
+    ) -> None:
+        if artifact_path is not None:
+            from repro.store import load_engine
+
+            engine = load_engine(artifact_path, self._problem)
+            engine.warm()
+            self._problem.adopt_engine(engine)
+            return
         if handle is None:
             self._problem.warm_utilities()
             return
@@ -261,11 +276,18 @@ def worker_main(
     gamma_min: float,
     g: float,
     obs: bool,
+    artifact_path: Optional[str] = None,
 ) -> None:
     """Child-process entry point: serve envelopes off a pipe until told
     to shut down (or the pipe dies with the parent)."""
     server = ShardServer(
-        shard_id, problem, handle, gamma_min, g, obs=obs
+        shard_id,
+        problem,
+        handle,
+        gamma_min,
+        g,
+        obs=obs,
+        artifact_path=artifact_path,
     )
     try:
         while True:

@@ -70,6 +70,11 @@ class MUAAProblem:
             anywhere (budget exhaustion is a global fact) is skipped by
             every view's candidate scans; omitted, the problem gets a
             private state.
+        dtype: Column-width policy for the compute engine -- ``None``
+            or ``"float64"`` for the bitwise parity reference,
+            ``"float32"`` for half-width columns (see
+            ``docs/scale.md``), or a
+            :class:`~repro.engine.dtypes.DtypePolicy`.
 
     Raises:
         InvalidProblemError: On duplicate ids, an empty catalogue, or
@@ -89,6 +94,7 @@ class MUAAProblem:
         use_engine: bool = True,
         parallel=None,
         churn: Optional[ChurnState] = None,
+        dtype=None,
     ) -> None:
         if spatial_backend not in ("grid", "kdtree"):
             raise InvalidProblemError(
@@ -147,6 +153,13 @@ class MUAAProblem:
         #: Churn bookkeeping (deactivated vendors, skip/epoch counters),
         #: shared with shard views of this problem.
         self.churn: ChurnState = churn if churn is not None else ChurnState()
+        # Deferred import keeps repro.core free of a hard engine import
+        # at module load; the policy is a tiny frozen descriptor.
+        from repro.engine.dtypes import resolve_policy
+
+        #: Column-width policy the compute engine builds with
+        #: (``docs/scale.md``); ``float64`` is the parity reference.
+        self.dtype_policy = resolve_policy(dtype)
 
     # ------------------------------------------------------------------
     # Columnar compute engine
@@ -175,8 +188,14 @@ class MUAAProblem:
         ):
             from repro.engine import ComputeEngine
             from repro.engine.engine import MISS
+            from repro.store.cache import active_cache
 
-            engine = ComputeEngine.create(self)
+            cache = active_cache()
+            engine = cache.fetch(self) if cache is not None else None
+            if engine is None:
+                engine = ComputeEngine.create(self)
+                if engine is not None and cache is not None:
+                    cache.store(self, engine)
             if engine is None:
                 self._engine_unsupported = True
             else:
@@ -248,6 +267,21 @@ class MUAAProblem:
                     self.customers, cell
                 )
         return self._customer_index
+
+    def grid_cell_size(self) -> float:
+        """Cell size the grid customer index uses (or would use).
+
+        Matches :attr:`customer_index` exactly -- including the
+        degenerate-radius floor -- but without building the index, so
+        the vectorized edge enumeration can size its grid for a
+        million customers without a per-point insertion pass.
+        """
+        if self._customer_index is not None and hasattr(
+            self._customer_index, "cell_size"
+        ):
+            return self._customer_index.cell_size
+        cell = self.max_radius if self.max_radius > 0 else 1.0
+        return max(cell, 1e-6)
 
     @property
     def vendor_index(self) -> GridIndex:

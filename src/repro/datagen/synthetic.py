@@ -19,7 +19,11 @@ import numpy as np
 from repro.core.entities import Customer, Vendor
 from repro.core.problem import MUAAProblem
 from repro.datagen.config import WorkloadConfig, default_ad_types
-from repro.taxonomy.interest import interest_vector, vendor_vector
+from repro.taxonomy.interest import (
+    interest_vector,
+    propagate_score,
+    vendor_vector,
+)
 from repro.taxonomy.tree import Taxonomy
 from repro.taxonomy.foursquare import foursquare_taxonomy
 from repro.utility.activity import ActivityModel
@@ -30,6 +34,15 @@ _CHECKINS_PER_CUSTOMER = (10, 40)
 
 #: Distinct categories a synthetic customer is interested in.
 _CATEGORIES_PER_CUSTOMER = (4, 8)
+
+#: Customer count at which generation switches to the vectorized
+#: sampling path.  Below it the original per-customer loop runs, so
+#: every seed published before the fast path existed stays bit-exact.
+_FAST_THRESHOLD = 50_000
+
+#: Customers per vectorized sampling chunk (bounds the working set of
+#: the interest-matrix assembly to a few hundred MB at any taxonomy).
+_FAST_CHUNK = 65_536
 
 #: Zipf exponent of category popularity.  Both customers and vendors
 #: draw categories from the same skewed distribution, which is what
@@ -89,10 +102,83 @@ def _sample_interest_vectors(
     return vectors
 
 
+def _propagation_matrix(taxonomy: Taxonomy) -> np.ndarray:
+    """Per-leaf Eq. 2-3 propagation columns.
+
+    ``interest_vector`` is linear in the topic scores before its final
+    max-normalization, so one :func:`propagate_score` per leaf (unit
+    score) spans every possible check-in history:
+    ``raw = sum_k sc(g_k) * P[leaf_k]``.
+    """
+    leaves = taxonomy.leaves()
+    matrix = np.zeros((len(leaves), len(taxonomy)))
+    for row, leaf in enumerate(leaves):
+        for tag, score in propagate_score(taxonomy, leaf, 1.0).items():
+            matrix[row, taxonomy.index(tag)] = score
+    return matrix
+
+
+def _interest_matrix_fast(
+    rng: np.random.Generator,
+    taxonomy: Taxonomy,
+    count: int,
+    popularity: np.ndarray,
+) -> np.ndarray:
+    """Vectorized equivalent of :func:`_sample_interest_vectors`.
+
+    Same sampling distribution, different RNG call sequence (so it is
+    gated behind :data:`_FAST_THRESHOLD` rather than replacing the
+    loop):
+
+    * category sets via Gumbel-top-k -- the descending order of
+      ``log p + Gumbel`` keys enumerates a popularity-weighted sample
+      without replacement, so the first ``n_cat`` ranks match
+      ``rng.choice(..., replace=False, p=popularity)``;
+    * check-in counts as a bincount of uniform slot draws, which is the
+      same distribution as ``rng.multinomial(n, uniform)``;
+    * interest rows as counts-weighted sums of the per-leaf propagation
+      matrix, max-normalized exactly like ``interest_vector`` (the
+      constant Eq. 1 factor ``s / n_checkins`` cancels in the
+      normalization).
+    """
+    matrix = _propagation_matrix(taxonomy)
+    n_leaves = matrix.shape[0]
+    lo_cat, hi_cat = _CATEGORIES_PER_CUSTOMER
+    lo_chk, hi_chk = _CHECKINS_PER_CUSTOMER
+    log_popularity = np.log(popularity)
+    out = np.empty((count, matrix.shape[1]))
+    for start in range(0, count, _FAST_CHUNK):
+        m = min(_FAST_CHUNK, count - start)
+        n_cats = rng.integers(lo_cat, hi_cat + 1, size=m)
+        keys = log_popularity[None, :] + rng.gumbel(size=(m, n_leaves))
+        top = np.argpartition(-keys, hi_cat - 1, axis=1)[:, :hi_cat]
+        rows = np.arange(m)[:, None]
+        order = np.argsort(-np.take_along_axis(keys, top, axis=1), axis=1)
+        cats = np.take_along_axis(top, order, axis=1)
+        n_checkins = rng.integers(lo_chk, hi_chk + 1, size=m)
+        slots = (
+            rng.random((m, hi_chk)) * n_cats[:, None]
+        ).astype(np.int64)
+        live = np.arange(hi_chk)[None, :] < n_checkins[:, None]
+        counts = np.bincount(
+            (rows * hi_cat + slots)[live], minlength=m * hi_cat
+        ).reshape(m, hi_cat)
+        raw = np.zeros((m, matrix.shape[1]))
+        for slot in range(hi_cat):
+            raw += counts[:, slot, None] * matrix[cats[:, slot]]
+        # n_checkins >= lo_chk > 0 and every leaf column has a positive
+        # leaf entry, so the row maximum is always positive.
+        raw /= raw.max(axis=1, keepdims=True)
+        out[start:start + m] = raw
+    return out
+
+
 def synthetic_problem(
     config: Optional[WorkloadConfig] = None,
     taxonomy: Optional[Taxonomy] = None,
     diurnal: bool = True,
+    dtype=None,
+    fast: Optional[bool] = None,
 ) -> MUAAProblem:
     """Generate a complete synthetic MUAA instance.
 
@@ -101,6 +187,15 @@ def synthetic_problem(
         taxonomy: Tag taxonomy; the built-in Foursquare-style tree when
             omitted.
         diurnal: Use the diurnal activity model (uniform when false).
+        dtype: Engine dtype policy for the problem (``None``/
+            ``"float64"``/``"float32"`` or a
+            :class:`~repro.engine.DtypePolicy`); entity generation is
+            unaffected.
+        fast: Force the vectorized sampling path on or off.  ``None``
+            (default) switches it on from :data:`_FAST_THRESHOLD`
+            customers.  The fast path samples the same distributions
+            but consumes the RNG differently, so small published seeds
+            stay on the bit-exact loop.
 
     Returns:
         A ready-to-solve problem with the taxonomy utility model.
@@ -108,9 +203,11 @@ def synthetic_problem(
     config = config or WorkloadConfig()
     taxonomy = taxonomy or foursquare_taxonomy()
     rng = np.random.default_rng(config.seed)
+    if fast is None:
+        fast = config.n_customers >= _FAST_THRESHOLD
 
     popularity = _category_popularity(rng, len(taxonomy.leaves()))
-    customers = _generate_customers(rng, config, taxonomy, popularity)
+    customers = _generate_customers(rng, config, taxonomy, popularity, fast)
     vendors = _generate_vendors(rng, config, taxonomy, popularity)
 
     activity = (
@@ -122,6 +219,7 @@ def synthetic_problem(
         vendors=vendors,
         ad_types=list(default_ad_types()),
         utility_model=TaxonomyUtilityModel(activity),
+        dtype=dtype,
     )
 
 
@@ -130,13 +228,17 @@ def _generate_customers(
     config: WorkloadConfig,
     taxonomy: Taxonomy,
     popularity: np.ndarray,
+    fast: bool = False,
 ) -> List[Customer]:
     m = config.n_customers
     positions = _truncated_gaussian_positions(rng, m, config.customer_std)
     capacities = config.capacity_range.sample_int(rng, m)
     probabilities = config.probability_range.sample(rng, m)
     arrival_hours = rng.uniform(0.0, 24.0, size=m)
-    interests = _sample_interest_vectors(rng, taxonomy, m, popularity)
+    if fast:
+        interests = _interest_matrix_fast(rng, taxonomy, m, popularity)
+    else:
+        interests = _sample_interest_vectors(rng, taxonomy, m, popularity)
     return [
         Customer(
             customer_id=i,
@@ -162,13 +264,20 @@ def _generate_vendors(
     radii = config.radius_range.sample(rng, n)
     leaves = taxonomy.leaves()
     categories = rng.choice(len(leaves), size=n, p=popularity)
+    # Vendor tag vectors are a pure function of the venue leaf; memoize
+    # per leaf (copies, so vendors never alias mutable state).  Values
+    # are unchanged, so published seeds are unaffected.
+    vectors: dict = {}
+    tags_for = lambda leaf: vectors.setdefault(
+        leaf, vendor_vector(taxonomy, leaf)
+    ).copy()
     return [
         Vendor(
             vendor_id=j,
             location=(float(positions[j, 0]), float(positions[j, 1])),
             radius=float(radii[j]),
             budget=float(budgets[j]),
-            tags=vendor_vector(taxonomy, leaves[int(categories[j])]),
+            tags=tags_for(leaves[int(categories[j])]),
         )
         for j in range(n)
     ]

@@ -17,6 +17,7 @@ how parity with the scalar reference implementation is maintained.
 """
 
 from repro.engine.arrays import ProblemArrays
+from repro.engine.dtypes import FLOAT32, FLOAT64, DtypePolicy, resolve_policy
 from repro.engine.edges import CandidateEdges, build_candidate_edges
 from repro.engine.engine import ComputeEngine, supports_vectorization
 from repro.engine.kernels import (
@@ -25,6 +26,7 @@ from repro.engine.kernels import (
     tabular_pair_bases,
     taxonomy_pair_bases,
 )
+from repro.engine.pruning import PruneCertificate, prune_engine
 from repro.engine.sharded import ShardedEngine
 
 __all__ = [
@@ -38,4 +40,10 @@ __all__ = [
     "pair_bases",
     "tabular_pair_bases",
     "taxonomy_pair_bases",
+    "DtypePolicy",
+    "FLOAT32",
+    "FLOAT64",
+    "resolve_policy",
+    "PruneCertificate",
+    "prune_engine",
 ]

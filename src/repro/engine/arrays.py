@@ -26,9 +26,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.entities import Customer, Vendor
+from repro.engine.dtypes import FLOAT64, DtypePolicy, resolve_policy
 
 
-def _stack_vectors(vectors: Sequence[Optional[np.ndarray]]) -> Optional[np.ndarray]:
+def _stack_vectors(
+    vectors: Sequence[Optional[np.ndarray]], dtype=float
+) -> Optional[np.ndarray]:
     """Stack per-entity tag vectors into a matrix, or ``None`` when any
     entity lacks a vector or the lengths are inconsistent."""
     if not vectors or any(v is None for v in vectors):
@@ -36,7 +39,7 @@ def _stack_vectors(vectors: Sequence[Optional[np.ndarray]]) -> Optional[np.ndarr
     length = vectors[0].shape
     if any(v.shape != length for v in vectors):
         return None
-    return np.stack([np.asarray(v, dtype=float) for v in vectors])
+    return np.stack([np.asarray(v, dtype=dtype) for v in vectors])
 
 
 @dataclass(frozen=True)
@@ -79,6 +82,7 @@ class ProblemArrays:
     type_effectiveness: np.ndarray
     customer_index: Dict[int, int] = field(repr=False)
     vendor_index: Dict[int, int] = field(repr=False)
+    policy: DtypePolicy = FLOAT64
 
     @property
     def n_customers(self) -> int:
@@ -92,11 +96,24 @@ class ProblemArrays:
     def n_types(self) -> int:
         return len(self.type_ids)
 
+    @property
+    def float_dtype(self) -> np.dtype:
+        """Dtype of the floating columns under the active policy."""
+        return self.policy.float_dtype
+
+    @property
+    def index_dtype(self) -> np.dtype:
+        """Dtype of edge-table index columns under the active policy."""
+        return self.policy.index_dtype
+
     @classmethod
     def from_problem(cls, problem) -> "ProblemArrays":
         """Extract the columns of a :class:`MUAAProblem`."""
         return cls.from_entities(
-            problem.customers, problem.vendors, problem.ad_types
+            problem.customers,
+            problem.vendors,
+            problem.ad_types,
+            policy=getattr(problem, "dtype_policy", None),
         )
 
     @classmethod
@@ -105,41 +122,48 @@ class ProblemArrays:
         customers: Sequence[Customer],
         vendors: Sequence[Vendor],
         ad_types: Sequence,
+        policy: Optional[DtypePolicy] = None,
     ) -> "ProblemArrays":
         """Build columns straight from entity sequences."""
+        policy = resolve_policy(policy)
+        fdt = policy.float_dtype
+        idt = policy.id_dtype
         customer_ids = np.array(
-            [c.customer_id for c in customers], dtype=np.int64
+            [c.customer_id for c in customers], dtype=idt
         )
-        vendor_ids = np.array([v.vendor_id for v in vendors], dtype=np.int64)
+        vendor_ids = np.array([v.vendor_id for v in vendors], dtype=idt)
         return cls(
             customer_ids=customer_ids,
             customer_xy=np.array(
-                [c.location for c in customers], dtype=float
+                [c.location for c in customers], dtype=fdt
             ).reshape(len(customers), 2),
-            capacity=np.array([c.capacity for c in customers], dtype=np.int64),
+            capacity=np.array([c.capacity for c in customers], dtype=idt),
             view_probability=np.array(
-                [c.view_probability for c in customers], dtype=float
+                [c.view_probability for c in customers], dtype=fdt
             ),
             arrival_time=np.array(
-                [c.arrival_time for c in customers], dtype=float
+                [c.arrival_time for c in customers], dtype=fdt
             ),
-            interests=_stack_vectors([c.interests for c in customers]),
+            interests=_stack_vectors(
+                [c.interests for c in customers], dtype=fdt
+            ),
             vendor_ids=vendor_ids,
             vendor_xy=np.array(
-                [v.location for v in vendors], dtype=float
+                [v.location for v in vendors], dtype=fdt
             ).reshape(len(vendors), 2),
-            radius=np.array([v.radius for v in vendors], dtype=float),
-            budget=np.array([v.budget for v in vendors], dtype=float),
-            tags=_stack_vectors([v.tags for v in vendors]),
-            type_ids=np.array([t.type_id for t in ad_types], dtype=np.int64),
-            type_cost=np.array([t.cost for t in ad_types], dtype=float),
+            radius=np.array([v.radius for v in vendors], dtype=fdt),
+            budget=np.array([v.budget for v in vendors], dtype=fdt),
+            tags=_stack_vectors([v.tags for v in vendors], dtype=fdt),
+            type_ids=np.array([t.type_id for t in ad_types], dtype=idt),
+            type_cost=np.array([t.cost for t in ad_types], dtype=fdt),
             type_effectiveness=np.array(
-                [t.effectiveness for t in ad_types], dtype=float
+                [t.effectiveness for t in ad_types], dtype=fdt
             ),
             customer_index={
                 int(cid): row for row, cid in enumerate(customer_ids)
             },
             vendor_index={int(vid): row for row, vid in enumerate(vendor_ids)},
+            policy=policy,
         )
 
     # ------------------------------------------------------------------
@@ -156,7 +180,7 @@ class ProblemArrays:
         tags = self.tags
         if tags is not None:
             vec = None if vendor.tags is None else np.asarray(
-                vendor.tags, dtype=float
+                vendor.tags, dtype=tags.dtype
             )
             if vec is None or vec.shape != tags.shape[1:]:
                 raise ValueError(
@@ -171,7 +195,7 @@ class ProblemArrays:
             vendor_xy=np.insert(
                 self.vendor_xy,
                 row,
-                np.asarray(vendor.location, dtype=float),
+                np.asarray(vendor.location, dtype=self.vendor_xy.dtype),
                 axis=0,
             ),
             radius=np.insert(self.radius, row, vendor.radius),
@@ -215,7 +239,7 @@ class ProblemArrays:
         if interests is not None:
             vectors = [
                 None if c.interests is None
-                else np.asarray(c.interests, dtype=float)
+                else np.asarray(c.interests, dtype=interests.dtype)
                 for c in customers
             ]
             if any(
@@ -235,29 +259,36 @@ class ProblemArrays:
             customer_ids=np.concatenate([
                 self.customer_ids,
                 np.array(
-                    [c.customer_id for c in customers], dtype=np.int64
+                    [c.customer_id for c in customers],
+                    dtype=self.customer_ids.dtype,
                 ),
             ]),
             customer_xy=np.concatenate([
                 self.customer_xy,
                 np.array(
-                    [c.location for c in customers], dtype=float
+                    [c.location for c in customers],
+                    dtype=self.customer_xy.dtype,
                 ).reshape(len(customers), 2),
             ]),
             capacity=np.concatenate([
                 self.capacity,
-                np.array([c.capacity for c in customers], dtype=np.int64),
+                np.array(
+                    [c.capacity for c in customers],
+                    dtype=self.capacity.dtype,
+                ),
             ]),
             view_probability=np.concatenate([
                 self.view_probability,
                 np.array(
-                    [c.view_probability for c in customers], dtype=float
+                    [c.view_probability for c in customers],
+                    dtype=self.view_probability.dtype,
                 ),
             ]),
             arrival_time=np.concatenate([
                 self.arrival_time,
                 np.array(
-                    [c.arrival_time for c in customers], dtype=float
+                    [c.arrival_time for c in customers],
+                    dtype=self.arrival_time.dtype,
                 ),
             ]),
             interests=interests,

@@ -1,0 +1,117 @@
+"""Dtype policies for the columnar engine.
+
+The engine's structure-of-arrays columns historically hardcoded NumPy's
+defaults: ``float64`` for coordinates, radii, probabilities and
+utilities, ``int64`` for entity ids and capacities, and ``np.intp`` for
+edge-table index columns.  At million-customer scale the edge table is
+the dominant memory consumer, and half of every byte is precision the
+utility model cannot observe: Eq. 5 preferences are correlations of
+small integer check-in counts, and distances live in the unit square.
+
+A :class:`DtypePolicy` names the width of each column family:
+
+* ``FLOAT64`` -- the **parity reference**.  Exactly the dtypes the
+  engine has always used (``float64`` floats, ``int64`` ids and
+  capacities, ``np.intp`` edge indices), so every byte of the default
+  path is unchanged and every historical bitwise-parity guarantee keeps
+  holding.
+* ``FLOAT32`` -- the **compact** policy: ``float32`` floats and
+  ``int32`` ids/indices.  The edge table (two index columns, one
+  distance column, one base column) shrinks by half.  Utilities agree
+  with the reference path within :data:`FLOAT32.utility_rtol
+  <DtypePolicy.utility_rtol>` (see ``docs/scale.md``); the candidate
+  *set* can differ for pairs whose distance is within float32 rounding
+  of the radius boundary, which the synthetic generator makes
+  measure-zero.
+
+``vendor_starts`` (one offset per vendor, O(n) not O(E)) stays
+``int64`` under every policy so segment arithmetic never overflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "DtypePolicy",
+    "FLOAT64",
+    "FLOAT32",
+    "POLICIES",
+    "resolve_policy",
+]
+
+
+@dataclass(frozen=True)
+class DtypePolicy:
+    """Column widths for one engine configuration.
+
+    Attributes:
+        name: Stable identifier; persisted in artifact metadata and
+            matched on load.
+        float_dtype: Dtype of every floating column (coordinates,
+            radii, probabilities, distances, bases, utilities).
+        index_dtype: Dtype of edge-table index columns
+            (``customer_idx`` / ``vendor_idx``).
+        id_dtype: Dtype of entity-id and capacity columns.
+        utility_rtol: Documented relative tolerance on total utility
+            versus the ``FLOAT64`` reference path.
+    """
+
+    name: str
+    float_dtype: np.dtype
+    index_dtype: np.dtype
+    id_dtype: np.dtype
+    utility_rtol: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "float_dtype", np.dtype(self.float_dtype))
+        object.__setattr__(self, "index_dtype", np.dtype(self.index_dtype))
+        object.__setattr__(self, "id_dtype", np.dtype(self.id_dtype))
+
+
+#: The parity reference: today's exact dtypes, bitwise-unchanged.
+FLOAT64 = DtypePolicy(
+    name="float64",
+    float_dtype=np.dtype(np.float64),
+    index_dtype=np.dtype(np.intp),
+    id_dtype=np.dtype(np.int64),
+    utility_rtol=0.0,
+)
+
+#: The compact policy: half-width floats and indices.
+FLOAT32 = DtypePolicy(
+    name="float32",
+    float_dtype=np.dtype(np.float32),
+    index_dtype=np.dtype(np.int32),
+    id_dtype=np.dtype(np.int32),
+    utility_rtol=1e-3,
+)
+
+POLICIES = {FLOAT64.name: FLOAT64, FLOAT32.name: FLOAT32}
+
+
+def resolve_policy(
+    spec: Optional[Union[str, DtypePolicy]],
+) -> DtypePolicy:
+    """Normalise a policy spec to a :class:`DtypePolicy`.
+
+    Accepts ``None`` (the reference policy), a policy name
+    (``"float64"`` / ``"float32"``) or an existing policy instance.
+
+    Raises:
+        ValueError: If ``spec`` names no known policy.
+    """
+    if spec is None:
+        return FLOAT64
+    if isinstance(spec, DtypePolicy):
+        return spec
+    try:
+        return POLICIES[str(spec)]
+    except KeyError:
+        raise ValueError(
+            f"unknown dtype policy {spec!r}; "
+            f"expected one of {sorted(POLICIES)}"
+        ) from None

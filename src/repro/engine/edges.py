@@ -85,8 +85,8 @@ def build_candidate_edges(problem, arrays: ProblemArrays) -> CandidateEdges:
             customer_rows.extend(customer_index[cid] for cid in valid_ids)
             vendor_rows.extend([vendor_row] * len(valid_ids))
             starts[vendor_row + 1] = len(customer_rows)
-        customer_idx = np.array(customer_rows, dtype=np.intp)
-        vendor_idx = np.array(vendor_rows, dtype=np.intp)
+        customer_idx = np.array(customer_rows, dtype=arrays.index_dtype)
+        vendor_idx = np.array(vendor_rows, dtype=arrays.index_dtype)
 
     deltas = (
         arrays.customer_xy[customer_idx] - arrays.vendor_xy[vendor_idx]
@@ -115,14 +115,14 @@ def vendor_segment(
     valid_ids = problem.valid_customer_ids(vendor)
     customer_index = arrays.customer_index
     rows = np.array(
-        [customer_index[cid] for cid in valid_ids], dtype=np.intp
+        [customer_index[cid] for cid in valid_ids], dtype=arrays.index_dtype
     )
-    vendor_xy = np.asarray(vendor.location, dtype=float)
+    vendor_xy = np.asarray(vendor.location, dtype=arrays.customer_xy.dtype)
     if len(rows):
         deltas = arrays.customer_xy[rows] - vendor_xy[None, :]
         dist = np.hypot(deltas[:, 0], deltas[:, 1])
     else:
-        dist = np.zeros(0, dtype=float)
+        dist = np.zeros(0, dtype=arrays.float_dtype)
     return rows, dist
 
 
@@ -145,7 +145,7 @@ def insert_vendor_segment(
     return CandidateEdges(
         customer_idx=np.concatenate([
             edges.customer_idx[:start],
-            np.asarray(customer_rows, dtype=np.intp),
+            np.asarray(customer_rows, dtype=edges.customer_idx.dtype),
             edges.customer_idx[start:],
         ]),
         # Vendor-major: positions < start hold rows < vendor_row,
@@ -157,7 +157,7 @@ def insert_vendor_segment(
         ]),
         distance=np.concatenate([
             edges.distance[:start],
-            np.asarray(dist, dtype=float),
+            np.asarray(dist, dtype=edges.distance.dtype),
             edges.distance[start:],
         ]),
         vendor_starts=np.concatenate([
@@ -233,7 +233,7 @@ def fill_vendor_segment(
     return CandidateEdges(
         customer_idx=np.concatenate([
             edges.customer_idx[:start],
-            np.asarray(customer_rows, dtype=np.intp),
+            np.asarray(customer_rows, dtype=edges.customer_idx.dtype),
             edges.customer_idx[start:],
         ]),
         vendor_idx=np.concatenate([
@@ -243,13 +243,19 @@ def fill_vendor_segment(
         ]),
         distance=np.concatenate([
             edges.distance[:start],
-            np.asarray(dist, dtype=float),
+            np.asarray(dist, dtype=edges.distance.dtype),
             edges.distance[start:],
         ]),
         vendor_starts=np.concatenate([
             starts[: vendor_row + 1], starts[vendor_row + 1:] + seg_len
         ]),
     )
+
+
+#: Largest ``m * n`` the dense (one boolean per customer-vendor pair)
+#: enumeration may allocate; bigger instances take the cell-blocked
+#: path, which visits only each vendor's grid neighbourhood.
+_DENSE_ELEMENT_LIMIT = 4_000_000
 
 
 def _grid_order_enumeration(
@@ -264,14 +270,25 @@ def _grid_order_enumeration(
     enumeration exactly.  Membership uses the same IEEE expression as
     ``squared_distance(...) <= r * r``, so the pair set is bit-for-bit
     the scalar one.
+
+    Small instances evaluate the predicate densely (one boolean per
+    pair); past :data:`_DENSE_ELEMENT_LIMIT` the cell-blocked variant
+    gathers each vendor's grid neighbourhood first and applies the
+    *same* elementwise predicate to that subset, emitting a
+    bit-identical table in O(edges) memory instead of O(m * n).
     """
-    cell = problem.customer_index.cell_size
+    getter = getattr(problem, "grid_cell_size", None)
+    cell = getter() if getter is not None else problem.customer_index.cell_size
     xy = arrays.customer_xy
     cx = np.floor(xy[:, 0] / cell)
     cy = np.floor(xy[:, 1] / cell)
     # Stable lexicographic sort: primary cx, secondary cy, ties keep
     # row (= insertion) order.
     order = np.lexsort((cy, cx))
+    index_dtype = arrays.index_dtype
+
+    if arrays.n_customers * arrays.n_vendors > _DENSE_ELEMENT_LIMIT:
+        return _blocked_enumeration(arrays, order, cx, cy, cell, index_dtype)
 
     dx = xy[order, 0][:, None] - arrays.vendor_xy[None, :, 0]
     dy = xy[order, 1][:, None] - arrays.vendor_xy[None, :, 1]
@@ -285,7 +302,97 @@ def _grid_order_enumeration(
         np.bincount(vendor_idx, minlength=arrays.n_vendors), out=starts[1:]
     )
     return (
-        customer_idx.astype(np.intp, copy=False),
-        vendor_idx.astype(np.intp, copy=False),
+        customer_idx.astype(index_dtype, copy=False),
+        vendor_idx.astype(index_dtype, copy=False),
         starts,
     )
+
+
+def _concat_ranges(seg_lo: np.ndarray, seg_hi: np.ndarray) -> np.ndarray:
+    """Concatenate ``[lo, hi)`` integer ranges without a Python loop."""
+    lengths = seg_hi - seg_lo
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    out = np.repeat(seg_lo - offsets, lengths)
+    out += np.arange(total, dtype=np.int64)
+    return out
+
+
+def _blocked_enumeration(
+    arrays: ProblemArrays,
+    order: np.ndarray,
+    cx: np.ndarray,
+    cy: np.ndarray,
+    cell: float,
+    index_dtype,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Grid-order enumeration without the dense ``(m, n)`` predicate.
+
+    The lex-sorted rows are grouped into grid-cell runs; each vendor
+    gathers the runs of its (radius-padded) cell rectangle -- ascending
+    in the ``(cx, cy, row)`` sort, so candidate order is exactly the
+    dense path's -- and keeps the rows passing the identical
+    ``dx*dx + dy*dy <= r*r`` predicate.  The rectangle carries one cell
+    of slack per side, so every row the dense predicate would accept is
+    among the candidates regardless of boundary rounding.
+    """
+    m = arrays.n_customers
+    n = arrays.n_vendors
+    sx = np.ascontiguousarray(arrays.customer_xy[order, 0])
+    sy = np.ascontiguousarray(arrays.customer_xy[order, 1])
+    kx = cx[order].astype(np.int64)
+    ky = cy[order].astype(np.int64)
+    kx0 = int(kx.min()) if m else 0
+    ky0 = int(ky.min()) if m else 0
+    span_x = (int(kx.max()) - kx0 + 1) if m else 1
+    span_y = (int(ky.max()) - ky0 + 1) if m else 1
+    keys = (kx - kx0) * span_y + (ky - ky0)
+    boundaries = np.flatnonzero(np.diff(keys)) + 1
+    cell_starts = np.concatenate(([0], boundaries))
+    cell_stops = np.concatenate((boundaries, [m]))
+    cell_keys = keys[cell_starts] if m else np.zeros(0, dtype=np.int64)
+
+    vx64 = arrays.vendor_xy[:, 0].astype(np.float64)
+    vy64 = arrays.vendor_xy[:, 1].astype(np.float64)
+    vr64 = arrays.radius.astype(np.float64)
+    cell_f = float(cell)
+    x_lo = np.floor((vx64 - vr64) / cell_f).astype(np.int64) - 1 - kx0
+    x_hi = np.floor((vx64 + vr64) / cell_f).astype(np.int64) + 1 - kx0
+    y_lo = np.floor((vy64 - vr64) / cell_f).astype(np.int64) - 1 - ky0
+    y_hi = np.floor((vy64 + vr64) / cell_f).astype(np.int64) + 1 - ky0
+    np.clip(x_lo, 0, span_x - 1, out=x_lo)
+    np.clip(x_hi, 0, span_x - 1, out=x_hi)
+    np.clip(y_lo, 0, span_y - 1, out=y_lo)
+    np.clip(y_hi, 0, span_y - 1, out=y_hi)
+
+    vx = arrays.vendor_xy[:, 0]
+    vy = arrays.vendor_xy[:, 1]
+    rr = arrays.radius * arrays.radius
+    counts = np.zeros(n, dtype=np.int64)
+    rows_parts: List[np.ndarray] = []
+    for v in range(n):
+        kxs = np.arange(int(x_lo[v]), int(x_hi[v]) + 1, dtype=np.int64)
+        lo_keys = kxs * span_y + int(y_lo[v])
+        hi_keys = kxs * span_y + int(y_hi[v])
+        a = np.searchsorted(cell_keys, lo_keys, side="left")
+        b = np.searchsorted(cell_keys, hi_keys, side="right")
+        ok = a < b
+        if not ok.any():
+            continue
+        cand = _concat_ranges(cell_starts[a[ok]], cell_stops[b[ok] - 1])
+        dx = sx[cand] - vx[v]
+        dy = sy[cand] - vy[v]
+        sel = cand[dx * dx + dy * dy <= rr[v]]
+        if sel.size:
+            counts[v] = sel.size
+            rows_parts.append(order[sel].astype(index_dtype, copy=False))
+    starts = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    if rows_parts:
+        customer_idx = np.concatenate(rows_parts)
+    else:
+        customer_idx = np.zeros(0, dtype=index_dtype)
+    vendor_idx = np.repeat(np.arange(n, dtype=index_dtype), counts)
+    return customer_idx, vendor_idx, starts

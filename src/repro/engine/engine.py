@@ -102,6 +102,9 @@ class ComputeEngine:
             "efficiency": [None] * (len(by_cost) + 1),
             "utility": [None] * (len(by_cost) + 1),
         }
+        #: :class:`~repro.engine.pruning.PruneCertificate` of the last
+        #: :meth:`prune` call (or the one loaded from an artifact).
+        self.certificate = None
 
     @classmethod
     def create(cls, problem) -> Optional["ComputeEngine"]:
@@ -147,6 +150,17 @@ class ComputeEngine:
     def arrays(self) -> ProblemArrays:
         """The structure-of-arrays entity columns."""
         return self._arrays
+
+    @property
+    def dtype_policy(self):
+        """The :class:`~repro.engine.dtypes.DtypePolicy` the columns
+        were built with."""
+        return self._arrays.policy
+
+    @property
+    def problem(self):
+        """The problem this engine was built for."""
+        return self._problem
 
     @property
     def edges_built(self) -> bool:
@@ -442,7 +456,9 @@ class ComputeEngine:
         """
         seg_edges = CandidateEdges(
             customer_idx=seg_rows,
-            vendor_idx=np.full(len(seg_rows), row, dtype=np.intp),
+            vendor_idx=np.full(
+                len(seg_rows), row, dtype=self._arrays.index_dtype
+            ),
             distance=dist,
             vendor_starts=np.array([0, len(seg_rows)], dtype=np.int64),
         )
@@ -683,6 +699,43 @@ class ComputeEngine:
         self._edges = fill_vendor_segment(self._edges, row, seg_rows, dist)
         self._install_segment(row, start, seg_rows, dist, vendor_id)
         return True
+
+    # ------------------------------------------------------------------
+    # Certified pruning and artifact persistence (docs/scale.md)
+    # ------------------------------------------------------------------
+    def prune(self, level: str = "exact"):
+        """Drop candidate edges that provably never enter a solution.
+
+        Delegates to :func:`repro.engine.pruning.prune_engine`; the
+        returned :class:`~repro.engine.pruning.PruneCertificate` is
+        also stored on :attr:`certificate` and travels with saved
+        artifacts.  ``level="exact"`` is utility-neutral for every
+        solver; ``level="lp"`` additionally drops edges below the
+        vendor LP marginal (bound-preserving, heuristic trajectories
+        may shift).
+        """
+        from repro.engine.pruning import prune_engine
+
+        return prune_engine(self, level=level)
+
+    def save(self, path, extra: Optional[dict] = None):
+        """Persist the built edge table and pair bases to ``path`` in
+        the mmap-able column format of :mod:`repro.store`."""
+        from repro.store import save_engine
+
+        return save_engine(self, path, extra=extra)
+
+    @classmethod
+    def load(cls, path, problem, mmap: bool = True) -> "ComputeEngine":
+        """Attach a saved engine artifact to ``problem``.
+
+        Columns are memory-mapped read-only by default, so the load is
+        O(pages touched) instead of O(build); see
+        :func:`repro.store.load_engine` for the validation performed.
+        """
+        from repro.store import load_engine
+
+        return load_engine(path, problem, mmap=mmap)
 
     def admit_customers(self, customers: Sequence) -> int:
         """Append new customer rows (shard-view admits during a cell

@@ -77,7 +77,11 @@ def batched_positive_preferences(
             "entities; use TabularUtilityModel for direct preferences"
         )
     n_edges = len(edges)
-    prefs = np.zeros(n_edges, dtype=float)
+    # Allocations follow the active dtype policy; under float32 the
+    # whole bucket pipeline stays float32 (no silent float64 upcasts --
+    # the parity suite asserts the output dtype).
+    fdt = arrays.float_dtype
+    prefs = np.zeros(n_edges, dtype=fdt)
     if n_edges == 0:
         return prefs
 
@@ -91,7 +95,7 @@ def batched_positive_preferences(
 
     for bucket in np.unique(buckets):
         sel = np.flatnonzero(buckets == bucket)
-        weights = np.asarray(model.weights_for_bucket(int(bucket)), dtype=float)
+        weights = np.asarray(model.weights_for_bucket(int(bucket)), dtype=fdt)
         total = float(weights.sum())
         if total <= 0:
             raise ValueError("activity weights must have positive sum")
@@ -114,7 +118,7 @@ def batched_positive_preferences(
             var_v[local_v] > VARIANCE_EPS
         )
 
-        cov = np.empty(len(sel), dtype=float)
+        cov = np.empty(len(sel), dtype=fdt)
         for start in range(0, len(sel), block):
             stop = min(start + block, len(sel))
             cov[start:stop] = _row_weighted_sums(
@@ -155,10 +159,10 @@ def tabular_pair_bases(
     default = model.default_preference
     prefs = np.fromiter(
         (table.get(pair, default) for pair in pairs),
-        dtype=float,
+        dtype=arrays.float_dtype,
         count=n_edges,
     )
-    dist = np.array(edges.distance, dtype=float)
+    dist = np.array(edges.distance, dtype=arrays.float_dtype)
     overrides = model.distance_table
     if overrides is not None:
         for pos, pair in enumerate(pairs):

@@ -17,7 +17,8 @@ shard returns exactly the value the monolithic engine would have.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -43,6 +44,10 @@ class ShardedEngine:
         self._engines: Dict[int, ComputeEngine] = {}
         self._resident_edges: Dict[int, int] = {}
         self._peak_resident_edges = 0
+        self._store_dir: Optional[Path] = None
+        #: Shards whose engine came from a mapped artifact rather than
+        #: a local build (observability for the warm-load path).
+        self.loads_by_shard: Dict[int, int] = {}
         #: Engine *constructions* per shard.  Plan churn updates
         #: resident views (and their engines) in place, so a cell
         #: migration must not grow these counts for untouched shards --
@@ -84,8 +89,10 @@ class ShardedEngine:
             view = self._plan.resident_view(shard)
             if view is not None and view.engine is cached:
                 return cached
-        with recorder().span("sharded_engine.build", shard=shard):
-            built = self._plan.problem_for(shard).acquire_engine()
+        built = self._load_from_store(shard)
+        if built is None:
+            with recorder().span("sharded_engine.build", shard=shard):
+                built = self._plan.problem_for(shard).acquire_engine()
         if built is not None:
             if built is not cached:
                 self.builds_by_shard[shard] = (
@@ -93,6 +100,34 @@ class ShardedEngine:
                 )
             self._engines[shard] = built
         return built
+
+    def attach_store(self, directory: Union[str, Path]) -> None:
+        """Map per-shard engine artifacts from a store directory.
+
+        After attaching, :meth:`engine` loads a shard's edge table and
+        pair bases from ``directory/shard-NNNN.cols`` (read-only
+        ``mmap``) instead of rebuilding them; shards without an
+        artifact file fall back to the local build.  A present-but-
+        mismatched artifact (wrong dtype policy, fingerprint, or churn
+        epoch) raises :class:`~repro.exceptions.ArtifactError` -- a
+        stale store must not be silently rebuilt over.
+        """
+        self._store_dir = Path(directory)
+
+    def _load_from_store(self, shard: int) -> Optional[ComputeEngine]:
+        if self._store_dir is None:
+            return None
+        from repro.store import load_engine, shard_artifact_name
+
+        path = self._store_dir / shard_artifact_name(shard)
+        if not path.exists():
+            return None
+        view = self._plan.problem_for(shard)
+        with recorder().span("sharded_engine.load", shard=shard):
+            engine = load_engine(path, view)
+        view.adopt_engine(engine)
+        self.loads_by_shard[shard] = self.loads_by_shard.get(shard, 0) + 1
+        return engine
 
     def release(self, shard: int) -> None:
         """Drop one shard's engine and problem view."""

@@ -87,3 +87,13 @@ class ShardUnavailableError(ResilienceError):
 
 class DataFormatError(ReproError):
     """An external data file does not match the expected schema."""
+
+
+class ArtifactError(DataFormatError):
+    """A persisted engine/plan artifact cannot be used.
+
+    Raised by :mod:`repro.store` when an on-disk column artifact is
+    corrupted or truncated, carries an unknown schema version, or does
+    not match the problem it is being attached to (different dtype
+    policy, fingerprint, or churn epoch).
+    """

@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.engine.arrays import ProblemArrays
+from repro.engine.dtypes import FLOAT32, FLOAT64
 from repro.engine.edges import CandidateEdges
 from repro.engine.kernels import pair_bases as _serial_pair_bases
 from repro.obs.recorder import recorder
@@ -42,20 +43,27 @@ def _arrays_for_kernels(columns: AttachedColumns) -> ProblemArrays:
     """A kernel-sufficient ``ProblemArrays`` from shared columns.
 
     Only the columns the Eq. 4/5 kernels read are shipped; the rest are
-    empty placeholders (the dataclass requires every field).
+    empty placeholders (the dataclass requires every field).  The dtype
+    policy is inferred from the shipped float columns so the chunked
+    kernels allocate at the same width as the serial pass.
     """
-    empty_f = np.empty(0, dtype=float)
+    policy = (
+        FLOAT32
+        if columns["view_probability"].dtype == np.float32
+        else FLOAT64
+    )
+    empty_f = np.empty(0, dtype=policy.float_dtype)
     customer_ids = columns["customer_ids"]
     vendor_ids = columns["vendor_ids"]
     return ProblemArrays(
         customer_ids=customer_ids,
-        customer_xy=np.empty((0, 2), dtype=float),
+        customer_xy=np.empty((0, 2), dtype=policy.float_dtype),
         capacity=np.empty(0, dtype=np.int64),
         view_probability=columns["view_probability"],
         arrival_time=columns["arrival_time"],
         interests=columns.get("interests"),
         vendor_ids=vendor_ids,
-        vendor_xy=np.empty((0, 2), dtype=float),
+        vendor_xy=np.empty((0, 2), dtype=policy.float_dtype),
         radius=empty_f,
         budget=empty_f,
         tags=columns.get("tags"),
@@ -64,6 +72,7 @@ def _arrays_for_kernels(columns: AttachedColumns) -> ProblemArrays:
         type_effectiveness=empty_f,
         customer_index={},
         vendor_index={},
+        policy=policy,
     )
 
 

@@ -390,6 +390,7 @@ class ShardPlan:
                 use_engine=problem._use_engine,
                 parallel=problem.parallel_config,
                 churn=problem.churn,
+                dtype=problem.dtype_policy,
             )
             self._views[shard] = view
         return view
@@ -743,6 +744,29 @@ class ShardPlan:
             shard_vendors,
             churn_epoch=int(doc.get("churn_epoch", 0)),
         )
+
+    def save(self, path) -> "Path":
+        """Persist the plan as a store artifact (see ``docs/scale.md``).
+
+        Delegates to :func:`repro.store.save_plan`: the
+        :meth:`to_metadata` document wrapped in a provenance envelope
+        (dtype policy, git sha, churn epoch).
+        """
+        from repro.store import save_plan
+
+        return save_plan(self, path)
+
+    @classmethod
+    def load(cls, path, problem: MUAAProblem) -> "ShardPlan":
+        """Rebuild a saved plan against ``problem``.
+
+        Delegates to :func:`repro.store.load_plan`, which validates the
+        envelope (kind, store schema, churn epoch) before handing the
+        inner document to :meth:`from_metadata`.
+        """
+        from repro.store import load_plan
+
+        return load_plan(path, problem)
 
 
 def _balanced_groups(counts: Sequence[int], shards: int) -> List[List[int]]:

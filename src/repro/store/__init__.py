@@ -1,0 +1,52 @@
+"""mmap-able on-disk artifacts for engines and shard plans.
+
+``repro.store`` persists the expensive build products -- the candidate
+edge table and pair bases of a :class:`~repro.engine.ComputeEngine`,
+and the partition of a :class:`~repro.sharding.ShardPlan` -- in a
+column container that loads by ``mmap`` rather than by parsing.  See
+``docs/scale.md`` for the file format and the validation rules.
+"""
+
+from repro.store.artifact import (
+    ENGINE_SCHEMA_VERSION,
+    PLAN_FILE,
+    PLAN_SCHEMA_VERSION,
+    git_sha,
+    load_engine,
+    load_plan,
+    problem_fingerprint,
+    save_engine,
+    save_plan,
+    save_sharded,
+    shard_artifact_name,
+)
+from repro.store.cache import EngineCache, active_cache, engine_cache
+from repro.store.columns import (
+    ALIGNMENT,
+    FORMAT_VERSION,
+    MAGIC,
+    read_columns,
+    write_columns,
+)
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "ALIGNMENT",
+    "read_columns",
+    "write_columns",
+    "ENGINE_SCHEMA_VERSION",
+    "PLAN_SCHEMA_VERSION",
+    "PLAN_FILE",
+    "git_sha",
+    "problem_fingerprint",
+    "save_engine",
+    "load_engine",
+    "save_plan",
+    "load_plan",
+    "save_sharded",
+    "shard_artifact_name",
+    "EngineCache",
+    "active_cache",
+    "engine_cache",
+]

@@ -1,0 +1,105 @@
+"""Fingerprint-keyed engine artifact cache.
+
+``repro demo --artifact DIR`` and ``repro reproduce --artifact DIR``
+point here: a directory of engine artifacts keyed by the problem's
+content fingerprint (entity columns + dtype policy + churn epoch), so
+*any* problem -- including the many differently-scaled workloads of a
+``reproduce`` run -- finds exactly its own engine and never a stale
+one.  A run with a cold cache builds engines as usual and persists
+them; the next run warm-loads (``np.memmap``) instead of re-scoring.
+
+The cache is installed process-wide with :func:`engine_cache` (a
+context manager) and consulted by ``MUAAProblem.acquire_engine``.  A
+mismatched or corrupted entry is treated as a miss and rebuilt over,
+never trusted -- unlike :meth:`repro.engine.ComputeEngine.load`, whose
+explicit artifact must not be silently wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exceptions import ArtifactError
+
+__all__ = ["EngineCache", "active_cache", "engine_cache"]
+
+_ACTIVE: Optional["EngineCache"] = None
+
+
+class EngineCache:
+    """A directory of engine artifacts keyed by problem fingerprint."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, problem) -> str:
+        """Content key: entity fingerprint + dtype policy + epoch."""
+        from repro.store.artifact import _entity_fingerprint
+
+        policy = problem.dtype_policy
+        material = json.dumps(
+            {
+                "fingerprint": _entity_fingerprint(problem, policy),
+                "dtype_policy": policy.name,
+                "churn_epoch": int(problem.churn.epoch),
+            },
+            sort_keys=True,
+        )
+        return hashlib.md5(material.encode("utf-8")).hexdigest()
+
+    def path_for(self, problem) -> Path:
+        return self.directory / f"engine-{self.key(problem)}.cols"
+
+    def fetch(self, problem):
+        """The cached engine for ``problem``, or ``None`` on a miss.
+
+        A present-but-unusable entry (corrupted file, schema drift) is
+        also a miss: the caller rebuilds and :meth:`store` overwrites
+        the bad entry.
+        """
+        path = self.path_for(problem)
+        if not path.exists():
+            self.misses += 1
+            return None
+        from repro.store.artifact import load_engine
+
+        try:
+            engine = load_engine(path, problem)
+        except ArtifactError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return engine
+
+    def store(self, problem, engine) -> Path:
+        """Persist a freshly built engine under the problem's key."""
+        from repro.store.artifact import save_engine
+
+        path = self.path_for(problem)
+        save_engine(engine, path)
+        return path
+
+
+def active_cache() -> Optional[EngineCache]:
+    """The process-wide cache installed by :func:`engine_cache`."""
+    return _ACTIVE
+
+
+@contextmanager
+def engine_cache(directory: Union[str, Path]):
+    """Install an :class:`EngineCache` for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    cache = EngineCache(directory)
+    _ACTIVE = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE = previous

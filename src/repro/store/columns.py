@@ -1,0 +1,234 @@
+"""The on-disk mmap-able column container.
+
+One artifact file holds named NumPy columns as raw little-endian blobs
+plus a JSON metadata document.  The layout is designed so a *load* is
+O(mmap), not O(read):
+
+::
+
+    offset 0   magic            8 bytes  (``b"RPROCOLS"``)
+    offset 8   format version   uint32 LE
+    offset 12  reserved         uint32 LE (zero)
+    offset 16  metadata length  uint64 LE
+    offset 24  metadata         UTF-8 JSON, ``meta_len`` bytes
+    ...        zero padding to the next 64-byte boundary
+    ...        column blobs, each 64-byte aligned, C-order raw bytes
+
+The JSON document carries the column directory (name, dtype, shape,
+offset, byte length, CRC32) and an opaque ``extra`` dict for the caller
+(schema version, dtype policy, git sha, churn epoch, ...).  Offsets are
+absolute file offsets, so each column can be wrapped in a read-only
+``np.memmap`` directly.
+
+Validation is fail-fast with :class:`~repro.exceptions.ArtifactError`:
+wrong magic, unknown format version, truncated file (header, metadata,
+or any blob extending past EOF), or undecodable metadata.  Blob CRCs
+are *not* verified on the mmap path (that would fault every page in);
+pass ``verify=True`` to force a full checksum pass.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ArtifactError
+
+#: File magic -- first 8 bytes of every column artifact.
+MAGIC = b"RPROCOLS"
+
+#: Binary layout version understood by this reader.
+FORMAT_VERSION = 1
+
+#: Blob alignment (matches the shared-memory layout in
+#: :mod:`repro.parallel.shm` and typical cache-line/SIMD alignment).
+ALIGNMENT = 64
+
+_HEADER = 24  # magic + version + reserved + metadata length
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def write_columns(
+    path: Union[str, Path],
+    columns: Dict[str, np.ndarray],
+    extra: Optional[dict] = None,
+) -> Path:
+    """Write named columns (plus ``extra`` metadata) to ``path``.
+
+    Columns are written C-contiguous in little-endian byte order; the
+    in-memory arrays are not modified.  Returns the path written.
+    """
+    path = Path(path)
+    blobs = []
+    directory = []
+    for name, array in columns.items():
+        arr = np.ascontiguousarray(array)
+        if arr.dtype.byteorder == ">":  # pragma: no cover - BE platforms
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        blob = arr.tobytes()
+        directory.append(
+            {
+                "name": str(name),
+                "dtype": arr.dtype.str.lstrip("<>=|"),
+                "shape": list(arr.shape),
+                "nbytes": len(blob),
+                "crc32": zlib.crc32(blob) & 0xFFFFFFFF,
+            }
+        )
+        blobs.append(blob)
+
+    # Metadata length depends on the offsets and the offsets depend on
+    # the metadata length, so iterate the assignment to a fixed point
+    # (the rendered length is monotone in the base offset, hence this
+    # converges in a handful of rounds regardless of directory size).
+    def render(entries) -> bytes:
+        return json.dumps(
+            {"columns": entries, "extra": extra or {}},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    def assign(base: int) -> bytes:
+        offset = base
+        for entry, blob in zip(directory, blobs):
+            entry["offset"] = offset
+            offset = _align(offset + len(blob))
+        return render(directory)
+
+    for entry in directory:
+        entry["offset"] = 0
+    base = _align(_HEADER + len(render(directory)))
+    meta = assign(base)
+    for _ in range(8):
+        if _HEADER + len(meta) <= base:
+            break
+        base = _align(_HEADER + len(meta))
+        meta = assign(base)
+    if _HEADER + len(meta) > base:  # pragma: no cover - defensive
+        raise ArtifactError("metadata rendering exceeded reserved space")
+
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(
+            int(FORMAT_VERSION).to_bytes(4, "little")
+            + (0).to_bytes(4, "little")
+            + len(meta).to_bytes(8, "little")
+        )
+        fh.write(meta)
+        fh.write(b"\x00" * (base - _HEADER - len(meta)))
+        pos = base
+        for entry, blob in zip(directory, blobs):
+            fh.write(b"\x00" * (entry["offset"] - pos))
+            fh.write(blob)
+            pos = entry["offset"] + len(blob)
+    return path
+
+
+def _read_directory(path: Path) -> Tuple[list, dict, int]:
+    """Parse and validate the header + metadata of an artifact."""
+    try:
+        size = path.stat().st_size
+    except OSError as exc:
+        raise ArtifactError(f"cannot stat artifact {path}: {exc}") from exc
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER)
+        if len(header) < _HEADER or header[:8] != MAGIC:
+            raise ArtifactError(
+                f"{path} is not a repro column artifact (bad magic)"
+            )
+        version = int.from_bytes(header[8:12], "little")
+        if version != FORMAT_VERSION:
+            raise ArtifactError(
+                f"{path}: unsupported artifact format version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        meta_len = int.from_bytes(header[16:24], "little")
+        if _HEADER + meta_len > size:
+            raise ArtifactError(
+                f"{path}: truncated artifact (metadata extends past EOF)"
+            )
+        raw = fh.read(meta_len)
+    if len(raw) < meta_len:
+        raise ArtifactError(f"{path}: truncated artifact metadata")
+    try:
+        doc = json.loads(raw.decode("utf-8"))
+        columns = doc["columns"]
+        extra = doc.get("extra", {})
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise ArtifactError(
+            f"{path}: corrupted artifact metadata ({exc})"
+        ) from exc
+    for entry in columns:
+        end = int(entry["offset"]) + int(entry["nbytes"])
+        if end > size:
+            raise ArtifactError(
+                f"{path}: truncated artifact (column {entry['name']!r} "
+                f"extends past EOF)"
+            )
+    return columns, extra, size
+
+
+def read_columns(
+    path: Union[str, Path],
+    mmap: bool = True,
+    verify: bool = False,
+) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Read (or map) every column of an artifact.
+
+    Args:
+        path: Artifact written by :func:`write_columns`.
+        mmap: Map blobs read-only (``np.memmap``) instead of copying
+            them into fresh arrays.
+        verify: Re-checksum every blob against its stored CRC32 (reads
+            all data; defeats the purpose of ``mmap`` but catches blob
+            corruption).
+
+    Returns:
+        ``(columns, extra)`` -- the name -> array dict and the caller
+        metadata stored at write time.
+
+    Raises:
+        ArtifactError: On any validation failure (see module docs).
+    """
+    path = Path(path)
+    directory, extra, _ = _read_directory(path)
+    out: Dict[str, np.ndarray] = {}
+    for entry in directory:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(int(s) for s in entry["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        if count * dtype.itemsize != int(entry["nbytes"]):
+            raise ArtifactError(
+                f"{path}: column {entry['name']!r} directory is "
+                f"inconsistent (shape/dtype vs byte length)"
+            )
+        if mmap:
+            array = np.memmap(
+                path,
+                mode="r",
+                dtype=dtype,
+                shape=shape,
+                offset=int(entry["offset"]),
+            )
+        else:
+            with open(path, "rb") as fh:
+                fh.seek(int(entry["offset"]))
+                array = np.fromfile(fh, dtype=dtype, count=count).reshape(
+                    shape
+                )
+        if verify:
+            crc = zlib.crc32(np.ascontiguousarray(array).tobytes())
+            if (crc & 0xFFFFFFFF) != int(entry["crc32"]):
+                raise ArtifactError(
+                    f"{path}: column {entry['name']!r} failed its "
+                    f"checksum (corrupted blob)"
+                )
+        out[entry["name"]] = array
+    return out, extra

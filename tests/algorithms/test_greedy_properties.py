@@ -63,3 +63,28 @@ class TestSpecialCaseOptimality:
             t.effectiveness / t.cost for t in problem.ad_types
         )
         assert greedy >= best_single * cheapest_eff / best_eff - 1e-9
+
+
+class TestChunkedSweepInvariance:
+    """The vectorized sweep's chunk size must never change the result
+    (the pre-filter is state-monotone; survivors re-run the scalar
+    checks)."""
+
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 10_000])
+    def test_any_chunk_size_matches_default(self, monkeypatch, chunk):
+        import repro.algorithms.greedy as greedy_mod
+        from repro.datagen.config import WorkloadConfig
+        from repro.datagen.synthetic import synthetic_problem
+
+        config = WorkloadConfig(n_customers=300, n_vendors=40, seed=5)
+
+        def triples(problem):
+            assignment = GreedyEfficiency().solve(problem)
+            return sorted(
+                (i.customer_id, i.vendor_id, i.type_id, i.utility)
+                for i in assignment.instances()
+            )
+
+        baseline = triples(synthetic_problem(config))
+        monkeypatch.setattr(greedy_mod, "_SWEEP_CHUNK", chunk)
+        assert triples(synthetic_problem(config)) == baseline

@@ -94,3 +94,56 @@ class TestWorkloadUsability:
         results = run_panel(problem, algorithms=("GREEDY", "ONLINE"))
         for result in results.values():
             assert validate_assignment(problem, result.assignment).ok
+
+
+class TestFastSamplingPath:
+    """The vectorized 50K+ interest sampler vs the bit-exact loop."""
+
+    def test_legacy_path_is_bit_stable_below_threshold(self):
+        """``fast=None`` below the threshold must be the original loop:
+        forcing ``fast=False`` changes nothing, bit for bit."""
+        config = WorkloadConfig(n_customers=80, n_vendors=10, seed=3)
+        default = synthetic_problem(config)
+        legacy = synthetic_problem(config, fast=False)
+        for a, b in zip(default.customers, legacy.customers):
+            assert a.location == b.location
+            assert np.array_equal(a.interests, b.interests)
+
+    def test_fast_path_is_deterministic(self):
+        config = WorkloadConfig(n_customers=80, n_vendors=10, seed=3)
+        a = synthetic_problem(config, fast=True)
+        b = synthetic_problem(config, fast=True)
+        for ca, cb in zip(a.customers, b.customers):
+            assert np.array_equal(ca.interests, cb.interests)
+
+    def test_fast_interests_are_valid_eq1_vectors(self):
+        config = WorkloadConfig(n_customers=200, n_vendors=10, seed=7)
+        problem = synthetic_problem(config, fast=True)
+        for c in problem.customers:
+            assert c.interests.min() >= 0.0
+            assert c.interests.max() == pytest.approx(1.0)
+
+    def test_fast_path_matches_legacy_statistics(self):
+        """Same sampling distributions, different RNG call order: the
+        marginal statistics must agree, the bits need not."""
+        config = WorkloadConfig(n_customers=2000, n_vendors=5, seed=11)
+        fast = synthetic_problem(config, fast=True)
+        slow = synthetic_problem(config, fast=False)
+        f = np.stack([c.interests for c in fast.customers])
+        s = np.stack([c.interests for c in slow.customers])
+        assert f.mean() == pytest.approx(s.mean(), rel=0.1)
+        assert (f > 0).mean() == pytest.approx((s > 0).mean(), rel=0.1)
+
+    def test_fast_path_solves_identically_to_itself_across_chunks(
+        self, monkeypatch
+    ):
+        """Chunking only bounds the working set; a chunk boundary must
+        never change which customers exist or crash mid-assembly."""
+        import repro.datagen.synthetic as synth
+
+        config = WorkloadConfig(n_customers=300, n_vendors=10, seed=13)
+        monkeypatch.setattr(synth, "_FAST_CHUNK", 128)
+        chunked = synthetic_problem(config, fast=True)
+        assert len(chunked.customers) == 300
+        for c in chunked.customers:
+            assert c.interests.max() == pytest.approx(1.0)

@@ -1,0 +1,132 @@
+"""Certified edge pruning: exactness, bounds, and certificates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bounds import vendor_lp_bound
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.algorithms.optimal import ExactOptimal
+from repro.datagen.config import WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.engine.pruning import PruneCertificate, prune_engine
+
+CONFIG = WorkloadConfig(n_customers=300, n_vendors=40, seed=5)
+
+
+def _built(dtype=None, config=CONFIG):
+    problem = synthetic_problem(config, dtype=dtype)
+    engine = problem.acquire_engine()
+    engine.num_edges
+    engine.pair_bases
+    return problem, engine
+
+
+class TestExactLevel:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_greedy_utility_is_bit_identical(self, dtype):
+        problem, engine = _built(dtype)
+        before = GreedyEfficiency().solve(problem).total_utility
+        certificate = engine.prune("exact")
+        after = GreedyEfficiency().solve(problem).total_utility
+        assert after == before
+        assert certificate.utility_delta == 0.0
+        assert certificate.level == "exact"
+
+    def test_exact_optimal_unchanged_on_tiny_instance(self):
+        config = WorkloadConfig(n_customers=8, n_vendors=3, seed=9)
+        problem, engine = _built(config=config)
+        before = ExactOptimal().solve(problem).total_utility
+        engine.prune("exact")
+        after = ExactOptimal().solve(problem).total_utility
+        assert after == pytest.approx(before, rel=1e-12)
+
+    def test_certificate_accounting_is_consistent(self):
+        _, engine = _built()
+        n_before = engine.num_edges
+        certificate = engine.prune("exact")
+        assert certificate.edges_before == n_before
+        assert certificate.edges_after == engine.num_edges
+        assert (
+            certificate.edges_dropped
+            == certificate.zero_base_edges + certificate.unaffordable_edges
+        )
+        assert certificate.below_marginal_edges == 0
+        assert 0.0 <= certificate.prune_ratio <= 1.0
+        assert engine.certificate is certificate
+
+    def test_prune_is_idempotent(self):
+        _, engine = _built()
+        engine.prune("exact")
+        second = engine.prune("exact")
+        assert second.edges_dropped == 0
+        assert second.utility_delta == 0.0
+
+    def test_surviving_bases_are_positive_and_affordable(self):
+        _, engine = _built()
+        engine.prune("exact")
+        bases = np.asarray(engine.pair_bases, dtype=np.float64)
+        assert (bases > 0).all()
+        min_cost = float(engine.arrays.type_cost.astype(np.float64).min())
+        budgets = engine.arrays.budget.astype(np.float64)
+        assert (
+            budgets[np.asarray(engine.edges.vendor_idx)] + 1e-9 >= min_cost
+        ).all()
+
+
+class TestBounds:
+    def test_columnar_bound_matches_scalar_vendor_lp_bound(self):
+        problem, engine = _built()
+        certificate = engine.prune("exact")
+        scalar = vendor_lp_bound(problem)
+        assert certificate.bound_before == pytest.approx(scalar, rel=1e-9)
+
+    def test_exact_level_never_loosens_the_bound(self):
+        _, engine = _built()
+        certificate = engine.prune("exact")
+        assert certificate.bound_after <= certificate.bound_before + 1e-9
+
+    def test_bounds_stay_valid_upper_bounds(self):
+        problem, engine = _built()
+        certificate = engine.prune("exact")
+        greedy = GreedyEfficiency().solve(problem).total_utility
+        assert greedy <= certificate.bound_after + 1e-6
+
+
+class TestLpLevel:
+    def test_lp_level_drops_at_least_the_exact_set(self):
+        _, exact_engine = _built()
+        exact = exact_engine.prune("exact")
+        _, lp_engine = _built()
+        lp = lp_engine.prune("lp")
+        assert lp.edges_after <= exact.edges_after
+        assert lp.utility_delta is None  # not utility-certified
+
+    def test_lp_level_preserves_the_lp_bound(self):
+        """LP-marginal drops never carry LP mass, so the per-vendor
+        optimum -- hence the certified bound -- is unchanged by them
+        (exact-level drops may still tighten it)."""
+        _, lp_engine = _built()
+        lp = lp_engine.prune("lp")
+        _, exact_engine = _built()
+        exact = exact_engine.prune("exact")
+        assert lp.bound_after == pytest.approx(exact.bound_after, rel=1e-9)
+
+    def test_unknown_level_raises(self):
+        _, engine = _built()
+        with pytest.raises(ValueError, match="unknown prune level"):
+            engine.prune("aggressive")
+
+
+class TestCertificate:
+    def test_metadata_round_trip(self):
+        _, engine = _built()
+        certificate = engine.prune("exact")
+        doc = certificate.to_metadata()
+        assert PruneCertificate.from_metadata(doc) == certificate
+
+    def test_prune_engine_function_matches_method(self):
+        _, a = _built()
+        _, b = _built()
+        assert prune_engine(a, level="exact") == b.prune("exact")

@@ -1,0 +1,254 @@
+"""Engine / plan / sharded artifacts (repro.store.artifact)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.datagen.config import WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.engine import ComputeEngine, ShardedEngine
+from repro.exceptions import ArtifactError
+from repro.sharding import ShardPlan
+from repro.store import (
+    load_engine,
+    load_plan,
+    save_engine,
+    save_plan,
+    save_sharded,
+    shard_artifact_name,
+)
+
+CONFIG = WorkloadConfig(n_customers=300, n_vendors=40, seed=5)
+
+
+@pytest.fixture()
+def problem():
+    return synthetic_problem(CONFIG)
+
+
+def _built_engine(problem):
+    engine = problem.acquire_engine()
+    engine.num_edges
+    engine.pair_bases
+    return engine
+
+
+class TestEngineRoundTrip:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_byte_parity(self, tmp_path, dtype):
+        problem = synthetic_problem(CONFIG, dtype=dtype)
+        engine = _built_engine(problem)
+        path = tmp_path / "engine.cols"
+        save_engine(engine, path)
+
+        fresh = synthetic_problem(CONFIG, dtype=dtype)
+        loaded = load_engine(path, fresh)
+        for attr in ("customer_idx", "vendor_idx", "distance",
+                     "vendor_starts"):
+            a = getattr(loaded.edges, attr)
+            b = getattr(engine.edges, attr)
+            assert a.dtype == b.dtype, attr
+            assert np.array_equal(a, b), attr
+        assert np.array_equal(
+            np.asarray(loaded.pair_bases), np.asarray(engine.pair_bases)
+        )
+        # Entity columns travel too, so the load skips from_entities.
+        assert np.array_equal(
+            loaded.arrays.customer_xy, engine.arrays.customer_xy
+        )
+        assert np.array_equal(
+            loaded.arrays.interests, engine.arrays.interests
+        )
+        assert loaded.arrays.customer_index == engine.arrays.customer_index
+        assert loaded.arrays.policy is fresh.dtype_policy
+
+    def test_solver_parity_through_loaded_engine(self, tmp_path, problem):
+        engine = _built_engine(problem)
+        path = tmp_path / "engine.cols"
+        engine.save(path)
+        baseline = GreedyEfficiency().solve(problem).total_utility
+
+        fresh = synthetic_problem(CONFIG)
+        fresh.adopt_engine(ComputeEngine.load(path, fresh))
+        assert GreedyEfficiency().solve(fresh).total_utility == baseline
+
+    def test_certificate_round_trips(self, tmp_path, problem):
+        engine = _built_engine(problem)
+        certificate = engine.prune("exact")
+        path = tmp_path / "engine.cols"
+        save_engine(engine, path)
+        loaded = load_engine(path, synthetic_problem(CONFIG))
+        assert loaded.certificate == certificate
+
+    def test_mmap_false_copies(self, tmp_path, problem):
+        engine = _built_engine(problem)
+        path = tmp_path / "engine.cols"
+        save_engine(engine, path)
+        loaded = load_engine(path, synthetic_problem(CONFIG), mmap=False)
+        assert not isinstance(loaded.edges.distance, np.memmap)
+        assert np.array_equal(loaded.edges.distance, engine.edges.distance)
+
+
+class TestEngineRejection:
+    def test_rejects_different_problem(self, tmp_path, problem):
+        save_engine(_built_engine(problem), tmp_path / "e.cols")
+        other = synthetic_problem(
+            WorkloadConfig(n_customers=300, n_vendors=40, seed=6)
+        )
+        with pytest.raises(ArtifactError, match="fingerprint"):
+            load_engine(tmp_path / "e.cols", other)
+
+    def test_rejects_dtype_policy_mismatch(self, tmp_path, problem):
+        save_engine(_built_engine(problem), tmp_path / "e.cols")
+        compact = synthetic_problem(CONFIG, dtype="float32")
+        with pytest.raises(ArtifactError, match="dtype policy"):
+            load_engine(tmp_path / "e.cols", compact)
+
+    def test_rejects_churn_epoch_mismatch(self, tmp_path, problem):
+        save_engine(_built_engine(problem), tmp_path / "e.cols")
+        fresh = synthetic_problem(CONFIG)
+        fresh.churn.epoch = 3
+        with pytest.raises(ArtifactError, match="churn epoch"):
+            load_engine(tmp_path / "e.cols", fresh)
+
+    def test_rejects_non_engine_artifact(self, tmp_path, problem):
+        plan = ShardPlan.build(problem, 2)
+        save_plan(plan, tmp_path / "plan.json")
+        with pytest.raises(ArtifactError):
+            load_engine(tmp_path / "plan.json", problem)
+
+
+class TestPlanRoundTrip:
+    def test_round_trip(self, tmp_path, problem):
+        plan = ShardPlan.build(problem, 3)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        fresh = synthetic_problem(CONFIG)
+        loaded = ShardPlan.load(path, fresh)
+        assert loaded.n_shards == plan.n_shards
+        assert loaded.to_metadata() == plan.to_metadata()
+
+    def test_rejects_epoch_mismatch(self, tmp_path, problem):
+        save_plan(ShardPlan.build(problem, 3), tmp_path / "plan.json")
+        fresh = synthetic_problem(CONFIG)
+        fresh.churn.epoch = 2
+        with pytest.raises(ArtifactError, match="epoch"):
+            load_plan(tmp_path / "plan.json", fresh)
+
+    def test_rejects_non_plan_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json at all")
+        with pytest.raises(ArtifactError):
+            load_plan(path, synthetic_problem(CONFIG))
+
+
+class TestShardedStore:
+    def test_attach_store_loads_every_shard(self, tmp_path, problem):
+        plan = ShardPlan.build(problem, 3)
+        paths = save_sharded(plan, tmp_path / "store")
+        assert len(paths) == plan.n_shards + 1  # plan.json + one per shard
+
+        fresh = synthetic_problem(CONFIG)
+        loaded_plan = ShardPlan.load(tmp_path / "store" / "plan.json", fresh)
+        sharded = ShardedEngine(loaded_plan)
+        sharded.attach_store(tmp_path / "store")
+
+        reference = ShardedEngine(ShardPlan.build(synthetic_problem(CONFIG), 3))
+        for shard in range(plan.n_shards):
+            a = sharded.engine(shard)
+            b = reference.engine(shard)
+            assert np.array_equal(a.edges.customer_idx, b.edges.customer_idx)
+            assert np.array_equal(
+                np.asarray(a.pair_bases), np.asarray(b.pair_bases)
+            )
+        assert sharded.loads_by_shard == {
+            s: 1 for s in range(plan.n_shards)
+        }
+
+    def test_missing_shard_file_falls_back_to_local_build(
+        self, tmp_path, problem
+    ):
+        plan = ShardPlan.build(problem, 3)
+        save_sharded(plan, tmp_path / "store")
+        (tmp_path / "store" / shard_artifact_name(1)).unlink()
+
+        fresh = synthetic_problem(CONFIG)
+        sharded = ShardedEngine(ShardPlan.load(
+            tmp_path / "store" / "plan.json", fresh
+        ))
+        sharded.attach_store(tmp_path / "store")
+        for shard in range(plan.n_shards):
+            assert sharded.engine(shard) is not None
+        assert sharded.loads_by_shard == {0: 1, 2: 1}
+
+    def test_pruned_store_carries_certificates(self, tmp_path, problem):
+        plan = ShardPlan.build(problem, 2)
+        save_sharded(plan, tmp_path / "store", prune="exact")
+        fresh = synthetic_problem(CONFIG)
+        sharded = ShardedEngine(ShardPlan.load(
+            tmp_path / "store" / "plan.json", fresh
+        ))
+        sharded.attach_store(tmp_path / "store")
+        for shard in range(plan.n_shards):
+            certificate = sharded.engine(shard).certificate
+            assert certificate is not None
+            assert certificate.utility_delta == 0.0
+
+
+class TestEngineCache:
+    def test_cold_then_warm(self, tmp_path):
+        from repro.store import EngineCache
+
+        cache = EngineCache(tmp_path / "cache")
+        problem = synthetic_problem(CONFIG)
+        assert cache.fetch(problem) is None
+        engine = _built_engine(problem)
+        path = cache.store(problem, engine)
+        assert path.exists()
+
+        fresh = synthetic_problem(CONFIG)
+        warm = cache.fetch(fresh)
+        assert warm is not None
+        assert np.array_equal(
+            warm.edges.customer_idx, engine.edges.customer_idx
+        )
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_separates_policies_and_seeds(self, tmp_path):
+        from repro.store import EngineCache
+
+        cache = EngineCache(tmp_path / "cache")
+        base = synthetic_problem(CONFIG)
+        compact = synthetic_problem(CONFIG, dtype="float32")
+        other_seed = synthetic_problem(
+            WorkloadConfig(n_customers=300, n_vendors=40, seed=6)
+        )
+        keys = {cache.key(base), cache.key(compact), cache.key(other_seed)}
+        assert len(keys) == 3
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        from repro.store import EngineCache
+
+        cache = EngineCache(tmp_path / "cache")
+        problem = synthetic_problem(CONFIG)
+        path = cache.store(problem, _built_engine(problem))
+        path.write_bytes(b"garbage" * 10)
+        assert cache.fetch(synthetic_problem(CONFIG)) is None
+
+    def test_acquire_engine_rides_installed_cache(self, tmp_path):
+        from repro.store import engine_cache
+
+        with engine_cache(tmp_path / "cache") as cache:
+            first = synthetic_problem(CONFIG)
+            first.acquire_engine()
+            assert cache.misses == 1 and cache.hits == 0
+            second = synthetic_problem(CONFIG)
+            engine = second.acquire_engine()
+            assert cache.hits == 1
+            assert engine.edges_built  # loaded with the table attached
+        # Uninstalled afterwards: a third problem builds locally.
+        from repro.store import active_cache
+
+        assert active_cache() is None

@@ -1,0 +1,137 @@
+"""The low-level mmap-able column container (repro.store.columns)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ArtifactError
+from repro.store import (
+    ALIGNMENT,
+    FORMAT_VERSION,
+    MAGIC,
+    read_columns,
+    write_columns,
+)
+
+_HEADER = 24
+
+
+def _sample_columns():
+    rng = np.random.default_rng(3)
+    return {
+        "f64": rng.normal(size=(7, 2)),
+        "f32": rng.normal(size=11).astype(np.float32),
+        "i64": rng.integers(0, 1000, size=9),
+        "i32": rng.integers(0, 1000, size=5).astype(np.int32),
+        "empty": np.zeros(0, dtype=np.float64),
+    }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_byte_parity_all_dtypes(self, tmp_path, mmap):
+        columns = _sample_columns()
+        path = write_columns(tmp_path / "a.cols", columns, extra={"k": 1})
+        loaded, extra = read_columns(path, mmap=mmap)
+        assert extra == {"k": 1}
+        assert set(loaded) == set(columns)
+        for name, original in columns.items():
+            out = loaded[name]
+            assert out.dtype == original.dtype, name
+            assert out.shape == original.shape, name
+            assert np.array_equal(out, original), name
+
+    def test_mmap_columns_are_readonly_maps(self, tmp_path):
+        path = write_columns(tmp_path / "a.cols", _sample_columns())
+        loaded, _ = read_columns(path, mmap=True)
+        for name, array in loaded.items():
+            if array.size == 0:
+                continue
+            assert isinstance(array, np.memmap), name
+            assert not array.flags.writeable, name
+
+    def test_blobs_are_aligned(self, tmp_path):
+        path = write_columns(tmp_path / "a.cols", _sample_columns())
+        raw = path.read_bytes()
+        meta_len = int.from_bytes(raw[16:24], "little")
+        doc = json.loads(raw[_HEADER:_HEADER + meta_len])
+        for entry in doc["columns"]:
+            assert entry["offset"] % ALIGNMENT == 0, entry["name"]
+
+    def test_verify_passes_on_clean_file(self, tmp_path):
+        path = write_columns(tmp_path / "a.cols", _sample_columns())
+        read_columns(path, verify=True)
+
+    def test_wide_directory_round_trips(self, tmp_path):
+        """Metadata reservation must hold for any directory size (the
+        offset digits grow with the column count; regression for the
+        fixed-point assignment)."""
+        columns = {
+            f"col_{i:03d}": np.full(i + 1, float(i)) for i in range(64)
+        }
+        path = write_columns(tmp_path / "wide.cols", columns)
+        loaded, _ = read_columns(path)
+        assert len(loaded) == 64
+        for name, original in columns.items():
+            assert np.array_equal(loaded[name], original)
+
+
+class TestRejection:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.cols"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 64)
+        with pytest.raises(ArtifactError, match="bad magic"):
+            read_columns(path)
+
+    def test_short_file(self, tmp_path):
+        path = tmp_path / "short.cols"
+        path.write_bytes(MAGIC[:4])
+        with pytest.raises(ArtifactError, match="bad magic"):
+            read_columns(path)
+
+    def test_unknown_format_version(self, tmp_path):
+        path = write_columns(tmp_path / "a.cols", _sample_columns())
+        raw = bytearray(path.read_bytes())
+        raw[8:12] = int(FORMAT_VERSION + 1).to_bytes(4, "little")
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactError, match="format version"):
+            read_columns(path)
+
+    def test_truncated_blob(self, tmp_path):
+        path = write_columns(tmp_path / "a.cols", _sample_columns())
+        with open(path, "r+b") as fh:
+            fh.truncate(path.stat().st_size - 16)
+        with pytest.raises(ArtifactError, match="past EOF"):
+            read_columns(path)
+
+    def test_truncated_metadata(self, tmp_path):
+        path = write_columns(tmp_path / "a.cols", _sample_columns())
+        with open(path, "r+b") as fh:
+            fh.truncate(_HEADER + 4)
+        with pytest.raises(ArtifactError, match="truncated"):
+            read_columns(path)
+
+    def test_corrupt_metadata_json(self, tmp_path):
+        path = write_columns(tmp_path / "a.cols", _sample_columns())
+        raw = bytearray(path.read_bytes())
+        meta_len = int.from_bytes(raw[16:24], "little")
+        raw[_HEADER:_HEADER + meta_len] = b"{" * meta_len
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactError, match="corrupted artifact metadata"):
+            read_columns(path)
+
+    def test_blob_corruption_caught_only_with_verify(self, tmp_path):
+        columns = {"x": np.arange(256, dtype=np.float64)}
+        path = write_columns(tmp_path / "a.cols", columns)
+        raw = bytearray(path.read_bytes())
+        raw[-8:] = b"\xff" * 8  # flip the tail of the only blob
+        path.write_bytes(bytes(raw))
+        # The cheap mmap path does not checksum...
+        loaded, _ = read_columns(path, verify=False)
+        assert not np.array_equal(loaded["x"], columns["x"])
+        # ...but verify=True does.
+        with pytest.raises(ArtifactError, match="checksum"):
+            read_columns(path, verify=True)

@@ -248,3 +248,62 @@ def test_unknown_command_rejected():
 def test_figure_out_of_range_rejected():
     with pytest.raises(SystemExit):
         main(["figure", "9"])
+
+
+def test_build_artifact_and_demo_warm_load(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    args = ["--customers", "200", "--vendors", "25", "--seed", "7"]
+    assert main(["build-artifact", *args, "--out", cache]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "edges" in out
+
+    assert main(["demo", *args, "--artifact", cache]) == 0
+    out = capsys.readouterr().out
+    assert "1 warm load(s), 0 build(s)" in out
+    assert "INVALID" not in out
+
+
+def test_demo_artifact_cache_cold_then_warm(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    args = ["demo", "--customers", "200", "--vendors", "25",
+            "--artifact", cache]
+    assert main(args) == 0
+    assert "0 warm load(s), 1 build(s)" in capsys.readouterr().out
+    assert main(args) == 0
+    assert "1 warm load(s), 0 build(s)" in capsys.readouterr().out
+
+
+def test_demo_float32_dtype(capsys):
+    assert main(["demo", "--customers", "200", "--vendors", "25",
+                 "--dtype", "float32"]) == 0
+    assert "INVALID" not in capsys.readouterr().out
+
+
+def test_build_artifact_sharded_store_and_serve(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    args = ["--customers", "300", "--vendors", "30", "--seed", "7"]
+    assert main([
+        "build-artifact", *args, "--shards", "2",
+        "--radius", "0.15", "0.25", "--prune", "exact", "--out", store,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "plan.json" in out
+    assert "shard-0001.cols" in out
+    assert "pruned" in out
+
+    assert main([
+        "serve-cluster", *args, "--shards", "2",
+        "--transport", "inline", "--artifact", store,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "artifact store:" in out
+    assert "cluster: 2 shard(s)" in out
+
+
+def test_info_scale_card(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "scale card" in out
+    assert "dtype policies" in out
+    assert "artifact store" in out
+    assert "edge pruning" in out
