@@ -1,0 +1,288 @@
+"""Closed-loop serving benchmark and CI gate (``BENCH_serve.json``).
+
+Sweeps offered load against the serving front-end and reports, per
+offered-RPS point, the p99 request latency and the **utility
+retention** -- committed utility as a fraction of the synchronous
+:class:`~repro.stream.simulator.OnlineSimulator` baseline over the
+same workload (which serves every customer, unhurried).
+
+The load axis is expressed in multiples of the *single-request rate*
+``R``: the throughput of the sequential baseline, measured on this
+machine.  Below ``R`` the server is effectively idle; above it the
+micro-batcher's kernel calls amortise per-request work, and past the
+batched capacity the admission controller sheds the
+lowest-expected-utility requests first.  The headline gate is the
+overload point: at ``10 x R`` offered with shedding enabled, retained
+utility must stay >= :data:`RETENTION_GATE` of the baseline -- value-
+aware shedding concentrates the budget spend on the requests that
+matter, so utility degrades far more slowly than throughput.
+
+Latency is gated only at the highest *non-saturated* point (no
+requests dropped) and only on machines with at least
+:data:`MIN_GATE_CPUS` CPUs, matching the other benchmark gates; the
+sweep itself runs everywhere and is stamped into the artifact.
+
+Engines boot from the pre-bake fixture (:mod:`benchmarks.prebake`):
+the first run bakes the engine artifact, every later run (and every
+sweep point after the first) attaches it by ``mmap`` instead of
+re-scoring.  With ``REPRO_SERVE_FULL=1`` an additional sharded
+big-tier point runs from a baked sharded store, demand-paging only the
+shards its batches route to.
+
+Run directly with ``pytest -q -s benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.harness import write_bench_json
+from benchmarks.prebake import (
+    prebake_root,
+    prebaked_engine,
+    prebaked_sharded_store,
+)
+from repro.algorithms.calibration import calibrate_from_problem
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.parallel import available_cpus
+from repro.serve import (
+    ReplayDriver,
+    ServeConfig,
+    build_schedule,
+    utility_estimator,
+)
+from repro.stream.simulator import OnlineSimulator
+
+#: The gate workload.  Tight budgets relative to demand, so the
+#: baseline already leaves utility on the table and value-aware
+#: shedding has real concentration to exploit.
+GATE_CONFIG = WorkloadConfig(
+    n_customers=2_000,
+    n_vendors=150,
+    budget_range=ParameterRange(3.0, 6.0),
+    seed=42,
+)
+
+#: Offered load, in multiples of the measured single-request rate R.
+MULTIPLIERS = (0.5, 1.0, 2.0, 5.0, 10.0)
+
+#: Serving knobs of every sweep point (shedding on via the bounded
+#: queue; no deadline, so every admitted request is eventually scored).
+SERVE_CONFIG = ServeConfig(max_batch=64, max_wait=0.002, queue_depth=256)
+
+#: Utility retention floor at the 10x overload point (and, trivially,
+#: at the highest non-saturated point).
+RETENTION_GATE = 0.90
+
+#: p99 latency ceiling (seconds) at the highest non-saturated point.
+SERVE_P99_GATE = 0.25
+
+#: Latency is only enforced on machines with at least this many CPUs.
+MIN_GATE_CPUS = 4
+
+#: The optional big tier (``REPRO_SERVE_FULL=1``): sharded, boots from
+#: a baked store, demand-pages only routed shards.
+FULL_CONFIG = WorkloadConfig(n_customers=50_000, n_vendors=1_000, seed=42)
+FULL_SHARDS = 8
+
+
+def _fresh_problem(config: WorkloadConfig):
+    """A fresh problem with its engine attached from the pre-bake
+    fixture (mmap after the first run)."""
+    problem = synthetic_problem(config)
+    engine, warm = prebaked_engine(problem)
+    return problem, warm
+
+
+def _algorithm(bounds) -> OnlineAdaptiveFactorAware:
+    return OnlineAdaptiveFactorAware(gamma_min=bounds.gamma_min, g=bounds.g)
+
+
+def _measure_baseline(bounds) -> dict:
+    """The synchronous baseline: every customer served sequentially.
+
+    Returns its total utility (the retention denominator) and the
+    measured single-request rate ``R = customers / wall`` that anchors
+    the offered-load axis.
+    """
+    problem, warm = _fresh_problem(GATE_CONFIG)
+    simulator = OnlineSimulator(problem)
+    start = time.perf_counter()
+    result = simulator.run(
+        _algorithm(bounds), measure_latency=False, warm_engine=True
+    )
+    wall = time.perf_counter() - start
+    return {
+        "utility": result.total_utility,
+        "wall_seconds": wall,
+        "rate_rps": len(problem.customers) / wall,
+        "prebaked_engine": warm,
+    }
+
+
+def _measure_point(multiplier: float, rate: float, bounds) -> dict:
+    """One sweep point: offered ``multiplier * R`` through the replay
+    driver (virtual-time arrivals, real per-batch scoring cost)."""
+    problem, warm = _fresh_problem(GATE_CONFIG)
+    driver = ReplayDriver(
+        problem,
+        _algorithm(bounds),
+        config=SERVE_CONFIG,
+        estimator=utility_estimator(problem),
+    )
+    schedule = build_schedule(
+        problem.customers,
+        rate=multiplier * rate,
+        process="poisson",
+        seed=GATE_CONFIG.seed,
+    )
+    result = driver.run(schedule)
+    stats = result.stats
+    return {
+        "multiplier": multiplier,
+        "offered_rps": result.offered_rps,
+        "achieved_rps": result.achieved_rps,
+        "submitted": stats.submitted,
+        "served": stats.served,
+        "shed": stats.shed,
+        "expired": stats.expired,
+        "mean_batch_size": stats.mean_batch_size,
+        "p50_latency": stats.latency_quantile(0.50),
+        "p99_latency": stats.latency_quantile(0.99),
+        "utility": stats.utility,
+        "prebaked_engine": warm,
+    }
+
+
+def _measure_full_tier() -> dict:
+    """The optional sharded big tier, booted from a baked store."""
+    from repro.engine.sharded import ShardedEngine
+
+    problem = synthetic_problem(FULL_CONFIG)
+    bounds = calibrate_from_problem(problem, seed=FULL_CONFIG.seed)
+    plan, store, warm = prebaked_sharded_store(problem, FULL_SHARDS)
+    sharded = ShardedEngine.create(plan)
+    sharded.attach_store(store)
+    driver = ReplayDriver(
+        problem,
+        _algorithm(bounds),
+        config=SERVE_CONFIG,
+        shard_plan=plan,
+        sharded_engine=sharded,
+    )
+    schedule = build_schedule(
+        problem.customers, rate=20_000.0, process="bursty",
+        seed=FULL_CONFIG.seed,
+    )
+    result = driver.run(schedule)
+    return {
+        "n_customers": FULL_CONFIG.n_customers,
+        "n_vendors": FULL_CONFIG.n_vendors,
+        "shards": FULL_SHARDS,
+        "store_prebaked": warm,
+        "shards_demand_paged": sorted(sharded.loads_by_shard),
+        "offered_rps": result.offered_rps,
+        "p99_latency": result.stats.latency_quantile(0.99),
+        "served": result.stats.served,
+        "shed": result.stats.shed,
+        "utility": result.stats.utility,
+    }
+
+
+def test_serve_gate():
+    calibration_problem = synthetic_problem(GATE_CONFIG)
+    bounds = calibrate_from_problem(
+        calibration_problem, seed=GATE_CONFIG.seed
+    )
+    baseline = _measure_baseline(bounds)
+    rate = baseline["rate_rps"]
+
+    rows = []
+    for multiplier in MULTIPLIERS:
+        row = _measure_point(multiplier, rate, bounds)
+        row["retention"] = row["utility"] / baseline["utility"]
+        rows.append(row)
+
+    full_row = None
+    if os.environ.get("REPRO_SERVE_FULL") == "1":
+        full_row = _measure_full_tier()
+
+    cpu_count = available_cpus()
+    latency_enforced = cpu_count >= MIN_GATE_CPUS
+    print()
+    print(
+        f"[serve] baseline R={rate:.0f} rps "
+        f"utility={baseline['utility']:.3f} "
+        f"(cpus={cpu_count}, latency gate "
+        f"{'on' if latency_enforced else 'off'})"
+    )
+    print(
+        f"[serve] {'x':>5} {'offered':>9} {'served':>7} {'shed':>6} "
+        f"{'batch':>6} {'p99_ms':>8} {'retention':>9}"
+    )
+    for row in rows:
+        print(
+            f"[serve] {row['multiplier']:5.1f} {row['offered_rps']:9.0f} "
+            f"{row['served']:7d} {row['shed']:6d} "
+            f"{row['mean_batch_size']:6.1f} "
+            f"{row['p99_latency'] * 1e3:8.2f} {row['retention']:9.4f}"
+        )
+    if full_row is not None:
+        print(
+            f"[serve] full tier: {full_row['n_customers']} customers, "
+            f"{full_row['shards']} shards, demand-paged "
+            f"{len(full_row['shards_demand_paged'])} "
+            f"(store prebaked: {full_row['store_prebaked']})"
+        )
+
+    non_saturated = [
+        row for row in rows if row["shed"] == 0 and row["expired"] == 0
+    ]
+    assert non_saturated, "every sweep point dropped requests"
+    knee = max(non_saturated, key=lambda row: row["multiplier"])
+    overload = rows[-1]
+
+    write_bench_json(
+        "serve",
+        {
+            "n_customers": GATE_CONFIG.n_customers,
+            "n_vendors": GATE_CONFIG.n_vendors,
+            "seed": GATE_CONFIG.seed,
+            "max_batch": SERVE_CONFIG.max_batch,
+            "max_wait": SERVE_CONFIG.max_wait,
+            "queue_depth": SERVE_CONFIG.queue_depth,
+            "retention_gate": RETENTION_GATE,
+            "p99_gate_seconds": SERVE_P99_GATE,
+            "latency_gate_enforced": latency_enforced,
+            "prebake_dir": str(prebake_root()),
+            "baseline": baseline,
+            "sweep": rows,
+            "knee_multiplier": knee["multiplier"],
+            "full_tier": full_row,
+        },
+    )
+
+    # Below saturation nothing is dropped, so retention is total.
+    assert knee["retention"] >= RETENTION_GATE, (
+        f"retention {knee['retention']:.4f} at the non-saturated "
+        f"{knee['multiplier']}x point, below {RETENTION_GATE}"
+    )
+
+    # The headline gate: 10x overload with value-aware shedding keeps
+    # >= 90% of the synchronous baseline's utility.
+    assert overload["multiplier"] == MULTIPLIERS[-1]
+    assert overload["retention"] >= RETENTION_GATE, (
+        f"retention {overload['retention']:.4f} at "
+        f"{overload['multiplier']}x offered load, below {RETENTION_GATE} "
+        f"(shed {overload['shed']} of {overload['submitted']})"
+    )
+
+    if latency_enforced:
+        assert knee["p99_latency"] <= SERVE_P99_GATE, (
+            f"p99 {knee['p99_latency'] * 1e3:.1f}ms at the non-saturated "
+            f"{knee['multiplier']}x point, above "
+            f"{SERVE_P99_GATE * 1e3:.0f}ms"
+        )

@@ -1,0 +1,92 @@
+"""Cold-start pre-bake fixtures for the serving and scale benchmarks.
+
+The big-tier benchmark points pay their engine build exactly once: the
+first run *bakes* the artifact into a shared fixture directory (the
+same ``build-artifact`` products the CLI writes -- a fingerprint-keyed
+``engine-<key>.cols`` for unsharded points, ``plan.json`` plus
+``shard-NNNN.cols`` for sharded ones) and every later run boots from
+``mmap``.  Serving benchmarks attach the sharded store to a
+:class:`~repro.engine.sharded.ShardedEngine`, so only the shards a
+batch actually routes to are demand-paged -- the million-user tier
+never materialises its full edge table in the serving process.
+
+The fixture directory defaults to ``benchmarks/results/prebake/`` and
+can be redirected with ``REPRO_PREBAKE_DIR`` (CI points it at a cached
+path).  Entries are content-addressed (problem fingerprint + dtype
+policy + churn epoch via :class:`repro.store.EngineCache`, and the
+store loader's own fingerprint check for shards), so a stale fixture is
+rebuilt over, never trusted.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+
+#: Repo root (mirrors ``benchmarks.harness.REPO_ROOT``).
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def prebake_root() -> Path:
+    """The fixture directory (``REPRO_PREBAKE_DIR`` overrides)."""
+    override = os.environ.get("REPRO_PREBAKE_DIR")
+    if override:
+        return Path(override)
+    return REPO_ROOT / "benchmarks" / "results" / "prebake"
+
+
+def prebaked_engine(problem, root: Optional[Path] = None):
+    """The problem's engine, mmap-loaded from the fixture when baked.
+
+    On a cold fixture the engine is built once and persisted under the
+    problem's content key; the build is adopted into ``problem`` either
+    way.  Returns ``(engine, warm)`` where ``warm`` says whether the
+    engine came from the fixture (mmap) rather than a build.
+    """
+    from repro.store import EngineCache
+
+    cache = EngineCache(root if root is not None else prebake_root())
+    engine = cache.fetch(problem)
+    if engine is not None:
+        problem.adopt_engine(engine)
+        return engine, True
+    engine = problem.acquire_engine()
+    if engine is None:
+        return None, False
+    engine.num_edges
+    engine.pair_bases
+    cache.store(problem, engine)
+    return engine, False
+
+
+def prebaked_sharded_store(
+    problem, shards: int, root: Optional[Path] = None
+) -> Tuple[object, Path, bool]:
+    """A shard plan plus its baked store directory for ``problem``.
+
+    Builds the plan deterministically (``ShardPlan.build``) and, on a
+    cold fixture, saves every shard's engine artifact; later runs find
+    ``plan.json`` present and skip the bake entirely.  Returns
+    ``(plan, store_dir, warm)``; consumers attach ``store_dir`` to a
+    :class:`~repro.engine.sharded.ShardedEngine` so shards are
+    demand-paged on first route.
+    """
+    from repro.sharding import ShardPlan
+    from repro.store import PLAN_FILE, EngineCache, save_sharded
+
+    base = Path(root) if root is not None else prebake_root()
+    # Content-address the store by the same fingerprint key the engine
+    # cache uses, so two different workloads never share a directory
+    # (the loader's fingerprint check would refuse a mismatch loudly).
+    key = f"sharded-{EngineCache(base).key(problem)}-s{shards}"
+    store = base / key
+    plan = ShardPlan.build(problem, shards)
+    if (store / PLAN_FILE).exists():
+        return plan, store, True
+    save_sharded(plan, store)
+    # Release the freshly built shard views so the consumer measures
+    # the demand-paged (mmap) path, not the still-resident builds.
+    for shard in range(plan.n_shards):
+        plan.release(shard)
+    return plan, store, False

@@ -7,6 +7,8 @@ Commands:
 * ``ratio``     -- measure empirical approximation/competitive ratios
 * ``calibrate`` -- print O-AFA's gamma/g calibration for a workload
 * ``obs``       -- inspect recorded traces (``obs summary TRACE``)
+* ``serve``     -- run the async micro-batching serving front-end
+  over a seeded open-loop arrival stream (``docs/serving.md``)
 * ``serve-cluster`` -- stream a workload through the process-per-shard
   cluster (optionally killing a shard mid-stream to watch recovery)
 * ``build-artifact`` -- pre-build mmap-able engine artifacts (single or
@@ -207,6 +209,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace_file", metavar="TRACE",
         help="Chrome-trace JSON written by --trace",
     )
+
+    serving = sub.add_parser(
+        "serve",
+        help="run the async micro-batching serving front-end over a "
+             "seeded open-loop arrival stream",
+    )
+    serving.add_argument("--customers", type=int, default=1_000)
+    serving.add_argument("--vendors", type=int, default=100)
+    serving.add_argument("--seed", type=int, default=7)
+    serving.add_argument(
+        "--shards", "-s", type=int, default=1, metavar="S",
+        help="route requests across S shard views (default 1 = "
+             "unsharded; decisions match the unsharded stream)",
+    )
+    serving.add_argument(
+        "--rps", type=float, default=500.0,
+        help="mean offered arrival rate of the open-loop schedule",
+    )
+    serving.add_argument(
+        "--arrival", choices=("poisson", "bursty"), default="poisson",
+        help="seeded arrival process of the schedule",
+    )
+    serving.add_argument(
+        "--mode", choices=("replay", "async"), default="replay",
+        help="replay = deterministic virtual-time closed loop "
+             "(default); async = real asyncio event loop with "
+             "wall-clock waits",
+    )
+    serving.add_argument(
+        "--max-batch", type=int, default=32,
+        help="flush a micro-batch at this many queued requests",
+    )
+    serving.add_argument(
+        "--max-wait-ms", type=float, default=5.0,
+        help="flush when the oldest queued request waited this long",
+    )
+    serving.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="bounded queue capacity; overflow sheds the "
+             "lowest-expected-utility request",
+    )
+    serving.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help="token-bucket sustained admission rate (default: off)",
+    )
+    serving.add_argument(
+        "--burst", type=float, default=None,
+        help="token-bucket size (default max(1, rate))",
+    )
+    serving.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline; late work is dropped, not served",
+    )
+    serving.add_argument(
+        "--artifact", type=str, default=None, metavar="DIR",
+        help="with --shards S > 1: a sharded store written by `repro "
+             "build-artifact --shards S`; only shards a batch routes "
+             "to are demand-paged from mmap.  With --shards 1: a "
+             "fingerprint-keyed engine cache (as in demo/reproduce)",
+    )
+    add_obs(serving)
 
     serve = sub.add_parser(
         "serve-cluster",
@@ -498,6 +561,141 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.algorithms.calibration import calibrate_from_problem
+    from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+    from repro.datagen.config import ParameterRange, WorkloadConfig
+    from repro.datagen.synthetic import synthetic_problem
+    from repro.serve import (
+        ReplayDriver,
+        ServeConfig,
+        build_schedule,
+        utility_estimator,
+    )
+
+    problem = synthetic_problem(
+        WorkloadConfig(
+            n_customers=args.customers,
+            n_vendors=args.vendors,
+            radius_range=ParameterRange(0.03, 0.06),
+            seed=args.seed,
+        )
+    )
+    bounds = calibrate_from_problem(problem, seed=args.seed)
+    algorithm = OnlineAdaptiveFactorAware(
+        gamma_min=bounds.gamma_min, g=bounds.g
+    )
+    plan = None
+    sharded = None
+    if args.shards > 1:
+        from repro.engine.sharded import ShardedEngine
+        from repro.sharding import ShardPlan
+
+        plan = ShardPlan.build(problem, args.shards)
+        sharded = ShardedEngine.create(plan)
+        if args.artifact is not None:
+            if sharded is None:
+                print("this workload's utility model has no vectorized "
+                      "engine; --artifact needs one")
+                return 2
+            sharded.attach_store(args.artifact)
+            print(f"artifact store: {args.artifact} (only routed shards "
+                  f"demand-page their engine)")
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait=args.max_wait_ms / 1000.0,
+        queue_depth=args.queue_depth,
+        rate=args.rate_limit,
+        burst=args.burst,
+        deadline=(
+            None if args.deadline_ms is None else args.deadline_ms / 1000.0
+        ),
+    )
+    schedule = build_schedule(
+        problem.customers, rate=args.rps,
+        process=args.arrival, seed=args.seed,
+    )
+    if args.shards == 1:
+        cache_ctx = _artifact_cache_from_args(args)
+    else:
+        from contextlib import nullcontext
+
+        cache_ctx = nullcontext(None)
+    with cache_ctx as cache:
+        # The shed policy ranks by the engine-backed utility estimate
+        # when the global engine is (or will be) resident; with a
+        # sharded demand-paged store the cheap prior avoids building
+        # the global table the store exists to replace.
+        estimator = None if sharded is not None else utility_estimator(problem)
+        if args.mode == "replay":
+            driver = ReplayDriver(
+                problem,
+                algorithm,
+                config,
+                shard_plan=plan,
+                sharded_engine=sharded,
+                estimator=estimator,
+            )
+            result = driver.run(schedule)
+        else:
+            result = _serve_async(
+                problem, algorithm, config, schedule,
+                plan, sharded, estimator,
+            )
+    _report_cache(cache)
+    card = result.card()
+    width = max(len(key) for key in card)
+    for key, value in card.items():
+        if isinstance(value, float):
+            print(f"{key:{width}s}  {value:.6g}")
+        else:
+            print(f"{key:{width}s}  {value}")
+    if sharded is not None:
+        paged = sorted(sharded.loads_by_shard)
+        if paged:
+            print(f"shards demand-paged from store: {paged}")
+    return 0
+
+
+def _serve_async(
+    problem, algorithm, config, schedule, plan, sharded, estimator
+):
+    import asyncio
+    import time
+
+    from repro.serve import AdServer, ServeResult, run_open_loop
+    from repro.serve.server import default_estimator
+
+    async def episode():
+        server = AdServer.create(
+            problem,
+            algorithm,
+            max_batch=config.max_batch,
+            max_wait=config.max_wait,
+            queue_depth=config.queue_depth,
+            rate=config.rate,
+            burst=config.burst,
+            shard_plan=plan,
+            sharded_engine=sharded,
+            estimator=(
+                estimator if estimator is not None else default_estimator
+            ),
+            warm=config.warm,
+        )
+        start = time.perf_counter()
+        async with server:
+            await run_open_loop(server, schedule, deadline=config.deadline)
+        return server.stats, time.perf_counter() - start
+
+    stats, duration = asyncio.run(episode())
+    offered = 0.0
+    if schedule and schedule[-1].time > 0:
+        offered = len(schedule) / schedule[-1].time
+    return ServeResult(
+        stats=stats, duration=duration, offered_rps=offered
+    )
+
+
 def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     import multiprocessing
 
@@ -706,6 +904,25 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print("  delta path:     engine segments spliced in place; "
           "cold rebuild kept as the parity reference")
 
+    # Serving card: the async front-end (docs/serving.md).
+    from repro.serve import ServeConfig
+    from repro.serve.loadgen import PROCESSES
+    from repro.serve.request import STATUSES
+
+    defaults = ServeConfig()
+    print()
+    print("serving card (repro serve, docs/serving.md):")
+    print(f"  micro-batching: flush at max_batch={defaults.max_batch} "
+          f"or max_wait={defaults.max_wait * 1000:.0f}ms; one engine "
+          f"kernel call per routed shard")
+    print(f"  admission:      bounded queue (depth "
+          f"{defaults.queue_depth}, sheds lowest expected utility "
+          f"first) + optional token bucket + per-request deadlines")
+    print(f"  arrivals:       {', '.join(PROCESSES)} (seeded, open-loop)")
+    print(f"  statuses:       {', '.join(STATUSES)}")
+    print("  parity:         batch decisions identical to the "
+          "sequential online stream over the same arrival order")
+
     # Scale card: dtype policies and the artifact store (docs/scale.md).
     from repro.engine import FLOAT32, FLOAT64
     from repro.store import ENGINE_SCHEMA_VERSION, FORMAT_VERSION, MAGIC
@@ -732,6 +949,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "reproduce": _cmd_reproduce,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
     "serve-cluster": _cmd_serve_cluster,
     "build-artifact": _cmd_build_artifact,
     "info": _cmd_info,

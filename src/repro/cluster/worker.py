@@ -104,26 +104,39 @@ class ShardServer:
         self._problem = problem
         self._rec = Recorder(lane=f"shard-{shard_id}") if obs else NullRecorder()
         self._attached = None
-        with self._rec.span("cluster.shard_boot", shard=shard_id):
-            self._build_engine(handle, artifact_path)
+        # Artifact-backed shards boot *cold*: the mmap load is deferred
+        # until the first request that actually needs the engine, so a
+        # shard no customer routes to never pages its artifact in
+        # (heartbeats must stay cheap on the million-user tier).
+        self._artifact_path = artifact_path
+        if artifact_path is None:
+            with self._rec.span("cluster.shard_boot", shard=shard_id):
+                self._build_engine(handle)
         self._algorithm = OnlineAdaptiveFactorAware(gamma_min=gamma_min, g=g)
         self._algorithm.reset(problem)
         self._assignment = problem.new_assignment()
         self._decided: Dict[int, Tuple[AdInstance, ...]] = {}
         self._committed = 0
 
-    def _build_engine(
-        self,
-        handle: Optional[ColumnHandle],
-        artifact_path: Optional[str] = None,
-    ) -> None:
-        if artifact_path is not None:
-            from repro.store import load_engine
+    def _ensure_engine(self) -> None:
+        """Demand-page the artifact engine on first real use.
 
-            engine = load_engine(artifact_path, self._problem)
+        Called by the decide and churn paths (a churn splice must land
+        on the loaded engine, and the artifact's epoch check would
+        reject a post-churn load).  Heartbeats and replays never call
+        this, so an idle shard stays at its boot footprint.
+        """
+        if self._artifact_path is None:
+            return
+        path, self._artifact_path = self._artifact_path, None
+        from repro.store import load_engine
+
+        with self._rec.span("cluster.shard_page_in", shard=self.shard_id):
+            engine = load_engine(path, self._problem)
             engine.warm()
             self._problem.adopt_engine(engine)
-            return
+
+    def _build_engine(self, handle: Optional[ColumnHandle]) -> None:
         if handle is None:
             self._problem.warm_utilities()
             return
@@ -173,6 +186,7 @@ class ShardServer:
                 cached=True,
                 obs=self._drain(),
             )
+        self._ensure_engine()
         with self._rec.span(
             "cluster.shard_decision",
             customer=cid,
@@ -224,6 +238,7 @@ class ShardServer:
                 epoch=problem.churn.epoch,
                 applied=False,
             )
+        self._ensure_engine()
         with self._rec.span(
             "cluster.shard_churn", shard=self.shard_id, epoch=delta.epoch
         ):

@@ -437,6 +437,63 @@ class ComputeEngine:
             cost=ad_type.cost,
         )
 
+    def edge_position(self, customer_id: int, vendor_id: int) -> Optional[int]:
+        """Absolute edge-table position of one pair, or ``None`` when
+        the pair is not a candidate edge.  The batch entry point for
+        callers that gather many pairs at once (:meth:`batch_best`)."""
+        edge_pos = self._edge_pos
+        if edge_pos is None:
+            edge_pos, _ = self._point_index()
+        off = edge_pos.get((customer_id, vendor_id))
+        if off is None:
+            return None
+        return self._seg_start[vendor_id] + off
+
+    def batch_best(
+        self,
+        positions: Sequence[int],
+        remaining: Sequence[float],
+        by: str = "efficiency",
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`best_for_pair` over many edges at once.
+
+        One gather over the precomputed utility/efficiency matrices
+        answers a whole micro-batch of lookups in a single kernel call
+        (the serving front-end's per-batch scoring path).
+
+        Args:
+            positions: Absolute edge positions (:meth:`edge_position`).
+            remaining: Per-position remaining vendor budget.
+            by: Ranking criterion, as in :meth:`best_for_pair`.
+
+        Returns:
+            ``(best_type, utility, affordable)`` arrays aligned with
+            ``positions``: the best ad-type *index* (catalogue order),
+            its utility, and whether any type was affordable at all
+            (``best_type``/``utility`` are meaningless where
+            ``affordable`` is false).  Selection is over the same
+            matrices as the scalar level tables -- affordability is the
+            same :data:`_COST_EPS`-tolerant cost threshold and
+            ``argmax`` breaks ties toward the lowest catalogue index --
+            so each row reproduces :meth:`best_for_pair` exactly.
+        """
+        if by == "efficiency":
+            matrix = self.efficiencies()
+        elif by == "utility":
+            matrix = self.utilities()
+        else:
+            raise ValueError(f"unknown ranking criterion {by!r}")
+        pos = np.asarray(positions, dtype=np.int64)
+        rem = np.asarray(remaining, dtype=np.float64)
+        affordable = (
+            self._arrays.type_cost[None, :] <= rem[:, None] + _COST_EPS
+        )
+        scores = matrix[pos]
+        masked = np.where(affordable, scores, -np.inf)
+        best = np.argmax(masked, axis=1)
+        utility = self.utilities()[pos, best]
+        return best, utility, affordable.any(axis=1)
+
     # ------------------------------------------------------------------
     # Churn deltas (segment splices; see docs/incremental.md)
     # ------------------------------------------------------------------

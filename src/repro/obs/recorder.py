@@ -82,7 +82,12 @@ class NullRecorder:
     def gauge(self, name: str, value: float) -> None:
         return None
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
         return None
 
     def now(self) -> float:
@@ -153,9 +158,20 @@ class Recorder:
         """Set the named gauge."""
         self.metrics.gauge(name).set(value)
 
-    def observe(self, name: str, value: float) -> None:
-        """Record one observation into the named histogram."""
-        self.metrics.histogram(name).observe(value)
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Record one observation into the named histogram.
+
+        ``buckets`` overrides the default latency bounds *on creation*
+        (first observation wins; later calls reuse the existing
+        histogram) -- used for non-latency histograms such as the
+        serving layer's batch-size distribution.
+        """
+        self.metrics.histogram(name, buckets=buckets).observe(value)
 
     def now(self) -> float:
         """The recorder clock's current reading."""

@@ -15,6 +15,28 @@ accepts ``time.perf_counter`` (e.g.
 from __future__ import annotations
 
 import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The clock protocol every time-dependent layer codes against.
+
+    A clock is a zero-argument callable returning monotonic seconds
+    (``now()`` and ``__call__`` agree) that can also ``sleep``.  The
+    resilience guards, the streaming simulator, and the serving
+    front-end (:mod:`repro.serve`) all take any object satisfying this
+    protocol, so a single :class:`SimulatedClock` can freeze a whole
+    stack for a deterministic test.  Never call ``time.monotonic()`` /
+    ``time.perf_counter()`` directly from queue, deadline, or backoff
+    logic -- inject one of these.
+    """
+
+    def now(self) -> float: ...
+
+    def __call__(self) -> float: ...
+
+    def sleep(self, seconds: float) -> None: ...
 
 
 class SystemClock:

@@ -1,0 +1,42 @@
+"""The asynchronous serving front-end (see ``docs/serving.md``).
+
+A real request lifecycle on top of the engine/sharding/cluster stack:
+concurrent ad requests are admitted through a token bucket and a
+bounded value-aware queue, coalesced into micro-batches, scored in one
+engine kernel call per routed shard, and committed idempotently against
+the shared assignment -- with decisions provably identical to the
+sequential online simulator over the same arrival order.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.batcher import BatchScorer, MicroBatcher
+from repro.serve.driver import (
+    ReplayDriver,
+    ServeConfig,
+    ServeResult,
+    utility_estimator,
+)
+from repro.serve.loadgen import ScheduledArrival, build_schedule, run_open_loop
+from repro.serve.queueing import RequestQueue
+from repro.serve.request import AdRequest, Decision, ServeStats
+from repro.serve.server import AdServer, default_estimator
+
+__all__ = [
+    "AdRequest",
+    "AdServer",
+    "AdmissionController",
+    "BatchScorer",
+    "Decision",
+    "MicroBatcher",
+    "ReplayDriver",
+    "RequestQueue",
+    "ScheduledArrival",
+    "ServeConfig",
+    "ServeResult",
+    "ServeStats",
+    "TokenBucket",
+    "build_schedule",
+    "default_estimator",
+    "run_open_loop",
+    "utility_estimator",
+]

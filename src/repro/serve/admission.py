@@ -1,0 +1,130 @@
+"""Admission control: token-bucket rate limiting + bounded queueing.
+
+The controller is the single gate every request passes through before
+it may wait for a batch.  Two independent mechanisms:
+
+* a :class:`TokenBucket` caps the *sustained* accept rate while letting
+  bursts up to the bucket size through unthrottled, and
+* the bounded :class:`~repro.serve.queueing.RequestQueue` caps queue
+  depth, shedding the lowest-expected-utility request when full.
+
+All timing reads the injected clock (any
+:class:`repro.resilience.clock.Clock`); nothing here calls the ``time``
+module, so admission behaviour is exactly reproducible under a
+:class:`~repro.resilience.clock.SimulatedClock`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.resilience.clock import Clock, SystemClock
+from repro.serve.queueing import RequestQueue
+from repro.serve.request import AdRequest
+
+#: Float-accumulation tolerance on the token threshold: a bucket
+#: refilled by many small increments must still accept a burst that is
+#: exactly at the configured boundary.
+_TOKEN_EPS = 1e-9
+
+#: Admission verdicts.
+ADMITTED = "admitted"
+RATE_LIMITED = "rate_limited"
+SHED = "shed"
+
+
+class TokenBucket:
+    """A token bucket over an injectable monotonic clock.
+
+    Args:
+        rate: Sustained tokens (requests) per second.  ``None``
+            disables rate limiting entirely.
+        burst: Bucket size -- the largest instantaneous burst admitted
+            from a full bucket.  Defaults to ``max(1, rate)``.
+        clock: Monotonic clock; wall clock by default.
+
+    Raises:
+        ValueError: On a non-positive ``rate`` or ``burst``.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst is None:
+            burst = max(1.0, rate) if rate is not None else 1.0
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock: Clock = clock if clock is not None else SystemClock()
+        self._tokens = self.burst  # start full: cold bursts admitted
+        self._last = self._clock.now()
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (after refilling to now)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        if self.rate is not None and now > self._last:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+        self._last = now
+
+    def try_acquire(self) -> bool:
+        """Take one token if available.
+
+        The threshold tolerates :data:`_TOKEN_EPS` of float
+        accumulation error, so a burst of exactly ``burst`` requests
+        against a full bucket is always admitted in full.
+        """
+        if self.rate is None:
+            return True
+        self._refill()
+        if self._tokens >= 1.0 - _TOKEN_EPS:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """The request gate: rate limit, then bounded enqueue.
+
+    Args:
+        queue: The bounded batch queue.
+        bucket: Optional token bucket (``None`` admits any rate).
+    """
+
+    def __init__(
+        self, queue: RequestQueue, bucket: Optional[TokenBucket] = None
+    ) -> None:
+        self.queue = queue
+        self.bucket = bucket
+
+    def offer(
+        self, request: AdRequest
+    ) -> Tuple[str, Optional[AdRequest]]:
+        """Pass one request through admission.
+
+        Returns:
+            ``(verdict, victim)`` where ``verdict`` is
+            :data:`ADMITTED`, :data:`RATE_LIMITED`, or :data:`SHED`,
+            and ``victim`` is the previously queued request evicted to
+            make room (only possible with an :data:`ADMITTED` verdict;
+            a :data:`SHED` verdict means ``request`` itself was the
+            cheapest and was dropped).
+        """
+        if self.bucket is not None and not self.bucket.try_acquire():
+            return RATE_LIMITED, None
+        victim = self.queue.offer(request)
+        if victim is request:
+            return SHED, None
+        return ADMITTED, victim

@@ -1,0 +1,99 @@
+"""Open-loop load generation for the serving front-end.
+
+An open-loop generator submits requests at *scheduled* times regardless
+of how fast the server answers (the arrival process does not slow down
+when the server saturates -- the regime where admission control
+matters).  Schedules are seeded and deterministic:
+:func:`repro.stream.arrivals.poisson_times` for memoryless traffic,
+:func:`repro.stream.arrivals.bursty_times` for the hot/quiet
+alternation of real check-in streams.
+
+The same schedules drive both the asyncio generator here (real waits
+against an :class:`~repro.serve.server.AdServer`) and the deterministic
+virtual-time replay in :mod:`repro.serve.driver`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.entities import Customer
+from repro.serve.request import Decision
+from repro.serve.server import AdServer
+from repro.stream.arrivals import by_arrival_time, bursty_times, poisson_times
+
+#: Supported arrival processes.
+PROCESSES = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class ScheduledArrival:
+    """One scheduled request: submit ``customer`` at ``time`` seconds."""
+
+    time: float
+    customer: Customer
+
+
+def build_schedule(
+    customers: Sequence[Customer],
+    rate: float,
+    process: str = "poisson",
+    seed: Optional[int] = None,
+) -> List[ScheduledArrival]:
+    """A seeded arrival schedule over ``customers``.
+
+    Customers keep their stream order (arrival-time order, the same
+    convention as :class:`~repro.stream.simulator.OnlineSimulator`);
+    the process only assigns *when* each arrives.
+
+    Args:
+        customers: The customers to schedule.
+        rate: Mean offered arrivals per second.
+        process: ``"poisson"`` or ``"bursty"``.
+        seed: Seed of the arrival process.
+
+    Raises:
+        ValueError: On an unknown ``process``.
+    """
+    ordered = by_arrival_time(customers)
+    if process == "poisson":
+        times = poisson_times(len(ordered), rate, seed=seed)
+    elif process == "bursty":
+        times = bursty_times(len(ordered), rate, seed=seed)
+    else:
+        raise ValueError(
+            f"unknown arrival process {process!r}; pick from {PROCESSES}"
+        )
+    return [
+        ScheduledArrival(time=t, customer=c) for t, c in zip(times, ordered)
+    ]
+
+
+async def run_open_loop(
+    server: AdServer,
+    schedule: Sequence[ScheduledArrival],
+    deadline: Optional[float] = None,
+) -> List[Decision]:
+    """Drive a server open-loop: submit at scheduled times, never wait
+    for responses between submits, gather every decision at the end.
+
+    Inter-arrival waiting uses the event loop's own clock (real time);
+    the per-request semantic timing still reads the server's injected
+    clock.  Returns decisions in schedule order.
+    """
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    tasks: List["asyncio.Task[Decision]"] = []
+    for arrival in schedule:
+        delay = start + arrival.time - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            loop.create_task(
+                server.submit(arrival.customer, deadline=deadline)
+            )
+        )
+    await server.drain()
+    return list(await asyncio.gather(*tasks))

@@ -1,0 +1,174 @@
+"""Request and decision records of the serving front-end.
+
+An :class:`AdRequest` is one customer arrival entering the serving
+loop: the customer entity plus the timing facts the admission and
+batching layers need (arrival clock reading, absolute deadline, the
+expected-utility estimate the shed policy ranks by).  A
+:class:`Decision` is the terminal outcome of one request -- served with
+committed instances, or dropped at a named stage -- and
+:class:`ServeStats` aggregates one serving episode's counters the same
+way :class:`~repro.stream.simulator.StreamResult` does for the
+synchronous stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.assignment import AdInstance
+from repro.core.entities import Customer
+
+#: Terminal request statuses.
+SERVED = "served"
+SHED = "shed"
+RATE_LIMITED = "rate_limited"
+EXPIRED = "expired"
+CANCELLED = "cancelled"
+
+#: Every status a :class:`Decision` may carry, in lifecycle order.
+STATUSES = (SERVED, SHED, RATE_LIMITED, EXPIRED, CANCELLED)
+
+
+@dataclass
+class AdRequest:
+    """One in-flight ad request (a customer arrival).
+
+    Attributes:
+        request_id: Monotonically increasing admission sequence number;
+            doubles as the FIFO ordering key of the batch queue.
+        customer: The arriving customer.
+        arrival_time: Clock reading when the request entered admission.
+        deadline: Absolute clock reading after which the decision is
+            worthless (the customer went inactive, Section II-E);
+            ``None`` means no deadline.
+        estimated_utility: Cheap upper-bound estimate of the utility
+            this request could contribute; the load-shedding policy
+            drops the lowest-estimate requests first.
+    """
+
+    request_id: int
+    customer: Customer
+    arrival_time: float
+    deadline: Optional[float] = None
+    estimated_utility: float = 0.0
+
+    def expired(self, now: float) -> bool:
+        """Whether the deadline has passed at clock reading ``now``."""
+        return self.deadline is not None and now > self.deadline
+
+
+@dataclass
+class Decision:
+    """The terminal outcome of one request.
+
+    Attributes:
+        request_id: The request this decision answers.
+        customer_id: The requesting customer.
+        status: One of :data:`STATUSES`.
+        instances: Ads committed for the customer (empty unless
+            ``status == "served"``; may be empty for a served customer
+            whose candidates all failed the threshold).
+        latency: Seconds from arrival to resolution on the serving
+            clock (0.0 for requests rejected at admission).
+        batch_size: Size of the micro-batch that scored the request
+            (0 when the request never reached a batch).
+        shard: Shard that scored the request, or ``None`` (unsharded).
+    """
+
+    request_id: int
+    customer_id: int
+    status: str
+    instances: Tuple[AdInstance, ...] = ()
+    latency: float = 0.0
+    batch_size: int = 0
+    shard: Optional[int] = None
+
+    @property
+    def utility(self) -> float:
+        """Utility committed for this request."""
+        return sum(inst.utility for inst in self.instances)
+
+
+@dataclass
+class ServeStats:
+    """Counters of one serving episode.
+
+    Attributes:
+        submitted: Requests offered to admission.
+        served: Requests scored by a batch (even if zero ads resulted).
+        shed: Requests dropped by the bounded queue (at admission or
+            evicted later by a higher-value arrival).
+        rate_limited: Requests rejected by the token bucket.
+        expired: Requests dropped because their deadline passed before
+            a batch picked them up.
+        cancelled: Requests still pending when the server shut down
+            without draining.
+        batches: Micro-batches flushed.
+        commits: Ad instances committed to the shared assignment.
+        duplicates_suppressed: Re-submitted pairs recognised as already
+            committed (idempotent-commit machinery).
+        rejected_instances: Decided instances refused by the committed
+            state (budget/capacity race lost inside a batch is resolved
+            by rescoring, so a correct scorer keeps this at zero).
+        vendors_deactivated: Vendors auto-deactivated mid-episode after
+            exhausting their budget.
+        latencies: Arrival-to-resolution seconds of served requests.
+        batch_sizes: Size of each flushed batch.
+        utility: Total utility committed across the episode.
+    """
+
+    submitted: int = 0
+    served: int = 0
+    shed: int = 0
+    rate_limited: int = 0
+    expired: int = 0
+    cancelled: int = 0
+    batches: int = 0
+    commits: int = 0
+    duplicates_suppressed: int = 0
+    rejected_instances: int = 0
+    vendors_deactivated: int = 0
+    latencies: List[float] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+    utility: float = 0.0
+
+    @property
+    def dropped(self) -> int:
+        """Requests that never reached a batch."""
+        return self.shed + self.rate_limited + self.expired + self.cancelled
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean flushed batch size (0.0 before the first flush)."""
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    def latency_quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of served latencies, 0.0 if none."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[idx]
+
+    def card(self) -> Dict[str, object]:
+        """Flat summary used by the CLI and benchmark reports."""
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "shed": self.shed,
+            "rate_limited": self.rate_limited,
+            "expired": self.expired,
+            "cancelled": self.cancelled,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "commits": self.commits,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "rejected_instances": self.rejected_instances,
+            "vendors_deactivated": self.vendors_deactivated,
+            "utility": self.utility,
+            "p50_latency": self.latency_quantile(0.50),
+            "p99_latency": self.latency_quantile(0.99),
+        }

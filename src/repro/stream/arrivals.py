@@ -31,6 +31,80 @@ def random_order(
     return [customers[i] for i in order]
 
 
+def poisson_times(
+    n: int, rate: float, seed: Optional[int] = None
+) -> List[float]:
+    """``n`` seeded Poisson-process arrival times at ``rate`` per second.
+
+    Cumulative sums of exponential inter-arrival gaps -- the standard
+    open-loop load model (arrivals do not wait for responses).
+
+    Raises:
+        ValueError: On a non-positive ``rate``.
+    """
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    if n <= 0:
+        return []
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=n)
+    return np.cumsum(gaps).tolist()
+
+
+def bursty_times(
+    n: int,
+    rate: float,
+    seed: Optional[int] = None,
+    burst_fraction: float = 0.5,
+    burst_factor: float = 10.0,
+) -> List[float]:
+    """``n`` seeded bursty arrival times averaging ``rate`` per second.
+
+    A two-state modulated Poisson process: a ``burst_fraction`` share of
+    arrivals lands in bursts running ``burst_factor`` times hotter than
+    the base rate, the rest in quiet stretches correspondingly slower,
+    so the long-run mean rate stays ``rate``.  Each state change flips
+    after a geometric number of arrivals, all from the one seeded
+    generator.
+
+    Raises:
+        ValueError: On a non-positive ``rate`` or ``burst_factor <= 1``,
+            or ``burst_fraction`` outside (0, 1).
+    """
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    if burst_factor <= 1.0:
+        raise ValueError(f"burst_factor must exceed 1, got {burst_factor}")
+    if not 0.0 < burst_fraction < 1.0:
+        raise ValueError(
+            f"burst_fraction must be in (0, 1), got {burst_fraction}"
+        )
+    if n <= 0:
+        return []
+    rng = np.random.default_rng(seed)
+    hot_rate = rate * burst_factor
+    # The quiet rate that keeps the long-run mean at ``rate`` given the
+    # share of arrivals drawn in each state.
+    quiet_share = 1.0 - burst_fraction
+    quiet_rate = quiet_share / (1.0 / rate - burst_fraction / hot_rate)
+    times: List[float] = []
+    now = 0.0
+    in_burst = False
+    remaining = 0
+    while len(times) < n:
+        if remaining <= 0:
+            in_burst = not in_burst
+            share = burst_fraction if in_burst else quiet_share
+            # Expected run length ~ share of a 20-arrival cycle.
+            mean_run = max(1.0, 20.0 * share)
+            remaining = 1 + int(rng.geometric(1.0 / mean_run))
+        state_rate = hot_rate if in_burst else quiet_rate
+        now += float(rng.exponential(1.0 / state_rate))
+        times.append(now)
+        remaining -= 1
+    return times
+
+
 def adversarial_order(customers: Sequence[Customer]) -> List[Customer]:
     """Low-value customers first (stress order for online algorithms).
 

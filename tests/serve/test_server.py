@@ -1,0 +1,216 @@
+"""Asyncio server behaviour: end-to-end parity, frozen-clock deadline
+expiry, and shutdown drain semantics (ISSUE 9 satellites)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.algorithms.calibration import calibrate_from_problem
+from repro.algorithms.online_afa import OnlineAdaptiveFactorAware
+from repro.resilience.clock import SimulatedClock
+from repro.serve import AdServer
+from repro.serve.request import CANCELLED, EXPIRED, SERVED, SHED
+from repro.stream.arrivals import by_arrival_time
+from repro.stream.simulator import OnlineSimulator
+from tests.conftest import random_tabular_problem
+
+
+def _problem(seed: int = 3):
+    return random_tabular_problem(
+        seed=seed, n_customers=30, n_vendors=8, n_types=2,
+        capacity=(1, 2), budget=(2.0, 5.0),
+    )
+
+
+def _algorithm(problem, seed: int = 3):
+    bounds = calibrate_from_problem(problem, seed=seed)
+    return OnlineAdaptiveFactorAware(gamma_min=bounds.gamma_min, g=bounds.g)
+
+
+def _instance_bytes(instances):
+    return sorted(
+        (i.customer_id, i.vendor_id, i.type_id, i.utility, i.cost)
+        for i in instances
+    )
+
+
+def test_submit_through_server_matches_simulator():
+    """Full request lifecycle through the asyncio server with
+    batch-of-1 flushes is byte-identical to the synchronous stream."""
+    problem = _problem()
+
+    async def serve_all():
+        decisions = []
+        async with AdServer.create(
+            problem, _algorithm(problem), max_batch=1, max_wait=0.0
+        ) as server:
+            for customer in by_arrival_time(problem.customers):
+                decisions.append(await server.submit(customer))
+        return decisions
+
+    decisions = asyncio.run(serve_all())
+    assert all(d.status == SERVED for d in decisions)
+    assert all(d.batch_size == 1 for d in decisions)
+    served = [i for d in decisions for i in d.instances]
+
+    fresh = _problem()
+    sequential = OnlineSimulator(fresh).run(
+        _algorithm(fresh), measure_latency=False, warm_engine=True
+    )
+    assert _instance_bytes(served) == _instance_bytes(sequential.assignment)
+
+
+def test_concurrent_submits_all_resolve():
+    problem = _problem(seed=4)
+
+    async def serve_all():
+        async with AdServer.create(
+            problem, _algorithm(problem, seed=4), max_batch=8, max_wait=0.001
+        ) as server:
+            tasks = [
+                asyncio.ensure_future(server.submit(customer))
+                for customer in problem.customers
+            ]
+            return await asyncio.gather(*tasks)
+
+    decisions = asyncio.run(serve_all())
+    assert len(decisions) == len(problem.customers)
+    assert all(d.status == SERVED for d in decisions)
+
+
+def test_frozen_clock_deadline_shorter_than_batch_window():
+    """With the clock frozen and a batch window far longer than the
+    deadline, every request expires the moment the window would have
+    flushed -- deterministically, no real waiting."""
+    clock = SimulatedClock()
+    problem = _problem(seed=5)
+
+    async def run():
+        server = AdServer.create(
+            problem, _algorithm(problem, seed=5),
+            max_batch=32, max_wait=10.0, clock=clock,
+        )
+        # No background task: the test drives time and flushes itself.
+        tasks = [
+            asyncio.ensure_future(server.submit(customer, deadline=0.5))
+            for customer in problem.customers[:6]
+        ]
+        await asyncio.sleep(0)  # park every submit on its future
+        assert len(server.controller.queue) == 6
+        clock.advance(1.0)  # past each deadline, before the window
+        server.flush_now()
+        return await asyncio.gather(*tasks), server
+
+    decisions, server = asyncio.run(run())
+    assert [d.status for d in decisions] == [EXPIRED] * 6
+    assert server.stats.expired == 6
+    assert server.stats.served == 0
+
+
+def test_frozen_clock_deadline_survives_when_flush_is_early():
+    clock = SimulatedClock()
+    problem = _problem(seed=5)
+
+    async def run():
+        server = AdServer.create(
+            problem, _algorithm(problem, seed=5),
+            max_batch=32, max_wait=10.0, clock=clock,
+        )
+        task = asyncio.ensure_future(
+            server.submit(problem.customers[0], deadline=0.5)
+        )
+        await asyncio.sleep(0)
+        clock.advance(0.25)  # inside the deadline
+        server.flush_now()
+        return await task
+
+    decision = asyncio.run(run())
+    assert decision.status == SERVED
+
+
+def test_aclose_drains_in_flight_batches():
+    problem = _problem(seed=6)
+
+    async def run():
+        server = AdServer.create(
+            problem, _algorithm(problem, seed=6),
+            max_batch=1000, max_wait=1000.0,  # nothing flushes on its own
+        )
+        tasks = [
+            asyncio.ensure_future(server.submit(customer))
+            for customer in problem.customers
+        ]
+        await asyncio.sleep(0)
+        await server.aclose(drain=True)
+        return await asyncio.gather(*tasks), server
+
+    decisions, server = asyncio.run(run())
+    assert all(d.status == SERVED for d in decisions)
+    assert server.stats.served == len(problem.customers)
+    assert len(server.controller.queue) == 0
+
+
+def test_aclose_without_drain_cancels_queued_requests():
+    problem = _problem(seed=6)
+
+    async def run():
+        server = AdServer.create(
+            problem, _algorithm(problem, seed=6),
+            max_batch=1000, max_wait=1000.0,
+        )
+        tasks = [
+            asyncio.ensure_future(server.submit(customer))
+            for customer in problem.customers[:5]
+        ]
+        await asyncio.sleep(0)
+        await server.aclose(drain=False)
+        return await asyncio.gather(*tasks), server
+
+    decisions, server = asyncio.run(run())
+    assert [d.status for d in decisions] == [CANCELLED] * 5
+    assert server.stats.cancelled == 5
+
+
+def test_submit_after_close_raises():
+    problem = _problem(seed=6)
+
+    async def run():
+        server = AdServer.create(problem, _algorithm(problem, seed=6))
+        await server.aclose()
+        with pytest.raises(RuntimeError):
+            await server.submit(problem.customers[0])
+
+    asyncio.run(run())
+
+
+def test_shed_and_eviction_resolve_immediately():
+    """A full 1-deep queue sheds the cheaper request without waiting
+    for any flush; an evicted victim's future resolves too."""
+    problem = _problem(seed=7)
+    customers = problem.customers
+    values = {c.customer_id: float(i) for i, c in enumerate(customers)}
+
+    async def run():
+        server = AdServer.create(
+            problem, _algorithm(problem, seed=7),
+            max_batch=1000, max_wait=1000.0, queue_depth=1,
+            estimator=lambda c: values[c.customer_id],
+        )
+        # First fills the queue; cheaper second is shed outright.
+        first = asyncio.ensure_future(server.submit(customers[1]))
+        await asyncio.sleep(0)
+        shed_now = await server.submit(customers[0])  # value 0 < 1
+        # Pricier third evicts the queued first.
+        third = asyncio.ensure_future(server.submit(customers[2]))
+        await asyncio.sleep(0)
+        evicted = await first
+        await server.aclose(drain=True)
+        return shed_now, evicted, await third, server
+
+    shed_now, evicted, third, server = asyncio.run(run())
+    assert shed_now.status == SHED
+    assert evicted.status == SHED
+    assert third.status == SERVED
+    assert server.stats.shed == 2
