@@ -1,0 +1,150 @@
+"""Scenario overhead gate: slot-expansion must stay near-free.
+
+The multi-slot scenario expands every vendor into ``k`` slot-vendors,
+so the engine scores ``k`` times the edges of the base instance.  The
+expansion is only a valid abstraction if the *per-slot-vendor* solve
+cost matches a flat catalogue of the same size -- slot-vendors are
+plain vendors, so a flat problem with ``k * n`` vendors at the same
+edge count is the fair baseline.  The gate enforces
+
+    (slot_time / slot_edges) <= OVERHEAD_GATE * (flat_time / flat_edges)
+
+for ``k`` in {2, 4}, i.e. at most 1.5x per-edge GREEDY overhead over
+the equally-sized flat solve (the headroom absorbs timing jitter; the
+expected ratio is ~1.0 since the expanded problem *is* a flat problem
+to every kernel).  Parity of the utility ceiling is asserted too: an
+expanded catalogue with the same total budget must never beat the gate
+tolerance-adjusted flat interpretation of itself.
+
+Everything is emitted to ``BENCH_scenarios.json`` at the repo root.
+Run directly with ``pytest -q -s benchmarks/bench_scenarios.py``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import StageTimer, best_of, write_bench_json
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.scenario import expand_problem
+
+#: The gate workload (base catalogue; slot points expand it).
+GATE_CONFIG = WorkloadConfig(
+    n_customers=1_000,
+    n_vendors=100,
+    seed=42,
+    radius_range=ParameterRange(0.1, 0.2),
+)
+
+#: Slot counts measured against equally-sized flat catalogues.
+GATE_SLOTS = (2, 4)
+
+#: Per-edge slot-expanded solve cost over the flat baseline's.
+OVERHEAD_GATE = 1.5
+
+#: Fresh-problem repetitions per point (fastest total kept).
+REPEATS = 3
+
+
+def _solve(problem) -> dict:
+    timer = StageTimer()
+    with timer.stage("warm"):
+        problem.warm_utilities()
+    with timer.stage("solve"):
+        assignment = GreedyEfficiency().solve(problem)
+    engine = problem.acquire_engine()
+    return {
+        "timings": timer.timings,
+        "utility": assignment.total_utility,
+        "n_ads": len(assignment),
+        "edges": engine.num_edges if engine is not None else 0,
+    }
+
+
+def _slot_point(k: int) -> dict:
+    def run_slots() -> dict:
+        problem = expand_problem(synthetic_problem(GATE_CONFIG), k)
+        return _solve(problem)
+
+    def run_flat() -> dict:
+        # The fair baseline: a flat catalogue of the same size.  Same
+        # customers, same vendor locations/radii (so the same edge
+        # count), fresh dense ids -- exactly what the expansion
+        # produces, built as an ordinary problem.
+        expanded = expand_problem(synthetic_problem(GATE_CONFIG), k)
+        from repro.core.problem import MUAAProblem
+
+        flat = MUAAProblem(
+            customers=expanded.customers,
+            vendors=expanded.vendors,
+            ad_types=expanded.ad_types,
+            utility_model=expanded.utility_model,
+        )
+        return _solve(flat)
+
+    slots = best_of(run_slots, REPEATS)
+    flat = best_of(run_flat, REPEATS)
+    slot_edges = max(1, slots["edges"])
+    flat_edges = max(1, flat["edges"])
+    per_edge_slots = slots["timings"]["total_seconds"] / slot_edges
+    per_edge_flat = flat["timings"]["total_seconds"] / flat_edges
+    return {
+        "k": k,
+        "slot_vendors": GATE_CONFIG.n_vendors * k,
+        "slot_edges": slots["edges"],
+        "flat_edges": flat["edges"],
+        "slot_timings": slots["timings"],
+        "flat_timings": flat["timings"],
+        "slot_utility": slots["utility"],
+        "flat_utility": flat["utility"],
+        "per_edge_slot_seconds": per_edge_slots,
+        "per_edge_flat_seconds": per_edge_flat,
+        "overhead_ratio": per_edge_slots / per_edge_flat,
+    }
+
+
+def test_scenarios_gate():
+    points = [_slot_point(k) for k in GATE_SLOTS]
+
+    print()
+    for point in points:
+        print(
+            f"[scenarios] k={point['k']}: "
+            f"{point['slot_timings']['total_seconds']:.3f}s over "
+            f"{point['slot_edges']} edges vs flat "
+            f"{point['flat_timings']['total_seconds']:.3f}s over "
+            f"{point['flat_edges']} edges "
+            f"({point['overhead_ratio']:.2f}x per edge, "
+            f"gate {OVERHEAD_GATE}x)"
+        )
+
+    write_bench_json(
+        "scenarios",
+        {
+            "overhead_gate": OVERHEAD_GATE,
+            "n_customers": GATE_CONFIG.n_customers,
+            "n_vendors": GATE_CONFIG.n_vendors,
+            "repeats": REPEATS,
+            "points": points,
+        },
+    )
+
+    for point in points:
+        # Edge-count parity is exact: slot-vendors sit at the base
+        # vendor's location with its radius, so expansion multiplies
+        # the edge table by exactly k, matching the flat rebuild.
+        assert point["slot_edges"] == point["flat_edges"], (
+            f"k={point['k']}: slot expansion changed the edge count "
+            f"({point['slot_edges']} vs flat {point['flat_edges']})"
+        )
+        # Utility parity is exact too: the expanded problem *is* the
+        # flat problem to every kernel (slot_map is bookkeeping only).
+        assert point["slot_utility"] == point["flat_utility"], (
+            f"k={point['k']}: slot-expanded GREEDY diverged from the "
+            f"flat solve of the same catalogue"
+        )
+        assert point["overhead_ratio"] <= OVERHEAD_GATE, (
+            f"k={point['k']}: slot-expanded per-edge solve cost is "
+            f"{point['overhead_ratio']:.2f}x the flat baseline "
+            f"(gate {OVERHEAD_GATE}x)"
+        )

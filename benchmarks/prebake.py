@@ -36,13 +36,21 @@ def prebake_root() -> Path:
     return REPO_ROOT / "benchmarks" / "results" / "prebake"
 
 
-def prebaked_engine(problem, root: Optional[Path] = None):
+def prebaked_engine(
+    problem, root: Optional[Path] = None, prune: Optional[str] = None
+):
     """The problem's engine, mmap-loaded from the fixture when baked.
 
-    On a cold fixture the engine is built once and persisted under the
+    On a cold fixture the engine is built once (pruned at level
+    ``prune`` when given -- the certificate travels inside the
+    artifact, so warm boots come back pruned) and persisted under the
     problem's content key; the build is adopted into ``problem`` either
     way.  Returns ``(engine, warm)`` where ``warm`` says whether the
     engine came from the fixture (mmap) rather than a build.
+
+    Pruned and unpruned bakes of the same workload share a fingerprint
+    key, so keep them in separate ``root`` directories (the gate
+    benchmarks do) rather than mixing levels in one fixture.
     """
     from repro.store import EngineCache
 
@@ -56,17 +64,21 @@ def prebaked_engine(problem, root: Optional[Path] = None):
         return None, False
     engine.num_edges
     engine.pair_bases
+    if prune is not None:
+        engine.prune(prune)
     cache.store(problem, engine)
     return engine, False
 
 
 def prebaked_sharded_store(
-    problem, shards: int, root: Optional[Path] = None
+    problem, shards: int, root: Optional[Path] = None,
+    prune: Optional[str] = None,
 ) -> Tuple[object, Path, bool]:
     """A shard plan plus its baked store directory for ``problem``.
 
     Builds the plan deterministically (``ShardPlan.build``) and, on a
-    cold fixture, saves every shard's engine artifact; later runs find
+    cold fixture, saves every shard's engine artifact (pruned at level
+    ``prune`` when given, certificates baked in); later runs find
     ``plan.json`` present and skip the bake entirely.  Returns
     ``(plan, store_dir, warm)``; consumers attach ``store_dir`` to a
     :class:`~repro.engine.sharded.ShardedEngine` so shards are
@@ -79,12 +91,16 @@ def prebaked_sharded_store(
     # Content-address the store by the same fingerprint key the engine
     # cache uses, so two different workloads never share a directory
     # (the loader's fingerprint check would refuse a mismatch loudly).
-    key = f"sharded-{EngineCache(base).key(problem)}-s{shards}"
+    # The prune level joins the key: a pruned store is a different
+    # edge table than the flat one, and the loader's fingerprint check
+    # only covers the *problem*, not the bake options.
+    suffix = "" if prune is None else f"-prune-{prune}"
+    key = f"sharded-{EngineCache(base).key(problem)}-s{shards}{suffix}"
     store = base / key
     plan = ShardPlan.build(problem, shards)
     if (store / PLAN_FILE).exists():
         return plan, store, True
-    save_sharded(plan, store)
+    save_sharded(plan, store, prune=prune)
     # Release the freshly built shard views so the consumer measures
     # the demand-paged (mmap) path, not the still-resident builds.
     for shard in range(plan.n_shards):

@@ -32,11 +32,11 @@ is re-forked from a parent that already consumed the log.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.entities import Customer, Vendor
+from repro.seeding import stream_rng
 
 #: The recognised event kinds.
 KIND_INSERT = "insert"
@@ -221,8 +221,10 @@ def seeded_vendor_churn(
     """A deterministic vendor join/leave/exhaust/migrate plan.
 
     Events are spread evenly over ``(0, n_ticks)`` and drawn from a
-    dedicated RNG stream (``random.Random(f"{seed}:churn")``, the
-    :class:`~repro.cluster.chaos.ChaosPlan` idiom).  Joining vendors
+    dedicated RNG stream (``stream_rng(seed, "churn")`` -- the shared
+    :mod:`repro.seeding` derivation, so scenario move/arrival schedules
+    drawing their own streams can never shift these draws).  Joining
+    vendors
     get fresh ids above the existing catalogue, locations uniform in
     the unit square, radii/budgets sampled within the existing range,
     and the tag vector of a seeded donor vendor -- so the utility model
@@ -240,7 +242,7 @@ def seeded_vendor_churn(
         kinds: Event kinds to draw from (deterministically filtered to
             the ones applicable to this problem/plan).
     """
-    rng = random.Random(f"{seed}:churn")
+    rng = stream_rng(seed, "churn")
     usable = [k for k in kinds if k in EVENT_KINDS]
     if plan is None or getattr(plan, "is_identity", True):
         usable = [k for k in usable if k != KIND_MIGRATE]

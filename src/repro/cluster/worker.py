@@ -133,7 +133,11 @@ class ShardServer:
 
         with self._rec.span("cluster.shard_page_in", shard=self.shard_id):
             engine = load_engine(path, self._problem)
-            engine.warm()
+            # No warm(): warming materialises every edge's utility row,
+            # touching every page of the mmap'd columns -- the opposite
+            # of demand paging.  Lazy point lookups compute the same
+            # floats, so decisions are unchanged; only the shard's
+            # actually-scored edges ever page in.
             self._problem.adopt_engine(engine)
 
     def _build_engine(self, handle: Optional[ColumnHandle]) -> None:

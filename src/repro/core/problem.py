@@ -20,7 +20,8 @@ purely online access patterns keep their scalar latency profile.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import replace as _entity_replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.churn import KIND_DEACTIVATE, KIND_INSERT, KIND_RETIRE, ChurnEvent, ChurnState
 from repro.core.assignment import AdInstance, Assignment
@@ -70,6 +71,11 @@ class MUAAProblem:
             anywhere (budget exhaustion is a global fact) is skipped by
             every view's candidate scans; omitted, the problem gets a
             private state.
+        slot_map: Optional :class:`~repro.scenario.slots.SlotMap` when
+            the vendor catalogue is slot-expanded (each base vendor
+            split into per-slot vendors; see ``docs/scenarios.md``).
+            Purely descriptive bookkeeping -- slot-vendors are ordinary
+            vendors to every kernel and solver.
         dtype: Column-width policy for the compute engine -- ``None``
             or ``"float64"`` for the bitwise parity reference,
             ``"float32"`` for half-width columns (see
@@ -95,6 +101,7 @@ class MUAAProblem:
         parallel=None,
         churn: Optional[ChurnState] = None,
         dtype=None,
+        slot_map=None,
     ) -> None:
         if spatial_backend not in ("grid", "kdtree"):
             raise InvalidProblemError(
@@ -153,6 +160,20 @@ class MUAAProblem:
         #: Churn bookkeeping (deactivated vendors, skip/epoch counters),
         #: shared with shard views of this problem.
         self.churn: ChurnState = churn if churn is not None else ChurnState()
+        #: Slot-expansion bookkeeping (``None`` for single-slot problems).
+        self.slot_map = slot_map
+        #: Customers whose location changed after construction.  Their
+        #: precomputed engine rows are stale, so point lookups fall back
+        #: to the scalar spatial path for exactly these ids; empty (the
+        #: static default) keeps every lookup on its original path.
+        self._moved: Set[int] = set()
+        #: First-seen locations of moved customers, for
+        #: :meth:`reset_moves` (run-local trajectory rollback).
+        self._original_locations: Dict[int, Tuple[float, float]] = {}
+        #: Bumped once per applied customer move.  Streaming layers
+        #: re-resolve a customer's candidate range when this advances
+        #: (the trajectory-scenario analogue of the churn epoch).
+        self.location_epoch: int = 0
         # Deferred import keeps repro.core free of a hard engine import
         # at module load; the policy is a tiny frozen descriptor.
         from repro.engine.dtypes import resolve_policy
@@ -233,8 +254,9 @@ class MUAAProblem:
         self, customer_id: int, vendor_id: int
     ) -> Optional[float]:
         """The pair base from the built engine, or ``None`` (engine not
-        built, or the pair is not a range-valid candidate)."""
-        if self._engine is None:
+        built, the customer has moved since the table was scored, or
+        the pair is not a range-valid candidate)."""
+        if self._engine is None or customer_id in self._moved:
             return None
         return self._engine.pair_base(customer_id, vendor_id)
 
@@ -310,7 +332,11 @@ class MUAAProblem:
         ``deactivate`` events) are filtered out, and each skip is
         counted in ``churn.skips``.
         """
-        if self._engine is not None and self._engine.edges_built:
+        if (
+            self._engine is not None
+            and self._engine.edges_built
+            and customer.customer_id not in self._moved
+        ):
             vendors = self._engine.vendors_in_range(customer.customer_id)
             if vendors is not None:
                 return self._filter_inactive(list(vendors))
@@ -425,7 +451,7 @@ class MUAAProblem:
         Returns:
             The best instance, or ``None`` when no type is affordable.
         """
-        if self._engine is not None:
+        if self._engine is not None and customer_id not in self._moved:
             hit = self._engine.best_for_pair(
                 customer_id, vendor_id, by=by, max_cost=max_cost
             )
@@ -575,6 +601,75 @@ class MUAAProblem:
         if self._engine is not None:
             self._engine.admit_customers(fresh)
         return len(fresh)
+
+    def move_customer(
+        self, customer_id: int, new_location: Tuple[float, float]
+    ) -> bool:
+        """Relocate a customer mid-episode (trajectory scenarios).
+
+        The frozen entity is replaced, the customer spatial index is
+        invalidated for lazy rebuild, and the id joins the moved set so
+        every engine-backed lookup for this customer falls back to the
+        scalar spatial path -- the precomputed candidate rows were
+        scored at the old location and are stale.  Each applied move
+        bumps :attr:`location_epoch`, the signal streaming layers use
+        to re-resolve the customer's candidate range.  Unknown ids and
+        no-op moves return ``False``.
+        """
+        current = self.customers_by_id.get(customer_id)
+        if current is None:
+            return False
+        location = (float(new_location[0]), float(new_location[1]))
+        if location == tuple(current.location):
+            return False
+        moved = _entity_replace(current, location=location)
+        self._original_locations.setdefault(
+            customer_id, tuple(current.location)
+        )
+        for row, customer in enumerate(self.customers):
+            if customer.customer_id == customer_id:
+                self.customers[row] = moved
+                break
+        self.customers_by_id[customer_id] = moved
+        self._customer_index = None
+        self._moved.add(customer_id)
+        self.location_epoch += 1
+        return True
+
+    @property
+    def moved_customer_ids(self) -> frozenset:
+        """Ids of customers relocated since construction (read-only)."""
+        return frozenset(self._moved)
+
+    def reset_moves(self) -> int:
+        """Roll back every customer move, returning how many customers
+        were restored.
+
+        The trajectory analogue of :meth:`reset_auto_deactivations`:
+        a move schedule is run-local (applied mid-stream against one
+        assignment), so the stream restores first-seen locations at the
+        end of the run to keep the problem object reusable -- the next
+        panel member sees the same workload.  Clearing the moved set
+        also puts the restored customers back on the engine path (their
+        precomputed rows were scored at exactly these locations).
+        """
+        count = len(self._original_locations)
+        if not count:
+            return 0
+        for customer_id, location in self._original_locations.items():
+            current = self.customers_by_id.get(customer_id)
+            if current is None:
+                continue
+            restored = _entity_replace(current, location=location)
+            for row, customer in enumerate(self.customers):
+                if customer.customer_id == customer_id:
+                    self.customers[row] = restored
+                    break
+            self.customers_by_id[customer_id] = restored
+        self._original_locations.clear()
+        self._moved.clear()
+        self._customer_index = None
+        return count
 
     def deactivate_vendors(
         self, vendor_ids: Sequence[int], auto: bool = False

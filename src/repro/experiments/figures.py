@@ -238,17 +238,26 @@ def fig7_customers(
     )
 
 
-#: Default scale per figure number (check-in figures are heavier).
+#: Default scale per figure number (check-in figures are heavier;
+#: 9-11 are the scenario figures, which expand or stream the instance).
 FIGURE_DEFAULT_SCALES = {3: 0.01, 4: 0.01, 5: 0.01, 6: 0.01,
-                         7: 0.05, 8: 0.05}
+                         7: 0.05, 8: 0.05,
+                         9: 0.02, 10: 0.02, 11: 0.02}
 
 
 def figure_by_number(number: int):
-    """The figure function and its default scale, by paper number.
+    """The figure function and its default scale, by paper number
+    (9-11 are the scenario figures, beyond the paper).
 
     Raises:
-        KeyError: For numbers outside 3-8.
+        KeyError: For numbers outside 3-11.
     """
+    from repro.experiments.scenarios import (
+        fig9_slots,
+        fig10_trajectory,
+        fig11_diurnal,
+    )
+
     table = {
         3: fig3_budget,
         4: fig4_radius,
@@ -256,6 +265,9 @@ def figure_by_number(number: int):
         6: fig6_probability,
         7: fig7_customers,
         8: fig8_vendors,
+        9: fig9_slots,
+        10: fig10_trajectory,
+        11: fig11_diurnal,
     }
     return table[number], FIGURE_DEFAULT_SCALES[number]
 

@@ -46,6 +46,7 @@ def build_panel(
     mckp_method: str = "greedy-lp",
     shards: int = 1,
     shard_plan=None,
+    moves=None,
 ) -> List[OfflineAlgorithm]:
     """Instantiate the named algorithms, calibrating O-AFA as needed.
 
@@ -63,6 +64,11 @@ def build_panel(
             route each arrival to its shard's view.
         shard_plan: Pre-built :class:`~repro.sharding.ShardPlan` for
             ``problem``, overriding ``shards``.
+        moves: Optional :class:`~repro.scenario.trajectory.MoveSchedule`
+            forwarded to the streaming members (NEAREST, ONLINE); the
+            offline members solve the static snapshot.  Each streaming
+            run rolls the moves back on exit, so every member streams
+            the same trajectory.
 
     Raises:
         ValueError: On an unknown algorithm name.
@@ -77,7 +83,9 @@ def build_panel(
             panel.append(RandomAssignment(seed=seed))
         elif name == "NEAREST":
             panel.append(
-                OnlineAsOffline(NearestVendor(), shard_plan=shard_plan)
+                OnlineAsOffline(
+                    NearestVendor(), shard_plan=shard_plan, moves=moves
+                )
             )
         elif name == "GREEDY":
             panel.append(GreedyEfficiency(shard_plan=shard_plan))
@@ -103,6 +111,7 @@ def build_panel(
                         gamma_min=bounds.gamma_min, g=bounds.g
                     ),
                     shard_plan=shard_plan,
+                    moves=moves,
                 )
             )
         else:
@@ -147,6 +156,7 @@ def run_panel(
     parallel: Optional[ParallelConfig] = None,
     shards: int = 1,
     shard_plan=None,
+    moves=None,
 ) -> Dict[str, SolveResult]:
     """Run the panel and collect results keyed by algorithm name.
 
@@ -168,13 +178,15 @@ def run_panel(
     the parent, exactly as in the serial path.  Only the shard *count*
     crosses the process boundary (plans hold problem views and are
     rebuilt per worker), so an explicit ``shard_plan`` keeps the run
-    serial.
+    serial -- as does a ``moves`` schedule, whose mid-stream mutations
+    and rollback must happen in one process.
     """
     sharded = shard_plan is not None or shards > 1
     if not sharded:
         problem.warm_utilities()
     if (
         shard_plan is None
+        and moves is None
         and parallel is not None
         and parallel.active(len(algorithms))
     ):
@@ -195,7 +207,7 @@ def run_panel(
     results: Dict[str, SolveResult] = {}
     for algorithm in build_panel(
         problem, algorithms, seed, calibration, mckp_method, shards,
-        shard_plan,
+        shard_plan, moves,
     ):
         results[algorithm.name] = algorithm.run(problem)
     return results

@@ -1,0 +1,58 @@
+"""Pluggable workload scenarios for the problem→engine→stream→serve stack.
+
+A scenario transforms a baseline problem into the workload a run should
+exercise: multi-slot vendor inventory (slot-expanded catalogues),
+trajectory customers (mid-episode moves applied through the churn delta
+machinery), or diurnal arrivals (timestamps resampled from the temporal
+activity model α_x(φ)).  The default :class:`SingleSlotStatic` is the
+identity and is pinned byte-identical to the pre-scenario code path.
+See ``docs/scenarios.md``.
+"""
+
+from repro.scenario.base import Scenario, ScenarioRun, SingleSlotStatic
+from repro.scenario.diurnal import (
+    DiurnalScenario,
+    diurnal_intensity,
+    resample_arrival_times,
+    sample_arrival_hours,
+)
+from repro.scenario.registry import (
+    DEFAULT_SCENARIO,
+    SCENARIOS,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenario.slots import (
+    MultiSlotScenario,
+    SlotMap,
+    expand_problem,
+    expand_vendor_slots,
+)
+from repro.scenario.trajectory import (
+    CustomerMove,
+    MoveSchedule,
+    TrajectoryScenario,
+    seeded_customer_moves,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioRun",
+    "SingleSlotStatic",
+    "MultiSlotScenario",
+    "TrajectoryScenario",
+    "DiurnalScenario",
+    "SlotMap",
+    "expand_problem",
+    "expand_vendor_slots",
+    "CustomerMove",
+    "MoveSchedule",
+    "seeded_customer_moves",
+    "diurnal_intensity",
+    "sample_arrival_hours",
+    "resample_arrival_times",
+    "SCENARIOS",
+    "DEFAULT_SCENARIO",
+    "get_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,50 @@
+"""The scenario registry behind ``--scenario`` and ``repro info``."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.scenario.base import Scenario, SingleSlotStatic
+from repro.scenario.diurnal import DiurnalScenario
+from repro.scenario.slots import MultiSlotScenario
+from repro.scenario.trajectory import TrajectoryScenario
+
+__all__ = ["SCENARIOS", "DEFAULT_SCENARIO", "get_scenario", "scenario_names"]
+
+#: The default (identity) scenario name.
+DEFAULT_SCENARIO = "single-slot-static"
+
+#: All registered scenarios, keyed by name.  Instances are stateless
+#: (realize derives everything from the problem and seed), so sharing
+#: one instance per name is safe.
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        SingleSlotStatic(),
+        MultiSlotScenario(2),
+        MultiSlotScenario(4),
+        TrajectoryScenario(),
+        DiurnalScenario(),
+    )
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Registered scenario names, default first."""
+    rest = sorted(name for name in SCENARIOS if name != DEFAULT_SCENARIO)
+    return (DEFAULT_SCENARIO, *rest)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name.
+
+    Raises:
+        KeyError: With the known names, when ``name`` is unregistered.
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(
+            f"unknown scenario {name!r} (known: {known})"
+        ) from None

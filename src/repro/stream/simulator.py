@@ -218,6 +218,7 @@ class OnlineSimulator:
         shard_plan=None,
         churn=None,
         churn_cold_rebuild: bool = False,
+        moves=None,
     ) -> StreamResult:
         """Simulate the stream and return the committed assignment.
 
@@ -262,6 +263,14 @@ class OnlineSimulator:
                 (shard views released / engine dropped, then re-warmed
                 when ``warm_engine`` was requested).  The parity
                 reference the delta path is tested against.
+            moves: Optional :class:`~repro.scenario.trajectory.
+                MoveSchedule` (trajectory scenarios).  Moves scheduled
+                at arrival index ``t`` are applied (through the plan
+                when one is active, else directly on the problem)
+                *before* customer ``t`` is decided, advancing the
+                problem's location epoch so the moved customers'
+                candidate ranges are re-resolved; the arriving entity
+                is refreshed so routing sees the new location.
         """
         problem = self._problem
         plan = shard_plan
@@ -301,6 +310,13 @@ class OnlineSimulator:
                         plan,
                         churn_cold_rebuild,
                         warm_engine,
+                    )
+                if moves is not None:
+                    self._apply_moves(moves.at(tick), shard_plan)
+                    # The arriving entity may have been relocated by a
+                    # move at this very tick; route by the fresh one.
+                    customer = problem.customers_by_id.get(
+                        customer.customer_id, customer
                     )
                 seen.add(customer.customer_id)
                 target = problem
@@ -350,11 +366,46 @@ class OnlineSimulator:
             # Auto-deactivations are run-local (the assignment dies with
             # the run); roll them back so the problem stays reusable.
             problem.reset_auto_deactivations()
+            # Customer moves are likewise run-local: restore first-seen
+            # locations so every panel member streams the same workload.
+            if moves is not None:
+                if shard_plan is not None:
+                    shard_plan.reset_moves()
+                else:
+                    problem.reset_moves()
         result.churn_epoch = problem.churn.epoch
         result.exhausted_skips = problem.churn.skips - base_skips
         if result.exhausted_skips:
             rec.gauge("stream.exhausted_skips", result.exhausted_skips)
         return result
+
+    def _apply_moves(self, due, churn_plan) -> None:
+        """Apply customer moves due at one arrival tick.
+
+        Moves flow through the plan when one was supplied (even the
+        identity plan, which delegates straight to the problem) so
+        shard membership and resident views stay in sync.
+        """
+        if not due:
+            return
+        problem = self._problem
+        rec = recorder()
+        for move in due:
+            if churn_plan is not None:
+                applied = churn_plan.move_customer(
+                    move.customer_id, move.location
+                )
+            else:
+                applied = problem.move_customer(
+                    move.customer_id, move.location
+                )
+            if applied:
+                rec.count("stream.customer_moves")
+                rec.event(
+                    "stream.move",
+                    customer=move.customer_id,
+                    epoch=problem.location_epoch,
+                )
 
     def _apply_churn(
         self, events, churn_plan, plan, cold_rebuild: bool, warm_engine: bool
@@ -413,6 +464,8 @@ class OnlineAsOffline(OfflineAlgorithm):
             precompute of the candidate table before the stream.
         shard_plan: Forwarded to :meth:`OnlineSimulator.run` -- route
             each arrival to its spatial shard's problem view.
+        moves: Forwarded to :meth:`OnlineSimulator.run` -- a trajectory
+            scenario's mid-stream customer relocation schedule.
     """
 
     def __init__(
@@ -422,12 +475,14 @@ class OnlineAsOffline(OfflineAlgorithm):
         decision_deadline: Optional[float] = None,
         warm_engine: bool = False,
         shard_plan=None,
+        moves=None,
     ) -> None:
         self._algorithm = algorithm
         self._clock = clock
         self._deadline = decision_deadline
         self._warm_engine = warm_engine
         self._shard_plan = shard_plan
+        self._moves = moves
         self.name = algorithm.name
         self.last_stream_result: Optional[StreamResult] = None
 
@@ -437,6 +492,7 @@ class OnlineAsOffline(OfflineAlgorithm):
             decision_deadline=self._deadline,
             warm_engine=self._warm_engine,
             shard_plan=self._shard_plan,
+            moves=self._moves,
         )
         self.last_stream_result = result
         return result.assignment

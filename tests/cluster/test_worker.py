@@ -162,3 +162,93 @@ class TestServerSemantics:
         server, _ = self.make_server()
         with pytest.raises(TypeError):
             server.handle(object())
+
+
+class TestDemandPagedArtifactBoot:
+    """Artifact-booted shards stay cold until first use, then lazy.
+
+    The artifact path must never call ``engine.warm()``: warming
+    materialises every edge's utility row, touching every page of the
+    mmap'd columns -- the opposite of demand paging.  Decisions are
+    identical either way; only the shard's actually-scored edges page
+    in.
+    """
+
+    def _baked_view(self, tmp_path, shard=0):
+        problem = make_problem(n_customers=120, n_vendors=24)
+        plan = ShardPlan.build(problem, 2)
+        view = plan.problem_for(shard)
+        engine = view.acquire_engine()
+        assert engine is not None
+        engine.num_edges
+        engine.pair_bases
+        path = tmp_path / f"shard-{shard}.cols"
+        from repro.store import save_engine
+
+        save_engine(engine, path)
+        return problem, plan, path
+
+    def test_boot_is_cold_and_pages_in_on_decide(self, tmp_path):
+        problem, plan, path = self._baked_view(tmp_path)
+        shard = 0
+        fresh = make_problem(n_customers=120, n_vendors=24)
+        fresh_plan = ShardPlan.build(fresh, 2)
+        view = fresh_plan.problem_for(shard)
+        bounds = calibrated_bounds(fresh)
+        server = ShardServer(
+            shard, view, None, bounds.gamma_min, bounds.g,
+            artifact_path=str(path),
+        )
+        # Cold boot: no engine yet; heartbeats must not page it in.
+        assert view.engine is None
+        server.heartbeat(HeartbeatRequest(tick=0))
+        assert view.engine is None
+
+        routed = [
+            c for c in by_arrival_time(fresh.customers)
+            if fresh_plan.route(c) == shard
+        ]
+        assert routed
+        server.decide(DecideRequest(tick=0, customer=routed[0]))
+        engine = view.engine
+        assert engine is not None
+        # Demand-paged, not warmed: the full utility-row table is the
+        # warm() product and must stay unbuilt after a single decide.
+        assert engine._util_rows is None
+        server.close()
+
+    def test_artifact_decisions_match_locally_scored(self, tmp_path):
+        problem, plan, path = self._baked_view(tmp_path)
+        shard = 0
+        bounds = calibrated_bounds(problem)
+
+        def run(server, source_problem, source_plan):
+            replies = []
+            tick = 0
+            for customer in by_arrival_time(source_problem.customers):
+                if source_plan.route(customer) != shard:
+                    continue
+                reply = server.decide(
+                    DecideRequest(tick=tick, customer=customer)
+                )
+                replies.append(reply.instances)
+                tick += 1
+            return replies
+
+        fresh = make_problem(n_customers=120, n_vendors=24)
+        fresh_plan = ShardPlan.build(fresh, 2)
+        paged = ShardServer(
+            shard, fresh_plan.problem_for(shard), None,
+            bounds.gamma_min, bounds.g, artifact_path=str(path),
+        )
+        local_problem = make_problem(n_customers=120, n_vendors=24)
+        local_plan = ShardPlan.build(local_problem, 2)
+        local = ShardServer(
+            shard, local_plan.problem_for(shard), None,
+            bounds.gamma_min, bounds.g,
+        )
+        assert run(paged, fresh, fresh_plan) == run(
+            local, local_problem, local_plan
+        )
+        paged.close()
+        local.close()

@@ -1,0 +1,78 @@
+"""Diurnal arrival resampling (repro.scenario.diurnal)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.config import WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.scenario import (
+    DiurnalScenario,
+    diurnal_intensity,
+    resample_arrival_times,
+    sample_arrival_hours,
+)
+from repro.seeding import stream_numpy_rng
+from repro.utility.activity import DAY_HOURS
+
+CONFIG = WorkloadConfig(n_customers=400, n_vendors=20, seed=21)
+
+
+def _problem():
+    return synthetic_problem(CONFIG)
+
+
+class TestResample:
+    def test_only_arrival_times_change(self):
+        problem = _problem()
+        resampled = resample_arrival_times(problem, seed=21)
+        assert resampled is not problem
+        changed = 0
+        for before, after in zip(problem.customers, resampled.customers):
+            assert after.customer_id == before.customer_id
+            assert after.location == before.location
+            assert after.capacity == before.capacity
+            assert after.view_probability == before.view_probability
+            if after.arrival_time != before.arrival_time:
+                changed += 1
+            assert 0.0 <= after.arrival_time < DAY_HOURS
+        assert changed > 0
+
+    def test_deterministic_in_seed(self):
+        a = resample_arrival_times(_problem(), seed=21)
+        b = resample_arrival_times(_problem(), seed=21)
+        assert [c.arrival_time for c in a.customers] == [
+            c.arrival_time for c in b.customers
+        ]
+        c = resample_arrival_times(_problem(), seed=22)
+        assert [x.arrival_time for x in a.customers] != [
+            x.arrival_time for x in c.customers
+        ]
+
+    def test_scenario_realize_matches_function(self):
+        problem = _problem()
+        run = DiurnalScenario().realize(problem, 21)
+        direct = resample_arrival_times(_problem(), seed=21)
+        assert run.moves is None
+        assert [c.arrival_time for c in run.problem.customers] == [
+            c.arrival_time for c in direct.customers
+        ]
+
+
+class TestSampling:
+    def test_hours_in_range(self):
+        rng = stream_numpy_rng(21, "diurnal")
+        hours = sample_arrival_hours(5_000, rng)
+        assert float(hours.min()) >= 0.0
+        assert float(hours.max()) < DAY_HOURS
+
+    def test_samples_track_intensity(self):
+        """High-intensity hours receive more arrivals than the trough."""
+        rng = stream_numpy_rng(21, "diurnal")
+        hours = sample_arrival_hours(20_000, rng)
+        grid = np.arange(0.0, DAY_HOURS, 1.0)
+        intensity = diurnal_intensity(grid)
+        peak_hour = int(grid[int(np.argmax(intensity))])
+        trough_hour = int(grid[int(np.argmin(intensity))])
+        counts = np.histogram(hours, bins=24, range=(0.0, DAY_HOURS))[0]
+        assert counts[peak_hour] > 2 * counts[trough_hour]

@@ -1,0 +1,111 @@
+"""Multi-slot expansion semantics (repro.scenario.slots)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.datagen.config import ParameterRange, WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.scenario import (
+    MultiSlotScenario,
+    expand_problem,
+    expand_vendor_slots,
+    get_scenario,
+)
+
+CONFIG = WorkloadConfig(
+    n_customers=120,
+    n_vendors=20,
+    seed=3,
+    radius_range=ParameterRange(0.05, 0.1),
+)
+
+
+def _problem():
+    return synthetic_problem(CONFIG)
+
+
+class TestExpandVendorSlots:
+    def test_counts_ids_and_budget_split(self):
+        base = _problem().vendors
+        slot_vendors, slot_map = expand_vendor_slots(base, 3)
+        assert len(slot_vendors) == 3 * len(base)
+        assert [v.vendor_id for v in slot_vendors] == list(
+            range(3 * len(base))
+        )
+        assert slot_map.k == 3
+        assert slot_map.n_base == len(base)
+        total_before = sum(v.budget for v in base)
+        total_after = sum(v.budget for v in slot_vendors)
+        assert total_after == pytest.approx(total_before)
+        for vendor in base:
+            slots = slot_map.slots_of_base(vendor.vendor_id)
+            assert len(slots) == 3
+            for sid in slots:
+                slot = slot_vendors[sid]
+                assert slot.location == vendor.location
+                assert slot.radius == vendor.radius
+                assert slot.budget == pytest.approx(vendor.budget / 3)
+
+    def test_rejects_k_below_one(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            expand_vendor_slots(_problem().vendors, 0)
+
+    def test_fold_spend_aggregates_per_base(self):
+        base = _problem().vendors[:2]
+        _vendors, slot_map = expand_vendor_slots(base, 2)
+        spend = {0: 1.0, 1: 2.0, 2: 4.0, 3: 8.0}
+        folded = slot_map.fold_spend(spend)
+        assert folded == {
+            base[0].vendor_id: 3.0,
+            base[1].vendor_id: 12.0,
+        }
+
+
+class TestExpandProblem:
+    def test_carries_config_and_slot_map(self):
+        problem = _problem()
+        expanded = expand_problem(problem, 2)
+        assert expanded.slot_map is not None
+        assert expanded.slot_map.k == 2
+        assert len(expanded.vendors) == 2 * len(problem.vendors)
+        assert [c.customer_id for c in expanded.customers] == [
+            c.customer_id for c in problem.customers
+        ]
+        assert expanded.dtype_policy is problem.dtype_policy
+        assert expanded.utility_model is problem.utility_model
+
+    def test_spend_respects_per_slot_budgets(self):
+        expanded = expand_problem(_problem(), 2)
+        assignment = GreedyEfficiency().solve(expanded)
+        for vendor in expanded.vendors:
+            assert (
+                assignment.spend_for_vendor(vendor.vendor_id)
+                <= vendor.budget + 1e-9
+            )
+        # Folded spend never exceeds the base vendor's original budget.
+        folded = expanded.slot_map.fold_spend(
+            {
+                v.vendor_id: assignment.spend_for_vendor(v.vendor_id)
+                for v in expanded.vendors
+            }
+        )
+        base_budgets = {
+            v.vendor_id: v.budget for v in _problem().vendors
+        }
+        for base_id, spent in folded.items():
+            assert spent <= base_budgets[base_id] + 1e-9
+
+
+class TestMultiSlotScenario:
+    def test_rejects_k_one(self):
+        with pytest.raises(ValueError, match="k >= 2"):
+            MultiSlotScenario(1)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_registered_presets_realize(self, k):
+        run = get_scenario(f"multi-slot-{k}").realize(_problem(), 3)
+        assert run.moves is None
+        assert run.problem.slot_map.k == k
+        assert len(run.problem.vendors) == k * CONFIG.n_vendors

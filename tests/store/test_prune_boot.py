@@ -1,0 +1,132 @@
+"""Pruned artifacts boot pruned (satellite of the scenario PR).
+
+``build-artifact --prune`` persists the pruned edge table *and* its
+:class:`~repro.engine.pruning.PruneCertificate`, so every consumer --
+``load_engine``, the fingerprint cache, a sharded store attach, the
+benchmark pre-bake -- boots the pruned engine directly instead of
+re-pruning (or worse, silently serving the flat table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.greedy import GreedyEfficiency
+from repro.datagen.config import WorkloadConfig
+from repro.datagen.synthetic import synthetic_problem
+from repro.engine import ShardedEngine
+from repro.sharding import ShardPlan
+from repro.store import EngineCache, load_engine, save_engine, save_sharded
+
+CONFIG = WorkloadConfig(n_customers=300, n_vendors=40, seed=5)
+
+
+def _pruned_engine(problem, level="exact"):
+    engine = problem.acquire_engine()
+    engine.num_edges
+    engine.pair_bases
+    certificate = engine.prune(level)
+    return engine, certificate
+
+
+class TestPrunedEngineBoot:
+    def test_load_engine_boots_pruned(self, tmp_path):
+        problem = synthetic_problem(CONFIG)
+        engine, certificate = _pruned_engine(problem)
+        assert certificate.edges_dropped > 0
+        save_engine(engine, tmp_path / "engine.cols")
+
+        fresh = synthetic_problem(CONFIG)
+        loaded = load_engine(tmp_path / "engine.cols", fresh)
+        assert loaded.num_edges == certificate.edges_after
+        assert loaded.certificate == certificate
+        assert np.array_equal(
+            loaded.edges.customer_idx, engine.edges.customer_idx
+        )
+
+    def test_cache_fetch_restores_pruned_engine(self, tmp_path):
+        problem = synthetic_problem(CONFIG)
+        engine, certificate = _pruned_engine(problem)
+        cache = EngineCache(tmp_path)
+        cache.store(problem, engine)
+
+        fresh = synthetic_problem(CONFIG)
+        fetched = cache.fetch(fresh)
+        assert fetched is not None
+        assert fetched.num_edges == certificate.edges_after
+        assert fetched.certificate == certificate
+
+    def test_exact_prune_is_utility_neutral_through_boot(self, tmp_path):
+        problem = synthetic_problem(CONFIG)
+        baseline = GreedyEfficiency().solve(problem).total_utility
+
+        pruned_problem = synthetic_problem(CONFIG)
+        engine, _ = _pruned_engine(pruned_problem)
+        save_engine(engine, tmp_path / "engine.cols")
+
+        fresh = synthetic_problem(CONFIG)
+        fresh.adopt_engine(load_engine(tmp_path / "engine.cols", fresh))
+        assert GreedyEfficiency().solve(fresh).total_utility == baseline
+
+
+class TestPrunedShardedStore:
+    def test_attach_store_boots_pruned_shards(self, tmp_path):
+        problem = synthetic_problem(CONFIG)
+        plan = ShardPlan.build(problem, 3)
+        save_sharded(plan, tmp_path, prune="exact")
+
+        fresh = synthetic_problem(CONFIG)
+        fresh_plan = ShardPlan.build(fresh, 3)
+        sharded = ShardedEngine(fresh_plan)
+        sharded.attach_store(tmp_path)
+        flat_plan = ShardPlan.build(synthetic_problem(CONFIG), 3)
+        flat_sharded = ShardedEngine(flat_plan)
+        checked = 0
+        for shard in range(fresh_plan.n_shards):
+            engine = sharded.engine(shard)
+            if engine is None:
+                continue
+            assert engine.certificate is not None
+            assert engine.certificate.level == "exact"
+            flat = flat_sharded.engine(shard)
+            if flat is not None:
+                assert engine.num_edges <= flat.num_edges
+            checked += 1
+        assert checked > 0
+
+
+class TestPrebakePrune:
+    def test_prebaked_engine_rebakes_pruned(self, tmp_path):
+        from benchmarks.prebake import prebaked_engine
+
+        problem = synthetic_problem(CONFIG)
+        engine, warm = prebaked_engine(problem, root=tmp_path, prune="exact")
+        assert not warm
+        assert engine.certificate is not None
+        pruned_edges = engine.num_edges
+
+        fresh = synthetic_problem(CONFIG)
+        engine2, warm2 = prebaked_engine(fresh, root=tmp_path, prune="exact")
+        assert warm2
+        assert engine2.num_edges == pruned_edges
+        assert engine2.certificate == engine.certificate
+
+    def test_prebaked_store_keys_include_prune_level(self, tmp_path):
+        from benchmarks.prebake import prebaked_sharded_store
+
+        problem = synthetic_problem(CONFIG)
+        _plan, flat_store, flat_warm = prebaked_sharded_store(
+            problem, 2, root=tmp_path
+        )
+        _plan2, pruned_store, pruned_warm = prebaked_sharded_store(
+            synthetic_problem(CONFIG), 2, root=tmp_path, prune="exact"
+        )
+        assert not flat_warm and not pruned_warm
+        assert flat_store != pruned_store
+
+        # The pruned store boots pruned on the warm path.
+        _plan3, again, warm = prebaked_sharded_store(
+            synthetic_problem(CONFIG), 2, root=tmp_path, prune="exact"
+        )
+        assert warm and again == pruned_store

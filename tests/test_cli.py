@@ -247,7 +247,7 @@ def test_unknown_command_rejected():
 
 def test_figure_out_of_range_rejected():
     with pytest.raises(SystemExit):
-        main(["figure", "9"])
+        main(["figure", "12"])
 
 
 def test_build_artifact_and_demo_warm_load(capsys, tmp_path):

@@ -24,6 +24,7 @@ PACKAGES = (
     "repro.temporal",
     "repro.obs",
     "repro.cluster",
+    "repro.scenario",
 )
 
 
